@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper artifact end to end at
+a reduced campaign scale (`BENCH_CONFIG`), asserts its structural sanity,
+and reports wall-clock through pytest-benchmark.  Run with:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.session import ExperimentSession
+
+#: one shared reduced-scale configuration for all benches
+BENCH_CONFIG = ExperimentConfig(
+    seed=0, injections=60, beam_fault_evals=60, memory_avf_strikes=12
+)
+
+
+@pytest.fixture(scope="session")
+def session():
+    """One memoized session shared by every bench, so each artifact's
+    incremental cost (not re-derivation of shared inputs) is measured."""
+    return ExperimentSession(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def warm_session(session):
+    """Session with campaigns/beams pre-computed by whichever bench ran
+    first; used by benches that time only the aggregation layer."""
+    return session

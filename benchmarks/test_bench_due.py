@@ -1,0 +1,19 @@
+"""Bench: regenerate the §VII-B DUE-underestimation table."""
+
+import math
+
+from repro.experiments.due import run_due
+
+
+def test_bench_due(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_due(session=session), rounds=1, iterations=1
+    )
+    assert len(rows) == 4  # (K40c, V100) × (ECC OFF, ECC ON)
+    for row in rows:
+        factor = row["beam/pred DUE factor"]
+        # the paper's central DUE finding: always a large underestimation
+        assert math.isinf(factor) or factor > 10.0
+    benchmark.extra_info["factors"] = {
+        f'{r["device"]}/{r["ECC"]}': r["beam/pred DUE factor"] for r in rows
+    }

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 1 (instruction mix per code)."""
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_bench_fig1(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_fig1(session=session), rounds=1, iterations=1
+    )
+    for arch_rows in rows.values():
+        for row in arch_rows:
+            total = sum(v for k, v in row.items() if k != "code")
+            assert abs(total - 100.0) < 1.5
+    benchmark.extra_info["rows"] = sum(len(r) for r in rows.values())

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 3 (micro-benchmark beam FITs, both GPUs)."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_fig3(session=session), rounds=1, iterations=1
+    )
+    kepler = {r["ubench"]: r for r in rows["kepler"]}
+    volta = {r["ubench"]: r for r in rows["volta"]}
+    # the normalization anchors are exactly 1.0 by construction
+    assert abs(kepler["FADD"]["DUE"] - 1.0) < 1e-9
+    assert abs(volta["HFMA"]["DUE"] - 1.0) < 1e-9
+    # headline shapes: INT > FP32 on Kepler; MMA dominates Volta scalars
+    assert kepler["IADD"]["SDC"] > kepler["FADD"]["SDC"]
+    assert volta["HMMA"]["SDC"] > 5 * volta["DFMA"]["SDC"]
+    benchmark.extra_info["ubenches"] = len(kepler) + len(volta)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 4 (AVF campaigns, SASSIFI + NVBitFI)."""
+
+from repro.experiments.fig4 import FIG4_KEPLER, FIG4_VOLTA, run_fig4
+
+
+def test_bench_fig4(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_fig4(session=session), rounds=1, iterations=1
+    )
+    assert len(rows) == 2 * len(FIG4_KEPLER) + len(FIG4_VOLTA)
+    for row in rows:
+        assert abs(row["SDC"] + row["DUE"] + row["Masked"] - 1.0) < 1e-9
+    benchmark.extra_info["total_injections"] = sum(r["injections"] for r in rows)

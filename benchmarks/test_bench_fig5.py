@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 5 (beam FITs of all codes, ECC OFF/ON)."""
+
+from repro.experiments.fig5 import FIG5_CODES, ecc_sdc_reduction, run_fig5
+
+
+def test_bench_fig5(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_fig5(session=session), rounds=1, iterations=1
+    )
+    expected = sum(len(codes) for codes in FIG5_CODES.values())
+    assert len(rows) == expected
+    assert all(r["SDC"] >= 0 and r["DUE"] >= 0 for r in rows)
+    # ECC must cut the Kepler SDC rates on average
+    assert ecc_sdc_reduction(rows, "kepler") > 1.5
+    benchmark.extra_info["beam_runs"] = expected
+    benchmark.extra_info["ecc_sdc_reduction_kepler"] = round(ecc_sdc_reduction(rows, "kepler"), 2)

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 6 (beam vs fault-simulation SDC ratios)."""
+
+from repro.experiments.fig6 import FIG6_CODES, run_fig6
+
+
+def test_bench_fig6(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_fig6(session=session), rounds=1, iterations=1
+    )
+    averages = [r for r in rows if r["code"] == "Average"]
+    # one Average bar per (panel, framework): kepler 2 fw × 2 ecc + volta 1 fw × 2 ecc
+    assert len(averages) == 6
+    code_rows = [r for r in rows if r["code"] != "Average"]
+    assert len(code_rows) == sum(
+        len(codes) * (2 if arch == "kepler" else 1)
+        for (arch, _), codes in FIG6_CODES.items()
+    )
+    benchmark.extra_info["panel_averages"] = {
+        f'{r["arch"]}/{r["ECC"]}/{r["framework"]}': round(r["ratio"], 2) for r in averages
+    }

@@ -1,0 +1,47 @@
+"""Bench + ablation: roofline vs cycle-level scheduler timing.
+
+Cross-validates the fast analytic IPC model against the detailed warp
+scheduler on every Kepler code's measured instruction mix, and reports the
+per-code agreement ratio.  A drifting ratio here would silently distort
+the φ factor that both Figure 6 sides depend on.
+"""
+
+import numpy as np
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.occupancy import occupancy
+from repro.profiling import Profiler
+from repro.sim.scheduler import WarpScheduler, stream_from_trace_counts
+from repro.workloads.registry import get_workload
+
+CODES = ("FMXM", "FHOTSPOT", "MERGESORT", "NW", "CCL", "FGAUSSIAN")
+
+
+def _agreement():
+    profiler = Profiler(KEPLER_K40C)
+    ratios = {}
+    for code in CODES:
+        workload = get_workload("kepler", code, seed=0)
+        run = profiler.golden_run(workload)
+        metrics = profiler.metrics(workload)
+        occ_inputs = workload.reference_occupancy_inputs(KEPLER_K40C)
+        occ = occupancy(
+            KEPLER_K40C,
+            activity_factor=run.trace.activity_factor,
+            **occ_inputs,
+        )
+        warps = max(1, occ.active_warps_per_sm)
+        stream = stream_from_trace_counts(dict(run.trace.instances), length=384)
+        detailed = WarpScheduler(KEPLER_K40C, ilp=workload.spec.ilp).simulate(stream, warps)
+        ratios[code] = detailed.ipc / max(metrics.ipc, 1e-6)
+    return ratios
+
+
+def test_bench_scheduler_vs_roofline(benchmark):
+    ratios = benchmark.pedantic(_agreement, rounds=1, iterations=1)
+    values = np.array(list(ratios.values()))
+    # the models must agree within an order of magnitude on every code
+    assert (values > 0.1).all() and (values < 10.0).all()
+    benchmark.extra_info["detailed_over_roofline_ipc"] = {
+        code: round(r, 2) for code, r in ratios.items()
+    }

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These measure the cost of the primitives everything else multiplies:
+one golden kernel execution, one fault-injection run, one beam outcome
+evaluation.  Regressions here multiply into every campaign.
+"""
+
+import numpy as np
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.isa import OpClass
+from repro.faultsim.frameworks import NvBitFi
+from repro.faultsim.campaign import CampaignRunner
+from repro.common.rng import RngFactory
+from repro.sim.launch import run_kernel
+from repro.workloads.registry import get_workload
+
+
+def test_bench_golden_mxm(benchmark):
+    w = get_workload("kepler", "FMXM", seed=0)
+    w.prepare()
+    run = benchmark(lambda: run_kernel(KEPLER_K40C, w.kernel, w.sim_launch()))
+    assert run.trace.total_instances > 0
+
+
+def test_bench_golden_gemm(benchmark):
+    w = get_workload("kepler", "FGEMM", seed=0)
+    w.prepare()
+    run = benchmark(lambda: run_kernel(KEPLER_K40C, w.kernel, w.sim_launch()))
+    assert run.trace.instances[OpClass.FFMA] > 0
+
+
+def test_bench_single_injection(benchmark):
+    runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(0))
+    w = get_workload("kepler", "FMXM", seed=0)
+    golden = runner.golden(w)
+    group = NvBitFi().site_groups(w)[0]
+    size = int(group.size(golden.trace))
+    rng = np.random.default_rng(1)
+
+    def one():
+        return runner.inject_once(w, group, int(rng.integers(0, size)), rng)
+
+    record = benchmark(one)
+    assert record.outcome is not None
+
+
+def test_bench_lane_throughput(benchmark):
+    """Raw DSL op throughput: a 64-iteration FMA chain over 2,048 lanes."""
+    from repro.arch.dtypes import DType
+    from repro.sim.launch import LaunchConfig
+
+    def kernel(ctx):
+        a = ctx.alloc("a", np.ones(2048, dtype=np.float32), DType.FP32)
+        x = ctx.ld(a, ctx.global_id())
+        acc = ctx.const(0.0, DType.FP32)
+        for _ in ctx.range(64, unroll=8):
+            acc = ctx.fma(x, 0.5, acc)
+        ctx.st(a, ctx.global_id(), acc)
+        return {"a": ctx.read_buffer(a)}
+
+    run = benchmark(lambda: run_kernel(KEPLER_K40C, kernel, LaunchConfig(16, 128)))
+    assert run.trace.instances[OpClass.FFMA] == 64 * 2048

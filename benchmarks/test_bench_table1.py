@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (profiling of every code on both GPUs)."""
+
+from repro.experiments.table1 import TABLE1_CODES, run_table1
+
+
+def test_bench_table1(benchmark, session):
+    rows, report = benchmark.pedantic(
+        lambda: run_table1(session=session), rounds=1, iterations=1
+    )
+    assert len(rows["kepler"]) == len(TABLE1_CODES["kepler"])
+    assert len(rows["volta"]) == len(TABLE1_CODES["volta"])
+    benchmark.extra_info["codes_profiled"] = sum(len(r) for r in rows.values())

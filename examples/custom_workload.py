@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Extending the library: write your own kernel, then reuse the whole
+reliability pipeline (profiler, injector, beam) on it.
+
+The example implements a parallel dot-product reduction — tree reduction
+through shared memory, a pattern the built-in suite doesn't cover.
+
+    python examples/custom_workload.py
+"""
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.arch.ecc import EccMode
+from repro.beam import BeamExperiment
+from repro.faultsim import NvBitFi, Outcome, run_campaign
+from repro.profiling import profile_workload
+from repro.sim import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+
+class DotProductWorkload(Workload):
+    """y = Σ a[i]·b[i] via per-block shared-memory tree reduction."""
+
+    N = 2048
+    TPB = 128
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        self.a = rng.uniform(-1, 1, self.N).astype(np.float32)
+        self.b = rng.uniform(-1, 1, self.N).astype(np.float32)
+
+    def sim_launch(self) -> LaunchConfig:
+        return LaunchConfig(grid_blocks=self.N // self.TPB, threads_per_block=self.TPB)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        a = ctx.alloc("a", self.a, DType.FP32)
+        b = ctx.alloc("b", self.b, DType.FP32)
+        partial = ctx.alloc_zeros("partial", self.N // self.TPB, DType.FP32)
+        scratch = ctx.shared_alloc("scratch", self.TPB, DType.FP32)
+
+        gid = ctx.global_id()
+        tid = ctx.thread_idx()
+        prod = ctx.mul(ctx.ld(a, gid), ctx.ld(b, gid))
+        ctx.st(scratch, tid, prod)
+        ctx.bar()
+        stride = self.TPB // 2
+        while stride >= 1:
+            with ctx.masked(ctx.setp(tid, "lt", stride)):
+                mine = ctx.ld(scratch, tid)
+                theirs = ctx.ld(scratch, ctx.add(tid, stride))
+                ctx.st(scratch, tid, ctx.add(mine, theirs))
+            ctx.bar()
+            stride //= 2
+        with ctx.masked(ctx.setp(tid, "eq", 0)):
+            ctx.st(partial, ctx.block_idx(), ctx.ld(scratch, 0))
+        return {"partial": ctx.read_buffer(partial)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        blocks = self.N // self.TPB
+        out = np.zeros(blocks, dtype=np.float32)
+        for blk in range(blocks):
+            chunk = (
+                self.a[blk * self.TPB : (blk + 1) * self.TPB]
+                * self.b[blk * self.TPB : (blk + 1) * self.TPB]
+            ).astype(np.float32)
+            # tree-order accumulation, matching the kernel's rounding
+            while chunk.size > 1:
+                half = chunk.size // 2
+                chunk = (chunk[:half] + chunk[half:]).astype(np.float32)
+            out[blk] = chunk[0]
+        return {"partial": out}
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        name="DOTPROD",
+        base="dotprod",
+        dtype=DType.FP32,
+        registers_per_thread=18,
+        shared_bytes_per_block=DotProductWorkload.TPB * 4,
+        ref_grid_blocks=8192,
+        ref_threads_per_block=DotProductWorkload.TPB,
+        ilp=2.0,
+    )
+    workload = DotProductWorkload(spec, seed=3)
+
+    metrics = profile_workload(KEPLER_K40C, workload)
+    print(f"profiled {spec.name}: occupancy={metrics.achieved_occupancy:.2f} IPC={metrics.ipc:.2f}")
+
+    campaign = run_campaign(KEPLER_K40C, NvBitFi(), workload, injections=150, seed=1)
+    print(
+        f"injection AVF: SDC={campaign.avf(Outcome.SDC):.2f} "
+        f"DUE={campaign.avf(Outcome.DUE):.2f} Masked={campaign.avf(Outcome.MASKED):.2f}"
+    )
+
+    beam = BeamExperiment(KEPLER_K40C)
+    result = beam.run(workload, ecc=EccMode.ON, beam_hours=72, mode="expected")
+    print(f"beam FITs (ECC ON): SDC={result.fit_sdc.value:.2f} DUE={result.fit_due.value:.2f}")
+    print("\nA tree reduction masks many upsets (half the lanes' registers are")
+    print("dead after each level) — compare its Masked fraction with FMXM's.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run a workload on the simulated GPU, profile it, inject
+faults, and expose it to the simulated neutron beam.
+
+    python examples/quickstart.py
+"""
+
+from repro.arch import KEPLER_K40C
+from repro.arch.ecc import EccMode
+from repro.beam import BeamExperiment
+from repro.faultsim import NvBitFi, Outcome, run_campaign
+from repro.profiling import profile_workload
+from repro.sim import run_kernel
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    device = KEPLER_K40C
+    workload = get_workload("kepler", "FMXM", seed=42)
+
+    # --- 1. functional execution -------------------------------------------------
+    run = run_kernel(device, workload.kernel, workload.sim_launch())
+    print(f"ran {workload.name} on {device.name}:")
+    print(f"  dynamic lane-instructions : {run.trace.total_instances:,.0f}")
+    print(f"  output checksum           : {float(run.outputs['c'].sum()):.4f}")
+
+    # --- 2. profiling (Table I metrics) --------------------------------------------
+    metrics = profile_workload(device, workload)
+    print("\nprofile (NVPROF-style):")
+    print(f"  achieved occupancy        : {metrics.achieved_occupancy:.2f}")
+    print(f"  IPC                       : {metrics.ipc:.2f}")
+    print(f"  phi = occupancy x IPC     : {metrics.phi:.2f}   (Eq. 4)")
+    mix = ", ".join(f"{c.value}={100 * f:.0f}%" for c, f in metrics.category_mix.items() if f > 0.01)
+    print(f"  instruction mix           : {mix}")
+
+    # --- 3. fault injection (NVBitFI-style) ------------------------------------------
+    campaign = run_campaign(device, NvBitFi(), workload, injections=200, seed=1)
+    print("\nfault injection (200 single-bit faults into GPR outputs):")
+    for outcome in Outcome:
+        est = campaign.avf_estimate(outcome)
+        print(f"  AVF {outcome.value:<7}: {est.value:.3f}  (95% CI [{est.lower:.3f}, {est.upper:.3f}])")
+
+    # --- 4. beam experiment -------------------------------------------------------------
+    beam = BeamExperiment(device)
+    result = beam.run(workload, ecc=EccMode.ON, beam_hours=72, mode="montecarlo")
+    print("\nbeam experiment (72 accelerated hours at ChipIR, ECC ON):")
+    print(f"  SDC FIT: {result.fit_sdc.value:8.2f}  [{result.fit_sdc.lower:.2f}, {result.fit_sdc.upper:.2f}]")
+    print(f"  DUE FIT: {result.fit_due.value:8.2f}  [{result.fit_due.lower:.2f}, {result.fit_due.upper:.2f}]")
+    print(f"  single-fault regime held : {result.single_fault_regime}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Author a micro-benchmark directly in SASS-like assembly and push it
+through the whole reliability pipeline — the vantage point SASSIFI and
+NVBitFI actually work at (§III-D).
+
+The kernel below is a register-pressure pointer-chase: it keeps a small
+working set of live registers hot while striding through memory, a pattern
+none of the built-in micro-benchmarks isolates.
+
+    python examples/sass_microbenchmark.py
+"""
+
+import numpy as np
+
+from repro.arch import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.faultsim import NvBitFi, Outcome, run_campaign
+from repro.sass import SassKernel, assemble
+from repro.sim import LaunchConfig, run_kernel
+from repro.workloads.base import Workload, WorkloadSpec
+
+N = 512
+
+KERNEL_TEXT = """
+; register-pressure pointer chase:
+;   idx = gid
+;   repeat 16: v = data[idx]; acc = acc*1 + v; idx = (idx + 97) & 511
+.kernel regchase
+.buffer data
+.buffer out
+MOV        r0, %gid
+MOV.S32    r1, 0            ; acc
+MOV        r2, r0           ; idx
+.loop 16
+LDG.S32    r3, [data + r2]
+IMAD       r1, r1, 1, r3    ; acc += v   (kept as IMAD on purpose)
+IADD       r2, r2, 97
+LOP.AND    r2, r2, 511
+.endloop
+STG.S32    [out + r0], r1
+"""
+
+
+class RegChaseWorkload(Workload):
+    """Adapter exposing the assembled kernel to campaigns/beam."""
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        self.data = rng.integers(0, 1000, N).astype(np.int32)
+        self.sass = SassKernel(
+            assemble(KERNEL_TEXT),
+            {"data": self.data},
+            outputs=("out",),
+            shapes={"out": (N,)},
+            dtypes={"out": DType.INT32},
+        )
+
+    def sim_launch(self) -> LaunchConfig:
+        return LaunchConfig(grid_blocks=N // 128, threads_per_block=128)
+
+    def kernel(self, ctx):
+        self.prepare()
+        return self.sass(ctx)
+
+
+def main() -> None:
+    program = assemble(KERNEL_TEXT)
+    print(f"assembled '{program.name}': {program.static_instruction_count()} static, "
+          f"~{program.dynamic_instruction_estimate()} dynamic instructions/thread")
+    for instr in program.instructions:
+        print(f"   {instr}")
+
+    spec = WorkloadSpec(
+        name="REGCHASE", base="sass-ubench", dtype=DType.INT32,
+        registers_per_thread=8, ref_grid_blocks=4096, ref_threads_per_block=256,
+    )
+    workload = RegChaseWorkload(spec, seed=4)
+
+    # verify against the obvious host implementation
+    run = run_kernel(KEPLER_K40C, workload.kernel, workload.sim_launch())
+    workload.prepare()
+    acc = np.zeros(N, dtype=np.int32)
+    idx = np.arange(N, dtype=np.int32)
+    for _ in range(16):
+        acc = acc + workload.data[idx]
+        idx = (idx + 97) & 511
+    assert np.array_equal(run.outputs["out"], acc), "kernel disagrees with host math"
+    print("\nhost-math check: OK")
+
+    campaign = run_campaign(KEPLER_K40C, NvBitFi(), workload, injections=300, seed=2)
+    print("\nNVBitFI campaign over the assembled kernel (300 faults):")
+    for outcome in Outcome:
+        print(f"  {outcome.value:<7}: {campaign.avf(outcome):.3f}")
+    per_op = campaign.per_op_avf(Outcome.SDC, min_samples=10)
+    print("\nper-instruction-class SDC AVF (≥10 hits):")
+    for op, avf in sorted(per_op.items(), key=lambda kv: -kv[1]):
+        print(f"  {op.name:<6}: {avf:.2f}")
+    print("\nNote the IADD/LOP address-chain faults: corrupting the chase index")
+    print("mostly lands on another in-bounds element (wrong data, SDC) — the")
+    print("mapped-span behaviour real allocations exhibit.")
+
+
+if __name__ == "__main__":
+    main()

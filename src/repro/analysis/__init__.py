@@ -1,0 +1,25 @@
+"""Cross-run analysis utilities: reproducibility sweeps, method agreement,
+rank correlations.
+
+The paper's credibility rests on statistical discipline (95% intervals,
+campaign sizing, single-fault regime); this package provides the equivalent
+checks for the simulated reproduction — how stable are AVFs across seeds,
+do Monte Carlo and expected-value beam modes agree, and how well do our
+profile/FIT *rankings* track the paper's.
+"""
+
+from repro.analysis.sweeps import (
+    AvfSweep,
+    BeamModeAgreement,
+    beam_mode_agreement,
+    rank_correlation,
+    seed_sweep_campaign,
+)
+
+__all__ = [
+    "AvfSweep",
+    "BeamModeAgreement",
+    "beam_mode_agreement",
+    "rank_correlation",
+    "seed_sweep_campaign",
+]

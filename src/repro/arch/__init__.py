@@ -1,0 +1,33 @@
+"""GPU architecture model: data types, ISA, devices, ECC, occupancy.
+
+This package is the *static* description of the simulated hardware — what
+units exist, how wide they are, what the ISA instruction classes are, and how
+many warps a launch can keep resident.  The *dynamic* behaviour (executing
+kernels, timing) lives in :mod:`repro.sim`.
+"""
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass, OpCategory, categorize, ops_for_dtype
+from repro.arch.units import UnitKind
+from repro.arch.devices import DeviceSpec, KEPLER_K40C, VOLTA_V100, DEVICES, get_device
+from repro.arch.ecc import EccMode, EccOutcome, SecdedModel
+from repro.arch.occupancy import OccupancyResult, occupancy
+
+__all__ = [
+    "DType",
+    "OpClass",
+    "OpCategory",
+    "categorize",
+    "ops_for_dtype",
+    "UnitKind",
+    "DeviceSpec",
+    "KEPLER_K40C",
+    "VOLTA_V100",
+    "DEVICES",
+    "get_device",
+    "EccMode",
+    "EccOutcome",
+    "SecdedModel",
+    "OccupancyResult",
+    "occupancy",
+]

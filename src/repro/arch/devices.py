@@ -1,0 +1,186 @@
+"""Device catalog: the GPUs the paper characterizes.
+
+* **Tesla K40c** — Kepler GK110B, 15 SMX, 192 CUDA cores each, 28 nm planar
+  CMOS, SECDED ECC on RF/shared/caches, ECC user-switchable.
+* **Tesla V100 / Titan V** — Volta GV100, 80 SMs, 64 FP32 + 64 INT32 +
+  32 FP64 cores and 8 tensor cores per SM, 16 nm FinFET, ECC switchable
+  (Titan V has no DRAM ECC; the paper groups both as "Volta").
+
+Numbers come from the paper §III-A and the referenced NVIDIA whitepapers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    architecture: str                  # "kepler" | "volta"
+    process_node_nm: int               # 28 (planar) / 16 (FinFET)
+    sm_count: int
+    warp_size: int
+    max_warps_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    registers_per_sm: int              # 32-bit registers
+    max_registers_per_thread: int
+    shared_memory_per_sm: int          # bytes
+    l2_cache_bytes: int
+    dram_bytes: int
+    schedulers_per_sm: int             # warp schedulers
+    issue_per_scheduler: int           # dual-issue => 2
+    clock_mhz: float
+    units_per_sm: Mapping[UnitKind, int] = field(default_factory=dict)
+    has_tensor_cores: bool = False
+    ecc_capable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ("kepler", "volta"):
+            raise ConfigurationError(f"unknown architecture {self.architecture!r}")
+        if self.sm_count <= 0 or self.warp_size <= 0:
+            raise ConfigurationError("device must have positive SM count and warp size")
+
+    # -- derived quantities ---------------------------------------------------
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    @property
+    def total_threads(self) -> int:
+        return self.max_threads_per_sm * self.sm_count
+
+    @property
+    def register_file_bytes_per_sm(self) -> int:
+        return self.registers_per_sm * 4
+
+    @property
+    def register_file_bytes(self) -> int:
+        return self.register_file_bytes_per_sm * self.sm_count
+
+    @property
+    def issue_width_per_sm(self) -> int:
+        """Max instructions issued per cycle per SM (paper §IV-B: 4
+        schedulers × up to 2 instructions, i.e. 8 on Kepler; Volta
+        schedulers are single-issue)."""
+        return self.schedulers_per_sm * self.issue_per_scheduler
+
+    def unit_count(self, unit: UnitKind) -> int:
+        """Total instances of a functional unit on the whole device."""
+        return self.units_per_sm.get(unit, 0) * self.sm_count
+
+    def storage_bits(self, unit: UnitKind) -> int:
+        """Total bits of a storage structure on the whole device."""
+        if unit is UnitKind.REGISTER_FILE:
+            return self.register_file_bytes * 8
+        if unit is UnitKind.SHARED_MEMORY:
+            return self.shared_memory_per_sm * self.sm_count * 8
+        if unit is UnitKind.L2_CACHE:
+            return self.l2_cache_bytes * 8
+        if unit is UnitKind.DEVICE_MEMORY:
+            return self.dram_bytes * 8
+        raise ConfigurationError(f"{unit} is not a storage structure")
+
+
+KEPLER_K40C = DeviceSpec(
+    name="Tesla K40c",
+    architecture="kepler",
+    process_node_nm=28,
+    sm_count=15,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=48 * 1024,
+    l2_cache_bytes=1536 * 1024,
+    dram_bytes=12 * 1024**3,
+    schedulers_per_sm=4,
+    issue_per_scheduler=2,
+    clock_mhz=745.0,
+    units_per_sm={
+        UnitKind.FP32: 192,
+        UnitKind.FP64: 64,
+        UnitKind.SFU: 32,
+        UnitKind.LSU: 32,
+        UnitKind.CONTROL: 64,
+    },
+    has_tensor_cores=False,
+    ecc_capable=True,
+)
+
+VOLTA_V100 = DeviceSpec(
+    name="Tesla V100",
+    architecture="volta",
+    process_node_nm=16,
+    sm_count=80,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=96 * 1024,
+    l2_cache_bytes=6 * 1024**2,
+    dram_bytes=16 * 1024**3,
+    schedulers_per_sm=4,
+    issue_per_scheduler=1,
+    clock_mhz=1380.0,
+    units_per_sm={
+        UnitKind.FP32: 64,
+        UnitKind.FP64: 32,
+        UnitKind.INT32: 64,
+        UnitKind.TENSOR: 8,
+        UnitKind.SFU: 16,
+        UnitKind.LSU: 32,
+        UnitKind.CONTROL: 64,
+    },
+    has_tensor_cores=True,
+    ecc_capable=True,
+)
+
+VOLTA_TITAN_V = DeviceSpec(
+    name="Titan V",
+    architecture="volta",
+    process_node_nm=16,
+    sm_count=80,
+    warp_size=32,
+    max_warps_per_sm=64,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_memory_per_sm=96 * 1024,
+    l2_cache_bytes=4608 * 1024,
+    dram_bytes=12 * 1024**3,
+    schedulers_per_sm=4,
+    issue_per_scheduler=1,
+    clock_mhz=1200.0,
+    units_per_sm=dict(VOLTA_V100.units_per_sm),
+    has_tensor_cores=True,
+    ecc_capable=False,  # Titan V lacks DRAM ECC
+)
+
+DEVICES: Dict[str, DeviceSpec] = {
+    "k40c": KEPLER_K40C,
+    "v100": VOLTA_V100,
+    "titanv": VOLTA_TITAN_V,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by catalog key (case-insensitive)."""
+    try:
+        return DEVICES[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from exc

@@ -1,0 +1,71 @@
+"""Data types supported by the simulated GPUs.
+
+Volta supports three IEEE-754 floating-point precisions (double, float, half)
+plus INT32 on dedicated cores; Kepler supports double/float/int with integer
+ops sharing the FP32 datapath (paper §III-A, §V-B).  The paper's code naming
+convention — D/F/H prefix for double/float/half — is exposed via
+:meth:`DType.prefix` and used throughout the workload registry.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """A machine data type, with its NumPy representation and bit width."""
+
+    FP16 = ("fp16", np.float16, np.uint16, 16, "H")
+    FP32 = ("fp32", np.float32, np.uint32, 32, "F")
+    FP64 = ("fp64", np.float64, np.uint64, 64, "D")
+    INT32 = ("int32", np.int32, np.uint32, 32, "I")
+
+    def __init__(self, label: str, np_dtype, np_bits_dtype, bits: int, prefix: str) -> None:
+        self.label = label
+        self.np_dtype = np.dtype(np_dtype)
+        #: unsigned integer view dtype of the same width, used for bit flips
+        self.np_bits_dtype = np.dtype(np_bits_dtype)
+        self.bits = bits
+        #: paper's code-name prefix: H/F/D for fp16/32/64 ("I" is never
+        #: prepended in the paper; integer codes keep their bare names)
+        self.prefix = prefix
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def is_float(self) -> bool:
+        return self is not DType.INT32
+
+    @classmethod
+    def from_label(cls, label: str) -> "DType":
+        for member in cls:
+            if member.label == label:
+                return member
+        raise ValueError(f"unknown dtype label {label!r}")
+
+    @classmethod
+    def from_prefix(cls, prefix: str) -> "DType":
+        for member in cls:
+            if member.prefix == prefix.upper():
+                return member
+        raise ValueError(f"unknown dtype prefix {prefix!r}")
+
+    def __repr__(self) -> str:
+        return f"DType.{self.name}"
+
+
+def bit_width_of(array: np.ndarray) -> int:
+    """Bit width of an array's scalar type."""
+    return array.dtype.itemsize * 8
+
+
+def dtype_of_array(array: np.ndarray) -> DType:
+    """Map a NumPy array's dtype back to the simulator DType."""
+    for member in DType:
+        if member.np_dtype == array.dtype:
+            return member
+    raise ValueError(f"array dtype {array.dtype} has no simulator DType")

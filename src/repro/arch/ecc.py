@@ -1,0 +1,78 @@
+"""SECDED ECC model.
+
+K40c and V100 protect the register file, shared memory and caches with
+Single-Error-Correction / Double-Error-Detection codes (paper §III-A).  The
+behavioural contract we need for reliability experiments:
+
+* ECC **ON**, 1 flipped bit in a word  → corrected, no visible effect;
+* ECC **ON**, ≥2 flipped bits in a word → *detected uncorrectable* → the
+  driver raises an interrupt and kills the context → **DUE** (this is why
+  enabling ECC *raises* the DUE rate in Figure 5);
+* ECC **OFF** → every flip is delivered to the program (candidate SDC).
+
+The paper anticipates an MBU (multi-bit upset within one word) fraction of
+about 2% for the Kepler RF (§V-A); the beam engine samples the per-event bit
+multiplicity from :attr:`SecdedModel.mbu_probability`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fraction of strikes that upset more than one bit of the same word
+#: (paper §V-A anticipates ~2% for the RF).
+DEFAULT_MBU_PROBABILITY = 0.02
+
+
+class EccMode(enum.Enum):
+    OFF = "off"
+    ON = "on"
+
+    @classmethod
+    def from_flag(cls, enabled: bool) -> "EccMode":
+        return cls.ON if enabled else cls.OFF
+
+
+class EccOutcome(enum.Enum):
+    """What the memory subsystem does with an upset word."""
+
+    DELIVERED = "delivered"    # ECC off: corrupted data reaches the program
+    CORRECTED = "corrected"    # single-bit, fixed transparently
+    DETECTED_DUE = "detected"  # uncorrectable: context is killed
+
+
+@dataclass(frozen=True)
+class SecdedModel:
+    """SECDED policy for one protected structure."""
+
+    mode: EccMode
+    mbu_probability: float = DEFAULT_MBU_PROBABILITY
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.mbu_probability <= 1.0:
+            raise ValueError("mbu_probability must be a probability")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode is EccMode.ON
+
+    def sample_bits_upset(self, rng: np.random.Generator) -> int:
+        """Number of bits a single strike flips in one word (1 or 2)."""
+        return 2 if rng.random() < self.mbu_probability else 1
+
+    def classify(self, bits_upset: int) -> EccOutcome:
+        """Outcome of a strike that flipped ``bits_upset`` bits of a word."""
+        if bits_upset < 1:
+            raise ValueError("an upset must flip at least one bit")
+        if not self.enabled:
+            return EccOutcome.DELIVERED
+        if bits_upset == 1:
+            return EccOutcome.CORRECTED
+        return EccOutcome.DETECTED_DUE
+
+    def strike(self, rng: np.random.Generator) -> EccOutcome:
+        """Sample a full strike: multiplicity then classification."""
+        return self.classify(self.sample_bits_upset(rng))

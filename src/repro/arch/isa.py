@@ -1,0 +1,214 @@
+"""SASS-like instruction-class taxonomy.
+
+Both SASSIFI and NVBitFI operate at the granularity of *instruction classes*
+of NVIDIA's native ISA (SASS), not encodings — they instrument "the output of
+floating-point / integer / load instructions" (paper §III-D).  We model the
+same granularity: an :class:`OpClass` per (operation, precision) pair, plus
+the memory / control / miscellaneous classes that appear in the paper's
+Figure 1 instruction-mix breakdown.
+
+Figure 1 buckets instructions into FMA / MUL / ADD / INT / MMA / LDST /
+OTHERS; :func:`categorize` reproduces that mapping.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.dtypes import DType
+from repro.arch.units import UnitKind
+
+
+class OpCategory(enum.Enum):
+    """Figure 1 instruction categories."""
+
+    FMA = "FMA"
+    MUL = "MUL"
+    ADD = "ADD"
+    INT = "INT"
+    MMA = "MMA"
+    LDST = "LDST"
+    OTHERS = "OTHERS"
+
+
+class OpClass(enum.Enum):
+    """An instruction class: operation kind specialized by precision.
+
+    ``value`` fields: (mnemonic, dtype-or-None, category, latency in cycles,
+    per-SM issue throughput relative to one lane-op — used by the timing
+    model).  Latencies follow the usual Kepler/Volta pipeline depths
+    (arithmetic ~4-9 cycles, DP longer on consumer parts, global memory
+    hundreds of cycles).
+    """
+
+    # --- half precision ----------------------------------------------------
+    HADD = ("HADD", DType.FP16, OpCategory.ADD, 6)
+    HMUL = ("HMUL", DType.FP16, OpCategory.MUL, 6)
+    HFMA = ("HFMA", DType.FP16, OpCategory.FMA, 6)
+    # --- single precision --------------------------------------------------
+    FADD = ("FADD", DType.FP32, OpCategory.ADD, 4)
+    FMUL = ("FMUL", DType.FP32, OpCategory.MUL, 4)
+    FFMA = ("FFMA", DType.FP32, OpCategory.FMA, 4)
+    # --- double precision --------------------------------------------------
+    DADD = ("DADD", DType.FP64, OpCategory.ADD, 8)
+    DMUL = ("DMUL", DType.FP64, OpCategory.MUL, 8)
+    DFMA = ("DFMA", DType.FP64, OpCategory.FMA, 8)
+    # --- integer -----------------------------------------------------------
+    IADD = ("IADD", DType.INT32, OpCategory.INT, 4)
+    IMUL = ("IMUL", DType.INT32, OpCategory.INT, 5)
+    IMAD = ("IMAD", DType.INT32, OpCategory.INT, 5)
+    LOP = ("LOP", DType.INT32, OpCategory.INT, 4)      # bitwise and/or/xor
+    SHF = ("SHF", DType.INT32, OpCategory.INT, 4)      # funnel shift
+    IMNMX = ("IMNMX", DType.INT32, OpCategory.INT, 4)  # integer min/max
+    # --- tensor core -------------------------------------------------------
+    HMMA = ("HMMA", DType.FP16, OpCategory.MMA, 16)
+    FMMA = ("FMMA", DType.FP32, OpCategory.MMA, 16)
+    # --- memory ------------------------------------------------------------
+    # global memory: effective latency assumes the L1/L2 hit mix of
+    # tiled/streaming kernels, not a DRAM-always worst case
+    LDG = ("LDG", None, OpCategory.LDST, 150)   # global load
+    STG = ("STG", None, OpCategory.LDST, 150)   # global store
+    LDS = ("LDS", None, OpCategory.LDST, 25)    # shared load
+    STS = ("STS", None, OpCategory.LDST, 25)    # shared store
+    # --- "OTHERS" (Figure 1) -----------------------------------------------
+    MOV = ("MOV", None, OpCategory.OTHERS, 4)
+    SETP = ("SETP", None, OpCategory.OTHERS, 4)   # predicate set
+    SEL = ("SEL", None, OpCategory.OTHERS, 4)     # predicated select
+    CVT = ("CVT", None, OpCategory.OTHERS, 6)     # precision conversion
+    MUFU = ("MUFU", None, OpCategory.OTHERS, 10)  # transcendental (SFU)
+    BRA = ("BRA", None, OpCategory.OTHERS, 4)
+    BAR = ("BAR", None, OpCategory.OTHERS, 20)    # thread barrier
+    ATOM = ("ATOM", None, OpCategory.OTHERS, 400)
+    NOP = ("NOP", None, OpCategory.OTHERS, 1)
+
+    def __init__(self, mnemonic: str, dtype: Optional[DType], category: OpCategory, latency: int) -> None:
+        self.mnemonic = mnemonic
+        self.dtype = dtype
+        self.category = category
+        self.latency = latency
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.category in (
+            OpCategory.FMA,
+            OpCategory.MUL,
+            OpCategory.ADD,
+            OpCategory.INT,
+            OpCategory.MMA,
+        )
+
+    @property
+    def is_memory(self) -> bool:
+        return self.category is OpCategory.LDST
+
+    @property
+    def writes_register(self) -> bool:
+        """Whether the instruction produces a general-purpose register value
+        (the site NVBitFI injects into)."""
+        return self not in (OpClass.STG, OpClass.STS, OpClass.BRA, OpClass.BAR, OpClass.NOP)
+
+    def __repr__(self) -> str:
+        return f"OpClass.{self.name}"
+
+
+def categorize(op: OpClass) -> OpCategory:
+    """Figure 1 bucket for an instruction class."""
+    return op.category
+
+
+#: The arithmetic ops the paper's seven micro-benchmark classes target,
+#: keyed by (kind, dtype).  MAD == integer multiply-accumulate.
+_ARITH_TABLE: Dict[Tuple[str, DType], OpClass] = {
+    ("ADD", DType.FP16): OpClass.HADD,
+    ("MUL", DType.FP16): OpClass.HMUL,
+    ("FMA", DType.FP16): OpClass.HFMA,
+    ("ADD", DType.FP32): OpClass.FADD,
+    ("MUL", DType.FP32): OpClass.FMUL,
+    ("FMA", DType.FP32): OpClass.FFMA,
+    ("ADD", DType.FP64): OpClass.DADD,
+    ("MUL", DType.FP64): OpClass.DMUL,
+    ("FMA", DType.FP64): OpClass.DFMA,
+    ("ADD", DType.INT32): OpClass.IADD,
+    ("MUL", DType.INT32): OpClass.IMUL,
+    ("FMA", DType.INT32): OpClass.IMAD,
+}
+
+
+def arith_op(kind: str, dtype: DType) -> OpClass:
+    """Resolve an arithmetic (kind, precision) pair to its OpClass."""
+    try:
+        return _ARITH_TABLE[(kind.upper(), dtype)]
+    except KeyError as exc:
+        raise ValueError(f"no {kind} instruction for {dtype}") from exc
+
+
+def ops_for_dtype(dtype: DType) -> List[OpClass]:
+    """All arithmetic instruction classes operating at a given precision."""
+    return [op for op in OpClass if op.dtype is dtype and op.is_arithmetic]
+
+
+def mma_op(dtype: DType) -> OpClass:
+    """Tensor-core MMA class for an accumulate precision (paper: HMMA for
+    FP16 accumulate, FMMA for FP32-cast-to-FP16 inputs)."""
+    if dtype is DType.FP16:
+        return OpClass.HMMA
+    if dtype is DType.FP32:
+        return OpClass.FMMA
+    raise ValueError(f"tensor cores do not support {dtype}")
+
+
+def unit_for(op: OpClass, architecture: str) -> UnitKind:
+    """Which functional unit executes an instruction class on an architecture.
+
+    The key architectural difference the paper leans on (§V-B): Kepler
+    executes integer ops on the *same* CUDA cores as FP32 (with lower
+    efficiency → higher cross-section), while Volta has dedicated INT32
+    cores.  FP16 on Volta executes on the FP32 cores at double rate.
+    """
+    arch = architecture.lower()
+    if arch not in ("kepler", "volta"):
+        raise ValueError(f"unknown architecture {architecture!r}")
+    if op.category is OpCategory.MMA:
+        return UnitKind.TENSOR
+    if op.is_memory or op is OpClass.ATOM:
+        return UnitKind.LSU
+    if op is OpClass.MUFU:
+        return UnitKind.SFU
+    if op.dtype is DType.FP64:
+        return UnitKind.FP64
+    if op.dtype is DType.INT32 or op.category is OpCategory.INT:
+        return UnitKind.FP32 if arch == "kepler" else UnitKind.INT32
+    # FP16/FP32 arithmetic, plus register-file-adjacent misc ops
+    return UnitKind.FP32 if op.dtype is not None else UnitKind.CONTROL
+
+
+#: Number of lane-operations per SM per cycle for each unit, by architecture.
+#: Kepler SMX: 192 CUDA cores, 64 DP units; Volta SM: 64 FP32 + 64 INT32 +
+#: 32 FP64 cores + 8 tensor cores (paper §III-A).
+def unit_throughput(unit: UnitKind, architecture: str) -> float:
+    arch = architecture.lower()
+    table = {
+        "kepler": {
+            UnitKind.FP32: 192.0,
+            UnitKind.FP64: 64.0,
+            UnitKind.INT32: 160.0,  # unused on kepler (INT maps to FP32)
+            UnitKind.TENSOR: 0.0,
+            UnitKind.SFU: 32.0,
+            UnitKind.LSU: 32.0,
+            UnitKind.CONTROL: 128.0,
+        },
+        "volta": {
+            UnitKind.FP32: 64.0,
+            UnitKind.FP64: 32.0,
+            UnitKind.INT32: 64.0,
+            UnitKind.TENSOR: 8.0,
+            UnitKind.SFU: 16.0,
+            UnitKind.LSU: 32.0,
+            UnitKind.CONTROL: 64.0,
+        },
+    }
+    try:
+        return table[arch][unit]
+    except KeyError as exc:
+        raise ValueError(f"no throughput entry for {unit} on {architecture}") from exc

@@ -1,0 +1,123 @@
+"""CUDA-style occupancy calculator.
+
+Achieved occupancy — the fraction of the SM's warp slots holding active
+warps, averaged over the kernel — is one of the two profiling metrics the
+paper folds into its FIT prediction (Eq. 4: φ = occupancy × IPC, §IV-B).
+
+Theoretical occupancy is limited by whichever per-SM resource runs out
+first: warp slots, blocks, registers or shared memory.  Achieved occupancy
+is then degraded by how much work the launch actually supplies (grids too
+small to fill the device, tail effects, wavefront phases) — the workload
+reports that as an ``activity_factor`` derived from its execution trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.devices import DeviceSpec
+from repro.common.errors import ConfigurationError
+
+#: Register allocation granularity (registers are allocated to warps in
+#: chunks on real hardware).
+_REG_ALLOC_UNIT = 256
+#: Shared memory allocation granularity (bytes).
+_SMEM_ALLOC_UNIT = 256
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Full breakdown of an occupancy computation."""
+
+    warps_per_block: int
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    limiter: str                 # "warps" | "blocks" | "registers" | "shared" | "grid"
+    theoretical: float           # active warps / max warps
+    achieved: float              # theoretical × activity factor
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theoretical <= 1.0:
+            raise ConfigurationError(f"theoretical occupancy {self.theoretical} out of range")
+        if not 0.0 <= self.achieved <= 1.0 + 1e-9:
+            raise ConfigurationError(f"achieved occupancy {self.achieved} out of range")
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int,
+    grid_blocks: int,
+    activity_factor: float = 1.0,
+) -> OccupancyResult:
+    """Compute theoretical and achieved occupancy for a launch.
+
+    ``activity_factor`` ∈ (0, 1] captures the run-time degradation measured
+    from the execution trace (idle tail, divergence, wavefront phases).
+    """
+    if threads_per_block <= 0 or threads_per_block > device.max_threads_per_block:
+        raise ConfigurationError(
+            f"threads_per_block {threads_per_block} outside (0, {device.max_threads_per_block}]"
+        )
+    if registers_per_thread <= 0:
+        raise ConfigurationError("registers_per_thread must be positive")
+    if registers_per_thread > device.max_registers_per_thread:
+        raise ConfigurationError(
+            f"registers_per_thread {registers_per_thread} exceeds device limit "
+            f"{device.max_registers_per_thread}"
+        )
+    if shared_bytes_per_block < 0:
+        raise ConfigurationError("shared memory cannot be negative")
+    if shared_bytes_per_block > device.shared_memory_per_sm:
+        raise ConfigurationError(
+            f"block shared memory {shared_bytes_per_block} exceeds per-SM capacity "
+            f"{device.shared_memory_per_sm}"
+        )
+    if grid_blocks <= 0:
+        raise ConfigurationError("grid must contain at least one block")
+    if not 0.0 < activity_factor <= 1.0:
+        raise ConfigurationError("activity_factor must be in (0, 1]")
+
+    warps_per_block = math.ceil(threads_per_block / device.warp_size)
+
+    limits = {
+        "warps": device.max_warps_per_sm // warps_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    regs_per_block = _round_up(registers_per_thread * warps_per_block * device.warp_size, _REG_ALLOC_UNIT)
+    limits["registers"] = device.registers_per_sm // regs_per_block if regs_per_block else limits["warps"]
+    if shared_bytes_per_block > 0:
+        smem = _round_up(shared_bytes_per_block, _SMEM_ALLOC_UNIT)
+        limits["shared"] = device.shared_memory_per_sm // smem
+    else:
+        limits["shared"] = limits["warps"]
+
+    limiter, blocks_per_sm = min(limits.items(), key=lambda kv: kv[1])
+    if blocks_per_sm == 0:
+        raise ConfigurationError(
+            f"launch cannot fit a single block per SM (limited by {limiter})"
+        )
+
+    # A grid smaller than one full wave leaves SMs idle.
+    avg_blocks_resident = min(blocks_per_sm, grid_blocks / device.sm_count)
+    if avg_blocks_resident < blocks_per_sm:
+        limiter = "grid"
+
+    active_warps = avg_blocks_resident * warps_per_block
+    theoretical = min(1.0, blocks_per_sm * warps_per_block / device.max_warps_per_sm)
+    achieved = min(1.0, (active_warps / device.max_warps_per_sm) * activity_factor)
+
+    return OccupancyResult(
+        warps_per_block=warps_per_block,
+        blocks_per_sm=int(blocks_per_sm),
+        active_warps_per_sm=int(round(active_warps)),
+        limiter=limiter,
+        theoretical=theoretical,
+        achieved=achieved,
+    )

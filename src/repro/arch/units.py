@@ -1,0 +1,70 @@
+"""Functional-unit taxonomy.
+
+``UnitKind`` names every class of hardware resource a neutron can strike in
+our model.  The first group are the *architecturally visible* units —
+instruction outputs computed there can be injected by SASSIFI/NVBitFI-style
+tools.  The second group are the paper's "hidden resources" (§VII-B):
+scheduler, instruction pipeline, memory controller, host interface.  Faults
+there overwhelmingly cause DUEs and are reachable only by the beam engine,
+never by the injectors — that asymmetry is the mechanism behind the paper's
+orders-of-magnitude DUE under-prediction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class UnitKind(enum.Enum):
+    # -- architecturally visible units (injectable) --------------------------
+    FP32 = "fp32_core"        # CUDA core: FP32 (and FP16 on Volta; INT on Kepler)
+    FP64 = "fp64_core"
+    INT32 = "int32_core"      # Volta-only dedicated integer cores
+    TENSOR = "tensor_core"
+    SFU = "sfu"               # special function unit (transcendentals)
+    LSU = "lsu"               # load/store unit (address datapath)
+    CONTROL = "control"       # predicate/branch/misc datapath
+    # -- storage -------------------------------------------------------------
+    REGISTER_FILE = "register_file"
+    SHARED_MEMORY = "shared_memory"
+    L2_CACHE = "l2_cache"
+    DEVICE_MEMORY = "device_memory"
+    # -- hidden resources (beam-only, not injectable) -------------------------
+    SCHEDULER = "scheduler"           # warp schedulers / dispatch queues
+    INSTRUCTION_PIPELINE = "ipipe"    # fetch/decode/icache
+    MEMORY_CONTROLLER = "memctl"
+    HOST_INTERFACE = "host_if"        # PCIe / copy engines / sync logic
+
+    @property
+    def is_storage(self) -> bool:
+        return self in (
+            UnitKind.REGISTER_FILE,
+            UnitKind.SHARED_MEMORY,
+            UnitKind.L2_CACHE,
+            UnitKind.DEVICE_MEMORY,
+        )
+
+    @property
+    def is_hidden(self) -> bool:
+        """True for resources no architecture-level injector can reach."""
+        return self in (
+            UnitKind.SCHEDULER,
+            UnitKind.INSTRUCTION_PIPELINE,
+            UnitKind.MEMORY_CONTROLLER,
+            UnitKind.HOST_INTERFACE,
+        )
+
+    @property
+    def is_functional_unit(self) -> bool:
+        return self in (
+            UnitKind.FP32,
+            UnitKind.FP64,
+            UnitKind.INT32,
+            UnitKind.TENSOR,
+            UnitKind.SFU,
+            UnitKind.LSU,
+            UnitKind.CONTROL,
+        )
+
+    def __repr__(self) -> str:
+        return f"UnitKind.{self.name}"

@@ -1,0 +1,41 @@
+"""Monte Carlo neutron-beam experiments over the simulated GPUs.
+
+This package substitutes for ChipIR/LANSCE beam time (DESIGN.md §2): fault
+arrivals are a Poisson process over the device's exposed resources, every
+architecturally visible fault is injected mechanistically into a
+re-execution of the workload, ECC-protected storage short-circuits through
+the SECDED model, and hidden resources — the ones no injector can reach —
+draw from calibrated outcome mixtures.  FIT rates are computed exactly as
+at a beam: observed errors divided by accumulated fluence, with 95% Poisson
+confidence intervals, under the single-fault-per-execution discipline.
+"""
+
+from repro.beam.cross_sections import (
+    CrossSectionCatalog,
+    HiddenOutcomeModel,
+    KEPLER_CATALOG,
+    VOLTA_CATALOG,
+    catalog_for,
+)
+from repro.beam.engine import BeamEngine
+from repro.beam.experiment import BeamExperiment, BeamResult, ResourceTally
+from repro.beam.exposure import ExposureProfile, compute_exposure
+from repro.beam.facility import CHIPIR, LANSCE, Facility, single_fault_regime_ok
+
+__all__ = [
+    "CrossSectionCatalog",
+    "HiddenOutcomeModel",
+    "KEPLER_CATALOG",
+    "VOLTA_CATALOG",
+    "catalog_for",
+    "BeamEngine",
+    "BeamExperiment",
+    "BeamResult",
+    "ResourceTally",
+    "ExposureProfile",
+    "compute_exposure",
+    "CHIPIR",
+    "LANSCE",
+    "Facility",
+    "single_fault_regime_ok",
+]

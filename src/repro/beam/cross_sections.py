@@ -1,0 +1,189 @@
+"""Per-resource neutron cross-section catalog.
+
+The paper cannot publish absolute silicon sensitivities (its Figure 3/5
+values are normalized "a.u."), and we cannot measure them without a beam —
+so this catalog is the one *calibrated* input of the reproduction
+(DESIGN.md §2).  Values are chosen to reproduce the paper's published
+**ratios**:
+
+* Kepler executes INT on the FP32 datapath with poor efficiency → INT ops
+  ≈ 4× the FP32 cross-section; IMUL ≈ 1.3× IADD; IMAD > IMUL (§V-B);
+* Volta has dedicated INT32 cores → INT ≈ FP32 class sensitivities;
+* sensitivity grows with precision (HADD < FADD < DADD, ...);
+* tensor-core MMA ≈ 12× DFMA, the hottest scalar unit (§V-B);
+* Kepler's 28 nm planar RF is ~10× more sensitive per bit than Volta's
+  16 nm FinFET RF (§V-B, [29]);
+* hidden resources (scheduler, instruction pipeline, memory controller,
+  host interface) carry enough cross-section that code-level DUEs are
+  dominated by faults the injectors cannot reach (§VII-B).
+
+Everything downstream — micro-benchmark FITs, code FITs, prediction ratios
+— is *measured* by running the Monte Carlo beam over these sensitivities,
+never copied from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.isa import OpClass
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+
+#: base unit for functional-unit cross-sections, cm² per in-flight lane-op
+OP_SIGMA_UNIT = 2.0e-14
+#: base unit for storage cross-sections, cm² per bit — sized so a fully
+#: exposed Kepler register file (≈4 MB) measures ~30× the FIT of a fully
+#: busy FP32 pipeline, the Figure 3 RF/MB-to-FADD proportion
+BIT_SIGMA_UNIT = 4.5e-17
+#: base unit for hidden-resource cross-sections, cm² per active instance
+HIDDEN_SIGMA_UNIT = 1.0e-12
+
+#: Fraction of LSU strikes that corrupt the *address* datapath rather than
+#: the staged data value (drives the LDST micro-benchmark's DUE dominance:
+#: the address path — AGU + tag logic — dominates the LSU area).
+LSU_ADDRESS_FRACTION = 0.75
+
+
+@dataclass(frozen=True)
+class HiddenOutcomeModel:
+    """Outcome mixture for a fault in a non-injectable resource.
+
+    Per-lane re-simulation is impossible for faults in the scheduler or
+    host interface, so their outcome is drawn from a mixture — the one
+    modeled (non-mechanistic) element of the beam engine, and exactly the
+    class of faults the paper says injectors cannot see (§VII-B).
+    """
+
+    p_due: float
+    p_sdc: float
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.p_due and 0 <= self.p_sdc and self.p_due + self.p_sdc <= 1.0):
+            raise ConfigurationError("hidden outcome probabilities must form a sub-distribution")
+
+    @property
+    def p_masked(self) -> float:
+        return 1.0 - self.p_due - self.p_sdc
+
+
+@dataclass(frozen=True)
+class CrossSectionCatalog:
+    """All calibrated sensitivities for one architecture."""
+
+    architecture: str
+    #: cm² per in-flight lane-operation, per instruction class
+    op_sigma: Mapping[OpClass, float]
+    #: cm² per bit, per storage structure
+    bit_sigma: Mapping[UnitKind, float]
+    #: cm² per active instance (SM for scheduler/ipipe, device for host_if)
+    hidden_sigma: Mapping[UnitKind, float]
+    hidden_outcomes: Mapping[UnitKind, HiddenOutcomeModel]
+    lsu_address_fraction: float = LSU_ADDRESS_FRACTION
+
+    def sigma_for_op(self, op: OpClass) -> float:
+        try:
+            return self.op_sigma[op]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no cross-section for {op} on {self.architecture}"
+            ) from exc
+
+
+def _ops(scale: float, table: Dict[OpClass, float]) -> Dict[OpClass, float]:
+    return {op: v * scale for op, v in table.items()}
+
+
+_KEPLER_OPS = _ops(OP_SIGMA_UNIT, {
+    # FP32 datapath
+    OpClass.FADD: 4.0, OpClass.FMUL: 4.6, OpClass.FFMA: 5.6,
+    # FP64 units
+    OpClass.DADD: 6.0, OpClass.DMUL: 7.0, OpClass.DFMA: 8.0,
+    # integers share the FP32 cores, inefficiently (≈4× the FP32 class)
+    OpClass.IADD: 16.0, OpClass.IMUL: 21.0, OpClass.IMAD: 23.0,
+    OpClass.LOP: 14.0, OpClass.SHF: 14.0, OpClass.IMNMX: 15.0,
+    # control / conversion datapath
+    OpClass.MOV: 2.5, OpClass.SETP: 2.5, OpClass.SEL: 2.8, OpClass.CVT: 3.5,
+    OpClass.BRA: 2.5, OpClass.BAR: 2.0, OpClass.NOP: 0.3,
+    OpClass.MUFU: 8.0, OpClass.ATOM: 8.0,
+    # LSU datapath (address + staged data)
+    OpClass.LDG: 6.0, OpClass.STG: 6.0, OpClass.LDS: 4.0, OpClass.STS: 4.0,
+    # no tensor cores on Kepler
+    OpClass.HADD: 0.0, OpClass.HMUL: 0.0, OpClass.HFMA: 0.0,
+    OpClass.HMMA: 0.0, OpClass.FMMA: 0.0,
+})
+
+_VOLTA_OPS = _ops(OP_SIGMA_UNIT, {
+    # mixed-precision cores: sensitivity grows with precision; per-op σ for
+    # FP64 and tensor cores also absorbs their larger datapath area, since
+    # the device has fewer of those units in flight (32 FP64 and 8 tensor
+    # cores per SM vs 64 FP32 lanes)
+    OpClass.HADD: 2.0, OpClass.HMUL: 2.4, OpClass.HFMA: 3.0,
+    OpClass.FADD: 3.4, OpClass.FMUL: 4.0, OpClass.FFMA: 5.0,
+    OpClass.DADD: 12.0, OpClass.DMUL: 14.0, OpClass.DFMA: 16.0,
+    # dedicated INT32 cores: comparable to the FP32 class
+    OpClass.IADD: 3.6, OpClass.IMUL: 4.6, OpClass.IMAD: 5.2,
+    OpClass.LOP: 3.2, OpClass.SHF: 3.2, OpClass.IMNMX: 3.6,
+    # tensor cores: one in-flight MMA occupies a unit the size of dozens of
+    # scalar FMAs; calibrated so the MMA micro-benchmarks land ≈12× DFMA
+    OpClass.HMMA: 325.0, OpClass.FMMA: 325.0,
+    OpClass.MOV: 1.8, OpClass.SETP: 1.8, OpClass.SEL: 2.0, OpClass.CVT: 2.6,
+    OpClass.BRA: 1.8, OpClass.BAR: 1.5, OpClass.NOP: 0.2,
+    OpClass.MUFU: 5.5, OpClass.ATOM: 6.0,
+    OpClass.LDG: 4.5, OpClass.STG: 4.5, OpClass.LDS: 3.0, OpClass.STS: 3.0,
+})
+
+#: Kepler 28 nm planar SRAM ≈ 10× the per-bit sensitivity of Volta 16 nm FinFET
+_KEPLER_BITS = {
+    UnitKind.REGISTER_FILE: 30.0 * BIT_SIGMA_UNIT,
+    UnitKind.SHARED_MEMORY: 30.0 * BIT_SIGMA_UNIT,
+    UnitKind.L2_CACHE: 24.0 * BIT_SIGMA_UNIT,
+    UnitKind.DEVICE_MEMORY: 3.6 * BIT_SIGMA_UNIT,
+}
+_VOLTA_BITS = {
+    UnitKind.REGISTER_FILE: 3.0 * BIT_SIGMA_UNIT,
+    UnitKind.SHARED_MEMORY: 3.0 * BIT_SIGMA_UNIT,
+    UnitKind.L2_CACHE: 2.4 * BIT_SIGMA_UNIT,
+    UnitKind.DEVICE_MEMORY: 1.5 * BIT_SIGMA_UNIT,
+}
+
+_HIDDEN_SIGMA = {
+    UnitKind.SCHEDULER: 1.1 * HIDDEN_SIGMA_UNIT,          # per busy SM
+    UnitKind.INSTRUCTION_PIPELINE: 0.8 * HIDDEN_SIGMA_UNIT,
+    UnitKind.MEMORY_CONTROLLER: 0.6 * HIDDEN_SIGMA_UNIT,
+    UnitKind.HOST_INTERFACE: 1.5 * HIDDEN_SIGMA_UNIT,     # per device
+}
+
+_HIDDEN_OUTCOMES = {
+    UnitKind.SCHEDULER: HiddenOutcomeModel(p_due=0.70, p_sdc=0.12),
+    UnitKind.INSTRUCTION_PIPELINE: HiddenOutcomeModel(p_due=0.65, p_sdc=0.12),
+    UnitKind.MEMORY_CONTROLLER: HiddenOutcomeModel(p_due=0.55, p_sdc=0.18),
+    UnitKind.HOST_INTERFACE: HiddenOutcomeModel(p_due=0.90, p_sdc=0.03),
+}
+
+KEPLER_CATALOG = CrossSectionCatalog(
+    architecture="kepler",
+    op_sigma=_KEPLER_OPS,
+    bit_sigma=_KEPLER_BITS,
+    hidden_sigma=dict(_HIDDEN_SIGMA),
+    hidden_outcomes=dict(_HIDDEN_OUTCOMES),
+)
+
+VOLTA_CATALOG = CrossSectionCatalog(
+    architecture="volta",
+    op_sigma=_VOLTA_OPS,
+    bit_sigma=_VOLTA_BITS,
+    # FinFET logic is a little less sensitive; keep the same structure
+    hidden_sigma={k: 0.6 * v for k, v in _HIDDEN_SIGMA.items()},
+    hidden_outcomes=dict(_HIDDEN_OUTCOMES),
+)
+
+
+def catalog_for(device: DeviceSpec) -> CrossSectionCatalog:
+    if device.architecture == "kepler":
+        return KEPLER_CATALOG
+    if device.architecture == "volta":
+        return VOLTA_CATALOG
+    raise ConfigurationError(f"no catalog for architecture {device.architecture!r}")

@@ -1,0 +1,154 @@
+"""Beam outcome engine: classify one sampled particle strike.
+
+Faults in *architecturally visible* resources are evaluated mechanistically
+— the fault is injected into a re-execution of the workload, using exactly
+the machinery the injectors use, and the run's outcome is observed.  Faults
+in *storage under ECC* short-circuit analytically (corrected, or a detected
+uncorrectable → DUE), and faults in *hidden* resources draw from the
+catalog's outcome mixtures (the one modeled element; see DESIGN.md §5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.ecc import EccMode, EccOutcome, SecdedModel
+from repro.arch.isa import OpClass
+from repro.arch.units import UnitKind
+from repro.beam.cross_sections import CrossSectionCatalog
+from repro.common.errors import ConfigurationError
+from repro.faultsim.outcomes import Outcome
+from repro.sim.exceptions import GpuDeviceException
+from repro.sim.injection import (
+    FaultModel,
+    InjectionMode,
+    InjectionPlan,
+    StorageStrike,
+    opclass_stream,
+)
+from repro.sim.launch import KernelRun, run_kernel
+from repro.workloads.base import CompareResult, Workload
+
+#: watchdog budget relative to the golden run, like the injection campaigns
+WATCHDOG_FACTOR = 8.0
+
+_ADDRESSABLE = (OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS)
+
+
+class BeamEngine:
+    """Evaluates strike outcomes for one (device, workload, ECC) setup."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        workload: Workload,
+        catalog: CrossSectionCatalog,
+        ecc: EccMode,
+        backend: str = "cuda10",
+    ) -> None:
+        self.device = device
+        self.workload = workload
+        self.catalog = catalog
+        self.ecc = ecc
+        self.backend = backend
+        self.secded = SecdedModel(mode=ecc)
+        self._golden: Optional[KernelRun] = None
+
+    @property
+    def golden(self) -> KernelRun:
+        if self._golden is None:
+            self._golden = run_kernel(
+                self.device,
+                self.workload.kernel,
+                self.workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.backend,
+            )
+        return self._golden
+
+    # -- shared plumbing ----------------------------------------------------------
+    def _run_with(self, plan=None, strikes=()) -> Outcome:
+        golden = self.golden
+        try:
+            run = run_kernel(
+                self.device,
+                self.workload.kernel,
+                self.workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.backend,
+                plan=plan,
+                strikes=strikes,
+                watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
+            )
+        except GpuDeviceException:
+            return Outcome.DUE
+        compare = self.workload.compare(golden.outputs, run.outputs)
+        return Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
+
+    # -- strike evaluators ------------------------------------------------------------
+    def evaluate_op_fault(self, op: OpClass, rng: np.random.Generator) -> Outcome:
+        """A strike on a functional-unit datapath while ``op`` is in flight."""
+        instances = self.golden.trace.instances.get(op, 0)
+        if instances <= 0:
+            raise ConfigurationError(f"{self.workload.name} never executes {op}")
+        target = int(rng.integers(0, int(instances)))
+        mode = InjectionMode.OUTPUT_VALUE
+        if op in _ADDRESSABLE and rng.random() < self.catalog.lsu_address_fraction:
+            mode = InjectionMode.ADDRESS
+        plan = InjectionPlan(
+            mode=mode,
+            stream=opclass_stream(op),
+            target_index=target,
+            fault_model=FaultModel.SINGLE_BIT,
+            rng=rng,
+        )
+        return self._run_with(plan=plan)
+
+    def evaluate_storage_fault(self, unit: UnitKind, rng: np.random.Generator) -> Outcome:
+        """A strike on a storage bit (RF / shared / device memory)."""
+        if not unit.is_storage:
+            raise ConfigurationError(f"{unit} is not storage")
+        if self.ecc is EccMode.ON:
+            # analytic short-circuit: SECDED corrects single-bit upsets and
+            # escalates the MBU fraction to a driver-level DUE
+            outcome = self.secded.strike(rng)
+            if outcome is EccOutcome.DETECTED_DUE:
+                return Outcome.DUE
+            return Outcome.MASKED
+        space = {
+            UnitKind.REGISTER_FILE: "rf",
+            UnitKind.SHARED_MEMORY: "shared",
+            UnitKind.DEVICE_MEMORY: "global",
+            UnitKind.L2_CACHE: "global",
+        }[unit]
+        tick = float(rng.integers(0, max(1, int(self.golden.ticks))))
+        strike = StorageStrike(tick=tick, space=space, rng=rng)
+        return self._run_with(strikes=(strike,))
+
+    def evaluate_hidden_fault(self, unit: UnitKind, rng: np.random.Generator) -> Outcome:
+        """A strike on a resource no injector can reach: outcome mixture."""
+        if not unit.is_hidden:
+            raise ConfigurationError(f"{unit} is not a hidden resource")
+        model = self.catalog.hidden_outcomes[unit]
+        draw = rng.random()
+        if draw < model.p_due:
+            return Outcome.DUE
+        if draw < model.p_due + model.p_sdc:
+            return Outcome.SDC
+        return Outcome.MASKED
+
+    # -- resource dispatch ----------------------------------------------------------------
+    def evaluate(self, resource: str, rng: np.random.Generator) -> Outcome:
+        """Evaluate by flat resource key ("op:FFMA", "mem:register_file",
+        "hidden:scheduler")."""
+        kind, _, name = resource.partition(":")
+        if kind == "op":
+            return self.evaluate_op_fault(OpClass[name], rng)
+        if kind == "mem":
+            return self.evaluate_storage_fault(UnitKind(name), rng)
+        if kind == "hidden":
+            return self.evaluate_hidden_fault(UnitKind(name), rng)
+        raise ConfigurationError(f"unknown resource key {resource!r}")

@@ -1,0 +1,219 @@
+"""Beam experiment protocol: fluence accounting, fault sampling, FIT rates.
+
+Mirrors the paper's §III-C methodology:
+
+1. a workload is exposed for a number of *beam hours* under an accelerated
+   flux (ChipIR by default);
+2. fault arrivals per resource follow a Poisson process with rate
+   Φ × Σ_eff(resource) (see :mod:`repro.beam.exposure`);
+3. every sampled fault is classified by the :class:`BeamEngine`;
+4. FIT = errors / fluence, scaled to the natural terrestrial flux, with
+   95% Poisson confidence intervals;
+5. the experiment reports whether the single-fault regime (<1 error per
+   1,000 executions) held.
+
+``mode="expected"`` replaces the Poisson draw with a stratified
+expected-value estimate (deterministic per seed, cheaper), used by the
+benchmark harness; ``mode="montecarlo"`` is the faithful protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.ecc import EccMode
+from repro.beam.cross_sections import CrossSectionCatalog, catalog_for
+from repro.beam.engine import BeamEngine
+from repro.beam.exposure import ExposureProfile, compute_exposure
+from repro.beam.facility import CHIPIR, Facility, single_fault_regime_ok
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngFactory
+from repro.common.stats import Estimate, poisson_rate_estimate
+from repro.common.units import FIT_SCALE_HOURS, TERRESTRIAL_FLUX_N_CM2_H
+from repro.faultsim.outcomes import Outcome
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ResourceTally:
+    """Fault counts for one resource."""
+
+    faults: float = 0.0
+    sdc: float = 0.0
+    due: float = 0.0
+
+
+@dataclass
+class BeamResult:
+    """Outcome of one beam experiment on one code."""
+
+    workload: str
+    device: str
+    ecc: EccMode
+    beam_hours: float
+    fluence_n_cm2: float
+    fit_sdc: Estimate
+    fit_due: Estimate
+    tallies: Dict[str, ResourceTally] = field(default_factory=dict)
+    exec_seconds: float = 0.0
+    single_fault_regime: bool = True
+
+    @property
+    def errors(self) -> float:
+        return sum(t.sdc + t.due for t in self.tallies.values())
+
+    def breakdown(self, outcome: Outcome) -> Dict[str, float]:
+        """Per-resource share of the SDC or DUE count."""
+        key = "sdc" if outcome is Outcome.SDC else "due"
+        total = sum(getattr(t, key) for t in self.tallies.values())
+        if total == 0:
+            return {}
+        return {
+            name: getattr(t, key) / total
+            for name, t in self.tallies.items()
+            if getattr(t, key) > 0
+        }
+
+
+def _fit_estimate(errors: float, fluence: float) -> Estimate:
+    """FIT (failures / 10⁹ h at natural flux) with its Poisson interval."""
+    scale = TERRESTRIAL_FLUX_N_CM2_H * FIT_SCALE_HOURS
+    return poisson_rate_estimate(errors, fluence).scaled(scale)
+
+
+class BeamExperiment:
+    """Runs accelerated-beam campaigns for one device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        facility: Facility = CHIPIR,
+        catalog: Optional[CrossSectionCatalog] = None,
+        rngs: Optional[RngFactory] = None,
+    ) -> None:
+        self.device = device
+        self.facility = facility
+        self.catalog = catalog if catalog is not None else catalog_for(device)
+        self.rngs = rngs if rngs is not None else RngFactory(0)
+
+    def exposure(self, workload: Workload, ecc: EccMode) -> Tuple[BeamEngine, ExposureProfile]:
+        engine = BeamEngine(self.device, workload, self.catalog, ecc)
+        profile = compute_exposure(self.device, workload, engine.golden, self.catalog)
+        return engine, profile
+
+    @staticmethod
+    def _analytic_probabilities(
+        engine: BeamEngine, resource: str, ecc: EccMode
+    ) -> Optional[Tuple[float, float]]:
+        """(p_sdc, p_due) for resources whose outcome distribution is exact:
+        ECC-protected storage (SECDED corrects all but the MBU fraction) and
+        hidden resources (the catalog mixtures).  Mechanistic resources
+        return None and are sampled by re-execution."""
+        kind, _, name = resource.partition(":")
+        if kind == "mem" and ecc is EccMode.ON:
+            return 0.0, engine.secded.mbu_probability
+        if kind == "hidden":
+            from repro.arch.units import UnitKind
+
+            model = engine.catalog.hidden_outcomes[UnitKind(name)]
+            return model.p_sdc, model.p_due
+        return None
+
+    def run(
+        self,
+        workload: Workload,
+        ecc: EccMode = EccMode.ON,
+        beam_hours: float = 72.0,
+        mode: str = "montecarlo",
+        max_fault_evals: int = 400,
+        min_evals_per_resource: int = 4,
+    ) -> BeamResult:
+        """Expose one code for ``beam_hours`` and measure its FIT rates.
+
+        ``max_fault_evals`` caps the number of mechanistic re-executions; a
+        larger Poisson draw is thinned and re-weighted, preserving the
+        expected counts (documented coverage cap).
+        """
+        if beam_hours <= 0:
+            raise ConfigurationError("beam_hours must be positive")
+        if mode not in ("montecarlo", "expected"):
+            raise ConfigurationError(f"unknown beam mode {mode!r}")
+        if ecc is EccMode.ON and not self.device.ecc_capable:
+            raise ConfigurationError(
+                f"{self.device.name} cannot enable ECC (e.g. Titan V lacks DRAM ECC)"
+            )
+        engine, profile = self.exposure(workload, ecc)
+        fluence = self.facility.fluence(beam_hours).n_per_cm2
+        rng = self.rngs.stream("beam", self.device.name, workload.name, ecc.value, mode)
+
+        sigma_eff = profile.as_rates()
+        tallies: Dict[str, ResourceTally] = {}
+
+        if mode == "montecarlo":
+            expected = {r: fluence * s for r, s in sigma_eff.items()}
+            drawn = {r: int(rng.poisson(e)) for r, e in expected.items()}
+            total_drawn = sum(drawn.values())
+            thin = min(1.0, max_fault_evals / total_drawn) if total_drawn else 1.0
+            for resource, n in drawn.items():
+                tally = ResourceTally(faults=float(n))
+                n_eval = int(np.ceil(n * thin))
+                weight = (n / n_eval) if n_eval else 0.0
+                for _ in range(n_eval):
+                    outcome = engine.evaluate(resource, rng)
+                    if outcome is Outcome.SDC:
+                        tally.sdc += weight
+                    elif outcome is Outcome.DUE:
+                        tally.due += weight
+                tallies[resource] = tally
+        else:  # expected-value mode: stratified AVF per resource
+            # resources with exact outcome distributions cost nothing; the
+            # mechanistic evaluation budget is shared only among the rest
+            mechanistic: Dict[str, float] = {}
+            for resource, sigma in sigma_eff.items():
+                expected_faults = fluence * sigma
+                analytic = self._analytic_probabilities(engine, resource, ecc)
+                if analytic is not None:
+                    p_sdc, p_due = analytic
+                    tallies[resource] = ResourceTally(
+                        faults=expected_faults,
+                        sdc=expected_faults * p_sdc,
+                        due=expected_faults * p_due,
+                    )
+                else:
+                    mechanistic[resource] = sigma
+            mech_sigma = sum(mechanistic.values())
+            for resource, sigma in sorted(mechanistic.items(), key=lambda kv: -kv[1]):
+                expected_faults = fluence * sigma
+                share = sigma / mech_sigma if mech_sigma else 0.0
+                n_eval = max(min_evals_per_resource, int(round(max_fault_evals * share)))
+                hits = {Outcome.SDC: 0, Outcome.DUE: 0, Outcome.MASKED: 0}
+                for _ in range(n_eval):
+                    hits[engine.evaluate(resource, rng)] += 1
+                tallies[resource] = ResourceTally(
+                    faults=expected_faults,
+                    sdc=expected_faults * hits[Outcome.SDC] / n_eval,
+                    due=expected_faults * hits[Outcome.DUE] / n_eval,
+                )
+
+        sdc_count = sum(t.sdc for t in tallies.values())
+        due_count = sum(t.due for t in tallies.values())
+
+        executions = beam_hours * 3600.0 / max(profile.exec_seconds, 1e-12)
+        regime_ok = single_fault_regime_ok(sdc_count + due_count, executions)
+
+        return BeamResult(
+            workload=workload.name,
+            device=self.device.name,
+            ecc=ecc,
+            beam_hours=beam_hours,
+            fluence_n_cm2=fluence,
+            fit_sdc=_fit_estimate(sdc_count, fluence),
+            fit_due=_fit_estimate(due_count, fluence),
+            tallies=tallies,
+            exec_seconds=profile.exec_seconds,
+            single_fault_regime=regime_ok,
+        )

@@ -1,0 +1,45 @@
+"""Shared infrastructure: units, statistics, RNG streams, table rendering.
+
+Everything in this package is dependency-free (NumPy only) and is used by
+every other subsystem: the architecture model, the simulator, the fault
+injectors, the beam engine and the prediction model.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    InjectionError,
+)
+from repro.common.rng import RngFactory, substream
+from repro.common.units import (
+    FIT_SCALE_HOURS,
+    TERRESTRIAL_FLUX_N_CM2_H,
+    Fluence,
+    fit_from_counts,
+    fit_to_mtbf_hours,
+)
+from repro.common.stats import (
+    poisson_ci,
+    ratio,
+    signed_ratio,
+    wilson_ci,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "InjectionError",
+    "RngFactory",
+    "substream",
+    "FIT_SCALE_HOURS",
+    "TERRESTRIAL_FLUX_N_CM2_H",
+    "Fluence",
+    "fit_from_counts",
+    "fit_to_mtbf_hours",
+    "poisson_ci",
+    "wilson_ci",
+    "ratio",
+    "signed_ratio",
+]

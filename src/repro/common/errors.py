@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+Two families matter:
+
+* :class:`ReproError` — programming / configuration mistakes in *our* code
+  or in user code driving the library.  These propagate normally.
+* :class:`GpuDeviceException` (in :mod:`repro.sim.exceptions`) — *simulated*
+  hardware/driver events (illegal address, ECC double-bit detection, watchdog
+  timeout...).  Those are part of the modeled system: the fault-injection and
+  beam engines catch them and classify the run as a DUE, mirroring how the
+  paper's setup watches for CUDA API errors and system hangs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library itself."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, device or kernel was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The functional simulator reached a state that indicates a bug in a
+    kernel implementation (not a simulated hardware fault)."""
+
+
+class InjectionError(ReproError):
+    """A fault-injection campaign was set up incorrectly (e.g. targeting an
+    instruction class the workload never executes)."""

@@ -1,0 +1,128 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment runner (Table I, Figures 1/3/4/5/6, the DUE table) emits its
+result both as a list of row dicts (machine-readable, used by tests and by
+EXPERIMENTS.md generation) and as an aligned ASCII table via this module.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def format_value(value: object, float_fmt: str = "{:.3g}") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render a list of row-dicts as an aligned ASCII table."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    if not columns:
+        raise ValueError("cannot render a table with no columns")
+
+    header = list(columns)
+    body = [[format_value(row.get(col), float_fmt) for col in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip() + "\n")
+    out.write(sep + "\n")
+    for r in body:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def render_csv(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV (no quoting needed for our identifiers/numbers)."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    lines = [",".join(columns)]
+    for row in rows:
+        cells = []
+        for col in columns:
+            text = format_value(row.get(col), "{:.6g}")
+            if "," in text:
+                text = '"' + text.replace('"', '""') + '"'
+            cells.append(text)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    value_fmt: str = "{:.3g}",
+) -> str:
+    """Horizontal ASCII bar chart, used for the figure-style reports."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("cannot chart an empty series")
+    peak = max((abs(v) for v in values), default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_w = max(len(l) for l in labels)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(abs(value) * scale)))
+        out.write(f"{label.ljust(label_w)} | {bar} {value_fmt.format(value)}\n")
+    return out.getvalue()
+
+
+def rows_to_markdown(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(row.get(c)) for c in columns) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    return "".join(prefix + line + "\n" for line in text.splitlines())
+
+
+def unique_preserving(items: Iterable[str]) -> list:
+    """Order-preserving dedup for label lists."""
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

@@ -1,0 +1,90 @@
+"""Units and physical constants used across beam experiments and prediction.
+
+The paper's reliability currency is the FIT (Failure In Time): expected
+failures per 10^9 device-hours of operation under the *natural* terrestrial
+neutron flux.  Beam facilities accelerate that flux by ~8 orders of
+magnitude; converting a beam measurement to a terrestrial FIT therefore only
+requires the accumulated *fluence* (neutrons/cm^2), never the wall-clock time
+(paper, Section III-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Hours in 10^9 device-hours — the FIT normalization constant.
+FIT_SCALE_HOURS: float = 1e9
+
+#: Natural terrestrial neutron flux at sea level (JEDEC JESD89A, paper §III-C),
+#: in neutrons / (cm^2 · hour).
+TERRESTRIAL_FLUX_N_CM2_H: float = 13.0
+
+#: ChipIR / LANSCE accelerated flux used in the paper, neutrons/(cm^2 · s).
+CHIPIR_FLUX_N_CM2_S: float = 3.5e6
+
+#: Acceleration factor of the beam over the natural environment (~8 orders
+#: of magnitude, paper §III-C).
+BEAM_ACCELERATION_FACTOR: float = CHIPIR_FLUX_N_CM2_S * 3600.0 / TERRESTRIAL_FLUX_N_CM2_H
+
+
+@dataclass(frozen=True)
+class Fluence:
+    """Accumulated particle fluence, neutrons/cm^2.
+
+    ``Fluence.from_beam_hours(h)`` builds the fluence accumulated by ``h``
+    hours under the accelerated beam; ``natural_years`` reports the
+    equivalent natural terrestrial exposure (the paper's "13 million years"
+    figure comes from exactly this conversion applied to 1,224 beam hours).
+    """
+
+    n_per_cm2: float
+
+    def __post_init__(self) -> None:
+        if self.n_per_cm2 < 0:
+            raise ValueError(f"fluence must be non-negative, got {self.n_per_cm2}")
+
+    @classmethod
+    def from_beam_hours(cls, hours: float, flux_n_cm2_s: float = CHIPIR_FLUX_N_CM2_S) -> "Fluence":
+        if hours < 0:
+            raise ValueError("beam hours must be non-negative")
+        return cls(n_per_cm2=hours * 3600.0 * flux_n_cm2_s)
+
+    @property
+    def natural_hours(self) -> float:
+        """Natural terrestrial exposure time delivering the same fluence."""
+        return self.n_per_cm2 / TERRESTRIAL_FLUX_N_CM2_H
+
+    @property
+    def natural_years(self) -> float:
+        return self.natural_hours / (24.0 * 365.25)
+
+    def __add__(self, other: "Fluence") -> "Fluence":
+        return Fluence(self.n_per_cm2 + other.n_per_cm2)
+
+
+def cross_section_cm2(errors: float, fluence: Fluence) -> float:
+    """Cross-section = observed errors / fluence (cm^2)."""
+    if fluence.n_per_cm2 <= 0:
+        raise ValueError("cannot compute a cross-section from zero fluence")
+    return errors / fluence.n_per_cm2
+
+
+def fit_from_cross_section(sigma_cm2: float) -> float:
+    """Convert a cross-section (cm^2) to a terrestrial FIT rate.
+
+    FIT = sigma * natural_flux * 1e9  (failures per 10^9 h).
+    """
+    return sigma_cm2 * TERRESTRIAL_FLUX_N_CM2_H * FIT_SCALE_HOURS
+
+
+def fit_from_counts(errors: float, fluence: Fluence) -> float:
+    """FIT rate from an error count and the fluence that produced it."""
+    return fit_from_cross_section(cross_section_cm2(errors, fluence))
+
+
+def fit_to_mtbf_hours(fit: float) -> float:
+    """Mean time between failures (hours) for a given FIT rate."""
+    if fit <= 0:
+        return math.inf
+    return FIT_SCALE_HOURS / fit

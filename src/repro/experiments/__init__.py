@@ -1,0 +1,31 @@
+"""Experiment runners: one per paper artifact.
+
+Every runner regenerates its table/figure from scratch through the full
+pipeline (simulator → profiler / injectors / beam → prediction) and
+returns machine-readable rows plus a rendered text report.
+
+    python -m repro.experiments table1|fig1|fig3|fig4|fig5|fig6|due|all
+"""
+
+from repro.experiments.config import ExperimentConfig, PRESETS
+from repro.experiments.session import ExperimentSession
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.due import run_due
+
+__all__ = [
+    "ExperimentConfig",
+    "PRESETS",
+    "ExperimentSession",
+    "run_table1",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_due",
+]

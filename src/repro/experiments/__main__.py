@@ -1,0 +1,86 @@
+"""CLI entry point: regenerate any paper artifact.
+
+    python -m repro.experiments all --preset quick
+    python -m repro.experiments fig6 --preset full --seed 7 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from dataclasses import replace
+from typing import Optional
+
+from repro.common.tables import render_csv
+from repro.experiments.config import get_preset
+from repro.experiments.session import ExperimentSession
+
+_RUNNERS = {}
+
+
+def _register_runners() -> None:
+    from repro.experiments.due import run_due
+    from repro.experiments.fig1 import run_fig1
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.table1 import run_table1
+
+    _RUNNERS.update(
+        table1=run_table1,
+        fig1=run_fig1,
+        fig3=run_fig3,
+        fig4=run_fig4,
+        fig5=run_fig5,
+        fig6=run_fig6,
+        due=run_due,
+    )
+
+
+def _flatten(rows) -> Optional[list]:
+    """Rows may be a list or an {arch: rows} dict; flatten for CSV."""
+    if isinstance(rows, dict):
+        flat = []
+        for arch, arch_rows in rows.items():
+            for row in arch_rows:
+                flat.append({"arch": arch, **row})
+        return flat
+    return list(rows)
+
+
+def main(argv=None) -> int:
+    _register_runners()
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulated substrate.",
+    )
+    parser.add_argument("experiments", nargs="+", choices=[*_RUNNERS, "all"])
+    parser.add_argument("--preset", default="quick", help="smoke | quick | full | paper")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="also write CSVs here")
+    args = parser.parse_args(argv)
+
+    config = get_preset(args.preset)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    session = ExperimentSession(config)
+
+    names = list(_RUNNERS) if "all" in args.experiments else args.experiments
+    for name in names:
+        started = time.time()
+        rows, report = _RUNNERS[name](session=session)
+        elapsed = time.time() - started
+        print(report)
+        print(f"[{name}] regenerated in {elapsed:.1f}s (preset={args.preset}, seed={config.seed})\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            flat = _flatten(rows)
+            (args.out / f"{name}.csv").write_text(render_csv(flat))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Figure 1: instruction-type percentage per code, Kepler then Volta."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.session import ExperimentSession
+from repro.experiments.table1 import TABLE1_CODES
+
+
+def run_fig1(
+    session: Optional[ExperimentSession] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[Dict[str, List[dict]], str]:
+    """Regenerate Figure 1's per-code instruction mix (percent)."""
+    session = session if session is not None else ExperimentSession(config)
+    rows: Dict[str, List[dict]] = {}
+    chunks: List[str] = []
+    for arch in ("kepler", "volta"):
+        arch_rows = [session.metrics(arch, code).fig1_row() for code in TABLE1_CODES[arch]]
+        rows[arch] = arch_rows
+        chunks.append(
+            render_table(
+                arch_rows,
+                title=f"Figure 1 — instruction type %% per code ({session.device(arch).name})",
+            )
+        )
+    return rows, "\n".join(chunks)

@@ -1,0 +1,71 @@
+"""Figure 3: micro-benchmark SDC/DUE FIT rates, normalized per device.
+
+As in the paper: every micro-benchmark runs with ECC ON except RF (ECC
+OFF), values are normalized to the device's lowest measured rate — FADD's
+DUE on Kepler, HFMA's DUE on Volta — and the RF row is reported per
+megabyte of exposed register file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.ecc import EccMode
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+from repro.common.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.session import ExperimentSession
+from repro.microbench.registry import MICROBENCH_BUILDERS
+
+#: the paper's normalization anchor per device
+NORMALIZATION = {"kepler": "FADD", "volta": "HFMA"}
+
+
+def run_fig3(
+    session: Optional[ExperimentSession] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[Dict[str, List[dict]], str]:
+    """Regenerate Figure 3. RF rows are per-MB; values in a.u."""
+    session = session if session is not None else ExperimentSession(config)
+    rows: Dict[str, List[dict]] = {}
+    chunks: List[str] = []
+    for arch in ("kepler", "volta"):
+        raw: List[Tuple[str, float, float]] = []
+        for name in MICROBENCH_BUILDERS[arch]:
+            ecc = EccMode.OFF if name == "RF" else EccMode.ON
+            result = session.beam(arch, name, ecc, microbench=True)
+            sdc, due = result.fit_sdc.value, result.fit_due.value
+            if name == "RF":
+                # per-MB normalization over the exposed register footprint
+                from repro.microbench.registry import get_microbench
+
+                wl = get_microbench(arch, "RF", seed=session.config.seed)
+                exp = session.beam_experiment(arch)
+                _, profile = exp.exposure(wl, EccMode.OFF)
+                bits = profile.storage_sigma_eff[UnitKind.REGISTER_FILE] / exp.catalog.bit_sigma[
+                    UnitKind.REGISTER_FILE
+                ]
+                mb = bits / (8 * 1024 * 1024)
+                sdc, due = sdc / mb, due / mb
+                name = "RF/MB"
+            raw.append((name, sdc, due))
+        anchor = NORMALIZATION[arch]
+        anchor_due = next(d for n, _, d in raw if n == anchor)
+        if anchor_due <= 0:
+            raise ConfigurationError(f"normalization anchor {anchor} measured zero DUEs")
+        arch_rows = [
+            {"ubench": n, "SDC": s / anchor_due, "DUE": d / anchor_due} for n, s, d in raw
+        ]
+        rows[arch] = arch_rows
+        chunks.append(
+            render_table(
+                arch_rows,
+                title=(
+                    f"Figure 3 — micro-benchmark FITs, {session.device(arch).name} "
+                    f"(a.u., normalized to {anchor} DUE; ECC ON except RF)"
+                ),
+                float_fmt="{:.2f}",
+            )
+        )
+    return rows, "\n".join(chunks)

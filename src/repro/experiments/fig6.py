@@ -1,0 +1,92 @@
+"""Figure 6: SDC FIT measured with the beam vs. predicted from fault
+injection + profiling (Eq. 1–4), as signed ratios.
+
+Panel (a): K40c, SASSIFI and NVBitFI predictions, ECC OFF and ON.
+Panel (b): V100, NVBitFI predictions, ECC OFF and ON.
+Each panel ends with the paper's per-panel Average bar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.ecc import EccMode
+from repro.common.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.session import ExperimentSession
+from repro.predict.compare import ComparisonRow, average_ratio, compare_code
+
+#: per-panel code lists of the paper's Figure 6
+FIG6_CODES: Dict[Tuple[str, str], List[str]] = {
+    ("kepler", "off"): [
+        "FYOLOV3", "FYOLOV2", "FGEMM", "QUICKSORT", "MERGESORT", "NW",
+        "FMXM", "FLAVA", "FHOTSPOT",
+    ],
+    ("kepler", "on"): [
+        "FYOLOV3", "FYOLOV2", "FGEMM", "QUICKSORT", "MERGESORT", "NW",
+        "BFS", "CCL", "FGAUSSIAN", "FLUD", "FMXM", "FLAVA", "FHOTSPOT",
+    ],
+    ("volta", "off"): [
+        "DMXM", "FMXM", "HMXM", "DLAVA", "FLAVA", "HLAVA",
+        "DHOTSPOT", "FHOTSPOT", "HHOTSPOT",
+    ],
+    ("volta", "on"): [
+        "FYOLOV3", "HYOLOV3", "DGEMM", "FGEMM", "FGEMM-MMA", "HGEMM-MMA",
+    ],
+}
+
+#: frameworks per architecture, as in the paper
+FIG6_FRAMEWORKS = {"kepler": ("sassifi", "nvbitfi"), "volta": ("nvbitfi",)}
+
+
+def run_fig6(
+    session: Optional[ExperimentSession] = None,
+    config: Optional[ExperimentConfig] = None,
+    metric: str = "sdc",
+) -> Tuple[List[dict], str]:
+    """Regenerate Figure 6 (or its DUE analogue with metric="due")."""
+    session = session if session is not None else ExperimentSession(config)
+    rows: List[dict] = []
+    for (arch, ecc_name), codes in FIG6_CODES.items():
+        ecc = EccMode.ON if ecc_name == "on" else EccMode.OFF
+        for framework in FIG6_FRAMEWORKS[arch]:
+            panel: List[ComparisonRow] = []
+            for code in codes:
+                beam = session.beam(arch, code, ecc)
+                prediction, note = session.predict(arch, framework, code, ecc)
+                row = compare_code(beam, prediction, framework.upper(), metric=metric)
+                panel.append(row)
+                rows.append(
+                    {
+                        "arch": arch,
+                        "ECC": ecc_name.upper(),
+                        "framework": framework.upper(),
+                        "code": code,
+                        "beam_FIT": row.beam_fit,
+                        "pred_FIT": row.predicted_fit,
+                        "ratio": row.ratio,
+                        "note": note,
+                    }
+                )
+            rows.append(
+                {
+                    "arch": arch,
+                    "ECC": ecc_name.upper(),
+                    "framework": framework.upper(),
+                    "code": "Average",
+                    "beam_FIT": None,
+                    "pred_FIT": None,
+                    "ratio": average_ratio(panel),
+                    "note": "",
+                }
+            )
+    report = render_table(
+        rows,
+        columns=["arch", "ECC", "framework", "code", "beam_FIT", "pred_FIT", "ratio", "note"],
+        title=(
+            f"Figure 6 — fault simulation vs beam {metric.upper()} ratio "
+            "(positive: beam higher; negative: prediction higher)"
+        ),
+        float_fmt="{:.2f}",
+    )
+    return rows, report

@@ -1,0 +1,42 @@
+"""Table I: per-code SHARED / RF / IPC / achieved occupancy, both GPUs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.tables import render_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.session import ExperimentSession
+from repro.workloads.registry import WORKLOAD_BUILDERS
+
+#: Table I's own row order (the Volta FYOLOV2 auxiliary config is excluded,
+#: as in the paper)
+TABLE1_CODES = {
+    "kepler": [
+        "CCL", "BFS", "FLAVA", "FHOTSPOT", "FGAUSSIAN", "FLUD", "NW",
+        "FMXM", "FGEMM", "MERGESORT", "QUICKSORT", "FYOLOV2", "FYOLOV3",
+    ],
+    "volta": [
+        "HLAVA", "FLAVA", "DLAVA", "HHOTSPOT", "FHOTSPOT", "DHOTSPOT",
+        "HMXM", "FMXM", "DMXM", "HGEMM", "FGEMM", "DGEMM",
+        "HGEMM-MMA", "FGEMM-MMA", "HYOLOV3", "FYOLOV3",
+    ],
+}
+
+
+def run_table1(
+    session: Optional[ExperimentSession] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[Dict[str, List[dict]], str]:
+    """Regenerate Table I. Returns ({arch: rows}, rendered report)."""
+    session = session if session is not None else ExperimentSession(config)
+    rows: Dict[str, List[dict]] = {}
+    chunks: List[str] = []
+    for arch in ("kepler", "volta"):
+        codes = [c for c in TABLE1_CODES[arch] if c in WORKLOAD_BUILDERS[arch]]
+        arch_rows = [session.metrics(arch, code).table1_row() for code in codes]
+        rows[arch] = arch_rows
+        chunks.append(
+            render_table(arch_rows, title=f"Table I — {session.device(arch).name}")
+        )
+    return rows, "\n".join(chunks)

@@ -1,0 +1,43 @@
+"""Architecture-level fault injection: SASSIFI- and NVBitFI-style frontends.
+
+Both frameworks inject transient faults into the GPU's architecturally
+visible state — instruction outputs, general-purpose and predicate
+registers, memory addresses (paper §III-D) — by re-running a workload with
+one armed :class:`repro.sim.InjectionPlan` and classifying the run as SDC,
+DUE or Masked against the golden output.
+
+The two frontends reproduce their namesakes' documented differences:
+
+========================  =========================  ==========================
+                          SASSIFI                    NVBitFI
+========================  =========================  ==========================
+architectures             Kepler (and Maxwell)       Kepler → Turing
+compiler backend          CUDA 7 ("cuda7")           CUDA 10.1 ("cuda10")
+campaign structure        per-instruction-kind       one all-GPR-writes stream
+FP16 injection            n/a on Kepler              **not supported** (§VII-A)
+proprietary libraries     never                      Volta only
+========================  =========================  ==========================
+"""
+
+from repro.faultsim.outcomes import Outcome, InjectionRecord, CampaignResult
+from repro.faultsim.frameworks import (
+    InjectorFramework,
+    Sassifi,
+    NvBitFi,
+    SiteGroup,
+    FrameworkCapabilityError,
+)
+from repro.faultsim.campaign import CampaignRunner, run_campaign
+
+__all__ = [
+    "Outcome",
+    "InjectionRecord",
+    "CampaignResult",
+    "InjectorFramework",
+    "Sassifi",
+    "NvBitFi",
+    "SiteGroup",
+    "FrameworkCapabilityError",
+    "CampaignRunner",
+    "run_campaign",
+]

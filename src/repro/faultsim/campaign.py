@@ -1,0 +1,165 @@
+"""Campaign runner: golden run, N injections, outcome classification.
+
+One injection = one full re-execution of the workload with a single armed
+fault (the single-fault regime of §IV-A), classified against the golden
+output with the workload's comparison rule:
+
+* simulated device exception → **DUE**,
+* output differs             → **SDC**,
+* otherwise                  → **Masked**.
+
+Runs exceeding ``WATCHDOG_FACTOR ×`` the golden instruction count are hung
+and killed by the simulated watchdog (→ DUE), like a real campaign's
+timeout supervisor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.ecc import EccMode
+from repro.common.errors import InjectionError
+from repro.common.rng import RngFactory
+from repro.faultsim.frameworks import InjectorFramework, SiteGroup
+from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
+from repro.sim.exceptions import GpuDeviceException
+from repro.sim.injection import InjectionMode, InjectionPlan, StorageStrike
+from repro.sim.launch import KernelRun, run_kernel
+from repro.workloads.base import CompareResult, Workload
+
+#: kill runs that exceed this multiple of the golden dynamic instruction count
+WATCHDOG_FACTOR = 8.0
+
+
+class CampaignRunner:
+    """Runs fault-injection campaigns for one (device, framework) pair."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        framework: InjectorFramework,
+        rngs: Optional[RngFactory] = None,
+        ecc: EccMode = EccMode.ON,
+    ) -> None:
+        self.device = device
+        self.framework = framework
+        self.rngs = rngs if rngs is not None else RngFactory(0)
+        self.ecc = ecc
+        self._golden: Dict[str, KernelRun] = {}
+
+    # -- golden ---------------------------------------------------------------
+    def golden(self, workload: Workload) -> KernelRun:
+        if workload.name not in self._golden:
+            self._golden[workload.name] = run_kernel(
+                self.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.framework.backend,
+            )
+        return self._golden[workload.name]
+
+    # -- one injection -----------------------------------------------------------
+    def inject_once(
+        self,
+        workload: Workload,
+        group: SiteGroup,
+        target_index: int,
+        rng: np.random.Generator,
+    ) -> InjectionRecord:
+        golden = self.golden(workload)
+        watchdog = WATCHDOG_FACTOR * golden.ticks
+
+        plan = None
+        strikes: Sequence[StorageStrike] = ()
+        if group.mode is InjectionMode.REGISTER_FILE:
+            strikes = (StorageStrike(tick=float(target_index), space="rf", rng=rng),)
+        else:
+            plan = InjectionPlan(
+                mode=group.mode,
+                stream=group.stream,
+                target_index=target_index,
+                fault_model=group.fault_model,
+                rng=rng,
+            )
+        try:
+            run = run_kernel(
+                self.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.framework.backend,
+                plan=plan,
+                strikes=strikes,
+                watchdog_limit=watchdog,
+            )
+        except GpuDeviceException as exc:
+            return InjectionRecord(
+                group=group.name,
+                outcome=Outcome.DUE,
+                op=plan.record.op if plan else None,
+                bit=plan.record.bit if plan else -1,
+                due_cause=exc.cause,
+            )
+        if plan is not None and not plan.fired:
+            raise InjectionError(
+                f"{workload.name}: plan targeting index {target_index} in group "
+                f"{group.name!r} never fired — target beyond the stream?"
+            )
+        compare = workload.compare(golden.outputs, run.outputs)
+        outcome = Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
+        return InjectionRecord(
+            group=group.name,
+            outcome=outcome,
+            op=plan.record.op if plan else None,
+            bit=plan.record.bit if plan else -1,
+            detail=plan.record.detail if plan else "rf_strike",
+        )
+
+    # -- campaign -------------------------------------------------------------------
+    def run(self, workload: Workload, injections: int) -> CampaignResult:
+        """Run a full campaign: ``injections`` faults sampled over the
+        framework's site groups proportionally to their dynamic size (so the
+        aggregate AVF reflects a uniform fault over executed state)."""
+        if injections <= 0:
+            raise InjectionError("campaign needs at least one injection")
+        self.framework.check_supported(workload, self.device)
+        golden = self.golden(workload)
+        groups = self.framework.site_groups(workload)
+        sizes = np.array([g.size(golden.trace) for g in groups], dtype=np.float64)
+        live = sizes > 0
+        if not live.any():
+            raise InjectionError(
+                f"{self.framework.name} has no reachable fault sites in {workload.name}"
+            )
+        groups = [g for g, ok in zip(groups, live) if ok]
+        sizes = sizes[live]
+        weights = sizes / sizes.sum()
+
+        rng = self.rngs.stream("faultsim", self.framework.name, self.device.name, workload.name)
+        result = CampaignResult(
+            workload=workload.name, framework=self.framework.name, device=self.device.name
+        )
+        group_choices = rng.choice(len(groups), size=injections, p=weights)
+        for i in range(injections):
+            group = groups[int(group_choices[i])]
+            size = sizes[int(group_choices[i])]
+            target = int(rng.integers(0, int(size)))
+            result.add(self.inject_once(workload, group, target, rng))
+        return result
+
+
+def run_campaign(
+    device: DeviceSpec,
+    framework: InjectorFramework,
+    workload: Workload,
+    injections: int,
+    seed: int = 0,
+    ecc: EccMode = EccMode.ON,
+) -> CampaignResult:
+    """One-shot campaign convenience wrapper."""
+    runner = CampaignRunner(device, framework, RngFactory(seed), ecc=ecc)
+    return runner.run(workload, injections)

@@ -1,0 +1,166 @@
+"""SASSIFI- and NVBitFI-style injector frontends.
+
+A framework decides (a) whether it can instrument a given workload on a
+given device at all, (b) which *site groups* it samples faults from, and
+(c) which compiler backend generated the code it instruments — the paper
+shows the backend matters as much as the injector (§VI: the CUDA 7 vs
+CUDA 10.1 code difference explains the ~18% AVF gap).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.isa import OpClass
+from repro.common.errors import InjectionError
+from repro.sim.injection import (
+    FaultModel,
+    InjectionMode,
+    StreamPredicate,
+    gpr_write_stream,
+    opclass_stream,
+)
+from repro.sim.trace import ExecutionTrace
+from repro.workloads.base import Workload
+
+
+class FrameworkCapabilityError(InjectionError):
+    """The framework cannot instrument this (workload, device) combination."""
+
+
+@dataclass(frozen=True)
+class SiteGroup:
+    """One fault-site population the framework samples from."""
+
+    name: str
+    mode: InjectionMode
+    stream: StreamPredicate          # which instruction classes are in the group
+    fault_model: FaultModel = FaultModel.SINGLE_BIT
+
+    def size(self, trace: ExecutionTrace) -> float:
+        """Dynamic instance count of this group in a golden trace."""
+        if self.mode is InjectionMode.REGISTER_FILE:
+            return trace.total_instances  # strikes are sampled over time
+        if self.mode is InjectionMode.ADDRESS:
+            ld_st = (OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS)
+            return trace.instances_of(ld_st)
+        return sum(count for op, count in trace.instances.items() if self.stream(op))
+
+
+_FLOAT_ARITH = (
+    OpClass.FADD, OpClass.FMUL, OpClass.FFMA,
+    OpClass.DADD, OpClass.DMUL, OpClass.DFMA,
+    OpClass.HADD, OpClass.HMUL, OpClass.HFMA,
+)
+_INT_ARITH = (
+    OpClass.IADD, OpClass.IMUL, OpClass.IMAD,
+    OpClass.LOP, OpClass.SHF, OpClass.IMNMX,
+)
+
+
+class InjectorFramework(abc.ABC):
+    """Common interface for the two injectors."""
+
+    name: str
+    backend: str                      # compiler backend it instruments
+    supported_architectures: tuple
+
+    def check_supported(self, workload: Workload, device: DeviceSpec) -> None:
+        """Raise FrameworkCapabilityError when the combination is impossible
+        (exactly the limits of §III-D)."""
+        if device.architecture not in self.supported_architectures:
+            raise FrameworkCapabilityError(
+                f"{self.name} does not support the {device.architecture} architecture"
+            )
+        if workload.spec.proprietary and not self.supports_proprietary(device):
+            raise FrameworkCapabilityError(
+                f"{self.name} cannot instrument proprietary libraries on {device.architecture}"
+            )
+
+    @abc.abstractmethod
+    def supports_proprietary(self, device: DeviceSpec) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def site_groups(self, workload: Workload) -> List[SiteGroup]:
+        """Fault-site populations for one workload."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name} (backend={self.backend})>"
+
+
+class Sassifi(InjectorFramework):
+    """SASSIFI: per-instruction-kind campaigns on the CUDA 7 toolchain.
+
+    Can inject into the *output* of floating-point, integer and load
+    instructions, into predicate registers, general-purpose registers and
+    instruction (memory) addresses (§III-D).
+    """
+
+    name = "SASSIFI"
+    backend = "cuda7"
+    supported_architectures = ("kepler",)
+
+    def supports_proprietary(self, device: DeviceSpec) -> bool:
+        return False
+
+    def site_groups(self, workload: Workload) -> List[SiteGroup]:
+        """The default campaign: SASSIFI's IOV (instruction output value)
+        modes, which produce the paper's Figure 4 AVFs.  The additional
+        modes (predicate registers, addresses, register file) exist via
+        :meth:`extended_groups` — they are what the synthetic LDST/RF
+        micro-benchmark analyses exercise."""
+        return [
+            SiteGroup("fp_output", InjectionMode.OUTPUT_VALUE, opclass_stream(*_FLOAT_ARITH)),
+            SiteGroup("int_output", InjectionMode.OUTPUT_VALUE, opclass_stream(*_INT_ARITH)),
+            SiteGroup("ld_output", InjectionMode.OUTPUT_VALUE, opclass_stream(OpClass.LDG, OpClass.LDS)),
+        ]
+
+    def extended_groups(self, workload: Workload) -> List[SiteGroup]:
+        """IOA/predicate/RF modes beyond the default IOV campaign."""
+        return self.site_groups(workload) + [
+            SiteGroup("pred", InjectionMode.OUTPUT_VALUE, opclass_stream(OpClass.SETP)),
+            SiteGroup("address", InjectionMode.ADDRESS, opclass_stream(OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS)),
+            SiteGroup("gpr_rf", InjectionMode.REGISTER_FILE, gpr_write_stream),
+        ]
+
+
+class NvBitFi(InjectorFramework):
+    """NVBitFI: one stream over all GPR-writing instructions, CUDA 10.1.
+
+    Cannot inject into half-precision instructions (§VII-A: "NVBitFI tool
+    does not support injections into half instructions") — FP16 ops are
+    excluded from its stream, and campaigns over workloads whose arithmetic
+    is *entirely* FP16 fall back to whatever non-FP16 sites exist.
+    Supports proprietary libraries on Volta only (§III-D).
+    """
+
+    name = "NVBitFI"
+    backend = "cuda10"
+    supported_architectures = ("kepler", "volta")
+
+    #: ops NVBitFI cannot see (half-precision data path)
+    _FP16_OPS = frozenset((OpClass.HADD, OpClass.HMUL, OpClass.HFMA, OpClass.HMMA))
+
+    def supports_proprietary(self, device: DeviceSpec) -> bool:
+        return device.architecture == "volta"
+
+    def _stream(self, op: OpClass) -> bool:
+        return gpr_write_stream(op) and op not in self._FP16_OPS
+
+    def site_groups(self, workload: Workload) -> List[SiteGroup]:
+        return [SiteGroup("gpr_output", InjectionMode.OUTPUT_VALUE, self._stream)]
+
+
+def get_framework(name: str) -> InjectorFramework:
+    table: dict[str, Callable[[], InjectorFramework]] = {
+        "sassifi": Sassifi,
+        "nvbitfi": NvBitFi,
+    }
+    try:
+        return table[name.lower()]()
+    except KeyError as exc:
+        raise InjectionError(f"unknown framework {name!r}") from exc

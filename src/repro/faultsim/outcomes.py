@@ -1,0 +1,111 @@
+"""Injection outcome taxonomy and campaign-level aggregation.
+
+AVF = observed errors / injected faults (paper §III-D, after Mukherjee's
+definition).  A campaign tracks outcomes overall, per site group, and per
+instruction class hit — the per-class AVFs feed the Eq. 2 prediction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.isa import OpClass
+from repro.common.errors import InjectionError
+from repro.common.stats import Estimate, proportion_estimate
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    DUE = "due"
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One completed injection."""
+
+    group: str                      # site group ("gpr_output", "address"...)
+    outcome: Outcome
+    op: Optional[OpClass] = None    # instruction class actually hit
+    bit: int = -1
+    detail: str = ""
+    due_cause: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one (workload, framework, device) campaign."""
+
+    workload: str
+    framework: str
+    device: str
+    records: List[InjectionRecord] = field(default_factory=list)
+
+    def add(self, record: InjectionRecord) -> None:
+        self.records.append(record)
+
+    # -- totals ------------------------------------------------------------------
+    @property
+    def injections(self) -> int:
+        return len(self.records)
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    def avf(self, outcome: Outcome) -> float:
+        """Fraction of injections with the given outcome."""
+        if not self.records:
+            raise InjectionError("campaign has no records")
+        return self.count(outcome) / self.injections
+
+    def avf_estimate(self, outcome: Outcome, confidence: float = 0.95) -> Estimate:
+        if not self.records:
+            raise InjectionError("campaign has no records")
+        return proportion_estimate(self.count(outcome), self.injections, confidence)
+
+    # -- breakdowns ----------------------------------------------------------------
+    def by_group(self) -> Dict[str, Tuple[int, Dict[Outcome, int]]]:
+        """group → (n, outcome counts)."""
+        table: Dict[str, Tuple[int, Dict[Outcome, int]]] = {}
+        for record in self.records:
+            n, counts = table.setdefault(record.group, (0, {o: 0 for o in Outcome}))
+            counts[record.outcome] += 1
+            table[record.group] = (n + 1, counts)
+        return table
+
+    def per_op_avf(self, outcome: Outcome = Outcome.SDC, min_samples: int = 1) -> Dict[OpClass, float]:
+        """AVF restricted to injections that hit a given instruction class.
+
+        Feeds Eq. 2: the probability that a fault *in that instruction's
+        output* corrupts the program output.
+        """
+        hits: Dict[OpClass, List[Outcome]] = {}
+        for record in self.records:
+            if record.op is not None:
+                hits.setdefault(record.op, []).append(record.outcome)
+        return {
+            op: sum(1 for o in outcomes if o is outcome) / len(outcomes)
+            for op, outcomes in hits.items()
+            if len(outcomes) >= min_samples
+        }
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "injections": float(self.injections),
+            "avf_sdc": self.avf(Outcome.SDC),
+            "avf_due": self.avf(Outcome.DUE),
+            "avf_masked": self.avf(Outcome.MASKED),
+        }
+
+    def merged_with(self, other: "CampaignResult") -> "CampaignResult":
+        if (self.workload, self.framework, self.device) != (
+            other.workload,
+            other.framework,
+            other.device,
+        ):
+            raise InjectionError("cannot merge campaigns of different configurations")
+        merged = CampaignResult(self.workload, self.framework, self.device)
+        merged.records = list(self.records) + list(other.records)
+        return merged

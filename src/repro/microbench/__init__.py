@@ -1,0 +1,37 @@
+"""The paper's seven synthetic micro-benchmark classes (§V).
+
+* ``RF``   — register-file storage exposure: write a known pattern into all
+  accessible registers, hold it, read back and count flips;
+* ``LDST`` — global-memory load/store chains (ECC ON), whose critical
+  operand is a memory *address* → DUE-dominated;
+* ``ADD`` / ``MUL`` / ``FMA`` / ``MAD`` — dense arithmetic on one functional
+  unit per precision (FADD, HFMA, IMAD, ...), enough threads to occupy
+  every instance of that unit;
+* ``MMA``  — tensor-core 16×16 matrix-multiply-accumulate (HMMA / FMMA).
+
+Beam runs over these micro-benchmarks measure the per-unit FIT rates of
+Figure 3, which the Eq. 2 prediction then combines with workload AVFs and
+profiling.
+"""
+
+from repro.microbench.arith import ArithMicrobench
+from repro.microbench.ldst import LdstMicrobench
+from repro.microbench.mma import MmaMicrobench
+from repro.microbench.rf import RfMicrobench
+from repro.microbench.registry import (
+    get_microbench,
+    kepler_microbenches,
+    volta_microbenches,
+    MICROBENCH_BUILDERS,
+)
+
+__all__ = [
+    "ArithMicrobench",
+    "LdstMicrobench",
+    "MmaMicrobench",
+    "RfMicrobench",
+    "get_microbench",
+    "kepler_microbenches",
+    "volta_microbenches",
+    "MICROBENCH_BUILDERS",
+]

@@ -1,0 +1,62 @@
+"""LDST micro-benchmark: global-memory movement chains (§V-A).
+
+Each thread walks a sequence of load-then-store movements of a unique
+pattern between two global regions (ECC enabled in the paper's runs).  The
+critical operand is the memory address: a corrupted address is usually
+invalid because the allocation is small relative to the address space,
+which is why this is the only micro-benchmark whose DUE rate *exceeds* its
+SDC rate (paper: 7.1×).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_THREADS = 512
+#: movements per thread (paper: 2^10; scaled)
+SIM_MOVES = 24
+
+
+class LdstMicrobench(Workload):
+    """Load/store pattern-mover; host compares the final pattern."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, moves: int = SIM_MOVES) -> None:
+        super().__init__(spec, seed)
+        self.moves = moves
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        # a unique, bit-diverse pattern per slot (paper: "a unique pattern");
+        # every movement touches a distinct slot so no corrupted store is
+        # silently overwritten by a later one
+        n = SIM_THREADS * self.moves
+        self.pattern = (
+            np.arange(n, dtype=np.int64) * 2654435761 % (2**31)
+        ).astype(np.int32)
+
+    def sim_launch(self) -> LaunchConfig:
+        return LaunchConfig(grid_blocks=SIM_THREADS // 128, threads_per_block=128)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        src = ctx.alloc("src", self.pattern, DType.INT32)
+        dst = ctx.alloc_zeros("dst", self.pattern.shape, DType.INT32)
+        n = int(self.pattern.size)
+
+        gid = ctx.global_id()
+        stride = SIM_THREADS
+        for m in ctx.range(self.moves, unroll=4):
+            # each move touches its own slot of this thread's stripe
+            idx = ctx.mad(ctx.const(m, DType.INT32), stride, gid)
+            value = ctx.ld(src, idx)
+            ctx.st(dst, idx, value)
+        return {"dst": ctx.read_buffer(dst)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        return {"dst": self.pattern.copy()}

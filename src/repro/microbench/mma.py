@@ -1,0 +1,79 @@
+"""MMA micro-benchmark: tensor-core matrix-multiply-accumulate (§V-A).
+
+Each warp performs a chain of 16×16 MMA operations — FP16 inputs with FP16
+accumulation (HMMA) or FP32 inputs cast to FP16 with FP32 accumulation
+(FMMA, "FP32 casted to FP16").  The paper runs 10^7 MMAs (vs 10^8 scalar
+ops) to equalize exposure time; we scale both down by the same ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_WARPS = 16
+#: MMAs per warp (one tenth of the scalar micro-benchmarks' chain, like the
+#: paper's 1e7 vs 1e8)
+SIM_OPS = 5
+
+
+class MmaMicrobench(Workload):
+    """Chained 16×16 tensor-core MMAs, one chain per warp."""
+
+    TILE = 16
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, ops: int = SIM_OPS) -> None:
+        super().__init__(spec, seed)
+        if not spec.uses_mma:
+            raise ValueError("MmaMicrobench requires an MMA spec")
+        self.ops = ops
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        t = self.TILE
+        # near-identity factors keep the accumulation chain in range
+        eye = np.eye(t)[None, :, :]
+        noise = rng.uniform(-0.05, 0.05, size=(SIM_WARPS, t, t))
+        self.a = (eye + noise).astype(dtype.np_dtype)
+        self.b = (eye + rng.uniform(-0.05, 0.05, size=(SIM_WARPS, t, t))).astype(dtype.np_dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        return LaunchConfig(grid_blocks=1, threads_per_block=SIM_WARPS * 32, warp_lanes=True)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        t = self.TILE
+        a = ctx.alloc("a", self.a.reshape(-1), dtype)
+        b = ctx.alloc("b", self.b.reshape(-1), dtype)
+        out = ctx.alloc_zeros("out", SIM_WARPS * t * t, dtype)
+
+        warp = ctx.global_id()
+        base = ctx.mul(warp, t * t)
+        at = ctx.ld_tile(a, base, t, t, t)
+        bt = ctx.ld_tile(b, base, t, t, t)
+        if dtype is not DType.FP16:
+            at = ctx.cvt(at, DType.FP16)
+            bt = ctx.cvt(bt, DType.FP16)
+        acc = ctx.zeros_tile(t, t, dtype)
+        for _ in ctx.range(self.ops):
+            acc = ctx.mma(at, bt, acc)
+        ctx.st_tile(out, base, acc, t)
+        return {"out": ctx.read_buffer(out)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        dtype = self.spec.dtype
+        t = self.TILE
+        a16 = self.a.astype(np.float16).astype(np.float32)
+        b16 = self.b.astype(np.float16).astype(np.float32)
+        acc = np.zeros((SIM_WARPS, t, t), dtype=dtype.np_dtype)
+        for _ in range(self.ops):
+            prod = np.einsum("lij,ljk->lik", a16, b16)
+            acc = (prod + acc.astype(np.float32)).astype(dtype.np_dtype)
+        return {"out": acc.reshape(-1)}

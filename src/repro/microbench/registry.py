@@ -1,0 +1,116 @@
+"""Registry of micro-benchmarks per architecture (Figure 3's x-axes).
+
+Kepler: FADD FMUL FFMA IADD IMUL IMAD LDST RF.
+Volta:  HADD HMUL HFMA FADD FMUL FFMA DADD DMUL DFMA IADD IMUL IMAD
+        HMMA FMMA LDST RF.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.microbench.arith import ArithMicrobench
+from repro.microbench.ldst import LdstMicrobench
+from repro.microbench.mma import MmaMicrobench
+from repro.microbench.rf import RfMicrobench
+from repro.workloads.base import Workload, WorkloadSpec
+
+MicrobenchBuilder = Callable[[int], Workload]
+
+
+def _arith(name: str, kind: str, dtype: DType, grid: int) -> MicrobenchBuilder:
+    # the paper tunes the thread count to exactly occupy the functional
+    # units (3,840 threads on Kepler, 20,480 on Volta — §V-A), which also
+    # minimizes the exposed register file; the reference grid reproduces
+    # that per architecture
+    spec = WorkloadSpec(
+        name=name, base=f"ubench-{kind.lower()}", dtype=dtype,
+        registers_per_thread=16, shared_bytes_per_block=0,
+        ref_grid_blocks=grid, ref_threads_per_block=256, ilp=2.0,
+    )
+    return lambda seed: ArithMicrobench(spec, kind, seed)
+
+
+def _ldst(name: str = "LDST") -> MicrobenchBuilder:
+    spec = WorkloadSpec(
+        name=name, base="ubench-ldst", dtype=DType.INT32,
+        registers_per_thread=12, shared_bytes_per_block=0,
+        ref_grid_blocks=16384, ref_threads_per_block=256, ilp=2.0,
+    )
+    return lambda seed: LdstMicrobench(spec, seed)
+
+
+def _rf(grid: int, name: str = "RF") -> MicrobenchBuilder:
+    # lowest possible thread count while fully utilizing the RF (§V-A):
+    # 255 registers/thread forces one 256-thread block per SM
+    spec = WorkloadSpec(
+        name=name, base="ubench-rf", dtype=DType.INT32,
+        registers_per_thread=255, shared_bytes_per_block=0,
+        ref_grid_blocks=grid, ref_threads_per_block=256, ilp=1.0,
+    )
+    return lambda seed: RfMicrobench(spec, seed)
+
+
+def _mma(name: str, dtype: DType) -> MicrobenchBuilder:
+    spec = WorkloadSpec(
+        name=name, base="ubench-mma", dtype=dtype, uses_mma=True,
+        registers_per_thread=64, shared_bytes_per_block=0,
+        ref_grid_blocks=80, ref_threads_per_block=256, ilp=2.0,
+    )
+    return lambda seed: MmaMicrobench(spec, seed)
+
+
+MICROBENCH_BUILDERS: Dict[str, Dict[str, MicrobenchBuilder]] = {
+    "kepler": {
+        "FADD": _arith("FADD", "ADD", DType.FP32, grid=15),
+        "FMUL": _arith("FMUL", "MUL", DType.FP32, grid=15),
+        "FFMA": _arith("FFMA", "FMA", DType.FP32, grid=15),
+        "IADD": _arith("IADD", "ADD", DType.INT32, grid=15),
+        "IMUL": _arith("IMUL", "MUL", DType.INT32, grid=15),
+        "IMAD": _arith("IMAD", "MAD", DType.INT32, grid=15),
+        "LDST": _ldst(),
+        "RF": _rf(grid=15),
+    },
+    "volta": {
+        "HADD": _arith("HADD", "ADD", DType.FP16, grid=80),
+        "HMUL": _arith("HMUL", "MUL", DType.FP16, grid=80),
+        "HFMA": _arith("HFMA", "FMA", DType.FP16, grid=80),
+        "FADD": _arith("FADD", "ADD", DType.FP32, grid=80),
+        "FMUL": _arith("FMUL", "MUL", DType.FP32, grid=80),
+        "FFMA": _arith("FFMA", "FMA", DType.FP32, grid=80),
+        "DADD": _arith("DADD", "ADD", DType.FP64, grid=80),
+        "DMUL": _arith("DMUL", "MUL", DType.FP64, grid=80),
+        "DFMA": _arith("DFMA", "FMA", DType.FP64, grid=80),
+        "IADD": _arith("IADD", "ADD", DType.INT32, grid=80),
+        "IMUL": _arith("IMUL", "MUL", DType.INT32, grid=80),
+        "IMAD": _arith("IMAD", "MAD", DType.INT32, grid=80),
+        "HMMA": _mma("HMMA", DType.FP16),
+        "FMMA": _mma("FMMA", DType.FP32),
+        "LDST": _ldst(),
+        "RF": _rf(grid=80),
+    },
+}
+
+
+def get_microbench(arch: str, name: str, seed: int = 0) -> Workload:
+    arch = arch.lower()
+    try:
+        builders = MICROBENCH_BUILDERS[arch]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown architecture {arch!r}") from exc
+    try:
+        return builders[name.upper()](seed)
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"no micro-benchmark {name!r} for {arch}; available: {sorted(builders)}"
+        ) from exc
+
+
+def kepler_microbenches() -> List[str]:
+    return list(MICROBENCH_BUILDERS["kepler"])
+
+
+def volta_microbenches() -> List[str]:
+    return list(MICROBENCH_BUILDERS["volta"])

@@ -1,0 +1,42 @@
+"""FIT-rate prediction from fault simulation + profiling (paper §IV).
+
+Implements Equations 1–4:
+
+    FIT ≈ Σ_i f(INST_i) · AVF(INST_i) · FIT(INST_i) · φ
+        + Σ_j f(MEM_j) · AVF(MEM_j) · FIT(MEM_j)          (ECC OFF only)
+
+    φ = AchievedOccupancy × IPC                            (Eq. 4)
+
+with f(·) from the profiler's dynamic instruction mix, AVF(·) from the
+injector campaigns, FIT(·) from beam-measured micro-benchmarks, and the
+documented fallbacks the paper uses when an injector cannot see a site
+(FP16 → FP32 AVFs under NVBitFI; Volta AVFs reused on Kepler for
+proprietary libraries).
+
+:mod:`repro.predict.compare` produces the Figure 6 beam-vs-prediction
+ratios and the §VII-B DUE underestimation factors.
+"""
+
+from repro.predict.model import (
+    FitPrediction,
+    MicrobenchFits,
+    PredictionModel,
+    measure_microbench_fits,
+)
+from repro.predict.compare import (
+    ComparisonRow,
+    compare_code,
+    due_underestimation,
+    signed_ratio,
+)
+
+__all__ = [
+    "FitPrediction",
+    "MicrobenchFits",
+    "PredictionModel",
+    "measure_microbench_fits",
+    "ComparisonRow",
+    "compare_code",
+    "due_underestimation",
+    "signed_ratio",
+]

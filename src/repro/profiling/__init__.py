@@ -1,0 +1,19 @@
+"""NVPROF / Nsight-Compute-like profiler.
+
+Produces the paper's Table I metrics (shared memory, registers per thread,
+IPC, achieved occupancy) and the Figure 1 instruction-type breakdown for any
+workload, by running it on the functional simulator and feeding the trace to
+the occupancy and timing models.
+"""
+
+from repro.profiling.metrics import KernelMetrics
+from repro.profiling.profiler import Profiler, profile_workload
+from repro.profiling.report import metrics_table, instruction_mix_table
+
+__all__ = [
+    "KernelMetrics",
+    "Profiler",
+    "profile_workload",
+    "metrics_table",
+    "instruction_mix_table",
+]

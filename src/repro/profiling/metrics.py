@@ -1,0 +1,61 @@
+"""Metric record produced by the profiler for one (workload, device) pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.arch.isa import OpCategory, OpClass
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """The paper's Table I row plus the Figure 1 mix for one code."""
+
+    code: str
+    device: str
+    dtype: str
+    shared_bytes_per_block: int
+    registers_per_thread: int
+    ipc: float
+    achieved_occupancy: float
+    theoretical_occupancy: float
+    occupancy_limiter: str
+    timing_bound: str
+    activity_factor: float
+    total_instances: float
+    category_mix: Mapping[OpCategory, float] = field(default_factory=dict)
+    instruction_mix: Mapping[OpClass, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ipc < 0:
+            raise ValueError("IPC cannot be negative")
+        if not 0.0 <= self.achieved_occupancy <= 1.0:
+            raise ValueError("occupancy must be within [0, 1]")
+
+    @property
+    def phi(self) -> float:
+        """The paper's Eq. 4 parallelism factor: occupancy × IPC."""
+        return self.achieved_occupancy * self.ipc
+
+    def mix_fraction(self, category: OpCategory) -> float:
+        return float(self.category_mix.get(category, 0.0))
+
+    def table1_row(self) -> Dict[str, object]:
+        """Row in the layout of the paper's Table I."""
+        shared = self.shared_bytes_per_block
+        shared_txt = f"{shared}B" if shared < 1024 else f"{shared / 1024:.1f}KB"
+        return {
+            "code": self.code,
+            "SHARED": shared_txt,
+            "RF": self.registers_per_thread,
+            "IPC": round(self.ipc, 2),
+            "Occupancy": round(self.achieved_occupancy, 2),
+        }
+
+    def fig1_row(self) -> Dict[str, object]:
+        """Row of the Figure 1 instruction-category breakdown (percent)."""
+        row: Dict[str, object] = {"code": self.code}
+        for cat in OpCategory:
+            row[cat.value] = round(100.0 * self.mix_fraction(cat), 1)
+        return row

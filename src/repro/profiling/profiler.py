@@ -1,0 +1,85 @@
+"""The profiler: runs a workload on the simulator and derives its metrics.
+
+Mirrors the paper's use of NVPROF/Nsight (§III-B, §IV-B): the instruction
+histogram comes from the executed trace, achieved occupancy from the
+CUDA-style occupancy model (reference launch × measured activity factor),
+and IPC from the roofline timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.ecc import EccMode
+from repro.arch.occupancy import occupancy
+from repro.common.errors import ConfigurationError
+from repro.profiling.metrics import KernelMetrics
+from repro.sim.launch import KernelRun, run_kernel
+from repro.sim.timing import TimingModel
+from repro.sim.trace import ExecutionTrace
+from repro.workloads.base import Workload
+
+
+class Profiler:
+    """Profiles workloads on a device; caches golden runs by code name."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self._cache: Dict[Tuple[str, str], KernelRun] = {}
+
+    def golden_run(self, workload: Workload, backend: str = "cuda10") -> KernelRun:
+        """Fault-free execution (ECC ON), cached per (code, backend)."""
+        key = (workload.name, backend)
+        if key not in self._cache:
+            self._cache[key] = run_kernel(
+                self.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=EccMode.ON,
+                backend=backend,
+            )
+        return self._cache[key]
+
+    def metrics(self, workload: Workload, backend: str = "cuda10") -> KernelMetrics:
+        run = self.golden_run(workload, backend)
+        return metrics_from_trace(self.device, workload, run.trace)
+
+
+def metrics_from_trace(
+    device: DeviceSpec, workload: Workload, trace: ExecutionTrace
+) -> KernelMetrics:
+    """Derive Table I / Figure 1 metrics from an execution trace."""
+    if trace.total_instances <= 0:
+        raise ConfigurationError(f"{workload.name}: empty trace cannot be profiled")
+    occ_inputs = workload.reference_occupancy_inputs(device)
+    occ = occupancy(device, activity_factor=trace.activity_factor, **occ_inputs)
+    timing = TimingModel(device).estimate(
+        trace,
+        grid_blocks=occ_inputs["grid_blocks"],
+        active_warps_per_sm=max(1.0, occ.achieved * device.max_warps_per_sm),
+        ilp=workload.spec.ilp,
+    )
+    return KernelMetrics(
+        code=workload.name,
+        device=device.name,
+        dtype=workload.spec.dtype.label,
+        shared_bytes_per_block=workload.spec.shared_bytes_per_block,
+        registers_per_thread=occ_inputs["registers_per_thread"],
+        ipc=timing.ipc,
+        achieved_occupancy=occ.achieved,
+        theoretical_occupancy=occ.theoretical,
+        occupancy_limiter=occ.limiter,
+        timing_bound=timing.bound,
+        activity_factor=trace.activity_factor,
+        total_instances=trace.total_instances,
+        category_mix=trace.category_mix(),
+        instruction_mix=trace.mix(),
+    )
+
+
+def profile_workload(
+    device: DeviceSpec, workload: Workload, backend: str = "cuda10"
+) -> KernelMetrics:
+    """One-shot convenience wrapper around :class:`Profiler`."""
+    return Profiler(device).metrics(workload, backend)

@@ -1,0 +1,22 @@
+"""Rendering helpers for profiler output (Table I / Figure 1 style)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.tables import render_table
+from repro.profiling.metrics import KernelMetrics
+
+
+def metrics_table(metrics: Sequence[KernelMetrics], title: str = "Table I") -> str:
+    """Table I-style report: SHARED / RF / IPC / Occupancy per code."""
+    if not metrics:
+        raise ValueError("no metrics to render")
+    return render_table([m.table1_row() for m in metrics], title=title)
+
+
+def instruction_mix_table(metrics: Sequence[KernelMetrics], title: str = "Figure 1") -> str:
+    """Figure 1-style report: instruction-category percentages per code."""
+    if not metrics:
+        raise ValueError("no metrics to render")
+    return render_table([m.fig1_row() for m in metrics], title=title)

@@ -1,0 +1,38 @@
+"""SASS-level kernel representation: assembler + interpreter.
+
+SASSIFI and NVBitFI instrument kernels *at the SASS level* (§III-D) — they
+never see CUDA source, only the native instruction stream.  This package
+provides the same vantage point for the simulator: a small SASS-like
+textual language, an assembler producing a typed :class:`Program`, and an
+interpreter that executes programs on a :class:`repro.sim.KernelContext` —
+so a hand-written assembly kernel is profiled, injected and irradiated
+through exactly the same machinery as the Python-DSL workloads.
+
+Example::
+
+    .kernel scale_add
+    .buffer in
+    .buffer out
+    MOV        r0, %gid
+    LDG.F32    r1, [in + r0]
+    FFMA.F32   r2, r1, 2.0, 1.0
+    STG.F32    [out + r0], r2
+
+    >>> program = assemble(text)
+    >>> kernel = SassKernel(program, {"in": x}, outputs=("out",),
+    ...                     shapes={"out": x.shape})
+    >>> run = run_kernel(device, kernel, LaunchConfig(2, 32))
+"""
+
+from repro.sass.program import Instruction, Operand, Program
+from repro.sass.assembler import AssemblerError, assemble
+from repro.sass.interpreter import SassKernel
+
+__all__ = [
+    "Instruction",
+    "Operand",
+    "Program",
+    "AssemblerError",
+    "assemble",
+    "SassKernel",
+]

@@ -1,0 +1,249 @@
+"""Assembler: SASS-like text → :class:`Program`.
+
+Grammar (one statement per line, ``;`` starts a comment)::
+
+    .kernel NAME
+    .buffer NAME                      ; global buffer bound at launch
+    .shared NAME COUNT                ; per-block shared array
+    [@pN] MNEMONIC[.MOD][.TYPE] dest, src, ...
+    .loop COUNT
+        ...body...
+    .endloop
+
+Types: ``.F16 .F32 .F64 .S32`` (default ``.F32`` for float ops, ``.S32``
+for integer/memory ops).  Operands: registers ``rN``, predicates ``pN``,
+immediates (int/float literals), specials ``%tid %bid %gid``, memory
+``[buf]``, ``[buf + rN]``, ``[buf + rN + K]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ReproError
+from repro.sass.program import Instruction, Operand, Program
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly input."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_TYPE_SUFFIXES = {
+    "F16": DType.FP16,
+    "F32": DType.FP32,
+    "F64": DType.FP64,
+    "S32": DType.INT32,
+    "U32": DType.INT32,
+}
+
+#: mnemonics the interpreter understands, with (min, max) source-operand counts
+_ARITY = {
+    "MOV": (1, 1), "IADD": (2, 2), "ISUB": (2, 2), "IMUL": (2, 2), "IMAD": (3, 3),
+    "FADD": (2, 2), "FSUB": (2, 2), "FMUL": (2, 2), "FFMA": (3, 3),
+    "HADD": (2, 2), "HMUL": (2, 2), "HFMA": (3, 3),
+    "DADD": (2, 2), "DMUL": (2, 2), "DFMA": (3, 3),
+    "LOP": (2, 2), "SHF": (2, 2), "IMNMX": (2, 2), "FMNMX": (2, 2),
+    "SETP": (2, 2), "SEL": (3, 3), "CVT": (1, 1), "MUFU": (1, 1),
+    "LDG": (1, 1), "STG": (1, 1), "LDS": (1, 1), "STS": (1, 1),
+    "BAR": (0, 0), "NOP": (0, 0),
+}
+
+_MODIFIED = {
+    "LOP": {"AND", "OR", "XOR"},
+    "SHF": {"L", "R"},
+    "IMNMX": {"MIN", "MAX"},
+    "FMNMX": {"MIN", "MAX"},
+    "SETP": {"LT", "LE", "GT", "GE", "EQ", "NE"},
+    "MUFU": {"RCP", "SQRT", "EX2"},
+}
+
+_REG_RE = re.compile(r"^r\d{1,3}$")
+_PRED_RE = re.compile(r"^p\d$")
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<buf>[A-Za-z_]\w*)\s*"
+    r"(?:\+\s*(?P<reg>r\d{1,3})\s*)?"
+    r"(?:\+\s*(?P<off>-?\d+)\s*)?\]$"
+)
+_NUM_RE = re.compile(r"^[+-]?(\d+\.?\d*([eE][+-]?\d+)?|0x[0-9a-fA-F]+)$")
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    token = token.strip()
+    if _REG_RE.match(token):
+        return Operand.register(token)
+    if _PRED_RE.match(token):
+        return Operand.predicate(token)
+    if token in ("%tid", "%bid", "%gid"):
+        return Operand.special(token)
+    mem = _MEM_RE.match(token)
+    if mem:
+        offset = int(mem.group("off")) if mem.group("off") else 0
+        return Operand.memory(mem.group("buf"), mem.group("reg"), offset)
+    if _NUM_RE.match(token):
+        value = float(int(token, 16)) if token.lower().startswith("0x") else float(token)
+        return Operand.immediate(value)
+    raise AssemblerError(line_no, f"cannot parse operand {token!r}")
+
+
+def _split_opcode(word: str, line_no: int) -> Tuple[str, str, Optional[DType]]:
+    parts = word.upper().split(".")
+    mnemonic = parts[0]
+    modifier = ""
+    dtype: Optional[DType] = None
+    for part in parts[1:]:
+        if part in _TYPE_SUFFIXES:
+            dtype = _TYPE_SUFFIXES[part]
+        elif part in _MODIFIED.get(mnemonic, ()):
+            modifier = part
+        else:
+            raise AssemblerError(line_no, f"unknown suffix .{part} on {mnemonic}")
+    if mnemonic not in _ARITY:
+        raise AssemblerError(line_no, f"unknown mnemonic {mnemonic!r}")
+    if mnemonic in _MODIFIED and not modifier:
+        raise AssemblerError(line_no, f"{mnemonic} needs a .{'/'.join(sorted(_MODIFIED[mnemonic]))} modifier")
+    return mnemonic, modifier, dtype
+
+
+def _default_dtype(mnemonic: str) -> Optional[DType]:
+    if mnemonic.startswith("H"):
+        return DType.FP16
+    if mnemonic.startswith("D") and mnemonic != "DADD_never":
+        return DType.FP64
+    if mnemonic.startswith("F") or mnemonic in ("MUFU", "SEL", "CVT"):
+        return DType.FP32
+    if mnemonic in ("IADD", "ISUB", "IMUL", "IMAD", "LOP", "SHF", "IMNMX", "MOV", "LDG", "STG", "LDS", "STS", "SETP"):
+        return DType.INT32
+    return None
+
+
+def assemble(text: str) -> Program:
+    """Assemble SASS-like text into a validated :class:`Program`."""
+    name = ""
+    buffers: List[str] = []
+    shared: List[Tuple[str, int]] = []
+    # stack of (instruction list, loop_count, opening line)
+    stack: List[Tuple[List[Instruction], int, int]] = [([], 0, 0)]
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        # ---- directives ------------------------------------------------------
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0].lower()
+            if directive == ".kernel":
+                if len(parts) != 2:
+                    raise AssemblerError(line_no, ".kernel needs exactly one name")
+                name = parts[1]
+            elif directive == ".buffer":
+                if len(parts) != 2:
+                    raise AssemblerError(line_no, ".buffer needs exactly one name")
+                buffers.append(parts[1])
+            elif directive == ".shared":
+                if len(parts) != 3 or not parts[2].isdigit():
+                    raise AssemblerError(line_no, ".shared needs a name and an element count")
+                shared.append((parts[1], int(parts[2])))
+            elif directive == ".loop":
+                if len(parts) != 2 or not parts[1].isdigit() or int(parts[1]) < 0:
+                    raise AssemblerError(line_no, ".loop needs a non-negative trip count")
+                stack.append(([], int(parts[1]), line_no))
+            elif directive == ".endloop":
+                if len(stack) == 1:
+                    raise AssemblerError(line_no, ".endloop without .loop")
+                body, count, open_line = stack.pop()
+                stack[-1][0].append(
+                    Instruction(
+                        mnemonic="LOOP", dtype=None, line=open_line,
+                        loop_count=count, body=tuple(body),
+                    )
+                )
+            else:
+                raise AssemblerError(line_no, f"unknown directive {directive}")
+            continue
+
+        # ---- guarded instruction ---------------------------------------------
+        guard = None
+        if line.startswith("@"):
+            guard_token, _, rest = line.partition(" ")
+            if not _PRED_RE.match(guard_token[1:]):
+                raise AssemblerError(line_no, f"bad guard {guard_token!r}")
+            guard = guard_token[1:]
+            line = rest.strip()
+        if not line:
+            raise AssemblerError(line_no, "guard without an instruction")
+
+        opcode_word, _, operand_text = line.partition(" ")
+        mnemonic, modifier, dtype = _split_opcode(opcode_word, line_no)
+        if dtype is None:
+            dtype = _default_dtype(mnemonic)
+        tokens = [t for t in _split_operands(operand_text) if t]
+        lo, hi = _ARITY[mnemonic]
+
+        operands = [_parse_operand(t, line_no) for t in tokens]
+        if mnemonic in ("STG", "STS"):
+            # store: dest is the memory operand, single register/imm source
+            if len(operands) != 2 or operands[0].kind.value != "mem":
+                raise AssemblerError(line_no, f"{mnemonic} expects [mem], value")
+            dest, sources = operands[0], tuple(operands[1:])
+        elif mnemonic in ("BAR", "NOP"):
+            if operands:
+                raise AssemblerError(line_no, f"{mnemonic} takes no operands")
+            dest, sources = None, ()
+        else:
+            if len(operands) != 1 + hi and not (lo <= len(operands) - 1 <= hi):
+                raise AssemblerError(
+                    line_no,
+                    f"{mnemonic} expects dest + {lo}{'' if lo == hi else f'..{hi}'} sources, "
+                    f"got {len(operands)} operands",
+                )
+            dest, sources = operands[0], tuple(operands[1:])
+            if dest.kind.value not in ("reg", "pred"):
+                raise AssemblerError(line_no, f"{mnemonic} destination must be a register")
+            if mnemonic == "SETP" and dest.kind.value != "pred":
+                raise AssemblerError(line_no, "SETP destination must be a predicate (pN)")
+            if mnemonic != "SETP" and dest.kind.value == "pred":
+                raise AssemblerError(line_no, f"{mnemonic} cannot write a predicate")
+
+        stack[-1][0].append(
+            Instruction(
+                mnemonic=mnemonic, dtype=dtype, modifier=modifier,
+                dest=dest, sources=sources, guard=guard, line=line_no,
+            )
+        )
+
+    if len(stack) != 1:
+        raise AssemblerError(stack[-1][2], ".loop without matching .endloop")
+    program = Program(
+        name=name or "unnamed", buffers=buffers, shared=shared,
+        instructions=stack[0][0],
+    )
+    program.validate()
+    return program
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside a [...] memory operand."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts

@@ -1,0 +1,204 @@
+"""SASS-level transformation passes.
+
+§VI of the paper attributes the SASSIFI-vs-NVBitFI AVF gap to the compiler:
+"the reduction in dead code (with aggressive dead-code elimination) and
+increase in reuse ... can increase the likelihood of an error propagating
+to the output."  These passes make that claim testable at the SASS level:
+
+* :func:`eliminate_dead_code` — removes instructions whose destination is
+  never observed (the CUDA-10-era behaviour);
+* :func:`insert_redundant_movs` — the inverse "de-optimizer": adds the
+  un-eliminated register copies older toolchains leave behind;
+* :func:`unroll_loops` — replicates loop bodies, shrinking the share of
+  loop-control instructions.
+
+Running the same program through an injector before/after a pass measures
+exactly the optimization-vs-AVF effect with everything else held fixed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.sass.program import Instruction, Operand, OperandKind, Program
+
+#: instructions with side effects beyond their destination register
+_SIDE_EFFECTS = {"STG", "STS", "BAR", "ATOM"}
+
+
+def _reads(instr: Instruction) -> Set[str]:
+    """Register/predicate names an instruction observes."""
+    names: Set[str] = set()
+    for op in instr.sources:
+        if op.kind in (OperandKind.REGISTER, OperandKind.PREDICATE):
+            names.add(op.name)
+        if op.kind is OperandKind.MEMORY and op.index_register:
+            names.add(op.index_register)
+    dest = instr.dest
+    if dest is not None and dest.kind is OperandKind.MEMORY and dest.index_register:
+        names.add(dest.index_register)
+    if instr.guard:
+        names.add(instr.guard)
+    return names
+
+
+def _writes(instr: Instruction) -> Set[str]:
+    dest = instr.dest
+    if dest is not None and dest.kind in (OperandKind.REGISTER, OperandKind.PREDICATE):
+        return {dest.name}
+    return set()
+
+
+def _block_reads(block: Sequence[Instruction]) -> Set[str]:
+    names: Set[str] = set()
+    for instr in block:
+        names |= _reads(instr)
+        if instr.mnemonic == "LOOP":
+            names |= _block_reads(instr.body)
+    return names
+
+
+def eliminate_dead_code(program: Program) -> Program:
+    """Remove instructions whose destination register is never read.
+
+    Conservative backwards liveness over the straight-line listing; loop
+    bodies are treated as opaque regions whose reads all count (a value
+    written before a loop and read inside it stays live, and everything
+    written inside a loop is kept — its iterations reuse the registers).
+    Iterates to a fixed point so chains of dead definitions all go.
+    """
+    instructions = list(program.instructions)
+    while True:
+        removed = _dce_once(instructions)
+        if not removed:
+            break
+    result = Program(
+        name=program.name,
+        buffers=list(program.buffers),
+        shared=list(program.shared),
+        instructions=instructions,
+    )
+    result.validate()
+    return result
+
+
+def _dce_once(instructions: List[Instruction]) -> bool:
+    live: Set[str] = set()
+    keep: List[Tuple[int, bool]] = []
+    for index in range(len(instructions) - 1, -1, -1):
+        instr = instructions[index]
+        if instr.mnemonic == "LOOP":
+            live |= _block_reads(instr.body)
+            # loop-carried values: anything written inside stays
+            keep.append((index, True))
+            continue
+        written = _writes(instr)
+        is_dead = (
+            instr.mnemonic not in _SIDE_EFFECTS
+            and written
+            and not (written & live)
+        )
+        if is_dead:
+            keep.append((index, False))
+            continue
+        live -= written
+        live |= _reads(instr)
+        keep.append((index, True))
+    # `keep` was built back-to-front, so removal indices are descending and
+    # deleting in that order never shifts a pending index
+    removed = [i for i, kept in keep if not kept]
+    for index in removed:
+        del instructions[index]
+    return bool(removed)
+
+
+def insert_redundant_movs(program: Program, period: int = 2) -> Program:
+    """De-optimizer: after every ``period``-th register-writing instruction,
+    add a MOV copying the fresh value into a scratch register nobody reads —
+    the un-eliminated copies the cuda7-era backend leaves in real binaries.
+    The scratch registers are genuine injectable sites whose corruption is
+    architecturally masked."""
+    if period < 1:
+        raise ConfigurationError("period must be >= 1")
+
+    scratch_counter = [200]  # r200.. reserved for scratch
+
+    def transform(block: Sequence[Instruction]) -> List[Instruction]:
+        out: List[Instruction] = []
+        since = 0
+        for instr in block:
+            if instr.mnemonic == "LOOP":
+                out.append(
+                    Instruction(
+                        mnemonic="LOOP", dtype=None, line=instr.line,
+                        loop_count=instr.loop_count, body=tuple(transform(instr.body)),
+                    )
+                )
+                continue
+            out.append(instr)
+            written = _writes(instr)
+            if written and instr.dest.kind is OperandKind.REGISTER:
+                since += 1
+                if since >= period:
+                    since = 0
+                    scratch = f"r{scratch_counter[0]}"
+                    scratch_counter[0] = 200 + (scratch_counter[0] - 199) % 50
+                    out.append(
+                        Instruction(
+                            mnemonic="MOV", dtype=instr.dtype, line=instr.line,
+                            dest=Operand.register(scratch),
+                            sources=(Operand.register(instr.dest.name),),
+                            guard=instr.guard,
+                        )
+                    )
+        return out
+
+    result = Program(
+        name=program.name,
+        buffers=list(program.buffers),
+        shared=list(program.shared),
+        instructions=transform(program.instructions),
+    )
+    result.validate()
+    return result
+
+
+def unroll_loops(program: Program, factor: int = 4) -> Program:
+    """Replicate loop bodies ``factor`` times where the trip count divides
+    evenly, shrinking the loop-control share of the instruction stream."""
+    if factor < 1:
+        raise ConfigurationError("unroll factor must be >= 1")
+
+    def transform(block: Sequence[Instruction]) -> List[Instruction]:
+        out: List[Instruction] = []
+        for instr in block:
+            if instr.mnemonic != "LOOP":
+                out.append(instr)
+                continue
+            body = transform(instr.body)
+            if factor > 1 and instr.loop_count % factor == 0 and instr.loop_count > 0:
+                out.append(
+                    Instruction(
+                        mnemonic="LOOP", dtype=None, line=instr.line,
+                        loop_count=instr.loop_count // factor,
+                        body=tuple(body * factor),
+                    )
+                )
+            else:
+                out.append(
+                    Instruction(
+                        mnemonic="LOOP", dtype=None, line=instr.line,
+                        loop_count=instr.loop_count, body=tuple(body),
+                    )
+                )
+        return out
+
+    result = Program(
+        name=program.name,
+        buffers=list(program.buffers),
+        shared=list(program.shared),
+        instructions=transform(program.instructions),
+    )
+    result.validate()
+    return result

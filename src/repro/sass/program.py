@@ -1,0 +1,219 @@
+"""Typed in-memory representation of a SASS-like program.
+
+The granularity deliberately matches what the injectors operate on: typed
+instruction classes with register/immediate/memory operands — no binary
+encodings (neither SASSIFI nor NVBitFI decodes those either).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+
+
+class OperandKind(enum.Enum):
+    REGISTER = "reg"          # r0..r254
+    PREDICATE = "pred"        # p0..p6
+    IMMEDIATE = "imm"
+    SPECIAL = "special"       # %tid, %bid, %gid
+    MEMORY = "mem"            # [buffer + rN] or [buffer + imm]
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One instruction operand."""
+
+    kind: OperandKind
+    #: register/predicate name, special name, or buffer name for MEMORY
+    name: str = ""
+    value: float = 0.0                    # immediate payload
+    index_register: Optional[str] = None  # MEMORY: offset register
+    index_offset: int = 0                 # MEMORY: constant element offset
+
+    @classmethod
+    def register(cls, name: str) -> "Operand":
+        return cls(OperandKind.REGISTER, name=name)
+
+    @classmethod
+    def predicate(cls, name: str) -> "Operand":
+        return cls(OperandKind.PREDICATE, name=name)
+
+    @classmethod
+    def immediate(cls, value: float) -> "Operand":
+        return cls(OperandKind.IMMEDIATE, value=value)
+
+    @classmethod
+    def special(cls, name: str) -> "Operand":
+        return cls(OperandKind.SPECIAL, name=name)
+
+    @classmethod
+    def memory(cls, buffer: str, index_register: Optional[str], index_offset: int = 0) -> "Operand":
+        return cls(
+            OperandKind.MEMORY,
+            name=buffer,
+            index_register=index_register,
+            index_offset=index_offset,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is OperandKind.MEMORY:
+            inner = self.name
+            if self.index_register:
+                inner += f" + {self.index_register}"
+            if self.index_offset:
+                inner += f" + {self.index_offset}"
+            return f"[{inner}]"
+        if self.kind is OperandKind.IMMEDIATE:
+            return str(self.value)
+        return self.name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction."""
+
+    mnemonic: str                     # "FFMA", "LDG", "SETP", "LOOP", ...
+    dtype: Optional[DType]            # from the .F32/.S32/... suffix
+    modifier: str = ""                # e.g. "AND" for LOP.AND, "LT" for SETP.LT
+    dest: Optional[Operand] = None
+    sources: Tuple[Operand, ...] = ()
+    guard: Optional[str] = None       # "@p0" predication
+    line: int = 0                     # source line, for diagnostics
+    #: LOOP pseudo-instruction: static trip count and body
+    loop_count: int = 0
+    body: Tuple["Instruction", ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        guard = f"@{self.guard} " if self.guard else ""
+        name = self.mnemonic + (f".{self.modifier}" if self.modifier else "")
+        if self.dtype is not None:
+            name += f".{self.dtype.label.upper()}"
+        ops = ", ".join(str(o) for o in ([self.dest] if self.dest else []) + list(self.sources))
+        return f"{guard}{name} {ops}".strip()
+
+
+@dataclass
+class Program:
+    """An assembled kernel: declarations plus the instruction list."""
+
+    name: str
+    buffers: List[str] = field(default_factory=list)
+    shared: List[Tuple[str, int]] = field(default_factory=list)  # (name, elements)
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a program needs a .kernel name")
+
+    def validate(self) -> None:
+        """Static checks: memory operands reference declared buffers, reads
+        see a prior write, predication guards reference defined predicates."""
+        declared = set(self.buffers) | {name for name, _ in self.shared}
+        written = {"%tid", "%bid", "%gid"}
+        self._validate_block(self.instructions, declared, set(written), set())
+
+    def _validate_block(self, block: Sequence[Instruction], buffers, regs, preds) -> None:
+        for instr in block:
+            if instr.guard and instr.guard not in preds:
+                raise ConfigurationError(
+                    f"line {instr.line}: guard @{instr.guard} before any SETP defines it"
+                )
+            for op in instr.sources:
+                self._validate_read(instr, op, buffers, regs, preds)
+            if instr.dest is not None:
+                if instr.dest.kind is OperandKind.MEMORY:
+                    self._validate_read(instr, instr.dest, buffers, regs, preds, store=True)
+                elif instr.dest.kind is OperandKind.PREDICATE:
+                    preds.add(instr.dest.name)
+                else:
+                    regs.add(instr.dest.name)
+            if instr.mnemonic == "LOOP":
+                self._validate_block(instr.body, buffers, regs, preds)
+
+    @staticmethod
+    def _validate_read(instr, op, buffers, regs, preds, store=False) -> None:
+        if op.kind is OperandKind.REGISTER and op.name not in regs:
+            raise ConfigurationError(
+                f"line {instr.line}: register {op.name} read before any write"
+            )
+        if op.kind is OperandKind.PREDICATE and op.name not in preds:
+            raise ConfigurationError(
+                f"line {instr.line}: predicate {op.name} read before any SETP"
+            )
+        if op.kind is OperandKind.MEMORY:
+            if op.name not in buffers:
+                raise ConfigurationError(
+                    f"line {instr.line}: undeclared buffer {op.name!r}"
+                )
+            if op.index_register is not None and op.index_register not in regs:
+                raise ConfigurationError(
+                    f"line {instr.line}: address register {op.index_register} "
+                    "read before any write"
+                )
+
+    def listing(self) -> str:
+        """Emit re-assemblable text — the disassembler counterpart of
+        :func:`repro.sass.assemble` (``assemble(p.listing())`` reproduces
+        ``p`` up to source line numbers)."""
+        lines = [f".kernel {self.name}"]
+        lines.extend(f".buffer {name}" for name in self.buffers)
+        lines.extend(f".shared {name} {count}" for name, count in self.shared)
+
+        def emit(block, indent: str) -> None:
+            for instr in block:
+                if instr.mnemonic == "LOOP":
+                    lines.append(f"{indent}.loop {instr.loop_count}")
+                    emit(instr.body, indent + "    ")
+                    lines.append(f"{indent}.endloop")
+                else:
+                    lines.append(indent + self._format(instr))
+            return None
+
+        emit(self.instructions, "")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _format(instr: Instruction) -> str:
+        name = instr.mnemonic
+        if instr.modifier:
+            name += f".{instr.modifier}"
+        if instr.dtype is not None:
+            suffix = {"fp16": "F16", "fp32": "F32", "fp64": "F64", "int32": "S32"}[instr.dtype.label]
+            name += f".{suffix}"
+        guard = f"@{instr.guard} " if instr.guard else ""
+        def fmt(op: Operand) -> str:
+            if op.kind.value == "imm":
+                return repr(int(op.value)) if float(op.value).is_integer() else repr(op.value)
+            return str(op)
+        operands = []
+        if instr.mnemonic in ("STG", "STS"):
+            operands = [str(instr.dest)] + [fmt(s) for s in instr.sources]
+        else:
+            if instr.dest is not None:
+                operands.append(str(instr.dest))
+            operands.extend(fmt(s) for s in instr.sources)
+        return f"{guard}{name} {', '.join(operands)}".strip()
+
+    def static_instruction_count(self) -> int:
+        """Instructions in the listing (loops counted once)."""
+        def count(block) -> int:
+            return sum(1 + count(i.body) for i in block)
+
+        return count(self.instructions)
+
+    def dynamic_instruction_estimate(self) -> int:
+        """Per-thread dynamic instructions with loops expanded."""
+        def count(block) -> int:
+            total = 0
+            for instr in block:
+                if instr.mnemonic == "LOOP":
+                    total += instr.loop_count * (count(instr.body) + 2)  # +IADD/BRA
+                else:
+                    total += 1
+            return total
+
+        return count(self.instructions)

@@ -1,0 +1,49 @@
+"""Warp-vectorized functional + timing GPU simulator.
+
+Kernels are Python functions written against :class:`repro.sim.context.KernelContext`
+— a CUDA-like DSL in which every operation executes for *all* launched
+threads at once as a NumPy lane operation (the HPC-guide idiom: push the
+per-thread loop into NumPy).  The context records an execution trace
+(instruction histogram, memory traffic, issue counts) and exposes the fault
+hooks used by the injectors and the beam engine.
+
+Simulated hardware/driver events (illegal addresses, ECC detections,
+watchdog timeouts) are raised as :class:`GpuDeviceException` subclasses and
+classified as DUEs by the reliability engines.
+"""
+
+from repro.sim.exceptions import (
+    GpuDeviceException,
+    IllegalAddressError,
+    EccDoubleBitError,
+    WatchdogTimeout,
+    DeviceHangError,
+)
+from repro.sim.values import Val
+from repro.sim.memory import DeviceBuffer, SharedBuffer, MemoryPool
+from repro.sim.injection import FaultModel, InjectionMode, InjectionPlan, StorageStrike
+from repro.sim.context import KernelContext
+from repro.sim.launch import LaunchConfig, KernelRun, run_kernel
+from repro.sim.timing import TimingModel, TimingResult
+
+__all__ = [
+    "GpuDeviceException",
+    "IllegalAddressError",
+    "EccDoubleBitError",
+    "WatchdogTimeout",
+    "DeviceHangError",
+    "Val",
+    "DeviceBuffer",
+    "SharedBuffer",
+    "MemoryPool",
+    "FaultModel",
+    "InjectionMode",
+    "InjectionPlan",
+    "StorageStrike",
+    "KernelContext",
+    "LaunchConfig",
+    "KernelRun",
+    "run_kernel",
+    "TimingModel",
+    "TimingResult",
+]

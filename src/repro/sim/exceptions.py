@@ -1,0 +1,68 @@
+"""Simulated device/driver exceptions — the DUE conditions.
+
+These deliberately do *not* inherit from :class:`repro.common.errors.ReproError`:
+they are modeled behaviour of the device under test, not library bugs.  The
+fault-injection campaign runner and the beam engine catch
+:class:`GpuDeviceException` and record the run as a Detected Unrecoverable
+Error, mirroring how the paper's beam setup watches for CUDA API errors,
+ECC interrupts and system hangs (§VII-B).
+"""
+
+from __future__ import annotations
+
+
+class GpuDeviceException(Exception):
+    """Base class for all simulated device-side failures (DUEs)."""
+
+    #: short machine-readable cause, overridden per subclass
+    cause = "device_error"
+
+
+class IllegalAddressError(GpuDeviceException):
+    """A load/store touched an address outside any live allocation —
+    the simulated analogue of ``CUDA_ERROR_ILLEGAL_ADDRESS``."""
+
+    cause = "illegal_address"
+
+    def __init__(self, space: str, address: int, limit: int) -> None:
+        super().__init__(
+            f"illegal {space} access at byte address {address} (allocation is {limit} bytes)"
+        )
+        self.space = space
+        self.address = address
+        self.limit = limit
+
+
+class EccDoubleBitError(GpuDeviceException):
+    """SECDED detected an uncorrectable (multi-bit) error; the driver kills
+    the context — the mechanism behind the ECC-ON DUE inflation in Fig. 5."""
+
+    cause = "ecc_dbe"
+
+    def __init__(self, structure: str) -> None:
+        super().__init__(f"uncorrectable ECC error detected in {structure}")
+        self.structure = structure
+
+
+class WatchdogTimeout(GpuDeviceException):
+    """The kernel exceeded its instruction budget — the simulated analogue
+    of a display/compute watchdog firing on a hung kernel."""
+
+    cause = "watchdog"
+
+    def __init__(self, executed: int, limit: int) -> None:
+        super().__init__(f"kernel exceeded watchdog budget ({executed} > {limit} lane-ops)")
+        self.executed = executed
+        self.limit = limit
+
+
+class DeviceHangError(GpuDeviceException):
+    """A fault in a hidden resource (scheduler, host interface...) stuck the
+    device; only the beam engine raises this — injectors cannot reach those
+    resources, which is the paper's central DUE finding."""
+
+    cause = "device_hang"
+
+    def __init__(self, resource: str) -> None:
+        super().__init__(f"device hang attributed to fault in {resource}")
+        self.resource = resource

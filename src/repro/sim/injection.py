@@ -1,0 +1,142 @@
+"""Fault descriptions armed into a kernel run.
+
+Two families of perturbation exist, mirroring the paper's methodology split:
+
+* :class:`InjectionPlan` — an *architecture-level injection* as performed by
+  SASSIFI/NVBitFI: pick one dynamic instruction instance from a sampling
+  stream and corrupt its destination (output value, memory address, or
+  predicate).  The plan carries its stream definition so SASSIFI's
+  per-instruction-kind campaigns and NVBitFI's all-GPR-writes campaigns are
+  both expressible.
+
+* :class:`StorageStrike` — a *physical strike* on a storage structure
+  (register file, shared, global memory) at a given point in execution time,
+  used by the beam engine (and by SASSIFI's RF mode).  ECC semantics apply.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+import numpy as np
+
+from repro.arch.isa import OpClass
+
+
+class FaultModel(enum.Enum):
+    """Bit-level corruption models (SASSIFI's value models)."""
+
+    SINGLE_BIT = "single_bit"
+    DOUBLE_BIT = "double_bit"
+    RANDOM_VALUE = "random_value"
+    ZERO_VALUE = "zero_value"
+
+
+class InjectionMode(enum.Enum):
+    """Which operand of the selected instruction is corrupted."""
+
+    OUTPUT_VALUE = "output"   # destination register (GPR or predicate)
+    ADDRESS = "address"       # effective address of a load/store
+    REGISTER_FILE = "rf"      # random live register at a random time
+    MEMORY_WORD = "memory"    # random allocated word at a random time
+
+
+#: predicate over instruction classes defining a sampling stream
+StreamPredicate = Callable[[OpClass], bool]
+
+
+def gpr_write_stream(op: OpClass) -> bool:
+    """NVBitFI's default stream: every instruction writing a GPR."""
+    return op.writes_register and op not in (OpClass.SETP,)
+
+
+def opclass_stream(*ops: OpClass) -> StreamPredicate:
+    """SASSIFI-style stream restricted to specific instruction kinds."""
+    allowed: FrozenSet[OpClass] = frozenset(ops)
+    if not allowed:
+        raise ValueError("an opclass stream needs at least one instruction class")
+
+    def predicate(op: OpClass) -> bool:
+        return op in allowed
+
+    return predicate
+
+
+@dataclass
+class FiredRecord:
+    """What an armed plan actually hit (filled in when it fires)."""
+
+    op: Optional[OpClass] = None
+    lane: int = -1
+    element: int = 0
+    bit: int = -1
+    detail: str = ""
+
+
+@dataclass
+class InjectionPlan:
+    """One architecture-level injection, armed into a KernelContext."""
+
+    mode: InjectionMode
+    stream: StreamPredicate
+    target_index: int
+    fault_model: FaultModel
+    rng: np.random.Generator
+    #: filled in during execution
+    fired: bool = False
+    stream_count: float = 0.0
+    record: FiredRecord = field(default_factory=FiredRecord)
+
+    def __post_init__(self) -> None:
+        if self.target_index < 0:
+            raise ValueError("target_index must be non-negative")
+        if self.mode in (InjectionMode.REGISTER_FILE, InjectionMode.MEMORY_WORD):
+            raise ValueError(
+                f"{self.mode} faults are expressed as StorageStrike, not InjectionPlan"
+            )
+
+    def covers(self, op: OpClass) -> bool:
+        if self.mode is InjectionMode.ADDRESS:
+            return op in (OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS)
+        return self.stream(op)
+
+    def claim(self, op: OpClass, count: float) -> Optional[float]:
+        """Advance the stream counter by ``count`` instances of ``op``.
+
+        Returns the offset of the target within this batch if the plan fires
+        here, else None.
+        """
+        if self.fired or not self.covers(op):
+            return None
+        start = self.stream_count
+        self.stream_count += count
+        if start <= self.target_index < self.stream_count:
+            return float(self.target_index - start)
+        return None
+
+    def choose_bit(self, bits: int) -> int:
+        """Pick the bit to flip for a value of the given width."""
+        return int(self.rng.integers(0, bits))
+
+
+@dataclass
+class StorageStrike:
+    """A particle strike on a storage structure at execution tick ``tick``.
+
+    ``space`` ∈ {"rf", "global", "shared"}.  The context applies RF strikes
+    to a random live register; the memory pool applies global/shared strikes
+    to a random allocated word.  ECC policy decides delivery vs. DUE.
+    """
+
+    tick: float
+    space: str
+    rng: np.random.Generator
+    applied: bool = False
+
+    def __post_init__(self) -> None:
+        if self.space not in ("rf", "global", "shared"):
+            raise ValueError(f"unknown storage space {self.space!r}")
+        if self.tick < 0:
+            raise ValueError("tick must be non-negative")

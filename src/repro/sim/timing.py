@@ -1,0 +1,121 @@
+"""Analytic timing model: cycles, IPC, and the limiting bound.
+
+NVPROF's "executed IPC" (per SM) is the second profiling metric in the
+paper's φ factor (Eq. 4).  We estimate it with a roofline-style model over
+the execution trace — the kernel's time is the max of four bounds:
+
+* **issue**    — warp-instructions / SM issue width;
+* **compute**  — lane-operations / functional-unit throughput, per unit;
+* **memory**   — global traffic / DRAM bandwidth;
+* **latency**  — per-warp dependency chains, hidden by concurrent warps
+  and intra-warp ILP: ``Σ latency / (active_warps × ilp)``.
+
+This reproduces the paper's two qualitative regimes (§IV-B): GEMM-like codes
+with low occupancy but saturated pipelines (high IPC), and latency-bound
+codes with high occupancy but long stalls (low IPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.isa import OpClass, unit_for, unit_throughput
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+from repro.sim.trace import ExecutionTrace
+
+#: Sustained DRAM bandwidth per architecture, bytes per SM-clock cycle
+#: (K40c: ~288 GB/s @ 745 MHz; V100: ~900 GB/s @ 1380 MHz).
+_DRAM_BYTES_PER_CYCLE = {"kepler": 386.0, "volta": 652.0}
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    cycles: float
+    ipc: float                      # executed warp-instructions / cycle / SM
+    bound: str                      # "issue" | "compute" | "memory" | "latency"
+    bounds: Dict[str, float]        # all four candidate cycle counts
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ConfigurationError("cycle count must be positive")
+
+
+class TimingModel:
+    """Roofline-style IPC estimator over an execution trace."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def estimate(
+        self,
+        trace: ExecutionTrace,
+        grid_blocks: int,
+        active_warps_per_sm: float,
+        ilp: float = 2.0,
+    ) -> TimingResult:
+        """Estimate cycles and per-SM IPC for one kernel execution.
+
+        ``active_warps_per_sm`` comes from the occupancy model;
+        ``ilp`` is the kernel's declared instruction-level parallelism
+        (independent instructions per warp available to overlap latencies).
+        """
+        if trace.total_issues <= 0:
+            raise ConfigurationError("cannot estimate timing for an empty trace")
+        if active_warps_per_sm <= 0:
+            raise ConfigurationError("need at least one active warp per SM")
+        if ilp <= 0:
+            raise ConfigurationError("ilp must be positive")
+        device = self.device
+        sms_used = max(1.0, min(float(device.sm_count), float(grid_blocks)))
+
+        issues_per_sm = trace.total_issues / sms_used
+
+        # -- issue bound -----------------------------------------------------
+        issue_cycles = issues_per_sm / device.issue_width_per_sm
+
+        # -- compute bound (per functional unit) ------------------------------
+        unit_lane_ops: Dict[UnitKind, float] = {}
+        for op, instances in trace.instances.items():
+            unit = unit_for(op, device.architecture)
+            lane_ops = instances
+            if op in (OpClass.HADD, OpClass.HMUL, OpClass.HFMA):
+                lane_ops = lane_ops / 2.0  # FP16 runs at 2× rate on FP32 cores
+            unit_lane_ops[unit] = unit_lane_ops.get(unit, 0.0) + lane_ops
+        compute_cycles = 0.0
+        for unit, lane_ops in unit_lane_ops.items():
+            throughput = unit_throughput(unit, device.architecture)
+            if throughput <= 0:
+                raise ConfigurationError(
+                    f"{device.name} cannot execute ops needing {unit}"
+                )
+            compute_cycles = max(compute_cycles, lane_ops / sms_used / throughput)
+
+        # -- memory bound ------------------------------------------------------
+        # Traffic is device-wide; DRAM bandwidth is shared by every SM, so the
+        # cycle count is the same clock domain as the per-SM bounds.
+        bw = _DRAM_BYTES_PER_CYCLE[device.architecture]
+        memory_cycles = trace.global_bytes / bw
+
+        # -- latency bound -----------------------------------------------------
+        # Each warp's instruction chain costs Σ latency; concurrent warps
+        # overlap each other's stalls and intra-warp ILP shortens the chain,
+        # so the bound is one warp's chain divided by the available ILP.
+        weighted_latency = sum(
+            slots * op.latency for op, slots in trace.issues.items()
+        )
+        per_warp_latency = weighted_latency / sms_used / max(1.0, active_warps_per_sm)
+        latency_cycles = per_warp_latency / ilp
+
+        bounds = {
+            "issue": issue_cycles,
+            "compute": compute_cycles,
+            "memory": memory_cycles,
+            "latency": latency_cycles,
+        }
+        bound = max(bounds, key=bounds.get)
+        cycles = max(bounds.values())
+        ipc = issues_per_sm / cycles
+        return TimingResult(cycles=cycles, ipc=ipc, bound=bound, bounds=bounds)

@@ -1,0 +1,118 @@
+"""Execution trace collected by the functional simulator.
+
+The trace is the raw material for everything downstream:
+
+* the profiler (instruction mix → Figure 1; IPC inputs → Table I),
+* the timing model (per-class issue counts, memory traffic),
+* the injectors (dynamic lane-instance counts define the sampling space),
+* the beam engine (per-unit utilization weights the strike rates).
+
+Counts are *lane instances*: one executed instruction in one thread.  A
+warp-wide tensor-core MMA records its full tile weight so that per-unit
+utilization stays comparable across scalar and tensor pipelines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.arch.isa import OpCategory, OpClass
+
+
+@dataclass
+class ExecutionTrace:
+    """Mutable accumulator filled in by :class:`KernelContext`."""
+
+    #: lane-instances per instruction class
+    instances: Counter = field(default_factory=Counter)
+    #: warp-level issue slots per instruction class (lane instances / 32)
+    issues: Dict[OpClass, float] = field(default_factory=dict)
+    #: bytes moved to/from global memory
+    global_bytes: int = 0
+    #: bytes moved to/from shared memory
+    shared_bytes: int = 0
+    #: number of __syncthreads()-style barriers executed
+    barriers: int = 0
+    #: Σ occupied warps per emit (a warp counts while any lane is active —
+    #: predicated-off threads still hold their warp slot)
+    active_lane_sum: float = 0.0
+    #: Σ launched warps per emit (denominator of the activity factor)
+    launched_lane_sum: float = 0.0
+    #: number of distinct virtual registers written (register pressure proxy)
+    registers_written: int = 0
+    #: host interactions (D2H readbacks / per-phase synchronizations) — the
+    #: paper attributes part of the DUE rate to device-host synchronization
+    #: faults, so host-chatty codes expose the host interface longer
+    host_syncs: int = 0
+
+    def record(self, op: OpClass, lane_instances: float, issue_slots: float) -> None:
+        if lane_instances < 0 or issue_slots < 0:
+            raise ValueError("trace counts cannot be negative")
+        self.instances[op] += lane_instances
+        self.issues[op] = self.issues.get(op, 0.0) + issue_slots
+
+    def record_activity(self, active: float, launched: float) -> None:
+        self.active_lane_sum += active
+        self.launched_lane_sum += launched
+
+    # -- summaries ------------------------------------------------------------
+    @property
+    def total_instances(self) -> float:
+        return float(sum(self.instances.values()))
+
+    @property
+    def total_issues(self) -> float:
+        return float(sum(self.issues.values()))
+
+    @property
+    def activity_factor(self) -> float:
+        """Mean fraction of launched warps occupied per instruction ∈ (0, 1]."""
+        if self.launched_lane_sum <= 0:
+            return 1.0
+        return max(1e-6, min(1.0, self.active_lane_sum / self.launched_lane_sum))
+
+    def mix(self) -> Dict[OpClass, float]:
+        """Fraction of dynamic lane-instances per instruction class."""
+        total = self.total_instances
+        if total == 0:
+            return {}
+        return {op: count / total for op, count in self.instances.items()}
+
+    def category_mix(self) -> Dict[OpCategory, float]:
+        """Figure 1 buckets: fraction per FMA/MUL/ADD/INT/MMA/LDST/OTHERS."""
+        result: Dict[OpCategory, float] = {cat: 0.0 for cat in OpCategory}
+        for op, frac in self.mix().items():
+            result[op.category] += frac
+        return result
+
+    def instances_of(self, ops: Iterable[OpClass]) -> float:
+        return float(sum(self.instances.get(op, 0) for op in ops))
+
+    def merged_with(self, other: "ExecutionTrace") -> "ExecutionTrace":
+        """Combine two traces (e.g. multi-kernel workloads)."""
+        merged = ExecutionTrace()
+        merged.instances = self.instances + other.instances
+        merged.issues = dict(self.issues)
+        for op, slots in other.issues.items():
+            merged.issues[op] = merged.issues.get(op, 0.0) + slots
+        merged.global_bytes = self.global_bytes + other.global_bytes
+        merged.shared_bytes = self.shared_bytes + other.shared_bytes
+        merged.barriers = self.barriers + other.barriers
+        merged.active_lane_sum = self.active_lane_sum + other.active_lane_sum
+        merged.launched_lane_sum = self.launched_lane_sum + other.launched_lane_sum
+        merged.registers_written = max(self.registers_written, other.registers_written)
+        merged.host_syncs = self.host_syncs + other.host_syncs
+        return merged
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Flat summary used in reports and tests."""
+        return {
+            "total_instances": self.total_instances,
+            "total_issues": self.total_issues,
+            "global_bytes": float(self.global_bytes),
+            "shared_bytes": float(self.shared_bytes),
+            "barriers": float(self.barriers),
+            "activity_factor": self.activity_factor,
+        }

@@ -1,0 +1,32 @@
+"""The paper's fifteen representative codes, as simulator kernels.
+
+Each workload re-implements the benchmark's parallel decomposition (naive
+and tiled matrix multiply, stencil, n-body-in-boxes, wavefront DP, frontier
+BFS, label propagation, sorting networks, CNN-on-GEMM...) against the
+:class:`repro.sim.KernelContext` DSL, at inputs scaled so that thousands of
+fault-injection runs are tractable on the Python simulator.
+
+The registry binds paper code names (``FMXM``, ``HGEMM-MMA``, ``CCL``...)
+to configured instances per device, with the Table I reference launch and
+compiled-resource metadata attached.
+"""
+
+from repro.workloads.base import Workload, WorkloadSpec, CompareResult
+from repro.workloads.registry import (
+    get_workload,
+    kepler_codes,
+    volta_codes,
+    all_codes,
+    WORKLOAD_BUILDERS,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "CompareResult",
+    "get_workload",
+    "kepler_codes",
+    "volta_codes",
+    "all_codes",
+    "WORKLOAD_BUILDERS",
+]

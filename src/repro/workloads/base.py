@@ -1,0 +1,152 @@
+"""Workload abstraction shared by codes and micro-benchmarks.
+
+A :class:`Workload` owns:
+
+* its (seeded) host inputs and a pure-NumPy reference implementation used to
+  validate the simulator kernel,
+* the scaled-down simulation launch (``sim_launch``) and the paper-scale
+  *reference* launch + compiled resource usage used for Table I profiling
+  (register allocation is a compiler property we take from the paper's
+  toolchain rather than re-deriving),
+* the output-comparison rule that decides SDC vs masked.  The default is the
+  paper's: any bit difference in the output is an SDC.  CNNs override it
+  with the classification-aware criterion of §VI ("faults that propagate to
+  the output are not considered errors if they do not modify the
+  classification result").
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.arch.devices import DeviceSpec
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.sim.launch import LaunchConfig
+
+
+class CompareResult(enum.Enum):
+    MATCH = "match"
+    SDC = "sdc"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of a configured workload."""
+
+    name: str                      # paper code name: "FMXM", "CCL", "HGEMM-MMA"...
+    base: str                      # algorithm family: "MxM", "GEMM", "BFS"...
+    dtype: DType
+    #: uses NVIDIA proprietary libraries (cuBLAS/cuDNN) — SASSIFI cannot
+    #: inject into it at all, NVBitFI only on Volta (paper §III-D)
+    proprietary: bool = False
+    uses_mma: bool = False
+    #: Table I reference launch (paper-scale) for occupancy computation
+    ref_grid_blocks: int = 1024
+    ref_threads_per_block: int = 256
+    #: compiled resource usage (paper Table I "RF" and "SHARED" columns)
+    registers_per_thread: int = 32
+    shared_bytes_per_block: int = 0
+    #: declared instruction-level parallelism for the timing model
+    ilp: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread <= 0:
+            raise ConfigurationError(f"{self.name}: registers must be positive")
+        if self.shared_bytes_per_block < 0:
+            raise ConfigurationError(f"{self.name}: shared bytes cannot be negative")
+
+
+class Workload(abc.ABC):
+    """One benchmark configuration, ready to run on the simulator."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self._prepared = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def prepare(self) -> None:
+        """Generate inputs once; idempotent."""
+        if not self._prepared:
+            self._generate_inputs(self.rng)
+            self._prepared = True
+
+    @abc.abstractmethod
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        """Create the host-side input arrays (stored on self)."""
+
+    # -- execution ---------------------------------------------------------------
+    @abc.abstractmethod
+    def sim_launch(self) -> LaunchConfig:
+        """Scaled-down launch geometry used for simulation."""
+
+    @abc.abstractmethod
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        """Execute the workload in the given context; return named outputs."""
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        """Pure-NumPy reference results, when the algorithm has a closed
+        form; used by tests to validate the simulator kernel."""
+        return None
+
+    # -- classification ------------------------------------------------------------
+    def compare(self, golden: Mapping[str, np.ndarray], observed: Mapping[str, np.ndarray]) -> CompareResult:
+        """Decide whether ``observed`` differs from ``golden`` (→ SDC).
+
+        Default: exact binary equality on every output array, the criterion
+        the paper's beam setup applies to non-CNN codes.
+        """
+        if set(golden) != set(observed):
+            return CompareResult.SDC
+        for name, expected in golden.items():
+            got = observed[name]
+            if expected.shape != got.shape or expected.dtype != got.dtype:
+                return CompareResult.SDC
+            # NaN-safe bitwise comparison
+            if not np.array_equal(
+                expected.view(np.uint8) if expected.dtype.kind == "f" else expected,
+                got.view(np.uint8) if got.dtype.kind == "f" else got,
+            ):
+                return CompareResult.SDC
+        return CompareResult.MATCH
+
+    # -- metadata ----------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def reference_occupancy_inputs(self, device: DeviceSpec) -> Dict[str, int]:
+        """Inputs for the Table I occupancy computation."""
+        return {
+            "threads_per_block": self.spec.ref_threads_per_block,
+            "registers_per_thread": min(
+                self.spec.registers_per_thread, device.max_registers_per_thread
+            ),
+            "shared_bytes_per_block": self.spec.shared_bytes_per_block,
+            "grid_blocks": self.spec.ref_grid_blocks,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.spec.name} ({self.spec.base}/{self.spec.dtype.label})>"
+
+
+def float_dtype_range(dtype: DType) -> float:
+    """Safe magnitude for random float inputs avoiding overflow, notably for
+    FP16 whose max is ~65504 (the micro-benchmarks' 'inputs avoid overflow'
+    discipline, §V-A)."""
+    return {DType.FP16: 2.0, DType.FP32: 8.0, DType.FP64: 8.0, DType.INT32: 64}[dtype]
+
+
+def random_floats(rng: np.random.Generator, shape, dtype: DType) -> np.ndarray:
+    """Random inputs in a range safe against overflow for the precision."""
+    span = float_dtype_range(dtype)
+    if dtype is DType.INT32:
+        return rng.integers(0, int(span), size=shape, dtype=np.int32)
+    return (rng.uniform(-span, span, size=shape)).astype(dtype.np_dtype)

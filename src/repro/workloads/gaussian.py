@@ -1,0 +1,109 @@
+"""Gaussian elimination (Rodinia "gaussian").
+
+The classic Fan1/Fan2 two-kernel structure: per pivot column, Fan1 computes
+the column multipliers, Fan2 updates the trailing submatrix (and RHS).  The
+active region shrinks as the pivot advances, so most threads are predicated
+off most of the time — the low achieved occupancy / low IPC behaviour
+Table I reports (occupancy 0.34, IPC 0.51 on Kepler).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_N = 16
+
+
+class GaussianWorkload(Workload):
+    """Solve A x = b by forward elimination + host back-substitution check.
+
+    Outputs the eliminated (upper-triangular) matrix and updated RHS — the
+    device-side products, which is what beam/injection runs compare.
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, n: int = SIM_N) -> None:
+        super().__init__(spec, seed)
+        self.n = n
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        # diagonally dominant for numerical stability (no pivoting on GPU)
+        a = rng.uniform(-1.0, 1.0, size=(self.n, self.n))
+        a += np.eye(self.n) * self.n
+        self.a = a.astype(dtype.np_dtype)
+        self.b = rng.uniform(-1.0, 1.0, size=self.n).astype(dtype.np_dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        total = self.n * self.n
+        tpb = 64
+        assert total % tpb == 0
+        return LaunchConfig(grid_blocks=total // tpb, threads_per_block=tpb)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        n = self.n
+        a = ctx.alloc("a", self.a, dtype)
+        b = ctx.alloc("b", self.b, dtype)
+        m = ctx.alloc_zeros("m", (n, n), dtype)
+
+        gid = ctx.global_id()
+        row = ctx.idiv(gid, n)
+        col = ctx.imod(gid, n)
+        a_idx = ctx.mad(row, n, col)
+
+        for k in ctx.range(self.n - 1):
+            # --- Fan1: multipliers for column k (threads with col==k, row>k)
+            is_fan1 = ctx.pred_and(ctx.setp(col, "eq", k), ctx.setp(row, "gt", k))
+            with ctx.masked(is_fan1):
+                pivot = ctx.ld(a, k * n + k)
+                below = ctx.ld(a, a_idx)
+                ctx.st(m, a_idx, ctx.div(below, pivot))
+            ctx.bar()
+            # --- Fan2: trailing submatrix update (row>k, col>=k)
+            is_fan2 = ctx.pred_and(ctx.setp(row, "gt", k), ctx.setp(col, "ge", k))
+            with ctx.masked(is_fan2):
+                mult = ctx.ld(m, ctx.mad(row, n, k))
+                top = ctx.ld(a, ctx.add(col, k * n))
+                cur = ctx.ld(a, a_idx)
+                ctx.st(a, a_idx, ctx.sub(cur, ctx.mul(mult, top)))
+                # RHS update: one lane per row (col == k does it)
+                with ctx.masked(ctx.setp(col, "eq", k)):
+                    rhs_k = ctx.ld(b, k)
+                    rhs_i = ctx.ld(b, row)
+                    ctx.st(b, row, ctx.sub(rhs_i, ctx.mul(mult, rhs_k)))
+            ctx.bar()
+        return {"a": ctx.read_buffer(a), "b": ctx.read_buffer(b)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        dtype = self.spec.dtype
+        np_t = dtype.np_dtype
+        wide = np.float64 if dtype is DType.FP64 else np.float32
+        a = self.a.copy()
+        b = self.b.copy()
+        n = self.n
+        for k in range(n - 1):
+            mult = np.zeros(n, dtype=np_t)
+            if dtype is DType.FP16:
+                recip = np.float16(1.0 / np.float64(a[k, k]))
+                mult[k + 1 :] = (a[k + 1 :, k] * recip).astype(np_t)
+                a[k + 1 :, k:] = (a[k + 1 :, k:] - (mult[k + 1 :, None] * a[None, k, k:]).astype(np_t)).astype(np_t)
+                b[k + 1 :] = (b[k + 1 :] - (mult[k + 1 :] * b[k]).astype(np_t)).astype(np_t)
+            else:
+                recip = np_t.type(1.0 / np.float64(a[k, k]))
+                mult[k + 1 :] = (a[k + 1 :, k].astype(wide) * wide(recip)).astype(np_t)
+                a[k + 1 :, k:] = (
+                    a[k + 1 :, k:].astype(wide)
+                    - (mult[k + 1 :, None].astype(wide) * a[None, k, k:].astype(wide)).astype(np_t)
+                ).astype(np_t)
+                b[k + 1 :] = (
+                    b[k + 1 :].astype(wide) - (mult[k + 1 :].astype(wide) * wide(b[k])).astype(np_t)
+                ).astype(np_t)
+        return {"a": a, "b": b}

@@ -1,0 +1,184 @@
+"""Optimized GEMM kernels: shared-memory tiling and tensor-core MMA.
+
+These model the cuBLAS GEMM family (paper §III-B): "to be highly efficient,
+GEMM kernel is tuned for selected input size, precision, and device
+configuration".  We reproduce that per-configuration specialization — the
+tile geometry differs per precision, so each precision executes a genuinely
+different instruction stream (the mechanism behind the per-precision AVF
+differences of Figure 4).
+
+Both kernels are flagged ``proprietary``: SASSIFI cannot inject into them at
+all, and NVBitFI only on Volta (§III-D) — the registry and injectors honor
+those capability limits.
+
+``tiled_gemm`` is also the convolution engine for the YOLO workloads
+(the paper's YOLO relies on cuBLAS GEMM for convolution, §VI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec, random_floats
+
+#: simulation-scale matrix dimension
+SIM_N = 32
+
+#: per-precision tile side — the "different kernel per precision" effect
+TILE_FOR_DTYPE = {DType.FP16: 8, DType.FP32: 8, DType.FP64: 4, DType.INT32: 8}
+
+
+def tiled_gemm(ctx, a, b, c, n: int, tile: int, dtype: DType) -> None:
+    """Shared-memory tiled GEMM phase, callable from other workloads.
+
+    Launch contract: ``tile*tile`` threads per block, ``(n//tile)**2``
+    blocks, one thread per output element.
+    """
+    sa = ctx.shared_alloc("gemm_sa", tile * tile, dtype)
+    sb = ctx.shared_alloc("gemm_sb", tile * tile, dtype)
+
+    tid = ctx.thread_idx()
+    bid = ctx.block_idx()
+    tiles = n // tile
+    ty = ctx.idiv(tid, tile)
+    tx = ctx.imod(tid, tile)
+    br = ctx.idiv(bid, tiles)
+    bc = ctx.imod(bid, tiles)
+    row = ctx.mad(br, tile, ty)
+    col = ctx.mad(bc, tile, tx)
+    s_idx = ctx.mad(ty, tile, tx)
+
+    acc = ctx.const(0, dtype)
+    for kt in ctx.range(tiles):
+        a_idx = ctx.mad(row, n, ctx.add(tx, kt * tile))
+        b_idx = ctx.mad(ty, n, ctx.add(col, kt * tile * n))
+        ctx.st(sa, s_idx, ctx.ld(a, a_idx))
+        ctx.st(sb, s_idx, ctx.ld(b, b_idx))
+        ctx.bar()
+        for kk in ctx.range(tile, unroll=tile):
+            x = ctx.ld(sa, ctx.mad(ty, tile, kk))
+            y = ctx.ld(sb, ctx.mad(ctx.const(kk, DType.INT32), tile, tx))
+            acc = ctx.fma(x, y, acc)
+        ctx.bar()
+    ctx.st(c, ctx.mad(row, n, col), acc)
+
+
+class GemmWorkload(Workload):
+    """cuBLAS-style tiled GEMM (one precision-specialized kernel)."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, n: int = SIM_N) -> None:
+        super().__init__(spec, seed)
+        self.n = n
+        self.tile = TILE_FOR_DTYPE[spec.dtype]
+        if n % self.tile:
+            raise ValueError(f"n={n} must be a multiple of tile={self.tile}")
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        self.a = random_floats(rng, (self.n, self.n), dtype)
+        self.b = random_floats(rng, (self.n, self.n), dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        tiles = self.n // self.tile
+        return LaunchConfig(grid_blocks=tiles * tiles, threads_per_block=self.tile * self.tile)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        a = ctx.alloc("a", self.a, dtype)
+        b = ctx.alloc("b", self.b, dtype)
+        c = ctx.alloc_zeros("c", (self.n, self.n), dtype)
+        tiled_gemm(ctx, a, b, c, self.n, self.tile, dtype)
+        return {"c": ctx.read_buffer(c)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        """Tile-ordered accumulation matching the kernel's rounding."""
+        self.prepare()
+        dtype = self.spec.dtype
+        np_t = dtype.np_dtype
+        acc = np.zeros((self.n, self.n), dtype=np_t)
+        for k in range(self.n):
+            if dtype is DType.FP16:
+                acc = (self.a[:, k : k + 1] * self.b[k : k + 1, :] + acc).astype(np_t)
+            elif dtype is DType.INT32:
+                acc = acc + self.a[:, k : k + 1] * self.b[k : k + 1, :]
+            else:
+                wide = np.float64 if dtype is DType.FP64 else np.float32
+                acc = (
+                    self.a[:, k : k + 1].astype(wide) * self.b[k : k + 1, :].astype(wide)
+                    + acc.astype(wide)
+                ).astype(np_t)
+        return {"c": acc}
+
+
+class GemmMmaWorkload(Workload):
+    """GEMM on tensor cores: one warp per 16×16 output tile.
+
+    ``HGEMM-MMA`` keeps FP16 data end to end; ``FGEMM-MMA`` stores FP32
+    matrices, casts the input tiles to FP16 (CVT instructions — "FP32 casted
+    to FP16 for FMMA", §V-A) and accumulates in FP32 on the FMMA path.
+    """
+
+    MMA_TILE = 16
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, n: int = SIM_N) -> None:
+        super().__init__(spec, seed)
+        if not spec.uses_mma:
+            raise ValueError("GemmMmaWorkload requires an MMA spec")
+        self.n = n
+        if n % self.MMA_TILE:
+            raise ValueError(f"n={n} must be a multiple of {self.MMA_TILE}")
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        self.a = random_floats(rng, (self.n, self.n), dtype)
+        self.b = random_floats(rng, (self.n, self.n), dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        tiles = self.n // self.MMA_TILE
+        warps = tiles * tiles
+        return LaunchConfig(grid_blocks=1, threads_per_block=warps * 32, warp_lanes=True)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        n, tile = self.n, self.MMA_TILE
+        tiles = n // tile
+        a = ctx.alloc("a", self.a, dtype)
+        b = ctx.alloc("b", self.b, dtype)
+        c = ctx.alloc_zeros("c", (n, n), dtype)
+
+        warp = ctx.global_id()
+        tr = ctx.idiv(warp, tiles)
+        tc = ctx.imod(warp, tiles)
+        acc = ctx.zeros_tile(tile, tile, dtype)
+        for kt in ctx.range(tiles):
+            a_base = ctx.mad(tr, tile * n, kt * tile)
+            b_base = ctx.mad(tc, tile, kt * tile * n)
+            at = ctx.ld_tile(a, a_base, tile, tile, n)
+            bt = ctx.ld_tile(b, b_base, tile, tile, n)
+            if dtype is not DType.FP16:
+                at = ctx.cvt(at, DType.FP16)
+                bt = ctx.cvt(bt, DType.FP16)
+            acc = ctx.mma(at, bt, acc)
+        c_base = ctx.mad(tr, tile * n, ctx.mul(tc, tile))
+        ctx.st_tile(c, c_base, acc, n)
+        return {"c": ctx.read_buffer(c)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        """Per-k-tile FP32 accumulation with per-step cast to the accumulate
+        precision, matching the tensor-core pipeline exactly."""
+        self.prepare()
+        dtype = self.spec.dtype
+        tile = self.MMA_TILE
+        acc = np.zeros((self.n, self.n), dtype=dtype.np_dtype)
+        for kt in range(self.n // tile):
+            a_blk = self.a[:, kt * tile : (kt + 1) * tile].astype(np.float16)
+            b_blk = self.b[kt * tile : (kt + 1) * tile, :].astype(np.float16)
+            prod = a_blk.astype(np.float32) @ b_blk.astype(np.float32)
+            acc = (prod + acc.astype(np.float32)).astype(dtype.np_dtype)
+        return {"c": acc}

@@ -1,0 +1,107 @@
+"""Hotspot: iterative thermal stencil (Rodinia).
+
+Each thread owns one grid cell and repeatedly relaxes its temperature from
+the four neighbors and the local power dissipation.  The iterative
+re-smoothing of values is the paper's explanation for why half-precision
+Hotspot tolerates injected faults far better than the FP32 AVF predicts
+("its intrinsic characteristic of iterating the computation can smooth the
+faulty value", §VII-A) — that behaviour emerges mechanistically here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_SIDE = 24
+SIM_STEPS = 6
+
+
+class HotspotWorkload(Workload):
+    """2-D five-point stencil with ping-pong buffers."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, side: int = SIM_SIDE, steps: int = SIM_STEPS) -> None:
+        super().__init__(spec, seed)
+        self.side = side
+        self.steps = steps
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        self.temp = (rng.uniform(0.25, 1.0, size=(self.side, self.side))).astype(dtype.np_dtype)
+        self.power = (rng.uniform(0.0, 0.125, size=(self.side, self.side))).astype(dtype.np_dtype)
+        self.c_diff = dtype.np_dtype.type(0.125)
+        self.c_power = dtype.np_dtype.type(0.5)
+
+    def sim_launch(self) -> LaunchConfig:
+        total = self.side * self.side
+        tpb = 96
+        assert total % tpb == 0
+        return LaunchConfig(grid_blocks=total // tpb, threads_per_block=tpb)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        n = self.side
+        t_in = ctx.alloc("t0", self.temp, dtype)
+        t_out = ctx.alloc("t1", self.temp, dtype)
+        power = ctx.alloc("power", self.power, dtype)
+
+        gid = ctx.global_id()
+        row = ctx.idiv(gid, n)
+        col = ctx.imod(gid, n)
+        zero = ctx.const(0, DType.INT32)
+        top = ctx.maximum(ctx.sub(row, 1), zero)
+        bot = ctx.minimum(ctx.add(row, 1), n - 1)
+        left = ctx.maximum(ctx.sub(col, 1), zero)
+        right = ctx.minimum(ctx.add(col, 1), n - 1)
+        i_c = ctx.mad(row, n, col)
+        i_t = ctx.mad(top, n, col)
+        i_b = ctx.mad(bot, n, col)
+        i_l = ctx.mad(row, n, left)
+        i_r = ctx.mad(row, n, right)
+        p = ctx.ld(power, i_c)
+
+        src, dst = t_in, t_out
+        for _ in ctx.range(self.steps):
+            center = ctx.ld(src, i_c)
+            acc = ctx.ld(src, i_t)
+            acc = ctx.add(acc, ctx.ld(src, i_b))
+            acc = ctx.add(acc, ctx.ld(src, i_l))
+            acc = ctx.add(acc, ctx.ld(src, i_r))
+            # delta = c_diff * (sum_neighbors - 4*center) + c_power * power
+            minus4 = ctx.const(-4.0, dtype)
+            laplacian = ctx.fma(center, minus4, acc)
+            delta = ctx.fma(p, ctx.const(float(self.c_power), dtype),
+                            ctx.mul(laplacian, ctx.const(float(self.c_diff), dtype)))
+            ctx.st(dst, i_c, ctx.add(center, delta))
+            ctx.bar()
+            src, dst = dst, src
+        return {"temp": ctx.read_buffer(src)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        dtype = self.spec.dtype
+        np_t = dtype.np_dtype
+        t = self.temp.copy()
+        n = self.side
+        idx = np.arange(n)
+        top, bot = np.maximum(idx - 1, 0), np.minimum(idx + 1, n - 1)
+        for _ in range(self.steps):
+            acc = (((t[top, :] + t[bot, :]).astype(np_t) + t[:, top]).astype(np_t) + t[:, bot]).astype(np_t)
+            if dtype is DType.FP16:
+                lap = (t * np_t.type(-4.0) + acc).astype(np_t)
+                delta = (self.power * self.c_power + (lap * self.c_diff).astype(np_t)).astype(np_t)
+            else:
+                wide = np.float64 if dtype is DType.FP64 else np.float32
+                lap = (t.astype(wide) * -4.0 + acc.astype(wide)).astype(np_t)
+                delta = (
+                    self.power.astype(wide) * float(self.c_power)
+                    + (lap.astype(wide) * float(self.c_diff)).astype(np_t).astype(wide)
+                ).astype(np_t)
+            t = (t + delta).astype(np_t)
+        return {"temp": t}

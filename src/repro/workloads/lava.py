@@ -1,0 +1,120 @@
+"""LavaMD: particle potential/force within a cutoff-box decomposition.
+
+Each thread owns one particle and accumulates the interaction with every
+particle of its own box and the neighbor boxes.  The inner pair loop is a
+long dependency chain of subtractions, FMAs and an ``exp`` (MUFU) — the
+kind of latency-bound code whose Volta IPC the paper's Table I reports at
+0.07–0.26 despite decent occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_BOXES = 6
+SIM_PARTICLES_PER_BOX = 16
+#: interaction strength in exp(-alpha * r^2)
+ALPHA = 0.5
+
+
+class LavaWorkload(Workload):
+    """1-D box decomposition of the Rodinia lavaMD kernel."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        seed: int = 0,
+        boxes: int = SIM_BOXES,
+        per_box: int = SIM_PARTICLES_PER_BOX,
+    ) -> None:
+        super().__init__(spec, seed)
+        self.boxes = boxes
+        self.per_box = per_box
+
+    @property
+    def total(self) -> int:
+        return self.boxes * self.per_box
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        # positions in [0, 1) so r^2 stays small and exp() well-conditioned
+        self.px = rng.random(self.total).astype(dtype.np_dtype)
+        self.py = rng.random(self.total).astype(dtype.np_dtype)
+        self.pz = rng.random(self.total).astype(dtype.np_dtype)
+        self.charge = rng.uniform(0.1, 1.0, self.total).astype(dtype.np_dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        return LaunchConfig(grid_blocks=self.boxes, threads_per_block=self.per_box)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        px = ctx.alloc("px", self.px, dtype)
+        py = ctx.alloc("py", self.py, dtype)
+        pz = ctx.alloc("pz", self.pz, dtype)
+        qv = ctx.alloc("qv", self.charge, dtype)
+        fv = ctx.alloc_zeros("fv", self.total, dtype)
+
+        gid = ctx.global_id()
+        box = ctx.block_idx()
+        x_i = ctx.ld(px, gid)
+        y_i = ctx.ld(py, gid)
+        z_i = ctx.ld(pz, gid)
+
+        acc = ctx.const(0, dtype)
+        # neighbor boxes: self, left, right (clamped at the ends)
+        for shift in (-1, 0, 1):
+            nbox = ctx.add(box, shift)
+            nbox = ctx.maximum(nbox, ctx.const(0, DType.INT32))
+            nbox = ctx.minimum(nbox, ctx.const(self.boxes - 1, DType.INT32))
+            base = ctx.mul(nbox, self.per_box)
+            for j in ctx.range(self.per_box, unroll=4):
+                idx = ctx.add(base, j)
+                dx = ctx.sub(x_i, ctx.ld(px, idx))
+                dy = ctx.sub(y_i, ctx.ld(py, idx))
+                dz = ctx.sub(z_i, ctx.ld(pz, idx))
+                r2 = ctx.mul(dx, dx)
+                r2 = ctx.fma(dy, dy, r2)
+                r2 = ctx.fma(dz, dz, r2)
+                u = ctx.exp(ctx.mul(r2, ctx.const(-ALPHA, dtype)))
+                q = ctx.ld(qv, idx)
+                acc = ctx.fma(q, u, acc)
+        ctx.st(fv, gid, acc)
+        return {"fv": ctx.read_buffer(fv)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        dtype = self.spec.dtype
+        np_t = dtype.np_dtype
+        wide = np.float64 if dtype is DType.FP64 else np.float32
+        acc = np.zeros(self.total, dtype=np_t)
+        box_of = np.arange(self.total) // self.per_box
+        for shift in (-1, 0, 1):
+            nbox = np.clip(box_of + shift, 0, self.boxes - 1)
+            for j in range(self.per_box):
+                idx = nbox * self.per_box + j
+                if dtype is DType.FP16:
+                    dx = (self.px - self.px[idx]).astype(np_t)
+                    dy = (self.py - self.py[idx]).astype(np_t)
+                    dz = (self.pz - self.pz[idx]).astype(np_t)
+                    r2 = (dx * dx).astype(np_t)
+                    r2 = (dy * dy + r2).astype(np_t)
+                    r2 = (dz * dz + r2).astype(np_t)
+                    u = np.exp((r2 * np_t.type(-ALPHA)).astype(np.float64)).astype(np_t)
+                    acc = (self.charge[idx] * u + acc).astype(np_t)
+                else:
+                    dx = (self.px.astype(wide) - self.px[idx].astype(wide)).astype(np_t)
+                    dy = (self.py.astype(wide) - self.py[idx].astype(wide)).astype(np_t)
+                    dz = (self.pz.astype(wide) - self.pz[idx].astype(wide)).astype(np_t)
+                    r2 = (dx.astype(wide) * dx.astype(wide)).astype(np_t)
+                    r2 = (dy.astype(wide) * dy.astype(wide) + r2.astype(wide)).astype(np_t)
+                    r2 = (dz.astype(wide) * dz.astype(wide) + r2.astype(wide)).astype(np_t)
+                    u = np.exp((r2.astype(wide) * wide(-ALPHA)).astype(np.float64)).astype(np_t)
+                    acc = (self.charge[idx].astype(wide) * u.astype(wide) + acc.astype(wide)).astype(np_t)
+        return {"fv": acc}

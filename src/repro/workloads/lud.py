@@ -1,0 +1,96 @@
+"""LU decomposition (Rodinia "lud"), Doolittle scheme without pivoting.
+
+In-place: after the kernel, the strictly-lower triangle holds L (unit
+diagonal implied) and the upper triangle holds U.  Same shrinking-active-
+region structure as Gaussian elimination but staged through shared memory
+for the pivot row/column, reflecting Rodinia's tiled implementation
+(Table I: 8.6 KB shared on Kepler).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_N = 16
+
+
+class LudWorkload(Workload):
+    """In-place LU factorization, one thread per matrix element."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, n: int = SIM_N) -> None:
+        super().__init__(spec, seed)
+        self.n = n
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        a = rng.uniform(-1.0, 1.0, size=(self.n, self.n))
+        a += np.eye(self.n) * self.n  # diagonally dominant: stable without pivoting
+        self.a = a.astype(dtype.np_dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        total = self.n * self.n
+        tpb = 64
+        assert total % tpb == 0
+        return LaunchConfig(grid_blocks=total // tpb, threads_per_block=tpb)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        n = self.n
+        a = ctx.alloc("a", self.a, dtype)
+        # shared staging of the pivot row, per block (Rodinia-style tiling)
+        srow = ctx.shared_alloc("pivot_row", n, dtype)
+
+        gid = ctx.global_id()
+        row = ctx.idiv(gid, n)
+        col = ctx.imod(gid, n)
+        a_idx = ctx.mad(row, n, col)
+        tid = ctx.thread_idx()
+
+        for k in ctx.range(self.n - 1):
+            # stage pivot row k into shared memory (first n threads per block)
+            with ctx.masked(ctx.setp(tid, "lt", n)):
+                ctx.st(srow, tid, ctx.ld(a, ctx.add(tid, k * n)))
+            ctx.bar()
+            # column scale: a[i,k] /= a[k,k] for i > k
+            with ctx.masked(ctx.pred_and(ctx.setp(col, "eq", k), ctx.setp(row, "gt", k))):
+                pivot = ctx.ld(srow, k)
+                ctx.st(a, a_idx, ctx.div(ctx.ld(a, a_idx), pivot))
+            ctx.bar()
+            # trailing update: a[i,j] -= a[i,k] * a[k,j] for i,j > k
+            with ctx.masked(ctx.pred_and(ctx.setp(row, "gt", k), ctx.setp(col, "gt", k))):
+                l_ik = ctx.ld(a, ctx.mad(row, n, k))
+                u_kj = ctx.ld(srow, col)
+                cur = ctx.ld(a, a_idx)
+                ctx.st(a, a_idx, ctx.sub(cur, ctx.mul(l_ik, u_kj)))
+            ctx.bar()
+        return {"a": ctx.read_buffer(a)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        dtype = self.spec.dtype
+        np_t = dtype.np_dtype
+        wide = np.float64 if dtype is DType.FP64 else np.float32
+        a = self.a.copy()
+        n = self.n
+        for k in range(n - 1):
+            if dtype is DType.FP16:
+                recip = np.float16(1.0 / np.float64(a[k, k]))
+                a[k + 1 :, k] = (a[k + 1 :, k] * recip).astype(np_t)
+                a[k + 1 :, k + 1 :] = (
+                    a[k + 1 :, k + 1 :] - (a[k + 1 :, k, None] * a[None, k, k + 1 :]).astype(np_t)
+                ).astype(np_t)
+            else:
+                recip = np_t.type(1.0 / np.float64(a[k, k]))
+                a[k + 1 :, k] = (a[k + 1 :, k].astype(wide) * wide(recip)).astype(np_t)
+                a[k + 1 :, k + 1 :] = (
+                    a[k + 1 :, k + 1 :].astype(wide)
+                    - (a[k + 1 :, k, None].astype(wide) * a[None, k, k + 1 :].astype(wide)).astype(np_t)
+                ).astype(np_t)
+        return {"a": a}

@@ -1,0 +1,84 @@
+"""Naive matrix multiplication (the paper's MxM).
+
+One thread per output element; the k-loop issues two global loads and one
+FMA per step, plus the integer address arithmetic a real SASS kernel would
+carry.  This is the paper's "naive version" counterpart to the cuBLAS GEMM
+(§III-B) and, like it, is dominated by FMA instructions — the most
+vulnerable functional unit — with every GPU FU busy (highest SDC FIT in
+Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec, random_floats
+
+#: simulation-scale matrix dimension (paper runs 2048²; scaled so thousands
+#: of injection runs stay tractable)
+SIM_N = 24
+
+
+class MxMWorkload(Workload):
+    """C = A @ B, one thread per C element, sequential k accumulation."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, n: int = SIM_N) -> None:
+        super().__init__(spec, seed)
+        self.n = n
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        dtype = self.spec.dtype
+        self.a = random_floats(rng, (self.n, self.n), dtype)
+        self.b = random_floats(rng, (self.n, self.n), dtype)
+
+    def sim_launch(self) -> LaunchConfig:
+        total = self.n * self.n
+        tpb = 64
+        assert total % tpb == 0, "sim size must fill whole blocks"
+        return LaunchConfig(grid_blocks=total // tpb, threads_per_block=tpb)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        n = self.n
+        a = ctx.alloc("a", self.a, dtype)
+        b = ctx.alloc("b", self.b, dtype)
+        c = ctx.alloc_zeros("c", (n, n), dtype)
+
+        gid = ctx.global_id()
+        row = ctx.idiv(gid, n)
+        col = ctx.imod(gid, n)
+        acc = ctx.const(0, dtype)
+        for k in ctx.range(n, unroll=4):
+            a_idx = ctx.mad(row, n, k)          # row * n + k
+            b_idx = ctx.add(col, k * n)         # k * n + col
+            x = ctx.ld(a, a_idx)
+            y = ctx.ld(b, b_idx)
+            acc = ctx.fma(x, y, acc)
+        out_idx = ctx.mad(row, n, col)
+        ctx.st(c, out_idx, acc)
+        return {"c": ctx.read_buffer(c)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        """Sequential-k accumulation in the working precision, matching the
+        kernel's rounding behaviour exactly (bitwise)."""
+        self.prepare()
+        dtype = self.spec.dtype
+        np_t = dtype.np_dtype
+        acc = np.zeros((self.n, self.n), dtype=np_t)
+        for k in range(self.n):
+            if dtype is DType.FP16:
+                acc = (self.a[:, k : k + 1] * self.b[k : k + 1, :] + acc).astype(np_t)
+            elif dtype is DType.INT32:
+                acc = acc + self.a[:, k : k + 1] * self.b[k : k + 1, :]
+            else:
+                wide = np.float64 if dtype is DType.FP64 else np.float32
+                acc = (
+                    self.a[:, k : k + 1].astype(wide) * self.b[k : k + 1, :].astype(wide)
+                    + acc.astype(wide)
+                ).astype(np_t)
+        return {"c": acc}

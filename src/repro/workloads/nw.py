@@ -1,0 +1,87 @@
+"""Needleman-Wunsch sequence alignment (Rodinia "nw") — integer wavefront DP.
+
+The (n+1)×(n+1) score matrix is filled along anti-diagonals: one thread per
+row, active only while its cell lies on the current diagonal.  This is the
+paper's example of a poorly-GPU-matched code (Table I: occupancy 0.08,
+IPC 0.2) whose beam FIT the injection-based model *underestimates* because
+hidden parallelism-management resources dominate its error rate (§VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+SIM_N = 24
+PENALTY = 2
+
+
+class NwWorkload(Workload):
+    """Anti-diagonal wavefront fill of the alignment score matrix."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, n: int = SIM_N) -> None:
+        super().__init__(spec, seed)
+        self.n = n
+
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        # substitution scores in [-4, 4], mimicking BLOSUM-style tables
+        self.sub = rng.integers(-4, 5, size=(self.n, self.n)).astype(np.int32)
+
+    def sim_launch(self) -> LaunchConfig:
+        tpb = min(128, self.n)
+        blocks = (self.n + tpb - 1) // tpb
+        return LaunchConfig(grid_blocks=blocks, threads_per_block=tpb)
+
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        n = self.n
+        m = n + 1
+        sub = ctx.alloc("sub", self.sub, DType.INT32)
+        # score matrix with initialized boundary (gap penalties)
+        init = np.zeros((m, m), dtype=np.int32)
+        init[0, :] = -PENALTY * np.arange(m)
+        init[:, 0] = -PENALTY * np.arange(m)
+        score = ctx.alloc("score", init, DType.INT32)
+
+        i = ctx.add(ctx.global_id(), 1)  # this thread's matrix row, 1-based
+        pen = ctx.const(PENALTY, DType.INT32)
+        for d in ctx.range(2 * n - 1):
+            # cells on diagonal d: i + j = d + 2  (i, j both 1-based)
+            j_of = ctx.sub(ctx.const(d + 2, DType.INT32), i)
+            on_diag = ctx.pred_and(
+                ctx.pred_and(ctx.setp(j_of, "ge", 1), ctx.setp(j_of, "le", n)),
+                ctx.setp(i, "le", n),
+            )
+            with ctx.masked(on_diag):
+                nw_idx = ctx.mad(ctx.sub(i, 1), m, ctx.sub(j_of, 1))
+                up_idx = ctx.mad(ctx.sub(i, 1), m, j_of)
+                left_idx = ctx.mad(i, m, ctx.sub(j_of, 1))
+                sub_idx = ctx.mad(ctx.sub(i, 1), n, ctx.sub(j_of, 1))
+                diag_score = ctx.add(ctx.ld(score, nw_idx), ctx.ld(sub, sub_idx))
+                up_score = ctx.sub(ctx.ld(score, up_idx), pen)
+                left_score = ctx.sub(ctx.ld(score, left_idx), pen)
+                best = ctx.maximum(diag_score, ctx.maximum(up_score, left_score))
+                ctx.st(score, ctx.mad(i, m, j_of), best)
+            ctx.bar()
+        return {"score": ctx.read_buffer(score)}
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        self.prepare()
+        n = self.n
+        m = n + 1
+        score = np.zeros((m, m), dtype=np.int32)
+        score[0, :] = -PENALTY * np.arange(m)
+        score[:, 0] = -PENALTY * np.arange(m)
+        for i in range(1, m):
+            for j in range(1, m):
+                score[i, j] = max(
+                    score[i - 1, j - 1] + self.sub[i - 1, j - 1],
+                    score[i - 1, j] - PENALTY,
+                    score[i, j - 1] - PENALTY,
+                )
+        return {"score": score}

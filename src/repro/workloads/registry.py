@@ -1,0 +1,182 @@
+"""Registry of paper code names → configured workload instances.
+
+The per-code metadata (reference launch, registers/thread, shared bytes,
+ILP) follows the paper's Table I: register allocation and shared-memory
+usage are compiler/library properties of the original binaries, so we take
+them as given rather than re-deriving them, and feed them to the occupancy
+model exactly as the paper feeds NVPROF's values to φ.
+
+Naming follows the paper: D/F/H prefix for double/float/half floating-point
+codes; integer codes are unprefixed; ``-MMA`` marks the tensor-core GEMM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.ccl import CclWorkload
+from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.gemm import GemmMmaWorkload, GemmWorkload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.lava import LavaWorkload
+from repro.workloads.lud import LudWorkload
+from repro.workloads.mxm import MxMWorkload
+from repro.workloads.nw import NwWorkload
+from repro.workloads.sorts import MergesortWorkload, QuicksortWorkload
+from repro.workloads.yolo import YOLOV2, YOLOV3, YoloWorkload
+
+WorkloadBuilder = Callable[[int], Workload]
+
+
+def _spec(name, base, dtype, **kw) -> WorkloadSpec:
+    return WorkloadSpec(name=name, base=base, dtype=dtype, **kw)
+
+
+def _mxm(name, dtype, regs, ilp=5.0, shared=0, grid=4096, tpb=256):
+    spec = _spec(
+        name, "MxM", dtype,
+        registers_per_thread=regs, shared_bytes_per_block=shared,
+        ref_grid_blocks=grid, ref_threads_per_block=tpb, ilp=ilp,
+    )
+    return lambda seed: MxMWorkload(spec, seed)
+
+
+def _gemm(name, dtype, regs, shared, ilp=6.0, grid=256, tpb=128):
+    spec = _spec(
+        name, "GEMM", dtype, proprietary=True,
+        registers_per_thread=regs, shared_bytes_per_block=shared,
+        ref_grid_blocks=grid, ref_threads_per_block=tpb, ilp=ilp,
+    )
+    return lambda seed: GemmWorkload(spec, seed)
+
+
+def _gemm_mma(name, dtype, regs, shared, grid=256, tpb=128):
+    spec = _spec(
+        name, "GEMM-MMA", dtype, proprietary=True, uses_mma=True,
+        registers_per_thread=regs, shared_bytes_per_block=shared,
+        ref_grid_blocks=grid, ref_threads_per_block=tpb, ilp=4.0,
+    )
+    return lambda seed: GemmMmaWorkload(spec, seed)
+
+
+def _hotspot(name, dtype, regs, shared, grid=1849, tpb=256, ilp=2.0):
+    spec = _spec(
+        name, "Hotspot", dtype,
+        registers_per_thread=regs, shared_bytes_per_block=shared,
+        ref_grid_blocks=grid, ref_threads_per_block=tpb, ilp=ilp,
+    )
+    return lambda seed: HotspotWorkload(spec, seed)
+
+
+def _lava(name, dtype, regs, shared, grid=1000, tpb=128, ilp=1.0):
+    spec = _spec(
+        name, "Lava", dtype,
+        registers_per_thread=regs, shared_bytes_per_block=shared,
+        ref_grid_blocks=grid, ref_threads_per_block=tpb, ilp=ilp,
+    )
+    return lambda seed: LavaWorkload(spec, seed)
+
+
+def _yolo(name, dtype, arch, regs, shared, grid=2048, tpb=256):
+    spec = _spec(
+        name, arch.name, dtype, proprietary=True,
+        registers_per_thread=regs, shared_bytes_per_block=shared,
+        ref_grid_blocks=grid, ref_threads_per_block=tpb, ilp=3.0,
+    )
+    return lambda seed: YoloWorkload(spec, arch, seed)
+
+
+#: All buildable code configurations, keyed (device_arch, code_name).
+WORKLOAD_BUILDERS: Dict[str, Dict[str, WorkloadBuilder]] = {
+    # ----------------------------------------------------- Kepler (Table I left)
+    "kepler": {
+        "CCL": (lambda seed: CclWorkload(_spec(
+            "CCL", "CCL", DType.INT32, registers_per_thread=34,
+            shared_bytes_per_block=123, ref_grid_blocks=64, ref_threads_per_block=256,
+            ilp=1.0), seed)),
+        "BFS": (lambda seed: BfsWorkload(_spec(
+            "BFS", "BFS", DType.INT32, registers_per_thread=21,
+            shared_bytes_per_block=0, ref_grid_blocks=4096, ref_threads_per_block=512,
+            ilp=1.5), seed)),
+        "FLAVA": _lava("FLAVA", DType.FP32, regs=37, shared=7 * 1024, grid=1000, tpb=128, ilp=6.0),
+        "FHOTSPOT": _hotspot("FHOTSPOT", DType.FP32, regs=23, shared=3 * 1024, ilp=5.0),
+        "FGAUSSIAN": (lambda seed: GaussianWorkload(_spec(
+            "FGAUSSIAN", "Gaussian", DType.FP32, registers_per_thread=14,
+            shared_bytes_per_block=0, ref_grid_blocks=512, ref_threads_per_block=512,
+            ilp=1.5), seed)),
+        "FLUD": (lambda seed: LudWorkload(_spec(
+            "FLUD", "LUD", DType.FP32, registers_per_thread=27,
+            shared_bytes_per_block=int(8.6 * 1024), ref_grid_blocks=256,
+            ref_threads_per_block=256, ilp=1.5), seed)),
+        "NW": (lambda seed: NwWorkload(_spec(
+            "NW", "NW", DType.INT32, registers_per_thread=32,
+            shared_bytes_per_block=int(8.2 * 1024), ref_grid_blocks=31,
+            ref_threads_per_block=64, ilp=1.0), seed)),
+        "FMXM": _mxm("FMXM", DType.FP32, regs=25, shared=8 * 1024, grid=4096, tpb=256),
+        "FGEMM": _gemm("FGEMM", DType.FP32, regs=248, shared=31 * 1024, grid=120, tpb=256),
+        "MERGESORT": (lambda seed: MergesortWorkload(_spec(
+            "MERGESORT", "Mergesort", DType.INT32, registers_per_thread=16,
+            shared_bytes_per_block=int(2.5 * 1024), ref_grid_blocks=4096,
+            ref_threads_per_block=256, ilp=2.0), seed)),
+        "QUICKSORT": (lambda seed: QuicksortWorkload(_spec(
+            "QUICKSORT", "Quicksort", DType.INT32, registers_per_thread=27,
+            shared_bytes_per_block=328, ref_grid_blocks=4096,
+            ref_threads_per_block=256, ilp=1.2), seed)),
+        "FYOLOV2": _yolo("FYOLOV2", DType.FP32, YOLOV2, regs=97, shared=8 * 1024),
+        "FYOLOV3": _yolo("FYOLOV3", DType.FP32, YOLOV3, regs=100, shared=int(9.1 * 1024)),
+    },
+    # ------------------------------------------------------ Volta (Table I right)
+    "volta": {
+        "HLAVA": _lava("HLAVA", DType.FP16, regs=255, shared=8 * 1024, grid=500, tpb=128, ilp=0.8),
+        "FLAVA": _lava("FLAVA", DType.FP32, regs=255, shared=8 * 1024, grid=500, tpb=128, ilp=0.8),
+        "DLAVA": _lava("DLAVA", DType.FP64, regs=254, shared=16 * 1024, grid=500, tpb=128, ilp=0.8),
+        "HHOTSPOT": _hotspot("HHOTSPOT", DType.FP16, regs=26, shared=16 * 1024, grid=7396, tpb=1024, ilp=2.5),
+        "FHOTSPOT": _hotspot("FHOTSPOT", DType.FP32, regs=27, shared=32 * 1024, grid=7396, tpb=1024, ilp=2.0),
+        "DHOTSPOT": _hotspot("DHOTSPOT", DType.FP64, regs=30, shared=64 * 1024, grid=7396, tpb=1024, ilp=1.5),
+        "HMXM": _mxm("HMXM", DType.FP16, regs=27, grid=16384),
+        "FMXM": _mxm("FMXM", DType.FP32, regs=25, grid=16384),
+        "DMXM": _mxm("DMXM", DType.FP64, regs=29, grid=16384),
+        "HGEMM": _gemm("HGEMM", DType.FP16, regs=127, shared=64 * 1024, grid=640),
+        "FGEMM": _gemm("FGEMM", DType.FP32, regs=134, shared=64 * 1024, grid=640),
+        "DGEMM": _gemm("DGEMM", DType.FP64, regs=234, shared=64 * 1024, grid=640),
+        "HGEMM-MMA": _gemm_mma("HGEMM-MMA", DType.FP16, regs=120, shared=64 * 1024, grid=640),
+        "FGEMM-MMA": _gemm_mma("FGEMM-MMA", DType.FP32, regs=130, shared=64 * 1024, grid=640),
+        "HYOLOV3": _yolo("HYOLOV3", DType.FP16, YOLOV3, regs=55, shared=int(21.5 * 1024), grid=3584),
+        "FYOLOV3": _yolo("FYOLOV3", DType.FP32, YOLOV3, regs=39, shared=int(34.2 * 1024), grid=3584),
+        # Figure 4's Volta panel also reports YOLOv2 AVFs, and the Kepler
+        # YOLO predictions borrow Volta NVBitFI campaigns (§III-D)
+        "FYOLOV2": _yolo("FYOLOV2", DType.FP32, YOLOV2, regs=97, shared=8 * 1024, grid=3584),
+    },
+}
+
+
+def get_workload(arch: str, name: str, seed: int = 0) -> Workload:
+    """Build one configured workload, e.g. ``get_workload("kepler", "FMXM")``."""
+    arch = arch.lower()
+    try:
+        builders = WORKLOAD_BUILDERS[arch]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown architecture {arch!r}") from exc
+    try:
+        builder = builders[name.upper()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"no code named {name!r} for {arch}; available: {sorted(builders)}"
+        ) from exc
+    return builder(seed)
+
+
+def kepler_codes() -> List[str]:
+    return list(WORKLOAD_BUILDERS["kepler"])
+
+
+def volta_codes() -> List[str]:
+    return list(WORKLOAD_BUILDERS["volta"])
+
+
+def all_codes() -> Dict[str, List[str]]:
+    return {arch: list(names) for arch, names in WORKLOAD_BUILDERS.items()}

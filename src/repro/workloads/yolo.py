@@ -1,0 +1,231 @@
+"""YOLOv2 / YOLOv3-style CNN object detectors.
+
+A darknet-like stack of 3×3 convolutions (computed as GEMM-style
+dot-product loops, the way the real YOLO leans on cuBLAS, §VI), leaky-ReLU
+activations, 2×2 max-pooling and a 1×1 detection head that emits, per grid
+cell, ``[tx, ty, tw, th, obj, class...]``.
+
+The SDC criterion is classification-aware, as the paper prescribes for
+CNNs: "some faults that propagate to the output are not considered errors
+since they do not modify the classification result".  YOLOv2 — shallower
+and less accurate — tolerates larger deviations than YOLOv3, which is why
+its AVF is lower (§VI).  Both are flagged proprietary (cuDNN/cuBLAS-backed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.dtypes import DType
+from repro.sim.launch import LaunchConfig
+from repro.workloads.base import CompareResult, Workload, WorkloadSpec
+
+#: detection-head channel layout
+BOX_CHANNELS = 4          # tx, ty, tw, th
+NUM_CLASSES = 3
+HEAD_CHANNELS = BOX_CHANNELS + 1 + NUM_CLASSES
+
+#: objectness decision threshold for the comparison criterion
+OBJ_THRESHOLD = 0.0
+
+LEAKY_SLOPE = 0.1
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One convolution layer: 3×3 same-padding unless ksize=1."""
+
+    in_c: int
+    out_c: int
+    ksize: int = 3
+    residual: bool = False   # add the layer input back (YOLOv3 shortcut)
+
+
+@dataclass(frozen=True)
+class YoloArch:
+    """Network shape: (layers at 8×8) → pool → (layers at 4×4) → pool → head."""
+
+    name: str
+    stage1: Tuple[ConvSpec, ...]
+    stage2: Tuple[ConvSpec, ...]
+    head_in_c: int
+    #: relative tolerance on box coordinates for the SDC criterion — the
+    #: less accurate network (v2) tolerates more perturbation
+    box_rel_tol: float
+
+
+YOLOV2 = YoloArch(
+    name="yolov2",
+    stage1=(ConvSpec(3, 8),),
+    stage2=(ConvSpec(8, 16),),
+    head_in_c=16,
+    box_rel_tol=0.10,
+)
+
+YOLOV3 = YoloArch(
+    name="yolov3",
+    stage1=(ConvSpec(3, 8), ConvSpec(8, 8, residual=True)),
+    stage2=(ConvSpec(8, 16), ConvSpec(16, 16, residual=True)),
+    head_in_c=16,
+    box_rel_tol=0.02,
+)
+
+SIM_INPUT_SIDE = 8
+
+
+class YoloWorkload(Workload):
+    """Scaled-down YOLO inference on one random image."""
+
+    def __init__(self, spec: WorkloadSpec, arch: YoloArch, seed: int = 0) -> None:
+        super().__init__(spec, seed)
+        self.arch = arch
+        self.side = SIM_INPUT_SIDE
+
+    # -- inputs --------------------------------------------------------------
+    def _generate_inputs(self, rng: np.random.Generator) -> None:
+        np_t = self.spec.dtype.np_dtype
+        self.image = rng.uniform(0.0, 1.0, size=(self.side, self.side, 3)).astype(np_t)
+        self.weights: Dict[str, np.ndarray] = {}
+        self.biases: Dict[str, np.ndarray] = {}
+        for i, conv in enumerate(self.arch.stage1 + self.arch.stage2):
+            fan_in = conv.ksize * conv.ksize * conv.in_c
+            w = rng.normal(0.0, 1.0 / np.sqrt(fan_in), size=(conv.out_c, fan_in))
+            self.weights[f"conv{i}"] = w.astype(np_t)
+            self.biases[f"conv{i}"] = rng.normal(0.0, 0.05, size=conv.out_c).astype(np_t)
+        w = rng.normal(0.0, 1.0 / np.sqrt(self.arch.head_in_c), size=(HEAD_CHANNELS, self.arch.head_in_c))
+        self.weights["head"] = w.astype(np_t)
+        self.biases["head"] = rng.normal(0.0, 0.05, size=HEAD_CHANNELS).astype(np_t)
+
+    # -- launch ---------------------------------------------------------------
+    def sim_launch(self) -> LaunchConfig:
+        max_elems = self.side * self.side * max(c.out_c for c in self.arch.stage1)
+        tpb = 64
+        blocks = (max_elems + tpb - 1) // tpb
+        return LaunchConfig(grid_blocks=blocks, threads_per_block=tpb)
+
+    # -- device-side layers ----------------------------------------------------
+    def _conv(self, ctx, x_buf, name: str, conv: ConvSpec, h: int, w: int):
+        """3×3 (or 1×1) same-padding convolution + bias + leaky ReLU.
+
+        One thread per output element (GEMM-style K-loop of FMAs).
+        """
+        dtype = self.spec.dtype
+        wgt = ctx.alloc(f"{name}_w", self.weights[name], dtype)
+        bias = ctx.alloc(f"{name}_b", self.biases[name], dtype)
+        out = ctx.alloc_zeros(f"{name}_out", (h, w, conv.out_c), dtype)
+
+        elems = h * w * conv.out_c
+        gid = ctx.global_id()
+        live = ctx.setp(gid, "lt", elems)
+        with ctx.masked(live):
+            oc = ctx.imod(gid, conv.out_c)
+            pix = ctx.idiv(gid, conv.out_c)
+            oy = ctx.idiv(pix, w)
+            ox = ctx.imod(pix, w)
+            acc = ctx.ld(bias, oc)
+            pad = conv.ksize // 2
+            fan_per_tap = conv.in_c
+            for tap in range(conv.ksize * conv.ksize):
+                ky, kx = divmod(tap, conv.ksize)
+                iy = ctx.add(oy, ky - pad)
+                ix = ctx.add(ox, kx - pad)
+                valid = ctx.pred_and(
+                    ctx.pred_and(ctx.setp(iy, "ge", 0), ctx.setp(iy, "lt", h)),
+                    ctx.pred_and(ctx.setp(ix, "ge", 0), ctx.setp(ix, "lt", w)),
+                )
+                iy_c = ctx.maximum(ctx.minimum(iy, h - 1), ctx.const(0, DType.INT32))
+                ix_c = ctx.maximum(ctx.minimum(ix, w - 1), ctx.const(0, DType.INT32))
+                in_base = ctx.mul(ctx.mad(iy_c, w, ix_c), conv.in_c)
+                w_base = ctx.mad(oc, conv.ksize * conv.ksize * conv.in_c, tap * fan_per_tap)
+                for ic in ctx.range(conv.in_c, unroll=4):
+                    xv = ctx.ld(x_buf, ctx.add(in_base, ic))
+                    wv = ctx.ld(wgt, ctx.add(w_base, ic))
+                    contrib = ctx.where(valid, xv, ctx.const(0, dtype))
+                    acc = ctx.fma(contrib, wv, acc)
+            if conv.residual:
+                acc = ctx.add(acc, ctx.ld(x_buf, gid))
+            # leaky ReLU
+            pos = ctx.setp(acc, "gt", ctx.const(0, dtype))
+            acc = ctx.where(pos, acc, ctx.mul(acc, ctx.const(LEAKY_SLOPE, dtype)))
+            ctx.st(out, gid, acc)
+        ctx.bar()
+        return out
+
+    def _maxpool(self, ctx, x_buf, name: str, h: int, w: int, c: int):
+        """2×2 stride-2 max pooling."""
+        dtype = self.spec.dtype
+        oh, ow = h // 2, w // 2
+        out = ctx.alloc_zeros(name, (oh, ow, c), dtype)
+        elems = oh * ow * c
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", elems)):
+            oc = ctx.imod(gid, c)
+            pix = ctx.idiv(gid, c)
+            oy = ctx.idiv(pix, ow)
+            ox = ctx.imod(pix, ow)
+            iy = ctx.mul(oy, 2)
+            ix = ctx.mul(ox, 2)
+            best = None
+            for dy in (0, 1):
+                for dx in (0, 1):
+                    idx = ctx.add(
+                        ctx.mul(ctx.mad(ctx.add(iy, dy), w, ctx.add(ix, dx)), c), oc
+                    )
+                    v = ctx.ld(x_buf, idx)
+                    best = v if best is None else ctx.maximum(best, v)
+            ctx.st(out, gid, best)
+        ctx.bar()
+        return out
+
+    # -- kernel -----------------------------------------------------------------
+    def kernel(self, ctx) -> Dict[str, np.ndarray]:
+        self.prepare()
+        dtype = self.spec.dtype
+        s = self.side
+        x = ctx.alloc("image", self.image, dtype)
+        li = 0
+        for conv in self.arch.stage1:
+            x = self._conv(ctx, x, f"conv{li}", conv, s, s)
+            li += 1
+        x = self._maxpool(ctx, x, "pool1", s, s, self.arch.stage1[-1].out_c)
+        s //= 2
+        for conv in self.arch.stage2:
+            x = self._conv(ctx, x, f"conv{li}", conv, s, s)
+            li += 1
+        x = self._maxpool(ctx, x, "pool2", s, s, self.arch.stage2[-1].out_c)
+        s //= 2
+        head = ConvSpec(self.arch.head_in_c, HEAD_CHANNELS, ksize=1)
+        # head has no activation: run conv then overwrite with raw affine?
+        # The leaky ReLU on the head barely matters for the criterion; keep it
+        # (it is monotonic, so argmax and sign decisions are unaffected).
+        out = self._conv(ctx, x, "head", head, s, s)
+        return {"detections": ctx.read_buffer(out)}
+
+    # -- classification-aware comparison -------------------------------------------
+    def compare(self, golden: Mapping[str, np.ndarray], observed: Mapping[str, np.ndarray]) -> CompareResult:
+        g = golden["detections"].astype(np.float64)
+        o = observed["detections"].astype(np.float64)
+        if g.shape != o.shape or not np.isfinite(o).all():
+            return CompareResult.SDC
+        cells = g.reshape(-1, HEAD_CHANNELS)
+        ocells = o.reshape(-1, HEAD_CHANNELS)
+        tol = self.arch.box_rel_tol
+        for gc, oc in zip(cells, ocells):
+            g_obj = gc[BOX_CHANNELS] > OBJ_THRESHOLD
+            o_obj = oc[BOX_CHANNELS] > OBJ_THRESHOLD
+            if g_obj != o_obj:
+                return CompareResult.SDC        # detection appears/disappears
+            if not g_obj:
+                continue                        # no object: deviations tolerated
+            if np.argmax(gc[BOX_CHANNELS + 1 :]) != np.argmax(oc[BOX_CHANNELS + 1 :]):
+                return CompareResult.SDC        # classification changed
+            scale = np.maximum(np.abs(gc[:BOX_CHANNELS]), 1e-3)
+            if (np.abs(gc[:BOX_CHANNELS] - oc[:BOX_CHANNELS]) / scale > tol).any():
+                return CompareResult.SDC        # box moved beyond tolerance
+        return CompareResult.MATCH
+
+    def reference_outputs(self) -> Optional[Dict[str, np.ndarray]]:
+        return None  # validated against invariants, not a closed form

@@ -1,0 +1,89 @@
+"""Device catalog: K40c / V100 specs and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.devices import DEVICES, KEPLER_K40C, VOLTA_TITAN_V, VOLTA_V100, get_device
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+
+
+class TestCatalog:
+    def test_lookup_case_insensitive(self):
+        assert get_device("K40C") is KEPLER_K40C
+        assert get_device("v100") is VOLTA_V100
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            get_device("a100")
+
+    def test_catalog_complete(self):
+        assert set(DEVICES) == {"k40c", "v100", "titanv"}
+
+
+class TestK40c:
+    def test_paper_core_counts(self):
+        """15 SMX × 192 CUDA cores = 2,880 (paper §III-A)."""
+        assert KEPLER_K40C.sm_count == 15
+        assert KEPLER_K40C.unit_count(UnitKind.FP32) == 2880
+
+    def test_process_node(self):
+        assert KEPLER_K40C.process_node_nm == 28
+
+    def test_dual_issue_width(self):
+        """4 schedulers × 2 instructions (paper §IV-B)."""
+        assert KEPLER_K40C.issue_width_per_sm == 8
+
+    def test_no_tensor_cores(self):
+        assert not KEPLER_K40C.has_tensor_cores
+        assert KEPLER_K40C.unit_count(UnitKind.TENSOR) == 0
+
+    def test_register_file_size(self):
+        assert KEPLER_K40C.register_file_bytes_per_sm == 256 * 1024
+
+
+class TestV100:
+    def test_paper_unit_mix(self):
+        """Each Volta SM: 64 FP32 + 64 INT32 + 32 FP64 + 8 tensor cores."""
+        per_sm = VOLTA_V100.units_per_sm
+        assert per_sm[UnitKind.FP32] == 64
+        assert per_sm[UnitKind.INT32] == 64
+        assert per_sm[UnitKind.FP64] == 32
+        assert per_sm[UnitKind.TENSOR] == 8
+
+    def test_80_sms(self):
+        assert VOLTA_V100.sm_count == 80
+
+    def test_process_node(self):
+        assert VOLTA_V100.process_node_nm == 16
+
+    def test_tensor_cores(self):
+        assert VOLTA_V100.has_tensor_cores
+        assert VOLTA_V100.unit_count(UnitKind.TENSOR) == 640
+
+    def test_titan_v_lacks_ecc(self):
+        assert not VOLTA_TITAN_V.ecc_capable
+        assert VOLTA_V100.ecc_capable
+
+
+class TestDerived:
+    def test_storage_bits(self):
+        assert KEPLER_K40C.storage_bits(UnitKind.REGISTER_FILE) == 15 * 65536 * 32
+        assert VOLTA_V100.storage_bits(UnitKind.L2_CACHE) == 6 * 1024**2 * 8
+
+    def test_storage_bits_rejects_functional_unit(self):
+        with pytest.raises(ConfigurationError):
+            KEPLER_K40C.storage_bits(UnitKind.FP32)
+
+    def test_total_threads(self):
+        assert KEPLER_K40C.max_threads_per_sm == 2048
+        assert VOLTA_V100.total_threads == 80 * 2048
+
+    def test_validation_rejects_bad_arch(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(KEPLER_K40C, architecture="pascal")
+
+    def test_validation_rejects_zero_sms(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(KEPLER_K40C, sm_count=0)

@@ -1,0 +1,51 @@
+"""Data types: widths, prefixes, NumPy mapping."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dtypes import DType, bit_width_of, dtype_of_array
+
+
+class TestDType:
+    @pytest.mark.parametrize(
+        "dtype,bits,prefix",
+        [(DType.FP16, 16, "H"), (DType.FP32, 32, "F"), (DType.FP64, 64, "D"), (DType.INT32, 32, "I")],
+    )
+    def test_bits_and_prefix(self, dtype, bits, prefix):
+        assert dtype.bits == bits
+        assert dtype.prefix == prefix
+        assert dtype.bytes == bits // 8
+
+    def test_bits_view_width_matches(self):
+        for dtype in DType:
+            assert dtype.np_bits_dtype.itemsize == dtype.np_dtype.itemsize
+
+    def test_is_float(self):
+        assert DType.FP16.is_float and DType.FP64.is_float
+        assert not DType.INT32.is_float
+
+    def test_from_label(self):
+        assert DType.from_label("fp32") is DType.FP32
+        with pytest.raises(ValueError):
+            DType.from_label("fp128")
+
+    def test_from_prefix(self):
+        assert DType.from_prefix("h") is DType.FP16
+        assert DType.from_prefix("D") is DType.FP64
+        with pytest.raises(ValueError):
+            DType.from_prefix("Q")
+
+
+class TestArrayHelpers:
+    def test_bit_width_of(self):
+        assert bit_width_of(np.zeros(3, dtype=np.float16)) == 16
+        assert bit_width_of(np.zeros(3, dtype=np.float64)) == 64
+
+    def test_dtype_of_array_round_trip(self):
+        for dtype in DType:
+            arr = np.zeros(2, dtype=dtype.np_dtype)
+            assert dtype_of_array(arr) is dtype
+
+    def test_dtype_of_array_unknown(self):
+        with pytest.raises(ValueError):
+            dtype_of_array(np.zeros(2, dtype=np.complex64))

@@ -1,0 +1,64 @@
+"""SECDED model: corrections, detections, MBU statistics."""
+
+import numpy as np
+import pytest
+
+from repro.arch.ecc import DEFAULT_MBU_PROBABILITY, EccMode, EccOutcome, SecdedModel
+
+
+class TestClassify:
+    def test_ecc_off_delivers_everything(self):
+        model = SecdedModel(mode=EccMode.OFF)
+        assert model.classify(1) is EccOutcome.DELIVERED
+        assert model.classify(2) is EccOutcome.DELIVERED
+
+    def test_ecc_on_corrects_single(self):
+        model = SecdedModel(mode=EccMode.ON)
+        assert model.classify(1) is EccOutcome.CORRECTED
+
+    def test_ecc_on_detects_multi(self):
+        model = SecdedModel(mode=EccMode.ON)
+        assert model.classify(2) is EccOutcome.DETECTED_DUE
+        assert model.classify(3) is EccOutcome.DETECTED_DUE
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SecdedModel(mode=EccMode.ON).classify(0)
+
+    def test_bad_mbu_probability(self):
+        with pytest.raises(ValueError):
+            SecdedModel(mode=EccMode.ON, mbu_probability=1.5)
+
+
+class TestSampling:
+    def test_mbu_rate_matches_paper_2_percent(self):
+        """§V-A anticipates ~2% MBUs; the sampler must reproduce it."""
+        model = SecdedModel(mode=EccMode.ON)
+        rng = np.random.default_rng(0)
+        n = 20000
+        multi = sum(1 for _ in range(n) if model.sample_bits_upset(rng) == 2)
+        assert multi / n == pytest.approx(DEFAULT_MBU_PROBABILITY, abs=0.005)
+
+    def test_strike_distribution_ecc_on(self):
+        model = SecdedModel(mode=EccMode.ON)
+        rng = np.random.default_rng(1)
+        outcomes = [model.strike(rng) for _ in range(5000)]
+        due_rate = outcomes.count(EccOutcome.DETECTED_DUE) / len(outcomes)
+        assert due_rate == pytest.approx(DEFAULT_MBU_PROBABILITY, abs=0.01)
+        assert EccOutcome.DELIVERED not in outcomes
+
+    def test_strike_distribution_ecc_off(self):
+        model = SecdedModel(mode=EccMode.OFF)
+        rng = np.random.default_rng(2)
+        outcomes = {model.strike(rng) for _ in range(100)}
+        assert outcomes == {EccOutcome.DELIVERED}
+
+
+class TestMode:
+    def test_from_flag(self):
+        assert EccMode.from_flag(True) is EccMode.ON
+        assert EccMode.from_flag(False) is EccMode.OFF
+
+    def test_enabled_property(self):
+        assert SecdedModel(mode=EccMode.ON).enabled
+        assert not SecdedModel(mode=EccMode.OFF).enabled

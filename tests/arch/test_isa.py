@@ -1,0 +1,112 @@
+"""ISA taxonomy: categories, unit mapping, throughputs."""
+
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import (
+    OpCategory,
+    OpClass,
+    arith_op,
+    categorize,
+    mma_op,
+    ops_for_dtype,
+    unit_for,
+    unit_throughput,
+)
+from repro.arch.units import UnitKind
+
+
+class TestCategories:
+    def test_fig1_buckets(self):
+        assert categorize(OpClass.FFMA) is OpCategory.FMA
+        assert categorize(OpClass.DMUL) is OpCategory.MUL
+        assert categorize(OpClass.HADD) is OpCategory.ADD
+        assert categorize(OpClass.IMAD) is OpCategory.INT
+        assert categorize(OpClass.HMMA) is OpCategory.MMA
+        assert categorize(OpClass.LDG) is OpCategory.LDST
+        assert categorize(OpClass.MUFU) is OpCategory.OTHERS
+        assert categorize(OpClass.BAR) is OpCategory.OTHERS
+
+    def test_every_op_categorized(self):
+        for op in OpClass:
+            assert categorize(op) in OpCategory
+
+    def test_arithmetic_flag(self):
+        assert OpClass.FFMA.is_arithmetic
+        assert OpClass.HMMA.is_arithmetic
+        assert not OpClass.LDG.is_arithmetic
+        assert not OpClass.SETP.is_arithmetic
+
+    def test_memory_flag(self):
+        assert OpClass.STS.is_memory
+        assert not OpClass.IADD.is_memory
+
+    def test_writes_register(self):
+        assert OpClass.LDG.writes_register      # loads write GPRs
+        assert OpClass.SETP.writes_register     # predicate register
+        assert not OpClass.STG.writes_register
+        assert not OpClass.BRA.writes_register
+
+
+class TestArithResolution:
+    @pytest.mark.parametrize(
+        "kind,dtype,expected",
+        [
+            ("ADD", DType.FP16, OpClass.HADD),
+            ("MUL", DType.FP32, OpClass.FMUL),
+            ("FMA", DType.FP64, OpClass.DFMA),
+            ("FMA", DType.INT32, OpClass.IMAD),
+        ],
+    )
+    def test_arith_op(self, kind, dtype, expected):
+        assert arith_op(kind, dtype) is expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            arith_op("DIV", DType.FP32)
+
+    def test_ops_for_dtype(self):
+        fp16 = ops_for_dtype(DType.FP16)
+        assert OpClass.HADD in fp16 and OpClass.HMMA in fp16
+        assert OpClass.FADD not in fp16
+
+    def test_mma_op(self):
+        assert mma_op(DType.FP16) is OpClass.HMMA
+        assert mma_op(DType.FP32) is OpClass.FMMA
+        with pytest.raises(ValueError):
+            mma_op(DType.FP64)
+
+
+class TestUnitMapping:
+    def test_kepler_int_shares_fp32_cores(self):
+        """The paper's §V-B architectural point: Kepler integers execute on
+        the FP32 CUDA cores; Volta has dedicated INT32 cores."""
+        assert unit_for(OpClass.IADD, "kepler") is UnitKind.FP32
+        assert unit_for(OpClass.IADD, "volta") is UnitKind.INT32
+
+    def test_fp64_units(self):
+        assert unit_for(OpClass.DFMA, "kepler") is UnitKind.FP64
+        assert unit_for(OpClass.DFMA, "volta") is UnitKind.FP64
+
+    def test_tensor(self):
+        assert unit_for(OpClass.HMMA, "volta") is UnitKind.TENSOR
+
+    def test_memory_ops_on_lsu(self):
+        assert unit_for(OpClass.LDG, "volta") is UnitKind.LSU
+        assert unit_for(OpClass.ATOM, "kepler") is UnitKind.LSU
+
+    def test_transcendental_on_sfu(self):
+        assert unit_for(OpClass.MUFU, "kepler") is UnitKind.SFU
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError):
+            unit_for(OpClass.FADD, "ampere")
+
+    def test_throughputs_positive_for_used_units(self):
+        for arch in ("kepler", "volta"):
+            for unit in (UnitKind.FP32, UnitKind.FP64, UnitKind.LSU, UnitKind.SFU):
+                assert unit_throughput(unit, arch) > 0
+
+    def test_kepler_has_no_tensor_throughput(self):
+        assert unit_throughput(UnitKind.TENSOR, "kepler") == 0.0
+        assert unit_throughput(UnitKind.TENSOR, "volta") > 0

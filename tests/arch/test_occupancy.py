@@ -1,0 +1,96 @@
+"""CUDA-style occupancy model: limiters and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.occupancy import occupancy
+from repro.common.errors import ConfigurationError
+
+
+class TestLimiters:
+    def test_warp_limited_full_occupancy(self):
+        occ = occupancy(KEPLER_K40C, 256, 32, 0, grid_blocks=10000)
+        assert occ.limiter == "warps"
+        assert occ.theoretical == pytest.approx(1.0)
+        assert occ.achieved == pytest.approx(1.0)
+
+    def test_register_limited(self):
+        """255 registers/thread force one 256-thread block per SM — the RF
+        micro-benchmark's design (§V-A)."""
+        occ = occupancy(KEPLER_K40C, 256, 255, 0, grid_blocks=10000)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 1
+        assert occ.theoretical == pytest.approx(8 / 64)
+
+    def test_shared_limited(self):
+        occ = occupancy(KEPLER_K40C, 64, 16, 24 * 1024, grid_blocks=10000)
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_sm == 2
+
+    def test_grid_limited(self):
+        occ = occupancy(KEPLER_K40C, 256, 32, 0, grid_blocks=15)
+        assert occ.limiter == "grid"
+        assert occ.achieved < 0.2
+
+    def test_block_count_limited(self):
+        occ = occupancy(KEPLER_K40C, 32, 16, 0, grid_blocks=10000)
+        assert occ.limiter == "blocks"
+        assert occ.blocks_per_sm == KEPLER_K40C.max_blocks_per_sm
+
+
+class TestActivity:
+    def test_activity_factor_scales_achieved(self):
+        full = occupancy(VOLTA_V100, 256, 32, 0, 10000, activity_factor=1.0)
+        half = occupancy(VOLTA_V100, 256, 32, 0, 10000, activity_factor=0.5)
+        assert half.achieved == pytest.approx(full.achieved * 0.5)
+        assert half.theoretical == full.theoretical
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(VOLTA_V100, 256, 32, 0, 100, activity_factor=0.0)
+
+
+class TestValidation:
+    def test_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(KEPLER_K40C, 0, 32, 0, 1)
+
+    def test_too_many_threads(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(KEPLER_K40C, 2048, 32, 0, 1)
+
+    def test_too_many_registers(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(KEPLER_K40C, 128, 300, 0, 1)
+
+    def test_shared_over_capacity(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(KEPLER_K40C, 128, 32, 128 * 1024, 1)
+
+    def test_block_cannot_fit(self):
+        # 1024 threads × 255 regs > 64K registers per SM
+        with pytest.raises(ConfigurationError):
+            occupancy(KEPLER_K40C, 1024, 255, 0, 1)
+
+
+class TestInvariants:
+    @given(
+        threads=st.sampled_from([32, 64, 128, 256, 512, 1024]),
+        regs=st.integers(min_value=16, max_value=64),
+        shared=st.sampled_from([0, 1024, 8192, 32768]),
+        grid=st.integers(min_value=1, max_value=100000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, threads, regs, shared, grid):
+        occ = occupancy(VOLTA_V100, threads, regs, shared, grid)
+        assert 0.0 < occ.theoretical <= 1.0
+        assert 0.0 <= occ.achieved <= occ.theoretical + 1e-9
+        assert occ.blocks_per_sm >= 1
+
+    @given(grid=st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_grid(self, grid):
+        small = occupancy(VOLTA_V100, 256, 32, 0, grid)
+        large = occupancy(VOLTA_V100, 256, 32, 0, grid + 80)
+        assert large.achieved >= small.achieved - 1e-9

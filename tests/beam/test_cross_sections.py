@@ -1,0 +1,111 @@
+"""Cross-section catalog: the calibrated ratios the paper publishes."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.isa import OpClass
+from repro.arch.units import UnitKind
+from repro.beam.cross_sections import (
+    KEPLER_CATALOG,
+    VOLTA_CATALOG,
+    HiddenOutcomeModel,
+    catalog_for,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestKeplerRatios:
+    def test_int_about_4x_fp32(self):
+        """Kepler integers run on the FP32 cores inefficiently (§V-B)."""
+        ratio = KEPLER_CATALOG.op_sigma[OpClass.IADD] / KEPLER_CATALOG.op_sigma[OpClass.FADD]
+        assert 3.0 <= ratio <= 5.0
+
+    def test_imul_above_iadd(self):
+        """IMUL ≈ 30% above IADD; IMAD above both (§V-B)."""
+        sigma = KEPLER_CATALOG.op_sigma
+        assert 1.2 <= sigma[OpClass.IMUL] / sigma[OpClass.IADD] <= 1.45
+        assert sigma[OpClass.IMAD] > sigma[OpClass.IMUL]
+
+    def test_complexity_ordering_fp32(self):
+        sigma = KEPLER_CATALOG.op_sigma
+        assert sigma[OpClass.FADD] < sigma[OpClass.FMUL] < sigma[OpClass.FFMA]
+
+    def test_no_tensor_cores(self):
+        assert KEPLER_CATALOG.op_sigma[OpClass.HMMA] == 0.0
+
+
+class TestVoltaRatios:
+    def test_precision_monotone(self):
+        """Higher precision = larger datapath = higher sensitivity (§V-B)."""
+        sigma = VOLTA_CATALOG.op_sigma
+        for a, b, c in [
+            (OpClass.HADD, OpClass.FADD, OpClass.DADD),
+            (OpClass.HMUL, OpClass.FMUL, OpClass.DMUL),
+            (OpClass.HFMA, OpClass.FFMA, OpClass.DFMA),
+        ]:
+            assert sigma[a] < sigma[b] < sigma[c]
+
+    def test_int_comparable_to_fp32(self):
+        """Dedicated INT32 cores: no Kepler-style 4× penalty."""
+        sigma = VOLTA_CATALOG.op_sigma
+        assert 0.5 <= sigma[OpClass.IADD] / sigma[OpClass.FADD] <= 2.0
+
+    def test_mma_dwarfs_scalars(self):
+        sigma = VOLTA_CATALOG.op_sigma
+        assert sigma[OpClass.HMMA] > 10 * sigma[OpClass.DFMA]
+        assert sigma[OpClass.HMMA] == sigma[OpClass.FMMA]
+
+
+class TestStorage:
+    def test_kepler_rf_an_order_above_volta(self):
+        """28 nm planar vs 16 nm FinFET (§V-B, ref [29])."""
+        ratio = (
+            KEPLER_CATALOG.bit_sigma[UnitKind.REGISTER_FILE]
+            / VOLTA_CATALOG.bit_sigma[UnitKind.REGISTER_FILE]
+        )
+        assert 5.0 <= ratio <= 20.0
+
+    def test_all_storage_sigma_positive(self):
+        for catalog in (KEPLER_CATALOG, VOLTA_CATALOG):
+            for unit in (UnitKind.REGISTER_FILE, UnitKind.SHARED_MEMORY, UnitKind.L2_CACHE, UnitKind.DEVICE_MEMORY):
+                assert catalog.bit_sigma[unit] > 0
+
+
+class TestHidden:
+    def test_all_hidden_units_covered(self):
+        for catalog in (KEPLER_CATALOG, VOLTA_CATALOG):
+            for unit in UnitKind:
+                if unit.is_hidden:
+                    assert unit in catalog.hidden_sigma
+                    assert unit in catalog.hidden_outcomes
+
+    def test_hidden_faults_mostly_due(self):
+        """The paper's §VII-B premise: hidden-resource faults crash."""
+        for model in KEPLER_CATALOG.hidden_outcomes.values():
+            assert model.p_due > model.p_sdc
+            assert model.p_due >= 0.5
+
+    def test_outcome_model_validates(self):
+        with pytest.raises(ConfigurationError):
+            HiddenOutcomeModel(p_due=0.9, p_sdc=0.2)
+        model = HiddenOutcomeModel(p_due=0.6, p_sdc=0.1)
+        assert model.p_masked == pytest.approx(0.3)
+
+
+class TestLookup:
+    def test_catalog_for(self):
+        assert catalog_for(KEPLER_K40C) is KEPLER_CATALOG
+        assert catalog_for(VOLTA_V100) is VOLTA_CATALOG
+
+    def test_sigma_for_op_missing(self):
+        with pytest.raises(ConfigurationError):
+            # synthesise a catalog without the op
+            from repro.beam.cross_sections import CrossSectionCatalog
+
+            empty = CrossSectionCatalog(
+                architecture="kepler", op_sigma={}, bit_sigma={}, hidden_sigma={}, hidden_outcomes={}
+            )
+            empty.sigma_for_op(OpClass.FADD)
+
+    def test_address_fraction_favors_due(self):
+        assert KEPLER_CATALOG.lsu_address_fraction > 0.5

@@ -1,0 +1,39 @@
+"""Facilities and the single-fault-regime discipline."""
+
+import pytest
+
+from repro.beam.facility import CHIPIR, LANSCE, Facility, single_fault_regime_ok
+
+
+class TestFacility:
+    def test_chipir_flux(self):
+        assert CHIPIR.flux_n_cm2_s == pytest.approx(3.5e6)
+
+    def test_lansce_exists(self):
+        assert LANSCE.flux_n_cm2_s > 0
+
+    def test_acceleration_about_8_orders(self):
+        assert 1e8 < CHIPIR.acceleration_factor < 1e10
+
+    def test_fluence(self):
+        f = CHIPIR.fluence(2.0)
+        assert f.n_per_cm2 == pytest.approx(2 * 3600 * 3.5e6)
+
+    def test_invalid_flux(self):
+        with pytest.raises(ValueError):
+            Facility(name="broken", flux_n_cm2_s=0.0)
+
+
+class TestRegime:
+    def test_below_threshold_ok(self):
+        assert single_fault_regime_ok(errors=1, executions=2000)
+
+    def test_above_threshold_fails(self):
+        assert not single_fault_regime_ok(errors=5, executions=1000)
+
+    def test_boundary(self):
+        assert single_fault_regime_ok(errors=1, executions=1000)
+
+    def test_zero_executions_rejected(self):
+        with pytest.raises(ValueError):
+            single_fault_regime_ok(errors=0, executions=0)

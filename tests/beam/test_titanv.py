@@ -1,0 +1,35 @@
+"""Titan V: the ECC-incapable Volta (the paper's second Volta board)."""
+
+import pytest
+
+from repro.arch.devices import VOLTA_TITAN_V, VOLTA_V100
+from repro.arch.ecc import EccMode
+from repro.beam.experiment import BeamExperiment
+from repro.common.errors import ConfigurationError
+from repro.microbench.registry import get_microbench
+
+
+class TestTitanV:
+    def test_ecc_on_rejected(self):
+        exp = BeamExperiment(VOLTA_TITAN_V)
+        with pytest.raises(ConfigurationError):
+            exp.run(get_microbench("volta", "FADD"), ecc=EccMode.ON, mode="expected")
+
+    def test_ecc_off_runs(self):
+        exp = BeamExperiment(VOLTA_TITAN_V)
+        result = exp.run(
+            get_microbench("volta", "FADD"),
+            ecc=EccMode.OFF,
+            mode="expected",
+            max_fault_evals=40,
+        )
+        assert result.fit_sdc.value > 0
+
+    def test_shares_volta_catalog(self):
+        from repro.beam.cross_sections import VOLTA_CATALOG, catalog_for
+
+        assert catalog_for(VOLTA_TITAN_V) is VOLTA_CATALOG
+
+    def test_same_sm_configuration_as_v100(self):
+        assert VOLTA_TITAN_V.units_per_sm == VOLTA_V100.units_per_sm
+        assert VOLTA_TITAN_V.sm_count == VOLTA_V100.sm_count

@@ -1,0 +1,92 @@
+"""Table / CSV / bar-chart rendering."""
+
+import pytest
+
+from repro.common.tables import (
+    format_value,
+    render_bar_chart,
+    render_csv,
+    render_table,
+    rows_to_markdown,
+    unique_preserving,
+)
+
+ROWS = [
+    {"code": "FMXM", "SDC": 1.5, "DUE": 0.25},
+    {"code": "CCL", "SDC": 0.1},
+]
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        out = render_table(ROWS)
+        assert "FMXM" in out and "CCL" in out and "1.5" in out
+
+    def test_missing_value_dash(self):
+        out = render_table(ROWS)
+        assert "-" in out.splitlines()[-1]
+
+    def test_title(self):
+        assert render_table(ROWS, title="T1").startswith("T1\n")
+
+    def test_explicit_columns(self):
+        out = render_table(ROWS, columns=["SDC", "code"])
+        header = out.splitlines()[0]
+        assert header.index("SDC") < header.index("code")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], columns=None)
+
+    def test_alignment(self):
+        lines = render_table(ROWS).splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        out = render_csv(ROWS)
+        lines = out.strip().splitlines()
+        assert lines[0] == "code,SDC,DUE"
+        assert lines[1].startswith("FMXM,1.5")
+        assert len(lines) == 3
+
+    def test_comma_quoting(self):
+        out = render_csv([{"a": "x,y"}])
+        assert '"x,y"' in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = render_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 2 * a_line.count("#")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart([], [])
+
+    def test_all_zero_values(self):
+        out = render_bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+
+class TestMisc:
+    def test_format_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_format_none(self):
+        assert format_value(None) == "-"
+
+    def test_markdown(self):
+        md = rows_to_markdown(ROWS)
+        assert md.startswith("| code | SDC | DUE |")
+        assert "| FMXM |" in md
+
+    def test_unique_preserving(self):
+        assert unique_preserving(["b", "a", "b", "c", "a"]) == ["b", "a", "c"]

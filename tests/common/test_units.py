@@ -1,0 +1,88 @@
+"""Units: fluence, FIT conversions, the paper's headline exposure math."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import (
+    BEAM_ACCELERATION_FACTOR,
+    CHIPIR_FLUX_N_CM2_S,
+    FIT_SCALE_HOURS,
+    Fluence,
+    TERRESTRIAL_FLUX_N_CM2_H,
+    cross_section_cm2,
+    fit_from_counts,
+    fit_from_cross_section,
+    fit_to_mtbf_hours,
+)
+
+
+class TestFluence:
+    def test_from_beam_hours_uses_flux(self):
+        f = Fluence.from_beam_hours(1.0)
+        assert f.n_per_cm2 == pytest.approx(3600.0 * CHIPIR_FLUX_N_CM2_S)
+
+    def test_natural_hours_round_trip(self):
+        f = Fluence(n_per_cm2=TERRESTRIAL_FLUX_N_CM2_H * 100.0)
+        assert f.natural_hours == pytest.approx(100.0)
+
+    def test_negative_fluence_rejected(self):
+        with pytest.raises(ValueError):
+            Fluence(-1.0)
+
+    def test_negative_hours_rejected(self):
+        with pytest.raises(ValueError):
+            Fluence.from_beam_hours(-0.1)
+
+    def test_addition(self):
+        total = Fluence(10.0) + Fluence(5.0)
+        assert total.n_per_cm2 == 15.0
+
+    def test_paper_13_million_years(self):
+        """1,224 accelerated beam hours account for "more than 13 million
+        years" of natural exposure (paper §III-C) — at the quoted ChipIR
+        peak flux the bound is comfortably exceeded."""
+        f = Fluence.from_beam_hours(1224.0)
+        assert f.natural_years > 1.3e7
+
+    def test_acceleration_factor_is_8_orders(self):
+        assert 1e8 < BEAM_ACCELERATION_FACTOR < 1e10
+
+
+class TestFitMath:
+    def test_cross_section(self):
+        sigma = cross_section_cm2(10.0, Fluence(1e10))
+        assert sigma == pytest.approx(1e-9)
+
+    def test_cross_section_zero_fluence(self):
+        with pytest.raises(ValueError):
+            cross_section_cm2(1.0, Fluence(0.0))
+
+    def test_fit_from_cross_section(self):
+        fit = fit_from_cross_section(1.0 / (TERRESTRIAL_FLUX_N_CM2_H * FIT_SCALE_HOURS))
+        assert fit == pytest.approx(1.0)
+
+    def test_fit_from_counts_composes(self):
+        f = Fluence(2e12)
+        assert fit_from_counts(4.0, f) == pytest.approx(
+            fit_from_cross_section(cross_section_cm2(4.0, f))
+        )
+
+    def test_mtbf_inverse_of_fit(self):
+        assert fit_to_mtbf_hours(1e9) == pytest.approx(1.0)
+        assert fit_to_mtbf_hours(0.0) == math.inf
+
+    @given(st.floats(min_value=1e-3, max_value=1e6), st.floats(min_value=1e6, max_value=1e14))
+    def test_fit_linear_in_errors(self, errors, fluence):
+        """FIT must scale linearly with observed errors at fixed fluence —
+        the invariant behind 'FIT does not depend on execution time'."""
+        f = Fluence(fluence)
+        assert fit_from_counts(2 * errors, f) == pytest.approx(2 * fit_from_counts(errors, f))
+
+    @given(st.floats(min_value=1e-3, max_value=1e6), st.floats(min_value=1e6, max_value=1e14))
+    def test_fit_invariant_to_double_exposure(self, errors, fluence):
+        """Twice the errors over twice the fluence = same FIT (§III-C)."""
+        one = fit_from_counts(errors, Fluence(fluence))
+        two = fit_from_counts(2 * errors, Fluence(2 * fluence))
+        assert two == pytest.approx(one)

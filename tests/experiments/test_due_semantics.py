@@ -1,0 +1,61 @@
+"""DUE experiment semantics at reduced scale."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.due import run_due
+from repro.experiments.session import ExperimentSession
+
+
+@pytest.fixture(scope="module")
+def due_rows():
+    session = ExperimentSession(
+        ExperimentConfig(injections=60, beam_fault_evals=60, memory_avf_strikes=12)
+    )
+    rows, report = run_due(session=session)
+    return rows, report
+
+
+class TestDueTable:
+    def test_four_panels(self, due_rows):
+        rows, _ = due_rows
+        assert [(r["device"], r["ECC"]) for r in rows] == [
+            ("Tesla K40c", "OFF"), ("Tesla K40c", "ON"),
+            ("Tesla V100", "OFF"), ("Tesla V100", "ON"),
+        ]
+
+    def test_always_a_large_underestimation(self, due_rows):
+        """The §VII-B direction must hold in every panel: either a large
+        finite factor or codes whose prediction is exactly zero."""
+        rows, _ = due_rows
+        for row in rows:
+            factor = row["beam/pred DUE factor"]
+            assert math.isinf(factor) or factor > 5.0 or row["unbounded codes"] > 0
+
+    def test_unbounded_counts_bounded_by_panel(self, due_rows):
+        rows, _ = due_rows
+        for row in rows:
+            assert 0 <= row["unbounded codes"] <= row["codes"]
+
+    def test_ecc_on_worse_than_off(self, due_rows):
+        """ECC ON removes the (predictable) delivered-memory DUE channel,
+        so its underestimation must be at least as severe: more unbounded
+        codes or a larger factor."""
+        rows, _ = due_rows
+        by = {(r["device"], r["ECC"]): r for r in rows}
+        for device in ("Tesla K40c", "Tesla V100"):
+            off, on = by[(device, "OFF")], by[(device, "ON")]
+            worse = (
+                on["unbounded codes"] / on["codes"]
+                >= off["unbounded codes"] / off["codes"]
+            ) or (
+                math.isinf(on["beam/pred DUE factor"])
+                or on["beam/pred DUE factor"] >= off["beam/pred DUE factor"]
+            )
+            assert worse, device
+
+    def test_report_renders(self, due_rows):
+        _, report = due_rows
+        assert "underestimation" in report

@@ -1,0 +1,63 @@
+"""Fault-model ablation and data export."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import export_all
+from repro.experiments.faultmodels import model_sensitivity, run_faultmodel_ablation
+from repro.sim.injection import FaultModel
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    rows, report = run_faultmodel_ablation(
+        ExperimentConfig(injections=40), codes=("FMXM", "MERGESORT")
+    )
+    return rows, report
+
+
+class TestFaultModelAblation:
+    def test_all_models_covered(self, ablation_rows):
+        rows, _ = ablation_rows
+        for row in rows:
+            for model in FaultModel:
+                assert model.value in row
+                assert 0.0 <= row[model.value] <= 1.0
+
+    def test_report_renders(self, ablation_rows):
+        _, report = ablation_rows
+        assert "single_bit" in report and "FMXM" in report
+
+    def test_sensitivity_metric(self, ablation_rows):
+        rows, _ = ablation_rows
+        assert model_sensitivity(rows) >= 0.0
+
+    def test_sensitivity_on_synthetic_rows(self):
+        rows = [{"code": "X", "a": 0.2, "b": 0.4}]
+        assert model_sensitivity(rows) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        config = ExperimentConfig(injections=30)
+        a, _ = run_faultmodel_ablation(config, codes=("MERGESORT",))
+        b, _ = run_faultmodel_ablation(config, codes=("MERGESORT",))
+        assert a == b
+
+
+class TestExport:
+    def test_export_writes_all_artifacts(self, tmp_path):
+        manifest = export_all(tmp_path, preset="smoke", seed=0)
+        expected = {"table1", "fig1", "fig3", "fig4", "fig5", "fig6", "due", "faultmodels"}
+        assert expected <= set(manifest)
+        for name in expected:
+            assert (tmp_path / f"{name}.csv").exists()
+            assert manifest[name]["rows"] > 0
+        on_disk = json.loads((tmp_path / "manifest.json").read_text())
+        assert on_disk["_meta"]["preset"] == "smoke"
+        # checksums in the manifest match the files
+        import hashlib
+
+        for name in expected:
+            digest = hashlib.sha256((tmp_path / f"{name}.csv").read_bytes()).hexdigest()
+            assert digest == manifest[name]["sha256"]

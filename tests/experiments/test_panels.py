@@ -1,0 +1,74 @@
+"""Figure panel definitions must match the paper's layouts and the
+registry — a drifting code list would silently change every average."""
+
+from repro.experiments.fig4 import FIG4_KEPLER, FIG4_VOLTA
+from repro.experiments.fig5 import FIG5_CODES
+from repro.experiments.fig6 import FIG6_CODES, FIG6_FRAMEWORKS
+from repro.experiments.table1 import TABLE1_CODES
+from repro.microbench.registry import MICROBENCH_BUILDERS
+from repro.workloads.registry import WORKLOAD_BUILDERS
+
+
+def _known(arch):
+    return set(WORKLOAD_BUILDERS[arch])
+
+
+class TestPanelsResolve:
+    def test_table1_codes_exist(self):
+        for arch, codes in TABLE1_CODES.items():
+            assert set(codes) <= _known(arch)
+
+    def test_fig4_codes_exist(self):
+        assert set(FIG4_KEPLER) <= _known("kepler")
+        assert set(FIG4_VOLTA) <= _known("volta")
+
+    def test_fig5_codes_exist(self):
+        for (arch, _), codes in FIG5_CODES.items():
+            assert set(codes) <= _known(arch)
+
+    def test_fig6_codes_exist(self):
+        for (arch, _), codes in FIG6_CODES.items():
+            assert set(codes) <= _known(arch)
+
+    def test_fig6_subset_of_fig5(self):
+        """Every prediction is compared against a beam run that Figure 5
+        also reports (same panels, paper layout)."""
+        for key, codes in FIG6_CODES.items():
+            assert set(codes) <= set(FIG5_CODES[key]), key
+
+
+class TestPaperLayouts:
+    def test_fig4_kepler_has_ten_codes(self):
+        assert len(FIG4_KEPLER) == 10
+
+    def test_fig4_volta_skips_half_precision(self):
+        """NVBitFI cannot inject FP16, so Figure 4's Volta panel has no
+        H-prefixed configurations."""
+        assert not any(code.startswith("H") for code in FIG4_VOLTA)
+
+    def test_fig5_kepler_ecc_off_is_nine_codes(self):
+        assert len(FIG5_CODES[("kepler", "off")]) == 9
+
+    def test_fig5_kepler_ecc_on_is_thirteen_codes(self):
+        assert len(FIG5_CODES[("kepler", "on")]) == 13
+
+    def test_fig6_volta_ecc_off_is_precision_triples(self):
+        codes = FIG6_CODES[("volta", "off")]
+        for family in ("MXM", "LAVA", "HOTSPOT"):
+            assert {f"H{family}", f"F{family}", f"D{family}"} <= set(codes)
+
+    def test_frameworks_per_architecture(self):
+        assert FIG6_FRAMEWORKS["kepler"] == ("sassifi", "nvbitfi")
+        assert FIG6_FRAMEWORKS["volta"] == ("nvbitfi",)
+
+    def test_volta_microbench_panel_matches_fig3(self):
+        names = list(MICROBENCH_BUILDERS["volta"])
+        # precision sweep order: H*, F*, D*, I*, then MMA + memory rows
+        assert names.index("HADD") < names.index("FADD") < names.index("DADD")
+        assert names.index("HMMA") < names.index("LDST")
+
+    def test_proprietary_rows_absent_from_kepler_fig4(self):
+        """SASSIFI/NVBitFI cannot inject Kepler GEMM/YOLO — Figure 4's
+        left panel must not list them."""
+        for code in FIG4_KEPLER:
+            assert code not in ("FGEMM", "FYOLOV2", "FYOLOV3")

@@ -1,0 +1,48 @@
+"""Error-provenance experiment."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.provenance import (
+    dues_mostly_outside_functional_units,
+    memory_dominates_ecc_off,
+    run_provenance,
+)
+from repro.experiments.session import ExperimentSession
+
+
+@pytest.fixture(scope="module")
+def provenance():
+    session = ExperimentSession(ExperimentConfig(beam_fault_evals=60, injections=30))
+    return run_provenance(session=session)
+
+
+class TestProvenance:
+    def test_rows_cover_both_ecc_modes(self, provenance):
+        rows, _ = provenance
+        eccs = {(r["code"], r["ECC"]) for r in rows}
+        assert ("FMXM", "OFF") in eccs and ("FMXM", "ON") in eccs
+
+    def test_shares_sum_to_100(self, provenance):
+        rows, _ = provenance
+        for row in rows:
+            for tag in ("SDC", "DUE"):
+                total = sum(v for k, v in row.items() if k.startswith(tag))
+                assert total == pytest.approx(100.0, abs=1.0) or total == 0.0
+
+    def test_ecc_on_zeroes_memory_sdc(self, provenance):
+        """SECDED corrects delivered memory faults: no memory SDCs remain."""
+        rows, _ = provenance
+        for row in rows:
+            if row["ECC"] == "ON":
+                assert row["SDC memories"] == 0.0
+
+    def test_paper_claims(self, provenance):
+        rows, _ = provenance
+        assert memory_dominates_ecc_off(rows)
+        assert dues_mostly_outside_functional_units(rows)
+
+    def test_report_renders(self, provenance):
+        _, report = provenance
+        assert "Error provenance" in report
+        assert "hidden resources" in report

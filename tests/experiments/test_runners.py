@@ -1,0 +1,125 @@
+"""Experiment runners: every paper artifact regenerates end to end.
+
+These run at the tiny "smoke" scale — the goal is plumbing correctness;
+the quantitative claims are covered by tests/test_paper_claims.py.
+"""
+
+import pytest
+
+from repro.arch.ecc import EccMode
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig, get_preset
+from repro.experiments.session import ExperimentSession
+from repro.experiments.table1 import TABLE1_CODES, run_table1
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig4 import sassifi_nvbitfi_gap
+
+
+@pytest.fixture(scope="module")
+def session():
+    return ExperimentSession(ExperimentConfig(injections=30, beam_fault_evals=40, memory_avf_strikes=8))
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        for name in ("smoke", "quick", "full", "paper"):
+            assert get_preset(name).injections > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            get_preset("debug")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(injections=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(beam_mode="exact")
+
+
+class TestSessionCaching:
+    def test_workload_cached(self, session):
+        assert session.workload("kepler", "FMXM") is session.workload("kepler", "FMXM")
+
+    def test_metrics_cached(self, session):
+        assert session.metrics("kepler", "CCL") is session.metrics("kepler", "CCL")
+
+    def test_campaign_cached(self, session):
+        a = session.campaign("kepler", "nvbitfi", "FGAUSSIAN")
+        b = session.campaign("kepler", "NVBITFI", "FGAUSSIAN")
+        assert a is b
+
+    def test_beam_cached(self, session):
+        a = session.beam("kepler", "FADD", EccMode.ON, microbench=True)
+        b = session.beam("kepler", "FADD", EccMode.ON, microbench=True)
+        assert a is b
+
+    def test_unknown_arch(self, session):
+        with pytest.raises(ConfigurationError):
+            session.device("pascal")
+
+
+class TestSubstitutionRules:
+    def test_proprietary_kepler_borrows_volta(self, session):
+        """§III-D: Kepler GEMM/YOLO AVFs come from Volta NVBitFI."""
+        campaign, note = session.avf_source_campaign("kepler", "sassifi", "FGEMM")
+        assert campaign.device == "Tesla V100"
+        assert "Volta NVBitFI" in note
+
+    def test_native_campaign_has_no_note(self, session):
+        campaign, note = session.avf_source_campaign("kepler", "nvbitfi", "FMXM")
+        assert campaign.device == "Tesla K40c"
+        assert note == ""
+
+    def test_fp16_falls_back_to_fp32_avfs(self, session):
+        """§VII-A: NVBitFI cannot inject FP16 — H codes reuse F AVFs."""
+        from repro.arch.isa import OpCategory
+
+        avf_sdc, _, note = session.category_avfs("volta", "nvbitfi", "HMXM")
+        assert "FP16 AVFs from FP32 variant" in note
+        assert OpCategory.FMA in avf_sdc
+
+
+class TestRunners:
+    def test_table1(self, session):
+        rows, report = run_table1(session=session)
+        assert len(rows["kepler"]) == len(TABLE1_CODES["kepler"])
+        assert len(rows["volta"]) == len(TABLE1_CODES["volta"])
+        assert "Occupancy" in report
+        for row in rows["kepler"]:
+            assert 0.0 <= row["Occupancy"] <= 1.0
+            assert row["IPC"] >= 0.0
+
+    def test_fig1_percentages(self, session):
+        rows, report = run_fig1(session=session)
+        for arch_rows in rows.values():
+            for row in arch_rows:
+                total = sum(v for k, v in row.items() if k != "code")
+                assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_fig1_mma_only_for_tensor_codes(self, session):
+        rows, _ = run_fig1(session=session)
+        for row in rows["volta"]:
+            if "MMA" in row["code"]:
+                assert row["MMA"] > 50.0
+            else:
+                assert row["MMA"] == 0.0
+        for row in rows["kepler"]:
+            assert row["MMA"] == 0.0
+
+    def test_gap_helper(self):
+        rows = [
+            {"arch": "kepler", "code": "A", "framework": "SASSIFI", "SDC": 0.4},
+            {"arch": "kepler", "code": "A", "framework": "NVBITFI", "SDC": 0.5},
+        ]
+        assert sassifi_nvbitfi_gap(rows) == pytest.approx(0.25)
+
+
+class TestCli:
+    def test_main_runs_table1(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["table1", "--preset", "smoke", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.csv").exists()

@@ -1,0 +1,89 @@
+"""Campaign runner: golden caching, determinism, outcome plumbing."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.common.errors import InjectionError
+from repro.common.rng import RngFactory
+from repro.faultsim.campaign import CampaignRunner, run_campaign
+from repro.faultsim.frameworks import NvBitFi, Sassifi
+from repro.faultsim.outcomes import Outcome
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def mxm_campaign():
+    """One shared 100-injection NVBitFI campaign on Kepler FMXM."""
+    return run_campaign(KEPLER_K40C, NvBitFi(), get_workload("kepler", "FMXM", seed=1), 100, seed=3)
+
+
+class TestMechanics:
+    def test_requested_count(self, mxm_campaign):
+        assert mxm_campaign.injections == 100
+
+    def test_all_outcomes_classified(self, mxm_campaign):
+        for record in mxm_campaign.records:
+            assert record.outcome in Outcome
+
+    def test_every_output_injection_attributed(self, mxm_campaign):
+        for record in mxm_campaign.records:
+            if record.group == "gpr_output" and record.outcome is not Outcome.DUE:
+                assert record.op is not None
+
+    def test_deterministic_per_seed(self):
+        w = get_workload("kepler", "FGAUSSIAN", seed=1)
+        a = run_campaign(KEPLER_K40C, NvBitFi(), w, 40, seed=5)
+        b = run_campaign(KEPLER_K40C, NvBitFi(), get_workload("kepler", "FGAUSSIAN", seed=1), 40, seed=5)
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+
+    def test_different_seed_differs(self):
+        w = get_workload("kepler", "FGAUSSIAN", seed=1)
+        a = run_campaign(KEPLER_K40C, NvBitFi(), w, 60, seed=5)
+        b = run_campaign(KEPLER_K40C, NvBitFi(), w, 60, seed=6)
+        assert [r.outcome for r in a.records] != [r.outcome for r in b.records]
+
+    def test_golden_cached(self):
+        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(0))
+        w = get_workload("kepler", "FMXM", seed=1)
+        assert runner.golden(w) is runner.golden(w)
+
+    def test_zero_injections_rejected(self):
+        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(0))
+        with pytest.raises(InjectionError):
+            runner.run(get_workload("kepler", "FMXM"), 0)
+
+    def test_capability_enforced(self):
+        runner = CampaignRunner(KEPLER_K40C, Sassifi(), RngFactory(0))
+        with pytest.raises(Exception):
+            runner.run(get_workload("kepler", "FGEMM"), 10)  # proprietary
+
+
+class TestSemantics:
+    def test_mxm_has_substantial_sdc_avf(self, mxm_campaign):
+        """Matrix multiplication has the highest AVF among the codes (§VI)."""
+        assert mxm_campaign.avf(Outcome.SDC) > 0.35
+
+    def test_sassifi_multi_group_sampling(self):
+        w = get_workload("kepler", "FMXM", seed=1)
+        campaign = run_campaign(KEPLER_K40C, Sassifi(), w, 120, seed=2)
+        groups = {r.group for r in campaign.records}
+        assert {"fp_output", "int_output", "ld_output"} <= groups
+
+    def test_volta_proprietary_campaign_runs(self):
+        w = get_workload("volta", "FGEMM", seed=1)
+        campaign = run_campaign(VOLTA_V100, NvBitFi(), w, 50, seed=2)
+        assert campaign.injections == 50
+
+    def test_yolo_low_avf(self):
+        """CNN fault tolerance: most corruptions don't change the
+        classification (§VI).  YOLO is proprietary, so the campaign runs on
+        Volta with NVBitFI — the only combination the paper could run too."""
+        w = get_workload("volta", "FYOLOV2", seed=1)
+        campaign = run_campaign(VOLTA_V100, NvBitFi(), w, 60, seed=2)
+        assert campaign.avf(Outcome.SDC) < 0.2
+
+    def test_integer_code_lower_avf_than_float(self):
+        """§VI: 'the smaller AVFs come from integer applications'."""
+        flt = run_campaign(KEPLER_K40C, NvBitFi(), get_workload("kepler", "FLAVA", seed=1), 80, seed=2)
+        intg = run_campaign(KEPLER_K40C, NvBitFi(), get_workload("kepler", "CCL", seed=1), 80, seed=2)
+        assert flt.avf(Outcome.SDC) > intg.avf(Outcome.SDC)

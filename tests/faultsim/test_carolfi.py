@@ -1,0 +1,65 @@
+"""CAROL-FI-style variable-level injector."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.common.errors import InjectionError
+from repro.common.rng import RngFactory
+from repro.faultsim.carolfi import CarolFi, compare_with_sass_level
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def carol():
+    return CarolFi(KEPLER_K40C, RngFactory(0))
+
+
+class TestCampaign:
+    def test_runs_and_classifies(self, carol):
+        result = carol.run(get_workload("kepler", "FMXM", seed=1), 60)
+        assert result.injections == 60
+        assert result.framework == "CAROL-FI"
+        assert all(r.group == "variable" for r in result.records)
+
+    def test_zero_injections_rejected(self, carol):
+        with pytest.raises(InjectionError):
+            carol.run(get_workload("kepler", "FMXM", seed=1), 0)
+
+    def test_no_instruction_attribution(self, carol):
+        """A variable-level injector cannot name the instruction it hit —
+        precisely why the paper could not use it (§III-D)."""
+        result = carol.run(get_workload("kepler", "FGAUSSIAN", seed=1), 40)
+        assert all(r.op is None for r in result.records)
+
+    def test_proprietary_codes_injectable(self, carol):
+        """Debugger-level tools see program variables even inside cuBLAS
+        calls — the one capability edge over the SASS injectors."""
+        result = carol.run(get_workload("kepler", "FGEMM", seed=1), 30)
+        assert result.injections == 30
+
+    def test_deterministic(self):
+        a = CarolFi(KEPLER_K40C, RngFactory(5)).run(get_workload("kepler", "CCL", seed=1), 30)
+        b = CarolFi(KEPLER_K40C, RngFactory(5)).run(get_workload("kepler", "CCL", seed=1), 30)
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+
+
+class TestCrossAccuracy:
+    def test_comparison_rows(self):
+        rows = compare_with_sass_level(
+            KEPLER_K40C,
+            [get_workload("kepler", "FMXM", seed=1), get_workload("kepler", "MERGESORT", seed=1)],
+            injections=60,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row["variable-level AVF"] <= 1.0
+            assert 0.0 <= row["SASS-level AVF"] <= 1.0
+
+    def test_vantage_points_disagree(self):
+        """The two levels sample different fault populations; their AVFs
+        should not coincide (Wei et al. [4]'s finding)."""
+        rows = compare_with_sass_level(
+            KEPLER_K40C, [get_workload("kepler", "FMXM", seed=1)], injections=100
+        )
+        row = rows[0]
+        assert row["variable-level AVF"] != pytest.approx(row["SASS-level AVF"], abs=0.02)

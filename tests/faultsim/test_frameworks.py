@@ -1,0 +1,96 @@
+"""Injector frontends: capability matrix and site groups (§III-D)."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.isa import OpClass
+from repro.faultsim.frameworks import (
+    FrameworkCapabilityError,
+    NvBitFi,
+    Sassifi,
+    get_framework,
+)
+from repro.sim.launch import run_kernel
+from repro.workloads.registry import get_workload
+
+
+class TestCapabilities:
+    def test_sassifi_kepler_only(self):
+        sassifi = Sassifi()
+        w = get_workload("kepler", "FMXM")
+        sassifi.check_supported(w, KEPLER_K40C)
+        with pytest.raises(FrameworkCapabilityError):
+            sassifi.check_supported(get_workload("volta", "FMXM"), VOLTA_V100)
+
+    def test_nvbitfi_both_architectures(self):
+        nvbitfi = NvBitFi()
+        nvbitfi.check_supported(get_workload("kepler", "FMXM"), KEPLER_K40C)
+        nvbitfi.check_supported(get_workload("volta", "FMXM"), VOLTA_V100)
+
+    def test_proprietary_rules(self):
+        """Neither injector touches cuBLAS/cuDNN on Kepler; NVBitFI can on
+        Volta (§III-D)."""
+        gemm_k = get_workload("kepler", "FGEMM")
+        gemm_v = get_workload("volta", "FGEMM")
+        with pytest.raises(FrameworkCapabilityError):
+            Sassifi().check_supported(gemm_k, KEPLER_K40C)
+        with pytest.raises(FrameworkCapabilityError):
+            NvBitFi().check_supported(gemm_k, KEPLER_K40C)
+        NvBitFi().check_supported(gemm_v, VOLTA_V100)
+
+    def test_backends(self):
+        assert Sassifi().backend == "cuda7"
+        assert NvBitFi().backend == "cuda10"
+
+
+class TestSiteGroups:
+    def test_sassifi_default_is_iov(self):
+        groups = Sassifi().site_groups(get_workload("kepler", "FMXM"))
+        assert [g.name for g in groups] == ["fp_output", "int_output", "ld_output"]
+
+    def test_sassifi_extended_adds_modes(self):
+        groups = Sassifi().extended_groups(get_workload("kepler", "FMXM"))
+        names = [g.name for g in groups]
+        assert {"pred", "address", "gpr_rf"} <= set(names)
+
+    def test_nvbitfi_single_stream(self):
+        groups = NvBitFi().site_groups(get_workload("volta", "FMXM"))
+        assert len(groups) == 1
+        assert groups[0].name == "gpr_output"
+
+    def test_nvbitfi_excludes_fp16(self):
+        """§VII-A: NVBitFI cannot inject into half-precision instructions."""
+        stream = NvBitFi().site_groups(get_workload("volta", "HMXM"))[0].stream
+        assert not stream(OpClass.HFMA)
+        assert not stream(OpClass.HMMA)
+        assert stream(OpClass.FFMA)
+        assert stream(OpClass.IADD)
+
+    def test_group_sizes_match_trace(self):
+        w = get_workload("kepler", "FMXM")
+        run = run_kernel(KEPLER_K40C, w.kernel, w.sim_launch(), backend="cuda7")
+        groups = {g.name: g for g in Sassifi().site_groups(w)}
+        fp = groups["fp_output"].size(run.trace)
+        assert fp == run.trace.instances[OpClass.FFMA]
+        intg = groups["int_output"].size(run.trace)
+        assert intg > 0
+
+    def test_fp16_only_stream_still_nonempty(self):
+        """An all-FP16-arithmetic code still has INT/LDG sites for NVBitFI."""
+        w = get_workload("volta", "HMXM")
+        run = run_kernel(VOLTA_V100, w.kernel, w.sim_launch())
+        group = NvBitFi().site_groups(w)[0]
+        assert group.size(run.trace) > 0
+        assert group.size(run.trace) < run.trace.total_instances
+
+
+class TestLookup:
+    def test_get_framework(self):
+        assert get_framework("sassifi").name == "SASSIFI"
+        assert get_framework("NVBITFI").name == "NVBitFI"
+
+    def test_unknown(self):
+        from repro.common.errors import InjectionError
+
+        with pytest.raises(InjectionError):
+            get_framework("gpgpusim")

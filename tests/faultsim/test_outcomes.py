@@ -1,0 +1,83 @@
+"""Campaign result aggregation."""
+
+import pytest
+
+from repro.arch.isa import OpClass
+from repro.common.errors import InjectionError
+from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
+
+
+def _campaign(records):
+    c = CampaignResult(workload="W", framework="F", device="D")
+    for r in records:
+        c.add(r)
+    return c
+
+
+def _rec(outcome, op=None, group="g"):
+    return InjectionRecord(group=group, outcome=outcome, op=op)
+
+
+class TestAvf:
+    def test_fractions(self):
+        c = _campaign([_rec(Outcome.SDC)] * 3 + [_rec(Outcome.DUE)] * 1 + [_rec(Outcome.MASKED)] * 6)
+        assert c.avf(Outcome.SDC) == pytest.approx(0.3)
+        assert c.avf(Outcome.DUE) == pytest.approx(0.1)
+        assert c.avf(Outcome.MASKED) == pytest.approx(0.6)
+        assert c.injections == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(InjectionError):
+            _campaign([]).avf(Outcome.SDC)
+
+    def test_estimate_brackets_point(self):
+        c = _campaign([_rec(Outcome.SDC)] * 30 + [_rec(Outcome.MASKED)] * 70)
+        est = c.avf_estimate(Outcome.SDC)
+        assert est.lower <= 0.3 <= est.upper
+
+    def test_summary_keys(self):
+        c = _campaign([_rec(Outcome.SDC), _rec(Outcome.MASKED)])
+        assert set(c.summary()) == {"injections", "avf_sdc", "avf_due", "avf_masked"}
+
+
+class TestBreakdowns:
+    def test_by_group(self):
+        c = _campaign([
+            _rec(Outcome.SDC, group="a"),
+            _rec(Outcome.SDC, group="a"),
+            _rec(Outcome.DUE, group="b"),
+        ])
+        table = c.by_group()
+        assert table["a"][0] == 2
+        assert table["a"][1][Outcome.SDC] == 2
+        assert table["b"][1][Outcome.DUE] == 1
+
+    def test_per_op_avf(self):
+        c = _campaign([
+            _rec(Outcome.SDC, op=OpClass.FFMA),
+            _rec(Outcome.MASKED, op=OpClass.FFMA),
+            _rec(Outcome.SDC, op=OpClass.IADD),
+            _rec(Outcome.DUE),  # no op attribution (RF strike)
+        ])
+        avf = c.per_op_avf(Outcome.SDC)
+        assert avf[OpClass.FFMA] == pytest.approx(0.5)
+        assert avf[OpClass.IADD] == pytest.approx(1.0)
+
+    def test_per_op_avf_min_samples(self):
+        c = _campaign([_rec(Outcome.SDC, op=OpClass.FFMA)])
+        assert c.per_op_avf(Outcome.SDC, min_samples=2) == {}
+
+
+class TestMerge:
+    def test_merge_concatenates(self):
+        a = _campaign([_rec(Outcome.SDC)])
+        b = _campaign([_rec(Outcome.DUE)])
+        merged = a.merged_with(b)
+        assert merged.injections == 2
+
+    def test_merge_rejects_mismatched(self):
+        a = _campaign([_rec(Outcome.SDC)])
+        b = CampaignResult(workload="other", framework="F", device="D")
+        b.add(_rec(Outcome.SDC))
+        with pytest.raises(InjectionError):
+            a.merged_with(b)

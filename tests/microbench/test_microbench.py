@@ -1,0 +1,160 @@
+"""Micro-benchmarks: correctness, instruction purity, registry."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.common.errors import ConfigurationError
+from repro.microbench.arith import ArithMicrobench
+from repro.microbench.registry import (
+    MICROBENCH_BUILDERS,
+    get_microbench,
+    kepler_microbenches,
+    volta_microbenches,
+)
+from repro.sim.launch import run_kernel
+
+_DEVICES = {"kepler": KEPLER_K40C, "volta": VOLTA_V100}
+_ALL = [(arch, name) for arch, names in MICROBENCH_BUILDERS.items() for name in names]
+
+
+@pytest.mark.parametrize("arch,name", _ALL)
+def test_matches_reference(arch, name):
+    mb = get_microbench(arch, name, seed=7)
+    run = run_kernel(_DEVICES[arch], mb.kernel, mb.sim_launch())
+    reference = mb.reference_outputs()
+    for key in reference:
+        np.testing.assert_array_equal(reference[key], run.outputs[key], err_msg=f"{arch}/{name}")
+
+
+@pytest.mark.parametrize(
+    "arch,name,op",
+    [
+        ("kepler", "FADD", OpClass.FADD),
+        ("kepler", "IMAD", OpClass.IMAD),
+        ("volta", "HFMA", OpClass.HFMA),
+        ("volta", "DMUL", OpClass.DMUL),
+        ("volta", "HMMA", OpClass.HMMA),
+        ("volta", "FMMA", OpClass.FMMA),
+    ],
+)
+def test_target_instruction_dominates(arch, name, op):
+    """Each micro-benchmark must exercise *its* functional unit above all
+    arithmetic others (§V-A design intent)."""
+    mb = get_microbench(arch, name, seed=1)
+    run = run_kernel(_DEVICES[arch], mb.kernel, mb.sim_launch())
+    counts = run.trace.instances
+    target = counts.get(op, 0)
+    assert target > 0
+    for other, n in counts.items():
+        if other.is_arithmetic and other is not op and other is not OpClass.IADD:
+            assert target >= n, f"{other} outweighs {op}"
+
+
+def test_ldst_dominated_by_memory_ops():
+    mb = get_microbench("kepler", "LDST", seed=1)
+    run = run_kernel(KEPLER_K40C, mb.kernel, mb.sim_launch())
+    from repro.arch.isa import OpCategory
+
+    assert run.trace.category_mix()[OpCategory.LDST] > 0.3
+
+
+class TestRf:
+    def test_golden_has_no_mismatch(self):
+        mb = get_microbench("kepler", "RF", seed=1)
+        run = run_kernel(KEPLER_K40C, mb.kernel, mb.sim_launch())
+        assert not run.outputs["mismatch"].any()
+
+    def test_exposed_bits_accounting(self):
+        mb = get_microbench("volta", "RF", seed=1)
+        assert mb.exposed_register_bits == 512 * mb.registers * 32
+        assert mb.beam_rf_registers == mb.registers
+
+    def test_rf_strike_shows_in_mismatch_word(self):
+        """A delivered RF strike during the exposure window must surface in
+        the read-back comparison — the measurement principle of §V-A."""
+        from repro.arch.ecc import EccMode
+        from repro.sim.injection import StorageStrike
+
+        mb = get_microbench("kepler", "RF", seed=1)
+        hits = 0
+        for seed in range(12):
+            strike = StorageStrike(
+                tick=40000.0, space="rf", rng=np.random.default_rng(seed)
+            )
+            run = run_kernel(
+                KEPLER_K40C, mb.kernel, mb.sim_launch(), ecc=EccMode.OFF, strikes=[strike]
+            )
+            if run.outputs["mismatch"].any():
+                hits += 1
+        assert hits >= 6  # most strikes land on a live pattern register
+
+
+class TestArithDesign:
+    def test_mad_aliases_to_fma(self):
+        from repro.workloads.base import WorkloadSpec
+
+        spec = WorkloadSpec(name="IMAD", base="ub", dtype=DType.INT32)
+        mb = ArithMicrobench(spec, "MAD", seed=0)
+        assert mb.kind == "FMA"
+
+    def test_unknown_kind_rejected(self):
+        from repro.workloads.base import WorkloadSpec
+
+        spec = WorkloadSpec(name="X", base="ub", dtype=DType.FP32)
+        with pytest.raises(ValueError):
+            ArithMicrobench(spec, "DIV")
+
+    def test_float_inputs_avoid_overflow(self):
+        """After the full chain the accumulator must stay finite — the
+        paper's 'inputs avoid overflow' rule (§V-A)."""
+        for name in ("HMUL", "HFMA", "HADD"):
+            mb = get_microbench("volta", name, seed=3)
+            run = run_kernel(VOLTA_V100, mb.kernel, mb.sim_launch())
+            assert np.isfinite(run.outputs["out"].astype(np.float64)).all()
+
+    def test_integer_chain_avf_is_total(self):
+        """Integer chains carry every upset to the output (paper: AVF=100%
+        for the integer versions): flip any accumulator bit mid-chain and
+        the output must differ."""
+        from repro.sim.injection import FaultModel, InjectionMode, InjectionPlan, opclass_stream
+
+        mb = get_microbench("kepler", "IADD", seed=2)
+        golden = run_kernel(KEPLER_K40C, mb.kernel, mb.sim_launch()).outputs["out"]
+        sdc = 0
+        trials = 20
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            plan = InjectionPlan(
+                mode=InjectionMode.OUTPUT_VALUE,
+                stream=opclass_stream(OpClass.IADD),
+                target_index=int(rng.integers(0, 20000)),
+                fault_model=FaultModel.SINGLE_BIT,
+                rng=rng,
+            )
+            out = run_kernel(KEPLER_K40C, mb.kernel, mb.sim_launch(), plan=plan).outputs["out"]
+            if not np.array_equal(out, golden):
+                sdc += 1
+        assert sdc >= trials * 0.8
+
+
+class TestRegistry:
+    def test_kepler_list_matches_fig3(self):
+        assert kepler_microbenches() == ["FADD", "FMUL", "FFMA", "IADD", "IMUL", "IMAD", "LDST", "RF"]
+
+    def test_volta_list_matches_fig3(self):
+        names = volta_microbenches()
+        assert names[:3] == ["HADD", "HMUL", "HFMA"]
+        assert "HMMA" in names and "FMMA" in names
+
+    def test_kepler_has_no_fp16_or_mma(self):
+        assert "HADD" not in kepler_microbenches()
+        assert "HMMA" not in kepler_microbenches()
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ConfigurationError):
+            get_microbench("kepler", "QADD")
+        with pytest.raises(ConfigurationError):
+            get_microbench("turing", "FADD")

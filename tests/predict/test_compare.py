@@ -1,0 +1,111 @@
+"""Figure 6 comparison machinery."""
+
+import math
+
+import pytest
+
+from repro.arch.ecc import EccMode
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Estimate
+from repro.beam.experiment import BeamResult
+from repro.predict.compare import (
+    ComparisonRow,
+    average_ratio,
+    compare_code,
+    due_underestimation,
+    fraction_within,
+    worst_overprediction,
+)
+from repro.predict.model import FitPrediction
+
+
+def _row(measured, predicted, code="X"):
+    from repro.common.stats import signed_ratio
+
+    return ComparisonRow(
+        code=code, device="D", ecc="on", framework="F",
+        beam_fit=measured, predicted_fit=predicted, ratio=signed_ratio(measured, predicted),
+    )
+
+
+def _beam_result(sdc=10.0, due=2.0):
+    est = lambda v: Estimate(v, v * 0.8, v * 1.2)
+    return BeamResult(
+        workload="W", device="D", ecc=EccMode.ON, beam_hours=72.0,
+        fluence_n_cm2=1e12, fit_sdc=est(sdc), fit_due=est(due),
+    )
+
+
+def _prediction(sdc=5.0, due=0.01):
+    pred = FitPrediction(workload="W", device="D", ecc=EccMode.ON)
+    pred.fit_sdc = sdc
+    pred.fit_due = due
+    return pred
+
+
+class TestCompareCode:
+    def test_sdc_metric(self):
+        row = compare_code(_beam_result(), _prediction(), "NVBITFI", metric="sdc")
+        assert row.beam_fit == 10.0
+        assert row.ratio == pytest.approx(2.0)
+        assert row.underpredicted
+
+    def test_due_metric(self):
+        row = compare_code(_beam_result(), _prediction(), "NVBITFI", metric="due")
+        assert row.ratio == pytest.approx(200.0)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            compare_code(_beam_result(), _prediction(), "F", metric="avf")
+
+    def test_overprediction_negative(self):
+        row = compare_code(_beam_result(sdc=1.0), _prediction(sdc=5.0), "F")
+        assert row.ratio == pytest.approx(-5.0)
+        assert not row.underpredicted
+        assert row.within == pytest.approx(5.0)
+
+
+class TestAverages:
+    def test_average_of_balanced_panel_near_one(self):
+        rows = [_row(10, 5), _row(5, 10)]
+        assert abs(average_ratio(rows)) == pytest.approx(1.0)
+
+    def test_average_skips_degenerate(self):
+        rows = [_row(10, 5), _row(1.0, 0.0)]
+        assert average_ratio(rows) == pytest.approx(2.0)
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_ratio([_row(1.0, 0.0)])
+
+    def test_fraction_within(self):
+        rows = [_row(10, 5), _row(10, 1), _row(3, 3)]
+        assert fraction_within(rows, factor=5.0) == pytest.approx(2 / 3)
+
+    def test_fraction_within_empty(self):
+        with pytest.raises(ConfigurationError):
+            fraction_within([])
+
+
+class TestDueUnderestimation:
+    def test_mean_of_ratios(self):
+        rows = [_row(100, 1), _row(300, 1)]
+        assert due_underestimation(rows) == pytest.approx(200.0)
+
+    def test_zero_predictions_excluded(self):
+        rows = [_row(100, 1), _row(50, 0.0)]
+        assert due_underestimation(rows) == pytest.approx(100.0)
+
+    def test_all_zero_predictions_is_inf(self):
+        assert math.isinf(due_underestimation([_row(50, 0.0)]))
+
+
+class TestWorstOverprediction:
+    def test_finds_most_negative(self):
+        rows = [_row(10, 5, "a"), _row(1, 27, "hhotspot"), _row(1, 3, "c")]
+        worst = worst_overprediction(rows)
+        assert worst.code == "hhotspot"
+        assert worst.ratio == pytest.approx(-27.0)
+
+    def test_none_when_all_underpredicted(self):
+        assert worst_overprediction([_row(10, 5)]) is None

@@ -1,0 +1,149 @@
+"""Eq. 1–4 prediction model: mapping, AVF aggregation, term structure."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.ecc import EccMode
+from repro.arch.isa import OpCategory, OpClass
+from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
+from repro.predict.model import (
+    PredictionModel,
+    UnitFit,
+    avf_by_category,
+    measure_memory_avf,
+    measure_microbench_fits,
+    ubench_key,
+)
+from repro.profiling.profiler import profile_workload
+from repro.workloads.registry import get_workload
+
+
+class TestUbenchKey:
+    def test_direct_arithmetic(self):
+        assert ubench_key(OpClass.FFMA) == "FFMA"
+        assert ubench_key(OpClass.HMMA) == "HMMA"
+        assert ubench_key(OpClass.IMAD) == "IMAD"
+
+    def test_misc_int_maps_to_iadd(self):
+        assert ubench_key(OpClass.LOP) == "IADD"
+        assert ubench_key(OpClass.IMNMX) == "IADD"
+
+    def test_memory_maps_to_ldst(self):
+        for op in (OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS):
+            assert ubench_key(op) == "LDST"
+
+    def test_others_unmodeled(self):
+        """The paper models only the common instruction classes; OTHERS are
+        structurally absent from the prediction (§VII-A)."""
+        for op in (OpClass.MUFU, OpClass.SETP, OpClass.BRA, OpClass.BAR, OpClass.MOV):
+            assert ubench_key(op) is None
+
+
+class TestAvfByCategory:
+    def _campaign(self):
+        c = CampaignResult("W", "F", "D")
+        for _ in range(6):
+            c.add(InjectionRecord("g", Outcome.SDC, op=OpClass.FFMA))
+        for _ in range(4):
+            c.add(InjectionRecord("g", Outcome.MASKED, op=OpClass.FFMA))
+        for _ in range(3):
+            c.add(InjectionRecord("g", Outcome.DUE, op=OpClass.IADD))
+        c.add(InjectionRecord("g", Outcome.SDC, op=OpClass.LDG))
+        return c
+
+    def test_category_aggregation(self):
+        avf = avf_by_category(self._campaign(), Outcome.SDC, min_samples=1)
+        assert avf[OpCategory.FMA] == pytest.approx(0.6)
+        assert avf[OpCategory.INT] == 0.0
+
+    def test_min_samples_filters(self):
+        avf = avf_by_category(self._campaign(), Outcome.SDC, min_samples=5)
+        assert OpCategory.LDST not in avf
+        assert OpCategory.FMA in avf
+
+
+@pytest.fixture(scope="module")
+def kepler_fits():
+    return measure_microbench_fits(KEPLER_K40C, seed=0, max_fault_evals=60)
+
+
+class TestMicrobenchFits:
+    def test_all_kepler_units_measured(self, kepler_fits):
+        assert set(kepler_fits.units) == {"FADD", "FMUL", "FFMA", "IADD", "IMUL", "IMAD", "LDST"}
+
+    def test_rf_per_bit_positive(self, kepler_fits):
+        assert kepler_fits.rf_fit_per_bit_sdc > 0
+
+    def test_unit_fit_de_embedding(self):
+        unit = UnitFit(fit_sdc=10.0, fit_due=1.0, denom_sdc=0.5, denom_due=0.1)
+        assert unit.unit_sdc == pytest.approx(20.0)
+        assert unit.unit_due == pytest.approx(10.0)
+
+    def test_denominator_floor(self):
+        unit = UnitFit(fit_sdc=10.0, fit_due=1.0, denom_sdc=0.0, denom_due=0.0)
+        assert unit.unit_sdc < float("inf")
+
+    def test_missing_unit_rejected(self, kepler_fits):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            kepler_fits.unit_for("HMMA")  # no tensor cores on Kepler
+
+
+class TestPrediction:
+    def _predict(self, kepler_fits, ecc, avf=0.5, mem_avf=(0.3, 0.1)):
+        w = get_workload("kepler", "FMXM", seed=1)
+        metrics = profile_workload(KEPLER_K40C, w)
+        cats = {c: avf for c in OpCategory}
+        model = PredictionModel(KEPLER_K40C, kepler_fits)
+        return model.predict(w, metrics, cats, {c: 0.1 for c in OpCategory}, ecc=ecc, mem_avf=mem_avf)
+
+    def test_terms_cover_main_mix(self, kepler_fits):
+        pred = self._predict(kepler_fits, EccMode.ON)
+        assert pred.covered_fraction > 0.5  # paper: >70% of instructions
+        assert "FFMA" in pred.terms_sdc
+        assert pred.fit_sdc == pytest.approx(sum(pred.terms_sdc.values()))
+
+    def test_zero_avf_zero_prediction(self, kepler_fits):
+        pred = self._predict(kepler_fits, EccMode.ON, avf=0.0)
+        assert pred.fit_sdc == 0.0
+
+    def test_prediction_linear_in_avf(self, kepler_fits):
+        lo = self._predict(kepler_fits, EccMode.ON, avf=0.25)
+        hi = self._predict(kepler_fits, EccMode.ON, avf=0.5)
+        assert hi.fit_sdc == pytest.approx(2 * lo.fit_sdc, rel=1e-6)
+
+    def test_memory_term_only_when_ecc_off(self, kepler_fits):
+        """Eq. 3: with ECC enabled AVF_MEM ≈ 0 and the memory summation
+        vanishes (§IV-A)."""
+        on = self._predict(kepler_fits, EccMode.ON)
+        off = self._predict(kepler_fits, EccMode.OFF)
+        assert not any(k.startswith("mem:") for k in on.terms_sdc)
+        assert any(k.startswith("mem:") for k in off.terms_sdc)
+        assert off.fit_sdc > on.fit_sdc
+
+    def test_memory_footprint_bits(self, kepler_fits):
+        model = PredictionModel(KEPLER_K40C, kepler_fits)
+        bits = model.memory_footprint_bits(get_workload("kepler", "FMXM", seed=1))
+        assert bits["register_file"] > 0
+        assert bits["register_file"] <= KEPLER_K40C.register_file_bytes * 8
+
+
+class TestMemoryAvf:
+    def test_returns_probabilities(self):
+        sdc, due = measure_memory_avf(KEPLER_K40C, get_workload("kepler", "FMXM", seed=1), strikes=16)
+        assert 0.0 <= sdc <= 1.0
+        assert 0.0 <= due <= 1.0
+        assert sdc + due <= 1.0
+
+    def test_mxm_memory_faults_propagate(self):
+        """Matrix inputs are all live: a fair share of delivered memory
+        strikes must corrupt the product."""
+        sdc, _ = measure_memory_avf(KEPLER_K40C, get_workload("kepler", "FMXM", seed=1), strikes=30)
+        assert sdc > 0.1
+
+    def test_zero_strikes_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            measure_memory_avf(KEPLER_K40C, get_workload("kepler", "FMXM"), strikes=0)

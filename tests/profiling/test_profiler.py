@@ -1,0 +1,117 @@
+"""Profiler: Table I metrics, Figure 1 mixes, caching, rendering."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.isa import OpCategory
+from repro.common.errors import ConfigurationError
+from repro.profiling.metrics import KernelMetrics
+from repro.profiling.profiler import Profiler, metrics_from_trace, profile_workload
+from repro.profiling.report import instruction_mix_table, metrics_table
+from repro.sim.trace import ExecutionTrace
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return Profiler(KEPLER_K40C)
+
+
+class TestProfiler:
+    def test_golden_cached_per_backend(self, profiler):
+        w = get_workload("kepler", "FMXM", seed=0)
+        assert profiler.golden_run(w) is profiler.golden_run(w)
+        assert profiler.golden_run(w) is not profiler.golden_run(w, backend="cuda7")
+
+    def test_metrics_fields(self, profiler):
+        m = profiler.metrics(get_workload("kepler", "FMXM", seed=0))
+        assert m.code == "FMXM"
+        assert m.device == KEPLER_K40C.name
+        assert m.ipc > 0
+        assert 0 < m.achieved_occupancy <= 1.0
+        assert m.registers_per_thread == 25
+
+    def test_phi_is_occupancy_times_ipc(self, profiler):
+        """Eq. 4."""
+        m = profiler.metrics(get_workload("kepler", "FHOTSPOT", seed=0))
+        assert m.phi == pytest.approx(m.achieved_occupancy * m.ipc)
+
+    def test_mix_fractions_sum_to_one(self, profiler):
+        m = profiler.metrics(get_workload("kepler", "CCL", seed=0))
+        assert sum(m.category_mix.values()) == pytest.approx(1.0)
+        assert sum(m.instruction_mix.values()) == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        w = get_workload("kepler", "FMXM", seed=0)
+        with pytest.raises(ConfigurationError):
+            metrics_from_trace(KEPLER_K40C, w, ExecutionTrace())
+
+    def test_one_shot_wrapper(self):
+        m = profile_workload(VOLTA_V100, get_workload("volta", "HMXM", seed=0))
+        assert isinstance(m, KernelMetrics)
+
+
+class TestQualitativeShapes:
+    def test_gemm_low_occupancy_decent_ipc(self, profiler):
+        """Table I: GEMM trades occupancy for per-thread work (§IV-B)."""
+        gemm = profiler.metrics(get_workload("kepler", "FGEMM", seed=0))
+        assert gemm.achieved_occupancy < 0.3
+
+    def test_nw_bottom_of_both_columns(self, profiler):
+        """Table I: NW has the lowest occupancy AND lowest IPC on Kepler."""
+        nw = profiler.metrics(get_workload("kepler", "NW", seed=0))
+        mxm = profiler.metrics(get_workload("kepler", "FMXM", seed=0))
+        assert nw.achieved_occupancy < 0.15
+        assert nw.ipc < mxm.ipc
+
+    def test_mxm_full_occupancy(self, profiler):
+        mxm = profiler.metrics(get_workload("kepler", "FMXM", seed=0))
+        assert mxm.achieved_occupancy > 0.6
+
+    def test_lava_is_fma_heavy(self, profiler):
+        """Figure 1: Lava's mix is dominated by floating-point arithmetic."""
+        lava = profiler.metrics(get_workload("kepler", "FLAVA", seed=0))
+        float_share = (
+            lava.mix_fraction(OpCategory.FMA)
+            + lava.mix_fraction(OpCategory.MUL)
+            + lava.mix_fraction(OpCategory.ADD)
+        )
+        assert float_share > 0.4
+
+    def test_integer_codes_have_no_float_ops(self, profiler):
+        for code in ("CCL", "BFS", "NW", "MERGESORT", "QUICKSORT"):
+            m = profiler.metrics(get_workload("kepler", code, seed=0))
+            assert m.mix_fraction(OpCategory.FMA) == 0.0
+            assert m.mix_fraction(OpCategory.MUL) == 0.0
+            assert m.mix_fraction(OpCategory.INT) > 0.1
+
+    def test_mma_dominates_tensor_gemm(self):
+        m = profile_workload(VOLTA_V100, get_workload("volta", "HGEMM-MMA", seed=0))
+        assert m.mix_fraction(OpCategory.MMA) > 0.5
+
+
+class TestRendering:
+    def test_table1_rows(self, profiler):
+        m = profiler.metrics(get_workload("kepler", "FLUD", seed=0))
+        row = m.table1_row()
+        assert row["code"] == "FLUD"
+        assert row["SHARED"].endswith("KB")
+        text = metrics_table([m])
+        assert "FLUD" in text
+
+    def test_small_shared_rendered_in_bytes(self, profiler):
+        m = profiler.metrics(get_workload("kepler", "CCL", seed=0))
+        assert m.table1_row()["SHARED"] == "123B"
+
+    def test_fig1_rows(self, profiler):
+        m = profiler.metrics(get_workload("kepler", "FMXM", seed=0))
+        row = m.fig1_row()
+        assert set(row) == {"code"} | {c.value for c in OpCategory}
+        text = instruction_mix_table([m])
+        assert "FMA" in text
+
+    def test_empty_rendering_rejected(self):
+        with pytest.raises(ValueError):
+            metrics_table([])
+        with pytest.raises(ValueError):
+            instruction_mix_table([])

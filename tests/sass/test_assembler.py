@@ -1,0 +1,149 @@
+"""SASS assembler: parsing, validation, diagnostics."""
+
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.sass import AssemblerError, assemble
+from repro.sass.program import OperandKind
+
+MINIMAL = """
+.kernel k
+.buffer a
+MOV     r0, %gid
+LDG.F32 r1, [a + r0]
+"""
+
+
+class TestDirectives:
+    def test_kernel_and_buffers(self):
+        prog = assemble(MINIMAL)
+        assert prog.name == "k"
+        assert prog.buffers == ["a"]
+
+    def test_shared_directive(self):
+        prog = assemble(".kernel k\n.shared tile 128\nNOP")
+        assert prog.shared == [("tile", 128)]
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n.register r0")
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("; header\n.kernel k ; name\n\nNOP ; idle\n")
+        assert prog.static_instruction_count() == 1
+
+
+class TestOperands:
+    def test_memory_forms(self):
+        prog = assemble(
+            ".kernel k\n.buffer a\nMOV r0, %gid\nLDG.F32 r1, [a]\nLDG.F32 r2, [a + r0]\nLDG.F32 r3, [a + r0 + 4]"
+        )
+        loads = [i for i in prog.instructions if i.mnemonic == "LDG"]
+        assert loads[0].sources[0].index_register is None
+        assert loads[1].sources[0].index_register == "r0"
+        assert loads[2].sources[0].index_offset == 4
+
+    def test_immediates(self):
+        prog = assemble(".kernel k\nMOV.F32 r0, -1.5e2\nMOV.S32 r1, 0x10")
+        assert prog.instructions[0].sources[0].value == -150.0
+        assert prog.instructions[1].sources[0].value == 16.0
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nMOV r0, q7")
+
+    def test_specials(self):
+        prog = assemble(".kernel k\nMOV r0, %tid\nMOV r1, %bid")
+        assert prog.instructions[0].sources[0].kind is OperandKind.SPECIAL
+
+
+class TestOpcodes:
+    def test_type_suffix(self):
+        prog = assemble(".kernel k\nMOV.F64 r0, 1.0\nFADD.F64 r1, r0, r0")
+        assert prog.instructions[1].dtype is DType.FP64
+
+    def test_default_types(self):
+        prog = assemble(".kernel k\nMOV r0, %gid\nIADD r1, r0, 1\nMOV.F32 r2, 0.0\nFADD r3, r2, 1.0")
+        assert prog.instructions[1].dtype is DType.INT32
+        assert prog.instructions[3].dtype is DType.FP32
+
+    def test_modifier_required(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nMOV r0, %gid\nLOP r1, r0, r0")
+
+    def test_modifier_parsed(self):
+        prog = assemble(".kernel k\nMOV r0, %gid\nLOP.XOR r1, r0, r0")
+        assert prog.instructions[1].modifier == "XOR"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nFLOP r0, r0")
+
+    def test_unknown_suffix(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nMOV.F128 r0, 1.0")
+
+    def test_setp_needs_predicate_dest(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nMOV r0, %gid\nSETP.LT r1, r0, 5")
+
+    def test_store_shape(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n.buffer a\nMOV r0, %gid\nSTG.S32 r0, [a + r0]")
+
+
+class TestLoops:
+    def test_nested_loops(self):
+        prog = assemble(
+            ".kernel k\nMOV.F32 r0, 0.0\n.loop 3\n.loop 2\nFADD.F32 r0, r0, 1.0\n.endloop\n.endloop"
+        )
+        outer = prog.instructions[1]
+        assert outer.mnemonic == "LOOP" and outer.loop_count == 3
+        assert outer.body[0].loop_count == 2
+        # 3*(2*(1 body + 2 overhead) + 2 overhead) = 3*8
+        assert prog.dynamic_instruction_estimate() == 1 + 3 * 8
+
+    def test_unbalanced_endloop(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n.endloop")
+
+    def test_unclosed_loop(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n.loop 2\nNOP")
+
+    def test_bad_count(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n.loop many\nNOP\n.endloop")
+
+
+class TestGuards:
+    def test_guard_parsed(self):
+        prog = assemble(".kernel k\nMOV r0, %gid\nSETP.LT.S32 p0, r0, 5\n@p0 MOV.S32 r1, 1")
+        assert prog.instructions[2].guard == "p0"
+
+    def test_bad_guard(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n@r0 NOP")
+
+    def test_guard_without_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n@p0")
+
+
+class TestValidation:
+    def test_read_before_write(self):
+        with pytest.raises(ConfigurationError):
+            assemble(".kernel k\nIADD r0, r1, 1")
+
+    def test_undeclared_buffer(self):
+        with pytest.raises(ConfigurationError):
+            assemble(".kernel k\nMOV r0, %gid\nLDG.F32 r1, [ghost + r0]")
+
+    def test_guard_before_setp(self):
+        with pytest.raises(ConfigurationError):
+            assemble(".kernel k\n@p0 NOP\nMOV r0, %gid")
+
+    def test_predicate_read_before_setp(self):
+        with pytest.raises(ConfigurationError):
+            assemble(".kernel k\nMOV.F32 r0, 1.0\nSEL.F32 r1, p0, r0, r0")

@@ -1,0 +1,194 @@
+"""SASS interpreter: semantics on the simulator, fault-machinery reuse."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.common.errors import ConfigurationError
+from repro.sass import SassKernel, assemble
+from repro.sim import LaunchConfig, run_kernel
+
+
+def _run(text, inputs, outputs, shapes=None, launch=LaunchConfig(2, 32), **kw):
+    kernel = SassKernel(assemble(text), inputs, outputs, shapes=shapes, **kw)
+    return run_kernel(KEPLER_K40C, kernel, launch)
+
+
+class TestBasics:
+    def test_copy_kernel(self):
+        a = np.arange(64, dtype=np.float32)
+        run = _run(
+            ".kernel k\n.buffer a\n.buffer c\nMOV r0, %gid\nLDG.F32 r1, [a + r0]\nSTG.F32 [c + r0], r1",
+            {"a": a}, ("c",), {"c": (64,)},
+        )
+        np.testing.assert_array_equal(run.outputs["c"], a)
+
+    def test_arithmetic_chain(self):
+        a = np.arange(64, dtype=np.float32)
+        run = _run(
+            """
+            .kernel k
+            .buffer a
+            .buffer c
+            MOV r0, %gid
+            LDG.F32 r1, [a + r0]
+            FMUL.F32 r2, r1, 3.0
+            FADD.F32 r2, r2, 1.0
+            STG.F32 [c + r0], r2
+            """,
+            {"a": a}, ("c",), {"c": (64,)},
+        )
+        np.testing.assert_array_equal(run.outputs["c"], (a * 3 + 1).astype(np.float32))
+
+    def test_integer_ops(self):
+        run = _run(
+            """
+            .kernel k
+            .buffer c
+            MOV r0, %gid
+            IMAD r1, r0, 3, 7
+            LOP.XOR r1, r1, 1
+            SHF.L r1, r1, 2
+            STG.S32 [c + r0], r1
+            """,
+            {}, ("c",), {"c": (64,)}, dtypes={"c": DType.INT32},
+        )
+        gid = np.arange(64, dtype=np.int32)
+        np.testing.assert_array_equal(run.outputs["c"], ((gid * 3 + 7) ^ 1) << 2)
+
+    def test_specials(self):
+        run = _run(
+            ".kernel k\n.buffer c\nMOV r0, %gid\nMOV r1, %tid\nMOV r2, %bid\nIMAD r3, r2, 32, r1\nISUB r4, r3, r0\nSTG.S32 [c + r0], r4",
+            {}, ("c",), {"c": (64,)}, dtypes={"c": DType.INT32},
+        )
+        np.testing.assert_array_equal(run.outputs["c"], np.zeros(64, dtype=np.int32))
+
+    def test_loop_accumulation(self):
+        run = _run(
+            ".kernel k\n.buffer c\nMOV r0, %gid\nMOV.F32 r1, 0.0\n.loop 10\nFADD.F32 r1, r1, 0.5\n.endloop\nSTG.F32 [c + r0], r1",
+            {}, ("c",), {"c": (64,)},
+        )
+        np.testing.assert_array_equal(run.outputs["c"], np.full(64, 5.0, dtype=np.float32))
+
+    def test_shared_memory_round_trip(self):
+        run = _run(
+            """
+            .kernel k
+            .buffer c
+            .shared tile 32
+            MOV r0, %tid
+            MOV r1, %gid
+            CVT.F32 r2, r1
+            STS.F32 [tile + r0], r2
+            BAR
+            LDS.F32 r3, [tile + r0]
+            STG.F32 [c + r1], r3
+            """,
+            {}, ("c",), {"c": (64,)},
+        )
+        np.testing.assert_array_equal(run.outputs["c"], np.arange(64, dtype=np.float32))
+
+    def test_mufu_forms(self):
+        a = np.array([1.0, 4.0] * 32, dtype=np.float32)
+        run = _run(
+            ".kernel k\n.buffer a\n.buffer c\nMOV r0, %gid\nLDG.F32 r1, [a + r0]\nMUFU.SQRT r2, r1\nSTG.F32 [c + r0], r2",
+            {"a": a}, ("c",), {"c": (64,)},
+        )
+        np.testing.assert_allclose(run.outputs["c"], np.sqrt(a), rtol=1e-6)
+
+
+class TestPredication:
+    def test_guarded_write_keeps_old_lanes(self):
+        run = _run(
+            """
+            .kernel k
+            .buffer c
+            MOV r0, %gid
+            MOV.S32 r1, 7
+            SETP.LT.S32 p0, r0, 10
+            @p0 MOV.S32 r1, 99
+            STG.S32 [c + r0], r1
+            """,
+            {}, ("c",), {"c": (64,)}, dtypes={"c": DType.INT32},
+        )
+        expected = np.where(np.arange(64) < 10, 99, 7).astype(np.int32)
+        np.testing.assert_array_equal(run.outputs["c"], expected)
+
+    def test_guarded_store(self):
+        run = _run(
+            """
+            .kernel k
+            .buffer c
+            MOV r0, %gid
+            SETP.GE.S32 p0, r0, 32
+            @p0 STG.S32 [c + r0], r0
+            """,
+            {}, ("c",), {"c": (64,)}, dtypes={"c": DType.INT32},
+        )
+        out = run.outputs["c"]
+        assert (out[:32] == 0).all()
+        np.testing.assert_array_equal(out[32:], np.arange(32, 64, dtype=np.int32))
+
+    def test_sel(self):
+        run = _run(
+            """
+            .kernel k
+            .buffer c
+            MOV r0, %gid
+            SETP.EQ.S32 p0, r0, 0
+            CVT.F32 r1, r0
+            SEL.F32 r2, p0, 1.0, r1
+            STG.F32 [c + r0], r2
+            """,
+            {}, ("c",), {"c": (64,)},
+        )
+        expected = np.arange(64, dtype=np.float32)
+        expected[0] = 1.0
+        np.testing.assert_array_equal(run.outputs["c"], expected)
+
+
+class TestTracing:
+    def test_instruction_classes_recorded(self):
+        a = np.ones(64, dtype=np.float32)
+        run = _run(
+            ".kernel k\n.buffer a\n.buffer c\nMOV r0, %gid\nLDG.F32 r1, [a + r0]\nFFMA.F32 r2, r1, 2.0, 1.0\nSTG.F32 [c + r0], r2",
+            {"a": a}, ("c",), {"c": (64,)},
+        )
+        assert run.trace.instances[OpClass.FFMA] == 64
+        assert run.trace.instances[OpClass.LDG] == 64
+        assert run.trace.instances[OpClass.STG] == 64
+
+    def test_injectable(self):
+        """Assembled kernels feed the same injection machinery."""
+        from repro.sim.injection import FaultModel, InjectionMode, InjectionPlan, opclass_stream
+
+        text = ".kernel k\n.buffer a\n.buffer c\nMOV r0, %gid\nLDG.F32 r1, [a + r0]\nFFMA.F32 r2, r1, 2.0, 1.0\nSTG.F32 [c + r0], r2"
+        a = np.ones(64, dtype=np.float32)
+        golden = _run(text, {"a": a}, ("c",), {"c": (64,)}).outputs["c"]
+        kernel = SassKernel(assemble(text), {"a": a}, ("c",), {"c": (64,)})
+        plan = InjectionPlan(
+            mode=InjectionMode.OUTPUT_VALUE,
+            stream=opclass_stream(OpClass.FFMA),
+            target_index=5,
+            fault_model=FaultModel.SINGLE_BIT,
+            rng=np.random.default_rng(3),
+        )
+        run = run_kernel(KEPLER_K40C, kernel, LaunchConfig(2, 32), plan=plan)
+        assert plan.fired
+        assert (run.outputs["c"] != golden).sum() == 1
+
+
+class TestBindingValidation:
+    def test_unknown_input(self):
+        with pytest.raises(ConfigurationError):
+            SassKernel(assemble(".kernel k\n.buffer a\nNOP"), {"b": np.zeros(4, np.float32)}, ())
+
+    def test_unknown_output(self):
+        with pytest.raises(ConfigurationError):
+            SassKernel(assemble(".kernel k\n.buffer a\nNOP"), {}, ("b",), {"a": (4,)})
+
+    def test_buffer_without_data_or_shape(self):
+        with pytest.raises(ConfigurationError):
+            SassKernel(assemble(".kernel k\n.buffer a\nNOP"), {}, ())

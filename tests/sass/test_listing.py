@@ -1,0 +1,120 @@
+"""Disassembler round trip: assemble(listing(p)) reproduces p."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.devices import KEPLER_K40C
+from repro.sass import SassKernel, assemble
+from repro.sim import LaunchConfig, run_kernel
+
+SAMPLES = [
+    """
+    .kernel a
+    .buffer x
+    .buffer y
+    MOV r0, %gid
+    LDG.F32 r1, [x + r0]
+    FFMA.F32 r2, r1, 2.0, 1.0
+    STG.F32 [y + r0], r2
+    """,
+    """
+    .kernel b
+    .buffer y
+    .shared tile 64
+    MOV r0, %tid
+    MOV.S32 r1, 5
+    SETP.LT.S32 p0, r0, 16
+    @p0 IADD r1, r1, 1
+    STS.S32 [tile + r0], r1
+    BAR
+    LDS.S32 r2, [tile + r0]
+    STG.S32 [y + r0], r2
+    """,
+    """
+    .kernel c
+    .buffer y
+    MOV r0, %gid
+    MOV.F32 r1, 0.0
+    .loop 4
+    .loop 2
+    FADD.F32 r1, r1, 0.5
+    .endloop
+    .endloop
+    LOP.XOR r2, r0, 3
+    SHF.L r2, r2, 1
+    MUFU.SQRT r3, r1
+    CVT.S32 r4, r3
+    STG.S32 [y + r0], r4
+    """,
+]
+
+
+def _strip_lines(program) -> list:
+    """Instruction tuples ignoring source line numbers."""
+    def walk(block):
+        out = []
+        for i in block:
+            out.append((i.mnemonic, i.modifier, i.dtype, str(i.dest), tuple(map(str, i.sources)), i.guard, i.loop_count))
+            out.extend(walk(i.body))
+        return out
+
+    return walk(program.instructions)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_reassembles_identically(self, text):
+        original = assemble(text)
+        round_trip = assemble(original.listing())
+        assert _strip_lines(round_trip) == _strip_lines(original)
+        assert round_trip.buffers == original.buffers
+        assert round_trip.shared == original.shared
+
+    @pytest.mark.parametrize("text", SAMPLES[:2])
+    def test_round_trip_executes_identically(self, text):
+        original = assemble(text)
+        round_trip = assemble(original.listing())
+        x = np.arange(64, dtype=np.float32)
+        for program in (original, round_trip):
+            inputs = {"x": x} if "x" in program.buffers else {}
+            kernel = SassKernel(program, inputs, ("y",), {"y": (64,)},
+                                dtypes={"y": _out_dtype(program)})
+            run = run_kernel(KEPLER_K40C, kernel, LaunchConfig(2, 32))
+            if program is original:
+                expected = run.outputs["y"]
+            else:
+                np.testing.assert_array_equal(run.outputs["y"], expected)
+
+
+def _out_dtype(program):
+    from repro.arch.dtypes import DType
+
+    for instr in program.instructions:
+        if instr.mnemonic == "STG":
+            return instr.dtype or DType.FP32
+    return DType.FP32
+
+
+class TestGeneratedPrograms:
+    @given(
+        consts=st.lists(st.integers(-100, 100), min_size=1, max_size=6),
+        trip=st.integers(0, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_int_chain_round_trips(self, consts, trip):
+        body = "\n".join(f"IADD r1, r1, {c}" for c in consts)
+        text = (
+            ".kernel g\n.buffer y\nMOV r0, %gid\nMOV.S32 r1, 0\n"
+            f".loop {trip}\n{body}\n.endloop\n"
+            "STG.S32 [y + r0], r1"
+        )
+        original = assemble(text)
+        round_trip = assemble(original.listing())
+        assert _strip_lines(round_trip) == _strip_lines(original)
+        # and both compute trip * sum(consts)
+        from repro.arch.dtypes import DType
+
+        kernel = SassKernel(round_trip, {}, ("y",), {"y": (64,)}, dtypes={"y": DType.INT32})
+        run = run_kernel(KEPLER_K40C, kernel, LaunchConfig(2, 32))
+        assert int(run.outputs["y"][0]) == trip * sum(consts)

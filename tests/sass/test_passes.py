@@ -1,0 +1,190 @@
+"""SASS passes: DCE, redundant-MOV insertion, unrolling — and the paper's
+optimization-raises-AVF claim measured at the SASS level."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.sass import SassKernel, assemble
+from repro.sass.passes import eliminate_dead_code, insert_redundant_movs, unroll_loops
+from repro.sim import LaunchConfig, run_kernel
+
+PROGRAM_WITH_DEAD_CODE = """
+.kernel k
+.buffer a
+.buffer c
+MOV      r0, %gid
+LDG.F32  r1, [a + r0]
+FMUL.F32 r2, r1, 2.0      ; live
+FMUL.F32 r3, r1, 3.0      ; dead
+FADD.F32 r4, r3, 1.0      ; dead chain (only r3's consumer)
+STG.F32  [c + r0], r2
+"""
+
+
+def _outputs(program, a):
+    kernel = SassKernel(program, {"a": a}, ("c",), {"c": a.shape})
+    return run_kernel(KEPLER_K40C, kernel, LaunchConfig(2, 32))
+
+
+class TestDce:
+    def test_removes_dead_chain(self):
+        prog = assemble(PROGRAM_WITH_DEAD_CODE)
+        opt = eliminate_dead_code(prog)
+        assert opt.static_instruction_count() == prog.static_instruction_count() - 2
+
+    def test_semantics_preserved(self):
+        a = np.random.default_rng(0).uniform(-2, 2, 64).astype(np.float32)
+        prog = assemble(PROGRAM_WITH_DEAD_CODE)
+        raw = _outputs(prog, a)
+        opt = _outputs(eliminate_dead_code(prog), a)
+        np.testing.assert_array_equal(raw.outputs["c"], opt.outputs["c"])
+
+    def test_keeps_address_registers(self):
+        prog = eliminate_dead_code(assemble(PROGRAM_WITH_DEAD_CODE))
+        assert any(i.mnemonic == "MOV" for i in prog.instructions)  # r0 feeds [c + r0]
+
+    def test_keeps_stores_and_barriers(self):
+        prog = assemble(".kernel k\n.buffer c\nMOV r0, %gid\nBAR\nSTG.S32 [c + r0], r0")
+        assert eliminate_dead_code(prog).static_instruction_count() == 3
+
+    def test_loop_written_registers_survive(self):
+        text = """
+        .kernel k
+        .buffer c
+        MOV r0, %gid
+        MOV.F32 r1, 0.0
+        .loop 4
+        FADD.F32 r1, r1, 1.0
+        .endloop
+        STG.F32 [c + r0], r1
+        """
+        prog = assemble(text)
+        opt = eliminate_dead_code(prog)
+        assert opt.static_instruction_count() == prog.static_instruction_count()
+
+    def test_fixed_point_kills_long_chains(self):
+        text = ".kernel k\nMOV.F32 r0, 1.0\n" + "\n".join(
+            f"FADD.F32 r{i + 1}, r{i}, 1.0" for i in range(6)
+        )
+        opt = eliminate_dead_code(assemble(text))
+        assert opt.static_instruction_count() == 0
+
+
+class TestRedundantMovs:
+    def test_adds_scratch_copies(self):
+        prog = assemble(PROGRAM_WITH_DEAD_CODE)
+        deopt = insert_redundant_movs(prog, period=1)
+        assert deopt.static_instruction_count() > prog.static_instruction_count()
+
+    def test_semantics_preserved(self):
+        a = np.random.default_rng(1).uniform(-2, 2, 64).astype(np.float32)
+        prog = assemble(PROGRAM_WITH_DEAD_CODE)
+        raw = _outputs(prog, a)
+        deopt = _outputs(insert_redundant_movs(prog, period=1), a)
+        np.testing.assert_array_equal(raw.outputs["c"], deopt.outputs["c"])
+
+    def test_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            insert_redundant_movs(assemble(".kernel k\nNOP"), period=0)
+
+    def test_inverse_of_dce(self):
+        """DCE removes exactly what the de-optimizer added."""
+        prog = eliminate_dead_code(assemble(PROGRAM_WITH_DEAD_CODE))
+        round_trip = eliminate_dead_code(insert_redundant_movs(prog, period=1))
+        assert round_trip.static_instruction_count() == prog.static_instruction_count()
+
+
+class TestUnroll:
+    def test_divisible_loop_unrolled(self):
+        text = ".kernel k\nMOV.F32 r0, 0.0\n.loop 8\nFADD.F32 r0, r0, 1.0\n.endloop"
+        prog = unroll_loops(assemble(text), factor=4)
+        loop = prog.instructions[1]
+        assert loop.loop_count == 2
+        assert len(loop.body) == 4
+
+    def test_indivisible_loop_untouched(self):
+        text = ".kernel k\nMOV.F32 r0, 0.0\n.loop 7\nFADD.F32 r0, r0, 1.0\n.endloop"
+        prog = unroll_loops(assemble(text), factor=4)
+        assert prog.instructions[1].loop_count == 7
+
+    def test_semantics_preserved(self):
+        text = """
+        .kernel k
+        .buffer c
+        MOV r0, %gid
+        MOV.F32 r1, 0.0
+        .loop 8
+        FADD.F32 r1, r1, 0.25
+        .endloop
+        STG.F32 [c + r0], r1
+        """
+        a = np.zeros(64, dtype=np.float32)
+        raw = _outputs(assemble(text.replace(".buffer c", ".buffer a\n.buffer c")), a)
+        # simpler: compare unrolled against original on the same program
+        prog = assemble(text.replace(".buffer c", ".buffer a\n.buffer c"))
+        opt = _outputs(unroll_loops(prog, 4), a)
+        np.testing.assert_array_equal(raw.outputs["c"], opt.outputs["c"])
+
+    def test_reduces_loop_overhead_share(self):
+        text = ".kernel k\n.buffer c\nMOV r0, %gid\nMOV.F32 r1, 0.0\n.loop 8\nFADD.F32 r1, r1, 1.0\n.endloop\nSTG.F32 [c + r0], r1"
+        prog = assemble(text)
+        a = np.zeros(64, dtype=np.float32)
+        kernel_raw = SassKernel(prog, {}, ("c",), {"c": (64,)})
+        kernel_unrolled = SassKernel(unroll_loops(prog, 4), {}, ("c",), {"c": (64,)})
+        from repro.arch.isa import OpClass
+
+        raw = run_kernel(KEPLER_K40C, kernel_raw, LaunchConfig(2, 32))
+        opt = run_kernel(KEPLER_K40C, kernel_unrolled, LaunchConfig(2, 32))
+        assert opt.trace.instances[OpClass.BRA] < raw.trace.instances[OpClass.BRA]
+
+
+class TestOptimizationRaisesAvf:
+    def test_paper_claim_at_sass_level(self):
+        """§VI: 'a more optimized code increases the AVF' — measured here
+        with everything but the pass held fixed."""
+        from repro.common.rng import RngFactory
+        from repro.faultsim.campaign import CampaignRunner
+        from repro.faultsim.frameworks import NvBitFi
+        from repro.faultsim.outcomes import Outcome
+        from repro.sim import LaunchConfig
+        from repro.workloads.base import Workload, WorkloadSpec
+
+        text = """
+        .kernel k
+        .buffer a
+        .buffer c
+        MOV      r0, %gid
+        LDG.F32  r1, [a + r0]
+        MOV.F32  r2, 0.0
+        .loop 8
+        FFMA.F32 r2, r1, 0.5, r2
+        .endloop
+        STG.F32  [c + r0], r2
+        """
+        base = assemble(text)
+        variants = {
+            "optimized": eliminate_dead_code(base),
+            "deoptimized": insert_redundant_movs(base, period=1),
+        }
+        a = np.random.default_rng(2).uniform(-2, 2, 256).astype(np.float32)
+        avf = {}
+        for label, program in variants.items():
+            sass = SassKernel(program, {"a": a}, ("c",), {"c": (256,)})
+
+            class Wrap(Workload):
+                def _generate_inputs(self, rng):
+                    pass
+
+                def sim_launch(self):
+                    return LaunchConfig(4, 64)
+
+                def kernel(self, ctx, _s=sass):
+                    return _s(ctx)
+
+            w = Wrap(WorkloadSpec(name=f"OPT-{label}", base="sass", dtype=DType.FP32))
+            runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(3))
+            avf[label] = runner.run(w, 150).avf(Outcome.SDC)
+        assert avf["optimized"] > avf["deoptimized"]

@@ -1,0 +1,45 @@
+"""Shared fixtures for simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.ecc import EccMode, SecdedModel
+from repro.sim.context import KernelContext
+
+
+@pytest.fixture
+def ctx():
+    """A small 2-block × 32-thread Kepler context, ECC ON."""
+    return KernelContext(
+        device=KEPLER_K40C,
+        grid_blocks=2,
+        threads_per_block=32,
+        ecc=SecdedModel(mode=EccMode.ON),
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture
+def volta_warp_ctx():
+    """A warp-lane Volta context (4 warps) for tensor-core tests."""
+    return KernelContext(
+        device=VOLTA_V100,
+        grid_blocks=1,
+        threads_per_block=128,
+        ecc=SecdedModel(mode=EccMode.ON),
+        rng=np.random.default_rng(0),
+        warp_lanes=True,
+    )
+
+
+def make_ctx(**kwargs):
+    defaults = dict(
+        device=KEPLER_K40C,
+        grid_blocks=2,
+        threads_per_block=32,
+        ecc=SecdedModel(mode=EccMode.ON),
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return KernelContext(**defaults)

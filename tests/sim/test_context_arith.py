@@ -1,0 +1,218 @@
+"""KernelContext arithmetic: semantics vs NumPy, instruction accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.common.errors import SimulationError
+
+from tests.sim.conftest import make_ctx
+
+
+def _lane_array(ctx, values, dtype=DType.FP32):
+    data = np.resize(np.asarray(values, dtype=dtype.np_dtype), ctx.num_lanes)
+    return ctx.from_array(data, dtype)
+
+
+class TestBinaryOps:
+    def test_add_matches_numpy(self, ctx):
+        a = _lane_array(ctx, [1.5, -2.0])
+        b = _lane_array(ctx, [0.25, 4.0])
+        out = ctx.add(a, b)
+        np.testing.assert_array_equal(out.data, a.data + b.data)
+        assert ctx.trace.instances[OpClass.FADD] == ctx.num_lanes
+
+    def test_add_int_emits_iadd(self, ctx):
+        a = _lane_array(ctx, [3], DType.INT32)
+        out = ctx.add(a, 4)
+        assert out.data[0] == 7
+        assert ctx.trace.instances[OpClass.IADD] == ctx.num_lanes
+
+    def test_sub(self, ctx):
+        a = _lane_array(ctx, [5.0])
+        out = ctx.sub(a, 2.0)
+        assert out.data[0] == 3.0
+
+    def test_mul_fp64(self, ctx):
+        a = _lane_array(ctx, [1.5], DType.FP64)
+        out = ctx.mul(a, a)
+        assert out.dtype is DType.FP64
+        assert out.data[0] == 2.25
+        assert ctx.trace.instances[OpClass.DMUL] == ctx.num_lanes
+
+    def test_fma_fp32(self, ctx):
+        a = _lane_array(ctx, [2.0])
+        out = ctx.fma(a, 3.0, 1.0)
+        assert out.data[0] == 7.0
+        assert ctx.trace.instances[OpClass.FFMA] == ctx.num_lanes
+
+    def test_mad_int(self, ctx):
+        a = _lane_array(ctx, [2], DType.INT32)
+        out = ctx.mad(a, 3, 4)
+        assert out.data[0] == 10
+        assert ctx.trace.instances[OpClass.IMAD] == ctx.num_lanes
+
+    def test_fp16_arithmetic_rounds(self, ctx):
+        a = _lane_array(ctx, [1.0], DType.FP16)
+        tiny = _lane_array(ctx, [1e-5], DType.FP16)
+        out = ctx.add(a, tiny)
+        assert out.data[0] == np.float16(1.0)  # absorbed by fp16 rounding
+
+    def test_mixed_dtypes_rejected(self, ctx):
+        a = _lane_array(ctx, [1.0], DType.FP32)
+        b = _lane_array(ctx, [1.0], DType.FP64)
+        with pytest.raises(SimulationError):
+            ctx.add(a, b)
+
+    def test_int_overflow_wraps(self, ctx):
+        a = _lane_array(ctx, [2**30], DType.INT32)
+        out = ctx.add(a, a)
+        assert out.data[0] == -(2**31)
+
+    @given(
+        x=st.floats(min_value=-1e3, max_value=1e3, width=32),
+        y=st.floats(min_value=-1e3, max_value=1e3, width=32),
+        z=st.floats(min_value=-1e3, max_value=1e3, width=32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fma_matches_numpy_float32(self, x, y, z):
+        ctx = make_ctx()
+        a = _lane_array(ctx, [x])
+        out = ctx.fma(a, y, z)
+        expected = np.float32(np.float32(x) * np.float32(y) + np.float32(z))
+        assert out.data[0] == expected
+
+
+class TestDivSqrtExp:
+    def test_div(self, ctx):
+        a = _lane_array(ctx, [6.0])
+        out = ctx.div(a, 2.0)
+        assert out.data[0] == pytest.approx(3.0, rel=1e-6)
+        assert ctx.trace.instances[OpClass.MUFU] == ctx.num_lanes
+
+    def test_div_integer_rejected(self, ctx):
+        a = _lane_array(ctx, [6], DType.INT32)
+        with pytest.raises(SimulationError):
+            ctx.div(a, 2)
+
+    def test_idiv_imod(self, ctx):
+        a = _lane_array(ctx, [17], DType.INT32)
+        assert ctx.idiv(a, 5).data[0] == 3
+        assert ctx.imod(a, 5).data[0] == 2
+
+    def test_idiv_by_zero_lane_safe(self, ctx):
+        a = _lane_array(ctx, [17], DType.INT32)
+        out = ctx.idiv(a, 0)  # guarded; hardware-defined garbage, no crash
+        assert out.data.shape[0] == ctx.num_lanes
+
+    def test_sqrt(self, ctx):
+        a = _lane_array(ctx, [9.0])
+        assert ctx.sqrt(a).data[0] == 3.0
+
+    def test_exp(self, ctx):
+        a = _lane_array(ctx, [0.0])
+        assert ctx.exp(a).data[0] == 1.0
+
+
+class TestBitwiseSelect:
+    def test_bit_ops(self, ctx):
+        a = _lane_array(ctx, [0b1100], DType.INT32)
+        b = _lane_array(ctx, [0b1010], DType.INT32)
+        assert ctx.bit_and(a, b).data[0] == 0b1000
+        assert ctx.bit_or(a, b).data[0] == 0b1110
+        assert ctx.bit_xor(a, b).data[0] == 0b0110
+        assert ctx.trace.instances[OpClass.LOP] == 3 * ctx.num_lanes
+
+    def test_shifts(self, ctx):
+        a = _lane_array(ctx, [4], DType.INT32)
+        assert ctx.shl(a, 2).data[0] == 16
+        assert ctx.shr(a, 1).data[0] == 2
+        assert ctx.trace.instances[OpClass.SHF] == 2 * ctx.num_lanes
+
+    def test_minmax_int_uses_imnmx(self, ctx):
+        a = _lane_array(ctx, [3], DType.INT32)
+        assert ctx.minimum(a, 1).data[0] == 1
+        assert ctx.maximum(a, 7).data[0] == 7
+        assert ctx.trace.instances[OpClass.IMNMX] == 2 * ctx.num_lanes
+
+    def test_minmax_float_uses_sel(self, ctx):
+        a = _lane_array(ctx, [3.0])
+        ctx.minimum(a, 1.0)
+        assert ctx.trace.instances[OpClass.SEL] == ctx.num_lanes
+
+    def test_where(self, ctx):
+        a = _lane_array(ctx, [1.0, 2.0])
+        pred = ctx.setp(a, "gt", 1.5)
+        out = ctx.where(pred, a, 0.0)
+        assert out.data[0] == 0.0
+        assert out.data[1] == 2.0
+
+    def test_where_requires_predicate(self, ctx):
+        a = _lane_array(ctx, [1.0])
+        with pytest.raises(SimulationError):
+            ctx.where(a, a, a)
+
+    def test_cvt(self, ctx):
+        a = _lane_array(ctx, [2.75])
+        out = ctx.cvt(a, DType.INT32)
+        assert out.dtype is DType.INT32
+        assert out.data[0] == 2
+        assert ctx.trace.instances[OpClass.CVT] == ctx.num_lanes
+
+    def test_mov_copies(self, ctx):
+        a = _lane_array(ctx, [5.0])
+        out = ctx.mov(a)
+        out.data[0] = 99.0
+        assert a.data[0] == 5.0  # deep copy
+
+    def test_neg_abs(self, ctx):
+        a = _lane_array(ctx, [-3.0])
+        assert ctx.neg(a).data[0] == 3.0
+        assert ctx.abs(a).data[0] == 3.0
+
+
+class TestPredicateOps:
+    @pytest.mark.parametrize("cmp,expect", [("lt", True), ("le", True), ("gt", False), ("ge", False), ("eq", False), ("ne", True)])
+    def test_setp_comparisons(self, ctx, cmp, expect):
+        a = _lane_array(ctx, [1.0])
+        pred = ctx.setp(a, cmp, 2.0)
+        assert bool(pred.data[0]) is expect
+
+    def test_setp_unknown_cmp(self, ctx):
+        a = _lane_array(ctx, [1.0])
+        with pytest.raises(SimulationError):
+            ctx.setp(a, "approx", 2.0)
+
+    def test_pred_logic(self, ctx):
+        a = _lane_array(ctx, [1.0, 3.0])
+        p = ctx.setp(a, "gt", 2.0)
+        q = ctx.setp(a, "lt", 2.0)
+        assert not ctx.pred_and(p, q).data.any()
+        assert ctx.pred_or(p, q).data.all()
+        np.testing.assert_array_equal(ctx.pred_not(p).data, ~p.data)
+
+    def test_pred_ops_reject_values(self, ctx):
+        a = _lane_array(ctx, [1.0])
+        with pytest.raises(SimulationError):
+            ctx.pred_and(a, a)
+
+
+class TestConstants:
+    def test_const_is_free(self, ctx):
+        before = ctx.trace.total_instances
+        ctx.const(5.0, DType.FP32)
+        assert ctx.trace.total_instances == before
+
+    def test_thread_geometry(self, ctx):
+        tid = ctx.thread_idx()
+        bid = ctx.block_idx()
+        gid = ctx.global_id()
+        np.testing.assert_array_equal(gid.data, np.arange(64))
+        np.testing.assert_array_equal(tid.data, np.arange(64) % 32)
+        np.testing.assert_array_equal(bid.data, np.arange(64) // 32)
+
+    def test_from_array_shape_checked(self, ctx):
+        with pytest.raises(Exception):
+            ctx.from_array(np.zeros(3, dtype=np.float32), DType.FP32)

@@ -1,0 +1,152 @@
+"""KernelContext control: masks, loops, compiler backends, watchdog."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.common.errors import SimulationError
+from repro.sim.exceptions import WatchdogTimeout
+
+from tests.sim.conftest import make_ctx
+
+
+class TestMasks:
+    def test_nested_masks_intersect(self, ctx):
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", 32)):
+            with ctx.masked(ctx.setp(gid, "ge", 16)):
+                assert ctx.mask.sum() == 16
+
+    def test_pop_restores(self, ctx):
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", 8)):
+            pass
+        assert ctx.mask.all()
+
+    def test_cannot_pop_root(self, ctx):
+        with pytest.raises(SimulationError):
+            ctx.pop_mask()
+
+    def test_push_requires_predicate(self, ctx):
+        with pytest.raises(SimulationError):
+            ctx.push_mask(ctx.const(1, DType.INT32))
+
+    def test_fully_masked_ops_not_counted(self, ctx):
+        gid = ctx.global_id()
+        nobody = ctx.setp(gid, "lt", 0)
+        before = ctx.trace.total_instances
+        with ctx.masked(nobody):  # nobody active
+            ctx.add(gid, 1)
+        assert ctx.trace.total_instances == before
+
+    def test_partial_mask_counts_active_only(self, ctx):
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", 10)):
+            ctx.add(gid, 1)
+        assert ctx.trace.instances[OpClass.IADD] == 10
+
+    def test_any_and_count(self, ctx):
+        gid = ctx.global_id()
+        pred = ctx.setp(gid, "lt", 3)
+        assert ctx.any(pred)
+        assert ctx.count(pred) == 3
+        assert not ctx.any(ctx.setp(gid, "lt", 0))
+
+
+class TestRangeLoop:
+    def test_emits_loop_overhead(self):
+        ctx = make_ctx()
+        for _ in ctx.range(4):
+            pass
+        assert ctx.trace.instances[OpClass.BRA] == 4 * ctx.num_lanes
+        assert ctx.trace.instances[OpClass.IADD] == 4 * ctx.num_lanes
+
+    def test_unroll_reduces_overhead_on_cuda10(self):
+        ctx = make_ctx(backend="cuda10")
+        for _ in ctx.range(8, unroll=4):
+            pass
+        assert ctx.trace.instances[OpClass.BRA] == 2 * ctx.num_lanes
+
+    def test_cuda7_ignores_unroll(self):
+        """The older toolchain does not unroll — more overhead instructions
+        (§VI: compiler version changes the generated SASS)."""
+        ctx = make_ctx(backend="cuda7")
+        for _ in ctx.range(8, unroll=4):
+            pass
+        assert ctx.trace.instances[OpClass.BRA] == 8 * ctx.num_lanes
+
+    def test_negative_count_rejected(self):
+        ctx = make_ctx()
+        with pytest.raises(SimulationError):
+            list(ctx.range(-1))
+
+    def test_yields_indices(self):
+        ctx = make_ctx()
+        assert list(ctx.range(5)) == [0, 1, 2, 3, 4]
+
+
+class TestCompilerBackends:
+    def test_cuda7_emits_dead_load_copies(self):
+        """Each load gains an un-eliminated MOV copy — a real injectable
+        site whose corruption is masked (the AVF-dilution mechanism)."""
+        c7 = make_ctx(backend="cuda7")
+        c10 = make_ctx(backend="cuda10")
+        for c in (c7, c10):
+            buf = c.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+            c.ld(buf, c.global_id())
+        assert c7.trace.instances.get(OpClass.MOV, 0) > c10.trace.instances.get(OpClass.MOV, 0)
+
+    def test_cuda7_emits_dead_address_arith(self):
+        c7 = make_ctx(backend="cuda7")
+        a = c7.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        for _ in range(12):
+            a = c7.add(a, 1.0)
+        # 12 FADDs → 2 dead IADDs (every 6th arithmetic op)
+        assert c7.trace.instances.get(OpClass.IADD, 0) == 2 * c7.num_lanes
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            make_ctx(backend="cuda99")
+
+
+class TestWatchdogAndMisc:
+    def test_watchdog_fires(self):
+        ctx = make_ctx(watchdog_limit=100.0)
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        with pytest.raises(WatchdogTimeout):
+            for _ in range(100):
+                a = ctx.add(a, 1.0)
+
+    def test_no_watchdog_by_default(self):
+        ctx = make_ctx()
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        for _ in range(50):
+            a = ctx.add(a, 1.0)
+
+    def test_bar_counts(self, ctx):
+        ctx.bar()
+        ctx.bar()
+        assert ctx.trace.barriers == 2
+        assert ctx.trace.instances[OpClass.BAR] == 2 * ctx.num_lanes
+
+    def test_nop_advances_tick(self, ctx):
+        before = ctx.tick
+        ctx.nop()
+        assert ctx.tick > before
+
+    def test_host_reads_counted_as_syncs(self, ctx):
+        buf = ctx.alloc("a", np.arange(8, dtype=np.float32), DType.FP32)
+        ctx.read_buffer(buf)
+        val = ctx.from_array(np.zeros(64, dtype=np.float32), DType.FP32)
+        ctx.read(val)
+        assert ctx.trace.host_syncs == 2
+
+    def test_warp_occupancy_counts_warps_not_lanes(self):
+        """A warp with one active lane still occupies its slot."""
+        ctx = make_ctx()
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "eq", 0)):  # one lane, warp 0
+            ctx.add(gid, 1)
+        # 1 of 2 warps occupied for that op
+        assert ctx.trace.active_lane_sum / ctx.trace.launched_lane_sum < 1.0

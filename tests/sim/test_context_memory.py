@@ -1,0 +1,194 @@
+"""KernelContext memory: loads/stores, masking, wild accesses, tiles."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.common.errors import ConfigurationError
+from repro.sim.exceptions import IllegalAddressError
+
+from tests.sim.conftest import make_ctx
+
+
+class TestGlobalLdSt:
+    def test_load_gathers(self, ctx):
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        gid = ctx.global_id()
+        out = ctx.ld(buf, gid)
+        np.testing.assert_array_equal(out.data, np.arange(64, dtype=np.float32))
+        assert ctx.trace.instances[OpClass.LDG] == 64
+
+    def test_store_scatters(self, ctx):
+        buf = ctx.alloc_zeros("c", 64, DType.INT32)
+        gid = ctx.global_id()
+        ctx.st(buf, gid, gid)
+        np.testing.assert_array_equal(buf.data, np.arange(64, dtype=np.int32))
+        assert ctx.trace.instances[OpClass.STG] == 64
+
+    def test_store_dtype_checked(self, ctx):
+        buf = ctx.alloc_zeros("c", 64, DType.FP32)
+        gid = ctx.global_id()
+        with pytest.raises(Exception):
+            ctx.st(buf, gid, gid)  # int32 value into fp32 buffer
+
+    def test_scalar_index_broadcast(self, ctx):
+        buf = ctx.alloc("a", np.arange(8, dtype=np.float32), DType.FP32)
+        out = ctx.ld(buf, 3)
+        assert (out.data == 3.0).all()
+
+    def test_masked_lanes_do_not_store(self, ctx):
+        buf = ctx.alloc_zeros("c", 64, DType.INT32)
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", 10)):
+            ctx.st(buf, gid, ctx.add(gid, 100))
+        assert (buf.data[:10] >= 100).all()
+        assert (buf.data[10:] == 0).all()
+
+    def test_masked_lanes_load_zero(self, ctx):
+        buf = ctx.alloc("a", np.full(64, 7.0, dtype=np.float32), DType.FP32)
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", 5)):
+            out = ctx.ld(buf, gid)
+        assert (out.data[:5] == 7.0).all()
+        assert (out.data[5:] == 0.0).all()
+
+    def test_traffic_counted(self, ctx):
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        ctx.ld(buf, ctx.global_id())
+        assert ctx.trace.global_bytes == 64 * 4
+
+
+class TestWildAccesses:
+    def test_near_oob_read_returns_garbage_not_fault(self, ctx):
+        """An index just past the buffer stays within the mapped span —
+        delivered garbage (SDC territory), not a device exception."""
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        idx = ctx.add(ctx.global_id(), 64)  # 64..127, buffer has 64
+        out = ctx.ld(buf, idx)
+        assert out.data.shape[0] == 64  # no exception
+
+    def test_far_oob_read_faults(self, ctx):
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        idx = ctx.add(ctx.global_id(), 2**24)
+        with pytest.raises(IllegalAddressError):
+            ctx.ld(buf, idx)
+
+    def test_negative_address_faults(self, ctx):
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        idx = ctx.sub(ctx.global_id(), 1000)
+        with pytest.raises(IllegalAddressError):
+            ctx.ld(buf, idx)
+
+    def test_wild_store_corrupts_neighbor_not_faults(self, ctx):
+        buf = ctx.alloc("a", np.zeros(64, dtype=np.int32), DType.INT32)
+        victim = ctx.alloc("b", np.zeros(64, dtype=np.int32), DType.INT32)
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "eq", 0)):
+            ctx.st(buf, ctx.add(gid, 100), ctx.const(1, DType.INT32))
+        corrupted = np.count_nonzero(buf.data) + np.count_nonzero(victim.data)
+        assert corrupted == 1  # one victim word flipped somewhere
+
+    def test_wild_read_deterministic(self, ctx):
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        idx = ctx.add(ctx.global_id(), 64)
+        a = ctx.ld(buf, idx).data.copy()
+        b = ctx.ld(buf, idx).data.copy()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSharedMemory:
+    def test_shared_round_trip(self, ctx):
+        sbuf = ctx.shared_alloc("s", 32, DType.INT32)
+        tid = ctx.thread_idx()
+        ctx.st(sbuf, tid, ctx.add(tid, 100))
+        ctx.bar()
+        out = ctx.ld(sbuf, tid)
+        assert (out.data >= 100).all()
+        assert ctx.trace.instances[OpClass.STS] == 64
+        assert ctx.trace.instances[OpClass.LDS] == 64
+
+    def test_blocks_are_isolated(self, ctx):
+        sbuf = ctx.shared_alloc("s", 32, DType.INT32)
+        tid = ctx.thread_idx()
+        bid = ctx.block_idx()
+        ctx.st(sbuf, tid, bid)
+        assert (sbuf.data[0] == 0).all()
+        assert (sbuf.data[1] == 1).all()
+
+    def test_wild_shared_index_wraps(self, ctx):
+        sbuf = ctx.shared_alloc("s", 32, DType.INT32)
+        tid = ctx.thread_idx()
+        out = ctx.ld(sbuf, ctx.add(tid, 32))  # wraps to tid
+        assert out.data.shape[0] == 64  # no exception
+
+    def test_shared_capacity_checked(self, ctx):
+        with pytest.raises(ConfigurationError):
+            ctx.shared_alloc("huge", 64 * 1024, DType.FP64)
+
+    def test_shared_traffic(self, ctx):
+        sbuf = ctx.shared_alloc("s", 32, DType.FP32)
+        tid = ctx.thread_idx()
+        ctx.ld(sbuf, tid)
+        assert ctx.trace.shared_bytes == 64 * 4
+
+
+class TestAtomics:
+    def test_atomic_add_accumulates_collisions(self, ctx):
+        buf = ctx.alloc_zeros("c", 4, DType.INT32)
+        gid = ctx.global_id()
+        ctx.atomic_add(buf, ctx.imod(gid, 4), ctx.const(1, DType.INT32))
+        np.testing.assert_array_equal(buf.data, np.full(4, 16, dtype=np.int32))
+        assert ctx.trace.instances[OpClass.ATOM] == 64
+
+    def test_atomic_on_shared_rejected(self, ctx):
+        sbuf = ctx.shared_alloc("s", 32, DType.INT32)
+        with pytest.raises(Exception):
+            ctx.atomic_add(sbuf, ctx.thread_idx(), ctx.const(1, DType.INT32))
+
+
+class TestTiles:
+    def test_ld_tile_and_mma(self, volta_warp_ctx):
+        ctx = volta_warp_ctx
+        n = 16
+        a_host = np.eye(n, dtype=np.float16).reshape(-1)
+        a = ctx.alloc("a", np.tile(a_host, 1), DType.FP16)
+        at = ctx.ld_tile(a, 0, n, n, n)
+        assert at.tile_shape == (n, n)
+        acc = ctx.zeros_tile(n, n, DType.FP16)
+        out = ctx.mma(at, at, acc)
+        # identity @ identity = identity
+        np.testing.assert_array_equal(out.data[0], np.eye(n, dtype=np.float16))
+        assert ctx.trace.instances[OpClass.HMMA] == ctx.num_lanes * ctx.MMA_INSTRUCTIONS_PER_TILE
+
+    def test_mma_requires_warp_lanes(self, ctx):
+        with pytest.raises(Exception):
+            ctx.zeros_tile(16, 16, DType.FP16)
+            ctx.mma(None, None, None)
+
+    def test_mma_rejected_on_kepler(self):
+        from repro.arch.devices import KEPLER_K40C
+
+        ctx = make_ctx(device=KEPLER_K40C, warp_lanes=True, threads_per_block=64)
+        a = ctx.zeros_tile(16, 16, DType.FP16)
+        with pytest.raises(ConfigurationError):
+            ctx.mma(a, a, ctx.zeros_tile(16, 16, DType.FP16))
+
+    def test_fmma_class_for_fp32_accumulate(self, volta_warp_ctx):
+        ctx = volta_warp_ctx
+        a = ctx.zeros_tile(16, 16, DType.FP16)
+        acc = ctx.zeros_tile(16, 16, DType.FP32)
+        ctx.mma(a, a, acc)
+        assert OpClass.FMMA in ctx.trace.instances
+        assert OpClass.HMMA not in ctx.trace.instances
+
+    def test_st_tile_round_trip(self, volta_warp_ctx):
+        ctx = volta_warp_ctx
+        n = 16
+        data = np.arange(ctx.num_lanes * n * n, dtype=np.float16)
+        src = ctx.alloc("src", data, DType.FP16)
+        dst = ctx.alloc_zeros("dst", data.shape, DType.FP16)
+        base = ctx.mul(ctx.global_id(), n * n)
+        tile = ctx.ld_tile(src, base, n, n, n)
+        ctx.st_tile(dst, base, tile, n)
+        np.testing.assert_array_equal(dst.data, src.data)

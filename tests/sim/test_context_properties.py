@@ -1,0 +1,130 @@
+"""Property-based tests of the simulator's core invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.sim.injection import FaultModel, InjectionMode, InjectionPlan, opclass_stream
+
+from tests.sim.conftest import make_ctx
+
+_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32)
+
+
+class TestExecutionInvariants:
+    @given(values=st.lists(_floats, min_size=1, max_size=8), reps=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_trace_counts_scale_linearly_with_work(self, values, reps):
+        """N repetitions of the same op sequence emit exactly N× the
+        instances — the accounting the injectors' sampling space rests on."""
+        def run(n):
+            ctx = make_ctx()
+            a = ctx.from_array(np.resize(np.array(values, dtype=np.float32), 64), DType.FP32)
+            for _ in range(n):
+                a = ctx.add(a, 1.0)
+            return ctx.trace.instances[OpClass.FADD]
+
+        assert run(reps) == reps * run(1) / 1
+
+    @given(data=st.lists(_floats, min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_scope_restores_exactly(self, data):
+        ctx = make_ctx()
+        a = ctx.from_array(np.resize(np.array(data, dtype=np.float32), 64), DType.FP32)
+        before = ctx.mask.copy()
+        with ctx.masked(ctx.setp(a, "gt", 0.0)):
+            with ctx.masked(ctx.setp(a, "lt", 100.0)):
+                pass
+        np.testing.assert_array_equal(ctx.mask, before)
+
+    @given(threshold=st.integers(0, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_masked_store_touches_exactly_active_lanes(self, threshold):
+        ctx = make_ctx()
+        buf = ctx.alloc_zeros("c", 64, DType.INT32)
+        gid = ctx.global_id()
+        with ctx.masked(ctx.setp(gid, "lt", threshold)):
+            ctx.st(buf, gid, ctx.const(1, DType.INT32))
+        assert int(buf.data.sum()) == min(threshold, 64)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_runs_identical_without_faults(self, seed):
+        """The context RNG must not leak into fault-free execution."""
+        def run(rng_seed):
+            ctx = make_ctx(rng=np.random.default_rng(rng_seed))
+            a = ctx.from_array(np.arange(64, dtype=np.float32), DType.FP32)
+            for _ in ctx.range(4):
+                a = ctx.fma(a, 1.5, 2.0)
+            return a.data.copy()
+
+        np.testing.assert_array_equal(run(seed), run(seed + 1))
+
+
+class TestInjectionInvariants:
+    @given(target=st.integers(0, 255), bit_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_bit_injection_touches_one_lane_one_bit(self, target, bit_seed):
+        ctx = make_ctx()
+        plan = InjectionPlan(
+            mode=InjectionMode.OUTPUT_VALUE,
+            stream=opclass_stream(OpClass.IADD),
+            target_index=target,
+            fault_model=FaultModel.SINGLE_BIT,
+            rng=np.random.default_rng(bit_seed),
+        )
+        ctx.arm(plan)
+        a = ctx.from_array(np.zeros(64, dtype=np.int32), DType.INT32)
+        results = []
+        for _ in range(4):  # 4 × 64 = 256 instances ≥ any target
+            results.append(ctx.add(a, 0))
+        assert plan.fired
+        diffs = [int(np.count_nonzero(r.data)) for r in results]
+        assert sum(diffs) == 1
+        corrupted = results[target // 64].data[target % 64]
+        assert bin(int(corrupted) & 0xFFFFFFFF).count("1") == 1
+
+    @given(target=st.integers(0, 63))
+    @settings(max_examples=20, deadline=None)
+    def test_injection_lane_matches_target(self, target):
+        ctx = make_ctx()
+        plan = InjectionPlan(
+            mode=InjectionMode.OUTPUT_VALUE,
+            stream=opclass_stream(OpClass.FADD),
+            target_index=target,
+            fault_model=FaultModel.SINGLE_BIT,
+            rng=np.random.default_rng(0),
+        )
+        ctx.arm(plan)
+        a = ctx.from_array(np.zeros(64, dtype=np.float32), DType.FP32)
+        out = ctx.add(a, 0.0)
+        assert plan.record.lane == target
+        assert np.flatnonzero(out.data != 0.0).tolist() in ([target], [])
+        # ([]: the flip may hit the sign bit of 0.0 -> -0.0, value-equal)
+        view = out.data.view(np.uint32)
+        assert np.flatnonzero(view != 0).tolist() == [target]
+
+
+class TestDeterminismAcrossBackends:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_cuda7_and_cuda10_compute_same_values(self, seed):
+        """Dead code and unrolling change the *instruction stream*, never
+        the semantics — both backends must produce identical outputs."""
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-4, 4, 64).astype(np.float32)
+
+        def run(backend):
+            ctx = make_ctx(backend=backend)
+            buf = ctx.alloc("a", data, DType.FP32)
+            x = ctx.ld(buf, ctx.global_id())
+            acc = ctx.const(0.0, DType.FP32)
+            for _ in ctx.range(6, unroll=3):
+                acc = ctx.fma(x, 0.25, acc)
+            return ctx.read(acc), ctx.trace.total_instances
+
+        out7, n7 = run("cuda7")
+        out10, n10 = run("cuda10")
+        np.testing.assert_array_equal(out7, out10)
+        assert n7 > n10  # but the old toolchain emits more instructions

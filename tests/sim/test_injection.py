@@ -1,0 +1,252 @@
+"""Fault injection plumbing: plans, claims, fault models, strikes."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.arch.ecc import EccMode, SecdedModel
+from repro.sim.context import (
+    CONTROL_FAULT_DATA,
+    CONTROL_FAULT_DUE,
+    CONTROL_FAULT_MASKED,
+)
+from repro.sim.exceptions import EccDoubleBitError, GpuDeviceException, IllegalAddressError
+from repro.sim.injection import (
+    FaultModel,
+    InjectionMode,
+    InjectionPlan,
+    StorageStrike,
+    gpr_write_stream,
+    opclass_stream,
+)
+
+from tests.sim.conftest import make_ctx
+
+
+def _plan(mode=InjectionMode.OUTPUT_VALUE, stream=None, target=0, model=FaultModel.SINGLE_BIT, seed=0):
+    return InjectionPlan(
+        mode=mode,
+        stream=stream if stream is not None else gpr_write_stream,
+        target_index=target,
+        fault_model=model,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestStreams:
+    def test_gpr_stream_includes_loads_excludes_stores(self):
+        assert gpr_write_stream(OpClass.LDG)
+        assert gpr_write_stream(OpClass.FFMA)
+        assert not gpr_write_stream(OpClass.STG)
+        assert not gpr_write_stream(OpClass.SETP)  # predicate, not GPR
+        assert not gpr_write_stream(OpClass.BRA)
+
+    def test_opclass_stream(self):
+        stream = opclass_stream(OpClass.FADD, OpClass.FMUL)
+        assert stream(OpClass.FADD) and not stream(OpClass.FFMA)
+
+    def test_empty_opclass_stream_rejected(self):
+        with pytest.raises(ValueError):
+            opclass_stream()
+
+
+class TestPlanClaims:
+    def test_claim_fires_within_batch(self):
+        plan = _plan(stream=opclass_stream(OpClass.FADD), target=70)
+        assert plan.claim(OpClass.FADD, 64) is None
+        offset = plan.claim(OpClass.FADD, 64)
+        assert offset == 6.0
+
+    def test_claim_skips_uncovered_ops(self):
+        plan = _plan(stream=opclass_stream(OpClass.FADD), target=0)
+        assert plan.claim(OpClass.IADD, 64) is None
+        assert plan.stream_count == 0
+
+    def test_address_mode_covers_ldst_only(self):
+        plan = _plan(mode=InjectionMode.ADDRESS, stream=opclass_stream(OpClass.LDG), target=0)
+        assert plan.covers(OpClass.STG)
+        assert not plan.covers(OpClass.FADD)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            _plan(target=-1)
+
+    def test_storage_modes_rejected_as_plans(self):
+        with pytest.raises(ValueError):
+            _plan(mode=InjectionMode.REGISTER_FILE)
+
+
+class TestOutputInjection:
+    def test_single_bit_flips_one_lane(self):
+        ctx = make_ctx()
+        plan = _plan(stream=opclass_stream(OpClass.FADD), target=5)
+        ctx.arm(plan)
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        out = ctx.add(a, 1.0)
+        assert plan.fired
+        assert plan.record.op is OpClass.FADD
+        corrupted = np.flatnonzero(out.data != 2.0)
+        assert list(corrupted) == [5]
+        assert plan.record.lane == 5
+
+    def test_zero_value_model(self):
+        ctx = make_ctx()
+        plan = _plan(stream=opclass_stream(OpClass.FADD), target=3, model=FaultModel.ZERO_VALUE)
+        ctx.arm(plan)
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        out = ctx.add(a, 1.0)
+        assert out.data[3] == 0.0
+
+    def test_double_bit_model_changes_two_bits(self):
+        ctx = make_ctx()
+        plan = _plan(stream=opclass_stream(OpClass.IADD), target=0, model=FaultModel.DOUBLE_BIT)
+        ctx.arm(plan)
+        a = ctx.from_array(np.zeros(64, dtype=np.int32), DType.INT32)
+        out = ctx.add(a, 0)
+        assert bin(int(out.data[0]) & 0xFFFFFFFF).count("1") == 2
+
+    def test_random_value_model(self):
+        ctx = make_ctx()
+        plan = _plan(stream=opclass_stream(OpClass.IADD), target=0, model=FaultModel.RANDOM_VALUE)
+        ctx.arm(plan)
+        a = ctx.from_array(np.zeros(64, dtype=np.int32), DType.INT32)
+        out = ctx.add(a, 0)
+        assert (out.data != 0).sum() <= 1  # lane 0 very likely corrupted
+
+    def test_predicate_flip(self):
+        ctx = make_ctx()
+        plan = _plan(stream=opclass_stream(OpClass.SETP), target=2)
+        ctx.arm(plan)
+        gid = ctx.global_id()
+        pred = ctx.setp(gid, "lt", 100)  # all-true without the fault
+        assert not bool(pred.data[2])
+        assert pred.data.sum() == 63
+
+    def test_fires_at_most_once(self):
+        ctx = make_ctx()
+        plan = _plan(stream=opclass_stream(OpClass.FADD), target=0)
+        ctx.arm(plan)
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        out1 = ctx.add(a, 1.0)
+        out2 = ctx.add(a, 1.0)
+        assert (out1.data != 2.0).sum() == 1
+        assert (out2.data != 2.0).sum() == 0
+
+    def test_single_plan_per_context(self):
+        ctx = make_ctx()
+        ctx.arm(_plan())
+        with pytest.raises(Exception):
+            ctx.arm(_plan())
+
+
+class TestAddressInjection:
+    def _run_one(self, seed):
+        ctx = make_ctx()
+        plan = _plan(mode=InjectionMode.ADDRESS, stream=opclass_stream(OpClass.LDG), target=10, seed=seed)
+        ctx.arm(plan)
+        buf = ctx.alloc("a", np.arange(64, dtype=np.float32), DType.FP32)
+        out = ctx.ld(buf, ctx.global_id())
+        return plan, out
+
+    def test_address_faults_mostly_due(self):
+        """High bits of a 49-bit VA dominate → most corrupted addresses are
+        illegal (paper §V-B)."""
+        due = 0
+        sdc_ish = 0
+        for seed in range(60):
+            try:
+                plan, out = self._run_one(seed)
+                if (out.data != np.arange(64, dtype=np.float32)).any():
+                    sdc_ish += 1
+            except IllegalAddressError:
+                due += 1
+        assert due > 30
+        assert due + sdc_ish > 50  # nearly every address flip is visible
+
+    def test_record_carries_detail(self):
+        for seed in range(30):
+            try:
+                plan, _ = self._run_one(seed)
+            except IllegalAddressError:
+                continue
+            assert plan.record.detail.startswith("address:")
+            return
+        pytest.fail("no surviving address injection found")
+
+
+class TestControlFaults:
+    def _one(self, seed):
+        ctx = make_ctx()
+        plan = _plan(stream=lambda op: op is OpClass.BRA, target=int(np.random.default_rng(seed).integers(0, 64)), seed=seed)
+        ctx.arm(plan)
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        try:
+            for _ in ctx.range(4):
+                a = ctx.add(a, 1.0)
+        except GpuDeviceException:
+            return "due"
+        if plan.record.detail == "control:reconverged":
+            return "masked"
+        return "data" if plan.record.detail == "control:wrong_path" else "other"
+
+    def test_mixture_matches_model(self):
+        outcomes = [self._one(seed) for seed in range(120)]
+        frac_due = outcomes.count("due") / len(outcomes)
+        frac_masked = outcomes.count("masked") / len(outcomes)
+        frac_data = outcomes.count("data") / len(outcomes)
+        assert frac_due == pytest.approx(CONTROL_FAULT_DUE, abs=0.12)
+        assert frac_masked == pytest.approx(CONTROL_FAULT_MASKED, abs=0.12)
+        assert frac_data == pytest.approx(CONTROL_FAULT_DATA, abs=0.12)
+
+
+class TestStorageStrikes:
+    def test_strike_validation(self):
+        with pytest.raises(ValueError):
+            StorageStrike(tick=-1.0, space="rf", rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            StorageStrike(tick=0.0, space="l9", rng=np.random.default_rng(0))
+
+    def test_rf_strike_corrupts_live_register(self):
+        hits = 0
+        for seed in range(40):
+            ctx = make_ctx(ecc=SecdedModel(mode=EccMode.OFF))
+            ctx.schedule_strike(StorageStrike(tick=50.0, space="rf", rng=np.random.default_rng(seed)))
+            a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+            for _ in range(4):
+                a = ctx.add(a, 1.0)
+            if not np.array_equal(a.data, np.full(64, 5.0, dtype=np.float32)):
+                hits += 1
+        assert hits > 0
+
+    def test_rf_strike_ecc_on_corrected_or_due(self):
+        outcomes = {"clean": 0, "due": 0}
+        for seed in range(200):
+            ctx = make_ctx(ecc=SecdedModel(mode=EccMode.ON))
+            ctx.schedule_strike(StorageStrike(tick=10.0, space="rf", rng=np.random.default_rng(seed)))
+            a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+            try:
+                for _ in range(4):
+                    a = ctx.add(a, 1.0)
+            except EccDoubleBitError:
+                outcomes["due"] += 1
+                continue
+            assert np.array_equal(a.data, np.full(64, 5.0, dtype=np.float32))
+            outcomes["clean"] += 1
+        assert outcomes["due"] > 0  # ~2% MBU
+        assert outcomes["clean"] > 180
+
+    def test_strike_past_end_never_applies(self):
+        ctx = make_ctx(ecc=SecdedModel(mode=EccMode.OFF))
+        strike = StorageStrike(tick=1e12, space="rf", rng=np.random.default_rng(0))
+        ctx.schedule_strike(strike)
+        a = ctx.from_array(np.ones(64, dtype=np.float32), DType.FP32)
+        ctx.add(a, 1.0)
+        assert not strike.applied
+
+    def test_global_strike_flips_buffer_bit(self):
+        ctx = make_ctx(ecc=SecdedModel(mode=EccMode.OFF))
+        ctx.schedule_strike(StorageStrike(tick=1.0, space="global", rng=np.random.default_rng(1)))
+        buf = ctx.alloc("a", np.zeros(64, dtype=np.int32), DType.INT32)
+        ctx.ld(buf, ctx.global_id())  # advances past the tick
+        assert np.count_nonzero(buf.data) == 1

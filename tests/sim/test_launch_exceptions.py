@@ -1,0 +1,89 @@
+"""Launch driver and the simulated device-exception taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError, ReproError
+from repro.sim.exceptions import (
+    DeviceHangError,
+    EccDoubleBitError,
+    GpuDeviceException,
+    IllegalAddressError,
+    WatchdogTimeout,
+)
+from repro.sim.launch import KernelRun, LaunchConfig, run_kernel
+
+
+def _kernel(ctx):
+    buf = ctx.alloc("x", np.arange(32, dtype=np.float32), DType.FP32)
+    val = ctx.ld(buf, ctx.thread_idx())
+    ctx.st(buf, ctx.thread_idx(), ctx.add(val, 1.0))
+    return {"x": ctx.read_buffer(buf)}
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        assert LaunchConfig(4, 128).total_threads == 512
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(0, 32)
+        with pytest.raises(ConfigurationError):
+            LaunchConfig(1, 0)
+
+
+class TestRunKernel:
+    def test_returns_outputs_and_trace(self):
+        run = run_kernel(KEPLER_K40C, _kernel, LaunchConfig(1, 32))
+        assert isinstance(run, KernelRun)
+        np.testing.assert_array_equal(run.outputs["x"], np.arange(1, 33, dtype=np.float32))
+        assert run.ticks > 0
+
+    def test_non_dict_output_rejected(self):
+        def bad(ctx):
+            return [1, 2, 3]
+
+        with pytest.raises(ConfigurationError):
+            run_kernel(KEPLER_K40C, bad, LaunchConfig(1, 32))
+
+    def test_numpy_warnings_suppressed(self):
+        """Predicated-off lanes may divide by zero; that must stay silent."""
+
+        def divides(ctx):
+            a = ctx.alloc("a", np.zeros(32, dtype=np.float32), DType.FP32)
+            x = ctx.ld(a, ctx.thread_idx())
+            ctx.div(ctx.const(1.0, DType.FP32), x)  # 1/0 everywhere
+            return {"a": ctx.read_buffer(a)}
+
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_kernel(KEPLER_K40C, divides, LaunchConfig(1, 32))
+
+
+class TestExceptionTaxonomy:
+    def test_hierarchy(self):
+        for exc_type in (IllegalAddressError, EccDoubleBitError, WatchdogTimeout, DeviceHangError):
+            assert issubclass(exc_type, GpuDeviceException)
+            # simulated hardware events are NOT library errors
+            assert not issubclass(exc_type, ReproError)
+
+    def test_causes_distinct(self):
+        causes = {
+            IllegalAddressError("global", 0, 0).cause,
+            EccDoubleBitError("rf").cause,
+            WatchdogTimeout(10, 5).cause,
+            DeviceHangError("scheduler").cause,
+        }
+        assert len(causes) == 4
+
+    def test_messages_carry_context(self):
+        exc = IllegalAddressError("global", address=4096, limit=256)
+        assert "4096" in str(exc) and "global" in str(exc)
+        exc = WatchdogTimeout(executed=100, limit=50)
+        assert "100" in str(exc)
+        exc = DeviceHangError("scheduler")
+        assert "scheduler" in str(exc)

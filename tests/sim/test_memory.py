@@ -1,0 +1,142 @@
+"""Device memory: buffers, pool, strikes, the mapped-span model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.arch.ecc import EccMode, EccOutcome, SecdedModel
+from repro.common.errors import ConfigurationError
+from repro.sim.exceptions import EccDoubleBitError
+from repro.sim.memory import DeviceBuffer, MemoryPool, SharedBuffer
+
+
+def _pool(ecc=EccMode.OFF):
+    return MemoryPool(SecdedModel(mode=ecc))
+
+
+def _buf(name="b", n=16, dtype=DType.FP32):
+    return DeviceBuffer(name, np.zeros(n, dtype=dtype.np_dtype), dtype)
+
+
+class TestDeviceBuffer:
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceBuffer("x", np.zeros(4, dtype=np.float64), DType.FP32)
+
+    def test_sizes(self):
+        buf = _buf(n=10)
+        assert buf.elements == 10
+        assert buf.nbytes == 40
+
+    def test_flip_bit(self):
+        buf = _buf()
+        buf.flip_bit(3, 31)  # sign bit of 0.0 -> -0.0, bit pattern differs
+        assert buf.flat().view(np.uint32)[3] == 1 << 31
+
+    def test_flip_bit_bounds(self):
+        with pytest.raises(ConfigurationError):
+            _buf().flip_bit(99, 0)
+        with pytest.raises(ConfigurationError):
+            _buf().flip_bit(0, 32)
+
+    def test_shared_needs_block_axis(self):
+        with pytest.raises(ConfigurationError):
+            SharedBuffer("s", np.zeros(8, dtype=np.float32), DType.FP32)
+
+    def test_shared_per_block_accounting(self):
+        buf = SharedBuffer("s", np.zeros((4, 32), dtype=np.int32), DType.INT32)
+        assert buf.blocks == 4
+        assert buf.elements_per_block == 32
+        assert buf.bytes_per_block == 128
+
+
+class TestPool:
+    def test_duplicate_names_rejected(self):
+        pool = _pool()
+        pool.register(_buf("a"))
+        with pytest.raises(ConfigurationError):
+            pool.register(_buf("a"))
+
+    def test_get(self):
+        pool = _pool()
+        buf = pool.register(_buf("a"))
+        assert pool.get("a") is buf
+        with pytest.raises(ConfigurationError):
+            pool.get("missing")
+
+    def test_footprint_by_space(self):
+        pool = _pool()
+        pool.register(_buf("g", n=8))
+        pool.register(SharedBuffer("s", np.zeros((2, 4), dtype=np.float32), DType.FP32))
+        assert pool.footprint_bits("global") == 8 * 32
+        assert pool.footprint_bits("shared") == 8 * 32
+        assert pool.footprint_bits() == 16 * 32
+
+    def test_choose_target_weighted_by_bytes(self):
+        pool = _pool()
+        pool.register(_buf("small", n=2))
+        pool.register(_buf("large", n=2000))
+        rng = np.random.default_rng(0)
+        hits = sum(1 for _ in range(300) if pool.choose_target(rng)[0].name == "large")
+        assert hits > 270
+
+    def test_choose_target_empty_space(self):
+        with pytest.raises(ConfigurationError):
+            _pool().choose_target(np.random.default_rng(0), "shared")
+
+
+class TestStrikes:
+    def test_ecc_off_mutates(self):
+        pool = _pool(EccMode.OFF)
+        buf = pool.register(_buf("a", n=4))
+        rng = np.random.default_rng(3)
+        outcome = pool.strike(rng)
+        assert outcome is EccOutcome.DELIVERED
+        assert np.count_nonzero(buf.flat().view(np.uint32)) == 1
+
+    def test_ecc_on_corrects_or_raises(self):
+        rng = np.random.default_rng(5)
+        corrected = 0
+        due = 0
+        for _ in range(400):
+            pool = _pool(EccMode.ON)
+            buf = pool.register(_buf("a", n=4))
+            try:
+                outcome = pool.strike(rng)
+            except EccDoubleBitError:
+                due += 1
+                continue
+            assert outcome is EccOutcome.CORRECTED
+            assert not buf.flat().any()  # corrected: data untouched
+            corrected += 1
+        assert corrected > 350
+        assert 0 < due < 30  # ~2% MBU
+
+
+class TestMappedSpan:
+    def test_span_is_page_rounded(self):
+        pool = _pool()
+        pool.register(_buf("a", n=4))
+        assert pool.mapped_span_bytes == MemoryPool.PAGE_BYTES
+
+    def test_span_counts_only_global(self):
+        pool = _pool()
+        pool.register(SharedBuffer("s", np.zeros((2, 4), dtype=np.float32), DType.FP32))
+        assert pool.mapped_span_bytes == MemoryPool.PAGE_BYTES  # floor of 1 page
+
+    def test_wild_read_deterministic(self):
+        pool = _pool()
+        a = pool.wild_read_bits(np.array([1000], dtype=np.int64))
+        b = pool.wild_read_bits(np.array([1000], dtype=np.int64))
+        assert a[0] == b[0]
+        assert a[0] >= 0
+
+    def test_wild_store_corrupts_some_buffer(self):
+        pool = _pool()
+        buf = pool.register(_buf("a", n=64))
+        pool.wild_store(12345, 7)
+        assert np.count_nonzero(buf.flat().view(np.uint32)) == 1
+
+    def test_wild_store_no_global_buffers_is_noop(self):
+        pool = _pool()
+        pool.wild_store(12345, 7)  # must not raise

@@ -1,0 +1,120 @@
+"""Cycle-level warp scheduler: issue limits, hazards, latency hiding."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.isa import OpClass
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+from repro.sim.scheduler import WarpScheduler, stream_from_trace_counts
+
+
+def _stream(op, n):
+    return [op] * n
+
+
+class TestBasics:
+    def test_single_warp_serializes_on_latency(self):
+        sched = WarpScheduler(KEPLER_K40C, ilp=1.0)
+        result = sched.simulate(_stream(OpClass.FADD, 10), n_warps=1)
+        # each FADD waits out its 4-cycle latency
+        assert result.cycles >= 10 * OpClass.FADD.latency - 4
+        assert result.ipc < 0.5
+
+    def test_many_warps_hide_latency(self):
+        sched = WarpScheduler(KEPLER_K40C, ilp=1.0)
+        one = sched.simulate(_stream(OpClass.FADD, 32), n_warps=1)
+        many = sched.simulate(_stream(OpClass.FADD, 32), n_warps=32)
+        assert many.ipc > 4 * one.ipc
+
+    def test_issue_width_caps_ipc(self):
+        sched = WarpScheduler(KEPLER_K40C, ilp=4.0)
+        result = sched.simulate(_stream(OpClass.IADD, 64), n_warps=64)
+        assert result.ipc <= KEPLER_K40C.issue_width_per_sm + 1e-9
+
+    def test_ilp_shortens_dependency_stalls(self):
+        dep = WarpScheduler(KEPLER_K40C, ilp=1.0).simulate(_stream(OpClass.DFMA, 32), 2)
+        ind = WarpScheduler(KEPLER_K40C, ilp=4.0).simulate(_stream(OpClass.DFMA, 32), 2)
+        assert ind.cycles < dep.cycles
+
+    def test_all_instructions_issue(self):
+        result = WarpScheduler(VOLTA_V100).simulate(_stream(OpClass.FFMA, 20), n_warps=7)
+        assert result.issued == 20 * 7
+
+    def test_busy_fraction_bounds(self):
+        result = WarpScheduler(KEPLER_K40C).simulate(_stream(OpClass.FADD, 8), 4)
+        assert 0.0 < result.busy_fraction <= 1.0
+
+
+class TestStructuralHazards:
+    def test_scarce_unit_throttles(self):
+        """Volta has 32 FP64 lanes (1 warp-instr/cycle) vs 64 FP32 lanes —
+        a DP-only stream issues at most 1 warp-instruction per cycle."""
+        sched = WarpScheduler(VOLTA_V100, ilp=4.0)
+        dp = sched.simulate(_stream(OpClass.DFMA, 16), n_warps=32)
+        sp = sched.simulate(_stream(OpClass.FFMA, 16), n_warps=32)
+        assert dp.cycles > sp.cycles
+        assert dp.ipc <= 1.0 + 1e-9
+
+    def test_unit_issue_accounting(self):
+        result = WarpScheduler(VOLTA_V100).simulate(
+            [OpClass.FFMA, OpClass.IADD, OpClass.FFMA], n_warps=3
+        )
+        assert result.unit_issues[UnitKind.FP32] == 6
+        assert result.unit_issues[UnitKind.INT32] == 3
+
+    def test_mixed_stream_overlaps_units(self):
+        """FP32 and INT32 issue to different Volta units: a mixed stream
+        beats a same-length single-unit stream."""
+        sched = WarpScheduler(VOLTA_V100, ilp=2.0)
+        mixed = sched.simulate([OpClass.FFMA, OpClass.IADD] * 16, n_warps=16)
+        mono = sched.simulate(_stream(OpClass.FFMA, 32), n_warps=16)
+        assert mixed.cycles <= mono.cycles * 1.2
+
+
+class TestValidation:
+    def test_empty_stream(self):
+        with pytest.raises(ConfigurationError):
+            WarpScheduler(KEPLER_K40C).simulate([], 1)
+
+    def test_zero_warps(self):
+        with pytest.raises(ConfigurationError):
+            WarpScheduler(KEPLER_K40C).simulate(_stream(OpClass.FADD, 4), 0)
+
+    def test_bad_ilp(self):
+        with pytest.raises(ConfigurationError):
+            WarpScheduler(KEPLER_K40C, ilp=0)
+
+
+class TestStreamSynthesis:
+    def test_proportions_respected(self):
+        stream = stream_from_trace_counts({OpClass.FFMA: 300, OpClass.LDG: 100}, length=400)
+        assert len(stream) == 400
+        assert stream.count(OpClass.FFMA) == pytest.approx(300, abs=4)
+
+    def test_interleaving(self):
+        stream = stream_from_trace_counts({OpClass.FFMA: 2, OpClass.LDG: 2}, length=4)
+        assert stream[0] != stream[1] or stream[1] != stream[2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            stream_from_trace_counts({}, length=4)
+
+
+class TestAgreementWithRoofline:
+    def test_same_order_of_magnitude(self):
+        """The two timing models must broadly agree on a GEMM-like stream —
+        the cross-validation bench quantifies this per workload."""
+        from repro.sim.timing import TimingModel
+        from repro.sim.trace import ExecutionTrace
+
+        counts = {OpClass.FFMA: 512, OpClass.LDG: 128, OpClass.IADD: 128}
+        stream = stream_from_trace_counts(counts, length=256)
+        detailed = WarpScheduler(KEPLER_K40C, ilp=2.0).simulate(stream, n_warps=16)
+
+        trace = ExecutionTrace()
+        for op, n in counts.items():
+            trace.record(op, n * 32 * 16 / 256, n * 16 / 256)
+        roofline = TimingModel(KEPLER_K40C).estimate(trace, grid_blocks=1, active_warps_per_sm=16, ilp=2.0)
+        ratio = detailed.ipc / roofline.ipc
+        assert 0.2 < ratio < 8.0

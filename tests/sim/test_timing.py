@@ -1,0 +1,80 @@
+"""Roofline timing model: bounds and qualitative regimes."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.isa import OpClass
+from repro.common.errors import ConfigurationError
+from repro.sim.timing import TimingModel
+from repro.sim.trace import ExecutionTrace
+
+
+def _trace(op_counts, global_bytes=0):
+    t = ExecutionTrace()
+    for op, n in op_counts.items():
+        t.record(op, n, n / 32)
+    t.global_bytes = global_bytes
+    return t
+
+
+class TestBounds:
+    def test_compute_bound_ffma_storm(self):
+        """A GEMM-like trace: massive FMA pressure, little else."""
+        trace = _trace({OpClass.FFMA: 4_000_000})
+        result = TimingModel(KEPLER_K40C).estimate(trace, grid_blocks=1000, active_warps_per_sm=32, ilp=4)
+        assert result.bound in ("compute", "issue")
+        assert result.ipc > 1.0
+
+    def test_latency_bound_low_occupancy_chain(self):
+        """A lavaMD-like trace: long dependent chains, few warps."""
+        trace = _trace({OpClass.MUFU: 50_000, OpClass.DFMA: 50_000})
+        result = TimingModel(VOLTA_V100).estimate(trace, grid_blocks=80, active_warps_per_sm=2, ilp=1)
+        assert result.bound == "latency"
+        assert result.ipc < 1.0
+
+    def test_memory_bound_streaming(self):
+        trace = _trace({OpClass.LDG: 100_000}, global_bytes=10_000_000_000)
+        result = TimingModel(KEPLER_K40C).estimate(trace, grid_blocks=1000, active_warps_per_sm=48, ilp=2)
+        assert result.bound == "memory"
+
+    def test_more_warps_hide_latency(self):
+        trace = _trace({OpClass.FFMA: 100_000})
+        few = TimingModel(VOLTA_V100).estimate(trace, grid_blocks=80, active_warps_per_sm=2, ilp=1)
+        many = TimingModel(VOLTA_V100).estimate(trace, grid_blocks=80, active_warps_per_sm=32, ilp=1)
+        assert many.ipc >= few.ipc
+
+    def test_more_ilp_raises_ipc_when_latency_bound(self):
+        trace = _trace({OpClass.DFMA: 100_000})
+        low = TimingModel(VOLTA_V100).estimate(trace, grid_blocks=80, active_warps_per_sm=4, ilp=1)
+        high = TimingModel(VOLTA_V100).estimate(trace, grid_blocks=80, active_warps_per_sm=4, ilp=4)
+        assert high.ipc >= low.ipc
+
+    def test_bounds_reported(self):
+        trace = _trace({OpClass.FADD: 1000})
+        result = TimingModel(KEPLER_K40C).estimate(trace, 10, 8, 2)
+        assert set(result.bounds) == {"issue", "compute", "memory", "latency"}
+        assert result.cycles == max(result.bounds.values())
+
+
+class TestValidation:
+    def test_empty_trace(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(KEPLER_K40C).estimate(ExecutionTrace(), 1, 8, 2)
+
+    def test_zero_warps(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(KEPLER_K40C).estimate(_trace({OpClass.FADD: 10}), 1, 0, 2)
+
+    def test_zero_ilp(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(KEPLER_K40C).estimate(_trace({OpClass.FADD: 10}), 1, 8, 0)
+
+    def test_tensor_ops_on_kepler_rejected(self):
+        trace = _trace({OpClass.HMMA: 100})
+        with pytest.raises(ConfigurationError):
+            TimingModel(KEPLER_K40C).estimate(trace, 1, 8, 2)
+
+    def test_ipc_bounded_by_issue_width(self):
+        trace = _trace({OpClass.FADD: 10_000_000})
+        result = TimingModel(KEPLER_K40C).estimate(trace, 10000, 64, 8)
+        assert result.ipc <= KEPLER_K40C.issue_width_per_sm + 1e-9

@@ -1,0 +1,81 @@
+"""ExecutionTrace accounting and summaries."""
+
+import pytest
+
+from repro.arch.isa import OpCategory, OpClass
+from repro.sim.trace import ExecutionTrace
+
+
+def _trace():
+    t = ExecutionTrace()
+    t.record(OpClass.FFMA, 100, 100 / 32)
+    t.record(OpClass.LDG, 50, 50 / 32)
+    t.record(OpClass.IADD, 50, 50 / 32)
+    return t
+
+
+class TestRecording:
+    def test_totals(self):
+        t = _trace()
+        assert t.total_instances == 200
+        assert t.total_issues == pytest.approx(200 / 32)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace().record(OpClass.FADD, -1, 0)
+
+    def test_mix_sums_to_one(self):
+        mix = _trace().mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix[OpClass.FFMA] == pytest.approx(0.5)
+
+    def test_category_mix(self):
+        cats = _trace().category_mix()
+        assert cats[OpCategory.FMA] == pytest.approx(0.5)
+        assert cats[OpCategory.LDST] == pytest.approx(0.25)
+        assert cats[OpCategory.INT] == pytest.approx(0.25)
+        assert cats[OpCategory.MMA] == 0.0
+
+    def test_empty_mix(self):
+        assert ExecutionTrace().mix() == {}
+
+    def test_instances_of(self):
+        t = _trace()
+        assert t.instances_of((OpClass.FFMA, OpClass.IADD)) == 150
+
+
+class TestActivity:
+    def test_default_activity_is_one(self):
+        assert ExecutionTrace().activity_factor == 1.0
+
+    def test_partial_activity(self):
+        t = ExecutionTrace()
+        t.record_activity(1.0, 2.0)
+        t.record_activity(2.0, 2.0)
+        assert t.activity_factor == pytest.approx(0.75)
+
+    def test_clamped_to_one(self):
+        t = ExecutionTrace()
+        t.record_activity(5.0, 2.0)
+        assert t.activity_factor == 1.0
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        a, b = _trace(), _trace()
+        b.global_bytes = 100
+        b.host_syncs = 3
+        merged = a.merged_with(b)
+        assert merged.total_instances == 400
+        assert merged.global_bytes == 100
+        assert merged.host_syncs == 3
+        assert merged.issues[OpClass.FFMA] == pytest.approx(2 * 100 / 32)
+
+    def test_merge_leaves_originals(self):
+        a, b = _trace(), _trace()
+        a.merged_with(b)
+        assert a.total_instances == 200
+
+    def test_as_dict_keys(self):
+        d = _trace().as_dict()
+        assert {"total_instances", "total_issues", "activity_factor"} <= set(d)

@@ -1,0 +1,111 @@
+"""Register values: bit flips, tiles, predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.dtypes import DType
+from repro.sim.values import Val, bitcast_random_value
+
+
+def _val(dtype, lanes=4, tile=()):
+    data = np.zeros((lanes, *tile), dtype=dtype.np_dtype)
+    return Val(data, dtype, vreg=1)
+
+
+class TestFlipBit:
+    @pytest.mark.parametrize("dtype", list(DType))
+    def test_double_flip_is_identity(self, dtype):
+        val = _val(dtype)
+        val.data[...] = 3
+        before = val.data.copy()
+        val.flip_bit(2, 5)
+        assert not np.array_equal(val.data, before)
+        val.flip_bit(2, 5)
+        np.testing.assert_array_equal(val.data, before)
+
+    def test_flip_changes_only_target_lane(self):
+        val = _val(DType.FP32)
+        val.flip_bit(1, 10)
+        assert val.data[1] != 0.0
+        assert val.data[0] == 0.0 and val.data[2] == 0.0
+
+    def test_flip_sign_bit_fp32(self):
+        val = _val(DType.FP32)
+        val.data[...] = 1.0
+        val.flip_bit(0, 31)
+        assert val.data[0] == -1.0
+
+    def test_flip_low_mantissa_small_change(self):
+        val = _val(DType.FP64)
+        val.data[...] = 1.0
+        val.flip_bit(0, 0)
+        assert val.data[0] != 1.0
+        assert abs(val.data[0] - 1.0) < 1e-10
+
+    def test_flip_int_bit_value(self):
+        val = _val(DType.INT32)
+        val.flip_bit(0, 4)
+        assert val.data[0] == 16
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            _val(DType.FP16).flip_bit(0, 16)
+
+    def test_tile_element_addressing(self):
+        val = _val(DType.FP16, lanes=2, tile=(16, 16))
+        val.flip_bit(1, 0, element=17)  # row 1, col 1 of lane 1
+        assert val.data[1, 1, 1] != 0.0
+        assert val.data[0].sum() == 0.0
+        assert np.count_nonzero(val.data[1]) == 1
+
+    @given(
+        lane=st.integers(0, 3),
+        bit=st.integers(0, 31),
+        value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32),
+    )
+    @settings(max_examples=50)
+    def test_flip_roundtrip_fp32(self, lane, bit, value):
+        val = _val(DType.FP32)
+        val.data[...] = value
+        val.flip_bit(lane, bit)
+        val.flip_bit(lane, bit)
+        assert val.data[lane] == np.float32(value)
+
+
+class TestPredicates:
+    def test_predicate_flip_inverts(self):
+        val = Val(np.array([True, False, True]), None, vreg=2)
+        val.flip_bit(1, 0)
+        assert bool(val.data[1]) is True
+        val.flip_bit(0, 0)
+        assert bool(val.data[0]) is False
+
+    def test_is_predicate(self):
+        assert Val(np.zeros(2, dtype=bool), None, 0).is_predicate
+        assert not _val(DType.FP32).is_predicate
+
+
+class TestSetValue:
+    def test_set_value(self):
+        val = _val(DType.INT32)
+        val.set_value(2, np.int32(99))
+        assert val.data[2] == 99
+
+    def test_tile_shape(self):
+        val = _val(DType.FP16, tile=(16, 16))
+        assert val.tile_shape == (16, 16)
+        assert val.lanes == 4
+
+
+class TestBitcastRandom:
+    @pytest.mark.parametrize("dtype", list(DType))
+    def test_type_matches(self, dtype):
+        rng = np.random.default_rng(0)
+        value = bitcast_random_value(dtype, rng)
+        assert value.dtype == dtype.np_dtype
+
+    def test_varies(self):
+        rng = np.random.default_rng(1)
+        values = {float(bitcast_random_value(DType.FP32, rng)) for _ in range(20) if np.isfinite(bitcast_random_value(DType.FP32, rng))}
+        assert len(values) > 5

@@ -1,0 +1,42 @@
+"""Examples: importable, documented, and the cheapest one runs end to end."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    """Importing must not execute the experiment (main-guard discipline)."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} has no main()"
+    assert module.__doc__, f"{path.name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_usage_line(path):
+    text = path.read_text()
+    assert "python examples/" in text, f"{path.name} docstring lacks a usage line"
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "beam experiment" in result.stdout
+    assert "AVF sdc" in result.stdout

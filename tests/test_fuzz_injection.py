@@ -1,0 +1,100 @@
+"""Robustness fuzz: arbitrary faults may only ever surface as simulated
+device exceptions (DUE) or corrupted outputs (SDC) — never as a crash of
+the simulator itself.  A fault that raises ``ReproError``/``IndexError``/
+``TypeError`` would silently truncate campaigns and bias every AVF."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.common.errors import ReproError
+from repro.faultsim.frameworks import NvBitFi, Sassifi
+from repro.faultsim.outcomes import Outcome
+from repro.sim.exceptions import GpuDeviceException
+from repro.sim.injection import (
+    FaultModel,
+    InjectionMode,
+    InjectionPlan,
+    StorageStrike,
+    gpr_write_stream,
+)
+from repro.sim.launch import run_kernel
+from repro.workloads.registry import get_workload
+
+_DEVICES = {"kepler": KEPLER_K40C, "volta": VOLTA_V100}
+
+#: codes spanning every control-flow/memory pattern in the suite
+FUZZ_CODES = [
+    ("kepler", "FMXM"), ("kepler", "BFS"), ("kepler", "QUICKSORT"),
+    ("kepler", "NW"), ("kepler", "CCL"), ("volta", "HGEMM-MMA"),
+    ("volta", "HYOLOV3"),
+]
+
+
+def _fuzz_one(arch, code, trial):
+    device = _DEVICES[arch]
+    workload = get_workload(arch, code, seed=1)
+    golden = run_kernel(device, workload.kernel, workload.sim_launch())
+    rng = np.random.default_rng(trial)
+    mode = rng.choice([InjectionMode.OUTPUT_VALUE, InjectionMode.ADDRESS])
+    model = rng.choice(list(FaultModel))
+    plan = InjectionPlan(
+        mode=mode,
+        stream=gpr_write_stream,
+        target_index=int(rng.integers(0, max(1, int(golden.trace.total_instances)))),
+        fault_model=model,
+        rng=rng,
+    )
+    strikes = []
+    if rng.random() < 0.5:
+        strikes.append(
+            StorageStrike(
+                tick=float(rng.integers(0, max(1, int(golden.ticks)))),
+                space=str(rng.choice(["rf", "global"])),
+                rng=rng,
+            )
+        )
+    try:
+        run = run_kernel(
+            device,
+            workload.kernel,
+            workload.sim_launch(),
+            plan=plan,
+            strikes=strikes,
+            watchdog_limit=8.0 * golden.ticks,
+        )
+    except GpuDeviceException:
+        return Outcome.DUE
+    compare = workload.compare(golden.outputs, run.outputs)
+    return Outcome.SDC if compare.value == "sdc" else Outcome.MASKED
+
+
+@pytest.mark.parametrize("arch,code", FUZZ_CODES)
+def test_random_faults_never_crash_the_simulator(arch, code):
+    outcomes = set()
+    for trial in range(8):
+        try:
+            outcomes.add(_fuzz_one(arch, code, trial))
+        except (ReproError, IndexError, TypeError, KeyError, ValueError) as exc:
+            pytest.fail(f"{arch}/{code} trial {trial}: simulator crash {exc!r}")
+    assert outcomes  # every trial classified
+
+
+def test_campaigns_complete_on_every_kepler_code():
+    """Every Kepler code survives a small campaign under both injectors
+    (proprietary codes are correctly refused, not crashed)."""
+    from repro.common.rng import RngFactory
+    from repro.faultsim.campaign import CampaignRunner
+    from repro.faultsim.frameworks import FrameworkCapabilityError
+    from repro.workloads.registry import kepler_codes
+
+    for framework in (Sassifi(), NvBitFi()):
+        for code in kepler_codes():
+            workload = get_workload("kepler", code, seed=2)
+            runner = CampaignRunner(KEPLER_K40C, framework, RngFactory(2))
+            try:
+                result = runner.run(workload, 12)
+            except FrameworkCapabilityError:
+                assert workload.spec.proprietary
+                continue
+            assert result.injections == 12

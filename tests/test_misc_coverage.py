@@ -1,0 +1,123 @@
+"""Edge cases across small helpers not owned by another test module."""
+
+import numpy as np
+import pytest
+
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+from repro.common.tables import indent
+
+
+class TestUnitKind:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        """Every unit is exactly one of: functional, storage, hidden."""
+        for unit in UnitKind:
+            flags = (unit.is_functional_unit, unit.is_storage, unit.is_hidden)
+            assert sum(flags) == 1, unit
+
+    def test_hidden_set_matches_paper(self):
+        hidden = {u for u in UnitKind if u.is_hidden}
+        assert hidden == {
+            UnitKind.SCHEDULER,
+            UnitKind.INSTRUCTION_PIPELINE,
+            UnitKind.MEMORY_CONTROLLER,
+            UnitKind.HOST_INTERFACE,
+        }
+
+
+class TestTablesIndent:
+    def test_indent_prefixes_every_line(self):
+        assert indent("a\nb") == "  a\n  b\n"
+
+
+class TestBeamResultEdges:
+    def test_empty_breakdown(self):
+        from repro.arch.ecc import EccMode
+        from repro.beam.experiment import BeamResult
+        from repro.common.stats import Estimate
+        from repro.faultsim.outcomes import Outcome
+
+        result = BeamResult(
+            workload="w", device="d", ecc=EccMode.ON, beam_hours=1.0,
+            fluence_n_cm2=1.0,
+            fit_sdc=Estimate(0, 0, 1), fit_due=Estimate(0, 0, 1),
+        )
+        assert result.breakdown(Outcome.SDC) == {}
+        assert result.errors == 0.0
+
+
+class TestFitPrediction:
+    def test_defaults(self):
+        from repro.arch.ecc import EccMode
+        from repro.predict.model import FitPrediction
+
+        pred = FitPrediction(workload="w", device="d", ecc=EccMode.ON)
+        assert pred.fit_sdc == 0.0
+        assert pred.covered_fraction == 0.0
+
+
+class TestSessionPredictPath:
+    def test_predict_returns_note_for_fallbacks(self):
+        from repro.arch.ecc import EccMode
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.session import ExperimentSession
+
+        session = ExperimentSession(ExperimentConfig(injections=30, beam_fault_evals=40))
+        prediction, note = session.predict("kepler", "sassifi", "FGEMM", EccMode.ON)
+        assert "Volta NVBitFI" in note
+        assert prediction.workload == "FGEMM"
+
+
+class TestMainModuleFlatten:
+    def test_flatten_dict_and_list(self):
+        from repro.experiments.__main__ import _flatten
+
+        assert _flatten([{"a": 1}]) == [{"a": 1}]
+        flat = _flatten({"kepler": [{"a": 1}], "volta": [{"b": 2}]})
+        assert {"arch": "kepler", "a": 1} in flat
+        assert {"arch": "volta", "b": 2} in flat
+
+
+class TestRfStrikeOnEmptyTable:
+    def test_strike_before_any_register_write_is_masked(self):
+        """An RF strike landing before the kernel wrote anything has no
+        live victim — silently masked, not a crash."""
+        from repro.arch.devices import KEPLER_K40C
+        from repro.arch.dtypes import DType
+        from repro.arch.ecc import EccMode, SecdedModel
+        from repro.sim.context import KernelContext
+        from repro.sim.injection import StorageStrike
+
+        ctx = KernelContext(
+            device=KEPLER_K40C, grid_blocks=1, threads_per_block=32,
+            ecc=SecdedModel(mode=EccMode.OFF), rng=np.random.default_rng(0),
+        )
+        ctx.schedule_strike(StorageStrike(tick=0.0, space="rf", rng=np.random.default_rng(1)))
+        ctx._registers.clear()
+        ctx.nop()  # applies the strike against an empty table
+
+
+class TestConfigErrors:
+    def test_shared_alloc_tuple_shape(self):
+        from repro.arch.devices import KEPLER_K40C
+        from repro.arch.dtypes import DType
+        from repro.arch.ecc import EccMode, SecdedModel
+        from repro.sim.context import KernelContext
+
+        ctx = KernelContext(
+            device=KEPLER_K40C, grid_blocks=2, threads_per_block=32,
+            ecc=SecdedModel(mode=EccMode.ON),
+        )
+        buf = ctx.shared_alloc("t", (4, 8), DType.FP32)
+        assert buf.data.shape == (2, 4, 8)
+
+    def test_warp_lane_launch_needs_whole_warps(self):
+        from repro.arch.devices import VOLTA_V100
+        from repro.arch.ecc import EccMode, SecdedModel
+        from repro.sim.context import KernelContext
+
+        with pytest.raises(ConfigurationError):
+            KernelContext(
+                device=VOLTA_V100, grid_blocks=1, threads_per_block=48,
+                ecc=SecdedModel(mode=EccMode.ON), warp_lanes=True,
+            )

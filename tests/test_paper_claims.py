@@ -1,0 +1,210 @@
+"""Integration tests of the paper's headline claims, at reduced scale.
+
+Each test regenerates a slice of the evaluation through the full pipeline
+and checks the *qualitative* finding (who is bigger, which direction the
+effect points).  EXPERIMENTS.md records the quantitative comparison at
+full scale.
+"""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.ecc import EccMode
+from repro.beam.experiment import BeamExperiment
+from repro.common.rng import RngFactory
+from repro.faultsim.campaign import run_campaign
+from repro.faultsim.frameworks import NvBitFi, Sassifi
+from repro.faultsim.outcomes import Outcome
+from repro.microbench.registry import get_microbench
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def kepler_beam():
+    return BeamExperiment(KEPLER_K40C, rngs=RngFactory(0))
+
+
+@pytest.fixture(scope="module")
+def volta_beam():
+    return BeamExperiment(VOLTA_V100, rngs=RngFactory(0))
+
+
+def _ubench_fit(beam, arch, name, ecc=EccMode.ON):
+    wl = get_microbench(arch, name, seed=0)
+    return beam.run(wl, ecc=ecc, beam_hours=72, mode="expected", max_fault_evals=100)
+
+
+class TestFigure3Claims:
+    def test_kepler_int_above_fp32(self, kepler_beam):
+        """§V-B: INT32 micro-benchmarks ≈ 4× the FP32 ones on Kepler."""
+        fadd = _ubench_fit(kepler_beam, "kepler", "FADD").fit_sdc.value
+        iadd = _ubench_fit(kepler_beam, "kepler", "IADD").fit_sdc.value
+        assert 2.0 < iadd / fadd < 8.0
+
+    def test_kepler_imul_above_iadd(self, kepler_beam):
+        """§V-B: IMUL ≈ 30% above IADD; IMAD above both."""
+        iadd = _ubench_fit(kepler_beam, "kepler", "IADD").fit_sdc.value
+        imul = _ubench_fit(kepler_beam, "kepler", "IMUL").fit_sdc.value
+        imad = _ubench_fit(kepler_beam, "kepler", "IMAD").fit_sdc.value
+        assert imul > iadd
+        assert imad > imul
+
+    def test_ldst_is_the_only_due_dominated_ubench(self, kepler_beam):
+        """§V-B: LDST is the only micro-benchmark whose DUE rate exceeds
+        its SDC rate (corrupted addresses are mostly invalid)."""
+        ldst = _ubench_fit(kepler_beam, "kepler", "LDST")
+        assert ldst.fit_due.value > ldst.fit_sdc.value
+        for name in ("FADD", "FFMA", "IMAD"):
+            r = _ubench_fit(kepler_beam, "kepler", name)
+            assert r.fit_sdc.value > r.fit_due.value, name
+
+    def test_volta_precision_monotone(self, volta_beam):
+        """§VI: the higher the precision, the higher the FIT."""
+        h = _ubench_fit(volta_beam, "volta", "HFMA").fit_sdc.value
+        f = _ubench_fit(volta_beam, "volta", "FFMA").fit_sdc.value
+        d = _ubench_fit(volta_beam, "volta", "DFMA").fit_sdc.value
+        assert h < f < d
+
+    def test_mma_an_order_above_scalar_units(self, volta_beam):
+        """§V-B: HMMA/FMMA ≈ 12× DFMA."""
+        dfma = _ubench_fit(volta_beam, "volta", "DFMA").fit_sdc.value
+        hmma = _ubench_fit(volta_beam, "volta", "HMMA").fit_sdc.value
+        assert 6.0 < hmma / dfma < 25.0
+
+    def test_mma_more_reliable_per_useful_op(self, volta_beam):
+        """§V-B: one warp-wide MMA replaces 64/32 = 2 warps of FMAs, so per
+        useful multiply-accumulate the tensor core wins despite its raw FIT."""
+        hfma = _ubench_fit(volta_beam, "volta", "HFMA").fit_sdc.value
+        hmma = _ubench_fit(volta_beam, "volta", "HMMA").fit_sdc.value
+        # one 16×16×16 MMA = 4096 MACs; one FMA lane-op = 1 MAC.
+        # scale both to FIT per delivered MAC-throughput: the MMA unit
+        # delivers 4096 MACs per 64-instruction tile issue.
+        macs_per_mma_exposure = 4096 / 64
+        assert hmma / macs_per_mma_exposure < hfma * 2
+
+    def test_kepler_rf_bits_more_sensitive_than_volta(self, kepler_beam, volta_beam):
+        """§V-B: 28 nm planar RF ≈ an order of magnitude above 16 nm FinFET
+        *per bit* — Figure 3 reports the RF row per megabyte, so the raw
+        FITs must be normalized by the exposed footprint (Volta's 80 SMs
+        expose ~5× more register file than Kepler's 15)."""
+        from repro.arch.units import UnitKind
+
+        per_mb = {}
+        for beam, arch in ((kepler_beam, "kepler"), (volta_beam, "volta")):
+            wl = get_microbench(arch, "RF", seed=0)
+            result = beam.run(wl, ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=100)
+            _, profile = beam.exposure(wl, EccMode.OFF)
+            bits = (
+                profile.storage_sigma_eff[UnitKind.REGISTER_FILE]
+                / beam.catalog.bit_sigma[UnitKind.REGISTER_FILE]
+            )
+            per_mb[arch] = result.fit_sdc.value / (bits / 8e6)
+        assert per_mb["kepler"] / per_mb["volta"] > 5.0
+
+
+class TestFigure4Claims:
+    def test_float_codes_have_higher_avf_than_integer(self):
+        """§VI: Gaussian/LUD/MxM/Lava top the AVF list; the integer codes
+        (Quicksort/Mergesort/CCL/NW) sit at the bottom."""
+        float_avg = 0.0
+        for code in ("FMXM", "FLAVA"):
+            c = run_campaign(KEPLER_K40C, NvBitFi(), get_workload("kepler", code, seed=0), 80, seed=1)
+            float_avg += c.avf(Outcome.SDC) / 2
+        int_avg = 0.0
+        for code in ("CCL", "QUICKSORT"):
+            c = run_campaign(KEPLER_K40C, NvBitFi(), get_workload("kepler", code, seed=0), 80, seed=1)
+            int_avg += c.avf(Outcome.SDC) / 2
+        assert float_avg > int_avg + 0.1
+
+    def test_nvbitfi_avf_above_sassifi_on_average(self):
+        """§VI: the newer toolchain's code yields ~18% higher AVF."""
+        gaps = []
+        for code in ("FMXM", "FLAVA", "FGAUSSIAN", "MERGESORT"):
+            w = get_workload("kepler", code, seed=0)
+            s = run_campaign(KEPLER_K40C, Sassifi(), w, 80, seed=1).avf(Outcome.SDC)
+            n = run_campaign(KEPLER_K40C, NvBitFi(), w, 80, seed=1).avf(Outcome.SDC)
+            gaps.append((n - s) / max(s, 1e-6))
+        assert sum(gaps) / len(gaps) > 0.0
+
+    def test_yolov2_tolerates_more_than_yolov3(self):
+        """§VI: the less accurate CNN masks more corruptions."""
+        v2 = run_campaign(VOLTA_V100, NvBitFi(), get_workload("volta", "FYOLOV2", seed=0), 80, seed=1)
+        v3 = run_campaign(VOLTA_V100, NvBitFi(), get_workload("volta", "FYOLOV3", seed=0), 80, seed=1)
+        assert v2.avf(Outcome.SDC) <= v3.avf(Outcome.SDC) + 0.05
+
+    def test_cnn_avf_far_below_gemm(self):
+        """§VI: CNNs share GEMM's fault exposure but classification-aware
+        outputs mask almost everything."""
+        gemm = run_campaign(VOLTA_V100, NvBitFi(), get_workload("volta", "FGEMM", seed=0), 80, seed=1)
+        yolo = run_campaign(VOLTA_V100, NvBitFi(), get_workload("volta", "FYOLOV3", seed=0), 80, seed=1)
+        assert yolo.avf(Outcome.SDC) < 0.5 * gemm.avf(Outcome.SDC)
+
+
+class TestFigure5Claims:
+    def test_ecc_cuts_sdc_substantially(self, kepler_beam):
+        """§VI: ECC OFF SDC up to ~21× ECC ON on K40c."""
+        ratios = []
+        for code in ("FMXM", "FHOTSPOT"):
+            wl = get_workload("kepler", code, seed=0)
+            off = kepler_beam.run(wl, ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
+            on = kepler_beam.run(wl, ecc=EccMode.ON, beam_hours=72, mode="expected", max_fault_evals=80)
+            ratios.append(off.fit_sdc.value / on.fit_sdc.value)
+        assert max(ratios) > 2.0
+
+    def test_matmul_family_tops_sdc_chart(self, kepler_beam):
+        """§VI: matrix multiplication has the highest SDC FIT."""
+        wl_mxm = get_workload("kepler", "FMXM", seed=0)
+        wl_ccl = get_workload("kepler", "CCL", seed=0)
+        mxm = kepler_beam.run(wl_mxm, ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
+        ccl = kepler_beam.run(wl_ccl, ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
+        assert mxm.fit_sdc.value > 3.0 * ccl.fit_sdc.value
+
+    def test_volta_precision_raises_code_fit(self, volta_beam):
+        """§VI: increasing precision increases the code FIT rate."""
+        h = volta_beam.run(get_workload("volta", "HMXM", seed=0), ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
+        d = volta_beam.run(get_workload("volta", "DMXM", seed=0), ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
+        assert d.fit_sdc.value > h.fit_sdc.value
+
+
+class TestFigure6AndDueClaims:
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.session import ExperimentSession
+
+        return ExperimentSession(ExperimentConfig(injections=100, beam_fault_evals=80, memory_avf_strikes=20))
+
+    def test_sdc_prediction_within_factors_for_core_codes(self, session):
+        """§VII-A: SDC predictions land within ~5× of the beam for most
+        codes (we check a relaxed 10× at this reduced campaign scale)."""
+        from repro.predict.compare import compare_code
+
+        within = 0
+        codes = ("FMXM", "FLAVA", "FHOTSPOT", "MERGESORT")
+        for code in codes:
+            beam = session.beam("kepler", code, EccMode.OFF)
+            pred, _ = session.predict("kepler", "nvbitfi", code, EccMode.OFF)
+            row = compare_code(beam, pred, "NVBITFI")
+            if row.within <= 10.0:
+                within += 1
+        assert within >= 3
+
+    def test_due_massively_underpredicted(self, session):
+        """§VII-B: the beam DUE rate exceeds the prediction by orders of
+        magnitude — DUEs originate in resources injectors cannot reach."""
+        from repro.predict.compare import compare_code, due_underestimation
+
+        rows = []
+        for code in ("FMXM", "FHOTSPOT", "MERGESORT"):
+            beam = session.beam("kepler", code, EccMode.ON)
+            pred, _ = session.predict("kepler", "nvbitfi", code, EccMode.ON)
+            rows.append(compare_code(beam, pred, "NVBITFI", metric="due"))
+        assert due_underestimation(rows) > 20.0
+
+    def test_due_dominated_by_non_instruction_resources(self, session):
+        """§VII-B mechanism check: most beam DUEs trace to hidden resources
+        and ECC detections, not arithmetic instructions."""
+        beam = session.beam("kepler", "FMXM", EccMode.ON)
+        shares = beam.breakdown(Outcome.DUE)
+        arith = sum(v for k, v in shares.items() if k.startswith("op:") and "LD" not in k and "ST" not in k)
+        assert arith < 0.5

@@ -1,0 +1,118 @@
+"""Workload base: spec validation, default comparison, input helpers."""
+
+import numpy as np
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import (
+    CompareResult,
+    Workload,
+    WorkloadSpec,
+    float_dtype_range,
+    random_floats,
+)
+
+
+class _Dummy(Workload):
+    def _generate_inputs(self, rng):
+        self.x = rng.random(4)
+
+    def sim_launch(self):
+        from repro.sim.launch import LaunchConfig
+
+        return LaunchConfig(1, 32)
+
+    def kernel(self, ctx):
+        return {}
+
+
+def _spec(**kw):
+    defaults = dict(name="T", base="t", dtype=DType.FP32)
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = _spec()
+        assert not spec.proprietary and not spec.uses_mma
+        assert spec.registers_per_thread > 0
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(registers_per_thread=0)
+
+    def test_negative_shared_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(shared_bytes_per_block=-1)
+
+
+class TestLifecycle:
+    def test_prepare_idempotent(self):
+        w = _Dummy(_spec(), seed=1)
+        w.prepare()
+        x = w.x
+        w.prepare()
+        assert w.x is x
+
+    def test_reference_occupancy_inputs_clamped(self):
+        from repro.arch.devices import KEPLER_K40C
+
+        w = _Dummy(_spec(registers_per_thread=999))
+        inputs = w.reference_occupancy_inputs(KEPLER_K40C)
+        assert inputs["registers_per_thread"] == KEPLER_K40C.max_registers_per_thread
+
+
+class TestDefaultCompare:
+    def _w(self):
+        return _Dummy(_spec())
+
+    def test_identical_match(self):
+        w = self._w()
+        g = {"a": np.arange(4, dtype=np.float32)}
+        assert w.compare(g, {"a": g["a"].copy()}) is CompareResult.MATCH
+
+    def test_single_ulp_is_sdc(self):
+        w = self._w()
+        g = np.ones(4, dtype=np.float32)
+        o = g.copy()
+        o[2] = np.nextafter(o[2], 2.0)
+        assert w.compare({"a": g}, {"a": o}) is CompareResult.SDC
+
+    def test_nan_equal_bit_patterns_match(self):
+        w = self._w()
+        g = np.array([np.nan, 1.0], dtype=np.float32)
+        assert w.compare({"a": g}, {"a": g.copy()}) is CompareResult.MATCH
+
+    def test_shape_change_is_sdc(self):
+        w = self._w()
+        assert (
+            w.compare({"a": np.zeros(4, np.float32)}, {"a": np.zeros(5, np.float32)})
+            is CompareResult.SDC
+        )
+
+    def test_missing_output_is_sdc(self):
+        w = self._w()
+        assert w.compare({"a": np.zeros(4, np.float32)}, {}) is CompareResult.SDC
+
+    def test_int_compare(self):
+        w = self._w()
+        g = np.arange(4, dtype=np.int32)
+        o = g.copy()
+        o[0] ^= 1
+        assert w.compare({"a": g}, {"a": o}) is CompareResult.SDC
+
+
+class TestInputHelpers:
+    def test_fp16_range_avoids_overflow(self):
+        """The micro-benchmark design rule: inputs avoid overflow (§V-A);
+        FP16's max is ~65504, so generated values stay small."""
+        assert float_dtype_range(DType.FP16) <= 4.0
+
+    @pytest.mark.parametrize("dtype", list(DType))
+    def test_random_floats_dtype_and_range(self, dtype):
+        rng = np.random.default_rng(0)
+        arr = random_floats(rng, (100,), dtype)
+        assert arr.dtype == dtype.np_dtype
+        assert np.abs(arr.astype(np.float64)).max() <= float_dtype_range(dtype)

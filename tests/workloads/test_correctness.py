@@ -1,0 +1,107 @@
+"""Every workload's simulator kernel must reproduce its reference output
+bit-for-bit — the foundation the SDC classification stands on."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.sim.launch import run_kernel
+from repro.workloads.registry import WORKLOAD_BUILDERS, get_workload
+
+_DEVICES = {"kepler": KEPLER_K40C, "volta": VOLTA_V100}
+
+_ALL_CONFIGS = [
+    (arch, code) for arch, codes in WORKLOAD_BUILDERS.items() for code in codes
+]
+
+
+@pytest.mark.parametrize("arch,code", _ALL_CONFIGS)
+def test_matches_reference(arch, code):
+    workload = get_workload(arch, code, seed=11)
+    run = run_kernel(_DEVICES[arch], workload.kernel, workload.sim_launch())
+    reference = workload.reference_outputs()
+    if reference is None:
+        pytest.skip(f"{code} validated by invariants (no closed form)")
+    assert set(reference) == set(run.outputs)
+    for name in reference:
+        np.testing.assert_array_equal(
+            reference[name], run.outputs[name], err_msg=f"{arch}/{code}/{name}"
+        )
+
+
+@pytest.mark.parametrize("arch,code", _ALL_CONFIGS)
+def test_deterministic_across_runs(arch, code):
+    workload = get_workload(arch, code, seed=5)
+    device = _DEVICES[arch]
+    first = run_kernel(device, workload.kernel, workload.sim_launch())
+    second = run_kernel(device, workload.kernel, workload.sim_launch())
+    for name in first.outputs:
+        np.testing.assert_array_equal(first.outputs[name], second.outputs[name])
+    assert first.trace.total_instances == second.trace.total_instances
+
+
+@pytest.mark.parametrize("arch,code", _ALL_CONFIGS)
+def test_trace_is_nonempty_and_finite(arch, code):
+    workload = get_workload(arch, code, seed=2)
+    run = run_kernel(_DEVICES[arch], workload.kernel, workload.sim_launch())
+    assert run.trace.total_instances > 0
+    assert 0.0 < run.trace.activity_factor <= 1.0
+    for name, out in run.outputs.items():
+        if out.dtype.kind == "f":
+            assert np.isfinite(out.astype(np.float64)).all(), f"{code}/{name} not finite"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_seeds_change_inputs(seed):
+    a = get_workload("kepler", "FMXM", seed=seed)
+    b = get_workload("kepler", "FMXM", seed=seed + 10)
+    a.prepare()
+    b.prepare()
+    assert not np.array_equal(a.a, b.a)
+
+
+def test_sorts_actually_sort():
+    for code in ("MERGESORT", "QUICKSORT"):
+        w = get_workload("kepler", code, seed=9)
+        run = run_kernel(KEPLER_K40C, w.kernel, w.sim_launch())
+        data = run.outputs["data"]
+        assert (np.diff(data) >= 0).all(), code
+
+
+def test_bfs_costs_are_valid_levels():
+    w = get_workload("kepler", "BFS", seed=4)
+    run = run_kernel(KEPLER_K40C, w.kernel, w.sim_launch())
+    cost = run.outputs["cost"]
+    assert cost[0] == 0
+    # chain backbone guarantees reachability
+    assert (cost >= 0).all()
+    # every reached node's cost is at most the chain distance
+    assert (cost <= np.arange(len(cost))).all()
+
+
+def test_ccl_labels_are_component_minima():
+    w = get_workload("kepler", "CCL", seed=4)
+    run = run_kernel(KEPLER_K40C, w.kernel, w.sim_launch())
+    labels = run.outputs["labels"]
+    fg = w.image.reshape(-1) > 0
+    assert (labels[~fg] == -1).all()
+    assert (labels[fg] <= np.flatnonzero(fg)).all()
+
+
+def test_nw_score_matrix_monotone_on_diagonal_dominated_inputs():
+    w = get_workload("kepler", "NW", seed=4)
+    run = run_kernel(KEPLER_K40C, w.kernel, w.sim_launch())
+    score = run.outputs["score"]
+    assert score.shape == (w.n + 1, w.n + 1)
+
+
+def test_gemm_mma_matches_gemm_loosely():
+    """Tensor-core GEMM must agree with the scalar reference within FP16
+    accumulation error (they compute the same product)."""
+    w = get_workload("volta", "FGEMM-MMA", seed=6)
+    run = run_kernel(VOLTA_V100, w.kernel, w.sim_launch())
+    w.prepare()
+    exact = w.a.astype(np.float64) @ w.b.astype(np.float64)
+    got = run.outputs["c"].astype(np.float64)
+    rel = np.abs(got - exact) / np.maximum(np.abs(exact), 1.0)
+    assert rel.max() < 0.05

@@ -1,0 +1,86 @@
+"""Workload registry: Table I coverage and metadata consistency."""
+
+import pytest
+
+from repro.arch.dtypes import DType
+from repro.common.errors import ConfigurationError
+from repro.workloads.registry import (
+    WORKLOAD_BUILDERS,
+    all_codes,
+    get_workload,
+    kepler_codes,
+    volta_codes,
+)
+
+
+class TestCoverage:
+    def test_kepler_table1_codes_present(self):
+        expected = {
+            "CCL", "BFS", "FLAVA", "FHOTSPOT", "FGAUSSIAN", "FLUD", "NW",
+            "FMXM", "FGEMM", "MERGESORT", "QUICKSORT", "FYOLOV2", "FYOLOV3",
+        }
+        assert expected <= set(kepler_codes())
+
+    def test_volta_table1_codes_present(self):
+        expected = {
+            "HLAVA", "FLAVA", "DLAVA", "HHOTSPOT", "FHOTSPOT", "DHOTSPOT",
+            "HMXM", "FMXM", "DMXM", "HGEMM", "FGEMM", "DGEMM",
+            "HGEMM-MMA", "FGEMM-MMA", "HYOLOV3", "FYOLOV3",
+        }
+        assert expected <= set(volta_codes())
+
+    def test_all_codes_shape(self):
+        codes = all_codes()
+        assert set(codes) == {"kepler", "volta"}
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("arch", ["kepler", "volta"])
+    def test_prefix_matches_dtype(self, arch):
+        """The paper's naming convention: H/F/D prefix == fp16/32/64."""
+        for code in WORKLOAD_BUILDERS[arch]:
+            w = get_workload(arch, code)
+            if code[0] in "HFD" and code not in ("FLUD",):  # FLUD: F prefix is real
+                pass
+            if w.spec.dtype is DType.INT32:
+                assert code[0] not in "HD"
+            else:
+                assert code.startswith(w.spec.dtype.prefix), code
+
+    def test_proprietary_flags(self):
+        """GEMM and YOLO are cuBLAS/cuDNN-backed (§III-D)."""
+        for arch, code in [("kepler", "FGEMM"), ("kepler", "FYOLOV2"), ("volta", "HGEMM-MMA")]:
+            assert get_workload(arch, code).spec.proprietary
+        for arch, code in [("kepler", "FMXM"), ("kepler", "CCL"), ("volta", "DLAVA")]:
+            assert not get_workload(arch, code).spec.proprietary
+
+    def test_mma_flags(self):
+        assert get_workload("volta", "HGEMM-MMA").spec.uses_mma
+        assert not get_workload("volta", "HGEMM").spec.uses_mma
+
+    def test_integer_codes_are_int32(self):
+        for code in ("CCL", "BFS", "NW", "MERGESORT", "QUICKSORT"):
+            assert get_workload("kepler", code).spec.dtype is DType.INT32
+
+    def test_precision_families_share_base(self):
+        for prefix in "HFD":
+            assert get_workload("volta", f"{prefix}MXM").spec.base == "MxM"
+
+    def test_registers_positive_and_bounded(self):
+        for arch, codes in WORKLOAD_BUILDERS.items():
+            for code in codes:
+                spec = get_workload(arch, code).spec
+                assert 1 <= spec.registers_per_thread <= 255
+
+
+class TestErrors:
+    def test_unknown_arch(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("pascal", "FMXM")
+
+    def test_unknown_code(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("kepler", "HPL")
+
+    def test_case_insensitive_lookup(self):
+        assert get_workload("KEPLER", "fmxm").name == "FMXM"

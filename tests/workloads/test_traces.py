@@ -1,0 +1,111 @@
+"""Workload trace characteristics: each code must exercise the hardware
+features its real counterpart is known for (pins Figure 1 realism)."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.isa import OpClass
+from repro.profiling.profiler import Profiler
+from repro.workloads.registry import get_workload
+
+_KEPLER = Profiler(KEPLER_K40C)
+_VOLTA = Profiler(VOLTA_V100)
+
+
+def _trace(arch, code):
+    profiler = _KEPLER if arch == "kepler" else _VOLTA
+    return profiler.golden_run(get_workload(arch, code, seed=3)).trace
+
+
+class TestSharedMemoryUsers:
+    def test_gemm_stages_through_shared(self):
+        trace = _trace("kepler", "FGEMM")
+        assert trace.instances[OpClass.LDS] > 0
+        assert trace.instances[OpClass.STS] > 0
+        assert trace.barriers > 0
+
+    def test_lud_stages_pivot_row(self):
+        trace = _trace("kepler", "FLUD")
+        assert trace.instances[OpClass.LDS] > 0
+
+    def test_mxm_is_shared_free(self):
+        """The naive version reads straight from global memory."""
+        trace = _trace("kepler", "FMXM")
+        assert trace.instances.get(OpClass.LDS, 0) == 0
+
+
+class TestInstructionSignatures:
+    def test_lava_uses_transcendentals(self):
+        trace = _trace("kepler", "FLAVA")
+        assert trace.instances[OpClass.MUFU] > 0
+
+    def test_mergesort_uses_xor_partnering(self):
+        trace = _trace("kepler", "MERGESORT")
+        assert trace.instances[OpClass.LOP] > 0
+        assert trace.instances[OpClass.IMNMX] > 0
+
+    def test_nw_is_max_heavy(self):
+        trace = _trace("kepler", "NW")
+        assert trace.instances[OpClass.IMNMX] >= trace.instances.get(OpClass.IMUL, 0)
+
+    def test_gaussian_divides(self):
+        trace = _trace("kepler", "FGAUSSIAN")
+        assert trace.instances[OpClass.MUFU] > 0  # reciprocal for the pivot
+
+    def test_gemm_mma_has_no_scalar_fma(self):
+        trace = _trace("volta", "HGEMM-MMA")
+        assert trace.instances[OpClass.HMMA] > 0
+        assert trace.instances.get(OpClass.HFMA, 0) == 0
+
+    def test_fgemm_mma_casts_inputs(self):
+        """FP32 data reaches the tensor core through CVT (§V-A)."""
+        trace = _trace("volta", "FGEMM-MMA")
+        assert trace.instances[OpClass.CVT] > 0
+        assert trace.instances[OpClass.FMMA] > 0
+
+
+class TestHostInteraction:
+    @pytest.mark.parametrize("code", ["BFS", "CCL", "QUICKSORT"])
+    def test_iterative_codes_sync_often(self, code):
+        trace = _trace("kepler", code)
+        assert trace.host_syncs >= 3
+
+    def test_mxm_syncs_once(self):
+        assert _trace("kepler", "FMXM").host_syncs <= 2
+
+
+class TestDivergence:
+    def test_gaussian_leaves_warps_idle(self):
+        """The shrinking active region retires whole warps."""
+        assert _trace("kepler", "FGAUSSIAN").activity_factor < 0.95
+
+    def test_nw_starves_the_device_via_occupancy(self):
+        """NW's single-warp wavefront always keeps its one warp nominally
+        occupied (activity ≈ 1 at warp granularity); its starvation shows
+        up as Table I's rock-bottom achieved occupancy instead."""
+        metrics = _KEPLER.metrics(get_workload("kepler", "NW", seed=3))
+        assert metrics.achieved_occupancy < 0.15
+
+    def test_dense_codes_keep_warps_busy(self):
+        assert _trace("kepler", "FMXM").activity_factor > 0.95
+
+
+class TestPrecisionFamilies:
+    def test_same_kernel_same_mix_across_precisions(self):
+        """Hotspot/Lava/MxM 'execute the same kernel for all precisions'
+        (§VI) — identical instruction mixes, different dtypes."""
+        for family in ("LAVA", "HOTSPOT", "MXM"):
+            mixes = []
+            for prefix in "HFD":
+                trace = _trace("volta", f"{prefix}{family}")
+                mixes.append(trace.category_mix())
+            for cat in mixes[0]:
+                assert mixes[0][cat] == pytest.approx(mixes[1][cat], abs=1e-9)
+                assert mixes[0][cat] == pytest.approx(mixes[2][cat], abs=1e-9)
+
+    def test_gemm_kernels_differ_by_precision(self):
+        """GEMM is precision-specialized ('a different kernel for each
+        input and precision configuration', §VI)."""
+        f = _trace("volta", "FGEMM").total_instances
+        d = _trace("volta", "DGEMM").total_instances
+        assert f != d

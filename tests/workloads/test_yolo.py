@@ -1,0 +1,118 @@
+"""YOLO: classification-aware SDC criterion and network structure."""
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.sim.launch import run_kernel
+from repro.workloads.base import CompareResult
+from repro.workloads.registry import get_workload
+from repro.workloads.yolo import BOX_CHANNELS, HEAD_CHANNELS, YOLOV2, YOLOV3
+
+
+@pytest.fixture(scope="module")
+def v2():
+    return get_workload("kepler", "FYOLOV2", seed=1)
+
+
+@pytest.fixture(scope="module")
+def golden(v2):
+    return run_kernel(KEPLER_K40C, v2.kernel, v2.sim_launch()).outputs
+
+
+class TestArchitecture:
+    def test_v3_is_deeper_than_v2(self):
+        assert len(YOLOV3.stage1 + YOLOV3.stage2) > len(YOLOV2.stage1 + YOLOV2.stage2)
+
+    def test_v3_stricter_tolerance(self):
+        """The more accurate network tolerates less output perturbation —
+        the paper's explanation for YOLOv3's higher AVF (§VI)."""
+        assert YOLOV3.box_rel_tol < YOLOV2.box_rel_tol
+
+    def test_v3_has_residual_layers(self):
+        assert any(c.residual for c in YOLOV3.stage1 + YOLOV3.stage2)
+        assert not any(c.residual for c in YOLOV2.stage1 + YOLOV2.stage2)
+
+    def test_output_shape(self, golden):
+        det = golden["detections"]
+        assert det.shape[-1] == HEAD_CHANNELS
+
+    def test_instruction_mix_gemm_like(self, v2):
+        run = run_kernel(KEPLER_K40C, v2.kernel, v2.sim_launch())
+        from repro.arch.isa import OpCategory
+
+        cats = run.trace.category_mix()
+        assert cats[OpCategory.FMA] > 0.05  # convolution = FMA loops
+
+
+class TestCompareCriterion:
+    def test_identical_matches(self, v2, golden):
+        assert v2.compare(golden, {k: v.copy() for k, v in golden.items()}) is CompareResult.MATCH
+
+    def test_nondetected_cell_tolerates_changes(self, v2, golden):
+        det = golden["detections"].copy()
+        cells = det.reshape(-1, HEAD_CHANNELS)
+        quiet = np.flatnonzero(cells[:, BOX_CHANNELS] <= 0)
+        if quiet.size == 0:
+            pytest.skip("no quiet cell in this seed")
+        cells[quiet[0], :BOX_CHANNELS] += 100.0  # huge box change, no object
+        assert v2.compare(golden, {"detections": det}) is CompareResult.MATCH
+
+    def test_objectness_flip_is_sdc(self, v2, golden):
+        det = golden["detections"].copy()
+        cells = det.reshape(-1, HEAD_CHANNELS)
+        cells[:, BOX_CHANNELS] = -np.abs(cells[:, BOX_CHANNELS]) - 1.0  # kill all detections
+        result = v2.compare(golden, {"detections": det})
+        active = (golden["detections"].reshape(-1, HEAD_CHANNELS)[:, BOX_CHANNELS] > 0).any()
+        assert result is (CompareResult.SDC if active else CompareResult.MATCH)
+
+    def test_class_swap_is_sdc(self, v2, golden):
+        det = golden["detections"].copy()
+        cells = det.reshape(-1, HEAD_CHANNELS)
+        active = np.flatnonzero(cells[:, BOX_CHANNELS] > 0)
+        if active.size == 0:
+            pytest.skip("no detected cell in this seed")
+        scores = cells[active[0], BOX_CHANNELS + 1 :]
+        top = int(np.argmax(scores))
+        other = (top + 1) % scores.size
+        scores[top], scores[other] = scores[other], scores[top]
+        assert v2.compare(golden, {"detections": det}) is CompareResult.SDC
+
+    def test_tiny_box_shift_tolerated(self, v2, golden):
+        det = golden["detections"].copy()
+        det *= np.float32(1.0 + 1e-4)  # 0.01% shift, far below the 10% tol
+        # monotonic scaling never flips objectness signs at 1.0001
+        assert v2.compare(golden, {"detections": det}) is CompareResult.MATCH
+
+    def test_nan_output_is_sdc(self, v2, golden):
+        det = golden["detections"].copy()
+        det.reshape(-1)[0] = np.nan
+        assert v2.compare(golden, {"detections": det}) is CompareResult.SDC
+
+    def test_v2_more_tolerant_than_v3(self):
+        """The same mid-size box perturbation passes v2's criterion and
+        fails v3's."""
+        v2w = get_workload("kepler", "FYOLOV2", seed=1)
+        v3w = get_workload("kepler", "FYOLOV3", seed=1)
+        for w in (v2w, v3w):
+            golden = run_kernel(KEPLER_K40C, w.kernel, w.sim_launch()).outputs
+            det = golden["detections"].copy()
+            cells = det.reshape(-1, HEAD_CHANNELS)
+            active = np.flatnonzero(cells[:, BOX_CHANNELS] > 0)
+            if active.size == 0:
+                pytest.skip("no detection")
+            cells[active[0], 0] *= np.float32(1.05)  # 5% box drift
+            result = w.compare(golden, {"detections": det})
+            if w is v2w:
+                assert result is CompareResult.MATCH
+            else:
+                assert result is CompareResult.SDC
+
+    def test_half_precision_variant_runs(self):
+        w = get_workload("volta", "HYOLOV3", seed=1)
+        assert w.spec.dtype is DType.FP16
+        from repro.arch.devices import VOLTA_V100
+
+        run = run_kernel(VOLTA_V100, w.kernel, w.sim_launch())
+        assert np.isfinite(run.outputs["detections"].astype(np.float64)).all()
