@@ -1,0 +1,55 @@
+"""Bench: parallel campaign throughput (repro.exec).
+
+Times one 200-injection NVBitFI campaign serially and fanned out over a
+process pool, asserting the results are bit-identical and — on machines
+with enough cores — that the pool delivers a real speedup.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.exec.engine import ProcessExecutor
+from repro.faultsim.campaign import CampaignRunner
+from repro.faultsim.frameworks import NvBitFi
+from repro.workloads.registry import get_workload
+
+INJECTIONS = 200
+PARALLEL_WORKERS = 4
+
+
+def _run_campaign(executor=None, injections=INJECTIONS):
+    runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=0, executor=executor)
+    workload = get_workload("kepler", "FMXM", seed=0)
+    return runner.run(workload, injections)
+
+
+def test_bench_parallel_campaign(benchmark):
+    serial_started = time.perf_counter()
+    serial = _run_campaign()
+    serial_seconds = time.perf_counter() - serial_started
+
+    with ProcessExecutor(PARALLEL_WORKERS) as executor:
+        _run_campaign(executor, injections=8)  # fork the pool outside the timed run
+        parallel = benchmark.pedantic(
+            lambda: _run_campaign(executor), rounds=1, iterations=1
+        )
+    parallel_seconds = benchmark.stats["mean"]
+
+    assert parallel.records == serial.records, "parallel campaign must be bit-identical"
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    benchmark.extra_info["injections"] = INJECTIONS
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+        assert speedup >= 1.5, (
+            f"workers={PARALLEL_WORKERS} gave only {speedup:.2f}x over serial"
+        )
+    else:
+        pytest.skip(
+            f"only {os.cpu_count()} CPU(s): speedup assertion needs "
+            f">= {PARALLEL_WORKERS} cores (measured {speedup:.2f}x)"
+        )

@@ -11,7 +11,6 @@ from repro.arch.devices import KEPLER_K40C
 from repro.arch.isa import OpClass
 from repro.faultsim.frameworks import NvBitFi
 from repro.faultsim.campaign import CampaignRunner
-from repro.common.rng import RngFactory
 from repro.sim.launch import run_kernel
 from repro.workloads.registry import get_workload
 
@@ -31,7 +30,7 @@ def test_bench_golden_gemm(benchmark):
 
 
 def test_bench_single_injection(benchmark):
-    runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(0))
+    runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=0)
     w = get_workload("kepler", "FMXM", seed=0)
     golden = runner.golden(w)
     group = NvBitFi().site_groups(w)[0]

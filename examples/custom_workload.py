@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Extending the library: write your own kernel, then reuse the whole
-reliability pipeline (profiler, injector, beam) on it.
+reliability pipeline (profiler, injector, beam) on it through the facade.
 
 The example implements a parallel dot-product reduction — tree reduction
 through shared memory, a pattern the built-in suite doesn't cover.
@@ -12,17 +12,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.arch import KEPLER_K40C
-from repro.arch.dtypes import DType
-from repro.arch.ecc import EccMode
-from repro.beam import BeamExperiment
-from repro.faultsim import NvBitFi, Outcome, run_campaign
-from repro.profiling import profile_workload
-from repro.sim import LaunchConfig
-from repro.workloads.base import Workload, WorkloadSpec
+import repro
 
 
-class DotProductWorkload(Workload):
+class DotProductWorkload(repro.Workload):
     """y = Σ a[i]·b[i] via per-block shared-memory tree reduction."""
 
     N = 2048
@@ -32,15 +25,15 @@ class DotProductWorkload(Workload):
         self.a = rng.uniform(-1, 1, self.N).astype(np.float32)
         self.b = rng.uniform(-1, 1, self.N).astype(np.float32)
 
-    def sim_launch(self) -> LaunchConfig:
-        return LaunchConfig(grid_blocks=self.N // self.TPB, threads_per_block=self.TPB)
+    def sim_launch(self) -> repro.LaunchConfig:
+        return repro.LaunchConfig(grid_blocks=self.N // self.TPB, threads_per_block=self.TPB)
 
     def kernel(self, ctx) -> Dict[str, np.ndarray]:
         self.prepare()
-        a = ctx.alloc("a", self.a, DType.FP32)
-        b = ctx.alloc("b", self.b, DType.FP32)
-        partial = ctx.alloc_zeros("partial", self.N // self.TPB, DType.FP32)
-        scratch = ctx.shared_alloc("scratch", self.TPB, DType.FP32)
+        a = ctx.alloc("a", self.a, repro.DType.FP32)
+        b = ctx.alloc("b", self.b, repro.DType.FP32)
+        partial = ctx.alloc_zeros("partial", self.N // self.TPB, repro.DType.FP32)
+        scratch = ctx.shared_alloc("scratch", self.TPB, repro.DType.FP32)
 
         gid = ctx.global_id()
         tid = ctx.thread_idx()
@@ -77,10 +70,10 @@ class DotProductWorkload(Workload):
 
 
 def main() -> None:
-    spec = WorkloadSpec(
+    spec = repro.WorkloadSpec(
         name="DOTPROD",
         base="dotprod",
-        dtype=DType.FP32,
+        dtype=repro.DType.FP32,
         registers_per_thread=18,
         shared_bytes_per_block=DotProductWorkload.TPB * 4,
         ref_grid_blocks=8192,
@@ -89,17 +82,18 @@ def main() -> None:
     )
     workload = DotProductWorkload(spec, seed=3)
 
-    metrics = profile_workload(KEPLER_K40C, workload)
+    metrics = repro.profile(workload, device="kepler")
     print(f"profiled {spec.name}: occupancy={metrics.achieved_occupancy:.2f} IPC={metrics.ipc:.2f}")
 
-    campaign = run_campaign(KEPLER_K40C, NvBitFi(), workload, injections=150, seed=1)
+    campaign = repro.run_campaign(
+        workload, device="kepler", framework="nvbitfi", injections=150, seed=1
+    )
     print(
-        f"injection AVF: SDC={campaign.avf(Outcome.SDC):.2f} "
-        f"DUE={campaign.avf(Outcome.DUE):.2f} Masked={campaign.avf(Outcome.MASKED):.2f}"
+        f"injection AVF: SDC={campaign.avf(repro.Outcome.SDC):.2f} "
+        f"DUE={campaign.avf(repro.Outcome.DUE):.2f} Masked={campaign.avf(repro.Outcome.MASKED):.2f}"
     )
 
-    beam = BeamExperiment(KEPLER_K40C)
-    result = beam.run(workload, ecc=EccMode.ON, beam_hours=72, mode="expected")
+    result = repro.run_beam(workload, device="kepler", ecc="on", beam_hours=72, mode="expected")
     print(f"beam FITs (ECC ON): SDC={result.fit_sdc.value:.2f} DUE={result.fit_due.value:.2f}")
     print("\nA tree reduction masks many upsets (half the lanes' registers are")
     print("dead after each level) — compare its Masked fraction with FMXM's.")

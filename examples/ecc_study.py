@@ -8,23 +8,18 @@ rate (detected-uncorrectable interrupts kill the context).
     python examples/ecc_study.py
 """
 
-from repro.arch import KEPLER_K40C
-from repro.arch.ecc import EccMode
-from repro.beam import BeamExperiment
+import repro
 from repro.common.tables import render_table
-from repro.faultsim.outcomes import Outcome
-from repro.workloads import get_workload
 
 CODES = ("FMXM", "FHOTSPOT", "MERGESORT")
 
 
 def main() -> None:
-    beam = BeamExperiment(KEPLER_K40C)
-    rows = []
+    rows, off_results = [], {}
     for code in CODES:
-        workload = get_workload("kepler", code, seed=7)
-        off = beam.run(workload, ecc=EccMode.OFF, beam_hours=72, mode="expected")
-        on = beam.run(workload, ecc=EccMode.ON, beam_hours=72, mode="expected")
+        off = repro.run_beam(code, device="kepler", ecc="off", beam_hours=72, mode="expected", seed=7)
+        on = repro.run_beam(code, device="kepler", ecc="on", beam_hours=72, mode="expected", seed=7)
+        off_results[code] = off
         rows.append(
             {
                 "code": code,
@@ -38,10 +33,9 @@ def main() -> None:
     print(render_table(rows, title="ECC OFF vs ON — beam FITs on Tesla K40c (72 h each)"))
 
     # where do the ECC-OFF SDCs come from?
-    workload = get_workload("kepler", "FMXM", seed=7)
-    result = beam.run(workload, ecc=EccMode.OFF, beam_hours=72, mode="expected")
+    result = off_results["FMXM"]
     print("FMXM ECC-OFF SDC origin breakdown:")
-    for resource, share in sorted(result.breakdown(Outcome.SDC).items(), key=lambda kv: -kv[1]):
+    for resource, share in sorted(result.breakdown(repro.Outcome.SDC).items(), key=lambda kv: -kv[1]):
         if share > 0.01:
             print(f"  {resource:<24} {100 * share:5.1f}%")
     print("\n(the memory share is why the paper calls RF/memory 'a critical")

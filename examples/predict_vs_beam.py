@@ -6,23 +6,21 @@ measurements — a small Figure 6.
     python examples/predict_vs_beam.py
 """
 
-from repro.arch.ecc import EccMode
+import repro
 from repro.common.tables import render_bar_chart, render_table
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.session import ExperimentSession
 from repro.predict.compare import average_ratio, compare_code, fraction_within
 
 CODES = ("FMXM", "FLAVA", "FHOTSPOT", "NW", "MERGESORT", "QUICKSORT")
 
 
 def main() -> None:
-    config = ExperimentConfig(injections=200, beam_fault_evals=120, memory_avf_strikes=30)
-    session = ExperimentSession(config)
+    config = repro.Config(injections=200, beam_fault_evals=120, memory_avf_strikes=30)
+    session = repro.Session(config)
 
     rows, panel = [], []
     for code in CODES:
-        beam = session.beam("kepler", code, EccMode.OFF)
-        prediction, note = session.predict("kepler", "nvbitfi", code, EccMode.OFF)
+        beam = session.beam("kepler", code, repro.EccMode.OFF)
+        prediction, note = session.predict("kepler", "nvbitfi", code, repro.EccMode.OFF)
         row = compare_code(beam, prediction, "NVBITFI")
         panel.append(row)
         rows.append(

@@ -1,31 +1,26 @@
 #!/usr/bin/env python3
 """Quickstart: run a workload on the simulated GPU, profile it, inject
-faults, and expose it to the simulated neutron beam.
+faults, and expose it to the simulated neutron beam — all through the
+top-level ``repro`` facade.
 
     python examples/quickstart.py
 """
 
-from repro.arch import KEPLER_K40C
-from repro.arch.ecc import EccMode
-from repro.beam import BeamExperiment
-from repro.faultsim import NvBitFi, Outcome, run_campaign
-from repro.profiling import profile_workload
-from repro.sim import run_kernel
-from repro.workloads import get_workload
+import repro
 
 
 def main() -> None:
-    device = KEPLER_K40C
-    workload = get_workload("kepler", "FMXM", seed=42)
+    device = repro.KEPLER_K40C
+    workload = repro.get_workload("kepler", "FMXM", seed=42)
 
     # --- 1. functional execution -------------------------------------------------
-    run = run_kernel(device, workload.kernel, workload.sim_launch())
+    run = repro.run_kernel(device, workload.kernel, workload.sim_launch())
     print(f"ran {workload.name} on {device.name}:")
     print(f"  dynamic lane-instructions : {run.trace.total_instances:,.0f}")
     print(f"  output checksum           : {float(run.outputs['c'].sum()):.4f}")
 
     # --- 2. profiling (Table I metrics) --------------------------------------------
-    metrics = profile_workload(device, workload)
+    metrics = repro.profile(workload, device=device)
     print("\nprofile (NVPROF-style):")
     print(f"  achieved occupancy        : {metrics.achieved_occupancy:.2f}")
     print(f"  IPC                       : {metrics.ipc:.2f}")
@@ -34,15 +29,18 @@ def main() -> None:
     print(f"  instruction mix           : {mix}")
 
     # --- 3. fault injection (NVBitFI-style) ------------------------------------------
-    campaign = run_campaign(device, NvBitFi(), workload, injections=200, seed=1)
+    campaign = repro.run_campaign(
+        workload, device=device, framework="nvbitfi", injections=200, seed=1
+    )
     print("\nfault injection (200 single-bit faults into GPR outputs):")
-    for outcome in Outcome:
+    for outcome in repro.Outcome:
         est = campaign.avf_estimate(outcome)
         print(f"  AVF {outcome.value:<7}: {est.value:.3f}  (95% CI [{est.lower:.3f}, {est.upper:.3f}])")
 
     # --- 4. beam experiment -------------------------------------------------------------
-    beam = BeamExperiment(device)
-    result = beam.run(workload, ecc=EccMode.ON, beam_hours=72, mode="montecarlo")
+    result = repro.run_beam(
+        workload, device=device, ecc="on", beam_hours=72, mode="montecarlo"
+    )
     print("\nbeam experiment (72 accelerated hours at ChipIR, ECC ON):")
     print(f"  SDC FIT: {result.fit_sdc.value:8.2f}  [{result.fit_sdc.lower:.2f}, {result.fit_sdc.upper:.2f}]")
     print(f"  DUE FIT: {result.fit_due.value:8.2f}  [{result.fit_due.lower:.2f}, {result.fit_due.upper:.2f}]")

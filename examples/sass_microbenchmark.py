@@ -12,12 +12,7 @@ none of the built-in micro-benchmarks isolates.
 
 import numpy as np
 
-from repro.arch import KEPLER_K40C
-from repro.arch.dtypes import DType
-from repro.faultsim import NvBitFi, Outcome, run_campaign
-from repro.sass import SassKernel, assemble
-from repro.sim import LaunchConfig, run_kernel
-from repro.workloads.base import Workload, WorkloadSpec
+import repro
 
 N = 512
 
@@ -41,21 +36,21 @@ STG.S32    [out + r0], r1
 """
 
 
-class RegChaseWorkload(Workload):
+class RegChaseWorkload(repro.Workload):
     """Adapter exposing the assembled kernel to campaigns/beam."""
 
     def _generate_inputs(self, rng: np.random.Generator) -> None:
         self.data = rng.integers(0, 1000, N).astype(np.int32)
-        self.sass = SassKernel(
-            assemble(KERNEL_TEXT),
+        self.sass = repro.SassKernel(
+            repro.assemble(KERNEL_TEXT),
             {"data": self.data},
             outputs=("out",),
             shapes={"out": (N,)},
-            dtypes={"out": DType.INT32},
+            dtypes={"out": repro.DType.INT32},
         )
 
-    def sim_launch(self) -> LaunchConfig:
-        return LaunchConfig(grid_blocks=N // 128, threads_per_block=128)
+    def sim_launch(self) -> repro.LaunchConfig:
+        return repro.LaunchConfig(grid_blocks=N // 128, threads_per_block=128)
 
     def kernel(self, ctx):
         self.prepare()
@@ -63,20 +58,20 @@ class RegChaseWorkload(Workload):
 
 
 def main() -> None:
-    program = assemble(KERNEL_TEXT)
+    program = repro.assemble(KERNEL_TEXT)
     print(f"assembled '{program.name}': {program.static_instruction_count()} static, "
           f"~{program.dynamic_instruction_estimate()} dynamic instructions/thread")
     for instr in program.instructions:
         print(f"   {instr}")
 
-    spec = WorkloadSpec(
-        name="REGCHASE", base="sass-ubench", dtype=DType.INT32,
+    spec = repro.WorkloadSpec(
+        name="REGCHASE", base="sass-ubench", dtype=repro.DType.INT32,
         registers_per_thread=8, ref_grid_blocks=4096, ref_threads_per_block=256,
     )
     workload = RegChaseWorkload(spec, seed=4)
 
     # verify against the obvious host implementation
-    run = run_kernel(KEPLER_K40C, workload.kernel, workload.sim_launch())
+    run = repro.run_kernel(repro.KEPLER_K40C, workload.kernel, workload.sim_launch())
     workload.prepare()
     acc = np.zeros(N, dtype=np.int32)
     idx = np.arange(N, dtype=np.int32)
@@ -86,11 +81,13 @@ def main() -> None:
     assert np.array_equal(run.outputs["out"], acc), "kernel disagrees with host math"
     print("\nhost-math check: OK")
 
-    campaign = run_campaign(KEPLER_K40C, NvBitFi(), workload, injections=300, seed=2)
+    campaign = repro.run_campaign(
+        workload, device="kepler", framework="nvbitfi", injections=300, seed=2
+    )
     print("\nNVBitFI campaign over the assembled kernel (300 faults):")
-    for outcome in Outcome:
+    for outcome in repro.Outcome:
         print(f"  {outcome.value:<7}: {campaign.avf(outcome):.3f}")
-    per_op = campaign.per_op_avf(Outcome.SDC, min_samples=10)
+    per_op = campaign.per_op_avf(repro.Outcome.SDC, min_samples=10)
     print("\nper-instruction-class SDC AVF (≥10 hits):")
     for op, avf in sorted(per_op.items(), key=lambda kv: -kv[1]):
         print(f"  {op.name:<6}: {avf:.2f}")

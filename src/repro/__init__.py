@@ -1,0 +1,23 @@
+"""Reproduction of "Demystifying GPU Reliability" (IPDPS 2021).
+
+The package's blessed public surface lives in :mod:`repro.api` and is
+re-exported here, so the whole pipeline is reachable from the top level:
+
+    >>> import repro
+    >>> campaign = repro.run_campaign("FMXM", device="kepler", injections=200, seed=1)
+    >>> beam = repro.run_beam("FMXM", device="kepler", ecc="off", workers=4)
+    >>> metrics = repro.profile("FMXM", device="kepler")
+    >>> prediction, note = repro.predict("FMXM", device="kepler", ecc="off")
+    >>> session = repro.Session(repro.Config(injections=600, workers=4))
+
+Subpackages (``repro.sim``, ``repro.faultsim``, ``repro.beam``,
+``repro.profiling``, ``repro.predict``, ``repro.exec``,
+``repro.experiments``) remain importable for lower-level work; the facade
+is the stable front door.
+"""
+
+from repro.api import *  # noqa: F401,F403 — the facade defines __all__
+from repro.api import __all__ as _api_all
+
+__version__ = "1.0.0"
+__all__ = list(_api_all) + ["__version__"]

@@ -11,7 +11,6 @@ from repro.arch.devices import DeviceSpec
 from repro.arch.ecc import EccMode
 from repro.beam.experiment import BeamExperiment
 from repro.common.errors import ConfigurationError
-from repro.common.rng import RngFactory
 from repro.faultsim.campaign import CampaignRunner
 from repro.faultsim.frameworks import InjectorFramework
 from repro.faultsim.outcomes import Outcome
@@ -61,7 +60,7 @@ def seed_sweep_campaign(
     name = framework_name = ""
     for seed in seeds:
         workload = workload_builder(seed)
-        runner = CampaignRunner(device, framework, RngFactory(seed))
+        runner = CampaignRunner(device, framework, seed=seed)
         result = runner.run(workload, injections)
         values.append(result.avf(outcome))
         name, framework_name = result.workload, result.framework
@@ -98,13 +97,13 @@ def beam_mode_agreement(
 ) -> BeamModeAgreement:
     """The two beam estimators target the same quantity; their agreement is
     a consistency check on the fluence accounting."""
-    expected = BeamExperiment(device, rngs=RngFactory(0)).run(
+    expected = BeamExperiment(device, seed=0).run(
         workload_builder(0), ecc=ecc, beam_hours=beam_hours,
         mode="expected", max_fault_evals=max_fault_evals,
     )
     mc_values = []
     for seed in mc_seeds:
-        result = BeamExperiment(device, rngs=RngFactory(seed)).run(
+        result = BeamExperiment(device, seed=seed).run(
             workload_builder(0), ecc=ecc, beam_hours=beam_hours,
             mode="montecarlo", max_fault_evals=max_fault_evals,
         )

@@ -15,12 +15,17 @@ Mirrors the paper's §III-C methodology:
 ``mode="expected"`` replaces the Poisson draw with a stratified
 expected-value estimate (deterministic per seed, cheaper), used by the
 benchmark harness; ``mode="montecarlo"`` is the faithful protocol.
+
+Mechanistic fault evaluations — the re-executions that dominate a beam
+run's wall clock — are dispatched through :mod:`repro.exec`: each sampled
+strike becomes a task with a private RNG substream, so results are
+bit-identical for any ``workers=`` setting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,9 +36,12 @@ from repro.beam.engine import BeamEngine
 from repro.beam.exposure import ExposureProfile, compute_exposure
 from repro.beam.facility import CHIPIR, Facility, single_fault_regime_ok
 from repro.common.errors import ConfigurationError
-from repro.common.rng import RngFactory
+from repro.common.rng import RngFactory, resolve_rngs
 from repro.common.stats import Estimate, poisson_rate_estimate
 from repro.common.units import FIT_SCALE_HOURS, TERRESTRIAL_FLUX_N_CM2_H
+from repro.exec.engine import Executor, get_executor
+from repro.exec.tasks import BeamEvalContext, BeamEvalTask, WorkloadHandle, catalog_tag
+from repro.exec.worker import _cached_state, run_beam_chunk
 from repro.faultsim.outcomes import Outcome
 from repro.workloads.base import Workload
 
@@ -94,11 +102,16 @@ class BeamExperiment:
         facility: Facility = CHIPIR,
         catalog: Optional[CrossSectionCatalog] = None,
         rngs: Optional[RngFactory] = None,
+        *,
+        seed: Optional[int] = None,
+        workers: int = 1,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.device = device
         self.facility = facility
         self.catalog = catalog if catalog is not None else catalog_for(device)
-        self.rngs = rngs if rngs is not None else RngFactory(0)
+        self.rngs = resolve_rngs(rngs, seed, "BeamExperiment")
+        self.executor = get_executor(workers, executor)
 
     def exposure(self, workload: Workload, ecc: EccMode) -> Tuple[BeamEngine, ExposureProfile]:
         engine = BeamEngine(self.device, workload, self.catalog, ecc)
@@ -123,6 +136,44 @@ class BeamExperiment:
             return model.p_sdc, model.p_due
         return None
 
+    def _evaluate_all(
+        self,
+        engine: BeamEngine,
+        workload: Workload,
+        ecc: EccMode,
+        mode: str,
+        plan: List[Tuple[str, int]],
+        on_result: Optional[Callable] = None,
+    ) -> List[Outcome]:
+        """Dispatch ``plan`` — ordered (resource, n_eval) pairs — through the
+        executor and return outcomes flattened in plan order.  Each strike's
+        randomness comes from a substream named by (campaign, resource,
+        ordinal), so the outcome list is executor-invariant."""
+        names = (self.device.name, workload.name, ecc.value, mode)
+        tasks = []
+        for resource, n_eval in plan:
+            for j in range(n_eval):
+                tasks.append(
+                    BeamEvalTask(
+                        index=len(tasks),
+                        resource=resource,
+                        root_seed=self.rngs.root_seed,
+                        rng_path=("beam", *names, "eval", resource, j),
+                    )
+                )
+        context = BeamEvalContext(
+            device=self.device,
+            ecc=ecc.value,
+            backend=engine.backend,
+            catalog=self.catalog,
+            catalog_tag=catalog_tag(self.catalog, self.device),
+            workload=WorkloadHandle.wrap(workload),
+        )
+        # reuse this experiment's engine (golden already computed for the
+        # exposure profile) in the serial path and fork-spawned children
+        _cached_state(context.cache_key(), lambda: engine)
+        return self.executor.run_chunks(run_beam_chunk, context, tasks, on_result=on_result)
+
     def run(
         self,
         workload: Workload,
@@ -131,12 +182,14 @@ class BeamExperiment:
         mode: str = "montecarlo",
         max_fault_evals: int = 400,
         min_evals_per_resource: int = 4,
+        on_result: Optional[Callable] = None,
     ) -> BeamResult:
         """Expose one code for ``beam_hours`` and measure its FIT rates.
 
         ``max_fault_evals`` caps the number of mechanistic re-executions; a
         larger Poisson draw is thinned and re-weighted, preserving the
-        expected counts (documented coverage cap).
+        expected counts (documented coverage cap).  ``on_result`` observes
+        every completed fault evaluation (completion order).
         """
         if beam_hours <= 0:
             raise ConfigurationError("beam_hours must be positive")
@@ -158,16 +211,19 @@ class BeamExperiment:
             drawn = {r: int(rng.poisson(e)) for r, e in expected.items()}
             total_drawn = sum(drawn.values())
             thin = min(1.0, max_fault_evals / total_drawn) if total_drawn else 1.0
-            for resource, n in drawn.items():
+            plan = [(r, int(np.ceil(n * thin))) for r, n in drawn.items()]
+            outcomes = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
+            pos = 0
+            for resource, n_eval in plan:
+                n = drawn[resource]
                 tally = ResourceTally(faults=float(n))
-                n_eval = int(np.ceil(n * thin))
                 weight = (n / n_eval) if n_eval else 0.0
-                for _ in range(n_eval):
-                    outcome = engine.evaluate(resource, rng)
+                for outcome in outcomes[pos : pos + n_eval]:
                     if outcome is Outcome.SDC:
                         tally.sdc += weight
                     elif outcome is Outcome.DUE:
                         tally.due += weight
+                pos += n_eval
                 tallies[resource] = tally
         else:  # expected-value mode: stratified AVF per resource
             # resources with exact outcome distributions cost nothing; the
@@ -186,13 +242,25 @@ class BeamExperiment:
                 else:
                     mechanistic[resource] = sigma
             mech_sigma = sum(mechanistic.values())
-            for resource, sigma in sorted(mechanistic.items(), key=lambda kv: -kv[1]):
+            ordered = sorted(mechanistic.items(), key=lambda kv: -kv[1])
+            plan = [
+                (
+                    resource,
+                    max(
+                        min_evals_per_resource,
+                        int(round(max_fault_evals * (sigma / mech_sigma if mech_sigma else 0.0))),
+                    ),
+                )
+                for resource, sigma in ordered
+            ]
+            outcomes = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
+            pos = 0
+            for (resource, n_eval), (_, sigma) in zip(plan, ordered):
                 expected_faults = fluence * sigma
-                share = sigma / mech_sigma if mech_sigma else 0.0
-                n_eval = max(min_evals_per_resource, int(round(max_fault_evals * share)))
                 hits = {Outcome.SDC: 0, Outcome.DUE: 0, Outcome.MASKED: 0}
-                for _ in range(n_eval):
-                    hits[engine.evaluate(resource, rng)] += 1
+                for outcome in outcomes[pos : pos + n_eval]:
+                    hits[outcome] += 1
+                pos += n_eval
                 tallies[resource] = ResourceTally(
                     faults=expected_faults,
                     sdc=expected_faults * hits[Outcome.SDC] / n_eval,

@@ -1,0 +1,51 @@
+"""Parallel campaign execution engine.
+
+Fault-injection campaigns, beam fault evaluations and memory-AVF strike
+sweeps are embarrassingly parallel: every evaluation re-executes the
+workload with one armed fault and classifies the outcome independently.
+This package fans those evaluations out over worker processes:
+
+* :mod:`repro.exec.tasks` — picklable task descriptions.  A task names the
+  fault site (group + target index, beam resource, or storage strike) and
+  carries the *name path* of its private RNG substream, so the drawn random
+  numbers depend only on the root seed and the task identity — never on
+  worker count, chunking, or scheduling order.  Serial and parallel runs
+  are therefore bit-identical (asserted by ``tests/exec``).
+* :mod:`repro.exec.engine` — the executors.  :class:`SerialExecutor` runs
+  chunks in-process (the default, and what tests use);
+  :class:`ProcessExecutor` dispatches chunks over a
+  ``concurrent.futures.ProcessPoolExecutor``.
+* :mod:`repro.exec.worker` — worker-side chunk evaluators with a
+  per-process cache, so each worker computes the golden
+  :class:`~repro.sim.launch.KernelRun` once per workload instead of once
+  per task.
+* :mod:`repro.exec.progress` — an ``on_result`` rate/ETA meter for long
+  campaigns (used by the ``repro.experiments`` CLI).
+"""
+
+from repro.exec.engine import Executor, ProcessExecutor, SerialExecutor, get_executor
+from repro.exec.progress import ProgressMeter
+from repro.exec.tasks import (
+    BeamEvalContext,
+    BeamEvalTask,
+    CampaignContext,
+    InjectionTask,
+    MemoryAvfContext,
+    StrikeTask,
+    WorkloadHandle,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "ProgressMeter",
+    "WorkloadHandle",
+    "CampaignContext",
+    "InjectionTask",
+    "BeamEvalContext",
+    "BeamEvalTask",
+    "MemoryAvfContext",
+    "StrikeTask",
+]

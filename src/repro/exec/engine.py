@@ -1,0 +1,172 @@
+"""Executors: in-process serial fallback and a process-pool fan-out.
+
+Both expose one method, :meth:`run_chunks`: evaluate ``fn(context, chunk)``
+for every chunk of ``tasks`` and return the per-task results *in task
+order*, regardless of completion order.  ``fn`` must be a module-level
+function (picklable by reference); the context and tasks come from
+:mod:`repro.exec.tasks`.
+
+Because every task owns a private RNG substream, result values are
+identical across executors and worker counts — the executor choice is
+purely a wall-clock decision.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Protocol, Sequence
+
+from repro.common.errors import ConfigurationError
+
+#: fn(context, chunk_of_tasks) -> list of per-task results
+ChunkFn = Callable[[Any, Sequence[Any]], List[Any]]
+
+#: called once per completed task result (observability hook)
+ResultHook = Optional[Callable[[Any], None]]
+
+
+def _chunked(tasks: Sequence[Any], chunksize: int) -> List[Sequence[Any]]:
+    return [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
+
+
+def default_chunksize(n_tasks: int, workers: int) -> int:
+    """~4 chunks per worker: large enough to amortise pickling the context,
+    small enough to keep the pool busy when task costs are skewed."""
+    return max(1, -(-n_tasks // max(1, workers * 4)))
+
+
+class Executor(Protocol):
+    """Minimal executor interface the reliability engines program against."""
+
+    workers: int
+
+    def run_chunks(
+        self,
+        fn: ChunkFn,
+        context: Any,
+        tasks: Sequence[Any],
+        on_result: ResultHook = None,
+    ) -> List[Any]:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class SerialExecutor:
+    """Deterministic in-process executor (``workers=1`` and tests)."""
+
+    workers = 1
+
+    def run_chunks(
+        self,
+        fn: ChunkFn,
+        context: Any,
+        tasks: Sequence[Any],
+        on_result: ResultHook = None,
+    ) -> List[Any]:
+        results: List[Any] = []
+        for chunk in _chunked(tasks, default_chunksize(len(tasks), self.workers)):
+            for result in fn(context, chunk):
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
+        return results
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ProcessExecutor:
+    """Fan tasks out over a ``ProcessPoolExecutor``.
+
+    The pool is created lazily on first use and reused across calls, so a
+    session-scale sequence of campaigns pays the worker start-up cost once.
+    Close explicitly or use as a context manager; an unclosed pool is torn
+    down by the interpreter at exit.
+
+    Workloads are pickled per chunk: anything importable (registry
+    workloads, module-level custom workloads) always works; classes defined
+    in a ``__main__`` script additionally require the ``fork`` start method
+    (the Linux default).
+    """
+
+    def __init__(self, workers: int, chunksize: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self.chunksize = chunksize
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def run_chunks(
+        self,
+        fn: ChunkFn,
+        context: Any,
+        tasks: Sequence[Any],
+        on_result: ResultHook = None,
+    ) -> List[Any]:
+        if not tasks:
+            return []
+        chunksize = self.chunksize or default_chunksize(len(tasks), self.workers)
+        chunks = _chunked(tasks, chunksize)
+        pool = self._ensure_pool()
+        pending = {pool.submit(fn, context, chunk): i for i, chunk in enumerate(chunks)}
+        by_chunk: List[Optional[List[Any]]] = [None] * len(chunks)
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                chunk_results = future.result()  # re-raises worker exceptions
+                by_chunk[index] = chunk_results
+                if on_result is not None:
+                    for result in chunk_results:
+                        on_result(result)
+        results: List[Any] = []
+        for chunk_results in by_chunk:
+            results.extend(chunk_results or ())
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def get_executor(
+    workers: Optional[int] = None, executor: Optional[Executor] = None
+) -> Executor:
+    """Resolve the ``workers=`` / ``executor=`` pair every engine accepts.
+
+    An explicit executor wins (lets callers share one pool across engines);
+    otherwise ``workers=1`` (or None) is serial and ``workers>1`` builds a
+    fresh process pool.  ``workers=0`` auto-sizes to the machine.
+    """
+    if executor is not None:
+        return executor
+    if workers is None or workers == 1:
+        return SerialExecutor()
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigurationError("workers must be >= 0")
+    if workers == 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -1,0 +1,81 @@
+"""Campaign progress meter: an ``on_result`` hook with rate and ETA.
+
+Every engine entry point accepts ``on_result``, called once per completed
+fault evaluation.  :class:`ProgressMeter` is the standard observer: it
+counts completions and periodically logs throughput (and ETA when the
+total is known).  The ``repro.experiments`` CLI attaches one when
+``--progress`` is given.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Optional, TextIO
+
+
+class ProgressMeter:
+    """Counts results and logs ``label: n[/total] (rate/s, ETA)`` lines.
+
+    Callable, so it plugs directly into ``on_result=``.  Rate is computed
+    over the whole run; lines are emitted at most every ``interval``
+    seconds to keep output readable on fast campaigns.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        label: str = "progress",
+        interval: float = 2.0,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.count = 0
+        self._started: Optional[float] = None
+        self._last_log: float = float("-inf")
+
+    # -- observation ---------------------------------------------------------
+    def __call__(self, result: Any = None) -> None:
+        now = self.clock()
+        if self._started is None:
+            self._started = now
+        self.count += 1
+        if now - self._last_log >= self.interval:
+            self._last_log = now
+            self._emit(now)
+
+    def finish(self) -> None:
+        """Log the final line (always emitted, regardless of interval)."""
+        if self._started is not None and self.count:
+            self._emit(self.clock())
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Completed evaluations per second since the first result."""
+        if self._started is None or self.count == 0:
+            return 0.0
+        elapsed = max(self.clock() - self._started, 1e-9)
+        return self.count / elapsed
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        if self.total is None or self.rate <= 0:
+            return None
+        return max(0.0, (self.total - self.count) / self.rate)
+
+    def _emit(self, now: float) -> None:
+        rate = self.rate
+        if self.total is not None:
+            pct = 100.0 * self.count / max(self.total, 1)
+            eta = self.eta_seconds
+            eta_txt = f", ETA {eta:.0f}s" if eta is not None else ""
+            line = f"{self.label}: {self.count}/{self.total} ({pct:.0f}%), {rate:.1f}/s{eta_txt}"
+        else:
+            line = f"{self.label}: {self.count} done, {rate:.1f}/s"
+        print(line, file=self.stream, flush=True)

@@ -1,0 +1,151 @@
+"""Worker-side chunk evaluators with a per-process golden-run cache.
+
+Each function is a module-level callable (picklable by reference) that
+evaluates one chunk of tasks against its context.  Expensive per-campaign
+state — the golden :class:`~repro.sim.launch.KernelRun`, the rebuilt site
+groups, the :class:`~repro.beam.engine.BeamEngine` — is memoized in a
+process-local cache keyed by the context's fingerprint, so a worker pays
+for it once per campaign rather than once per task.
+
+The same functions serve the :class:`~repro.exec.engine.SerialExecutor`;
+in that case the "worker" cache lives in the driving process and plays the
+role the engines' own golden caches played before the redesign.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.common.rng import RngFactory
+from repro.exec.tasks import (
+    BeamEvalContext,
+    BeamEvalTask,
+    CampaignContext,
+    InjectionTask,
+    MemoryAvfContext,
+    StrikeTask,
+)
+
+#: process-local memo of per-campaign state; bounded to keep long-lived
+#: pools from accumulating dead goldens
+_STATE_CACHE: Dict[tuple, Any] = {}
+_STATE_CACHE_LIMIT = 32
+
+
+def _cached_state(key: tuple, build: Callable[[], Any]) -> Any:
+    state = _STATE_CACHE.get(key)
+    if state is None:
+        if len(_STATE_CACHE) >= _STATE_CACHE_LIMIT:
+            _STATE_CACHE.clear()
+        _STATE_CACHE[key] = state = build()
+    return state
+
+
+# -- injection campaigns ----------------------------------------------------------
+
+
+def _campaign_state(ctx: CampaignContext):
+    from repro.arch.ecc import EccMode
+    from repro.faultsim.campaign import CampaignRunner
+
+    def build():
+        runner = CampaignRunner(
+            ctx.device, ctx.framework, seed=ctx.root_seed, ecc=EccMode(ctx.ecc)
+        )
+        workload = ctx.workload.workload
+        groups = {g.name: g for g in ctx.framework.site_groups(workload)}
+        return runner, workload, groups
+
+    return _cached_state(ctx.cache_key(), build)
+
+
+def run_injection_chunk(ctx: CampaignContext, tasks: Sequence[InjectionTask]) -> List:
+    """Evaluate a chunk of campaign injections; returns InjectionRecords."""
+    runner, workload, groups = _campaign_state(ctx)
+    records = []
+    for task in tasks:
+        rng = RngFactory(task.root_seed).stream(*task.rng_path)
+        records.append(runner.inject_once(workload, groups[task.group], task.target_index, rng))
+    return records
+
+
+# -- beam fault evaluations -------------------------------------------------------
+
+
+def _beam_state(ctx: BeamEvalContext):
+    from repro.arch.ecc import EccMode
+    from repro.beam.engine import BeamEngine
+
+    def build():
+        return BeamEngine(
+            ctx.device,
+            ctx.workload.workload,
+            ctx.catalog,
+            EccMode(ctx.ecc),
+            backend=ctx.backend,
+        )
+
+    return _cached_state(ctx.cache_key(), build)
+
+
+def run_beam_chunk(ctx: BeamEvalContext, tasks: Sequence[BeamEvalTask]) -> List:
+    """Evaluate a chunk of sampled beam strikes; returns Outcomes."""
+    engine = _beam_state(ctx)
+    outcomes = []
+    for task in tasks:
+        rng = RngFactory(task.root_seed).stream(*task.rng_path)
+        outcomes.append(engine.evaluate(task.resource, rng))
+    return outcomes
+
+
+# -- memory-AVF storage strikes ----------------------------------------------------
+
+
+def _memory_avf_state(ctx: MemoryAvfContext) -> Tuple:
+    from repro.arch.ecc import EccMode
+    from repro.sim.launch import run_kernel
+
+    def build():
+        workload = ctx.workload.workload
+        golden = run_kernel(
+            ctx.device,
+            workload.kernel,
+            workload.sim_launch(),
+            ecc=EccMode.OFF,
+            backend=ctx.backend,
+        )
+        return workload, golden
+
+    return _cached_state(ctx.cache_key(), build)
+
+
+def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> List:
+    """Evaluate a chunk of ECC-OFF storage strikes; returns Outcomes."""
+    from repro.arch.ecc import EccMode
+    from repro.faultsim.outcomes import Outcome
+    from repro.sim.exceptions import GpuDeviceException
+    from repro.sim.injection import StorageStrike
+    from repro.sim.launch import run_kernel
+    from repro.workloads.base import CompareResult
+
+    workload, golden = _memory_avf_state(ctx)
+    outcomes = []
+    for task in tasks:
+        rng = RngFactory(task.root_seed).stream(*task.rng_path)
+        strike = StorageStrike(tick=task.tick, space=task.space, rng=rng)
+        try:
+            run = run_kernel(
+                ctx.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=EccMode.OFF,
+                backend=ctx.backend,
+                strikes=(strike,),
+                watchdog_limit=8.0 * golden.ticks,
+            )
+        except GpuDeviceException:
+            outcomes.append(Outcome.DUE)
+            continue
+        compare = workload.compare(golden.outputs, run.outputs)
+        outcomes.append(Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED)
+    return outcomes

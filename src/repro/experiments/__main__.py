@@ -2,6 +2,7 @@
 
     python -m repro.experiments all --preset quick
     python -m repro.experiments fig6 --preset full --seed 7 --out results/
+    python -m repro.experiments fig4 --preset paper --workers 8 --progress
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.common.tables import render_csv
+from repro.exec.progress import ProgressMeter
 from repro.experiments.config import get_preset
 from repro.experiments.session import ExperimentSession
 
@@ -61,12 +63,27 @@ def main(argv=None) -> int:
     parser.add_argument("--preset", default="quick", help="smoke | quick | full | paper")
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--out", type=pathlib.Path, default=None, help="also write CSVs here")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel fault-evaluation workers (1 = serial, 0 = one per CPU); "
+        "results are bit-identical for any setting",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log fault-evaluation throughput (rate/ETA) to stderr",
+    )
     args = parser.parse_args(argv)
 
     config = get_preset(args.preset)
     if args.seed is not None:
         config = replace(config, seed=args.seed)
-    session = ExperimentSession(config)
+    if args.workers is not None:
+        config = replace(config, workers=args.workers)
+    meter = ProgressMeter(label="fault evals", interval=2.0) if args.progress else None
+    session = ExperimentSession(config, on_result=meter)
 
     names = list(_RUNNERS) if "all" in args.experiments else args.experiments
     for name in names:
@@ -79,6 +96,8 @@ def main(argv=None) -> int:
             args.out.mkdir(parents=True, exist_ok=True)
             flat = _flatten(rows)
             (args.out / f"{name}.csv").write_text(render_csv(flat))
+    if meter is not None:
+        meter.finish()
     return 0
 
 

@@ -29,6 +29,9 @@ class ExperimentConfig:
     beam_mode: str = "expected"
     #: storage strikes for the Eq. 3 memory AVF
     memory_avf_strikes: int = 40
+    #: parallel fault-evaluation workers (1 = in-process serial, 0 = one per
+    #: CPU); results are bit-identical for any setting (repro.exec)
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.injections <= 0 or self.beam_fault_evals <= 0:
@@ -37,6 +40,8 @@ class ExperimentConfig:
             raise ConfigurationError("beam_hours must be positive")
         if self.beam_mode not in ("expected", "montecarlo"):
             raise ConfigurationError(f"unknown beam mode {self.beam_mode!r}")
+        if self.workers < 0:
+            raise ConfigurationError("workers must be >= 0 (0 = one per CPU)")
 
 
 PRESETS = {

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.arch.devices import KEPLER_K40C
-from repro.common.rng import RngFactory
 from repro.common.tables import render_table
 from repro.experiments.config import ExperimentConfig
 from repro.faultsim.campaign import CampaignRunner
@@ -40,7 +39,7 @@ def run_faultmodel_ablation(
     rows: List[dict] = []
     for code in codes:
         workload = get_workload("kepler", code, seed=config.seed)
-        runner = CampaignRunner(KEPLER_K40C, framework, RngFactory(config.seed))
+        runner = CampaignRunner(KEPLER_K40C, framework, seed=config.seed)
         row: Dict[str, object] = {"code": code}
         for model in FaultModel:
             result = _campaign_with_model(runner, workload, model, config.injections)

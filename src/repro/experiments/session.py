@@ -7,13 +7,13 @@ once per (configuration, seed).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.arch.devices import DeviceSpec, KEPLER_K40C, VOLTA_V100
 from repro.arch.ecc import EccMode
 from repro.beam.experiment import BeamExperiment, BeamResult
 from repro.common.errors import ConfigurationError
-from repro.common.rng import RngFactory
+from repro.exec.engine import Executor, get_executor
 from repro.experiments.config import ExperimentConfig
 from repro.faultsim.campaign import CampaignRunner
 from repro.faultsim.frameworks import FrameworkCapabilityError, InjectorFramework, NvBitFi, Sassifi
@@ -32,10 +32,26 @@ from repro.workloads.registry import get_workload
 
 
 class ExperimentSession:
-    """Caches every expensive artifact for one configuration."""
+    """Caches every expensive artifact for one configuration.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    ``config.workers`` selects the parallel fan-out for every campaign,
+    beam run and strike sweep the session computes; one executor (and so
+    one process pool) is shared across all of them.  ``on_result`` is an
+    optional observability hook — e.g. a
+    :class:`repro.exec.progress.ProgressMeter` — called once per completed
+    fault evaluation.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        on_result: Optional[Callable] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
         self.config = config if config is not None else ExperimentConfig()
+        self.executor = get_executor(self.config.workers, executor)
+        self.on_result = on_result
         self.devices: Dict[str, DeviceSpec] = {"kepler": KEPLER_K40C, "volta": VOLTA_V100}
         self._workloads: Dict[Tuple[str, str], Workload] = {}
         self._profilers: Dict[str, Profiler] = {}
@@ -81,9 +97,12 @@ class ExperimentSession:
             runner = CampaignRunner(
                 self.device(arch),
                 self.framework(framework),
-                RngFactory(self.config.seed),
+                seed=self.config.seed,
+                executor=self.executor,
             )
-            self._campaigns[key] = runner.run(self.workload(arch, code), self.config.injections)
+            self._campaigns[key] = runner.run(
+                self.workload(arch, code), self.config.injections, on_result=self.on_result
+            )
         return self._campaigns[key]
 
     def avf_source_campaign(self, arch: str, framework: str, code: str) -> Tuple[CampaignResult, str]:
@@ -137,7 +156,7 @@ class ExperimentSession:
 
     # -- beam -------------------------------------------------------------------------
     def beam_experiment(self, arch: str) -> BeamExperiment:
-        return BeamExperiment(self.device(arch), rngs=RngFactory(self.config.seed))
+        return BeamExperiment(self.device(arch), seed=self.config.seed, executor=self.executor)
 
     def beam(self, arch: str, code: str, ecc: EccMode, microbench: bool = False) -> BeamResult:
         key = (arch, code if not microbench else f"ub:{code}", ecc.value)
@@ -154,6 +173,7 @@ class ExperimentSession:
                 beam_hours=self.config.beam_hours,
                 mode=self.config.beam_mode,
                 max_fault_evals=self.config.beam_fault_evals,
+                on_result=self.on_result,
             )
         return self._beam[key]
 
@@ -165,6 +185,8 @@ class ExperimentSession:
                 seed=self.config.seed,
                 beam_hours=self.config.beam_hours,
                 max_fault_evals=self.config.beam_fault_evals,
+                executor=self.executor,
+                on_result=self.on_result,
             )
         return self._ubench_fits[arch]
 
@@ -179,6 +201,8 @@ class ExperimentSession:
                 self.workload(arch, code),
                 strikes=self.config.memory_avf_strikes,
                 seed=self.config.seed,
+                executor=self.executor,
+                on_result=self.on_result,
             )
         return self._mem_avf[key]
 

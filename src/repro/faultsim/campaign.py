@@ -11,18 +11,28 @@ output with the workload's comparison rule:
 Runs exceeding ``WATCHDOG_FACTOR ×`` the golden instruction count are hung
 and killed by the simulated watchdog (→ DUE), like a real campaign's
 timeout supervisor.
+
+Campaigns are dispatched through :mod:`repro.exec`: the runner samples
+every fault site up front (one parent RNG stream), then fans the
+re-executions out over the configured executor.  Each injection draws its
+corruption randomness from a private substream named after the campaign
+and the injection ordinal, so results are bit-identical for any
+``workers=`` setting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.arch.devices import DeviceSpec
 from repro.arch.ecc import EccMode
 from repro.common.errors import InjectionError
-from repro.common.rng import RngFactory
+from repro.common.rng import RngFactory, resolve_rngs
+from repro.exec.engine import Executor, get_executor
+from repro.exec.tasks import CampaignContext, InjectionTask, WorkloadHandle
+from repro.exec.worker import _cached_state, run_injection_chunk
 from repro.faultsim.frameworks import InjectorFramework, SiteGroup
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.sim.exceptions import GpuDeviceException
@@ -43,11 +53,16 @@ class CampaignRunner:
         framework: InjectorFramework,
         rngs: Optional[RngFactory] = None,
         ecc: EccMode = EccMode.ON,
+        *,
+        seed: Optional[int] = None,
+        workers: int = 1,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.device = device
         self.framework = framework
-        self.rngs = rngs if rngs is not None else RngFactory(0)
+        self.rngs = resolve_rngs(rngs, seed, "CampaignRunner")
         self.ecc = ecc
+        self.executor = get_executor(workers, executor)
         self._golden: Dict[str, KernelRun] = {}
 
     # -- golden ---------------------------------------------------------------
@@ -120,10 +135,15 @@ class CampaignRunner:
         )
 
     # -- campaign -------------------------------------------------------------------
-    def run(self, workload: Workload, injections: int) -> CampaignResult:
-        """Run a full campaign: ``injections`` faults sampled over the
-        framework's site groups proportionally to their dynamic size (so the
-        aggregate AVF reflects a uniform fault over executed state)."""
+    def plan_tasks(self, workload: Workload, injections: int) -> List[InjectionTask]:
+        """Sample every fault site for a campaign up front.
+
+        Sites are drawn over the framework's site groups proportionally to
+        their dynamic size (so the aggregate AVF reflects a uniform fault
+        over executed state), from one parent stream; each task then names
+        its own private substream for the corruption draws.  The task list
+        is a pure function of (device, framework, workload, seed).
+        """
         if injections <= 0:
             raise InjectionError("campaign needs at least one injection")
         self.framework.check_supported(workload, self.device)
@@ -139,16 +159,55 @@ class CampaignRunner:
         sizes = sizes[live]
         weights = sizes / sizes.sum()
 
-        rng = self.rngs.stream("faultsim", self.framework.name, self.device.name, workload.name)
+        names = (self.framework.name, self.device.name, workload.name)
+        rng = self.rngs.stream("faultsim", *names)
+        group_choices = rng.choice(len(groups), size=injections, p=weights)
+        targets = rng.integers(0, sizes[group_choices].astype(np.int64))
+        return [
+            InjectionTask(
+                index=i,
+                group=groups[int(group_choices[i])].name,
+                target_index=int(targets[i]),
+                root_seed=self.rngs.root_seed,
+                rng_path=("faultsim", *names, "task", i),
+            )
+            for i in range(injections)
+        ]
+
+    def run(
+        self,
+        workload: Workload,
+        injections: int,
+        on_result: Optional[Callable[[InjectionRecord], None]] = None,
+    ) -> CampaignResult:
+        """Run a full campaign of ``injections`` faults.
+
+        Evaluations are dispatched through the runner's executor;
+        ``on_result`` observes each completed injection (completion order).
+        The returned record list is in sampling order regardless of worker
+        scheduling.
+        """
+        tasks = self.plan_tasks(workload, injections)
+        context = CampaignContext(
+            device=self.device,
+            framework=self.framework,
+            ecc=self.ecc.value,
+            root_seed=self.rngs.root_seed,
+            workload=WorkloadHandle.wrap(workload),
+        )
+        # pre-seed the process-local worker cache with *this* runner so the
+        # serial executor (and fork-spawned children) reuse the golden run
+        # already computed for site sizing
+        groups = {g.name: g for g in self.framework.site_groups(workload)}
+        _cached_state(context.cache_key(), lambda: (self, workload, groups))
+        records = self.executor.run_chunks(
+            run_injection_chunk, context, tasks, on_result=on_result
+        )
         result = CampaignResult(
             workload=workload.name, framework=self.framework.name, device=self.device.name
         )
-        group_choices = rng.choice(len(groups), size=injections, p=weights)
-        for i in range(injections):
-            group = groups[int(group_choices[i])]
-            size = sizes[int(group_choices[i])]
-            target = int(rng.integers(0, int(size)))
-            result.add(self.inject_once(workload, group, target, rng))
+        for record in records:
+            result.add(record)
         return result
 
 
@@ -159,7 +218,13 @@ def run_campaign(
     injections: int,
     seed: int = 0,
     ecc: EccMode = EccMode.ON,
+    *,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
+    on_result: Optional[Callable[[InjectionRecord], None]] = None,
 ) -> CampaignResult:
     """One-shot campaign convenience wrapper."""
-    runner = CampaignRunner(device, framework, RngFactory(seed), ecc=ecc)
-    return runner.run(workload, injections)
+    runner = CampaignRunner(
+        device, framework, seed=seed, ecc=ecc, workers=workers, executor=executor
+    )
+    return runner.run(workload, injections, on_result=on_result)

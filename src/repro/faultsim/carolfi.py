@@ -25,7 +25,7 @@ import numpy as np
 from repro.arch.devices import DeviceSpec
 from repro.arch.ecc import EccMode
 from repro.common.errors import InjectionError
-from repro.common.rng import RngFactory
+from repro.common.rng import RngFactory, resolve_rngs
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.sim.exceptions import GpuDeviceException
 from repro.sim.injection import StorageStrike
@@ -44,9 +44,15 @@ class CarolFi:
     backend = "cuda10"
     supported_architectures = ("kepler", "volta")
 
-    def __init__(self, device: DeviceSpec, rngs: Optional[RngFactory] = None) -> None:
+    def __init__(
+        self,
+        device: DeviceSpec,
+        rngs: Optional[RngFactory] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
         self.device = device
-        self.rngs = rngs if rngs is not None else RngFactory(0)
+        self.rngs = resolve_rngs(rngs, seed, "CarolFi")
         self._golden: Dict[str, KernelRun] = {}
 
     def golden(self, workload: Workload) -> KernelRun:
@@ -110,8 +116,8 @@ def compare_with_sass_level(
     from repro.faultsim.campaign import CampaignRunner
     from repro.faultsim.frameworks import NvBitFi
 
-    carol = CarolFi(device, RngFactory(seed))
-    sass_runner = CampaignRunner(device, NvBitFi(), RngFactory(seed))
+    carol = CarolFi(device, seed=seed)
+    sass_runner = CampaignRunner(device, NvBitFi(), seed=seed)
     rows = []
     for workload in workloads:
         high = carol.run(workload, injections)

@@ -28,7 +28,7 @@ proprietary-library codes on Kepler reuse the Volta NVBitFI AVFs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.arch.devices import DeviceSpec
 from repro.arch.ecc import EccMode
@@ -38,13 +38,14 @@ from repro.arch.units import UnitKind
 from repro.beam.experiment import BeamExperiment
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngFactory
+from repro.exec.engine import Executor, get_executor
+from repro.exec.tasks import MemoryAvfContext, StrikeTask, WorkloadHandle
+from repro.exec.worker import _cached_state, run_strike_chunk
 from repro.faultsim.outcomes import CampaignResult, Outcome
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
-from repro.sim.exceptions import GpuDeviceException
-from repro.sim.injection import StorageStrike
 from repro.sim.launch import run_kernel
-from repro.workloads.base import CompareResult, Workload
+from repro.workloads.base import Workload
 
 #: floor for the de-embedding denominator, guarding degenerate traces
 _DENOM_FLOOR = 1e-3
@@ -132,34 +133,42 @@ def measure_memory_avf(
     backend: str = "cuda10",
     strikes: int = 60,
     seed: int = 0,
+    *,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
+    on_result: Optional[Callable] = None,
 ) -> Tuple[float, float]:
     """AVF of a memory bit for Eq. 3: fraction of ECC-OFF storage strikes
-    that corrupt the output (SDC) or crash the code (DUE)."""
+    that corrupt the output (SDC) or crash the code (DUE).
+
+    Strike ticks are sampled up front from one parent stream; each strike
+    then perturbs its re-execution with a private substream, so results are
+    bit-identical for any ``workers=`` setting.
+    """
     if strikes <= 0:
         raise ConfigurationError("need at least one strike")
-    rng = RngFactory(seed).stream("mem_avf", device.name, workload.name)
+    names = (device.name, workload.name)
+    rng = RngFactory(seed).stream("mem_avf", *names)
     golden = run_kernel(device, workload.kernel, workload.sim_launch(), ecc=EccMode.OFF, backend=backend)
-    sdc = due = 0
-    for i in range(strikes):
-        space = "rf" if i % 2 == 0 else "global"
-        strike = StorageStrike(
-            tick=float(rng.integers(0, max(1, int(golden.ticks)))), space=space, rng=rng
+    ticks = rng.integers(0, max(1, int(golden.ticks)), size=strikes)
+    tasks = [
+        StrikeTask(
+            index=i,
+            space="rf" if i % 2 == 0 else "global",
+            tick=float(ticks[i]),
+            root_seed=seed,
+            rng_path=("mem_avf", *names, "strike", i),
         )
-        try:
-            run = run_kernel(
-                device,
-                workload.kernel,
-                workload.sim_launch(),
-                ecc=EccMode.OFF,
-                backend=backend,
-                strikes=(strike,),
-                watchdog_limit=8.0 * golden.ticks,
-            )
-        except GpuDeviceException:
-            due += 1
-            continue
-        if workload.compare(golden.outputs, run.outputs) is CompareResult.SDC:
-            sdc += 1
+        for i in range(strikes)
+    ]
+    context = MemoryAvfContext(
+        device=device, backend=backend, workload=WorkloadHandle.wrap(workload)
+    )
+    _cached_state(context.cache_key(), lambda: (workload, golden))
+    pool = get_executor(workers, executor)
+    outcomes = pool.run_chunks(run_strike_chunk, context, tasks, on_result=on_result)
+    sdc = sum(1 for o in outcomes if o is Outcome.SDC)
+    due = sum(1 for o in outcomes if o is Outcome.DUE)
     return sdc / strikes, due / strikes
 
 
@@ -168,13 +177,17 @@ def measure_microbench_fits(
     seed: int = 0,
     beam_hours: float = 72.0,
     max_fault_evals: int = 150,
+    *,
+    workers: int = 1,
+    executor: Optional[Executor] = None,
+    on_result: Optional[Callable] = None,
 ) -> MicrobenchFits:
     """Run the full micro-benchmark suite under the beam and build the
     per-unit FIT table the prediction consumes."""
     from repro.microbench.registry import MICROBENCH_BUILDERS, get_microbench
 
     arch = device.architecture
-    exp = BeamExperiment(device, rngs=RngFactory(seed))
+    exp = BeamExperiment(device, seed=seed, workers=workers, executor=executor)
     prof = Profiler(device)
     units: Dict[str, UnitFit] = {}
     rf_sdc_per_bit = rf_due_per_bit = 0.0
@@ -182,7 +195,14 @@ def measure_microbench_fits(
     for name in MICROBENCH_BUILDERS[arch]:
         wl = get_microbench(arch, name, seed=seed)
         ecc = EccMode.OFF if name == "RF" else EccMode.ON
-        beam = exp.run(wl, ecc=ecc, beam_hours=beam_hours, mode="expected", max_fault_evals=max_fault_evals)
+        beam = exp.run(
+            wl,
+            ecc=ecc,
+            beam_hours=beam_hours,
+            mode="expected",
+            max_fault_evals=max_fault_evals,
+            on_result=on_result,
+        )
         if name == "RF":
             engine, profile = exp.exposure(wl, ecc)
             rf_bits = profile.storage_sigma_eff[UnitKind.REGISTER_FILE] / exp.catalog.bit_sigma[UnitKind.REGISTER_FILE]

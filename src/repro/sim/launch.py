@@ -47,7 +47,7 @@ class KernelRun:
 
     outputs: Dict[str, np.ndarray]
     trace: ExecutionTrace
-    context: KernelContext = field(repr=False, default=None)
+    context: Optional[KernelContext] = field(repr=False, default=None)
 
     @property
     def ticks(self) -> float:

@@ -6,7 +6,6 @@ from repro.arch.devices import KEPLER_K40C
 from repro.arch.ecc import EccMode
 from repro.beam.experiment import BeamExperiment
 from repro.common.errors import ConfigurationError
-from repro.common.rng import RngFactory
 from repro.faultsim.outcomes import Outcome
 from repro.microbench.registry import get_microbench
 from repro.workloads.registry import get_workload
@@ -14,7 +13,7 @@ from repro.workloads.registry import get_workload
 
 @pytest.fixture(scope="module")
 def experiment():
-    return BeamExperiment(KEPLER_K40C, rngs=RngFactory(0))
+    return BeamExperiment(KEPLER_K40C, seed=0)
 
 
 class TestExpectedMode:

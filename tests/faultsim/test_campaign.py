@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch.devices import KEPLER_K40C, VOLTA_V100
 from repro.common.errors import InjectionError
-from repro.common.rng import RngFactory
 from repro.faultsim.campaign import CampaignRunner, run_campaign
 from repro.faultsim.frameworks import NvBitFi, Sassifi
 from repro.faultsim.outcomes import Outcome
@@ -43,17 +42,17 @@ class TestMechanics:
         assert [r.outcome for r in a.records] != [r.outcome for r in b.records]
 
     def test_golden_cached(self):
-        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(0))
+        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=0)
         w = get_workload("kepler", "FMXM", seed=1)
         assert runner.golden(w) is runner.golden(w)
 
     def test_zero_injections_rejected(self):
-        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(0))
+        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=0)
         with pytest.raises(InjectionError):
             runner.run(get_workload("kepler", "FMXM"), 0)
 
     def test_capability_enforced(self):
-        runner = CampaignRunner(KEPLER_K40C, Sassifi(), RngFactory(0))
+        runner = CampaignRunner(KEPLER_K40C, Sassifi(), seed=0)
         with pytest.raises(Exception):
             runner.run(get_workload("kepler", "FGEMM"), 10)  # proprietary
 

@@ -4,14 +4,13 @@ import pytest
 
 from repro.arch.devices import KEPLER_K40C
 from repro.common.errors import InjectionError
-from repro.common.rng import RngFactory
 from repro.faultsim.carolfi import CarolFi, compare_with_sass_level
 from repro.workloads.registry import get_workload
 
 
 @pytest.fixture(scope="module")
 def carol():
-    return CarolFi(KEPLER_K40C, RngFactory(0))
+    return CarolFi(KEPLER_K40C, seed=0)
 
 
 class TestCampaign:
@@ -38,8 +37,8 @@ class TestCampaign:
         assert result.injections == 30
 
     def test_deterministic(self):
-        a = CarolFi(KEPLER_K40C, RngFactory(5)).run(get_workload("kepler", "CCL", seed=1), 30)
-        b = CarolFi(KEPLER_K40C, RngFactory(5)).run(get_workload("kepler", "CCL", seed=1), 30)
+        a = CarolFi(KEPLER_K40C, seed=5).run(get_workload("kepler", "CCL", seed=1), 30)
+        b = CarolFi(KEPLER_K40C, seed=5).run(get_workload("kepler", "CCL", seed=1), 30)
         assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
 
 

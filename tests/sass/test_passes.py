@@ -145,7 +145,6 @@ class TestOptimizationRaisesAvf:
     def test_paper_claim_at_sass_level(self):
         """§VI: 'a more optimized code increases the AVF' — measured here
         with everything but the pass held fixed."""
-        from repro.common.rng import RngFactory
         from repro.faultsim.campaign import CampaignRunner
         from repro.faultsim.frameworks import NvBitFi
         from repro.faultsim.outcomes import Outcome
@@ -185,6 +184,6 @@ class TestOptimizationRaisesAvf:
                     return _s(ctx)
 
             w = Wrap(WorkloadSpec(name=f"OPT-{label}", base="sass", dtype=DType.FP32))
-            runner = CampaignRunner(KEPLER_K40C, NvBitFi(), RngFactory(3))
+            runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=3)
             avf[label] = runner.run(w, 150).avf(Outcome.SDC)
         assert avf["optimized"] > avf["deoptimized"]

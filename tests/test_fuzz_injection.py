@@ -83,7 +83,6 @@ def test_random_faults_never_crash_the_simulator(arch, code):
 def test_campaigns_complete_on_every_kepler_code():
     """Every Kepler code survives a small campaign under both injectors
     (proprietary codes are correctly refused, not crashed)."""
-    from repro.common.rng import RngFactory
     from repro.faultsim.campaign import CampaignRunner
     from repro.faultsim.frameworks import FrameworkCapabilityError
     from repro.workloads.registry import kepler_codes
@@ -91,7 +90,7 @@ def test_campaigns_complete_on_every_kepler_code():
     for framework in (Sassifi(), NvBitFi()):
         for code in kepler_codes():
             workload = get_workload("kepler", code, seed=2)
-            runner = CampaignRunner(KEPLER_K40C, framework, RngFactory(2))
+            runner = CampaignRunner(KEPLER_K40C, framework, seed=2)
             try:
                 result = runner.run(workload, 12)
             except FrameworkCapabilityError:

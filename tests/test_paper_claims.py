@@ -11,7 +11,6 @@ import pytest
 from repro.arch.devices import KEPLER_K40C, VOLTA_V100
 from repro.arch.ecc import EccMode
 from repro.beam.experiment import BeamExperiment
-from repro.common.rng import RngFactory
 from repro.faultsim.campaign import run_campaign
 from repro.faultsim.frameworks import NvBitFi, Sassifi
 from repro.faultsim.outcomes import Outcome
@@ -21,12 +20,12 @@ from repro.workloads.registry import get_workload
 
 @pytest.fixture(scope="module")
 def kepler_beam():
-    return BeamExperiment(KEPLER_K40C, rngs=RngFactory(0))
+    return BeamExperiment(KEPLER_K40C, seed=0)
 
 
 @pytest.fixture(scope="module")
 def volta_beam():
-    return BeamExperiment(VOLTA_V100, rngs=RngFactory(0))
+    return BeamExperiment(VOLTA_V100, seed=0)
 
 
 def _ubench_fit(beam, arch, name, ecc=EccMode.ON):
@@ -160,9 +159,14 @@ class TestFigure5Claims:
         assert mxm.fit_sdc.value > 3.0 * ccl.fit_sdc.value
 
     def test_volta_precision_raises_code_fit(self, volta_beam):
-        """§VI: increasing precision increases the code FIT rate."""
-        h = volta_beam.run(get_workload("volta", "HMXM", seed=0), ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
-        d = volta_beam.run(get_workload("volta", "DMXM", seed=0), ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=80)
+        """§VI: increasing precision increases the code FIT rate.
+
+        The true FP64-vs-FP16 SDC gap is ~16%, so the stratified estimate
+        needs a real evaluation budget: the register-file p_sdc difference
+        (0.094 vs 0.074) drowns in sampling noise below ~2000 evals.
+        """
+        h = volta_beam.run(get_workload("volta", "HMXM", seed=0), ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=2000)
+        d = volta_beam.run(get_workload("volta", "DMXM", seed=0), ecc=EccMode.OFF, beam_hours=72, mode="expected", max_fault_evals=2000)
         assert d.fit_sdc.value > h.fit_sdc.value
 
 
