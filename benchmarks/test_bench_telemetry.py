@@ -1,0 +1,60 @@
+"""Bench: telemetry instrumentation overhead (repro.telemetry).
+
+Times the same campaign with telemetry off (the default sinkless context)
+and on (a full trace-writing session), asserting the always-on counters
+plus an active JSONL sink cost less than 10% of the uninstrumented
+wall-clock — the ISSUE 2 overhead budget.
+"""
+
+import time
+
+from repro.arch.devices import KEPLER_K40C
+from repro.faultsim.campaign import CampaignRunner
+from repro.faultsim.frameworks import NvBitFi
+from repro.telemetry import telemetry_session
+from repro.workloads.registry import get_workload
+
+INJECTIONS = 60
+ROUNDS = 3
+MAX_OVERHEAD = 0.10
+
+
+def _run_campaign():
+    runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=0)
+    workload = get_workload("kepler", "FMXM", seed=0)
+    return runner.run(workload, INJECTIONS)
+
+
+def _best_of(fn, rounds=ROUNDS):
+    """Min-of-N wall-clock: robust to scheduler noise on loaded machines."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_telemetry_overhead(benchmark, tmp_path):
+    _run_campaign()  # warm imports and process-local caches outside timing
+
+    def instrumented():
+        with telemetry_session(trace_path=tmp_path / "bench.jsonl") as telemetry:
+            _run_campaign()
+            return dict(telemetry.registry.counters)
+
+    baseline_seconds = _best_of(_run_campaign)
+    counters = benchmark.pedantic(instrumented, rounds=1, iterations=1)
+    telemetry_seconds = min(benchmark.stats["mean"], _best_of(instrumented, rounds=ROUNDS - 1))
+
+    # the instrumented run really did record the campaign
+    assert counters["campaign.injections"] == INJECTIONS
+    assert counters["exec.tasks"] == INJECTIONS
+
+    overhead = telemetry_seconds / baseline_seconds - 1.0
+    benchmark.extra_info["baseline_seconds"] = round(baseline_seconds, 3)
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 4)
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry added {overhead:.1%} over the uninstrumented campaign "
+        f"(budget: {MAX_OVERHEAD:.0%})"
+    )

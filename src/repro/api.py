@@ -23,6 +23,11 @@ string workload is resolved through the registry for that device.
 
 :class:`Session` (the memoizing :class:`~repro.experiments.session.ExperimentSession`)
 is the facade for multi-artifact studies that reuse campaigns and beams.
+
+Observability rides along: wrap any of the above in
+:func:`~repro.telemetry.telemetry_session` to collect metrics, spans and a
+JSONL event trace (``docs/OBSERVABILITY.md`` documents the schema), and
+opt in to library logging with :func:`~repro.telemetry.configure_logging`.
 """
 
 from __future__ import annotations
@@ -57,6 +62,19 @@ from repro.profiling.profiler import Profiler
 from repro.sass.assembler import assemble
 from repro.sass.interpreter import SassKernel
 from repro.sim.launch import LaunchConfig, run_kernel
+from repro.telemetry import (
+    FileSink,
+    MemorySink,
+    Registry,
+    StreamSink,
+    TeeSink,
+    Telemetry,
+    configure_logging,
+    get_logger,
+    get_telemetry,
+    read_trace,
+    telemetry_session,
+)
 from repro.workloads.base import Workload, WorkloadSpec
 from repro.workloads.registry import get_workload
 
@@ -274,4 +292,16 @@ __all__ = [
     "ProcessExecutor",
     "get_executor",
     "ProgressMeter",
+    # observability (see docs/OBSERVABILITY.md)
+    "telemetry_session",
+    "get_telemetry",
+    "Telemetry",
+    "Registry",
+    "MemorySink",
+    "FileSink",
+    "StreamSink",
+    "TeeSink",
+    "read_trace",
+    "get_logger",
+    "configure_logging",
 ]

@@ -31,6 +31,9 @@ from repro.arch.devices import DeviceSpec
 from repro.arch.isa import OpClass
 from repro.arch.units import UnitKind
 from repro.common.errors import ConfigurationError
+from repro.telemetry import get_logger
+
+_log = get_logger("beam.cross_sections")
 
 #: base unit for functional-unit cross-sections, cm² per in-flight lane-op
 OP_SIGMA_UNIT = 2.0e-14
@@ -183,7 +186,10 @@ VOLTA_CATALOG = CrossSectionCatalog(
 
 def catalog_for(device: DeviceSpec) -> CrossSectionCatalog:
     if device.architecture == "kepler":
-        return KEPLER_CATALOG
-    if device.architecture == "volta":
-        return VOLTA_CATALOG
-    raise ConfigurationError(f"no catalog for architecture {device.architecture!r}")
+        catalog = KEPLER_CATALOG
+    elif device.architecture == "volta":
+        catalog = VOLTA_CATALOG
+    else:
+        raise ConfigurationError(f"no catalog for architecture {device.architecture!r}")
+    _log.debug("catalog for %s: %s cross-sections", device.name, catalog.architecture)
+    return catalog

@@ -30,7 +30,10 @@ from repro.sim.injection import (
     opclass_stream,
 )
 from repro.sim.launch import KernelRun, run_kernel
+from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import CompareResult, Workload
+
+_log = get_logger("beam.engine")
 
 #: watchdog budget relative to the golden run, like the injection campaigns
 WATCHDOG_FACTOR = 8.0
@@ -60,6 +63,10 @@ class BeamEngine:
     @property
     def golden(self) -> KernelRun:
         if self._golden is None:
+            _log.debug(
+                "computing golden run: %s on %s (ecc=%s)",
+                self.workload.name, self.device.name, self.ecc.value,
+            )
             self._golden = run_kernel(
                 self.device,
                 self.workload.kernel,
@@ -146,9 +153,17 @@ class BeamEngine:
         "hidden:scheduler")."""
         kind, _, name = resource.partition(":")
         if kind == "op":
-            return self.evaluate_op_fault(OpClass[name], rng)
-        if kind == "mem":
-            return self.evaluate_storage_fault(UnitKind(name), rng)
-        if kind == "hidden":
-            return self.evaluate_hidden_fault(UnitKind(name), rng)
-        raise ConfigurationError(f"unknown resource key {resource!r}")
+            outcome = self.evaluate_op_fault(OpClass[name], rng)
+        elif kind == "mem":
+            outcome = self.evaluate_storage_fault(UnitKind(name), rng)
+        elif kind == "hidden":
+            outcome = self.evaluate_hidden_fault(UnitKind(name), rng)
+        else:
+            raise ConfigurationError(f"unknown resource key {resource!r}")
+        # per-provenance-bucket tallies; captured per task in worker chunks,
+        # so the merged aggregate is identical for any workers= setting
+        telemetry = get_telemetry()
+        telemetry.count("beam.evals")
+        telemetry.count(f"beam.eval.{kind}")
+        telemetry.count(f"beam.outcome.{kind}.{outcome.value}")
+        return outcome

@@ -43,7 +43,10 @@ from repro.exec.engine import Executor, get_executor
 from repro.exec.tasks import BeamEvalContext, BeamEvalTask, WorkloadHandle, catalog_tag
 from repro.exec.worker import _cached_state, run_beam_chunk
 from repro.faultsim.outcomes import Outcome
+from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
+
+_log = get_logger("beam.experiment")
 
 
 @dataclass
@@ -199,6 +202,38 @@ class BeamExperiment:
             raise ConfigurationError(
                 f"{self.device.name} cannot enable ECC (e.g. Titan V lacks DRAM ECC)"
             )
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "beam",
+            workload=workload.name,
+            device=self.device.name,
+            ecc=ecc.value,
+            beam_hours=beam_hours,
+            mode=mode,
+        ):
+            result = self._run(
+                workload, ecc, beam_hours, mode, max_fault_evals,
+                min_evals_per_resource, on_result, telemetry,
+            )
+        _log.info(
+            "beam run %s/%s ecc=%s: %.2f errors over %.0f beam-hours "
+            "(FIT sdc=%.3g due=%.3g)",
+            workload.name, self.device.name, ecc.value, result.errors,
+            beam_hours, result.fit_sdc.value, result.fit_due.value,
+        )
+        return result
+
+    def _run(
+        self,
+        workload: Workload,
+        ecc: EccMode,
+        beam_hours: float,
+        mode: str,
+        max_fault_evals: int,
+        min_evals_per_resource: int,
+        on_result: Optional[Callable],
+        telemetry,
+    ) -> BeamResult:
         engine, profile = self.exposure(workload, ecc)
         fluence = self.facility.fluence(beam_hours).n_per_cm2
         rng = self.rngs.stream("beam", self.device.name, workload.name, ecc.value, mode)
@@ -206,10 +241,12 @@ class BeamExperiment:
         sigma_eff = profile.as_rates()
         tallies: Dict[str, ResourceTally] = {}
 
+        telemetry.count("beam.exposures")
         if mode == "montecarlo":
             expected = {r: fluence * s for r, s in sigma_eff.items()}
             drawn = {r: int(rng.poisson(e)) for r, e in expected.items()}
             total_drawn = sum(drawn.values())
+            telemetry.count("beam.faults.drawn", total_drawn)
             thin = min(1.0, max_fault_evals / total_drawn) if total_drawn else 1.0
             plan = [(r, int(np.ceil(n * thin))) for r, n in drawn.items()]
             outcomes = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
@@ -273,6 +310,14 @@ class BeamExperiment:
         executions = beam_hours * 3600.0 / max(profile.exec_seconds, 1e-12)
         regime_ok = single_fault_regime_ok(sdc_count + due_count, executions)
 
+        telemetry.point(
+            "beam.result",
+            workload=workload.name,
+            ecc=ecc.value,
+            errors_sdc=sdc_count,
+            errors_due=due_count,
+            single_fault_regime=regime_ok,
+        )
         return BeamResult(
             workload=workload.name,
             device=self.device.name,

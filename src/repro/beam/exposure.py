@@ -26,7 +26,10 @@ from repro.beam.cross_sections import CrossSectionCatalog
 from repro.common.errors import ConfigurationError
 from repro.sim.launch import KernelRun
 from repro.sim.timing import TimingModel
+from repro.telemetry import get_logger
 from repro.workloads.base import Workload
+
+_log = get_logger("beam.exposure")
 
 
 @dataclass(frozen=True)
@@ -166,9 +169,16 @@ def compute_exposure(
         * (1.0 + trace.host_syncs / 4.0),
     }
 
-    return ExposureProfile(
+    profile = ExposureProfile(
         op_sigma_eff=op_sigma_eff,
         storage_sigma_eff=storage_sigma_eff,
         hidden_sigma_eff=hidden_sigma_eff,
         exec_seconds=exec_seconds,
     )
+    _log.debug(
+        "exposure profile %s on %s: Σ_eff=%.3g cm² over %d resources, exec=%.3g s",
+        workload.name, device.name, profile.total_sigma,
+        len(op_sigma_eff) + len(storage_sigma_eff) + len(hidden_sigma_eff),
+        exec_seconds,
+    )
+    return profile

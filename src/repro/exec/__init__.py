@@ -18,9 +18,13 @@ This package fans those evaluations out over worker processes:
 * :mod:`repro.exec.worker` — worker-side chunk evaluators with a
   per-process cache, so each worker computes the golden
   :class:`~repro.sim.launch.KernelRun` once per workload instead of once
-  per task.
+  per task.  Evaluators capture their tasks' telemetry into a local
+  :class:`~repro.telemetry.metrics.Registry` and ship it back inside a
+  :class:`~repro.exec.tasks.ChunkResult`; the executors merge snapshots in
+  chunk order, so ``workers=N`` aggregates exactly match a serial run.
 * :mod:`repro.exec.progress` — an ``on_result`` rate/ETA meter for long
-  campaigns (used by the ``repro.experiments`` CLI).
+  campaigns (used by the ``repro.experiments`` CLI), also consumable as a
+  telemetry :class:`~repro.telemetry.events.EventSink`.
 """
 
 from repro.exec.engine import Executor, ProcessExecutor, SerialExecutor, get_executor
@@ -29,6 +33,7 @@ from repro.exec.tasks import (
     BeamEvalContext,
     BeamEvalTask,
     CampaignContext,
+    ChunkResult,
     InjectionTask,
     MemoryAvfContext,
     StrikeTask,
@@ -41,6 +46,7 @@ __all__ = [
     "ProcessExecutor",
     "get_executor",
     "ProgressMeter",
+    "ChunkResult",
     "WorkloadHandle",
     "CampaignContext",
     "InjectionTask",

@@ -15,11 +15,15 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, List, Optional, Protocol, Sequence
+from typing import Any, Callable, List, Optional, Protocol, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.exec.tasks import ChunkResult
+from repro.telemetry import get_telemetry
+from repro.telemetry.metrics import Snapshot
 
-#: fn(context, chunk_of_tasks) -> list of per-task results
+#: fn(context, chunk_of_tasks) -> list of per-task results, optionally
+#: wrapped in a ChunkResult carrying the chunk's telemetry snapshot
 ChunkFn = Callable[[Any, Sequence[Any]], List[Any]]
 
 #: called once per completed task result (observability hook)
@@ -28,6 +32,13 @@ ResultHook = Optional[Callable[[Any], None]]
 
 def _chunked(tasks: Sequence[Any], chunksize: int) -> List[Sequence[Any]]:
     return [tasks[i : i + chunksize] for i in range(0, len(tasks), chunksize)]
+
+
+def _unwrap(chunk_results: Any) -> Tuple[List[Any], Optional[Snapshot]]:
+    """Split a chunk evaluation into (results, telemetry snapshot)."""
+    if isinstance(chunk_results, ChunkResult):
+        return chunk_results.results, chunk_results.telemetry
+    return chunk_results, None
 
 
 def default_chunksize(n_tasks: int, workers: int) -> int:
@@ -66,10 +77,14 @@ class SerialExecutor:
         tasks: Sequence[Any],
         on_result: ResultHook = None,
     ) -> List[Any]:
+        telemetry = get_telemetry()
         results: List[Any] = []
         for chunk in _chunked(tasks, default_chunksize(len(tasks), self.workers)):
-            for result in fn(context, chunk):
+            chunk_results, snapshot = _unwrap(fn(context, chunk))
+            telemetry.registry.merge(snapshot)
+            for result in chunk_results:
                 results.append(result)
+                telemetry.task_done()
                 if on_result is not None:
                     on_result(result)
         return results
@@ -116,20 +131,28 @@ class ProcessExecutor:
     ) -> List[Any]:
         if not tasks:
             return []
+        telemetry = get_telemetry()
         chunksize = self.chunksize or default_chunksize(len(tasks), self.workers)
         chunks = _chunked(tasks, chunksize)
         pool = self._ensure_pool()
         pending = {pool.submit(fn, context, chunk): i for i, chunk in enumerate(chunks)}
         by_chunk: List[Optional[List[Any]]] = [None] * len(chunks)
+        snapshots: List[Optional[Snapshot]] = [None] * len(chunks)
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 index = pending.pop(future)
-                chunk_results = future.result()  # re-raises worker exceptions
+                # re-raises worker exceptions
+                chunk_results, snapshots[index] = _unwrap(future.result())
                 by_chunk[index] = chunk_results
-                if on_result is not None:
-                    for result in chunk_results:
+                for result in chunk_results:
+                    telemetry.task_done()
+                    if on_result is not None:
                         on_result(result)
+        # merge worker metrics in chunk order (not completion order), so the
+        # aggregate is a pure function of the task list — scheduling-free
+        for snapshot in snapshots:
+            telemetry.registry.merge(snapshot)
         results: List[Any] = []
         for chunk_results in by_chunk:
             results.extend(chunk_results or ())

@@ -1,25 +1,31 @@
-"""Campaign progress meter: an ``on_result`` hook with rate and ETA.
+"""Campaign progress meter: rate/ETA lines from the shared event stream.
 
 Every engine entry point accepts ``on_result``, called once per completed
-fault evaluation.  :class:`ProgressMeter` is the standard observer: it
-counts completions and periodically logs throughput (and ETA when the
-total is known).  The ``repro.experiments`` CLI attaches one when
-``--progress`` is given.
+fault evaluation, and :class:`ProgressMeter` remains callable so it plugs
+directly into that hook.  It is also a thin
+:class:`~repro.telemetry.events.EventSink` consumer: each completed
+evaluation is emitted as a ``task`` event on the active telemetry stream
+(see :meth:`repro.telemetry.Telemetry.task_done`), and :meth:`emit` counts
+those — so progress and telemetry share one event stream instead of two
+parallel observation channels.  The ``repro.experiments`` CLI attaches the
+meter as an ``on_result`` hook with ``--progress`` alone, or as a tee'd
+sink when ``--telemetry`` is active.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Any, Callable, Optional, TextIO
+from typing import Any, Callable, Mapping, Optional, TextIO
 
 
 class ProgressMeter:
     """Counts results and logs ``label: n[/total] (rate/s, ETA)`` lines.
 
-    Callable, so it plugs directly into ``on_result=``.  Rate is computed
-    over the whole run; lines are emitted at most every ``interval``
-    seconds to keep output readable on fast campaigns.
+    Callable (for ``on_result=``) and an event sink (for telemetry
+    streams).  Rate is computed over the whole run; lines are emitted at
+    most every ``interval`` seconds to keep output readable on fast
+    campaigns.
     """
 
     def __init__(
@@ -38,6 +44,7 @@ class ProgressMeter:
         self.count = 0
         self._started: Optional[float] = None
         self._last_log: float = float("-inf")
+        self._finished = False
 
     # -- observation ---------------------------------------------------------
     def __call__(self, result: Any = None) -> None:
@@ -49,10 +56,22 @@ class ProgressMeter:
             self._last_log = now
             self._emit(now)
 
+    # -- EventSink protocol --------------------------------------------------
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Consume one telemetry event; only ``task`` completions count."""
+        if event.get("kind") == "task":
+            self(event)
+
+    def close(self) -> None:
+        self.finish()
+
     def finish(self) -> None:
-        """Log the final line (always emitted, regardless of interval)."""
-        if self._started is not None and self.count:
-            self._emit(self.clock())
+        """Log the terminal line (always emitted — a zero-result run still
+        reports ``label: 0 done`` so empty campaigns are visible)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._emit(self.clock())
 
     # -- reporting ------------------------------------------------------------
     @property

@@ -17,7 +17,9 @@ which order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.telemetry.metrics import Snapshot
 
 if TYPE_CHECKING:  # domain types only; runtime imports would be circular
     from repro.arch.devices import DeviceSpec
@@ -27,6 +29,21 @@ if TYPE_CHECKING:  # domain types only; runtime imports would be circular
 
 #: RNG substream name path, fed to ``RngFactory.stream(*path)``
 RngPath = Tuple[object, ...]
+
+
+@dataclass
+class ChunkResult:
+    """Per-task results plus the chunk's captured telemetry snapshot.
+
+    The worker-side chunk evaluators wrap their results in this so the
+    parent can merge each chunk's metrics into its own registry — the
+    wire format of the deterministic cross-process aggregation (see
+    :mod:`repro.telemetry`).  Executors transparently unwrap it; chunk
+    functions returning a plain list (tests, custom fns) still work.
+    """
+
+    results: List
+    telemetry: Optional[Snapshot] = None
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,15 @@ for it once per campaign rather than once per task.
 The same functions serve the :class:`~repro.exec.engine.SerialExecutor`;
 in that case the "worker" cache lives in the driving process and plays the
 role the engines' own golden caches played before the redesign.
+
+Telemetry contract: per-campaign state (golden runs, rebuilt site groups)
+is materialized inside a *discarded* :func:`repro.telemetry.capture` scope,
+separate from the captured per-task window — so the redundant state
+rebuild is invisible to metrics whether the evaluator runs in a worker
+process or in the driving one.  Only per-task metrics travel back, which
+is what makes ``workers=N`` aggregates identical to serial runs (the
+parent's own golden, counted once during task planning, is the same in
+both modes).
 """
 
 from __future__ import annotations
@@ -21,10 +30,12 @@ from repro.exec.tasks import (
     BeamEvalContext,
     BeamEvalTask,
     CampaignContext,
+    ChunkResult,
     InjectionTask,
     MemoryAvfContext,
     StrikeTask,
 )
+from repro.telemetry import capture, get_telemetry
 
 #: process-local memo of per-campaign state; bounded to keep long-lived
 #: pools from accumulating dead goldens
@@ -54,19 +65,24 @@ def _campaign_state(ctx: CampaignContext):
         )
         workload = ctx.workload.workload
         groups = {g.name: g for g in ctx.framework.site_groups(workload)}
+        runner.golden(workload)  # materialize before any capture window
         return runner, workload, groups
 
     return _cached_state(ctx.cache_key(), build)
 
 
-def run_injection_chunk(ctx: CampaignContext, tasks: Sequence[InjectionTask]) -> List:
+def run_injection_chunk(ctx: CampaignContext, tasks: Sequence[InjectionTask]) -> ChunkResult:
     """Evaluate a chunk of campaign injections; returns InjectionRecords."""
-    runner, workload, groups = _campaign_state(ctx)
+    with capture():  # state rebuild must not pollute the shipped snapshot
+        runner, workload, groups = _campaign_state(ctx)
     records = []
-    for task in tasks:
-        rng = RngFactory(task.root_seed).stream(*task.rng_path)
-        records.append(runner.inject_once(workload, groups[task.group], task.target_index, rng))
-    return records
+    with capture() as registry:
+        for task in tasks:
+            rng = RngFactory(task.root_seed).stream(*task.rng_path)
+            records.append(
+                runner.inject_once(workload, groups[task.group], task.target_index, rng)
+            )
+    return ChunkResult(records, registry.snapshot())
 
 
 # -- beam fault evaluations -------------------------------------------------------
@@ -77,25 +93,29 @@ def _beam_state(ctx: BeamEvalContext):
     from repro.beam.engine import BeamEngine
 
     def build():
-        return BeamEngine(
+        engine = BeamEngine(
             ctx.device,
             ctx.workload.workload,
             ctx.catalog,
             EccMode(ctx.ecc),
             backend=ctx.backend,
         )
+        engine.golden  # materialize before any capture window
+        return engine
 
     return _cached_state(ctx.cache_key(), build)
 
 
-def run_beam_chunk(ctx: BeamEvalContext, tasks: Sequence[BeamEvalTask]) -> List:
+def run_beam_chunk(ctx: BeamEvalContext, tasks: Sequence[BeamEvalTask]) -> ChunkResult:
     """Evaluate a chunk of sampled beam strikes; returns Outcomes."""
-    engine = _beam_state(ctx)
+    with capture():  # state rebuild must not pollute the shipped snapshot
+        engine = _beam_state(ctx)
     outcomes = []
-    for task in tasks:
-        rng = RngFactory(task.root_seed).stream(*task.rng_path)
-        outcomes.append(engine.evaluate(task.resource, rng))
-    return outcomes
+    with capture() as registry:
+        for task in tasks:
+            rng = RngFactory(task.root_seed).stream(*task.rng_path)
+            outcomes.append(engine.evaluate(task.resource, rng))
+    return ChunkResult(outcomes, registry.snapshot())
 
 
 # -- memory-AVF storage strikes ----------------------------------------------------
@@ -119,7 +139,7 @@ def _memory_avf_state(ctx: MemoryAvfContext) -> Tuple:
     return _cached_state(ctx.cache_key(), build)
 
 
-def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> List:
+def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> ChunkResult:
     """Evaluate a chunk of ECC-OFF storage strikes; returns Outcomes."""
     from repro.arch.ecc import EccMode
     from repro.faultsim.outcomes import Outcome
@@ -128,24 +148,30 @@ def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> List
     from repro.sim.launch import run_kernel
     from repro.workloads.base import CompareResult
 
-    workload, golden = _memory_avf_state(ctx)
+    with capture():  # state rebuild must not pollute the shipped snapshot
+        workload, golden = _memory_avf_state(ctx)
     outcomes = []
-    for task in tasks:
-        rng = RngFactory(task.root_seed).stream(*task.rng_path)
-        strike = StorageStrike(tick=task.tick, space=task.space, rng=rng)
-        try:
-            run = run_kernel(
-                ctx.device,
-                workload.kernel,
-                workload.sim_launch(),
-                ecc=EccMode.OFF,
-                backend=ctx.backend,
-                strikes=(strike,),
-                watchdog_limit=8.0 * golden.ticks,
-            )
-        except GpuDeviceException:
-            outcomes.append(Outcome.DUE)
-            continue
-        compare = workload.compare(golden.outputs, run.outputs)
-        outcomes.append(Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED)
-    return outcomes
+    with capture() as registry:
+        telemetry = get_telemetry()
+        for task in tasks:
+            rng = RngFactory(task.root_seed).stream(*task.rng_path)
+            strike = StorageStrike(tick=task.tick, space=task.space, rng=rng)
+            try:
+                run = run_kernel(
+                    ctx.device,
+                    workload.kernel,
+                    workload.sim_launch(),
+                    ecc=EccMode.OFF,
+                    backend=ctx.backend,
+                    strikes=(strike,),
+                    watchdog_limit=8.0 * golden.ticks,
+                )
+            except GpuDeviceException:
+                outcome = Outcome.DUE
+            else:
+                compare = workload.compare(golden.outputs, run.outputs)
+                outcome = Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
+            telemetry.count("mem_avf.strikes")
+            telemetry.count(f"mem_avf.outcome.{outcome.value}")
+            outcomes.append(outcome)
+    return ChunkResult(outcomes, registry.snapshot())

@@ -3,6 +3,8 @@
     python -m repro.experiments all --preset quick
     python -m repro.experiments fig6 --preset full --seed 7 --out results/
     python -m repro.experiments fig4 --preset paper --workers 8 --progress
+    python -m repro.experiments fig1 --telemetry --trace-out trace.jsonl
+    python -m repro.experiments telemetry-report trace.jsonl
 """
 
 from __future__ import annotations
@@ -18,6 +20,14 @@ from repro.common.tables import render_csv
 from repro.exec.progress import ProgressMeter
 from repro.experiments.config import get_preset
 from repro.experiments.session import ExperimentSession
+from repro.telemetry import (
+    FileSink,
+    MemorySink,
+    TeeSink,
+    configure_logging,
+    telemetry_session,
+)
+from repro.telemetry.report import render_report
 
 _RUNNERS = {}
 
@@ -53,11 +63,31 @@ def _flatten(rows) -> Optional[list]:
     return list(rows)
 
 
+def _run_experiments(names, session, args, config) -> None:
+    for name in names:
+        started = time.time()
+        rows, report = _RUNNERS[name](session=session)
+        elapsed = time.time() - started
+        print(report)
+        print(f"[{name}] regenerated in {elapsed:.1f}s (preset={args.preset}, seed={config.seed})\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            flat = _flatten(rows)
+            (args.out / f"{name}.csv").write_text(render_csv(flat))
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "telemetry-report":
+        from repro.telemetry.report import main as report_main
+
+        return report_main(argv[1:])
+
     _register_runners()
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the paper's tables and figures on the simulated substrate.",
+        description="Regenerate the paper's tables and figures on the simulated substrate. "
+        "The `telemetry-report TRACE` subcommand summarizes a trace written with --trace-out.",
     )
     parser.add_argument("experiments", nargs="+", choices=[*_RUNNERS, "all"])
     parser.add_argument("--preset", default="quick", help="smoke | quick | full | paper")
@@ -75,29 +105,61 @@ def main(argv=None) -> int:
         action="store_true",
         help="log fault-evaluation throughput (rate/ETA) to stderr",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect metrics and spans; without --trace-out the aggregate "
+        "summary is printed at the end of the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="write the JSONL telemetry event trace here (implies --telemetry); "
+        "summarize it later with `telemetry-report`",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="enable library logging on stderr at this level (DEBUG, INFO, ...)",
+    )
     args = parser.parse_args(argv)
+
+    if args.log_level is not None:
+        configure_logging(args.log_level.upper())
 
     config = get_preset(args.preset)
     if args.seed is not None:
         config = replace(config, seed=args.seed)
     if args.workers is not None:
         config = replace(config, workers=args.workers)
-    meter = ProgressMeter(label="fault evals", interval=2.0) if args.progress else None
-    session = ExperimentSession(config, on_result=meter)
 
+    telemetrize = args.telemetry or args.trace_out is not None
+    meter = ProgressMeter(label="fault evals", interval=2.0) if args.progress else None
     names = list(_RUNNERS) if "all" in args.experiments else args.experiments
-    for name in names:
-        started = time.time()
-        rows, report = _RUNNERS[name](session=session)
-        elapsed = time.time() - started
-        print(report)
-        print(f"[{name}] regenerated in {elapsed:.1f}s (preset={args.preset}, seed={config.seed})\n")
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            flat = _flatten(rows)
-            (args.out / f"{name}.csv").write_text(render_csv(flat))
-    if meter is not None:
-        meter.finish()
+
+    if telemetrize:
+        # One shared event stream: the trace file (or an in-memory buffer for
+        # the end-of-run summary) plus, with --progress, the meter consuming
+        # the same ``task`` events — so on_result stays free for user hooks
+        # and evaluations are never double-counted.
+        memory = None if args.trace_out is not None else MemorySink()
+        sinks = [FileSink(args.trace_out) if args.trace_out is not None else memory]
+        if meter is not None:
+            sinks.append(meter)
+        sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
+        session = ExperimentSession(config)
+        with telemetry_session(sink=sink):
+            _run_experiments(names, session, args, config)
+        if memory is not None:
+            print(render_report(memory.events))
+        if args.trace_out is not None:
+            print(f"telemetry trace written to {args.trace_out}", file=sys.stderr)
+    else:
+        session = ExperimentSession(config, on_result=meter)
+        _run_experiments(names, session, args, config)
+        if meter is not None:
+            meter.finish()
     return 0
 
 

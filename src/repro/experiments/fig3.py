@@ -17,6 +17,9 @@ from repro.common.tables import render_table
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.session import ExperimentSession
 from repro.microbench.registry import MICROBENCH_BUILDERS
+from repro.telemetry import get_logger
+
+_log = get_logger("experiments.fig3")
 
 #: the paper's normalization anchor per device
 NORMALIZATION = {"kepler": "FADD", "volta": "HFMA"}
@@ -54,6 +57,7 @@ def run_fig3(
         anchor_due = next(d for n, _, d in raw if n == anchor)
         if anchor_due <= 0:
             raise ConfigurationError(f"normalization anchor {anchor} measured zero DUEs")
+        _log.debug("fig3 %s: normalizing %d rows to %s DUE=%.3g", arch, len(raw), anchor, anchor_due)
         arch_rows = [
             {"ubench": n, "SDC": s / anchor_due, "DUE": d / anchor_due} for n, s, d in raw
         ]

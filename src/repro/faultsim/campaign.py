@@ -38,6 +38,7 @@ from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.sim.exceptions import GpuDeviceException
 from repro.sim.injection import InjectionMode, InjectionPlan, StorageStrike
 from repro.sim.launch import KernelRun, run_kernel
+from repro.telemetry import get_telemetry
 from repro.workloads.base import CompareResult, Workload
 
 #: kill runs that exceed this multiple of the golden dynamic instruction count
@@ -79,6 +80,20 @@ class CampaignRunner:
 
     # -- one injection -----------------------------------------------------------
     def inject_once(
+        self,
+        workload: Workload,
+        group: SiteGroup,
+        target_index: int,
+        rng: np.random.Generator,
+    ) -> InjectionRecord:
+        record = self._inject_once(workload, group, target_index, rng)
+        telemetry = get_telemetry()
+        telemetry.count("campaign.injections")
+        telemetry.count(f"campaign.outcome.{record.outcome.value}")
+        telemetry.count(f"campaign.group.{record.group}")
+        return record
+
+    def _inject_once(
         self,
         workload: Workload,
         group: SiteGroup,
@@ -187,27 +202,44 @@ class CampaignRunner:
         The returned record list is in sampling order regardless of worker
         scheduling.
         """
-        tasks = self.plan_tasks(workload, injections)
-        context = CampaignContext(
-            device=self.device,
-            framework=self.framework,
-            ecc=self.ecc.value,
-            root_seed=self.rngs.root_seed,
-            workload=WorkloadHandle.wrap(workload),
-        )
-        # pre-seed the process-local worker cache with *this* runner so the
-        # serial executor (and fork-spawned children) reuse the golden run
-        # already computed for site sizing
-        groups = {g.name: g for g in self.framework.site_groups(workload)}
-        _cached_state(context.cache_key(), lambda: (self, workload, groups))
-        records = self.executor.run_chunks(
-            run_injection_chunk, context, tasks, on_result=on_result
-        )
-        result = CampaignResult(
-            workload=workload.name, framework=self.framework.name, device=self.device.name
-        )
-        for record in records:
-            result.add(record)
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "campaign",
+            workload=workload.name,
+            framework=self.framework.name,
+            device=self.device.name,
+            injections=injections,
+            workers=self.executor.workers,
+        ):
+            tasks = self.plan_tasks(workload, injections)
+            context = CampaignContext(
+                device=self.device,
+                framework=self.framework,
+                ecc=self.ecc.value,
+                root_seed=self.rngs.root_seed,
+                workload=WorkloadHandle.wrap(workload),
+            )
+            # pre-seed the process-local worker cache with *this* runner so the
+            # serial executor (and fork-spawned children) reuse the golden run
+            # already computed for site sizing
+            groups = {g.name: g for g in self.framework.site_groups(workload)}
+            _cached_state(context.cache_key(), lambda: (self, workload, groups))
+            records = self.executor.run_chunks(
+                run_injection_chunk, context, tasks, on_result=on_result
+            )
+            result = CampaignResult(
+                workload=workload.name, framework=self.framework.name, device=self.device.name
+            )
+            for record in records:
+                result.add(record)
+            telemetry.count("campaign.runs")
+            telemetry.point(
+                "campaign.result",
+                workload=workload.name,
+                framework=self.framework.name,
+                injections=result.injections,
+                outcomes={o.value: result.count(o) for o in Outcome},
+            )
         return result
 
 

@@ -45,7 +45,10 @@ from repro.faultsim.outcomes import CampaignResult, Outcome
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
 from repro.sim.launch import run_kernel
+from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
+
+_log = get_logger("predict.model")
 
 #: floor for the de-embedding denominator, guarding degenerate traces
 _DENOM_FLOOR = 1e-3
@@ -147,28 +150,36 @@ def measure_memory_avf(
     """
     if strikes <= 0:
         raise ConfigurationError("need at least one strike")
-    names = (device.name, workload.name)
-    rng = RngFactory(seed).stream("mem_avf", *names)
-    golden = run_kernel(device, workload.kernel, workload.sim_launch(), ecc=EccMode.OFF, backend=backend)
-    ticks = rng.integers(0, max(1, int(golden.ticks)), size=strikes)
-    tasks = [
-        StrikeTask(
-            index=i,
-            space="rf" if i % 2 == 0 else "global",
-            tick=float(ticks[i]),
-            root_seed=seed,
-            rng_path=("mem_avf", *names, "strike", i),
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "memory_avf", workload=workload.name, device=device.name, strikes=strikes
+    ):
+        names = (device.name, workload.name)
+        rng = RngFactory(seed).stream("mem_avf", *names)
+        golden = run_kernel(device, workload.kernel, workload.sim_launch(), ecc=EccMode.OFF, backend=backend)
+        ticks = rng.integers(0, max(1, int(golden.ticks)), size=strikes)
+        tasks = [
+            StrikeTask(
+                index=i,
+                space="rf" if i % 2 == 0 else "global",
+                tick=float(ticks[i]),
+                root_seed=seed,
+                rng_path=("mem_avf", *names, "strike", i),
+            )
+            for i in range(strikes)
+        ]
+        context = MemoryAvfContext(
+            device=device, backend=backend, workload=WorkloadHandle.wrap(workload)
         )
-        for i in range(strikes)
-    ]
-    context = MemoryAvfContext(
-        device=device, backend=backend, workload=WorkloadHandle.wrap(workload)
-    )
-    _cached_state(context.cache_key(), lambda: (workload, golden))
-    pool = get_executor(workers, executor)
-    outcomes = pool.run_chunks(run_strike_chunk, context, tasks, on_result=on_result)
+        _cached_state(context.cache_key(), lambda: (workload, golden))
+        pool = get_executor(workers, executor)
+        outcomes = pool.run_chunks(run_strike_chunk, context, tasks, on_result=on_result)
     sdc = sum(1 for o in outcomes if o is Outcome.SDC)
     due = sum(1 for o in outcomes if o is Outcome.DUE)
+    _log.debug(
+        "memory AVF %s on %s: sdc=%.3f due=%.3f over %d strikes",
+        workload.name, device.name, sdc / strikes, due / strikes, strikes,
+    )
     return sdc / strikes, due / strikes
 
 
@@ -191,10 +202,13 @@ def measure_microbench_fits(
     prof = Profiler(device)
     units: Dict[str, UnitFit] = {}
     rf_sdc_per_bit = rf_due_per_bit = 0.0
+    telemetry = get_telemetry()
 
     for name in MICROBENCH_BUILDERS[arch]:
         wl = get_microbench(arch, name, seed=seed)
         ecc = EccMode.OFF if name == "RF" else EccMode.ON
+        telemetry.count("predict.microbench_runs")
+        _log.debug("micro-benchmark %s under the beam on %s (ecc=%s)", name, device.name, ecc.value)
         beam = exp.run(
             wl,
             ecc=ecc,

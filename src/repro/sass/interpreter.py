@@ -15,6 +15,7 @@ import numpy as np
 from repro.arch.dtypes import DType
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.sass.program import Instruction, Operand, OperandKind, Program
+from repro.telemetry import get_telemetry
 
 
 class SassKernel:
@@ -54,7 +55,14 @@ class SassKernel:
     # -- kernel protocol -----------------------------------------------------------
     def __call__(self, ctx) -> Dict[str, np.ndarray]:
         state = _ExecState(ctx, self)
-        state.run(self.program.instructions)
+        try:
+            state.run(self.program.instructions)
+        finally:
+            # flush retired-instruction telemetry in one registry pass per
+            # run (kept even when a simulated fault aborts the kernel)
+            telemetry = get_telemetry()
+            for mnemonic, n in state.retired.items():
+                telemetry.count(f"sass.instructions.{mnemonic}", n)
         return {name: ctx.read_buffer(state.buffers[name]) for name in self.outputs}
 
     #: run_kernel expects a ``kernel(ctx)`` callable; expose ourselves as one
@@ -81,6 +89,7 @@ class _ExecState:
         self.kernel = kernel
         self.regs: Dict[str, object] = {}
         self.preds: Dict[str, object] = {}
+        self.retired: Dict[str, int] = {}   # warp-instructions per mnemonic
         self.buffers = {}
         for name in kernel.program.buffers:
             dtype = _buffer_dtype(kernel, name)
@@ -129,11 +138,13 @@ class _ExecState:
 
     # -- execution ------------------------------------------------------------------------
     def run(self, block: Sequence[Instruction]) -> None:
+        retired = self.retired
         for instr in block:
             if instr.mnemonic == "LOOP":
                 for _ in self.ctx.range(instr.loop_count):
                     self.run(instr.body)
                 continue
+            retired[instr.mnemonic] = retired.get(instr.mnemonic, 0) + 1
             if instr.guard is not None:
                 with self.ctx.masked(self.preds[instr.guard]):
                     self._execute_guarded(instr)

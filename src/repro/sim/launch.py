@@ -19,6 +19,7 @@ from repro.common.errors import ConfigurationError
 from repro.sim.context import KernelContext
 from repro.sim.injection import InjectionPlan, StorageStrike
 from repro.sim.trace import ExecutionTrace
+from repro.telemetry import get_telemetry
 
 #: a kernel: consumes a context, returns host copies of its outputs by name
 KernelFn = Callable[[KernelContext], Dict[str, np.ndarray]]
@@ -91,4 +92,13 @@ def run_kernel(
         outputs = kernel(ctx)
     if not isinstance(outputs, dict):
         raise ConfigurationError("kernels must return a dict of named outputs")
+    # Retired-instruction telemetry: one registry update per *run*, not per
+    # instruction, so instrumentation cost is invisible next to simulation.
+    # The per-opcode-class counters double as a cross-check of the Figure 1
+    # instruction-mix profiler (see repro.telemetry.report).
+    telemetry = get_telemetry()
+    telemetry.count("sim.kernel_runs")
+    for op, instances in ctx.trace.instances.items():
+        telemetry.count(f"sim.instructions.{op.name}", instances)
+    telemetry.count("sim.instructions_total", ctx.trace.total_instances)
     return KernelRun(outputs=outputs, trace=ctx.trace, context=ctx)

@@ -24,6 +24,7 @@ from repro.arch.devices import DeviceSpec
 from repro.arch.isa import OpClass, unit_for, unit_throughput
 from repro.arch.units import UnitKind
 from repro.common.errors import ConfigurationError
+from repro.telemetry import get_telemetry
 
 #: hard cap on simulated cycles, as a runaway guard
 _MAX_CYCLES = 5_000_000
@@ -59,6 +60,18 @@ class WarpScheduler:
             raise ConfigurationError("cannot schedule an empty stream")
         if n_warps <= 0:
             raise ConfigurationError("need at least one warp")
+        telemetry = get_telemetry()
+        with telemetry.span("scheduler.simulate", warps=n_warps, stream=len(stream)):
+            result = self._simulate(stream, n_warps)
+        telemetry.count("scheduler.simulations")
+        telemetry.count("scheduler.cycles", result.cycles)
+        telemetry.count("scheduler.issued", result.issued)
+        for unit, n in result.unit_issues.items():
+            if n:
+                telemetry.count(f"scheduler.unit.{unit.value}", n)
+        return result
+
+    def _simulate(self, stream: Sequence[OpClass], n_warps: int) -> ScheduleResult:
         device = self.device
         n_sched = device.schedulers_per_sm
         per_sched_issue = device.issue_per_scheduler

@@ -1,0 +1,82 @@
+"""Unified telemetry: tracing, metrics and logging for the whole stack.
+
+The paper's third pillar is profiling; this package is the reproduction's
+own profiler-of-itself.  Three dependency-free layers:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges and fixed-edge
+  histograms in a :class:`Registry`, with an exact cross-process merge
+  (worker snapshots fold into the parent so ``workers=N`` reports the
+  same aggregates as a serial run; see ``tests/telemetry``).
+* :mod:`repro.telemetry.events` — structured JSONL events through a
+  pluggable :class:`EventSink` (stderr stream, trace file, in-memory).
+* :mod:`repro.telemetry.core` — the active :class:`Telemetry` context:
+  hierarchical :meth:`~Telemetry.span`\\ s, metric shorthands, and the
+  :func:`telemetry_session` / :func:`capture` scoping primitives.
+
+Plus the logging bridge (:func:`get_logger` / :func:`configure_logging`)
+that puts every module under one ``repro.<subsystem>`` namespace, and
+:mod:`repro.telemetry.report`, the ``telemetry-report`` CLI summarizer.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
+"""
+
+from repro.telemetry.core import (
+    Telemetry,
+    capture,
+    get_telemetry,
+    merge_worker_snapshot,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.telemetry.events import (
+    Event,
+    EventSink,
+    FileSink,
+    MemorySink,
+    NULL_SINK,
+    NullSink,
+    StreamSink,
+    TeeSink,
+    read_trace,
+)
+from repro.telemetry.logbridge import configure_logging, get_logger
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_EDGES,
+    Registry,
+    Snapshot,
+    VALUE_EDGES,
+)
+
+__all__ = [
+    # core context
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+    "capture",
+    "merge_worker_snapshot",
+    # metrics
+    "Registry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Snapshot",
+    "LATENCY_EDGES",
+    "VALUE_EDGES",
+    # events
+    "Event",
+    "EventSink",
+    "NullSink",
+    "NULL_SINK",
+    "MemorySink",
+    "StreamSink",
+    "FileSink",
+    "TeeSink",
+    "read_trace",
+    # logging
+    "get_logger",
+    "configure_logging",
+]

@@ -1,0 +1,199 @@
+"""The telemetry context: spans + metrics + events behind one handle.
+
+Every instrumented call site asks :func:`get_telemetry` for the active
+:class:`Telemetry` and records into it.  The default is an always-on but
+sinkless context (counters cost a dict lookup and a float add; events go
+to :data:`~repro.telemetry.events.NULL_SINK`), so the hot paths never
+branch on "is telemetry enabled".
+
+Two scoping tools build on that:
+
+* :func:`telemetry_session` — the user-facing scope.  Installs a fresh
+  registry and a real sink (trace file, stderr, memory), emits a final
+  ``metrics`` event with the merged registry on exit, restores the
+  previous context.  ``repro.api`` re-exports it and the CLI's
+  ``--telemetry`` / ``--trace-out`` flags wrap runs in it.
+* :func:`capture` — the worker-side scope.  Swaps in a throwaway context
+  so the per-task increments of one chunk can be snapshotted and shipped
+  to the parent (see :mod:`repro.exec.worker`), keeping parallel
+  aggregates identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.events import EventSink, NULL_SINK, FileSink, MemorySink
+from repro.telemetry.metrics import LATENCY_EDGES, Registry, Snapshot
+
+
+class Telemetry:
+    """One observability context: a registry, a sink, and a span stack."""
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        sink: Optional[EventSink] = None,
+        clock=time.monotonic,
+        wall=time.time,
+    ) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self.sink = sink if sink is not None else NULL_SINK
+        self.clock = clock
+        self.wall = wall
+        self._span_stack: list = []
+        self._next_span_id = 1
+
+    # -- metrics shorthands ------------------------------------------------------
+    def count(self, name: str, n: float = 1.0) -> None:
+        self.registry.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, edges=LATENCY_EDGES) -> None:
+        self.registry.histogram(name, edges).observe(value)
+
+    # -- events -------------------------------------------------------------------
+    def emit(self, kind: str, name: str, **fields) -> None:
+        if self.sink is NULL_SINK:
+            return  # skip building the event dict entirely
+        event = {"kind": kind, "name": name, "ts": self.wall(), "mono": self.clock()}
+        if self._span_stack:
+            event["span"] = self._span_stack[-1][0]
+        event.update(fields)
+        self.sink.emit(event)
+
+    def point(self, name: str, **fields) -> None:
+        """A one-off annotation event."""
+        self.emit("point", name, **fields)
+
+    def task_done(self, name: str = "task") -> None:
+        """One completed fault evaluation: a counter plus a ``task`` event
+        (the stream progress meters consume)."""
+        self.count("exec.tasks")
+        self.emit("task", name)
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[None]:
+        """A timed, hierarchical scope.
+
+        Emits ``span_start``/``span_end`` events carrying the span id, the
+        enclosing span's id and the nesting depth, and records the duration
+        into the ``span.<name>.seconds`` latency histogram.
+        """
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent = self._span_stack[-1][0] if self._span_stack else None
+        depth = len(self._span_stack)
+        if self.sink is not NULL_SINK:
+            self.sink.emit(
+                {
+                    "kind": "span_start",
+                    "name": name,
+                    "span": span_id,
+                    "parent": parent,
+                    "depth": depth,
+                    "ts": self.wall(),
+                    "mono": self.clock(),
+                    **fields,
+                }
+            )
+        self._span_stack.append((span_id, name))
+        started = self.clock()
+        try:
+            yield
+        finally:
+            seconds = self.clock() - started
+            self._span_stack.pop()
+            self.registry.histogram(f"span.{name}.seconds", LATENCY_EDGES).observe(seconds)
+            if self.sink is not NULL_SINK:
+                self.sink.emit(
+                    {
+                        "kind": "span_end",
+                        "name": name,
+                        "span": span_id,
+                        "parent": parent,
+                        "depth": depth,
+                        "ts": self.wall(),
+                        "mono": self.clock(),
+                        "seconds": seconds,
+                    }
+                )
+
+    # -- lifecycle ------------------------------------------------------------------
+    def flush_metrics(self) -> None:
+        """Emit the registry's current aggregate as a ``metrics`` event."""
+        if self.sink is not NULL_SINK:
+            self.emit("metrics", "registry", data=self.registry.as_dict())
+
+    def close(self) -> None:
+        self.flush_metrics()
+        self.sink.close()
+
+
+#: the process-wide active context; sinkless by default, fresh per process
+_ACTIVE = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The active telemetry context instrumented call sites record into."""
+    return _ACTIVE
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the active context; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    trace_path=None,
+    sink: Optional[EventSink] = None,
+    registry: Optional[Registry] = None,
+) -> Iterator[Telemetry]:
+    """Scope a run under a fresh telemetry context.
+
+    ``trace_path`` opens a :class:`FileSink` writing a JSONL trace (the
+    CLI's ``--trace-out``); an explicit ``sink`` wins over it.  On exit the
+    final registry aggregate is emitted as a ``metrics`` event, the sink is
+    closed, and the previous context is restored.
+    """
+    if sink is None:
+        sink = FileSink(trace_path) if trace_path is not None else MemorySink()
+    telemetry = Telemetry(registry=registry, sink=sink)
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+        telemetry.close()
+
+
+@contextmanager
+def capture() -> Iterator[Registry]:
+    """Collect every metric recorded inside the scope into a fresh registry.
+
+    The worker-side primitive of the deterministic aggregation story: a
+    chunk evaluator captures its tasks' increments, snapshots them, and the
+    parent merges the snapshots in chunk order.  Events emitted inside the
+    scope are intentionally dropped (the parent cannot see worker events
+    anyway, and the serial executor must behave identically).
+    """
+    scoped = Telemetry(sink=NULL_SINK)
+    previous = set_telemetry(scoped)
+    try:
+        yield scoped.registry
+    finally:
+        set_telemetry(previous)
+
+
+def merge_worker_snapshot(snap: Optional[Snapshot]) -> None:
+    """Fold a shipped worker snapshot into the active context's registry."""
+    if snap:
+        get_telemetry().registry.merge(snap)

@@ -1,0 +1,125 @@
+"""Event sinks: where structured telemetry events go.
+
+An *event* is a JSON-serializable dict with at least a ``kind`` key:
+
+* ``span_start`` / ``span_end`` — hierarchical spans (``span``/``parent``
+  ids, ``depth``, wall-clock ``ts`` and monotonic ``mono`` stamps;
+  ``span_end`` adds ``seconds``),
+* ``point`` — a one-off annotation (a beam run's FIT result, a campaign's
+  outcome tally),
+* ``task`` — one completed fault evaluation (what drives progress),
+* ``metrics`` — the final registry dump a telemetry session emits on close.
+
+Sinks are deliberately tiny: ``emit(event)`` plus ``close()``.  The stream
+and file sinks render one JSON object per line (JSONL), so traces are
+greppable and trivially parsed back by :mod:`repro.telemetry.report`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, Protocol, Sequence, TextIO, runtime_checkable
+
+Event = Dict[str, Any]
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that consumes telemetry events."""
+
+    def emit(self, event: Event) -> None:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class NullSink:
+    """Discards everything (the default when telemetry is not requested)."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: shared do-nothing sink; identity-checked as the "disabled" fast path
+NULL_SINK = NullSink()
+
+
+class MemorySink:
+    """Collects events in a list — the sink tests and tools use."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.closed = False
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.get("kind") == kind]
+
+
+def _encode(event: Event) -> str:
+    return json.dumps(event, sort_keys=True, default=str)
+
+
+class StreamSink:
+    """JSONL events to an open text stream (stderr by default)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: Event) -> None:
+        print(_encode(event), file=self.stream, flush=True)
+
+    def close(self) -> None:  # the caller owns the stream
+        pass
+
+
+class FileSink:
+    """JSONL events appended to ``path`` (the ``--trace-out`` sink)."""
+
+    def __init__(self, path, append: bool = False) -> None:
+        self.path = path
+        self._fh = open(path, "a" if append else "w", encoding="utf-8")
+
+    def emit(self, event: Event) -> None:
+        self._fh.write(_encode(event) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class TeeSink:
+    """Fans every event out to several sinks (trace file + progress meter)."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks: Sequence[EventSink] = tuple(sinks)
+
+    def emit(self, event: Event) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_trace(path) -> List[Event]:
+    """Parse a JSONL trace file back into a list of events."""
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,53 @@
+"""One logging namespace for the whole library.
+
+Modules obtain their logger with ``get_logger("beam.engine")`` and always
+land under the ``repro.`` hierarchy; nothing configures handlers at import
+time (library best practice — a NullHandler keeps the root logger quiet).
+Applications and the CLI opt in with :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+_ROOT = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+#: the handler configure_logging installed, so reconfiguring replaces it
+_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the unified ``repro.<subsystem>`` namespace.
+
+    ``get_logger("beam.engine")`` → ``repro.beam.engine``; a name already
+    under ``repro`` (e.g. ``__name__``) passes through unchanged.
+    """
+    if not name or name == _ROOT:
+        return logging.getLogger(_ROOT)
+    if name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(
+    level: Union[int, str] = logging.INFO, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Opt in to library logging: one stderr handler on the ``repro`` root.
+
+    Idempotent — calling again replaces the previous handler (so tests can
+    re-point the stream) instead of stacking duplicates.
+    """
+    global _handler
+    root = logging.getLogger(_ROOT)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(_handler)
+    root.setLevel(level)
+    return root

@@ -1,0 +1,218 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The merge contract is the heart of this module.  A worker process collects
+into its own :class:`Registry`, ships a plain-dict :func:`Registry.snapshot`
+back with each chunk of task results, and the parent folds it in with
+:func:`Registry.merge`.  Merging is exact:
+
+* counters and histogram bucket counts are additions of integer-valued
+  numbers, so the aggregate is independent of how tasks were chunked or
+  scheduled — ``workers=N`` reproduces the serial totals bit for bit;
+* histograms use *fixed bucket edges* chosen at creation, so two
+  histograms of the same metric always have congruent buckets and their
+  merge is a per-bucket sum, never a re-binning.
+
+Nothing here depends on the rest of the library (or anything beyond the
+standard library), so workers can unpickle snapshots without importing the
+simulation stack.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: default edges for latency histograms (seconds): ~wide log sweep from
+#: 100 µs to ~2 min, fixed so merges across processes are exact
+LATENCY_EDGES: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+#: default edges for generic value histograms (counts, sizes)
+VALUE_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0,
+    2_500.0, 5_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (float-valued to admit weighted
+    counts like MMA lane instances; integer-valued counts merge exactly)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+@dataclass
+class Histogram:
+    """A fixed-edge histogram of observed values.
+
+    ``edges`` are the *upper* bounds of the finite buckets; observations
+    above the last edge land in the overflow bucket, so ``counts`` has
+    ``len(edges) + 1`` entries.  Because the edges are fixed per metric
+    name, merging is a per-bucket addition and therefore associative and
+    commutative — the property the cross-process aggregation tests assert.
+    """
+
+    edges: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.edges or list(self.edges) != sorted(self.edges):
+            raise ValueError("histogram edges must be a non-empty sorted sequence")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the q-quantile (q ∈ [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.edges[i] if i < len(self.edges) else float("inf")
+        return float("inf")
+
+    def merge(self, other: "Histogram") -> None:
+        if tuple(other.edges) != tuple(self.edges):
+            raise ValueError("cannot merge histograms with different bucket edges")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum += other.sum
+
+
+#: a picklable plain-dict view of a Registry (what workers ship back)
+Snapshot = Dict[str, dict]
+
+
+class Registry:
+    """Named metrics for one process (or one captured scope)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) --------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str, edges: Sequence[float] = LATENCY_EDGES) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(edges=tuple(edges))
+        return metric
+
+    # -- views ------------------------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    # -- cross-process aggregation ----------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """Plain-dict, picklable view — the worker→parent wire format."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "sum": h.sum,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snap: Optional[Snapshot]) -> None:
+        """Fold a worker snapshot into this registry (exact; see module doc)."""
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            self.histogram(name, data["edges"]).merge(
+                Histogram(
+                    edges=tuple(data["edges"]),
+                    counts=list(data["counts"]),
+                    total=data["total"],
+                    sum=data["sum"],
+                )
+            )
+
+    @staticmethod
+    def from_snapshot(snap: Snapshot) -> "Registry":
+        registry = Registry()
+        registry.merge(snap)
+        return registry
+
+    def as_dict(self) -> Mapping[str, dict]:
+        """Flat summary for reports and the final ``metrics`` trace event."""
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": {
+                n: {"count": h.total, "sum": h.sum, "mean": h.mean, "p95": h.quantile(0.95)}
+                for n, h in self._histograms.items()
+            },
+        }

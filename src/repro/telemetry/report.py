@@ -1,0 +1,116 @@
+"""Summarize a JSONL telemetry trace into human-readable tables.
+
+Exposed as ``python -m repro.experiments telemetry-report TRACE`` — the
+read side of ``--trace-out``.  The summary renders:
+
+* the final merged counters (with the per-opcode-class instruction
+  counters broken out, so the trace cross-checks the Figure 1 profiler),
+* histogram digests (count / mean / p95 per metric),
+* a span roll-up (calls and total seconds per span name, from the
+  ``span_end`` events).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.tables import render_table
+from repro.telemetry.events import Event, read_trace
+
+#: counter prefix the instruction-mix cross-check table is built from
+INSTRUCTIONS_PREFIX = "sim.instructions."
+
+
+def final_metrics(events: List[Event]) -> dict:
+    """The last ``metrics`` event's payload (the session-end aggregate)."""
+    for event in reversed(events):
+        if event.get("kind") == "metrics":
+            return event.get("data", {})
+    return {}
+
+
+def span_rollup(events: List[Event]) -> List[dict]:
+    """Per-span-name call counts and total/max seconds."""
+    stats: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("kind") != "span_end":
+            continue
+        entry = stats.setdefault(event["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += event.get("seconds", 0.0)
+        entry[2] = max(entry[2], event.get("seconds", 0.0))
+    return [
+        {"span": name, "calls": int(calls), "total_s": total, "max_s": peak}
+        for name, (calls, total, peak) in sorted(stats.items())
+    ]
+
+
+def instruction_mix_rows(counters: Dict[str, float]) -> List[dict]:
+    """Per-opcode-class retired-instruction counts and their mix (%)."""
+    per_class = {
+        name[len(INSTRUCTIONS_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(INSTRUCTIONS_PREFIX)
+    }
+    total = sum(per_class.values())
+    return [
+        {"opclass": op, "instructions": count, "mix_%": 100.0 * count / total}
+        for op, count in sorted(per_class.items(), key=lambda kv: -kv[1])
+        if total > 0
+    ]
+
+
+def render_report(events: List[Event], top: int = 40) -> str:
+    """Render the full summary for one parsed trace."""
+    data = final_metrics(events)
+    counters: Dict[str, float] = data.get("counters", {})
+    histograms: Dict[str, dict] = data.get("histograms", {})
+    chunks: List[str] = []
+
+    n_tasks = sum(1 for e in events if e.get("kind") == "task")
+    chunks.append(
+        f"trace: {len(events)} events, {n_tasks} task completions, "
+        f"{len(counters)} counters, {len(histograms)} histograms"
+    )
+
+    mix = instruction_mix_rows(counters)
+    if mix:
+        chunks.append(render_table(mix, title="Instructions retired per opcode class"))
+
+    plain = [
+        {"counter": name, "value": value}
+        for name, value in sorted(counters.items(), key=lambda kv: -kv[1])
+        if not name.startswith(INSTRUCTIONS_PREFIX)
+    ]
+    if plain:
+        if len(plain) > top:
+            chunks.append(f"(showing top {top} of {len(plain)} counters)")
+            plain = plain[:top]
+        chunks.append(render_table(plain, title="Counters"))
+
+    if histograms:
+        hist_rows = [
+            {"histogram": name, "count": h.get("count", 0), "mean": h.get("mean", 0.0),
+             "p95": h.get("p95", 0.0)}
+            for name, h in sorted(histograms.items())
+        ]
+        chunks.append(render_table(hist_rows, title="Histograms"))
+
+    spans = span_rollup(events)
+    if spans:
+        chunks.append(render_table(spans, title="Spans"))
+
+    return "\n\n".join(chunks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments telemetry-report",
+        description="Summarize a JSONL telemetry trace written with --trace-out.",
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument("--top", type=int, default=40, help="max counters to list")
+    args = parser.parse_args(argv)
+    print(render_report(read_trace(args.trace), top=args.top))
+    return 0

@@ -155,3 +155,33 @@ def test_progress_meter_respects_interval():
         now[0] += 0.01
     # only the first result crosses the (infinite) interval threshold
     assert stream.getvalue().count("\n") == 1
+
+
+def test_progress_meter_zero_results_still_reports():
+    """Regression: finish() on an empty run must emit the terminal line
+    (it used to bail out when no result had ever arrived)."""
+    stream = io.StringIO()
+    meter = ProgressMeter(label="evals", stream=stream)
+    meter.finish()
+    assert "evals: 0 done, 0.0/s" in stream.getvalue()
+
+
+def test_progress_meter_finish_is_idempotent():
+    stream = io.StringIO()
+    meter = ProgressMeter(label="evals", interval=1e9, stream=stream)
+    meter.finish()
+    meter.finish()
+    meter.close()  # EventSink close also routes to finish()
+    assert stream.getvalue().count("\n") == 1
+
+
+def test_progress_meter_consumes_task_events():
+    """As an EventSink the meter counts only ``task`` completions."""
+    stream = io.StringIO()
+    meter = ProgressMeter(label="evals", interval=1e9, stream=stream)
+    meter.emit({"kind": "task", "name": "task"})
+    meter.emit({"kind": "span_start", "name": "campaign"})
+    meter.emit({"kind": "task", "name": "task"})
+    assert meter.count == 2
+    meter.close()
+    assert "evals: 2 done" in stream.getvalue()

@@ -1,0 +1,97 @@
+"""Deterministic cross-process aggregation: ``workers=N`` reports exactly
+the serial aggregate, for every instrumented engine (ISSUE 2 tentpole)."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.ecc import EccMode
+from repro.beam.experiment import BeamExperiment
+from repro.exec.tasks import ChunkResult
+from repro.faultsim.campaign import CampaignRunner
+from repro.faultsim.frameworks import NvBitFi
+from repro.predict.model import measure_memory_avf
+from repro.telemetry import telemetry_session
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("kepler", "FMXM", seed=5)
+
+
+def _campaign_counters(workload, workers):
+    with telemetry_session() as telemetry:
+        result = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=3, workers=workers).run(
+            workload, 24
+        )
+        counters = dict(telemetry.registry.counters)
+    return result, counters
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_campaign_counters_identical_serial_vs_parallel(workload, workers):
+    serial_result, serial = _campaign_counters(workload, 1)
+    parallel_result, parallel = _campaign_counters(workload, workers)
+    assert serial_result.records == parallel_result.records
+    assert serial == parallel  # every counter, bit for bit
+    # and the aggregate actually saw the work:
+    assert serial["campaign.injections"] == 24.0
+    assert serial["exec.tasks"] == 24.0
+    assert sum(v for k, v in serial.items() if k.startswith("campaign.outcome.")) == 24.0
+    assert any(k.startswith("sim.instructions.") for k in serial)
+
+
+def test_beam_counters_identical_serial_vs_parallel(workload):
+    kwargs = dict(ecc=EccMode.OFF, beam_hours=24, mode="montecarlo", max_fault_evals=30)
+
+    def run(workers):
+        with telemetry_session() as telemetry:
+            result = BeamExperiment(KEPLER_K40C, seed=9, workers=workers).run(
+                workload, **kwargs
+            )
+            return result, dict(telemetry.registry.counters)
+
+    serial_result, serial = run(1)
+    parallel_result, parallel = run(2)
+    assert serial_result.tallies == parallel_result.tallies
+    assert serial == parallel
+    assert serial["beam.evals"] > 0
+    assert serial["beam.exposures"] == 1.0
+
+
+def test_memory_avf_counters_identical_serial_vs_parallel(workload):
+    def run(workers):
+        with telemetry_session() as telemetry:
+            avf = measure_memory_avf(KEPLER_K40C, workload, strikes=8, seed=4, workers=workers)
+            return avf, dict(telemetry.registry.counters)
+
+    serial_avf, serial = run(1)
+    parallel_avf, parallel = run(2)
+    assert serial_avf == parallel_avf
+    assert serial == parallel
+    assert serial["mem_avf.strikes"] == 8.0
+    assert sum(v for k, v in serial.items() if k.startswith("mem_avf.outcome.")) == 8.0
+
+
+def test_chunk_results_ship_snapshots(workload):
+    """The wire format: chunk evaluators return ChunkResult with a
+    plain-dict snapshot of only the captured per-task metrics."""
+    from repro.exec.tasks import CampaignContext, WorkloadHandle
+    from repro.exec.worker import run_injection_chunk
+
+    runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=3)
+    tasks = runner.plan_tasks(workload, 4)
+    context = CampaignContext(
+        device=KEPLER_K40C,
+        framework=runner.framework,
+        ecc=runner.ecc.value,
+        root_seed=runner.rngs.root_seed,
+        workload=WorkloadHandle.wrap(workload),
+    )
+    chunk = run_injection_chunk(context, tasks)
+    assert isinstance(chunk, ChunkResult)
+    assert len(chunk.results) == 4
+    assert chunk.telemetry["counters"]["campaign.injections"] == 4.0
+    # the state rebuild (golden run) stays out of the shipped snapshot: the
+    # only kernel runs captured are the per-injection re-executions
+    assert chunk.telemetry["counters"]["sim.kernel_runs"] == 4.0

@@ -1,0 +1,140 @@
+"""The Telemetry context: spans, scoping, capture (repro.telemetry.core)."""
+
+import pytest
+
+from repro.telemetry import (
+    MemorySink,
+    NULL_SINK,
+    Registry,
+    Telemetry,
+    capture,
+    get_telemetry,
+    merge_worker_snapshot,
+    read_trace,
+    set_telemetry,
+    telemetry_session,
+)
+
+
+def test_default_context_is_sinkless_but_counts():
+    telemetry = get_telemetry()
+    assert telemetry.sink is NULL_SINK
+    before = telemetry.registry.counter("test.default").value
+    telemetry.count("test.default")
+    telemetry.emit("point", "ignored")  # no sink: must be a silent no-op
+    assert telemetry.registry.counter("test.default").value == before + 1
+
+
+def test_session_installs_and_restores_the_active_context():
+    outer = get_telemetry()
+    with telemetry_session() as telemetry:
+        assert get_telemetry() is telemetry
+        assert telemetry is not outer
+        assert isinstance(telemetry.sink, MemorySink)
+    assert get_telemetry() is outer
+
+
+def test_session_emits_final_metrics_and_closes_sink():
+    sink = MemorySink()
+    with telemetry_session(sink=sink) as telemetry:
+        telemetry.count("runs", 3)
+    metrics = sink.of_kind("metrics")
+    assert len(metrics) == 1
+    assert metrics[0]["data"]["counters"] == {"runs": 3.0}
+    assert sink.closed
+
+
+def test_session_restores_on_error():
+    outer = get_telemetry()
+    with pytest.raises(RuntimeError):
+        with telemetry_session():
+            raise RuntimeError("boom")
+    assert get_telemetry() is outer
+
+
+def test_session_writes_trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with telemetry_session(trace_path=path) as telemetry:
+        telemetry.point("hello", value=1)
+    kinds = [e["kind"] for e in read_trace(path)]
+    assert kinds == ["point", "metrics"]
+
+
+def test_span_nesting_order_in_the_event_stream():
+    """campaign → task → kernel: ids/parents/depths reconstruct the tree,
+    and start/end events arrive in proper nesting order."""
+    sink = MemorySink()
+    with telemetry_session(sink=sink) as telemetry:
+        with telemetry.span("campaign", workload="FMXM"):
+            with telemetry.span("task"):
+                with telemetry.span("kernel"):
+                    pass
+
+    spans = [e for e in sink.events if e["kind"].startswith("span_")]
+    assert [(e["kind"], e["name"]) for e in spans] == [
+        ("span_start", "campaign"),
+        ("span_start", "task"),
+        ("span_start", "kernel"),
+        ("span_end", "kernel"),
+        ("span_end", "task"),
+        ("span_end", "campaign"),
+    ]
+    campaign, task, kernel = spans[0], spans[1], spans[2]
+    assert campaign["parent"] is None and campaign["depth"] == 0
+    assert task["parent"] == campaign["span"] and task["depth"] == 1
+    assert kernel["parent"] == task["span"] and kernel["depth"] == 2
+    assert campaign["workload"] == "FMXM"
+    for end in spans[3:]:
+        assert end["seconds"] >= 0.0
+    # durations land in the span latency histograms
+    hists = telemetry.registry.histograms
+    for name in ("campaign", "task", "kernel"):
+        assert hists[f"span.{name}.seconds"].total == 1
+
+
+def test_events_carry_the_enclosing_span_id():
+    sink = MemorySink()
+    with telemetry_session(sink=sink) as telemetry:
+        with telemetry.span("campaign"):
+            telemetry.task_done()
+    (task,) = sink.of_kind("task")
+    (start,) = sink.of_kind("span_start")
+    assert task["span"] == start["span"]
+    assert telemetry.registry.counters["exec.tasks"] == 1.0
+
+
+def test_span_pops_even_on_error():
+    telemetry = Telemetry()
+    with pytest.raises(ValueError):
+        with telemetry.span("outer"):
+            raise ValueError("boom")
+    assert telemetry._span_stack == []
+
+
+def test_capture_isolates_increments():
+    with telemetry_session() as session_telemetry:
+        session_telemetry.count("outside")
+        with capture() as registry:
+            inner = get_telemetry()
+            assert inner is not session_telemetry
+            inner.count("inside", 2)
+            inner.emit("point", "dropped")  # events in capture scope vanish
+        assert get_telemetry() is session_telemetry
+        assert registry.counters == {"inside": 2.0}
+        assert "inside" not in session_telemetry.registry.counters
+        merge_worker_snapshot(registry.snapshot())
+        assert session_telemetry.registry.counters["inside"] == 2.0
+
+
+def test_merge_worker_snapshot_tolerates_empty():
+    merge_worker_snapshot(None)
+    merge_worker_snapshot({})
+
+
+def test_set_telemetry_returns_previous():
+    fresh = Telemetry(registry=Registry())
+    previous = set_telemetry(fresh)
+    try:
+        assert get_telemetry() is fresh
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,86 @@
+"""Event sinks: JSONL round-trips and fan-out (repro.telemetry.events)."""
+
+import io
+import json
+
+from repro.telemetry.events import (
+    EventSink,
+    FileSink,
+    MemorySink,
+    NULL_SINK,
+    StreamSink,
+    TeeSink,
+    read_trace,
+)
+
+
+def test_null_sink_discards_quietly():
+    NULL_SINK.emit({"kind": "point"})
+    NULL_SINK.close()
+
+
+def test_memory_sink_round_trip():
+    sink = MemorySink()
+    sink.emit({"kind": "task", "name": "t"})
+    sink.emit({"kind": "point", "name": "p"})
+    assert [e["kind"] for e in sink.events] == ["task", "point"]
+    assert sink.of_kind("task") == [{"kind": "task", "name": "t"}]
+    assert not sink.closed
+    sink.close()
+    assert sink.closed
+
+
+def test_stream_sink_writes_jsonl():
+    buf = io.StringIO()
+    sink = StreamSink(buf)
+    sink.emit({"kind": "point", "b": 2, "a": 1})
+    sink.close()  # caller owns the stream: must stay open
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0]) == {"kind": "point", "a": 1, "b": 2}
+    # keys are sorted for greppable, diffable traces
+    assert lines[0].index('"a"') < lines[0].index('"b"')
+
+
+def test_file_sink_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = FileSink(path)
+    events = [{"kind": "span_start", "span": 1}, {"kind": "span_end", "span": 1}]
+    for e in events:
+        sink.emit(e)
+    sink.close()
+    sink.close()  # idempotent
+    assert read_trace(path) == events
+
+
+def test_file_sink_append_mode(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    first = FileSink(path)
+    first.emit({"n": 1})
+    first.close()
+    second = FileSink(path, append=True)
+    second.emit({"n": 2})
+    second.close()
+    assert read_trace(path) == [{"n": 1}, {"n": 2}]
+
+
+def test_file_sink_encodes_non_json_values(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = FileSink(path)
+    sink.emit({"kind": "point", "path": tmp_path})  # default=str fallback
+    sink.close()
+    assert read_trace(path)[0]["path"] == str(tmp_path)
+
+
+def test_tee_sink_fans_out_and_closes_all(tmp_path):
+    a, b = MemorySink(), MemorySink()
+    tee = TeeSink(a, b)
+    tee.emit({"kind": "task"})
+    tee.close()
+    assert a.events == b.events == [{"kind": "task"}]
+    assert a.closed and b.closed
+
+
+def test_sinks_satisfy_the_protocol():
+    for sink in (NULL_SINK, MemorySink(), StreamSink(io.StringIO()), TeeSink()):
+        assert isinstance(sink, EventSink)

@@ -1,0 +1,144 @@
+"""Instrumented call sites report real work — and the instruction counters
+cross-check the Figure 1 profiler (ISSUE 2 acceptance criterion)."""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.ecc import EccMode
+from repro.profiling.profiler import Profiler
+from repro.sim.launch import run_kernel
+from repro.telemetry import MemorySink, telemetry_session
+from repro.telemetry.report import INSTRUCTIONS_PREFIX, instruction_mix_rows
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("kepler", "FMXM", seed=5)
+
+
+def test_kernel_runs_count_per_opcode_class(workload):
+    with telemetry_session() as telemetry:
+        run = run_kernel(KEPLER_K40C, workload.kernel, workload.sim_launch(), ecc=EccMode.ON)
+        counters = dict(telemetry.registry.counters)
+    assert counters["sim.kernel_runs"] == 1.0
+    for op, instances in run.trace.instances.items():
+        assert counters[f"{INSTRUCTIONS_PREFIX}{op.name}"] == instances
+    assert counters["sim.instructions_total"] == run.trace.total_instances
+
+
+def test_warp_scheduler_counts_cycles_and_issues():
+    from repro.arch.isa import OpClass
+    from repro.sim.scheduler import WarpScheduler
+
+    with telemetry_session() as telemetry:
+        result = WarpScheduler(KEPLER_K40C).simulate([OpClass.FADD, OpClass.LDG], 4)
+        counters = dict(telemetry.registry.counters)
+    assert counters["scheduler.simulations"] == 1.0
+    assert counters["scheduler.cycles"] == result.cycles
+    assert counters["scheduler.issued"] == result.issued
+    assert any(k.startswith("scheduler.unit.") for k in counters)
+    assert telemetry.registry.histograms["span.scheduler.simulate.seconds"].total == 1
+
+
+def test_instruction_counters_consistent_with_fig1_profiler(workload):
+    """The telemetry instruction mix must reproduce the profiler's
+    Figure 1 percentages — two independent views of one trace."""
+    with telemetry_session() as telemetry:
+        metrics = Profiler(KEPLER_K40C).metrics(workload)
+        counters = dict(telemetry.registry.counters)
+
+    mix_from_telemetry = {
+        row["opclass"]: row["mix_%"] for row in instruction_mix_rows(counters)
+    }
+    for op, fraction in metrics.instruction_mix.items():
+        if fraction > 0:
+            assert mix_from_telemetry[op.name] == pytest.approx(100.0 * fraction)
+    assert counters["sim.instructions_total"] == metrics.total_instances
+
+
+def test_sass_interpreter_counts_retired_mnemonics():
+    import numpy as np
+
+    from repro.sass import SassKernel, assemble
+    from repro.sim import LaunchConfig
+
+    a = np.arange(64, dtype=np.float32)
+    kernel = SassKernel(
+        assemble(
+            ".kernel k\n.buffer a\n.buffer c\n"
+            "MOV r0, %gid\nLDG.F32 r1, [a + r0]\nFADD.F32 r1, r1, 1.0\nSTG.F32 [c + r0], r1"
+        ),
+        {"a": a},
+        ("c",),
+        {"c": (64,)},
+    )
+    with telemetry_session() as telemetry:
+        run_kernel(KEPLER_K40C, kernel, LaunchConfig(2, 32))
+        counters = dict(telemetry.registry.counters)
+    # the interpreter executes SIMT-vectorized: one retirement per
+    # (warp-synchronous) instruction, not per lane
+    for mnemonic in ("MOV", "LDG", "FADD", "STG"):
+        assert counters[f"sass.instructions.{mnemonic}"] == 1.0
+
+
+def test_beam_experiment_emits_spans_and_result_point(workload):
+    sink = MemorySink()
+    with telemetry_session(sink=sink) as telemetry:
+        from repro.beam.experiment import BeamExperiment
+
+        BeamExperiment(KEPLER_K40C, seed=9).run(
+            workload, ecc=EccMode.OFF, beam_hours=12, mode="montecarlo", max_fault_evals=10
+        )
+        counters = dict(telemetry.registry.counters)
+
+    (start,) = [e for e in sink.of_kind("span_start") if e["name"] == "beam"]
+    assert start["workload"] == workload.name
+    assert start["ecc"] == "off"
+    (point,) = [e for e in sink.of_kind("point") if e["name"] == "beam.result"]
+    assert point["span"] == start["span"]  # emitted inside the beam span
+    assert counters["beam.exposures"] == 1.0
+    assert counters["beam.evals"] > 0
+    # every evaluated fault has an outcome counter under its resource kind
+    assert sum(
+        v for k, v in counters.items() if k.startswith("beam.outcome.")
+    ) == counters["beam.evals"]
+
+
+def test_campaign_emits_span_with_outcome_tally(workload):
+    sink = MemorySink()
+    with telemetry_session(sink=sink):
+        from repro.faultsim.campaign import CampaignRunner
+        from repro.faultsim.frameworks import NvBitFi
+
+        result = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=7).run(workload, 10)
+
+    (point,) = [e for e in sink.of_kind("point") if e["name"] == "campaign.result"]
+    assert point["injections"] == 10
+    assert sum(point["outcomes"].values()) == 10
+    assert len(sink.of_kind("task")) == 10
+    assert result.injections == 10
+
+
+def test_cli_trace_out_and_report(tmp_path, capsys):
+    """--telemetry --trace-out writes a summarizable JSONL trace."""
+    from repro.experiments.__main__ import main
+
+    trace = tmp_path / "trace.jsonl"
+    rc = main(["fig1", "--preset", "smoke", "--trace-out", str(trace)])
+    assert rc == 0
+    assert trace.exists()
+    capsys.readouterr()  # drop the fig1 report output
+    assert main(["telemetry-report", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "Instructions retired per opcode class" in out
+
+
+def test_cli_telemetry_prints_summary(capsys):
+    from repro.experiments.__main__ import main
+
+    rc = main(["fig1", "--preset", "smoke", "--telemetry"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Instructions retired per opcode class" in out
+    assert "sim.kernel_runs" in out

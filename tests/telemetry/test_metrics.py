@@ -1,0 +1,158 @@
+"""Metric primitives: the exact-merge contract (repro.telemetry.metrics)."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_EDGES,
+    Registry,
+    VALUE_EDGES,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_buckets_and_moments(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]  # one per bucket incl. overflow
+        assert h.total == 4
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_quantile_bounds(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(5000.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == float("inf")
+        assert Histogram(edges=(1.0,)).quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(edges=())
+
+    def test_merge_requires_congruent_edges(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_is_associative_and_commutative(self):
+        """The fixed-edge design makes merge a per-bucket sum, so any
+        grouping/order of worker snapshots yields the same aggregate."""
+
+        def build(values):
+            h = Histogram(edges=VALUE_EDGES)
+            for v in values:
+                h.observe(v)
+            return h
+
+        parts = [build([1, 7, 40]), build([300, 2_000]), build([0.5, 9e7, 12])]
+
+        left = build([])
+        for h in (parts[0], parts[1]):
+            left.merge(h)
+        left.merge(parts[2])
+
+        right = build([])
+        bc = build([])
+        bc.merge(parts[1])
+        bc.merge(parts[2])
+        right.merge(parts[0])
+        right.merge(bc)
+
+        reversed_order = build([])
+        for h in reversed(parts):
+            reversed_order.merge(h)
+
+        for other in (right, reversed_order):
+            assert left.counts == other.counts
+            assert left.total == other.total
+            assert left.sum == pytest.approx(other.sum)
+
+
+class TestRegistry:
+    def test_lazy_accessors_memoize(self):
+        r = Registry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c") is r.histogram("c")
+        assert bool(r)
+        assert not Registry()
+
+    def test_views_are_sorted(self):
+        r = Registry()
+        r.counter("z").inc()
+        r.counter("a").inc(2)
+        assert list(r.counters) == ["a", "z"]
+        assert r.counters == {"a": 2.0, "z": 1.0}
+
+    def test_snapshot_round_trip(self):
+        r = Registry()
+        r.counter("runs").inc(7)
+        r.gauge("occupancy").set(0.5)
+        r.histogram("lat", LATENCY_EDGES).observe(0.01)
+        clone = Registry.from_snapshot(r.snapshot())
+        assert clone.counters == r.counters
+        assert clone.gauges == r.gauges
+        assert clone.histograms["lat"].counts == r.histograms["lat"].counts
+
+    def test_merge_order_independent_for_integer_counts(self):
+        snaps = []
+        for k in range(1, 4):
+            part = Registry()
+            part.counter("evals").inc(10 * k)
+            part.histogram("v", VALUE_EDGES).observe(k)
+            snaps.append(part.snapshot())
+
+        forward, backward = Registry(), Registry()
+        for s in snaps:
+            forward.merge(s)
+        for s in reversed(snaps):
+            backward.merge(s)
+        assert forward.counters == backward.counters == {"evals": 60.0}
+        assert forward.histograms["v"].counts == backward.histograms["v"].counts
+
+    def test_merge_ignores_empty(self):
+        r = Registry()
+        r.merge(None)
+        r.merge({})
+        assert not r
+
+    def test_as_dict_digest(self):
+        r = Registry()
+        r.counter("n").inc(3)
+        h = r.histogram("lat", (1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        d = r.as_dict()
+        assert d["counters"] == {"n": 3.0}
+        assert d["histograms"]["lat"]["count"] == 2
+        assert d["histograms"]["lat"]["mean"] == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""The telemetry-report summarizer (repro.telemetry.report)."""
+
+import pytest
+
+from repro.telemetry.report import (
+    final_metrics,
+    instruction_mix_rows,
+    render_report,
+    span_rollup,
+)
+
+
+def _synthetic_events():
+    return [
+        {"kind": "span_start", "name": "campaign", "span": 1, "depth": 0},
+        {"kind": "task", "name": "task"},
+        {"kind": "task", "name": "task"},
+        {"kind": "span_end", "name": "campaign", "span": 1, "seconds": 0.5},
+        {"kind": "span_end", "name": "campaign", "span": 2, "seconds": 1.5},
+        {
+            "kind": "metrics",
+            "name": "registry",
+            "data": {
+                "counters": {
+                    "sim.instructions.FFMA": 75.0,
+                    "sim.instructions.LDG": 25.0,
+                    "exec.tasks": 2.0,
+                },
+                "gauges": {},
+                "histograms": {
+                    "span.campaign.seconds": {"count": 2, "sum": 2.0, "mean": 1.0, "p95": 2.5}
+                },
+            },
+        },
+    ]
+
+
+def test_final_metrics_takes_the_last_dump():
+    events = _synthetic_events()
+    assert final_metrics(events)["counters"]["exec.tasks"] == 2.0
+    assert final_metrics([]) == {}
+
+
+def test_span_rollup_aggregates_by_name():
+    (row,) = span_rollup(_synthetic_events())
+    assert row["span"] == "campaign"
+    assert row["calls"] == 2
+    assert row["total_s"] == pytest.approx(2.0)
+    assert row["max_s"] == pytest.approx(1.5)
+
+
+def test_instruction_mix_rows_sorted_by_count():
+    rows = instruction_mix_rows(
+        {"sim.instructions.FFMA": 75.0, "sim.instructions.LDG": 25.0, "other": 9.0}
+    )
+    assert [r["opclass"] for r in rows] == ["FFMA", "LDG"]
+    assert rows[0]["mix_%"] == pytest.approx(75.0)
+    assert instruction_mix_rows({"other": 1.0}) == []
+
+
+def test_render_report_contains_all_sections():
+    report = render_report(_synthetic_events())
+    assert "2 task completions" in report
+    assert "Instructions retired per opcode class" in report
+    assert "FFMA" in report
+    assert "Counters" in report and "exec.tasks" in report
+    assert "Histograms" in report and "span.campaign.seconds" in report
+    assert "Spans" in report
+
+
+def test_render_report_caps_the_counter_table():
+    events = [
+        {
+            "kind": "metrics",
+            "data": {"counters": {f"c{i:03d}": float(i) for i in range(50)}, "histograms": {}},
+        }
+    ]
+    report = render_report(events, top=5)
+    assert "showing top 5 of 50 counters" in report
+
+
+def test_cli_round_trip(tmp_path, capsys):
+    """--trace-out then telemetry-report: the read side of the trace."""
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.report import main
+
+    path = tmp_path / "trace.jsonl"
+    with telemetry_session(trace_path=path) as telemetry:
+        with telemetry.span("campaign"):
+            telemetry.count("sim.instructions.FADD", 10)
+            telemetry.task_done()
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "FADD" in out
+    assert "1 task completions" in out
+
+
+def test_cli_subcommand_dispatches_from_experiments(tmp_path, capsys):
+    """`python -m repro.experiments telemetry-report TRACE` summarizes."""
+    from repro.experiments.__main__ import main
+    from repro.telemetry import telemetry_session
+
+    path = tmp_path / "trace.jsonl"
+    with telemetry_session(trace_path=path) as telemetry:
+        telemetry.count("exec.tasks", 4)
+    assert main(["telemetry-report", str(path)]) == 0
+    assert "exec.tasks" in capsys.readouterr().out
