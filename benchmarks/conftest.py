@@ -12,6 +12,14 @@ import pytest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.session import ExperimentSession
 
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker, so a
+    whole-tree run can deselect it with ``-m "not bench"`` (the tier-1
+    suite already excludes this directory via ``testpaths``)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: one shared reduced-scale configuration for all benches
 BENCH_CONFIG = ExperimentConfig(
     seed=0, injections=60, beam_fault_evals=60, memory_avf_strikes=12

@@ -31,14 +31,10 @@ class DType(enum.Enum):
         #: paper's code-name prefix: H/F/D for fp16/32/64 ("I" is never
         #: prepended in the paper; integer codes keep their bare names)
         self.prefix = prefix
-
-    @property
-    def bytes(self) -> int:
-        return self.bits // 8
-
-    @property
-    def is_float(self) -> bool:
-        return self is not DType.INT32
+        # plain attributes, not properties: both are read on every simulated
+        # load/store, where the descriptor-call overhead is measurable
+        self.bytes = bits // 8
+        self.is_float = label != "int32"
 
     @classmethod
     def from_label(cls, label: str) -> "DType":

@@ -106,10 +106,23 @@ class OpClass(enum.Enum):
     def writes_register(self) -> bool:
         """Whether the instruction produces a general-purpose register value
         (the site NVBitFI injects into)."""
-        return self not in (OpClass.STG, OpClass.STS, OpClass.BRA, OpClass.BAR, OpClass.NOP)
+        return _WRITES_REGISTER[self.op_index]
 
     def __repr__(self) -> str:
         return f"OpClass.{self.name}"
+
+
+#: Stable dense index per member (``op.op_index``) so hot paths can keep
+#: int-indexed accumulators/tables instead of hashing enum members.
+OP_COUNT = len(OpClass)
+for _index, _op in enumerate(OpClass):
+    _op.op_index = _index
+del _index, _op
+
+_WRITES_REGISTER: Tuple[bool, ...] = tuple(
+    op not in (OpClass.STG, OpClass.STS, OpClass.BRA, OpClass.BAR, OpClass.NOP)
+    for op in OpClass
+)
 
 
 def categorize(op: OpClass) -> OpCategory:

@@ -40,6 +40,15 @@ WATCHDOG_FACTOR = 8.0
 
 _ADDRESSABLE = (OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS)
 
+#: telemetry keys precomputed over the closed (kind, outcome) space —
+#: ``evaluate`` runs once per sampled strike, so no f-strings there
+_EVAL_KEYS = {kind: f"beam.eval.{kind}" for kind in ("op", "mem", "hidden")}
+_OUTCOME_KEYS = {
+    (kind, outcome): f"beam.outcome.{kind}.{outcome.value}"
+    for kind in ("op", "mem", "hidden")
+    for outcome in Outcome
+}
+
 
 class BeamEngine:
     """Evaluates strike outcomes for one (device, workload, ECC) setup."""
@@ -164,6 +173,6 @@ class BeamEngine:
         # so the merged aggregate is identical for any workers= setting
         telemetry = get_telemetry()
         telemetry.count("beam.evals")
-        telemetry.count(f"beam.eval.{kind}")
-        telemetry.count(f"beam.outcome.{kind}.{outcome.value}")
+        telemetry.count(_EVAL_KEYS[kind])
+        telemetry.count(_OUTCOME_KEYS[kind, outcome])
         return outcome

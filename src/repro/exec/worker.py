@@ -23,6 +23,7 @@ both modes).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.common.rng import RngFactory
@@ -37,19 +38,33 @@ from repro.exec.tasks import (
 )
 from repro.telemetry import capture, get_telemetry
 
-#: process-local memo of per-campaign state; bounded to keep long-lived
-#: pools from accumulating dead goldens
-_STATE_CACHE: Dict[tuple, Any] = {}
+#: process-local memo of per-campaign state, evicted least-recently-used so
+#: interleaved campaigns (e.g. a combined-analysis sweep alternating between
+#: two workloads) never thrash the whole cache the way clear-on-overflow did
+_STATE_CACHE: "OrderedDict[tuple, Any]" = OrderedDict()
 _STATE_CACHE_LIMIT = 32
 
 
 def _cached_state(key: tuple, build: Callable[[], Any]) -> Any:
     state = _STATE_CACHE.get(key)
     if state is None:
-        if len(_STATE_CACHE) >= _STATE_CACHE_LIMIT:
-            _STATE_CACHE.clear()
+        while len(_STATE_CACHE) >= _STATE_CACHE_LIMIT:
+            _STATE_CACHE.popitem(last=False)
         _STATE_CACHE[key] = state = build()
+    else:
+        _STATE_CACHE.move_to_end(key)
     return state
+
+
+#: memo of memory-AVF outcome → telemetry key (Outcome is imported lazily in
+#: the strike evaluator, so the table fills on first sight instead of at import)
+_MEM_AVF_OUTCOME_KEYS: Dict[Any, str] = {}
+
+
+def _rng_factories(tasks: Sequence[Any]) -> Dict[int, RngFactory]:
+    """One RngFactory per distinct root seed in the chunk (hoisted out of
+    the per-task loop; the substream derivation itself stays per task)."""
+    return {seed: RngFactory(seed) for seed in {task.root_seed for task in tasks}}
 
 
 # -- injection campaigns ----------------------------------------------------------
@@ -75,12 +90,18 @@ def run_injection_chunk(ctx: CampaignContext, tasks: Sequence[InjectionTask]) ->
     """Evaluate a chunk of campaign injections; returns InjectionRecords."""
     with capture():  # state rebuild must not pollute the shipped snapshot
         runner, workload, groups = _campaign_state(ctx)
-    records = []
+    factories = _rng_factories(tasks)
+    # Evaluate grouped by injection site group (better locality: the same
+    # site machinery stays hot), but ship records in submission order so the
+    # chunk result is position-identical to the naive loop.
+    order = sorted(range(len(tasks)), key=lambda j: (tasks[j].group, j))
+    records: List[Any] = [None] * len(tasks)
     with capture() as registry:
-        for task in tasks:
-            rng = RngFactory(task.root_seed).stream(*task.rng_path)
-            records.append(
-                runner.inject_once(workload, groups[task.group], task.target_index, rng)
+        for j in order:
+            task = tasks[j]
+            rng = factories[task.root_seed].stream(*task.rng_path)
+            records[j] = runner.inject_once(
+                workload, groups[task.group], task.target_index, rng
             )
     return ChunkResult(records, registry.snapshot())
 
@@ -110,10 +131,11 @@ def run_beam_chunk(ctx: BeamEvalContext, tasks: Sequence[BeamEvalTask]) -> Chunk
     """Evaluate a chunk of sampled beam strikes; returns Outcomes."""
     with capture():  # state rebuild must not pollute the shipped snapshot
         engine = _beam_state(ctx)
+    factories = _rng_factories(tasks)
     outcomes = []
     with capture() as registry:
         for task in tasks:
-            rng = RngFactory(task.root_seed).stream(*task.rng_path)
+            rng = factories[task.root_seed].stream(*task.rng_path)
             outcomes.append(engine.evaluate(task.resource, rng))
     return ChunkResult(outcomes, registry.snapshot())
 
@@ -150,11 +172,12 @@ def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> Chun
 
     with capture():  # state rebuild must not pollute the shipped snapshot
         workload, golden = _memory_avf_state(ctx)
+    factories = _rng_factories(tasks)
     outcomes = []
     with capture() as registry:
         telemetry = get_telemetry()
         for task in tasks:
-            rng = RngFactory(task.root_seed).stream(*task.rng_path)
+            rng = factories[task.root_seed].stream(*task.rng_path)
             strike = StorageStrike(tick=task.tick, space=task.space, rng=rng)
             try:
                 run = run_kernel(
@@ -172,6 +195,9 @@ def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> Chun
                 compare = workload.compare(golden.outputs, run.outputs)
                 outcome = Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
             telemetry.count("mem_avf.strikes")
-            telemetry.count(f"mem_avf.outcome.{outcome.value}")
+            key = _MEM_AVF_OUTCOME_KEYS.get(outcome)
+            if key is None:
+                key = _MEM_AVF_OUTCOME_KEYS[outcome] = f"mem_avf.outcome.{outcome.value}"
+            telemetry.count(key)
             outcomes.append(outcome)
     return ChunkResult(outcomes, registry.snapshot())

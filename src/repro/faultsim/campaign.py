@@ -44,6 +44,11 @@ from repro.workloads.base import CompareResult, Workload
 #: kill runs that exceed this multiple of the golden dynamic instruction count
 WATCHDOG_FACTOR = 8.0
 
+#: telemetry keys precomputed outside the per-injection path; outcomes are a
+#: closed enum, group names are memoized on first sight
+_OUTCOME_KEYS = {outcome: f"campaign.outcome.{outcome.value}" for outcome in Outcome}
+_GROUP_KEYS: Dict[str, str] = {}
+
 
 class CampaignRunner:
     """Runs fault-injection campaigns for one (device, framework) pair."""
@@ -89,8 +94,11 @@ class CampaignRunner:
         record = self._inject_once(workload, group, target_index, rng)
         telemetry = get_telemetry()
         telemetry.count("campaign.injections")
-        telemetry.count(f"campaign.outcome.{record.outcome.value}")
-        telemetry.count(f"campaign.group.{record.group}")
+        telemetry.count(_OUTCOME_KEYS[record.outcome])
+        group_key = _GROUP_KEYS.get(record.group)
+        if group_key is None:
+            group_key = _GROUP_KEYS[record.group] = f"campaign.group.{record.group}"
+        telemetry.count(group_key)
         return record
 
     def _inject_once(

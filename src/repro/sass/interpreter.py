@@ -14,7 +14,9 @@ import numpy as np
 
 from repro.arch.dtypes import DType
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.sass.compiler import CompiledState, compiled_for, telemetry_key
 from repro.sass.program import Instruction, Operand, OperandKind, Program
+from repro.sim.fastpath import fast_path_enabled
 from repro.telemetry import get_telemetry
 
 
@@ -24,6 +26,11 @@ class SassKernel:
     ``inputs`` supplies the initial contents of (some) declared buffers;
     undeclared-in-inputs buffers are zero-initialized with ``shapes[name]``.
     ``outputs`` names the buffers returned from the run.
+
+    Execution has two equivalent engines: the tree-walking interpreter below
+    (the reference) and the closure compiler in :mod:`repro.sass.compiler`
+    (the default when the simulator fast path is on).  The equivalence suite
+    pins them bit-identical.
     """
 
     def __init__(
@@ -51,9 +58,30 @@ class SassKernel:
                 raise ConfigurationError(
                     f"buffer {name!r} needs either input data or a declared shape"
                 )
+        # Intern inputs once: contiguous, final dtype.  ctx.alloc then only
+        # pays one copy per run instead of convert+copy, and the canonical
+        # array is shared (read-only by convention) across all runs.
+        self._buffer_dtypes = {
+            name: _buffer_dtype(self, name) for name in program.buffers
+        }
+        self._canonical = {
+            name: np.ascontiguousarray(
+                np.asarray(array), dtype=self._buffer_dtypes[name].np_dtype
+            )
+            for name, array in self.inputs.items()
+        }
+
+    def buffer_dtype(self, name: str) -> DType:
+        return self._buffer_dtypes[name]
+
+    def canonical_input(self, name: str) -> Optional[np.ndarray]:
+        """The interned initial contents for ``name`` (None if zero-init)."""
+        return self._canonical.get(name)
 
     # -- kernel protocol -----------------------------------------------------------
     def __call__(self, ctx) -> Dict[str, np.ndarray]:
+        if fast_path_enabled():
+            return self._call_compiled(ctx)
         state = _ExecState(ctx, self)
         try:
             state.run(self.program.instructions)
@@ -62,8 +90,25 @@ class SassKernel:
             # run (kept even when a simulated fault aborts the kernel)
             telemetry = get_telemetry()
             for mnemonic, n in state.retired.items():
-                telemetry.count(f"sass.instructions.{mnemonic}", n)
+                telemetry.count(telemetry_key(mnemonic), n)
         return {name: ctx.read_buffer(state.buffers[name]) for name in self.outputs}
+
+    def _call_compiled(self, ctx) -> Dict[str, np.ndarray]:
+        compiled = compiled_for(self.program)
+        state = CompiledState(ctx, compiled, self)
+        try:
+            compiled.run(state)
+        finally:
+            telemetry = get_telemetry()
+            counts = state.counts
+            keys = compiled.slot_keys
+            for index, n in enumerate(counts):
+                if n:
+                    telemetry.count(keys[index], n)
+        slots = compiled.buffer_slots
+        return {
+            name: ctx.read_buffer(state.bufs[slots[name]]) for name in self.outputs
+        }
 
     #: run_kernel expects a ``kernel(ctx)`` callable; expose ourselves as one
     @property
@@ -92,9 +137,10 @@ class _ExecState:
         self.retired: Dict[str, int] = {}   # warp-instructions per mnemonic
         self.buffers = {}
         for name in kernel.program.buffers:
-            dtype = _buffer_dtype(kernel, name)
-            if name in kernel.inputs:
-                self.buffers[name] = ctx.alloc(name, np.asarray(kernel.inputs[name]), dtype)
+            dtype = kernel.buffer_dtype(name)
+            canonical = kernel.canonical_input(name)
+            if canonical is not None:
+                self.buffers[name] = ctx.alloc(name, canonical, dtype)
             else:
                 self.buffers[name] = ctx.alloc_zeros(name, kernel.shapes[name], dtype)
         for name, elements in kernel.program.shared:

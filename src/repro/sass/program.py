@@ -109,6 +109,16 @@ class Program:
         if not self.name:
             raise ConfigurationError("a program needs a .kernel name")
 
+    def __getstate__(self):
+        # the compiled-closure cache (repro.sass.compiler) can't pickle;
+        # worker processes recompile once on first use
+        state = dict(self.__dict__)
+        state.pop("_compiled", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     def validate(self) -> None:
         """Static checks: memory operands reference declared buffers, reads
         see a prior write, predication guards reference defined predicates."""

@@ -28,17 +28,18 @@ behind the paper's ~18% SASSIFI-vs-NVBitFI AVF gap (§VI).
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import math
 from contextlib import contextmanager
-from typing import Iterator, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.arch.devices import DeviceSpec
 from repro.arch.dtypes import DType
 from repro.arch.ecc import EccOutcome, SecdedModel
-from repro.arch.isa import OpClass
+from repro.arch.isa import OP_COUNT, OpClass, arith_op
 from repro.common.errors import ConfigurationError, SimulationError
+from repro.sim.fastpath import fast_path_enabled
 from repro.sim.exceptions import (
     EccDoubleBitError,
     IllegalAddressError,
@@ -68,8 +69,42 @@ CONTROL_FAULT_DUE = 0.25
 #: Live-register table capacity (matches max registers per thread).
 _REGISTER_TABLE_CAP = 256
 
+#: unsigned view dtype for the single-reduction global bounds check
+_UINT32 = np.dtype(np.uint32)
+
+#: memo of scalar → read-only lane-constant coercions (see ``_coerce``)
+_SCALAR_CACHE: dict = {}
+_SCALAR_CACHE_LIMIT = 4096
+
 #: cuda7 emits one dead address-recomputation IADD every N arithmetic ops.
 _CUDA7_DEADCODE_PERIOD = 6
+
+#: members in definition order, aligned with ``OpClass.op_index``
+_OPS = tuple(OpClass)
+
+
+def _arith_table(kind: str) -> dict:
+    table = {}
+    for dtype in DType:
+        try:
+            table[dtype] = arith_op(kind, dtype)
+        except ValueError:
+            continue  # unsupported pairs keep raising through arith_op
+    return table
+
+
+#: (kind -> dtype -> OpClass) lookup for the hot arithmetic resolvers; a
+#: miss falls through to :func:`arith_op` so the error message is unchanged
+_ARITH_OPS = {kind: _arith_table(kind) for kind in ("ADD", "MUL", "FMA")}
+
+# Attach the resolved opcodes to the DType members themselves: an attribute
+# read beats a dict probe (Enum.__hash__ is a Python-level call) in the
+# per-instruction resolvers below.  ``None`` marks unsupported pairs, which
+# still raise through arith_op.
+for _dtype in DType:
+    _dtype._add_op = _ARITH_OPS["ADD"].get(_dtype)
+    _dtype._mul_op = _ARITH_OPS["MUL"].get(_dtype)
+    _dtype._fma_op = _ARITH_OPS["FMA"].get(_dtype)
 
 
 class KernelContext:
@@ -109,9 +144,10 @@ class KernelContext:
 
         from repro.sim.trace import ExecutionTrace
 
-        self.trace = ExecutionTrace()
+        self._trace = ExecutionTrace()
         self.tick: float = 0.0
         self.watchdog_limit = watchdog_limit
+        self._watchdog = math.inf if watchdog_limit is None else watchdog_limit
 
         self._mask_stack: list = [np.ones(self.num_lanes, dtype=bool)]
         self._active_idx: Optional[np.ndarray] = None  # lazily computed
@@ -124,12 +160,72 @@ class KernelContext:
         self._active_warps: float = self._total_warps
 
         self._vreg_counter = 0
-        self._registers: "OrderedDict[int, Val]" = OrderedDict()
+        # live-register window: a fixed-size ring over the last
+        # _REGISTER_TABLE_CAP virtual registers (slot = vreg % cap), the
+        # candidate pool for RF strikes and wrong-path corruption
+        self._reg_ring: List[Optional[Val]] = [None] * _REGISTER_TABLE_CAP
+        #: fast path's shared loop-counter lane array (see :meth:`range`)
+        self._loop_counter: Optional[np.ndarray] = None
         self._arith_since_deadcode = 0
+        self._deadcode = backend == "cuda7"
+        self._warp_size = device.warp_size
 
         self.plan: Optional[InjectionPlan] = None
         self._strikes: list = []
         self._strike_cursor = 0
+        self._next_strike_tick: float = math.inf
+
+        # -- fast-path (quiet mode) state; see repro.sim.fastpath -----------
+        # Batched trace accounting: int-indexed per-op accumulators flushed
+        # once per run (through the .trace property), in first-touch order so
+        # Counter insertion order — and therefore every order-dependent float
+        # sum downstream — matches the per-emit reference path bit for bit.
+        self._fast = fast_path_enabled()
+        self._inst_acc: List[float] = [0.0] * OP_COUNT
+        self._issue_acc: List[float] = [0.0] * OP_COUNT
+        self._touched: List[OpClass] = []
+        self._touched_flags = bytearray(OP_COUNT)
+        self._act_acc: float = 0.0
+        self._launch_acc: float = 0.0
+        #: per-op coverage of the armed OUTPUT_VALUE plan (None = no plan
+        #: offers; entries resolve lazily on first emission of each class)
+        self._covers: Optional[List[Optional[bool]]] = None
+        self._addr_plan = False
+        self._block_of_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ trace
+    @property
+    def trace(self):
+        """The execution trace; flushes any batched fast-path accounting."""
+        self._flush_trace()
+        return self._trace
+
+    def _flush_trace(self) -> None:
+        """Drain the per-op accumulators into the trace (idempotent)."""
+        trace = self._trace
+        if self._touched:
+            inst, issue = self._inst_acc, self._issue_acc
+            flags = self._touched_flags
+            for op in self._touched:
+                index = op.op_index
+                trace.record(op, inst[index], issue[index])
+                inst[index] = 0.0
+                issue[index] = 0.0
+                flags[index] = 0
+            self._touched.clear()
+        if self._launch_acc:
+            trace.record_activity(self._act_acc, self._launch_acc)
+            self._act_acc = 0.0
+            self._launch_acc = 0.0
+        trace.registers_written = self._vreg_counter
+        trace.validate()
+
+    @property
+    def _block_of(self) -> np.ndarray:
+        """lane → block index map for shared-memory accesses (cached)."""
+        if self._block_of_cache is None:
+            self._block_of_cache = np.arange(self.num_lanes) // self.lanes_per_block
+        return self._block_of_cache
 
     # ------------------------------------------------------------------ masks
     @property
@@ -179,24 +275,42 @@ class KernelContext:
 
     # ------------------------------------------------------------- registers
     def _new_val(self, data: np.ndarray, dtype: Optional[DType]) -> Val:
-        self._vreg_counter += 1
-        val = Val(data, dtype, self._vreg_counter)
-        self._registers[val.vreg] = val
-        if len(self._registers) > _REGISTER_TABLE_CAP:
-            self._registers.popitem(last=False)
-        self.trace.registers_written = self._vreg_counter
+        counter = self._vreg_counter + 1
+        self._vreg_counter = counter
+        val = Val(data, dtype, counter)
+        self._reg_ring[counter % _REGISTER_TABLE_CAP] = val
+        # registers_written (== the counter) is synced at trace flush
         return val
+
+    def _pick_register(self, rng: np.random.Generator) -> Optional[Val]:
+        """Uniform draw over the live-register window, oldest-first indexed
+        (draw ``i`` selects the i-th oldest live vreg, matching the ordered
+        insertion table this ring replaced)."""
+        counter = self._vreg_counter
+        count = min(counter, _REGISTER_TABLE_CAP)
+        if count == 0:
+            return None
+        vreg = counter - count + 1 + int(rng.integers(0, count))
+        return self._reg_ring[vreg % _REGISTER_TABLE_CAP]
 
     # ----------------------------------------------------------------- fault
     def arm(self, plan: InjectionPlan) -> None:
         if self.plan is not None:
             raise ConfigurationError("a plan is already armed (single-fault regime)")
         self.plan = plan
+        # Pre-arm table: the per-emit offer becomes an int-indexed load
+        # instead of a predicate call chain (covers → stream → writes-reg).
+        # Entries fill lazily on first emission of each op class, so a run
+        # only ever resolves the handful of classes its kernel emits.
+        if plan.mode is InjectionMode.OUTPUT_VALUE and not plan.fired:
+            self._covers = [None] * OP_COUNT
+        self._addr_plan = plan.mode is InjectionMode.ADDRESS
 
     def schedule_strike(self, strike: StorageStrike) -> None:
         self._strikes.append(strike)
         self._strikes.sort(key=lambda s: s.tick)
         self._strike_cursor = 0
+        self._next_strike_tick = self._strikes[0].tick
 
     def _apply_due_strikes(self) -> None:
         while self._strike_cursor < len(self._strikes):
@@ -211,15 +325,21 @@ class KernelContext:
                 self._strike_register_file(strike.rng)
             else:
                 self.pool.strike(strike.rng, space=strike.space)
+        self._next_strike_tick = (
+            self._strikes[self._strike_cursor].tick
+            if self._strike_cursor < len(self._strikes)
+            else math.inf
+        )
 
     def _strike_register_file(self, rng: np.random.Generator) -> None:
         outcome = self.ecc.strike(rng)
         if outcome is EccOutcome.DETECTED_DUE:
             raise EccDoubleBitError("register_file")
-        if outcome is EccOutcome.CORRECTED or not self._registers:
+        if outcome is EccOutcome.CORRECTED:
             return
-        keys = list(self._registers.keys())
-        val = self._registers[keys[int(rng.integers(0, len(keys)))]]
+        val = self._pick_register(rng)
+        if val is None:
+            return
         lane = int(rng.integers(0, val.lanes))
         tile = int(np.prod(val.tile_shape)) if val.tile_shape else 1
         element = int(rng.integers(0, tile))
@@ -276,9 +396,8 @@ class KernelContext:
             return
         if draw < CONTROL_FAULT_MASKED + CONTROL_FAULT_DATA:
             plan.record.detail = "control:wrong_path"
-            if self._registers:
-                keys = list(self._registers.keys())
-                val = self._registers[keys[int(plan.rng.integers(0, len(keys)))]]
+            val = self._pick_register(plan.rng)
+            if val is not None:
                 tile = int(np.prod(val.tile_shape)) if val.tile_shape else 1
                 element = int(plan.rng.integers(0, tile))
                 self._apply_fault_model(plan, val, min(lane, val.lanes - 1), element)
@@ -291,37 +410,77 @@ class KernelContext:
         n = self._active_count * weight
         if n <= 0:
             return result
+        if self._fast:
+            # Quiet mode: accumulate trace counts int-indexed (flushed once
+            # through .trace), check strikes/watchdog against precomputed
+            # thresholds, and offer to the armed plan via the covers table.
+            # Every float is accumulated in the same order as the reference
+            # branch below, so the flushed trace is bit-identical.
+            index = op.op_index
+            inst = self._inst_acc
+            if not self._touched_flags[index]:
+                self._touched_flags[index] = 1
+                self._touched.append(op)
+            inst[index] += n
+            self._issue_acc[index] += n if self.warp_lanes else n / self._warp_size
+            self._act_acc += self._active_warps
+            self._launch_acc += self._total_warps
+            self.tick += n
+            if self.tick >= self._next_strike_tick:
+                self._apply_due_strikes()
+            if self.tick > self._watchdog:
+                raise WatchdogTimeout(int(self.tick), int(self.watchdog_limit))
+            covers = self._covers
+            if covers is not None:
+                covered = covers[index]
+                if covered is None:
+                    covered = covers[index] = self.plan.covers(op)
+                if covered:
+                    plan = self.plan
+                    start = plan.stream_count
+                    plan.stream_count = start + n
+                    if start <= plan.target_index < start + n:
+                        self._fire_claimed(
+                            plan, op, result, float(plan.target_index - start), weight
+                        )
+                        if plan.fired:
+                            self._covers = None
+            return result
+        # -- reference path (fast path off): per-emit recording and offers --
         issue = n if self.warp_lanes else n / self.device.warp_size
-        self.trace.record(op, n, issue)
-        self.trace.record_activity(self._active_warps, self._total_warps)
+        self._trace.record(op, n, issue)
+        self._trace.record_activity(self._active_warps, self._total_warps)
         self.tick += n
         if self._strikes:
             self._apply_due_strikes()
-        if self.watchdog_limit is not None and self.tick > self.watchdog_limit:
+        if self.tick > self._watchdog:
             raise WatchdogTimeout(int(self.tick), int(self.watchdog_limit))
         plan = self.plan
         if plan is not None and not plan.fired and plan.mode is InjectionMode.OUTPUT_VALUE:
             offset = plan.claim(op, n)
             if offset is not None:
-                target = result
-                if target is None:
-                    # stores/branches carry no destination register; branches
-                    # go through the control-fault model, stores are claimed
-                    # here but a store's "output" is the memory word, which
-                    # the ADDRESS mode and MEMORY strikes cover.
-                    if op is OpClass.BRA:
-                        plan.fired = True
-                        plan.record.op = op
-                        active = self._active_indices()
-                        lane = int(active[int(offset) // weight]) if len(active) else 0
-                        self._fire_control_fault(plan, lane)
-                    return result
-                self._fire_on_output(plan, op, target, offset, weight)
+                self._fire_claimed(plan, op, result, offset, weight)
         return result
+
+    def _fire_claimed(self, plan: InjectionPlan, op: OpClass, result: Optional[Val], offset: float, weight: int) -> None:
+        """Fire a claimed OUTPUT_VALUE plan on the emitted instruction."""
+        if result is None:
+            # stores/branches carry no destination register; branches
+            # go through the control-fault model, stores are claimed
+            # here but a store's "output" is the memory word, which
+            # the ADDRESS mode and MEMORY strikes cover.
+            if op is OpClass.BRA:
+                plan.fired = True
+                plan.record.op = op
+                active = self._active_indices()
+                lane = int(active[int(offset) // weight]) if len(active) else 0
+                self._fire_control_fault(plan, lane)
+            return
+        self._fire_on_output(plan, op, result, offset, weight)
 
     def _emit_deadcode_arith(self) -> None:
         """cuda7 backend: periodically emit a dead address recomputation."""
-        if self.backend != "cuda7":
+        if not self._deadcode:
             return
         self._arith_since_deadcode += 1
         if self._arith_since_deadcode >= _CUDA7_DEADCODE_PERIOD:
@@ -359,29 +518,39 @@ class KernelContext:
 
     # ------------------------------------------------------------- arithmetic
     def _coerce(self, operand: Operand, dtype: DType) -> np.ndarray:
-        if isinstance(operand, Val):
+        if type(operand) is Val:
             if operand.dtype is not dtype:
                 raise SimulationError(
                     f"operand dtype {operand.dtype} != expected {dtype}; use ctx.cvt"
                 )
             return operand.data
-        return np.asarray(operand, dtype=dtype.np_dtype)
+        # Kernels re-coerce the same Python constants thousands of times per
+        # campaign; memoize the 0-d results read-only (every consumer is a
+        # ufunc input, never a mutation target).
+        try:
+            return _SCALAR_CACHE[(dtype.label, operand)]
+        except KeyError:
+            array = np.asarray(operand, dtype=dtype.np_dtype)
+            array.setflags(write=False)
+            if len(_SCALAR_CACHE) < _SCALAR_CACHE_LIMIT:
+                _SCALAR_CACHE[(dtype.label, operand)] = array
+            return array
+        except TypeError:  # unhashable operand (e.g. a raw ndarray)
+            return np.asarray(operand, dtype=dtype.np_dtype)
 
     def _dtype_of(self, *operands: Operand) -> DType:
         for operand in operands:
-            if isinstance(operand, Val):
+            if type(operand) is Val:
                 if operand.dtype is None:
                     raise SimulationError("predicate used as arithmetic operand")
                 return operand.dtype
         raise SimulationError("at least one operand must be a Val")
 
     def _binary(self, kind: str, a: Operand, b: Operand) -> Val:
-        from repro.arch.isa import arith_op
-
-        dtype = self._dtype_of(a, b)
-        op = arith_op(kind, dtype)
-        x = self._coerce(a, dtype)
-        y = self._coerce(b, dtype)
+        dtype = a.dtype if type(a) is Val and a.dtype is not None else self._dtype_of(a, b)
+        op = (dtype._add_op if kind == "ADD" else dtype._mul_op) or arith_op(kind, dtype)
+        x = a.data if type(a) is Val and a.dtype is dtype else self._coerce(a, dtype)
+        y = b.data if type(b) is Val and b.dtype is dtype else self._coerce(b, dtype)
         if kind == "ADD":
             data = x + y
         elif kind == "MUL":
@@ -389,7 +558,8 @@ class KernelContext:
         else:  # pragma: no cover - guarded by callers
             raise SimulationError(f"unknown binary kind {kind}")
         result = self._new_val(data.astype(dtype.np_dtype, copy=False), dtype)
-        self._emit_deadcode_arith()
+        if self._deadcode:
+            self._emit_deadcode_arith()
         return self._emit(op, result)
 
     def add(self, a: Operand, b: Operand) -> Val:
@@ -399,11 +569,10 @@ class KernelContext:
         dtype = self._dtype_of(a, b)
         x = self._coerce(a, dtype)
         y = self._coerce(b, dtype)
-        from repro.arch.isa import arith_op
-
         result = self._new_val((x - y).astype(dtype.np_dtype, copy=False), dtype)
-        self._emit_deadcode_arith()
-        return self._emit(arith_op("ADD", dtype), result)
+        if self._deadcode:
+            self._emit_deadcode_arith()
+        return self._emit(dtype._add_op or arith_op("ADD", dtype), result)
 
     def mul(self, a: Operand, b: Operand) -> Val:
         return self._binary("MUL", a, b)
@@ -411,20 +580,22 @@ class KernelContext:
     def fma(self, a: Operand, b: Operand, c: Operand) -> Val:
         """Fused multiply-add: a*b + c in one instruction (FFMA/DFMA/HFMA
         for floats, IMAD for integers)."""
-        from repro.arch.isa import arith_op
-
-        dtype = self._dtype_of(a, b, c)
-        op = arith_op("FMA", dtype)
-        x = self._coerce(a, dtype)
-        y = self._coerce(b, dtype)
-        z = self._coerce(c, dtype)
-        if dtype.is_float and dtype is not DType.FP16:
-            wide = np.float64 if dtype is DType.FP64 else np.float32
-            data = (x.astype(wide) * y.astype(wide) + z.astype(wide)).astype(dtype.np_dtype)
-        else:
-            data = (x * y + z).astype(dtype.np_dtype, copy=False)
-        result = self._new_val(data, dtype)
-        self._emit_deadcode_arith()
+        dtype = a.dtype if type(a) is Val and a.dtype is not None else self._dtype_of(a, b, c)
+        op = dtype._fma_op or arith_op("FMA", dtype)
+        x = a.data if type(a) is Val and a.dtype is dtype else self._coerce(a, dtype)
+        y = b.data if type(b) is Val and b.dtype is dtype else self._coerce(b, dtype)
+        z = c.data if type(c) is Val and c.dtype is dtype else self._coerce(c, dtype)
+        # multiply then add at the operand precision (the model's established
+        # FMA semantics); the product is a fresh temporary, so the add can
+        # reuse it in place instead of allocating a second lane array
+        data = np.multiply(x, y)
+        if data.shape == z.shape:
+            np.add(data, z, out=data)
+        else:  # scalar/broadcast addend: let the ufunc allocate the result
+            data = data + z
+        result = self._new_val(data.astype(dtype.np_dtype, copy=False), dtype)
+        if self._deadcode:
+            self._emit_deadcode_arith()
         return self._emit(op, result)
 
     def mad(self, a: Operand, b: Operand, c: Operand) -> Val:
@@ -585,7 +756,16 @@ class KernelContext:
         dtype: DType,
     ) -> DeviceBuffer:
         """Allocate + copy-in a global buffer (cudaMalloc + cudaMemcpy)."""
-        data = np.ascontiguousarray(init, dtype=dtype.np_dtype).copy()
+        np_dtype = dtype.np_dtype
+        if (
+            isinstance(init, np.ndarray)
+            and init.dtype == np_dtype
+            and init.flags.c_contiguous
+        ):
+            # interned/canonical inputs: one copy-in, no convert pass
+            data = init.copy()
+        else:
+            data = np.ascontiguousarray(init, dtype=np_dtype).copy()
         return self.pool.register(DeviceBuffer(name, data, dtype))
 
     def alloc_zeros(self, name: str, shape, dtype: DType) -> DeviceBuffer:
@@ -665,6 +845,13 @@ class KernelContext:
 
         Returns (gather-safe indices, wild-lane mask or None, byte addrs).
         """
+        if self._fast and self._all_active:
+            # common case: every lane in bounds — one scalar reduction
+            # instead of three lane-wide boolean passes.  Viewed as uint32,
+            # negative indices wrap above 2**31 > elements, so a single max
+            # catches both out-of-range directions.
+            if int(indices.view(_UINT32).max()) < buf.elements:
+                return indices, None, None
         mask = self._mask_stack[-1]
         in_buf = (indices >= 0) & (indices < buf.elements)
         bad = mask & ~in_buf
@@ -680,58 +867,104 @@ class KernelContext:
 
     def ld(self, buf: DeviceBuffer, idx: Operand) -> Val:
         """Load one element per lane (LDG for global, LDS for shared)."""
+        indices = self._index_array(idx)
+        # dedicated fast route: global load, every lane active, no address
+        # plan, all indices in bounds — a bare gather with one scalar
+        # reduction for the bounds proof (uint32 view: negatives wrap high)
+        if (
+            self._fast
+            and self._all_active
+            and not self._addr_plan
+            and buf.space == "global"
+            and int(np.maximum.reduce(indices.view(_UINT32))) < buf.elements
+        ):
+            dtype = buf.dtype
+            data = buf.flat()[indices]
+            self._trace.global_bytes += int(self._active_count) * dtype.bytes
+            out = self._emit(OpClass.LDG, self._new_val(data, dtype))
+            if self._deadcode:
+                self._emit(OpClass.MOV, self._new_val(data.copy(), dtype))
+            return out
         op = OpClass.LDS if buf.space == "shared" else OpClass.LDG
-        indices = self._maybe_corrupt_address(op, self._index_array(idx), buf.dtype.bytes)
+        if self._addr_plan:
+            indices = self._maybe_corrupt_address(op, indices, buf.dtype.bytes)
         mask = self._mask_stack[-1]
+        # all lanes active: the mask blends below are identities — skip the
+        # lane-wide np.where passes (values are unchanged, so bit-identical)
+        all_active = self._fast and self._all_active
         if buf.space == "shared":
             # a wild shared-memory index wraps within the SM's shared array
             # (shared addressing cannot reach global space, so no DUE)
-            limit = buf.elements_per_block
-            wrapped = np.mod(indices, limit)
-            block_of = np.arange(self.num_lanes) // self.lanes_per_block
+            wrapped = np.mod(indices, buf.elements_per_block)
             flat = buf.data.reshape(buf.blocks, -1)
-            data = flat[block_of, np.where(mask, wrapped, 0)]
-            self.trace.shared_bytes += int(self._active_count) * buf.dtype.bytes
+            if all_active:
+                data = flat[self._block_of, wrapped]
+            else:
+                data = flat[self._block_of, np.where(mask, wrapped, 0)]
+            self._trace.shared_bytes += int(self._active_count) * buf.dtype.bytes
         else:
             safe, wild, byte = self._resolve_global(buf, indices)
-            data = buf.flat()[np.where(mask, safe, 0)]
+            if all_active:
+                data = buf.flat()[safe]
+            else:
+                data = buf.flat()[np.where(mask, safe, 0)]
             if wild is not None:
                 garbage = self.pool.wild_read_bits(byte[wild])
                 bits = garbage.astype(buf.dtype.np_bits_dtype)
                 data = data.copy()
                 data[wild] = bits.view(buf.dtype.np_dtype)
-            self.trace.global_bytes += int(self._active_count) * buf.dtype.bytes
-        data = np.where(mask, data, buf.dtype.np_dtype.type(0))
+            self._trace.global_bytes += int(self._active_count) * buf.dtype.bytes
+        if not all_active:
+            data = np.where(mask, data, buf.dtype.np_dtype.type(0))
         result = self._new_val(data.astype(buf.dtype.np_dtype, copy=False), buf.dtype)
         out = self._emit(op, result)
-        if self.backend == "cuda7":
+        if self._deadcode:
             # older toolchain: un-eliminated register copy of every load
             self._emit(OpClass.MOV, self._new_val(data.copy(), buf.dtype))
         return out
 
     def st(self, buf: DeviceBuffer, idx: Operand, val: Val) -> None:
         """Store one element per lane (STG/STS)."""
-        op = OpClass.STS if buf.space == "shared" else OpClass.STG
         if val.dtype is not buf.dtype:
             raise SimulationError(f"store dtype {val.dtype} != buffer {buf.dtype}")
-        indices = self._maybe_corrupt_address(op, self._index_array(idx), buf.dtype.bytes)
+        indices = self._index_array(idx)
+        # dedicated fast route, mirroring :meth:`ld`
+        if (
+            self._fast
+            and self._all_active
+            and not self._addr_plan
+            and buf.space == "global"
+            and int(np.maximum.reduce(indices.view(_UINT32))) < buf.elements
+        ):
+            buf.flat()[indices] = val.data
+            self._trace.global_bytes += int(self._active_count) * buf.dtype.bytes
+            self._emit(OpClass.STG, None)
+            return
+        op = OpClass.STS if buf.space == "shared" else OpClass.STG
+        if self._addr_plan:
+            indices = self._maybe_corrupt_address(op, indices, buf.dtype.bytes)
         mask = self._mask_stack[-1]
+        all_active = self._fast and self._all_active
         if buf.space == "shared":
             wrapped = np.mod(indices, buf.elements_per_block)
-            block_of = np.arange(self.num_lanes) // self.lanes_per_block
             flat = buf.data.reshape(buf.blocks, -1)
-            flat[block_of[mask], wrapped[mask]] = val.data[mask]
-            self.trace.shared_bytes += int(self._active_count) * buf.dtype.bytes
+            if all_active:
+                flat[self._block_of, wrapped] = val.data
+            else:
+                flat[self._block_of[mask], wrapped[mask]] = val.data[mask]
+            self._trace.shared_bytes += int(self._active_count) * buf.dtype.bytes
         else:
             safe, wild, byte = self._resolve_global(buf, indices)
             if wild is not None:
                 store_mask = mask & ~wild
                 for lane in np.flatnonzero(wild):
                     self.pool.wild_store(int(byte[lane]), val.vreg)
+                buf.flat()[safe[store_mask]] = val.data[store_mask]
+            elif all_active:
+                buf.flat()[safe] = val.data
             else:
-                store_mask = mask
-            buf.flat()[safe[store_mask]] = val.data[store_mask]
-            self.trace.global_bytes += int(self._active_count) * buf.dtype.bytes
+                buf.flat()[safe[mask]] = val.data[mask]
+            self._trace.global_bytes += int(self._active_count) * buf.dtype.bytes
         self._emit(op, None)
 
     def atomic_add(self, buf: DeviceBuffer, idx: Operand, val: Val) -> None:
@@ -742,7 +975,7 @@ class KernelContext:
         self._bounds_check(buf, indices, buf.elements)
         mask = self._mask_stack[-1]
         np.add.at(buf.flat(), indices[mask], val.data[mask])
-        self.trace.global_bytes += int(self._active_count) * buf.dtype.bytes
+        self._trace.global_bytes += int(self._active_count) * buf.dtype.bytes
         self._emit(OpClass.ATOM, None)
 
     # ------------------------------------------------------------ tensor core
@@ -765,7 +998,7 @@ class KernelContext:
         safe = np.where(mask[:, None], flat_idx, 0)
         data = buf.flat()[safe].reshape(self.num_lanes, rows, cols)
         data = np.where(mask[:, None, None], data, buf.dtype.np_dtype.type(0))
-        self.trace.global_bytes += int(self._active_count) * rows * cols * buf.dtype.bytes
+        self._trace.global_bytes += int(self._active_count) * rows * cols * buf.dtype.bytes
         vector_elems = max(1, 16 // buf.dtype.bytes)
         weight = max(1, (rows * cols) // vector_elems // self.device.warp_size) or 1
         result = self._new_val(data.astype(buf.dtype.np_dtype, copy=False), buf.dtype)
@@ -784,7 +1017,7 @@ class KernelContext:
         mask = self._mask_stack[-1]
         flat = buf.flat()
         flat[indices[mask].ravel()] = val.data[mask].reshape(-1).astype(buf.dtype.np_dtype)
-        self.trace.global_bytes += int(self._active_count) * rows * cols * buf.dtype.bytes
+        self._trace.global_bytes += int(self._active_count) * rows * cols * buf.dtype.bytes
         vector_elems = max(1, 16 // buf.dtype.bytes)
         weight = max(1, (rows * cols) // vector_elems // self.device.warp_size)
         self._emit(OpClass.STG, None, weight=weight)
@@ -827,7 +1060,7 @@ class KernelContext:
     # ----------------------------------------------------------------- control
     def bar(self) -> None:
         """Block-wide barrier (__syncthreads)."""
-        self.trace.barriers += 1
+        self._trace.barriers += 1
         self._emit(OpClass.BAR, None)
 
     def nop(self) -> None:
@@ -847,11 +1080,28 @@ class KernelContext:
         if count < 0:
             raise SimulationError("loop count cannot be negative")
         step = max(1, unroll) if self.backend == "cuda10" else 1
+        # The counter register is dead the moment it is emitted (nothing
+        # reads it back; it only exists as an injectable/maskable site), so
+        # the fast path refills one shared lane array instead of allocating
+        # a fresh one per iteration.  Corruption of a stale counter is
+        # unobservable either way — outputs, trace, and RNG draws agree
+        # bit-for-bit with the allocating path.
+        shared_counter = None
+        if self._fast:
+            shared_counter = self._loop_counter
+            if shared_counter is None:
+                shared_counter = self._loop_counter = np.empty(
+                    self.num_lanes, dtype=np.int32
+                )
         for i in range(count):
             if i % step == 0:
-                counter = self._new_val(
-                    np.full(self.num_lanes, i, dtype=np.int32), DType.INT32
-                )
+                if shared_counter is not None:
+                    shared_counter.fill(i)
+                    counter = self._new_val(shared_counter, DType.INT32)
+                else:
+                    counter = self._new_val(
+                        np.full(self.num_lanes, i, dtype=np.int32), DType.INT32
+                    )
                 self._emit(OpClass.IADD, counter)
                 self._emit(OpClass.BRA, None)
             yield i
@@ -860,14 +1110,14 @@ class KernelContext:
     def read(self, val: Val) -> np.ndarray:
         """Host-side readback (cudaMemcpy D2H) — free of device instructions
         but counted as a host synchronization (exposes the host interface)."""
-        self.trace.host_syncs += 1
+        self._trace.host_syncs += 1
         return val.data.copy()
 
     def read_buffer(self, buf: DeviceBuffer) -> np.ndarray:
         """Host copy of a device buffer (cudaMemcpy D2H) — free of device
         instructions; kernels use this to return their outputs.  Counted as
         a host synchronization like :meth:`read`."""
-        self.trace.host_syncs += 1
+        self._trace.host_syncs += 1
         return buf.data.copy()
 
     def any(self, pred: Val) -> bool:

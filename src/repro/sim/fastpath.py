@@ -1,0 +1,57 @@
+"""Process-wide toggle for the simulator's pre-arm fast path.
+
+Until an armed fault actually fires, a campaign run is bit-identical to the
+golden run — so the prefix can execute in a stripped-down "quiet" mode:
+batched trace accounting, a precomputed injection-coverage table, deferred
+strike/watchdog checks, and all-active mask shortcuts (see
+``docs/PERFORMANCE.md``).  The fast path produces bit-identical results and
+telemetry; the slow path is kept as the executable reference and for the
+equivalence suite.
+
+The toggle is read once per :class:`~repro.sim.context.KernelContext`
+construction, so flipping it never affects a run in flight.  Worker
+processes forked by :class:`~repro.exec.engine.ProcessExecutor` inherit the
+flag that was set in the parent at fork time.
+
+Default: enabled.  Set ``REPRO_FAST_PATH=0`` (or ``off``/``false``/``no``)
+to default to the reference path instead.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_ENV_VAR = "REPRO_FAST_PATH"
+_OFF_VALUES = frozenset(("0", "off", "false", "no"))
+
+
+def _env_default() -> bool:
+    return os.environ.get(_ENV_VAR, "1").strip().lower() not in _OFF_VALUES
+
+
+_enabled: bool = _env_default()
+
+
+def fast_path_enabled() -> bool:
+    """Whether new contexts/kernels should take the fast path."""
+    return _enabled
+
+
+def set_fast_path(enabled: Optional[bool]) -> None:
+    """Set the process-wide toggle; ``None`` resets to the env default."""
+    global _enabled
+    _enabled = _env_default() if enabled is None else bool(enabled)
+
+
+@contextmanager
+def fast_path(enabled: bool) -> Iterator[None]:
+    """Scoped override, used by the equivalence tests and the bench runner."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.arch.devices import DeviceSpec
 from repro.arch.ecc import EccMode, SecdedModel
+from repro.arch.isa import OpClass
 from repro.common.errors import ConfigurationError
 from repro.sim.context import KernelContext
 from repro.sim.injection import InjectionPlan, StorageStrike
@@ -23,6 +24,9 @@ from repro.telemetry import get_telemetry
 
 #: a kernel: consumes a context, returns host copies of its outputs by name
 KernelFn = Callable[[KernelContext], Dict[str, np.ndarray]]
+
+#: retired-instruction telemetry keys, built once instead of per run
+_SIM_INSTR_KEYS = {op: f"sim.instructions.{op.name}" for op in OpClass}
 
 
 @dataclass(frozen=True)
@@ -98,7 +102,8 @@ def run_kernel(
     # instruction-mix profiler (see repro.telemetry.report).
     telemetry = get_telemetry()
     telemetry.count("sim.kernel_runs")
-    for op, instances in ctx.trace.instances.items():
-        telemetry.count(f"sim.instructions.{op.name}", instances)
-    telemetry.count("sim.instructions_total", ctx.trace.total_instances)
-    return KernelRun(outputs=outputs, trace=ctx.trace, context=ctx)
+    trace = ctx.trace  # flushes the fast path's batched accounting
+    for op, instances in trace.instances.items():
+        telemetry.count(_SIM_INSTR_KEYS[op], instances)
+    telemetry.count("sim.instructions_total", trace.total_instances)
+    return KernelRun(outputs=outputs, trace=trace, context=ctx)

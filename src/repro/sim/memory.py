@@ -31,17 +31,18 @@ class DeviceBuffer:
         self.name = name
         self.data = data
         self.dtype = dtype
-
-    @property
-    def elements(self) -> int:
-        return int(self.data.size)
+        # ``data`` is never rebound (strikes and host uploads mutate it in
+        # place), so the flattened view and element count can be built once
+        # and reused by the load/store hot path
+        self._flat = data.reshape(-1)
+        self.elements = int(data.size)
 
     @property
     def nbytes(self) -> int:
         return int(self.data.nbytes)
 
     def flat(self) -> np.ndarray:
-        return self.data.reshape(-1)
+        return self._flat
 
     def flip_bit(self, element: int, bit: int) -> None:
         """Flip one bit of one element in place."""

@@ -29,6 +29,9 @@ from repro.telemetry import get_telemetry
 #: hard cap on simulated cycles, as a runaway guard
 _MAX_CYCLES = 5_000_000
 
+#: per-unit telemetry keys, precomputed once for the per-simulation loop
+_UNIT_KEYS = {unit: f"scheduler.unit.{unit.value}" for unit in UnitKind}
+
 
 @dataclass(frozen=True)
 class ScheduleResult:
@@ -68,7 +71,7 @@ class WarpScheduler:
         telemetry.count("scheduler.issued", result.issued)
         for unit, n in result.unit_issues.items():
             if n:
-                telemetry.count(f"scheduler.unit.{unit.value}", n)
+                telemetry.count(_UNIT_KEYS[unit], n)
         return result
 
     def _simulate(self, stream: Sequence[OpClass], n_warps: int) -> ScheduleResult:

@@ -48,10 +48,30 @@ class ExecutionTrace:
     host_syncs: int = 0
 
     def record(self, op: OpClass, lane_instances: float, issue_slots: float) -> None:
-        if lane_instances < 0 or issue_slots < 0:
-            raise ValueError("trace counts cannot be negative")
+        """Accumulate one batch of lane instances / issue slots.
+
+        Hot path: no validation here — negative counts are rejected by
+        :meth:`validate`, which the context's flush and :meth:`merged_with`
+        run at batch boundaries.
+        """
         self.instances[op] += lane_instances
         self.issues[op] = self.issues.get(op, 0.0) + issue_slots
+
+    def validate(self) -> "ExecutionTrace":
+        """Reject impossible accumulator states (negative counts).
+
+        Called once per flush/merge boundary instead of per ``record`` so
+        the per-instruction hot loop stays check-free.
+        """
+        for op, count in self.instances.items():
+            if count < 0:
+                raise ValueError(f"negative instance count for {op}: {count}")
+        for op, slots in self.issues.items():
+            if slots < 0:
+                raise ValueError(f"negative issue count for {op}: {slots}")
+        if self.global_bytes < 0 or self.shared_bytes < 0:
+            raise ValueError("trace byte counts cannot be negative")
+        return self
 
     def record_activity(self, active: float, launched: float) -> None:
         self.active_lane_sum += active
@@ -91,7 +111,18 @@ class ExecutionTrace:
         return float(sum(self.instances.get(op, 0) for op in ops))
 
     def merged_with(self, other: "ExecutionTrace") -> "ExecutionTrace":
-        """Combine two traces (e.g. multi-kernel workloads)."""
+        """Combine two traces (e.g. multi-kernel workloads).
+
+        Every counter is additive except ``registers_written``, which is a
+        register-*pressure* proxy (the high-water virtual-register ordinal
+        of one context), not an event count: two kernels that each wrote
+        100 registers do not occupy 200 registers, so the merge takes the
+        max.  Summing it would double-count pressure; treat the merged
+        value as "the widest register footprint of any constituent run".
+        Both operands are validated here (a merge is a batch boundary).
+        """
+        self.validate()
+        other.validate()
         merged = ExecutionTrace()
         merged.instances = self.instances + other.instances
         merged.issues = dict(self.issues)

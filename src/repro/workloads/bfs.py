@@ -51,9 +51,13 @@ class BfsWorkload(Workload):
         self.prepare()
         n = self.nodes
         adj = ctx.alloc("adj", self.adj, DType.INT32)
-        cost_init = np.full(n, UNVISITED, dtype=np.int32)
-        cost_init[0] = 0
-        cost = ctx.alloc("cost", cost_init, DType.INT32)
+
+        def build_cost():
+            cost_init = np.full(n, UNVISITED, dtype=np.int32)
+            cost_init[0] = 0
+            return cost_init
+
+        cost = ctx.alloc("cost", self.intern_input("cost", build_cost), DType.INT32)
         updated = ctx.alloc_zeros("updated", 1, DType.INT32)
 
         node = ctx.global_id()

@@ -41,10 +41,17 @@ class CclWorkload(Workload):
         self.prepare()
         n = self.side
         total = n * n
-        fg = self.image.reshape(-1)
-        labels_init = np.where(fg > 0, np.arange(total, dtype=np.int32), BACKGROUND)
-        img = ctx.alloc("img", self.image.reshape(-1).astype(np.int32), DType.INT32)
-        labels = ctx.alloc("labels", labels_init.astype(np.int32), DType.INT32)
+        img_init = self.intern_input(
+            "img", lambda: self.image.reshape(-1).astype(np.int32)
+        )
+        labels_init = self.intern_input(
+            "labels",
+            lambda: np.where(
+                self.image.reshape(-1) > 0, np.arange(total, dtype=np.int32), BACKGROUND
+            ).astype(np.int32),
+        )
+        img = ctx.alloc("img", img_init, DType.INT32)
+        labels = ctx.alloc("labels", labels_init, DType.INT32)
         changed = ctx.alloc_zeros("changed", 1, DType.INT32)
 
         gid = ctx.global_id()

@@ -42,11 +42,15 @@ class NwWorkload(Workload):
         n = self.n
         m = n + 1
         sub = ctx.alloc("sub", self.sub, DType.INT32)
-        # score matrix with initialized boundary (gap penalties)
-        init = np.zeros((m, m), dtype=np.int32)
-        init[0, :] = -PENALTY * np.arange(m)
-        init[:, 0] = -PENALTY * np.arange(m)
-        score = ctx.alloc("score", init, DType.INT32)
+
+        def build_score():
+            # score matrix with initialized boundary (gap penalties)
+            init = np.zeros((m, m), dtype=np.int32)
+            init[0, :] = -PENALTY * np.arange(m)
+            init[:, 0] = -PENALTY * np.arange(m)
+            return init
+
+        score = ctx.alloc("score", self.intern_input("score", build_score), DType.INT32)
 
         i = ctx.add(ctx.global_id(), 1)  # this thread's matrix row, 1-based
         pen = ctx.const(PENALTY, DType.INT32)

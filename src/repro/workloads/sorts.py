@@ -113,8 +113,16 @@ class QuicksortWorkload(Workload):
         n = self.n
         src = ctx.alloc("data", self.data, DType.INT32)
         dst = ctx.alloc("scratch", self.data, DType.INT32)
-        seg_of = ctx.alloc("seg_start", np.zeros(n, dtype=np.int32), DType.INT32)
-        seg_len_buf = ctx.alloc("seg_len", np.full(n, n, dtype=np.int32), DType.INT32)
+        seg_of = ctx.alloc(
+            "seg_start",
+            self.intern_input("seg_start", lambda: np.zeros(n, dtype=np.int32)),
+            DType.INT32,
+        )
+        seg_len_buf = ctx.alloc(
+            "seg_len",
+            self.intern_input("seg_len", lambda: np.full(n, n, dtype=np.int32)),
+            DType.INT32,
+        )
 
         i = ctx.global_id()
         one = ctx.const(1, DType.INT32)

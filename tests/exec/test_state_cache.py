@@ -1,0 +1,86 @@
+"""Worker-side per-campaign state cache: LRU semantics.
+
+``_STATE_CACHE`` memoizes expensive per-campaign state (golden runs,
+rebuilt site groups) in each worker process.  It must behave as a true
+LRU — evict the least-recently-*used* entry, not merely the oldest
+insertion — so interleaved campaigns (a combined-analysis sweep
+alternating between workloads) keep both working sets resident.
+"""
+
+import pytest
+
+from repro.exec import worker
+from repro.exec.worker import _STATE_CACHE, _STATE_CACHE_LIMIT, _cached_state
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    """Run each test against an empty cache; restore what was there."""
+    saved = dict(_STATE_CACHE)
+    _STATE_CACHE.clear()
+    yield
+    _STATE_CACHE.clear()
+    _STATE_CACHE.update(saved)
+
+
+def _fill(n, offset=0):
+    for i in range(offset, offset + n):
+        _cached_state(("key", i), lambda i=i: f"state-{i}")
+
+
+class TestCachedState:
+    def test_builds_once_and_returns_same_object(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return object()
+
+        first = _cached_state(("k",), build)
+        second = _cached_state(("k",), lambda: pytest.fail("must not rebuild"))
+        assert first is second
+        assert calls == [1]
+
+    def test_distinct_keys_get_distinct_state(self):
+        a = _cached_state(("a",), lambda: "A")
+        b = _cached_state(("b",), lambda: "B")
+        assert (a, b) == ("A", "B")
+
+
+class TestEvictionOrder:
+    def test_overflow_evicts_the_oldest_insertion(self):
+        _fill(_STATE_CACHE_LIMIT)
+        _cached_state(("key", "new"), lambda: "state-new")
+        assert len(_STATE_CACHE) == _STATE_CACHE_LIMIT
+        assert ("key", 0) not in _STATE_CACHE           # oldest went
+        assert ("key", 1) in _STATE_CACHE               # second-oldest stayed
+        assert ("key", "new") in _STATE_CACHE
+
+    def test_hit_refreshes_recency(self):
+        """A cache hit must move the entry to the young end: after touching
+        key 0, overflow evicts key 1 instead."""
+        _fill(_STATE_CACHE_LIMIT)
+        _cached_state(("key", 0), lambda: pytest.fail("hit must not rebuild"))
+        _cached_state(("key", "new"), lambda: "state-new")
+        assert ("key", 0) in _STATE_CACHE               # refreshed, survives
+        assert ("key", 1) not in _STATE_CACHE           # now the oldest, evicted
+        assert len(_STATE_CACHE) == _STATE_CACHE_LIMIT
+
+    def test_eviction_order_is_lru_not_fifo(self):
+        """Interleaved reuse keeps the working set: touch every even key,
+        then overflow by half — only untouched (odd) keys are evicted."""
+        _fill(_STATE_CACHE_LIMIT)
+        evens = [i for i in range(_STATE_CACHE_LIMIT) if i % 2 == 0]
+        odds = [i for i in range(_STATE_CACHE_LIMIT) if i % 2 == 1]
+        for i in evens:
+            _cached_state(("key", i), lambda: pytest.fail("hit must not rebuild"))
+        _fill(len(odds), offset=_STATE_CACHE_LIMIT)
+        assert all(("key", i) in _STATE_CACHE for i in evens)
+        assert all(("key", i) not in _STATE_CACHE for i in odds)
+
+    def test_never_exceeds_limit(self):
+        _fill(3 * _STATE_CACHE_LIMIT)
+        assert len(_STATE_CACHE) == _STATE_CACHE_LIMIT
+        # the survivors are exactly the youngest LIMIT insertions
+        youngest = {("key", i) for i in range(2 * _STATE_CACHE_LIMIT, 3 * _STATE_CACHE_LIMIT)}
+        assert set(_STATE_CACHE) == youngest

@@ -1,0 +1,162 @@
+"""Compiled SASS dispatch (fast path) ≡ tree-walking interpreter.
+
+``SassKernel.__call__`` picks one of two engines at run time: the closure
+compiler in :mod:`repro.sass.compiler` (fast path on, the default) or the
+tree-walking reference in :mod:`repro.sass.interpreter`.  These tests pin
+them bit-identical — outputs, traces, per-mnemonic telemetry, and fault
+behavior — and check the compile-once / cache-on-program contract.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.dtypes import DType
+from repro.arch.isa import OpClass
+from repro.sass import SassKernel, assemble
+from repro.sass.compiler import compiled_for
+from repro.sim import LaunchConfig, run_kernel
+from repro.sim.fastpath import fast_path
+from repro.sim.injection import FaultModel, InjectionMode, InjectionPlan, opclass_stream
+from repro.telemetry import capture
+
+#: one program exercising every interpreter feature class: specials,
+#: loads/stores, loops, shared memory + barriers, predication (guarded
+#: register and store writes), SEL, CVT, MUFU, logic/shift/minmax, FFMA
+_KITCHEN_SINK = """
+.kernel sink
+.buffer a
+.buffer c
+.shared tile 32
+MOV        r0, %gid
+MOV        r9, %tid
+LDG.F32    r1, [a + r0]
+STS.F32    [tile + r9], r1
+BAR
+LDS.F32    r2, [tile + r9]
+FMUL.F32   r3, r2, 2.0
+FFMA.F32   r3, r3, 1.5, r1
+.loop 4
+FADD.F32   r3, r3, 0.25
+.endloop
+SETP.LT.F32 p0, r3, 8.0
+@p0 FADD.F32 r3, r3, 100.0
+SEL.F32    r4, p0, r3, r1
+MUFU.SQRT  r5, r1
+FADD.F32   r4, r4, r5
+CVT.S32    r6, r0
+LOP.XOR    r6, r6, 5
+SHF.L      r6, r6, 1
+IMNMX.MIN  r6, r6, 90
+CVT.F32    r7, r6
+FADD.F32   r4, r4, r7
+STG.F32    [c + r0], r4
+SETP.GE.S32 p1, r0, 48
+@p1 STG.F32 [c + r0], r1
+"""
+
+_LAUNCH = LaunchConfig(2, 32)
+
+
+def _kernel(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.5, 4.0, size=64).astype(np.float32)
+    return SassKernel(assemble(_KITCHEN_SINK), {"a": a}, ("c",), {"c": (64,)})
+
+
+def _observe(enabled, plan=None, seed=0):
+    with fast_path(enabled), capture() as registry:
+        run = run_kernel(KEPLER_K40C, _kernel(seed), _LAUNCH, plan=plan)
+    snapshot = registry.snapshot()
+    return run, snapshot["counters"]
+
+
+class TestEngineEquivalence:
+    def test_outputs_trace_and_telemetry_match(self):
+        slow_run, slow_counters = _observe(False)
+        fast_run, fast_counters = _observe(True)
+        np.testing.assert_array_equal(slow_run.outputs["c"], fast_run.outputs["c"])
+        assert dict(slow_run.trace.instances) == dict(fast_run.trace.instances)
+        assert dict(slow_run.trace.issues) == dict(fast_run.trace.issues)
+        assert slow_run.trace.global_bytes == fast_run.trace.global_bytes
+        assert slow_run.trace.shared_bytes == fast_run.trace.shared_bytes
+        assert slow_run.trace.barriers == fast_run.trace.barriers
+        assert int(slow_run.ticks) == int(fast_run.ticks)
+        # per-mnemonic sass.instructions.* retirement counts included
+        assert slow_counters == fast_counters
+
+    def test_multiple_seeds(self):
+        for seed in (1, 2, 3):
+            slow_run, _ = _observe(False, seed=seed)
+            fast_run, _ = _observe(True, seed=seed)
+            np.testing.assert_array_equal(
+                slow_run.outputs["c"], fast_run.outputs["c"]
+            )
+
+
+class TestInjectionEquivalence:
+    @pytest.mark.parametrize("opclass", [OpClass.FFMA, OpClass.LDG, OpClass.FADD])
+    @pytest.mark.parametrize("target", [0, 3, 17])
+    def test_injected_runs_match(self, opclass, target):
+        """The same armed fault fires at the same site with the same
+        corruption on both engines (shared RNG stream, same offer order)."""
+
+        def observe(enabled):
+            plan = InjectionPlan(
+                mode=InjectionMode.OUTPUT_VALUE,
+                stream=opclass_stream(opclass),
+                target_index=target,
+                fault_model=FaultModel.SINGLE_BIT,
+                rng=np.random.default_rng(100 * target + 7),
+            )
+            run, _ = _observe(enabled, plan=plan)
+            return run.outputs["c"], plan.fired
+
+        slow_out, slow_fired = observe(False)
+        fast_out, fast_fired = observe(True)
+        assert slow_fired == fast_fired
+        np.testing.assert_array_equal(slow_out, fast_out)
+
+    def test_injection_perturbs_output(self):
+        """Sanity: the sweep above compares *faulty* runs, not two goldens."""
+        golden, _ = _observe(True)
+        plan = InjectionPlan(
+            mode=InjectionMode.OUTPUT_VALUE,
+            stream=opclass_stream(OpClass.FFMA),
+            target_index=3,
+            fault_model=FaultModel.SINGLE_BIT,
+            rng=np.random.default_rng(307),
+        )
+        faulty, _ = _observe(True, plan=plan)
+        assert plan.fired
+        assert (faulty.outputs["c"] != golden.outputs["c"]).any()
+
+
+class TestCompileCaching:
+    def test_compiled_once_per_program(self):
+        program = assemble(_KITCHEN_SINK)
+        assert compiled_for(program) is compiled_for(program)
+        assert getattr(program, "_compiled", None) is not None
+
+    def test_pickle_drops_compiled_cache(self):
+        """Compiled closures bind module state and must not travel to
+        worker processes; the clone recompiles on first use."""
+        program = assemble(_KITCHEN_SINK)
+        compiled_for(program)
+        clone = pickle.loads(pickle.dumps(program))
+        assert getattr(clone, "_compiled", None) is None
+        # and the recompiled clone still runs identically
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.5, 4.0, size=64).astype(np.float32)
+        with fast_path(True):
+            original = run_kernel(
+                KEPLER_K40C, SassKernel(program, {"a": a}, ("c",), {"c": (64,)}), _LAUNCH
+            )
+            recompiled = run_kernel(
+                KEPLER_K40C, SassKernel(clone, {"a": a}, ("c",), {"c": (64,)}), _LAUNCH
+            )
+        np.testing.assert_array_equal(
+            original.outputs["c"], recompiled.outputs["c"]
+        )

@@ -1,0 +1,154 @@
+"""Fast path ≡ reference path equivalence suite.
+
+``REPRO_FAST_PATH`` rewires the simulator's inner loops — batched trace
+accounting, the pre-arm quiet mode, compiled SASS dispatch — but the
+contract is that nothing observable changes.  These tests pin that
+contract end to end: campaign records, beam outcomes, and memory-AVF
+rates are bit-identical with the fast path on or off, serial or
+parallel, ECC on or off, on both injector backends (SASSIFI drives the
+``cuda7`` model, NVBitFI drives ``cuda10``).
+
+Telemetry is held to the same bar: captured counters must match exactly
+across every configuration.  Only ``span.*`` histograms are exempt —
+they record wall-clock seconds, the one thing the fast path is supposed
+to change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import get_workload, run_beam, run_campaign
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.ecc import EccMode
+from repro.predict.model import measure_memory_avf
+from repro.sim.fastpath import fast_path
+from repro.telemetry import capture
+
+#: (fast path, workers) grid every observation is repeated over; the first
+#: entry (reference path, serial) is the baseline the others must equal
+MODES = [(False, 1), (True, 1), (False, 2), (True, 2)]
+
+
+def _observable(snapshot):
+    """Counters plus non-span histograms from a registry snapshot.
+
+    ``span.*`` histograms observe wall-clock seconds and are legitimately
+    different between the fast and reference paths.
+    """
+    histograms = {
+        name: data
+        for name, data in snapshot["histograms"].items()
+        if not name.startswith("span.")
+    }
+    return snapshot["counters"], histograms
+
+
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize("framework", ["sassifi", "nvbitfi"])
+    @pytest.mark.parametrize("ecc", [EccMode.ON, EccMode.OFF])
+    def test_records_and_telemetry_identical(self, framework, ecc):
+        def observe(enabled, workers):
+            workload = get_workload("kepler", "FMXM", seed=5)
+            with fast_path(enabled), capture() as registry:
+                result = run_campaign(
+                    workload,
+                    device="k40c",
+                    framework=framework,
+                    injections=14,
+                    seed=5,
+                    ecc=ecc,
+                    workers=workers,
+                )
+            records = [
+                (r.outcome, r.group, r.op, r.bit, r.detail, r.due_cause)
+                for r in result.records
+            ]
+            return records, _observable(registry.snapshot())
+
+        reference = observe(*MODES[0])
+        for enabled, workers in MODES[1:]:
+            observed = observe(enabled, workers)
+            assert observed[0] == reference[0], (enabled, workers)
+            assert observed[1] == reference[1], (enabled, workers)
+
+
+class TestBeamEquivalence:
+    def test_outcomes_and_telemetry_identical(self):
+        def observe(enabled, workers):
+            workload = get_workload("kepler", "FMXM", seed=7)
+            with fast_path(enabled), capture() as registry:
+                result = run_beam(
+                    workload,
+                    device="k40c",
+                    ecc=EccMode.ON,
+                    max_fault_evals=24,
+                    seed=7,
+                    workers=workers,
+                )
+            tallies = {
+                name: (t.faults, t.sdc, t.due) for name, t in result.tallies.items()
+            }
+            estimates = (result.fit_sdc, result.fit_due, result.fluence_n_cm2)
+            return tallies, estimates, _observable(registry.snapshot())
+
+        reference = observe(*MODES[0])
+        for enabled, workers in MODES[1:]:
+            observed = observe(enabled, workers)
+            assert observed[0] == reference[0], (enabled, workers)
+            assert observed[1] == reference[1], (enabled, workers)
+            assert observed[2] == reference[2], (enabled, workers)
+
+
+class TestMemoryAvfEquivalence:
+    @pytest.mark.parametrize("backend", ["cuda7", "cuda10"])
+    def test_rates_and_telemetry_identical(self, backend):
+        def observe(enabled, workers):
+            workload = get_workload("kepler", "FMXM", seed=3)
+            with fast_path(enabled), capture() as registry:
+                rates = measure_memory_avf(
+                    KEPLER_K40C,
+                    workload,
+                    backend=backend,
+                    strikes=10,
+                    seed=3,
+                    workers=workers,
+                )
+            return rates, _observable(registry.snapshot())
+
+        reference = observe(*MODES[0])
+        for enabled, workers in MODES[1:]:
+            observed = observe(enabled, workers)
+            assert observed[0] == reference[0], (enabled, workers)
+            assert observed[1] == reference[1], (enabled, workers)
+
+
+class TestGoldenRunEquivalence:
+    def test_outputs_trace_and_ticks_identical(self):
+        """The golden (fault-free) run itself: outputs, dynamic instruction
+        counts, and the trace totals the batched accounting accumulates."""
+        from repro.sim.launch import run_kernel
+
+        def observe(enabled):
+            workload = get_workload("kepler", "FMXM", seed=11)
+            with fast_path(enabled), capture() as registry:
+                run = run_kernel(KEPLER_K40C, workload.kernel, workload.sim_launch())
+            trace = run.trace
+            totals = (
+                dict(trace.instances),
+                dict(trace.issues),
+                trace.global_bytes,
+                trace.shared_bytes,
+                trace.active_lane_sum,
+                trace.launched_lane_sum,
+                trace.registers_written,
+                int(run.ticks),
+            )
+            return run.outputs, totals, _observable(registry.snapshot())
+
+        slow = observe(False)
+        fast = observe(True)
+        assert sorted(slow[0]) == sorted(fast[0])
+        for name in slow[0]:
+            np.testing.assert_array_equal(slow[0][name], fast[0][name])
+        assert slow[1] == fast[1]
+        assert slow[2] == fast[2]

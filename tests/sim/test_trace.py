@@ -20,9 +20,25 @@ class TestRecording:
         assert t.total_instances == 200
         assert t.total_issues == pytest.approx(200 / 32)
 
-    def test_negative_rejected(self):
+    def test_negative_rejected_at_validate(self):
+        # record() is the hot loop and no longer checks; validate() runs at
+        # flush/merge boundaries and rejects the impossible state there
+        t = ExecutionTrace()
+        t.record(OpClass.FADD, -1, 0)
         with pytest.raises(ValueError):
-            ExecutionTrace().record(OpClass.FADD, -1, 0)
+            t.validate()
+
+    def test_negative_rejected_at_merge(self):
+        t = ExecutionTrace()
+        t.record(OpClass.FADD, -1, 0)
+        with pytest.raises(ValueError):
+            t.merged_with(ExecutionTrace())
+        with pytest.raises(ValueError):
+            ExecutionTrace().merged_with(t)
+
+    def test_validate_passes_and_chains(self):
+        t = _trace()
+        assert t.validate() is t
 
     def test_mix_sums_to_one(self):
         mix = _trace().mix()
@@ -75,6 +91,15 @@ class TestMerge:
         a, b = _trace(), _trace()
         a.merged_with(b)
         assert a.total_instances == 200
+
+    def test_merge_registers_written_takes_max(self):
+        # registers_written is a register-pressure proxy (high-water vreg
+        # ordinal of one context), not an event count: merging must not sum
+        a, b = _trace(), _trace()
+        a.registers_written = 100
+        b.registers_written = 40
+        assert a.merged_with(b).registers_written == 100
+        assert b.merged_with(a).registers_written == 100
 
     def test_as_dict_keys(self):
         d = _trace().as_dict()

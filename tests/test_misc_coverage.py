@@ -93,8 +93,8 @@ class TestRfStrikeOnEmptyTable:
             ecc=SecdedModel(mode=EccMode.OFF), rng=np.random.default_rng(0),
         )
         ctx.schedule_strike(StorageStrike(tick=0.0, space="rf", rng=np.random.default_rng(1)))
-        ctx._registers.clear()
-        ctx.nop()  # applies the strike against an empty table
+        assert ctx._vreg_counter == 0  # nothing written yet: empty live window
+        ctx.nop()  # applies the strike against an empty register window
 
 
 class TestConfigErrors:
