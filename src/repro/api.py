@@ -47,7 +47,7 @@ from repro.arch.ecc import EccMode
 from repro.beam.cross_sections import CrossSectionCatalog
 from repro.beam.experiment import BeamExperiment, BeamResult
 from repro.beam.facility import CHIPIR, Facility
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ChunkQuarantinedError, ConfigurationError, StoreError
 from repro.common.rng import RngFactory
 from repro.exec.engine import Executor, ProcessExecutor, SerialExecutor, get_executor
 from repro.exec.progress import ProgressMeter
@@ -62,6 +62,8 @@ from repro.profiling.profiler import Profiler
 from repro.sass.assembler import assemble
 from repro.sass.interpreter import SassKernel
 from repro.sim.launch import LaunchConfig, run_kernel
+from repro.store import CampaignStore, RunPolicy, open_store
+from repro.store.store import StoreLike
 from repro.telemetry import (
     FileSink,
     MemorySink,
@@ -145,12 +147,25 @@ def run_campaign(
     workers: int = 1,
     executor: Optional[Executor] = None,
     on_result: Optional[Callable[[InjectionRecord], None]] = None,
+    store: Optional[StoreLike] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> CampaignResult:
     """Run a SASSIFI/NVBitFI-style fault-injection campaign.
 
     ``injections`` single faults are sampled over the framework's site
     groups and each is evaluated by re-executing the workload; records come
     back in sampling order, bit-identical for any ``workers=``.
+
+    ``store=`` (a path or :class:`CampaignStore`) makes the campaign
+    durable: completed task chunks are checkpointed and an interrupted
+    campaign resumes where it left off, bit-identical to an uninterrupted
+    run.  ``refresh=True`` recomputes everything (overwriting cached
+    chunks); ``retries=`` bounds per-chunk retry before quarantine.  See
+    ``docs/STORAGE.md``.
     """
     dev = as_device(device)
     runner = CampaignRunner(
@@ -160,6 +175,12 @@ def run_campaign(
         ecc=as_ecc(ecc),
         workers=workers,
         executor=executor,
+        store=store,
+        resume=resume,
+        refresh=refresh,
+        retries=retries,
+        backoff=backoff,
+        policy=policy,
     )
     return runner.run(as_workload(workload, dev, seed), injections, on_result=on_result)
 
@@ -178,12 +199,24 @@ def run_beam(
     facility: Facility = CHIPIR,
     catalog: Optional[CrossSectionCatalog] = None,
     on_result: Optional[Callable] = None,
+    store: Optional[StoreLike] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> BeamResult:
     """Expose one code to the simulated accelerated neutron beam and
-    measure its SDC/DUE FIT rates (§III-C protocol)."""
+    measure its SDC/DUE FIT rates (§III-C protocol).
+
+    ``store=``/``resume``/``refresh``/``retries`` work as in
+    :func:`run_campaign` — the mechanistic fault evaluations (the wall-clock
+    bulk of a beam run) are checkpointed and replayed."""
     dev = as_device(device)
     experiment = BeamExperiment(
-        dev, facility=facility, catalog=catalog, seed=seed, workers=workers, executor=executor
+        dev, facility=facility, catalog=catalog, seed=seed, workers=workers,
+        executor=executor, store=store, resume=resume, refresh=refresh,
+        retries=retries, backoff=backoff, policy=policy,
     )
     return experiment.run(
         as_workload(workload, dev, seed),
@@ -216,6 +249,10 @@ def predict(
     injections: int = 200,
     workers: int = 1,
     session: Optional[ExperimentSession] = None,
+    store: Optional[str] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
 ) -> Tuple[FitPrediction, str]:
     """Eq. 1–4 FIT prediction for one registry code.
 
@@ -234,7 +271,15 @@ def predict(
     fw = as_framework(framework)
     if session is None:
         session = ExperimentSession(
-            ExperimentConfig(seed=seed, injections=injections, workers=workers)
+            ExperimentConfig(
+                seed=seed, injections=injections, workers=workers,
+                store=store, resume=resume, refresh=refresh, retries=retries,
+            )
+        )
+    elif store is not None or resume is not None or refresh or retries is not None:
+        raise ConfigurationError(
+            "store=/resume=/refresh=/retries= configure a new session; with "
+            "session= they belong in that session's ExperimentConfig"
         )
     return session.predict(dev.architecture, fw.name.lower(), workload, as_ecc(ecc))
 
@@ -292,6 +337,12 @@ __all__ = [
     "ProcessExecutor",
     "get_executor",
     "ProgressMeter",
+    # durable store (see docs/STORAGE.md)
+    "CampaignStore",
+    "open_store",
+    "RunPolicy",
+    "StoreError",
+    "ChunkQuarantinedError",
     # observability (see docs/OBSERVABILITY.md)
     "telemetry_session",
     "get_telemetry",

@@ -43,6 +43,8 @@ from repro.exec.engine import Executor, get_executor
 from repro.exec.tasks import BeamEvalContext, BeamEvalTask, WorkloadHandle, catalog_tag
 from repro.exec.worker import _cached_state, run_beam_chunk
 from repro.faultsim.outcomes import Outcome
+from repro.store.policy import RunPolicy, resolve_policy
+from repro.store.store import StoreLike
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
 
@@ -109,12 +111,22 @@ class BeamExperiment:
         seed: Optional[int] = None,
         workers: int = 1,
         executor: Optional[Executor] = None,
+        store: Optional[StoreLike] = None,
+        resume: Optional[bool] = None,
+        refresh: bool = False,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        policy: Optional[RunPolicy] = None,
     ) -> None:
         self.device = device
         self.facility = facility
         self.catalog = catalog if catalog is not None else catalog_for(device)
         self.rngs = resolve_rngs(rngs, seed, "BeamExperiment")
         self.executor = get_executor(workers, executor)
+        self.policy = resolve_policy(
+            store=store, policy=policy, resume=resume, refresh=refresh,
+            retries=retries, backoff=backoff,
+        )
 
     def exposure(self, workload: Workload, ecc: EccMode) -> Tuple[BeamEngine, ExposureProfile]:
         engine = BeamEngine(self.device, workload, self.catalog, ecc)
@@ -175,6 +187,10 @@ class BeamExperiment:
         # reuse this experiment's engine (golden already computed for the
         # exposure profile) in the serial path and fork-spawned children
         _cached_state(context.cache_key(), lambda: engine)
+        if self.policy is not None:
+            return self.executor.run_chunks(
+                run_beam_chunk, context, tasks, on_result=on_result, policy=self.policy
+            )
         return self.executor.run_chunks(run_beam_chunk, context, tasks, on_result=on_result)
 
     def run(

@@ -1,6 +1,16 @@
 """Repo-level command line — ``python -m repro.cli <command>``.
 
-Currently one command:
+``campaign``
+    Run one fault-injection campaign from the shell::
+
+        python -m repro.cli campaign FMXM --device kepler --injections 500 \\
+            --store results/campaigns.sqlite --retries 2
+
+    ``--store`` checkpoints completed task chunks as they finish; rerunning
+    the same command resumes an interrupted campaign (or serves the whole
+    result from cache) bit-identically.  ``--no-cache`` forces recompute.
+    Configuration errors (bad workload, conflicting flags, missing store
+    directory) exit with status 2; a quarantined chunk exits 3.
 
 ``bench``
     Measure simulator throughput layer by layer and write a
@@ -26,6 +36,12 @@ Currently one command:
     against a pristine checkout of that git ref (via a temporary
     worktree), recording the pre-optimization baseline the headline
     speedup is computed against.
+
+    With ``--check``, the fresh measurement is compared against the
+    committed baseline (``--out``, default ``BENCH_simulator.json``)
+    instead of overwriting it: any layer's fast-path throughput more than
+    ``--tolerance`` (default 25%) below the baseline exits non-zero — a
+    perf regression gate for CI.
 """
 
 from __future__ import annotations
@@ -207,6 +223,97 @@ def _bench_baseline(
         )
 
 
+def check_regression(
+    report: Dict[str, object], baseline: Dict[str, object], tolerance: float
+) -> list:
+    """Compare a fresh bench report against a committed baseline.
+
+    Pure: returns a list of human-readable regression strings, one per
+    layer metric whose fast-path throughput fell more than ``tolerance``
+    (a fraction, e.g. 0.25) below the baseline.  Layers or metrics absent
+    from either report are skipped — a new layer can't fail the gate
+    before its baseline is committed.
+    """
+    regressions = []
+    base_layers = baseline.get("layers", {})
+    for layer, metrics in report.get("layers", {}).items():
+        base_metrics = base_layers.get(layer)
+        if not isinstance(base_metrics, dict):
+            continue
+        for metric, values in metrics.items():
+            if not isinstance(values, dict) or "fast" not in values:
+                continue
+            base_values = base_metrics.get(metric)
+            if not isinstance(base_values, dict) or "fast" not in base_values:
+                continue
+            current, reference = float(values["fast"]), float(base_values["fast"])
+            if reference <= 0:
+                continue
+            if current < reference * (1.0 - tolerance):
+                regressions.append(
+                    f"{layer}.{metric}: {current:.1f}/s is "
+                    f"{(1.0 - current / reference) * 100.0:.0f}% below the "
+                    f"baseline {reference:.1f}/s (tolerance {tolerance * 100.0:.0f}%)"
+                )
+    return regressions
+
+
+def run_campaign_cmd(args: argparse.Namespace) -> int:
+    from repro.api import as_device, as_ecc, as_framework, run_campaign
+    from repro.common.errors import ChunkQuarantinedError, ReproError
+    from repro.faultsim.outcomes import Outcome
+    from repro.telemetry import telemetry_session
+
+    try:
+        with telemetry_session() as telemetry:
+            result = run_campaign(
+                args.workload,
+                device=as_device(args.device),
+                framework=as_framework(args.framework),
+                injections=args.injections,
+                seed=args.seed,
+                ecc=as_ecc(args.ecc),
+                workers=args.workers,
+                store=args.store,
+                resume=True if args.resume else None,
+                refresh=args.no_cache,
+                retries=args.retries,
+            )
+            counters = telemetry.registry.counters
+    except ChunkQuarantinedError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 3
+    except ReproError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    summary = {
+        "workload": result.workload,
+        "device": result.device,
+        "framework": result.framework,
+        "injections": result.injections,
+        "outcomes": {o.value: result.count(o) for o in Outcome},
+        "avf_sdc": round(result.avf(Outcome.SDC), 4),
+        "avf_due": round(result.avf(Outcome.DUE), 4),
+    }
+    if args.store is not None:
+        summary["store"] = {
+            "path": args.store,
+            "hits": int(counters.get("store.hits", 0)),
+            "misses": int(counters.get("store.misses", 0)),
+            "commits": int(counters.get("store.commits", 0)),
+            "tasks_replayed": int(counters.get("store.tasks_replayed", 0)),
+        }
+    text = json.dumps(summary, indent=2) + "\n"
+    if args.out is not None:
+        from repro.common.atomicio import atomic_write_text
+
+        atomic_write_text(args.out, text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def run_bench(args: argparse.Namespace) -> Dict[str, object]:
     report: Dict[str, object] = {
         "schema": "repro-bench-simulator/1",
@@ -241,6 +348,38 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    campaign_p = sub.add_parser(
+        "campaign", help="run one fault-injection campaign, optionally checkpointed"
+    )
+    campaign_p.add_argument("workload", help="registry code name, e.g. FMXM")
+    campaign_p.add_argument("--device", default="kepler", help="kepler | volta | catalog key")
+    campaign_p.add_argument("--framework", default="nvbitfi", help="nvbitfi | sassifi")
+    campaign_p.add_argument("--injections", type=int, default=200)
+    campaign_p.add_argument("--seed", type=int, default=0)
+    campaign_p.add_argument("--ecc", default="on", help="on | off")
+    campaign_p.add_argument("--workers", type=int, default=1)
+    campaign_p.add_argument(
+        "--store",
+        default=None,
+        help="durable store path; chunks checkpoint as they finish and an "
+        "interrupted campaign resumes bit-identically (.jsonl → JSONL backend)",
+    )
+    campaign_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed chunks from --store (default with a store)",
+    )
+    campaign_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, overwriting cached chunks in --store",
+    )
+    campaign_p.add_argument(
+        "--retries", type=int, default=None,
+        help="per-chunk retries before a failing chunk is quarantined",
+    )
+    campaign_p.add_argument("--out", default=None, help="write the JSON summary here")
+
     bench = sub.add_parser("bench", help="measure simulator throughput, write a JSON baseline")
     bench.add_argument("--out", default="BENCH_simulator.json", help="output path")
     bench.add_argument("--seed", type=int, default=0, help="root seed for measured work")
@@ -254,12 +393,49 @@ def main(argv: Optional[list] = None) -> int:
         metavar="REF",
         help="also measure this git ref's campaign throughput via a temporary worktree",
     )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline at --out instead of "
+        "overwriting it; exit 1 on a regression beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop under --check (default 0.25)",
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "campaign":
+        if args.resume and args.no_cache:
+            parser.error("--resume and --no-cache conflict: pick one")
+        if (args.resume or args.no_cache) and args.store is None:
+            parser.error("--resume/--no-cache require --store")
+        if args.retries is not None and args.retries < 0:
+            parser.error("--retries must be >= 0")
+        return run_campaign_cmd(args)
+
     if args.command == "bench":
+        if args.check:
+            baseline_path = pathlib.Path(args.out)
+            if not baseline_path.exists():
+                print(f"bench --check: no baseline at {baseline_path}", file=sys.stderr)
+                return 2
+            baseline = json.loads(baseline_path.read_text())
+            report = run_bench(args)
+            regressions = check_regression(report, baseline, args.tolerance)
+            if regressions:
+                for line in regressions:
+                    print(f"bench regression: {line}", file=sys.stderr)
+                return 1
+            print(f"bench --check: no regression beyond {args.tolerance * 100.0:.0f}%")
+            return 0
+        from repro.common.atomicio import atomic_write_text
+
         report = run_bench(args)
         out = pathlib.Path(args.out)
-        out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+        atomic_write_text(out, json.dumps(report, indent=2, sort_keys=False) + "\n")
         campaign = report["layers"]["campaign"]
         print(f"wrote {out}")
         print(

@@ -1,0 +1,45 @@
+"""Atomic artifact writes: no reader ever sees a half-written file.
+
+Exported CSVs, manifests and bench baselines are consumed by other tools
+(plotters, CI checks, diffing against committed baselines), so a crash or
+a concurrent reader mid-write must never observe a torn file.  The
+standard POSIX recipe: write the full content to a temporary file in the
+*same directory* (same filesystem, so the final step is a rename, not a
+copy), fsync it, then :func:`os.replace` it over the target — an atomic
+operation on every platform Python supports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (write-temp + fsync + replace)."""
+    target = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: PathLike, payload: Any, indent: int = 2) -> None:
+    """Serialize ``payload`` and write it atomically with a trailing newline."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

@@ -28,3 +28,28 @@ class SimulationError(ReproError):
 class InjectionError(ReproError):
     """A fault-injection campaign was set up incorrectly (e.g. targeting an
     instruction class the workload never executes)."""
+
+
+class StoreError(ReproError):
+    """The durable campaign store could not be opened, written, or a run
+    context cannot be fingerprinted durably (see docs/STORAGE.md)."""
+
+
+class ChunkQuarantinedError(ReproError):
+    """One or more task chunks kept failing after every retry and were
+    quarantined (recorded in the store with ``status="quarantined"``).
+
+    Completed chunks are already committed, so a rerun against the same
+    store replays them and re-attempts only the quarantined ones.
+    ``failures`` holds ``(chunk_index, fingerprint, error)`` triples.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"chunk {index} ({fp[:12] if fp else 'no-store'}): {err}"
+            for index, fp, err in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} chunk(s) quarantined after exhausting retries: {detail}"
+        )

@@ -25,6 +25,11 @@ This package fans those evaluations out over worker processes:
 * :mod:`repro.exec.progress` — an ``on_result`` rate/ETA meter for long
   campaigns (used by the ``repro.experiments`` CLI), also consumable as a
   telemetry :class:`~repro.telemetry.events.EventSink`.
+
+Durability is layered on through ``run_chunks(..., policy=RunPolicy)``:
+completed chunks checkpoint to a :mod:`repro.store` backend and replay on
+resume, failing chunks retry with backoff and quarantine — see
+``docs/STORAGE.md``.
 """
 
 from repro.exec.engine import Executor, ProcessExecutor, SerialExecutor, get_executor

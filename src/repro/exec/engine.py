@@ -9,16 +9,39 @@ function (picklable by reference); the context and tasks come from
 Because every task owns a private RNG substream, result values are
 identical across executors and worker counts — the executor choice is
 purely a wall-clock decision.
+
+Durability rides on the optional ``policy=`` argument (a
+:class:`~repro.store.policy.RunPolicy`):
+
+* with a store, every chunk is fingerprinted
+  (:func:`repro.store.fingerprint.chunk_fingerprint`); completed chunks
+  replay from the store (results + telemetry snapshot) and only missing
+  chunks execute, each committed atomically on completion — so a killed
+  campaign resumes from its last checkpoint, bit-identical to an
+  uninterrupted run;
+* failing chunks are retried with exponential backoff (safe: a chunk's
+  randomness is a pure function of its tasks); a chunk that exhausts its
+  retries is quarantined in the store and reported via
+  :class:`~repro.common.errors.ChunkQuarantinedError` — committed chunks
+  stay durable, so a rerun re-attempts only the poison chunk;
+* a worker crash that breaks the process pool (``BrokenProcessPool``)
+  rebuilds the pool and resubmits the surviving chunks.
+
+Without a policy the engine behaves exactly as before the store existed.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, List, Optional, Protocol, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ChunkQuarantinedError, ConfigurationError
 from repro.exec.tasks import ChunkResult
+from repro.store.fingerprint import chunk_fingerprint, context_kind
+from repro.store.policy import RunPolicy
 from repro.telemetry import get_telemetry
 from repro.telemetry.metrics import Snapshot
 
@@ -47,6 +70,106 @@ def default_chunksize(n_tasks: int, workers: int) -> int:
     return max(1, -(-n_tasks // max(1, workers * 4)))
 
 
+# -- store plumbing shared by both executors ---------------------------------------
+
+
+def _fingerprints(
+    policy: Optional[RunPolicy], context: Any, chunks: Sequence[Sequence[Any]]
+) -> Optional[List[str]]:
+    """Chunk fingerprints when a store is in force, else None.
+
+    Fingerprints depend on the chunk *partition* (the tasks in each chunk),
+    so a resumed run must use the same workers/chunksize to hit — the
+    trade-off documented in docs/STORAGE.md.
+    """
+    if policy is None or policy.store is None:
+        return None
+    return [chunk_fingerprint(context, chunk) for chunk in chunks]
+
+
+def _load_cached(
+    policy: Optional[RunPolicy], fingerprint: Optional[str]
+) -> Optional[Tuple[List[Any], Optional[Snapshot]]]:
+    """Replay one completed chunk from the store, when allowed and present."""
+    if policy is None or fingerprint is None or not policy.read_allowed:
+        return None
+    record = policy.store.get(fingerprint)
+    if record is None:
+        return None
+    return policy.store.load_chunk(record)
+
+
+def _commit(
+    policy: Optional[RunPolicy],
+    fingerprint: Optional[str],
+    kind: str,
+    chunk: Sequence[Any],
+    results: List[Any],
+    snapshot: Optional[Snapshot],
+    attempts: int,
+) -> None:
+    if policy is None or fingerprint is None or not policy.write_allowed:
+        return
+    policy.store.put_chunk(
+        fingerprint,
+        kind,
+        results,
+        snapshot,
+        meta={"tasks": len(chunk)},
+        attempts=attempts,
+    )
+
+
+def _quarantine(
+    policy: Optional[RunPolicy],
+    fingerprint: Optional[str],
+    kind: str,
+    error: BaseException,
+    attempts: int,
+) -> None:
+    if policy is None or fingerprint is None or not policy.write_allowed:
+        return
+    policy.store.quarantine(
+        fingerprint, kind, f"{type(error).__name__}: {error}", attempts
+    )
+
+
+def _evaluate_with_retry(
+    fn: ChunkFn,
+    context: Any,
+    chunk: Sequence[Any],
+    policy: Optional[RunPolicy],
+    fingerprint: Optional[str],
+    kind: str,
+    chunk_index: int,
+) -> Tuple[List[Any], Optional[Snapshot], int]:
+    """Run one chunk in-process, retrying per the policy.
+
+    Returns (results, snapshot, attempts).  After the retry budget is
+    spent the chunk is quarantined (store runs raise
+    :class:`ChunkQuarantinedError`; storeless runs re-raise the original
+    exception, preserving the historical contract).
+    """
+    max_attempts = 1 + (policy.retries if policy is not None else 0)
+    telemetry = get_telemetry()
+    for attempt in range(1, max_attempts + 1):
+        try:
+            results, snapshot = _unwrap(fn(context, chunk))
+            return results, snapshot, attempt
+        except Exception as exc:
+            if attempt >= max_attempts:
+                _quarantine(policy, fingerprint, kind, exc, attempt)
+                if policy is not None and policy.store is not None:
+                    raise ChunkQuarantinedError(
+                        [(chunk_index, fingerprint, f"{type(exc).__name__}: {exc}")]
+                    ) from exc
+                raise
+            telemetry.count("exec.chunk_retries")
+            if policy is not None and policy.backoff:
+                time.sleep(policy.backoff * (2 ** (attempt - 1)))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 class Executor(Protocol):
     """Minimal executor interface the reliability engines program against."""
 
@@ -58,6 +181,7 @@ class Executor(Protocol):
         context: Any,
         tasks: Sequence[Any],
         on_result: ResultHook = None,
+        policy: Optional[RunPolicy] = None,
     ) -> List[Any]:
         ...
 
@@ -76,11 +200,23 @@ class SerialExecutor:
         context: Any,
         tasks: Sequence[Any],
         on_result: ResultHook = None,
+        policy: Optional[RunPolicy] = None,
     ) -> List[Any]:
         telemetry = get_telemetry()
+        chunks = _chunked(tasks, default_chunksize(len(tasks), self.workers))
+        fingerprints = _fingerprints(policy, context, chunks)
+        kind = context_kind(context) if fingerprints is not None else ""
         results: List[Any] = []
-        for chunk in _chunked(tasks, default_chunksize(len(tasks), self.workers)):
-            chunk_results, snapshot = _unwrap(fn(context, chunk))
+        for index, chunk in enumerate(chunks):
+            fingerprint = fingerprints[index] if fingerprints is not None else None
+            cached = _load_cached(policy, fingerprint)
+            if cached is not None:
+                chunk_results, snapshot = cached
+            else:
+                chunk_results, snapshot, attempts = _evaluate_with_retry(
+                    fn, context, chunk, policy, fingerprint, kind, index
+                )
+                _commit(policy, fingerprint, kind, chunk, chunk_results, snapshot, attempts)
             telemetry.registry.merge(snapshot)
             for result in chunk_results:
                 results.append(result)
@@ -102,7 +238,10 @@ class ProcessExecutor:
     The pool is created lazily on first use and reused across calls, so a
     session-scale sequence of campaigns pays the worker start-up cost once.
     Close explicitly or use as a context manager; an unclosed pool is torn
-    down by the interpreter at exit.
+    down by the interpreter at exit.  A pool broken by a worker crash is
+    rebuilt transparently and the in-flight chunks resubmitted (counted
+    against their retry budget, since the chunk that killed the worker is
+    indistinguishable from its innocent neighbours).
 
     Workloads are pickled per chunk: anything importable (registry
     workloads, module-level custom workloads) always works; classes defined
@@ -122,37 +261,109 @@ class ProcessExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _rebuild_pool(self) -> ProcessPoolExecutor:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        return self._ensure_pool()
+
     def run_chunks(
         self,
         fn: ChunkFn,
         context: Any,
         tasks: Sequence[Any],
         on_result: ResultHook = None,
+        policy: Optional[RunPolicy] = None,
     ) -> List[Any]:
         if not tasks:
             return []
         telemetry = get_telemetry()
         chunksize = self.chunksize or default_chunksize(len(tasks), self.workers)
         chunks = _chunked(tasks, chunksize)
-        pool = self._ensure_pool()
-        pending = {pool.submit(fn, context, chunk): i for i, chunk in enumerate(chunks)}
+        fingerprints = _fingerprints(policy, context, chunks)
+        kind = context_kind(context) if fingerprints is not None else ""
         by_chunk: List[Optional[List[Any]]] = [None] * len(chunks)
         snapshots: List[Optional[Snapshot]] = [None] * len(chunks)
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = pending.pop(future)
-                # re-raises worker exceptions
-                chunk_results, snapshots[index] = _unwrap(future.result())
-                by_chunk[index] = chunk_results
-                for result in chunk_results:
-                    telemetry.task_done()
-                    if on_result is not None:
-                        on_result(result)
+
+        def deliver(chunk_results: List[Any]) -> None:
+            for result in chunk_results:
+                telemetry.task_done()
+                if on_result is not None:
+                    on_result(result)
+
+        to_submit: List[int] = []
+        for index in range(len(chunks)):
+            fingerprint = fingerprints[index] if fingerprints is not None else None
+            cached = _load_cached(policy, fingerprint)
+            if cached is not None:
+                by_chunk[index], snapshots[index] = cached
+                deliver(by_chunk[index])
+            else:
+                to_submit.append(index)
+
+        max_attempts = 1 + (policy.retries if policy is not None else 0)
+        attempts: Dict[int, int] = {index: 0 for index in to_submit}
+        quarantined: List[Tuple[int, Optional[str], str]] = []
+        if to_submit:
+            pool = self._ensure_pool()
+            pending = {pool.submit(fn, context, chunks[i]): i for i in to_submit}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                retry_indices: List[int] = []
+                pool_broken = False
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        chunk_results, snapshots[index] = _unwrap(future.result())
+                    except Exception as exc:
+                        attempts[index] += 1
+                        pool_broken = pool_broken or isinstance(exc, BrokenProcessPool)
+                        if attempts[index] >= max_attempts:
+                            fingerprint = (
+                                fingerprints[index] if fingerprints is not None else None
+                            )
+                            _quarantine(policy, fingerprint, kind, exc, attempts[index])
+                            if policy is None or policy.store is None:
+                                # storeless runs keep the historical contract:
+                                # the worker exception propagates directly
+                                for other in pending:
+                                    other.cancel()
+                                raise
+                            quarantined.append(
+                                (index, fingerprint, f"{type(exc).__name__}: {exc}")
+                            )
+                        else:
+                            telemetry.count("exec.chunk_retries")
+                            retry_indices.append(index)
+                    else:
+                        by_chunk[index] = chunk_results
+                        _commit(
+                            policy,
+                            fingerprints[index] if fingerprints is not None else None,
+                            kind,
+                            chunks[index],
+                            chunk_results,
+                            snapshots[index],
+                            attempts.get(index, 0) + 1,
+                        )
+                        deliver(chunk_results)
+                if pool_broken:
+                    # the surviving futures of the broken pool will drain
+                    # through the next wait() iterations; new submissions
+                    # must go to a fresh pool
+                    pool = self._rebuild_pool()
+                for index in sorted(retry_indices):
+                    if policy is not None and policy.backoff:
+                        time.sleep(policy.backoff * (2 ** (attempts[index] - 1)))
+                    pending[pool.submit(fn, context, chunks[index])] = index
         # merge worker metrics in chunk order (not completion order), so the
         # aggregate is a pure function of the task list — scheduling-free
         for snapshot in snapshots:
             telemetry.registry.merge(snapshot)
+        if quarantined:
+            # completed chunks are already committed to the store; report the
+            # poison ones instead of returning a silently incomplete merge
+            raise ChunkQuarantinedError(quarantined)
         results: List[Any] = []
         for chunk_results in by_chunk:
             results.extend(chunk_results or ())

@@ -5,6 +5,11 @@
     python -m repro.experiments fig4 --preset paper --workers 8 --progress
     python -m repro.experiments fig1 --telemetry --trace-out trace.jsonl
     python -m repro.experiments telemetry-report trace.jsonl
+    python -m repro.experiments all --preset full --store results/campaigns.sqlite
+
+With ``--store``, completed task chunks are checkpointed as they finish:
+an interrupted run resumes where it left off, and a re-run regenerates
+figures incrementally from cache (see docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import time
 from dataclasses import replace
 from typing import Optional
 
+from repro.common.atomicio import atomic_write_text
 from repro.common.tables import render_csv
 from repro.exec.progress import ProgressMeter
 from repro.experiments.config import get_preset
@@ -73,7 +79,7 @@ def _run_experiments(names, session, args, config) -> None:
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             flat = _flatten(rows)
-            (args.out / f"{name}.csv").write_text(render_csv(flat))
+            atomic_write_text(args.out / f"{name}.csv", render_csv(flat))
 
 
 def main(argv=None) -> int:
@@ -123,16 +129,57 @@ def main(argv=None) -> int:
         default=None,
         help="enable library logging on stderr at this level (DEBUG, INFO, ...)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="durable campaign store path; completed task chunks are "
+        "checkpointed and figure pipelines regenerate incrementally "
+        "(suffix .jsonl selects the JSONL backend, else SQLite)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed chunks from --store (the default when a "
+        "store is given; spelled out for scripts)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, overwriting cached chunks in --store",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-chunk retries (with backoff) before a failing chunk is "
+        "quarantined",
+    )
     args = parser.parse_args(argv)
 
     if args.log_level is not None:
         configure_logging(args.log_level.upper())
+
+    if args.resume and args.no_cache:
+        parser.error("--resume and --no-cache conflict: pick one")
+    if (args.resume or args.no_cache) and args.store is None:
+        parser.error("--resume/--no-cache require --store")
+    if args.retries is not None and args.retries < 0:
+        parser.error("--retries must be >= 0")
 
     config = get_preset(args.preset)
     if args.seed is not None:
         config = replace(config, seed=args.seed)
     if args.workers is not None:
         config = replace(config, workers=args.workers)
+    if args.store is not None:
+        config = replace(
+            config,
+            store=args.store,
+            resume=True if args.resume else None,
+            refresh=args.no_cache,
+        )
+    if args.retries is not None:
+        config = replace(config, retries=args.retries)
 
     telemetrize = args.telemetry or args.trace_out is not None
     meter = ProgressMeter(label="fault evals", interval=2.0) if args.progress else None

@@ -9,6 +9,7 @@ simulator; ``paper`` approaches the published campaign sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.common.errors import ConfigurationError
 
@@ -32,6 +33,15 @@ class ExperimentConfig:
     #: parallel fault-evaluation workers (1 = in-process serial, 0 = one per
     #: CPU); results are bit-identical for any setting (repro.exec)
     workers: int = 1
+    #: durable campaign store path (``--store``); None disables checkpointing.
+    #: Suffix picks the backend (.jsonl → JSONL, else SQLite) — docs/STORAGE.md
+    store: Optional[str] = None
+    #: replay completed chunks from the store (default when a store is set)
+    resume: Optional[bool] = None
+    #: recompute everything, overwriting cached chunks (``--no-cache``)
+    refresh: bool = False
+    #: per-chunk retries before quarantine; None = store default
+    retries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.injections <= 0 or self.beam_fault_evals <= 0:
@@ -42,6 +52,15 @@ class ExperimentConfig:
             raise ConfigurationError(f"unknown beam mode {self.beam_mode!r}")
         if self.workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = one per CPU)")
+        if self.resume and self.refresh:
+            raise ConfigurationError(
+                "resume and refresh conflict: refresh (--no-cache) bypasses "
+                "the cache that resume replays — drop one of the two"
+            )
+        if (self.resume or self.refresh) and self.store is None:
+            raise ConfigurationError("resume/refresh require a store path")
+        if self.retries is not None and self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
 
 
 PRESETS = {

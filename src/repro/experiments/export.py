@@ -16,11 +16,11 @@ from __future__ import annotations
 import argparse
 import datetime
 import hashlib
-import json
 import pathlib
 from dataclasses import asdict, replace
 from typing import Dict, List
 
+from repro.common.atomicio import atomic_write_json, atomic_write_text
 from repro.common.tables import render_csv
 from repro.experiments.config import get_preset
 from repro.experiments.due import run_due
@@ -74,14 +74,15 @@ def export_all(out_dir: pathlib.Path, preset: str = "quick", seed: int = 0) -> D
         rows = _flatten(runner())
         csv_text = render_csv(rows)
         path = out_dir / f"{name}.csv"
-        path.write_text(csv_text)
+        # atomic: a crash (or a reader racing the export) never sees a torn CSV
+        atomic_write_text(path, csv_text)
         manifest[name] = {
             "file": path.name,
             "rows": len(rows),
             "sha256": hashlib.sha256(csv_text.encode("utf-8")).hexdigest(),
         }
 
-    (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    atomic_write_json(out_dir / "manifest.json", manifest)
     return manifest
 
 

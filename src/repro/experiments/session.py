@@ -27,6 +27,7 @@ from repro.predict.model import (
 )
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
+from repro.store.policy import RunPolicy, resolve_policy
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
 
@@ -52,6 +53,14 @@ class ExperimentSession:
         self.config = config if config is not None else ExperimentConfig()
         self.executor = get_executor(self.config.workers, executor)
         self.on_result = on_result
+        #: one shared RunPolicy (and so one store connection) for every
+        #: campaign, beam run and strike sweep the session computes
+        self.policy: Optional[RunPolicy] = resolve_policy(
+            store=self.config.store,
+            resume=self.config.resume,
+            refresh=self.config.refresh,
+            retries=self.config.retries,
+        )
         self.devices: Dict[str, DeviceSpec] = {"kepler": KEPLER_K40C, "volta": VOLTA_V100}
         self._workloads: Dict[Tuple[str, str], Workload] = {}
         self._profilers: Dict[str, Profiler] = {}
@@ -99,6 +108,7 @@ class ExperimentSession:
                 self.framework(framework),
                 seed=self.config.seed,
                 executor=self.executor,
+                policy=self.policy,
             )
             self._campaigns[key] = runner.run(
                 self.workload(arch, code), self.config.injections, on_result=self.on_result
@@ -156,7 +166,10 @@ class ExperimentSession:
 
     # -- beam -------------------------------------------------------------------------
     def beam_experiment(self, arch: str) -> BeamExperiment:
-        return BeamExperiment(self.device(arch), seed=self.config.seed, executor=self.executor)
+        return BeamExperiment(
+            self.device(arch), seed=self.config.seed, executor=self.executor,
+            policy=self.policy,
+        )
 
     def beam(self, arch: str, code: str, ecc: EccMode, microbench: bool = False) -> BeamResult:
         key = (arch, code if not microbench else f"ub:{code}", ecc.value)
@@ -187,6 +200,7 @@ class ExperimentSession:
                 max_fault_evals=self.config.beam_fault_evals,
                 executor=self.executor,
                 on_result=self.on_result,
+                policy=self.policy,
             )
         return self._ubench_fits[arch]
 
@@ -203,6 +217,7 @@ class ExperimentSession:
                 seed=self.config.seed,
                 executor=self.executor,
                 on_result=self.on_result,
+                policy=self.policy,
             )
         return self._mem_avf[key]
 

@@ -38,6 +38,8 @@ from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.sim.exceptions import GpuDeviceException
 from repro.sim.injection import InjectionMode, InjectionPlan, StorageStrike
 from repro.sim.launch import KernelRun, run_kernel
+from repro.store.policy import RunPolicy, resolve_policy
+from repro.store.store import StoreLike
 from repro.telemetry import get_telemetry
 from repro.workloads.base import CompareResult, Workload
 
@@ -63,12 +65,22 @@ class CampaignRunner:
         seed: Optional[int] = None,
         workers: int = 1,
         executor: Optional[Executor] = None,
+        store: Optional[StoreLike] = None,
+        resume: Optional[bool] = None,
+        refresh: bool = False,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        policy: Optional[RunPolicy] = None,
     ) -> None:
         self.device = device
         self.framework = framework
         self.rngs = resolve_rngs(rngs, seed, "CampaignRunner")
         self.ecc = ecc
         self.executor = get_executor(workers, executor)
+        self.policy = resolve_policy(
+            store=store, policy=policy, resume=resume, refresh=refresh,
+            retries=retries, backoff=backoff,
+        )
         self._golden: Dict[str, KernelRun] = {}
 
     # -- golden ---------------------------------------------------------------
@@ -232,9 +244,17 @@ class CampaignRunner:
             # already computed for site sizing
             groups = {g.name: g for g in self.framework.site_groups(workload)}
             _cached_state(context.cache_key(), lambda: (self, workload, groups))
-            records = self.executor.run_chunks(
-                run_injection_chunk, context, tasks, on_result=on_result
-            )
+            # policy= only when set: custom Executor implementations without
+            # the kwarg keep working when no durability was requested
+            if self.policy is not None:
+                records = self.executor.run_chunks(
+                    run_injection_chunk, context, tasks,
+                    on_result=on_result, policy=self.policy,
+                )
+            else:
+                records = self.executor.run_chunks(
+                    run_injection_chunk, context, tasks, on_result=on_result
+                )
             result = CampaignResult(
                 workload=workload.name, framework=self.framework.name, device=self.device.name
             )
@@ -262,9 +282,17 @@ def run_campaign(
     workers: int = 1,
     executor: Optional[Executor] = None,
     on_result: Optional[Callable[[InjectionRecord], None]] = None,
+    store: Optional[StoreLike] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> CampaignResult:
     """One-shot campaign convenience wrapper."""
     runner = CampaignRunner(
-        device, framework, seed=seed, ecc=ecc, workers=workers, executor=executor
+        device, framework, seed=seed, ecc=ecc, workers=workers, executor=executor,
+        store=store, resume=resume, refresh=refresh, retries=retries,
+        backoff=backoff, policy=policy,
     )
     return runner.run(workload, injections, on_result=on_result)

@@ -45,6 +45,8 @@ from repro.faultsim.outcomes import CampaignResult, Outcome
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
 from repro.sim.launch import run_kernel
+from repro.store.policy import RunPolicy, resolve_policy
+from repro.store.store import StoreLike
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
 
@@ -140,6 +142,12 @@ def measure_memory_avf(
     workers: int = 1,
     executor: Optional[Executor] = None,
     on_result: Optional[Callable] = None,
+    store: Optional[StoreLike] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Tuple[float, float]:
     """AVF of a memory bit for Eq. 3: fraction of ECC-OFF storage strikes
     that corrupt the output (SDC) or crash the code (DUE).
@@ -150,6 +158,10 @@ def measure_memory_avf(
     """
     if strikes <= 0:
         raise ConfigurationError("need at least one strike")
+    run_policy = resolve_policy(
+        store=store, policy=policy, resume=resume, refresh=refresh,
+        retries=retries, backoff=backoff,
+    )
     telemetry = get_telemetry()
     with telemetry.span(
         "memory_avf", workload=workload.name, device=device.name, strikes=strikes
@@ -173,7 +185,12 @@ def measure_memory_avf(
         )
         _cached_state(context.cache_key(), lambda: (workload, golden))
         pool = get_executor(workers, executor)
-        outcomes = pool.run_chunks(run_strike_chunk, context, tasks, on_result=on_result)
+        if run_policy is not None:
+            outcomes = pool.run_chunks(
+                run_strike_chunk, context, tasks, on_result=on_result, policy=run_policy
+            )
+        else:
+            outcomes = pool.run_chunks(run_strike_chunk, context, tasks, on_result=on_result)
     sdc = sum(1 for o in outcomes if o is Outcome.SDC)
     due = sum(1 for o in outcomes if o is Outcome.DUE)
     _log.debug(
@@ -192,13 +209,23 @@ def measure_microbench_fits(
     workers: int = 1,
     executor: Optional[Executor] = None,
     on_result: Optional[Callable] = None,
+    store: Optional[StoreLike] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> MicrobenchFits:
     """Run the full micro-benchmark suite under the beam and build the
     per-unit FIT table the prediction consumes."""
     from repro.microbench.registry import MICROBENCH_BUILDERS, get_microbench
 
     arch = device.architecture
-    exp = BeamExperiment(device, seed=seed, workers=workers, executor=executor)
+    exp = BeamExperiment(
+        device, seed=seed, workers=workers, executor=executor,
+        store=store, resume=resume, refresh=refresh, retries=retries,
+        backoff=backoff, policy=policy,
+    )
     prof = Profiler(device)
     units: Dict[str, UnitFit] = {}
     rf_sdc_per_bit = rf_due_per_bit = 0.0

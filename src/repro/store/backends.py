@@ -1,0 +1,228 @@
+"""Pluggable persistence backends for the campaign store.
+
+Two backends, one contract — atomically durable chunk records keyed by
+fingerprint, last write wins:
+
+* :class:`SQLiteBackend` (default): a single file in WAL mode.  Each
+  ``put`` is one transaction, so a crash can never leave a torn record;
+  WAL keeps concurrent readers (e.g. a dashboard tailing the store) from
+  blocking the writer.
+* :class:`JsonlBackend`: an append-only JSONL log, one full record per
+  line, fsync'd per commit.  Crash tolerance comes from the read side: a
+  torn final line (the only kind of corruption an append-only writer can
+  produce) is detected and skipped on load.  Greppable, diffable, and
+  trivially mergeable across machines with ``cat``.
+
+Records never store live objects — payloads are the codec's JSON
+encodings — so either backend can be read by a process that has not
+imported the simulation stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.common.errors import StoreError
+
+PathLike = Union[str, os.PathLike]
+
+#: record status values
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+@dataclass
+class ChunkRecord:
+    """One durable unit of campaign work: a chunk's results + telemetry."""
+
+    fingerprint: str
+    kind: str                               # "campaign" | "beam" | "mem_avf" | custom
+    status: str = DONE                      # DONE | QUARANTINED
+    payload: Optional[List[dict]] = None    # codec-encoded per-task results
+    telemetry: Optional[dict] = None        # the chunk's metrics Snapshot
+    meta: Dict[str, object] = field(default_factory=dict)
+    attempts: int = 1
+    error: str = ""
+    created: float = 0.0                    # wall-clock commit time
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(data: dict) -> "ChunkRecord":
+        return ChunkRecord(
+            fingerprint=data["fingerprint"],
+            kind=data.get("kind", ""),
+            status=data.get("status", DONE),
+            payload=data.get("payload"),
+            telemetry=data.get("telemetry"),
+            meta=data.get("meta") or {},
+            attempts=int(data.get("attempts", 1)),
+            error=data.get("error", ""),
+            created=float(data.get("created", 0.0)),
+        )
+
+
+def _require_parent(path: pathlib.Path) -> None:
+    parent = path.resolve().parent
+    if not parent.is_dir():
+        raise StoreError(
+            f"store directory does not exist: {parent} (create it first, or "
+            f"point --store at an existing directory)"
+        )
+
+
+class SQLiteBackend:
+    """Single-file SQLite store, WAL journal, one transaction per commit."""
+
+    name = "sqlite"
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS chunks (
+        fingerprint TEXT PRIMARY KEY,
+        kind        TEXT NOT NULL,
+        status      TEXT NOT NULL,
+        attempts    INTEGER NOT NULL,
+        error       TEXT NOT NULL,
+        payload     TEXT,
+        telemetry   TEXT,
+        meta        TEXT NOT NULL,
+        created     REAL NOT NULL
+    )
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        _require_parent(self.path)
+        try:
+            self._conn = sqlite3.connect(str(self.path))
+        except sqlite3.Error as exc:  # pragma: no cover - OS-dependent
+            raise StoreError(f"cannot open sqlite store at {self.path}: {exc}") from exc
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.execute(self._SCHEMA)
+
+    def get(self, fingerprint: str) -> Optional[ChunkRecord]:
+        row = self._conn.execute(
+            "SELECT fingerprint, kind, status, attempts, error, payload, telemetry, "
+            "meta, created FROM chunks WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        return ChunkRecord(
+            fingerprint=row[0],
+            kind=row[1],
+            status=row[2],
+            attempts=row[3],
+            error=row[4],
+            payload=json.loads(row[5]) if row[5] is not None else None,
+            telemetry=json.loads(row[6]) if row[6] is not None else None,
+            meta=json.loads(row[7]),
+            created=row[8],
+        )
+
+    def put(self, record: ChunkRecord) -> None:
+        with self._conn:  # one transaction: commit is atomic
+            self._conn.execute(
+                "INSERT OR REPLACE INTO chunks "
+                "(fingerprint, kind, status, attempts, error, payload, telemetry, meta, created) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.fingerprint,
+                    record.kind,
+                    record.status,
+                    record.attempts,
+                    record.error,
+                    json.dumps(record.payload) if record.payload is not None else None,
+                    json.dumps(record.telemetry) if record.telemetry is not None else None,
+                    json.dumps(record.meta),
+                    record.created or time.time(),
+                ),
+            )
+
+    def count(self, status: Optional[str] = None) -> int:
+        if status is None:
+            return self._conn.execute("SELECT COUNT(*) FROM chunks").fetchone()[0]
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM chunks WHERE status = ?", (status,)
+        ).fetchone()[0]
+
+    def fingerprints(self) -> Iterator[str]:
+        for (fp,) in self._conn.execute("SELECT fingerprint FROM chunks"):
+            yield fp
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SQLiteBackend({str(self.path)!r})"
+
+
+class JsonlBackend:
+    """Append-only JSONL log; last record per fingerprint wins on load."""
+
+    name = "jsonl"
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        _require_parent(self.path)
+        self._index: Dict[str, ChunkRecord] = {}
+        self._load()
+        self._handle = None
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = ChunkRecord.from_json(json.loads(line))
+                except (ValueError, KeyError):
+                    # a torn tail line from a crash mid-append: skip it —
+                    # the chunk it described was never durably committed
+                    continue
+                self._index[record.fingerprint] = record
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def get(self, fingerprint: str) -> Optional[ChunkRecord]:
+        return self._index.get(fingerprint)
+
+    def put(self, record: ChunkRecord) -> None:
+        if not record.created:
+            record.created = time.time()
+        handle = self._ensure_handle()
+        handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._index[record.fingerprint] = record
+
+    def count(self, status: Optional[str] = None) -> int:
+        if status is None:
+            return len(self._index)
+        return sum(1 for r in self._index.values() if r.status == status)
+
+    def fingerprints(self) -> Iterator[str]:
+        return iter(list(self._index))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlBackend({str(self.path)!r})"

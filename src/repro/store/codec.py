@@ -1,0 +1,74 @@
+"""Serialisation of chunk results for the durable store.
+
+The store's payloads must round-trip *exactly*: a replayed chunk has to be
+indistinguishable from a re-executed one (the resume contract).  The known
+result types — :class:`~repro.faultsim.outcomes.InjectionRecord` from
+campaigns, :class:`~repro.faultsim.outcomes.Outcome` from beam and
+memory-AVF evaluations — get explicit JSON encodings, so both backends
+stay human-greppable.  Anything else falls back to pickle-in-base64 with
+an explicit tag, which keeps custom chunk functions storable at the cost
+of opacity.
+
+Telemetry snapshots (:data:`repro.telemetry.metrics.Snapshot`) are already
+plain JSON-safe dicts and are stored verbatim.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Any, List, Sequence
+
+
+def encode_value(value: Any) -> dict:
+    from repro.faultsim.outcomes import InjectionRecord, Outcome
+
+    if isinstance(value, Outcome):
+        return {"t": "outcome", "v": value.value}
+    if isinstance(value, InjectionRecord):
+        return {
+            "t": "injection_record",
+            "group": value.group,
+            "outcome": value.outcome.value,
+            "op": value.op.name if value.op is not None else None,
+            "bit": value.bit,
+            "detail": value.detail,
+            "due_cause": value.due_cause,
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return {"t": "json", "v": value}
+    return {
+        "t": "pickle",
+        "v": base64.b64encode(pickle.dumps(value, protocol=4)).decode("ascii"),
+    }
+
+
+def decode_value(data: dict) -> Any:
+    from repro.arch.isa import OpClass
+    from repro.faultsim.outcomes import InjectionRecord, Outcome
+
+    tag = data["t"]
+    if tag == "outcome":
+        return Outcome(data["v"])
+    if tag == "injection_record":
+        return InjectionRecord(
+            group=data["group"],
+            outcome=Outcome(data["outcome"]),
+            op=OpClass[data["op"]] if data["op"] is not None else None,
+            bit=data["bit"],
+            detail=data["detail"],
+            due_cause=data["due_cause"],
+        )
+    if tag == "json":
+        return data["v"]
+    if tag == "pickle":
+        return pickle.loads(base64.b64decode(data["v"]))
+    raise ValueError(f"unknown stored value tag {tag!r}")
+
+
+def encode_results(results: Sequence[Any]) -> List[dict]:
+    return [encode_value(r) for r in results]
+
+
+def decode_results(payload: Sequence[dict]) -> List[Any]:
+    return [decode_value(d) for d in payload]

@@ -1,0 +1,150 @@
+"""Deterministic, durable fingerprints for task chunks.
+
+A fingerprint identifies one unit of resumable work — a chunk of tasks
+evaluated against a chunk context — across process restarts and machines.
+It is the SHA-256 of a *canonical JSON* document derived from:
+
+* a code-version salt (:data:`STORE_SALT`, bumped whenever evaluation
+  semantics change, so stale caches can never leak across releases),
+* the durable description of the chunk context: workload fingerprint
+  (class path, code name, input seed), device, ECC mode, injector
+  framework + compiler backend (campaigns), the full cross-section
+  catalog (beam runs), and the root seed,
+* the task descriptors themselves (site group, target index, RNG name
+  path, ...), which makes the fingerprint automatically sensitive to the
+  seed, campaign size, and chunk partition.
+
+Because every task carries its private RNG substream name, a chunk's
+evaluation outcome is a pure function of exactly the inputs hashed here —
+the property that makes replaying a stored chunk bit-identical to
+re-executing it (``tests/store/test_resume.py``).
+
+Canonicalisation handles the value shapes that appear in contexts and
+tasks: dataclasses, mappings with enum keys, enums, tuples, numpy
+scalars/arrays.  Anything else (closures, open handles) raises
+:class:`~repro.common.errors.StoreError` — better an explicit "this run is
+not durable" than a cache key that silently collides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import StoreError
+from repro.exec.tasks import BeamEvalContext, CampaignContext, MemoryAvfContext
+
+#: bump when a change to the simulator / evaluators makes previously
+#: stored chunk results stale (they will simply miss and recompute)
+STORE_SALT = "repro-store/1"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-safe structure with a unique encoding."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "name": value.name}
+    if isinstance(value, np.generic):
+        return canonical(value.item())
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return {
+            "__ndarray__": str(arr.dtype),
+            "shape": list(arr.shape),
+            "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+        }
+    if isinstance(value, Mapping):
+        pairs = [[canonical(k), canonical(v)] for k, v in value.items()]
+        pairs.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True, default=str))
+        return {"__map__": pairs}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                f.name: canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    raise StoreError(
+        f"cannot canonicalise {type(value).__name__} for a durable fingerprint; "
+        f"give the context a store_payload() method or use plain data"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def context_payload(context: Any) -> dict:
+    """The durable description of a chunk context.
+
+    The engine contexts are special-cased so the payload names exactly the
+    inputs that determine an evaluation: live objects that don't affect
+    results (executors, open pools) never enter the hash.  Custom contexts
+    either provide ``store_payload()`` or are canonicalised whole.
+    """
+    if isinstance(context, CampaignContext):
+        return {
+            "kind": "campaign",
+            "device": context.device.name,
+            "arch": context.device.architecture,
+            "framework": context.framework.name,
+            "backend": context.framework.backend,
+            "ecc": context.ecc,
+            "root_seed": context.root_seed,
+            "workload": list(context.workload.fingerprint),
+        }
+    if isinstance(context, BeamEvalContext):
+        return {
+            "kind": "beam",
+            "device": context.device.name,
+            "arch": context.device.architecture,
+            "ecc": context.ecc,
+            "backend": context.backend,
+            "catalog": canonical(context.catalog),
+            "workload": list(context.workload.fingerprint),
+        }
+    if isinstance(context, MemoryAvfContext):
+        return {
+            "kind": "mem_avf",
+            "device": context.device.name,
+            "arch": context.device.architecture,
+            "backend": context.backend,
+            "workload": list(context.workload.fingerprint),
+        }
+    if hasattr(context, "store_payload"):
+        payload = dict(context.store_payload())
+        payload.setdefault("kind", type(context).__name__)
+        return payload
+    if dataclasses.is_dataclass(context) and not isinstance(context, type):
+        return {"kind": type(context).__name__, "context": canonical(context)}
+    raise StoreError(
+        f"context {type(context).__name__} has no durable fingerprint; "
+        f"add a store_payload() method returning plain data"
+    )
+
+
+def context_kind(context: Any) -> str:
+    """Short record-kind label ("campaign", "beam", ...) for store metadata."""
+    return str(context_payload(context).get("kind", type(context).__name__))
+
+
+def chunk_fingerprint(context: Any, tasks: Sequence[Any]) -> str:
+    """SHA-256 fingerprint of one (context, task chunk) evaluation."""
+    document = {
+        "salt": STORE_SALT,
+        "context": context_payload(context),
+        "tasks": [canonical(task) for task in tasks],
+    }
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

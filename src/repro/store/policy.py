@@ -1,0 +1,101 @@
+"""Run policy: how the execution engine uses the store and handles failure.
+
+One small frozen object threads the whole durability story through
+``run_chunks``:
+
+* ``store`` — the :class:`~repro.store.store.CampaignStore` (or None: no
+  caching, behaviour identical to the pre-store engine),
+* ``resume`` — replay completed chunks from the store (the default),
+* ``refresh`` — ignore existing entries and recompute everything,
+  overwriting the store (the CLI's ``--no-cache``),
+* ``retries`` / ``backoff`` — per-chunk retry with exponential backoff;
+  a chunk that still fails is quarantined (with a store) or re-raised.
+
+Retrying is always safe: a chunk's randomness comes exclusively from its
+tasks' named RNG substreams, so a retry evaluates exactly the same work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.store.store import CampaignStore, StoreLike, open_store
+
+#: default per-chunk retry budget when a policy is in force
+DEFAULT_RETRIES = 2
+#: default base backoff (seconds); attempt ``k`` sleeps ``backoff * 2**(k-1)``
+DEFAULT_BACKOFF = 0.05
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Durability + failure-handling knobs for one engine run."""
+
+    store: Optional[CampaignStore] = None
+    resume: bool = True
+    refresh: bool = False
+    retries: int = DEFAULT_RETRIES
+    backoff: float = DEFAULT_BACKOFF
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ConfigurationError("backoff must be >= 0")
+
+    @property
+    def read_allowed(self) -> bool:
+        """May completed chunks be replayed from the store?"""
+        return self.store is not None and self.resume and not self.refresh
+
+    @property
+    def write_allowed(self) -> bool:
+        return self.store is not None
+
+
+def resolve_policy(
+    store: Optional[StoreLike] = None,
+    policy: Optional[RunPolicy] = None,
+    resume: Optional[bool] = None,
+    refresh: bool = False,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+) -> Optional[RunPolicy]:
+    """Resolve the ``store=``/``resume=``/``refresh=``/``retries=`` kwargs
+    every engine entry point accepts into one :class:`RunPolicy`.
+
+    An explicit ``policy=`` wins and must come alone.  ``resume=True`` and
+    ``refresh=True`` together are a contradiction (refresh bypasses the
+    cache) and raise.  Returns None — engine behaviour unchanged — when
+    nothing durability-related was requested.
+    """
+    if policy is not None:
+        if store is not None or resume is not None or refresh or retries is not None:
+            raise ConfigurationError(
+                "pass either policy= or the store=/resume=/refresh=/retries= "
+                "kwargs, not both"
+            )
+        return policy
+    if resume and refresh:
+        raise ConfigurationError(
+            "resume and refresh conflict: refresh (--no-cache) bypasses the "
+            "cache that resume replays — drop one of the two"
+        )
+    if store is None:
+        if resume or refresh:
+            raise ConfigurationError("resume=/refresh= require a store=")
+        if retries is None:
+            return None
+        return RunPolicy(
+            retries=retries,
+            backoff=backoff if backoff is not None else DEFAULT_BACKOFF,
+        )
+    return RunPolicy(
+        store=open_store(store),
+        resume=resume if resume is not None else True,
+        refresh=refresh,
+        retries=retries if retries is not None else DEFAULT_RETRIES,
+        backoff=backoff if backoff is not None else DEFAULT_BACKOFF,
+    )

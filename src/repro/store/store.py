@@ -1,0 +1,160 @@
+"""The campaign store facade: backend + codec + telemetry in one handle.
+
+:class:`CampaignStore` is what the execution engine talks to.  It owns a
+backend, encodes/decodes chunk payloads, and instruments every operation:
+
+* ``store.hits`` / ``store.misses`` — fingerprint lookups,
+* ``store.commits`` — durable chunk commits (each inside a ``checkpoint``
+  telemetry span, so traces show where checkpointing time goes),
+* ``store.tasks_replayed`` — individual task results served from cache,
+* ``store.quarantined`` — chunks recorded as poison after retries.
+
+:func:`open_store` resolves the user-facing spelling — a path (backend
+chosen by suffix: ``.jsonl``/``.ndjson`` → JSONL, anything else →
+SQLite), an explicit ``sqlite:`` / ``jsonl:`` prefix, or an existing
+:class:`CampaignStore` passed through unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from typing import Optional, Tuple, Union
+
+from repro.common.errors import StoreError
+from repro.store.backends import (
+    ChunkRecord,
+    DONE,
+    JsonlBackend,
+    QUARANTINED,
+    SQLiteBackend,
+)
+from repro.store.codec import decode_results, encode_results
+from repro.telemetry import get_telemetry
+
+StoreLike = Union[str, os.PathLike, "CampaignStore"]
+
+_BACKENDS = {"sqlite": SQLiteBackend, "jsonl": JsonlBackend}
+
+
+class CampaignStore:
+    """Durable, content-addressed store of completed task chunks."""
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self.backend.path
+
+    # -- chunk round-trips -----------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[ChunkRecord]:
+        """Look up a chunk; counts a hit only for a completed record."""
+        record = self.backend.get(fingerprint)
+        telemetry = get_telemetry()
+        if record is not None and record.status == DONE:
+            telemetry.count("store.hits")
+            return record
+        telemetry.count("store.misses")
+        return None
+
+    def load_chunk(self, record: ChunkRecord) -> Tuple[list, Optional[dict]]:
+        """Decode a completed record into (results, telemetry snapshot)."""
+        results = decode_results(record.payload or [])
+        get_telemetry().count("store.tasks_replayed", len(results))
+        return results, record.telemetry
+
+    def put_chunk(
+        self,
+        fingerprint: str,
+        kind: str,
+        results: list,
+        snapshot: Optional[dict],
+        meta: Optional[dict] = None,
+        attempts: int = 1,
+    ) -> None:
+        """Atomically commit one completed chunk."""
+        telemetry = get_telemetry()
+        with telemetry.span("checkpoint", kind=kind, tasks=len(results)):
+            self.backend.put(
+                ChunkRecord(
+                    fingerprint=fingerprint,
+                    kind=kind,
+                    status=DONE,
+                    payload=encode_results(results),
+                    telemetry=snapshot,
+                    meta=meta or {},
+                    attempts=attempts,
+                    created=time.time(),
+                )
+            )
+        telemetry.count("store.commits")
+
+    def quarantine(
+        self, fingerprint: str, kind: str, error: str, attempts: int,
+        meta: Optional[dict] = None,
+    ) -> None:
+        """Record a poison chunk so reruns can see (and re-attempt) it."""
+        self.backend.put(
+            ChunkRecord(
+                fingerprint=fingerprint,
+                kind=kind,
+                status=QUARANTINED,
+                payload=None,
+                telemetry=None,
+                meta=meta or {},
+                attempts=attempts,
+                error=error,
+                created=time.time(),
+            )
+        )
+        get_telemetry().count("store.quarantined")
+
+    # -- introspection ----------------------------------------------------------
+    def count(self, status: Optional[str] = None) -> int:
+        return self.backend.count(status)
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CampaignStore({self.backend!r})"
+
+
+def open_store(spec: StoreLike, backend: Optional[str] = None) -> CampaignStore:
+    """Open (or pass through) a campaign store.
+
+    ``spec`` is a path, optionally prefixed ``sqlite:`` / ``jsonl:`` to
+    force a backend; without a prefix or an explicit ``backend=``, the
+    suffix decides (``.jsonl``/``.ndjson`` → JSONL, else SQLite).
+    """
+    if isinstance(spec, CampaignStore):
+        return spec
+    path = os.fspath(spec)
+    for prefix in _BACKENDS:
+        if path.startswith(prefix + ":"):
+            if backend is not None and backend != prefix:
+                raise StoreError(
+                    f"store spec {path!r} names backend {prefix!r} but "
+                    f"backend={backend!r} was requested"
+                )
+            backend = prefix
+            path = path[len(prefix) + 1 :]
+            break
+    if backend is None:
+        suffix = pathlib.Path(path).suffix.lower()
+        backend = "jsonl" if suffix in (".jsonl", ".ndjson") else "sqlite"
+    try:
+        factory = _BACKENDS[backend]
+    except KeyError as exc:
+        raise StoreError(
+            f"unknown store backend {backend!r}; choose from {sorted(_BACKENDS)}"
+        ) from exc
+    return CampaignStore(factory(path))

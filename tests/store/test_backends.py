@@ -1,0 +1,151 @@
+"""Backend contract: atomic durable records, last-write-wins, torn-tail
+tolerance, and the open_store spelling rules."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.store import (
+    ChunkRecord,
+    DONE,
+    JsonlBackend,
+    QUARANTINED,
+    SQLiteBackend,
+    open_store,
+)
+
+BACKENDS = {"sqlite": SQLiteBackend, "jsonl": JsonlBackend}
+
+
+def _record(fp="f" * 64, status=DONE, attempts=1):
+    return ChunkRecord(
+        fingerprint=fp,
+        kind="campaign",
+        status=status,
+        payload=[{"t": "json", "v": 1}],
+        telemetry={"counters": {"x": 1.0}},
+        meta={"tasks": 1},
+        attempts=attempts,
+        created=123.0,
+    )
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path):
+    suffix = ".jsonl" if request.param == "jsonl" else ".sqlite"
+    b = BACKENDS[request.param](tmp_path / f"store{suffix}")
+    yield b
+    b.close()
+
+
+def test_round_trip(backend):
+    assert backend.get("f" * 64) is None
+    backend.put(_record())
+    record = backend.get("f" * 64)
+    assert record.status == DONE
+    assert record.payload == [{"t": "json", "v": 1}]
+    assert record.telemetry == {"counters": {"x": 1.0}}
+    assert record.meta == {"tasks": 1}
+
+
+def test_last_write_wins(backend):
+    backend.put(_record(status=QUARANTINED))
+    backend.put(_record(status=DONE, attempts=2))
+    record = backend.get("f" * 64)
+    assert record.status == DONE and record.attempts == 2
+
+
+def test_count_by_status(backend):
+    backend.put(_record(fp="a" * 64))
+    backend.put(_record(fp="b" * 64, status=QUARANTINED))
+    assert backend.count() == 2
+    assert backend.count(DONE) == 1
+    assert backend.count(QUARANTINED) == 1
+    assert sorted(backend.fingerprints()) == ["a" * 64, "b" * 64]
+
+
+def test_reload_survives_restart(tmp_path):
+    for name, cls in BACKENDS.items():
+        path = tmp_path / f"re-{name}"
+        first = cls(path)
+        first.put(_record())
+        first.close()
+        second = cls(path)
+        assert second.get("f" * 64).payload == [{"t": "json", "v": 1}]
+        second.close()
+
+
+def test_jsonl_skips_torn_tail(tmp_path):
+    path = tmp_path / "log.jsonl"
+    backend = JsonlBackend(path)
+    backend.put(_record(fp="a" * 64))
+    backend.put(_record(fp="b" * 64))
+    backend.close()
+    # simulate a crash mid-append: the final line is torn
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"fingerprint": "cccc", "kind": "campa')
+    reloaded = JsonlBackend(path)
+    assert reloaded.count() == 2
+    assert reloaded.get("cccc") is None
+    # the log is still appendable after a torn tail
+    reloaded.put(_record(fp="d" * 64))
+    assert reloaded.count() == 3
+    reloaded.close()
+
+
+def test_missing_parent_directory_is_an_error(tmp_path):
+    with pytest.raises(StoreError, match="directory does not exist"):
+        SQLiteBackend(tmp_path / "no" / "such" / "dir" / "s.sqlite")
+    with pytest.raises(StoreError, match="directory does not exist"):
+        JsonlBackend(tmp_path / "no" / "such" / "dir" / "s.jsonl")
+
+
+# -- open_store spelling ---------------------------------------------------------
+
+
+def test_open_store_suffix_selects_backend(tmp_path):
+    assert isinstance(open_store(tmp_path / "a.sqlite").backend, SQLiteBackend)
+    assert isinstance(open_store(tmp_path / "a.db").backend, SQLiteBackend)
+    assert isinstance(open_store(tmp_path / "a.jsonl").backend, JsonlBackend)
+    assert isinstance(open_store(tmp_path / "a.ndjson").backend, JsonlBackend)
+
+
+def test_open_store_prefix_overrides_suffix(tmp_path):
+    store = open_store(f"jsonl:{tmp_path / 'odd.db'}")
+    assert isinstance(store.backend, JsonlBackend)
+    store = open_store(f"sqlite:{tmp_path / 'odd.jsonl.db'}")
+    assert isinstance(store.backend, SQLiteBackend)
+
+
+def test_open_store_conflicting_spellings(tmp_path):
+    with pytest.raises(StoreError):
+        open_store(f"jsonl:{tmp_path / 'x'}", backend="sqlite")
+    with pytest.raises(StoreError):
+        open_store(tmp_path / "x", backend="parquet")
+
+
+def test_open_store_passthrough(tmp_path):
+    store = open_store(tmp_path / "s.sqlite")
+    assert open_store(store) is store
+
+
+def test_store_counters_and_spans(tmp_path):
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as telemetry:
+        with open_store(tmp_path / "t.sqlite") as store:
+            assert store.get("0" * 64) is None          # miss
+            store.put_chunk("0" * 64, "campaign", [1, 2], {"counters": {}})
+            record = store.get("0" * 64)                # hit
+            results, snapshot = store.load_chunk(record)
+            assert results == [1, 2]
+            store.quarantine("1" * 64, "campaign", "boom", attempts=3)
+            assert store.get("1" * 64) is None          # quarantined ≠ hit
+        counters = telemetry.registry.counters
+        histograms = telemetry.registry.histograms
+    assert counters["store.misses"] == 2.0
+    assert counters["store.hits"] == 1.0
+    assert counters["store.commits"] == 1.0
+    assert counters["store.tasks_replayed"] == 2.0
+    assert counters["store.quarantined"] == 1.0
+    # each commit runs inside a "checkpoint" span (timed into its histogram)
+    assert histograms["span.checkpoint.seconds"].total == 1

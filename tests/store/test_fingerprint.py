@@ -1,0 +1,116 @@
+"""Chunk fingerprints: deterministic, canonical, sensitive to what matters."""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.ecc import EccMode
+from repro.common.errors import StoreError
+from repro.exec.tasks import CampaignContext, InjectionTask, WorkloadHandle
+from repro.faultsim.frameworks import NvBitFi, Sassifi
+from repro.store.fingerprint import (
+    STORE_SALT,
+    canonical,
+    canonical_json,
+    chunk_fingerprint,
+    context_kind,
+    context_payload,
+)
+from repro.workloads.registry import get_workload
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: float
+
+
+def test_canonical_primitives_pass_through():
+    assert canonical(None) is None
+    assert canonical(True) is True
+    assert canonical(3) == 3
+    assert canonical(1.5) == 1.5
+    assert canonical("abc") == "abc"
+
+
+def test_canonical_enum_and_numpy():
+    assert canonical(Color.RED) == {"__enum__": "Color", "name": "RED"}
+    assert canonical(np.int64(7)) == 7
+    array = np.arange(4, dtype=np.float32)
+    encoded = canonical(array)
+    assert encoded["__ndarray__"] == "float32" and encoded["shape"] == [4]
+    # content-addressed: same values → same digest, different values differ
+    assert canonical(np.arange(4, dtype=np.float32)) == encoded
+    assert canonical(np.arange(5, dtype=np.float32)) != encoded
+
+
+def test_canonical_mapping_is_order_independent():
+    assert canonical({"b": 1, "a": 2}) == canonical(dict([("a", 2), ("b", 1)]))
+
+
+def test_canonical_dataclass():
+    encoded = canonical(Point(1, 2.0))
+    assert encoded["__dataclass__"] == "Point"
+    assert canonical_json(Point(1, 2.0)) == canonical_json(Point(1, 2.0))
+    assert canonical_json(Point(1, 2.0)) != canonical_json(Point(1, 3.0))
+
+
+def test_canonical_rejects_opaque_objects():
+    with pytest.raises(StoreError):
+        canonical(object())
+
+
+def _context(seed=0, ecc=EccMode.ON, device=KEPLER_K40C, framework=None):
+    workload = get_workload(device.architecture, "FMXM", seed=seed)
+    return CampaignContext(
+        device=device,
+        framework=framework if framework is not None else NvBitFi(),
+        ecc=ecc.value,
+        root_seed=seed,
+        workload=WorkloadHandle.wrap(workload),
+    )
+
+
+def _tasks(n=3, seed=0):
+    return [
+        InjectionTask(
+            index=i, group="op:FADD", target_index=i, root_seed=seed,
+            rng_path=("faultsim", "t", "task", i),
+        )
+        for i in range(n)
+    ]
+
+
+def test_chunk_fingerprint_is_deterministic():
+    a = chunk_fingerprint(_context(), _tasks())
+    b = chunk_fingerprint(_context(), _tasks())
+    assert a == b
+    assert len(a) == 64  # sha256 hex
+
+
+def test_fingerprint_sensitive_to_seed_ecc_device_framework_tasks():
+    base = chunk_fingerprint(_context(), _tasks())
+    assert chunk_fingerprint(_context(seed=1), _tasks(seed=1)) != base
+    assert chunk_fingerprint(_context(ecc=EccMode.OFF), _tasks()) != base
+    assert chunk_fingerprint(_context(device=VOLTA_V100), _tasks()) != base
+    assert chunk_fingerprint(_context(framework=Sassifi()), _tasks()) != base
+    assert chunk_fingerprint(_context(), _tasks(n=4)) != base
+
+
+def test_fingerprint_includes_code_version_salt():
+    payload = context_payload(_context())
+    assert payload["kind"] == "campaign"
+    assert STORE_SALT.startswith("repro-store/")
+
+
+def test_context_kind():
+    assert context_kind(_context()) == "campaign"
+    assert context_kind(Point(1, 2.0)) == "Point"

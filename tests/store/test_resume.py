@@ -1,0 +1,200 @@
+"""The resume contract: a campaign killed after K chunks and resumed is
+byte-identical — records and domain telemetry — to an uninterrupted run,
+for both backends, serial and process execution, ECC on and off."""
+
+import pytest
+
+import repro.api as api
+import repro.faultsim.campaign as campaign_mod
+from repro.arch.ecc import EccMode
+from repro.telemetry import telemetry_session
+
+INJECTIONS = 24
+#: bookkeeping the store/engine adds; everything else ("domain" telemetry:
+#: campaign.*, sim.*, beam.*, ...) must be bit-identical under resume
+_BOOKKEEPING = ("store.", "exec.chunk_retries", "span.checkpoint.")
+
+
+def _domain(counters):
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(_BOOKKEEPING)
+    }
+
+
+def _signature(result):
+    return [
+        (r.group, r.outcome, r.op, r.bit, r.detail, r.due_cause)
+        for r in result.records
+    ]
+
+
+def _run(store=None, *, seed=1, workers=1, ecc="on", on_result=None, **kwargs):
+    with telemetry_session() as telemetry:
+        result = api.run_campaign(
+            "FMXM",
+            device="kepler",
+            injections=INJECTIONS,
+            seed=seed,
+            ecc=ecc,
+            workers=workers,
+            store=store,
+            on_result=on_result,
+            **kwargs,
+        )
+        counters = dict(telemetry.registry.counters)
+    return result, counters
+
+
+class _Interrupt(RuntimeError):
+    """Stands in for SIGKILL/Ctrl-C at a deterministic point."""
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "jsonl"])
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("ecc", ["on", "off"])
+def test_interrupted_campaign_resumes_bit_identical(tmp_path, backend, workers, ecc):
+    store_path = str(tmp_path / f"campaign.{'jsonl' if backend == 'jsonl' else 'sqlite'}")
+
+    # ground truth: one uninterrupted, storeless run
+    baseline, baseline_counters = _run(workers=workers, ecc=ecc)
+
+    # "crash" partway through: abort after K completed evaluations
+    seen = {"n": 0}
+
+    def killer(_record):
+        seen["n"] += 1
+        if seen["n"] >= INJECTIONS // 3:
+            raise _Interrupt("simulated crash")
+
+    with pytest.raises(_Interrupt):
+        _run(store_path, workers=workers, ecc=ecc, on_result=killer)
+
+    # resume: completed chunks replay from the store, the rest execute
+    resumed, resumed_counters = _run(store_path, workers=workers, ecc=ecc)
+    assert _signature(resumed) == _signature(baseline)
+    assert resumed_counters.get("store.hits", 0) >= 1
+    assert _domain(resumed_counters) == _domain(baseline_counters)
+
+    # a second warm pass is a pure replay, still bit-identical
+    replayed, replay_counters = _run(store_path, workers=workers, ecc=ecc)
+    assert _signature(replayed) == _signature(baseline)
+    assert replay_counters.get("store.misses", 0) == 0
+    assert replay_counters.get("store.commits", 0) == 0
+    assert _domain(replay_counters) == _domain(baseline_counters)
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "jsonl"])
+def test_warm_cache_makes_zero_simulator_invocations(tmp_path, backend, monkeypatch):
+    store_path = str(tmp_path / f"warm.{'jsonl' if backend == 'jsonl' else 'sqlite'}")
+    first, _ = _run(store_path)
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError("chunk evaluated despite a warm cache")
+
+    monkeypatch.setattr(campaign_mod, "run_injection_chunk", forbidden)
+    warm, counters = _run(store_path)
+    assert _signature(warm) == _signature(first)
+    assert counters.get("store.misses", 0) == 0
+    assert counters.get("store.commits", 0) == 0
+    assert counters["store.tasks_replayed"] == INJECTIONS
+
+
+def test_changed_seed_and_config_miss(tmp_path):
+    store_path = str(tmp_path / "miss.sqlite")
+    _run(store_path, seed=1)
+
+    _, other_seed = _run(store_path, seed=2)
+    assert other_seed.get("store.hits", 0) == 0
+    assert other_seed.get("store.misses", 0) >= 1
+
+    _, other_ecc = _run(store_path, seed=1, ecc="off")
+    assert other_ecc.get("store.hits", 0) == 0
+
+    _, other_fw = _run(store_path, seed=1, framework="sassifi")
+    assert other_fw.get("store.hits", 0) == 0
+
+
+def test_refresh_forces_recompute(tmp_path):
+    store_path = str(tmp_path / "refresh.sqlite")
+    first, _ = _run(store_path)
+    refreshed, counters = _run(store_path, refresh=True)
+    assert _signature(refreshed) == _signature(first)
+    assert counters.get("store.hits", 0) == 0
+    assert counters["store.commits"] >= 1
+    # the refreshed entries serve the next warm read
+    _, warm = _run(store_path)
+    assert warm.get("store.misses", 0) == 0
+
+
+def test_resume_without_store_is_rejected(tmp_path):
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="require a store"):
+        _run(None, resume=True)
+    with pytest.raises(ConfigurationError, match="conflict"):
+        _run(str(tmp_path / "x.sqlite"), resume=True, refresh=True)
+
+
+def test_beam_run_resumes_from_store(tmp_path):
+    store_path = str(tmp_path / "beam.sqlite")
+
+    def beam(**kwargs):
+        with telemetry_session() as telemetry:
+            result = api.run_beam(
+                "FMXM", device="kepler", ecc="off", beam_hours=4.0,
+                mode="expected", max_fault_evals=24, seed=3, **kwargs,
+            )
+            return result, dict(telemetry.registry.counters)
+
+    baseline, _ = beam()
+    first, cold = beam(store=store_path)
+    assert cold["store.commits"] >= 1
+    warm, counters = beam(store=store_path)
+    assert counters.get("store.misses", 0) == 0
+    assert warm.fit_sdc.value == baseline.fit_sdc.value == first.fit_sdc.value
+    assert warm.fit_due.value == baseline.fit_due.value
+    assert {r: (t.faults, t.sdc, t.due) for r, t in warm.tallies.items()} == {
+        r: (t.faults, t.sdc, t.due) for r, t in baseline.tallies.items()
+    }
+
+
+def test_memory_avf_resumes_from_store(tmp_path):
+    from repro.arch.devices import KEPLER_K40C
+    from repro.predict.model import measure_memory_avf
+    from repro.workloads.registry import get_workload
+
+    store_path = str(tmp_path / "avf.jsonl")
+    workload = get_workload("kepler", "FMXM", seed=4)
+    baseline = measure_memory_avf(KEPLER_K40C, workload, strikes=16, seed=4)
+    with telemetry_session():
+        cold = measure_memory_avf(
+            KEPLER_K40C, workload, strikes=16, seed=4, store=store_path
+        )
+    with telemetry_session() as telemetry:
+        warm = measure_memory_avf(
+            KEPLER_K40C, workload, strikes=16, seed=4, store=store_path
+        )
+        counters = telemetry.registry.counters
+    assert cold == warm == baseline
+    assert counters.get("store.misses", 0) == 0
+    assert counters["store.tasks_replayed"] == 16.0
+
+
+def test_session_threads_policy_through_config(tmp_path):
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.session import ExperimentSession
+
+    config = ExperimentConfig(
+        seed=5, injections=INJECTIONS, store=str(tmp_path / "sess.sqlite")
+    )
+    with telemetry_session() as t1:
+        first = ExperimentSession(config).campaign("kepler", "nvbitfi", "FMXM")
+        cold = dict(t1.registry.counters)
+    assert cold["store.commits"] >= 1
+    with telemetry_session() as t2:
+        second = ExperimentSession(config).campaign("kepler", "nvbitfi", "FMXM")
+        warm = dict(t2.registry.counters)
+    assert _signature(first) == _signature(second)
+    assert warm.get("store.misses", 0) == 0
