@@ -53,9 +53,12 @@ from repro.exec.engine import Executor, ProcessExecutor, SerialExecutor, get_exe
 from repro.exec.progress import ProgressMeter
 from repro.experiments.config import ExperimentConfig, get_preset
 from repro.experiments.session import ExperimentSession
+from repro.arch.uncore import UncoreFitTable, UncoreUnitRates, uncore_table
 from repro.faultsim.campaign import CampaignRunner
 from repro.faultsim.frameworks import InjectorFramework, NvBitFi, Sassifi, get_framework
-from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
+from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome, StrikeEval
+from repro.faultsim.sandbox import InjectionSandbox, SandboxLimits
+from repro.faultsim.uncore import UncoreInjector
 from repro.predict.model import FitPrediction
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
@@ -153,6 +156,7 @@ def run_campaign(
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
     policy: Optional[RunPolicy] = None,
+    on_crash: Optional[str] = None,
 ) -> CampaignResult:
     """Run a SASSIFI/NVBitFI-style fault-injection campaign.
 
@@ -166,6 +170,10 @@ def run_campaign(
     run.  ``refresh=True`` recomputes everything (overwriting cached
     chunks); ``retries=`` bounds per-chunk retry before quarantine.  See
     ``docs/STORAGE.md``.
+
+    ``on_crash=`` picks the injection sandbox's containment policy for
+    unexpected crashes in injected runs — ``"due"`` (classify, the
+    default), ``"quarantine"`` or ``"raise"``.  See ``docs/ROBUSTNESS.md``.
     """
     dev = as_device(device)
     runner = CampaignRunner(
@@ -181,6 +189,7 @@ def run_campaign(
         retries=retries,
         backoff=backoff,
         policy=policy,
+        on_crash=on_crash,
     )
     return runner.run(as_workload(workload, dev, seed), injections, on_result=on_result)
 
@@ -205,18 +214,20 @@ def run_beam(
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
     policy: Optional[RunPolicy] = None,
+    on_crash: Optional[str] = None,
 ) -> BeamResult:
     """Expose one code to the simulated accelerated neutron beam and
     measure its SDC/DUE FIT rates (§III-C protocol).
 
     ``store=``/``resume``/``refresh``/``retries`` work as in
     :func:`run_campaign` — the mechanistic fault evaluations (the wall-clock
-    bulk of a beam run) are checkpointed and replayed."""
+    bulk of a beam run) are checkpointed and replayed.  ``on_crash=`` is the
+    sandbox containment policy (``docs/ROBUSTNESS.md``)."""
     dev = as_device(device)
     experiment = BeamExperiment(
         dev, facility=facility, catalog=catalog, seed=seed, workers=workers,
         executor=executor, store=store, resume=resume, refresh=refresh,
-        retries=retries, backoff=backoff, policy=policy,
+        retries=retries, backoff=backoff, policy=policy, on_crash=on_crash,
     )
     return experiment.run(
         as_workload(workload, dev, seed),
@@ -253,6 +264,7 @@ def predict(
     resume: Optional[bool] = None,
     refresh: bool = False,
     retries: Optional[int] = None,
+    on_crash: Optional[str] = None,
 ) -> Tuple[FitPrediction, str]:
     """Eq. 1–4 FIT prediction for one registry code.
 
@@ -274,12 +286,17 @@ def predict(
             ExperimentConfig(
                 seed=seed, injections=injections, workers=workers,
                 store=store, resume=resume, refresh=refresh, retries=retries,
+                on_crash=on_crash,
             )
         )
-    elif store is not None or resume is not None or refresh or retries is not None:
+    elif (
+        store is not None or resume is not None or refresh
+        or retries is not None or on_crash is not None
+    ):
         raise ConfigurationError(
-            "store=/resume=/refresh=/retries= configure a new session; with "
-            "session= they belong in that session's ExperimentConfig"
+            "store=/resume=/refresh=/retries=/on_crash= configure a new "
+            "session; with session= they belong in that session's "
+            "ExperimentConfig"
         )
     return session.predict(dev.architecture, fw.name.lower(), workload, as_ecc(ecc))
 
@@ -316,6 +333,7 @@ __all__ = [
     "Outcome",
     "CampaignResult",
     "InjectionRecord",
+    "StrikeEval",
     "BeamResult",
     "KernelMetrics",
     "FitPrediction",
@@ -325,6 +343,13 @@ __all__ = [
     "NvBitFi",
     "Sassifi",
     "InjectorFramework",
+    # uncore fault domains + injection sandboxing (see docs/ROBUSTNESS.md)
+    "UncoreInjector",
+    "InjectionSandbox",
+    "SandboxLimits",
+    "UncoreFitTable",
+    "UncoreUnitRates",
+    "uncore_table",
     # beam facilities
     "CHIPIR",
     "Facility",

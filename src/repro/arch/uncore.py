@@ -1,0 +1,146 @@
+"""Per-unit uncore FIT rates — the fault domain injectors cannot reach.
+
+The paper's central DUE finding (§VII-B, Fig. 6) is that beam-measured DUE
+rates exceed injector-based predictions by 60×–46,700× because most DUEs
+originate in *uncore* hardware — warp schedulers, instruction
+dispatch/decode, memory controllers, the host interface — that
+SASSIFI/NVBitFI-style tools cannot touch.  This module is the
+architecture-level source of truth for those units' failure rates:
+
+* :class:`UncoreUnitRates` — terrestrial FIT per active instance plus the
+  outcome split (DUE / SDC / masked) for one unit,
+* :class:`UncoreFitTable` — the per-architecture table, consumed by the
+  :class:`~repro.faultsim.uncore.UncoreInjector` (to weight fault sites)
+  and by the :mod:`repro.predict` two-term DUE prediction (to add the
+  uncore FIT term Eq. 2 structurally omits).
+
+The per-instance FIT is ``σ_hidden × Φ_terrestrial × 10⁹`` — the same
+sensitivities the beam catalog exposes to the simulated beam
+(:data:`repro.beam.cross_sections._HIDDEN_SIGMA`; kept numerically in sync
+by ``tests/faultsim/test_uncore.py`` rather than by import, so the arch
+layer stays below the beam layer).  The outcome splits mirror the catalog's
+:class:`~repro.beam.cross_sections.HiddenOutcomeModel` mixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.arch.units import UnitKind
+from repro.common.errors import ConfigurationError
+from repro.common.units import FIT_SCALE_HOURS, TERRESTRIAL_FLUX_N_CM2_H
+
+#: σ → FIT conversion at natural flux (failures per 10⁹ h per cm²)
+_FIT_PER_CM2 = TERRESTRIAL_FLUX_N_CM2_H * FIT_SCALE_HOURS
+
+
+@dataclass(frozen=True)
+class UncoreUnitRates:
+    """Failure rates for one uncore unit."""
+
+    #: terrestrial FIT per active instance at full activity (an SM for
+    #: scheduler/ipipe, the memory-controller cluster, the device for host_if)
+    fit_per_instance: float
+    #: fraction of uncore faults in this unit that become DUEs
+    p_due: float
+    #: fraction that silently corrupt architectural state (→ mechanistic SDC)
+    p_sdc: float
+
+    def __post_init__(self) -> None:
+        if self.fit_per_instance < 0:
+            raise ConfigurationError("uncore FIT rates must be non-negative")
+        if not (0 <= self.p_due and 0 <= self.p_sdc and self.p_due + self.p_sdc <= 1.0):
+            raise ConfigurationError("uncore outcome fractions must form a sub-distribution")
+
+    @property
+    def p_masked(self) -> float:
+        return 1.0 - self.p_due - self.p_sdc
+
+    @property
+    def fit_due_per_instance(self) -> float:
+        return self.fit_per_instance * self.p_due
+
+
+@dataclass(frozen=True)
+class UncoreFitTable:
+    """Per-architecture uncore failure-rate table."""
+
+    architecture: str
+    units: Mapping[UnitKind, UncoreUnitRates]
+
+    def __post_init__(self) -> None:
+        for unit in self.units:
+            if not unit.is_hidden:
+                raise ConfigurationError(f"{unit} is not an uncore unit")
+
+    def rates_for(self, unit: UnitKind) -> UncoreUnitRates:
+        try:
+            return self.units[unit]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no uncore FIT rates for {unit} on {self.architecture}"
+            ) from exc
+
+    def fit_due(self, unit: UnitKind, instances: float = 1.0, activity: float = 1.0) -> float:
+        """Expected DUE FIT contribution of ``instances`` active copies of
+        ``unit`` at the given activity factor (dimensionless, ≤ 1 for
+        per-SM units)."""
+        rates = self.rates_for(unit)
+        return rates.fit_due_per_instance * max(0.0, instances) * max(0.0, activity)
+
+
+def _rates(sigma_cm2: float, p_due: float, p_sdc: float) -> UncoreUnitRates:
+    return UncoreUnitRates(
+        fit_per_instance=sigma_cm2 * _FIT_PER_CM2, p_due=p_due, p_sdc=p_sdc
+    )
+
+
+#: Kepler (28 nm planar) uncore sensitivities, cm² per active instance —
+#: the numbers behind the beam catalog's hidden-resource cross-sections
+_KEPLER_SIGMA: Dict[UnitKind, float] = {
+    UnitKind.SCHEDULER: 1.1e-12,
+    UnitKind.INSTRUCTION_PIPELINE: 0.8e-12,
+    UnitKind.MEMORY_CONTROLLER: 0.6e-12,
+    UnitKind.HOST_INTERFACE: 1.5e-12,
+}
+#: Volta's 16 nm FinFET logic is a little less sensitive (same 0.6× the
+#: beam catalog applies)
+_VOLTA_LOGIC_SCALE = 0.6
+
+#: outcome splits per unit, shared across architectures (the catalog's
+#: HiddenOutcomeModel mixtures): schedulers and the host interface almost
+#: always hang, the memory controller corrupts data more often
+_OUTCOMES: Dict[UnitKind, tuple] = {
+    UnitKind.SCHEDULER: (0.70, 0.12),
+    UnitKind.INSTRUCTION_PIPELINE: (0.65, 0.12),
+    UnitKind.MEMORY_CONTROLLER: (0.55, 0.18),
+    UnitKind.HOST_INTERFACE: (0.90, 0.03),
+}
+
+KEPLER_UNCORE = UncoreFitTable(
+    architecture="kepler",
+    units={
+        unit: _rates(sigma, *_OUTCOMES[unit]) for unit, sigma in _KEPLER_SIGMA.items()
+    },
+)
+
+VOLTA_UNCORE = UncoreFitTable(
+    architecture="volta",
+    units={
+        unit: _rates(sigma * _VOLTA_LOGIC_SCALE, *_OUTCOMES[unit])
+        for unit, sigma in _KEPLER_SIGMA.items()
+    },
+)
+
+_TABLES = {"kepler": KEPLER_UNCORE, "volta": VOLTA_UNCORE}
+
+
+def uncore_table(architecture: str) -> UncoreFitTable:
+    """The uncore FIT table for one architecture name."""
+    try:
+        return _TABLES[architecture]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"no uncore FIT table for architecture {architecture!r}"
+        ) from exc

@@ -20,8 +20,10 @@ from repro.arch.isa import OpClass
 from repro.arch.units import UnitKind
 from repro.beam.cross_sections import CrossSectionCatalog
 from repro.common.errors import ConfigurationError
-from repro.faultsim.outcomes import Outcome
-from repro.sim.exceptions import GpuDeviceException
+from repro.faultsim.outcomes import Outcome, StrikeEval
+from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox
+from repro.faultsim.uncore import UNCORE_EXCEPTIONS
+from repro.sim.exceptions import ContainedCrashError, EccDoubleBitError, GpuDeviceException
 from repro.sim.injection import (
     FaultModel,
     InjectionMode,
@@ -35,19 +37,18 @@ from repro.workloads.base import CompareResult, Workload
 
 _log = get_logger("beam.engine")
 
-#: watchdog budget relative to the golden run, like the injection campaigns
-WATCHDOG_FACTOR = 8.0
-
 _ADDRESSABLE = (OpClass.LDG, OpClass.STG, OpClass.LDS, OpClass.STS)
 
 #: telemetry keys precomputed over the closed (kind, outcome) space —
-#: ``evaluate`` runs once per sampled strike, so no f-strings there
+#: ``evaluate`` runs once per sampled strike, so no f-strings there;
+#: DUE causes are an open set, memoized on first sight
 _EVAL_KEYS = {kind: f"beam.eval.{kind}" for kind in ("op", "mem", "hidden")}
 _OUTCOME_KEYS = {
     (kind, outcome): f"beam.outcome.{kind}.{outcome.value}"
     for kind in ("op", "mem", "hidden")
     for outcome in Outcome
 }
+_CAUSE_KEYS: dict = {}
 
 
 class BeamEngine:
@@ -60,6 +61,7 @@ class BeamEngine:
         catalog: CrossSectionCatalog,
         ecc: EccMode,
         backend: str = "cuda10",
+        on_crash: str = "due",
     ) -> None:
         self.device = device
         self.workload = workload
@@ -67,6 +69,7 @@ class BeamEngine:
         self.ecc = ecc
         self.backend = backend
         self.secded = SecdedModel(mode=ecc)
+        self.sandbox = InjectionSandbox(on_crash)
         self._golden: Optional[KernelRun] = None
 
     @property
@@ -86,10 +89,15 @@ class BeamEngine:
         return self._golden
 
     # -- shared plumbing ----------------------------------------------------------
-    def _run_with(self, plan=None, strikes=()) -> Outcome:
+    def _run_with(self, plan=None, strikes=()) -> StrikeEval:
         golden = self.golden
         try:
-            run = run_kernel(
+            # sandboxed like the injection campaigns: an unexpected crash in
+            # a mechanistic re-execution is contained per on_crash instead
+            # of killing the worker (the beam supervisor never dies with
+            # the DUT)
+            run = self.sandbox.run(
+                run_kernel,
                 self.device,
                 self.workload.kernel,
                 self.workload.sim_launch(),
@@ -99,13 +107,19 @@ class BeamEngine:
                 strikes=strikes,
                 watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
             )
-        except GpuDeviceException:
-            return Outcome.DUE
+        except GpuDeviceException as exc:
+            return StrikeEval(
+                outcome=Outcome.DUE,
+                due_cause=exc.cause,
+                contained=isinstance(exc, ContainedCrashError),
+            )
         compare = self.workload.compare(golden.outputs, run.outputs)
-        return Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
+        if compare is CompareResult.SDC:
+            return StrikeEval(outcome=Outcome.SDC)
+        return StrikeEval(outcome=Outcome.MASKED)
 
     # -- strike evaluators ------------------------------------------------------------
-    def evaluate_op_fault(self, op: OpClass, rng: np.random.Generator) -> Outcome:
+    def op_fault_eval(self, op: OpClass, rng: np.random.Generator) -> StrikeEval:
         """A strike on a functional-unit datapath while ``op`` is in flight."""
         instances = self.golden.trace.instances.get(op, 0)
         if instances <= 0:
@@ -123,7 +137,7 @@ class BeamEngine:
         )
         return self._run_with(plan=plan)
 
-    def evaluate_storage_fault(self, unit: UnitKind, rng: np.random.Generator) -> Outcome:
+    def storage_fault_eval(self, unit: UnitKind, rng: np.random.Generator) -> StrikeEval:
         """A strike on a storage bit (RF / shared / device memory)."""
         if not unit.is_storage:
             raise ConfigurationError(f"{unit} is not storage")
@@ -132,8 +146,8 @@ class BeamEngine:
             # escalates the MBU fraction to a driver-level DUE
             outcome = self.secded.strike(rng)
             if outcome is EccOutcome.DETECTED_DUE:
-                return Outcome.DUE
-            return Outcome.MASKED
+                return StrikeEval(outcome=Outcome.DUE, due_cause=EccDoubleBitError.cause)
+            return StrikeEval(outcome=Outcome.MASKED)
         space = {
             UnitKind.REGISTER_FILE: "rf",
             UnitKind.SHARED_MEMORY: "shared",
@@ -144,29 +158,45 @@ class BeamEngine:
         strike = StorageStrike(tick=tick, space=space, rng=rng)
         return self._run_with(strikes=(strike,))
 
-    def evaluate_hidden_fault(self, unit: UnitKind, rng: np.random.Generator) -> Outcome:
-        """A strike on a resource no injector can reach: outcome mixture."""
+    def hidden_fault_eval(self, unit: UnitKind, rng: np.random.Generator) -> StrikeEval:
+        """A strike on a resource no injector can reach: outcome mixture.
+
+        Exactly one RNG draw, as before cause tracking (numeric
+        compatibility); a DUE carries the unit's uncore cause — the same
+        ``GpuDeviceException.cause`` the :class:`UncoreInjector` raises, so
+        beam and injector DUE provenance share one vocabulary.
+        """
         if not unit.is_hidden:
             raise ConfigurationError(f"{unit} is not a hidden resource")
         model = self.catalog.hidden_outcomes[unit]
         draw = rng.random()
         if draw < model.p_due:
-            return Outcome.DUE
+            return StrikeEval(outcome=Outcome.DUE, due_cause=UNCORE_EXCEPTIONS[unit].cause)
         if draw < model.p_due + model.p_sdc:
-            return Outcome.SDC
-        return Outcome.MASKED
+            return StrikeEval(outcome=Outcome.SDC)
+        return StrikeEval(outcome=Outcome.MASKED)
+
+    # back-compat wrappers: the Outcome-only views of the evaluators above
+    def evaluate_op_fault(self, op: OpClass, rng: np.random.Generator) -> Outcome:
+        return self.op_fault_eval(op, rng).outcome
+
+    def evaluate_storage_fault(self, unit: UnitKind, rng: np.random.Generator) -> Outcome:
+        return self.storage_fault_eval(unit, rng).outcome
+
+    def evaluate_hidden_fault(self, unit: UnitKind, rng: np.random.Generator) -> Outcome:
+        return self.hidden_fault_eval(unit, rng).outcome
 
     # -- resource dispatch ----------------------------------------------------------------
-    def evaluate(self, resource: str, rng: np.random.Generator) -> Outcome:
+    def evaluate_detailed(self, resource: str, rng: np.random.Generator) -> StrikeEval:
         """Evaluate by flat resource key ("op:FFMA", "mem:register_file",
-        "hidden:scheduler")."""
+        "hidden:scheduler"), with DUE provenance."""
         kind, _, name = resource.partition(":")
         if kind == "op":
-            outcome = self.evaluate_op_fault(OpClass[name], rng)
+            evaluation = self.op_fault_eval(OpClass[name], rng)
         elif kind == "mem":
-            outcome = self.evaluate_storage_fault(UnitKind(name), rng)
+            evaluation = self.storage_fault_eval(UnitKind(name), rng)
         elif kind == "hidden":
-            outcome = self.evaluate_hidden_fault(UnitKind(name), rng)
+            evaluation = self.hidden_fault_eval(UnitKind(name), rng)
         else:
             raise ConfigurationError(f"unknown resource key {resource!r}")
         # per-provenance-bucket tallies; captured per task in worker chunks,
@@ -174,5 +204,16 @@ class BeamEngine:
         telemetry = get_telemetry()
         telemetry.count("beam.evals")
         telemetry.count(_EVAL_KEYS[kind])
-        telemetry.count(_OUTCOME_KEYS[kind, outcome])
-        return outcome
+        telemetry.count(_OUTCOME_KEYS[kind, evaluation.outcome])
+        if evaluation.outcome is Outcome.DUE:
+            cause_key = _CAUSE_KEYS.get(evaluation.due_cause)
+            if cause_key is None:
+                cause_key = _CAUSE_KEYS[evaluation.due_cause] = (
+                    f"beam.due_cause.{evaluation.due_cause or 'unknown'}"
+                )
+            telemetry.count(cause_key)
+        return evaluation
+
+    def evaluate(self, resource: str, rng: np.random.Generator) -> Outcome:
+        """Outcome-only view of :meth:`evaluate_detailed`."""
+        return self.evaluate_detailed(resource, rng).outcome

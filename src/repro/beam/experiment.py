@@ -42,8 +42,10 @@ from repro.common.units import FIT_SCALE_HOURS, TERRESTRIAL_FLUX_N_CM2_H
 from repro.exec.engine import Executor, get_executor
 from repro.exec.tasks import BeamEvalContext, BeamEvalTask, WorkloadHandle, catalog_tag
 from repro.exec.worker import _cached_state, run_beam_chunk
-from repro.faultsim.outcomes import Outcome
-from repro.store.policy import RunPolicy, resolve_policy
+from repro.faultsim.outcomes import Outcome, StrikeEval
+from repro.faultsim.uncore import UNCORE_EXCEPTIONS
+from repro.sim.exceptions import EccDoubleBitError
+from repro.store.policy import RunPolicy, resolve_on_crash, resolve_policy
 from repro.store.store import StoreLike
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
@@ -58,6 +60,13 @@ class ResourceTally:
     faults: float = 0.0
     sdc: float = 0.0
     due: float = 0.0
+    #: DUE provenance: machine-readable cause → (possibly re-weighted) count
+    due_causes: Dict[str, float] = field(default_factory=dict)
+
+    def add_due(self, cause: str, weight: float = 1.0) -> None:
+        self.due += weight
+        key = cause or "unknown"
+        self.due_causes[key] = self.due_causes.get(key, 0.0) + weight
 
 
 @dataclass
@@ -91,6 +100,33 @@ class BeamResult:
             if getattr(t, key) > 0
         }
 
+    def due_breakdown(self) -> Dict[str, float]:
+        """DUE provenance across all resources: cause → expected count."""
+        table: Dict[str, float] = {}
+        for tally in self.tallies.values():
+            for cause, weight in tally.due_causes.items():
+                table[cause] = table.get(cause, 0.0) + weight
+        return table
+
+    def due_cross_sections(self) -> Dict[str, float]:
+        """Per-cause beam DUE cross-sections, cm² (counts ÷ fluence) —
+        the beam-side vocabulary the uncore FIT table is calibrated
+        against."""
+        if self.fluence_n_cm2 <= 0:
+            return {}
+        return {
+            cause: weight / self.fluence_n_cm2
+            for cause, weight in self.due_breakdown().items()
+        }
+
+    def fit_due_by_cause(self) -> Dict[str, float]:
+        """Per-cause DUE FIT at natural flux (point estimates)."""
+        scale = TERRESTRIAL_FLUX_N_CM2_H * FIT_SCALE_HOURS
+        return {
+            cause: sigma * scale
+            for cause, sigma in self.due_cross_sections().items()
+        }
+
 
 def _fit_estimate(errors: float, fluence: float) -> Estimate:
     """FIT (failures / 10⁹ h at natural flux) with its Poisson interval."""
@@ -117,6 +153,7 @@ class BeamExperiment:
         retries: Optional[int] = None,
         backoff: Optional[float] = None,
         policy: Optional[RunPolicy] = None,
+        on_crash: Optional[str] = None,
     ) -> None:
         self.device = device
         self.facility = facility
@@ -127,9 +164,10 @@ class BeamExperiment:
             store=store, policy=policy, resume=resume, refresh=refresh,
             retries=retries, backoff=backoff,
         )
+        self.on_crash = resolve_on_crash(on_crash, self.policy)
 
     def exposure(self, workload: Workload, ecc: EccMode) -> Tuple[BeamEngine, ExposureProfile]:
-        engine = BeamEngine(self.device, workload, self.catalog, ecc)
+        engine = BeamEngine(self.device, workload, self.catalog, ecc, on_crash=self.on_crash)
         profile = compute_exposure(self.device, workload, engine.golden, self.catalog)
         return engine, profile
 
@@ -151,6 +189,18 @@ class BeamExperiment:
             return model.p_sdc, model.p_due
         return None
 
+    @staticmethod
+    def _analytic_due_cause(resource: str, ecc: EccMode) -> str:
+        """The DUE cause an analytically-evaluated resource's DUEs carry."""
+        kind, _, name = resource.partition(":")
+        if kind == "mem" and ecc is EccMode.ON:
+            return EccDoubleBitError.cause
+        if kind == "hidden":
+            from repro.arch.units import UnitKind
+
+            return UNCORE_EXCEPTIONS[UnitKind(name)].cause
+        return "unknown"
+
     def _evaluate_all(
         self,
         engine: BeamEngine,
@@ -159,7 +209,7 @@ class BeamExperiment:
         mode: str,
         plan: List[Tuple[str, int]],
         on_result: Optional[Callable] = None,
-    ) -> List[Outcome]:
+    ) -> List[StrikeEval]:
         """Dispatch ``plan`` — ordered (resource, n_eval) pairs — through the
         executor and return outcomes flattened in plan order.  Each strike's
         randomness comes from a substream named by (campaign, resource,
@@ -183,6 +233,7 @@ class BeamExperiment:
             catalog=self.catalog,
             catalog_tag=catalog_tag(self.catalog, self.device),
             workload=WorkloadHandle.wrap(workload),
+            on_crash=self.on_crash,
         )
         # reuse this experiment's engine (golden already computed for the
         # exposure profile) in the serial path and fork-spawned children
@@ -265,17 +316,17 @@ class BeamExperiment:
             telemetry.count("beam.faults.drawn", total_drawn)
             thin = min(1.0, max_fault_evals / total_drawn) if total_drawn else 1.0
             plan = [(r, int(np.ceil(n * thin))) for r, n in drawn.items()]
-            outcomes = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
+            evals = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
             pos = 0
             for resource, n_eval in plan:
                 n = drawn[resource]
                 tally = ResourceTally(faults=float(n))
                 weight = (n / n_eval) if n_eval else 0.0
-                for outcome in outcomes[pos : pos + n_eval]:
-                    if outcome is Outcome.SDC:
+                for evaluation in evals[pos : pos + n_eval]:
+                    if evaluation.outcome is Outcome.SDC:
                         tally.sdc += weight
-                    elif outcome is Outcome.DUE:
-                        tally.due += weight
+                    elif evaluation.outcome is Outcome.DUE:
+                        tally.add_due(evaluation.due_cause, weight)
                 pos += n_eval
                 tallies[resource] = tally
         else:  # expected-value mode: stratified AVF per resource
@@ -287,11 +338,15 @@ class BeamExperiment:
                 analytic = self._analytic_probabilities(engine, resource, ecc)
                 if analytic is not None:
                     p_sdc, p_due = analytic
-                    tallies[resource] = ResourceTally(
-                        faults=expected_faults,
-                        sdc=expected_faults * p_sdc,
-                        due=expected_faults * p_due,
+                    tally = ResourceTally(
+                        faults=expected_faults, sdc=expected_faults * p_sdc
                     )
+                    if p_due > 0:
+                        tally.add_due(
+                            self._analytic_due_cause(resource, ecc),
+                            expected_faults * p_due,
+                        )
+                    tallies[resource] = tally
                 else:
                     mechanistic[resource] = sigma
             mech_sigma = sum(mechanistic.values())
@@ -306,19 +361,25 @@ class BeamExperiment:
                 )
                 for resource, sigma in ordered
             ]
-            outcomes = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
+            evals = self._evaluate_all(engine, workload, ecc, mode, plan, on_result)
             pos = 0
             for (resource, n_eval), (_, sigma) in zip(plan, ordered):
                 expected_faults = fluence * sigma
                 hits = {Outcome.SDC: 0, Outcome.DUE: 0, Outcome.MASKED: 0}
-                for outcome in outcomes[pos : pos + n_eval]:
-                    hits[outcome] += 1
+                cause_hits: Dict[str, int] = {}
+                for evaluation in evals[pos : pos + n_eval]:
+                    hits[evaluation.outcome] += 1
+                    if evaluation.outcome is Outcome.DUE:
+                        cause = evaluation.due_cause or "unknown"
+                        cause_hits[cause] = cause_hits.get(cause, 0) + 1
                 pos += n_eval
-                tallies[resource] = ResourceTally(
+                tally = ResourceTally(
                     faults=expected_faults,
                     sdc=expected_faults * hits[Outcome.SDC] / n_eval,
-                    due=expected_faults * hits[Outcome.DUE] / n_eval,
                 )
+                for cause, n_cause in cause_hits.items():
+                    tally.add_due(cause, expected_faults * n_cause / n_eval)
+                tallies[resource] = tally
 
         sdc_count = sum(t.sdc for t in tallies.values())
         due_count = sum(t.due for t in tallies.values())
@@ -326,12 +387,18 @@ class BeamExperiment:
         executions = beam_hours * 3600.0 / max(profile.exec_seconds, 1e-12)
         regime_ok = single_fault_regime_ok(sdc_count + due_count, executions)
 
+        due_breakdown: Dict[str, float] = {}
+        for tally in tallies.values():
+            for cause, weight in tally.due_causes.items():
+                due_breakdown[cause] = due_breakdown.get(cause, 0.0) + weight
+
         telemetry.point(
             "beam.result",
             workload=workload.name,
             ecc=ecc.value,
             errors_sdc=sdc_count,
             errors_due=due_count,
+            due_breakdown=due_breakdown,
             single_fault_regime=regime_ok,
         )
         return BeamResult(

@@ -9,8 +9,22 @@
     ``--store`` checkpoints completed task chunks as they finish; rerunning
     the same command resumes an interrupted campaign (or serves the whole
     result from cache) bit-identically.  ``--no-cache`` forces recompute.
+    ``--on-crash`` picks the injection sandbox's containment policy for
+    unexpected crashes in injected runs (docs/ROBUSTNESS.md).
     Configuration errors (bad workload, conflicting flags, missing store
     directory) exit with status 2; a quarantined chunk exits 3.
+
+``due-report``
+    DUE provenance for one code: which fault domain each detected/
+    unrecoverable error came from, on every leg of the methodology ::
+
+        python -m repro.cli due-report FMXM --device kepler --ecc on
+
+    The JSON report carries the beam run's DUE breakdown by cause with
+    per-cause cross-sections and FITs, the injection campaign's DUE
+    breakdown (including sandbox-contained crashes), and the uncore FIT
+    term of the two-term DUE prediction — the quantity that closes the
+    paper's §VII-B beam-vs-injector DUE gap.
 
 ``bench``
     Measure simulator throughput layer by layer and write a
@@ -278,6 +292,7 @@ def run_campaign_cmd(args: argparse.Namespace) -> int:
                 resume=True if args.resume else None,
                 refresh=args.no_cache,
                 retries=args.retries,
+                on_crash=args.on_crash,
             )
             counters = telemetry.registry.counters
     except ChunkQuarantinedError as exc:
@@ -294,6 +309,8 @@ def run_campaign_cmd(args: argparse.Namespace) -> int:
         "outcomes": {o.value: result.count(o) for o in Outcome},
         "avf_sdc": round(result.avf(Outcome.SDC), 4),
         "avf_due": round(result.avf(Outcome.DUE), 4),
+        "due_breakdown": result.due_breakdown(),
+        "contained_crashes": result.contained_count(),
     }
     if args.store is not None:
         summary["store"] = {
@@ -304,6 +321,78 @@ def run_campaign_cmd(args: argparse.Namespace) -> int:
             "tasks_replayed": int(counters.get("store.tasks_replayed", 0)),
         }
     text = json.dumps(summary, indent=2) + "\n"
+    if args.out is not None:
+        from repro.common.atomicio import atomic_write_text
+
+        atomic_write_text(args.out, text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def run_due_report_cmd(args: argparse.Namespace) -> int:
+    from repro.api import as_device, as_ecc, run_beam, run_campaign
+    from repro.common.errors import ReproError
+    from repro.faultsim.outcomes import Outcome
+    from repro.predict.model import uncore_due_fits
+
+    try:
+        device = as_device(args.device)
+        ecc = as_ecc(args.ecc)
+        beam = run_beam(
+            args.workload,
+            device=device,
+            ecc=ecc,
+            beam_hours=args.beam_hours,
+            mode="expected",
+            max_fault_evals=args.max_fault_evals,
+            seed=args.seed,
+            workers=args.workers,
+            store=args.store,
+        )
+        campaign = run_campaign(
+            args.workload,
+            device=device,
+            framework=args.framework,
+            injections=args.injections,
+            seed=args.seed,
+            ecc=ecc,
+            workers=args.workers,
+            store=args.store,
+            on_crash=args.on_crash,
+        )
+        from repro.workloads.registry import get_workload
+
+        uncore_terms = uncore_due_fits(
+            device, get_workload(device.architecture, args.workload, seed=args.seed)
+        )
+    except ReproError as exc:
+        print(f"due-report: {exc}", file=sys.stderr)
+        return 2
+    report = {
+        "workload": beam.workload,
+        "device": beam.device,
+        "ecc": beam.ecc.value,
+        "beam": {
+            "fit_due": beam.fit_due.value,
+            "due_breakdown": beam.due_breakdown(),
+            "due_cross_sections_cm2": beam.due_cross_sections(),
+            "fit_due_by_cause": beam.fit_due_by_cause(),
+        },
+        "campaign": {
+            "framework": campaign.framework,
+            "injections": campaign.injections,
+            "avf_due": round(campaign.avf(Outcome.DUE), 4),
+            "due_breakdown": campaign.due_breakdown(),
+            "contained_crashes": campaign.contained_count(),
+        },
+        "uncore_prediction": {
+            "terms_due_uncore": uncore_terms,
+            "fit_due_uncore": sum(uncore_terms.values()),
+        },
+    }
+    text = json.dumps(report, indent=2) + "\n"
     if args.out is not None:
         from repro.common.atomicio import atomic_write_text
 
@@ -378,7 +467,37 @@ def main(argv: Optional[list] = None) -> int:
         "--retries", type=int, default=None,
         help="per-chunk retries before a failing chunk is quarantined",
     )
+    campaign_p.add_argument(
+        "--on-crash",
+        choices=("due", "quarantine", "raise"),
+        default=None,
+        help="sandbox policy for unexpected crashes in injected runs: "
+        "classify as DUE (default), quarantine the chunk, or raise "
+        "(debugging) — see docs/ROBUSTNESS.md",
+    )
     campaign_p.add_argument("--out", default=None, help="write the JSON summary here")
+
+    due_p = sub.add_parser(
+        "due-report",
+        help="DUE provenance report: beam, campaign and uncore-term breakdowns by cause",
+    )
+    due_p.add_argument("workload", help="registry code name, e.g. FMXM")
+    due_p.add_argument("--device", default="kepler", help="kepler | volta | catalog key")
+    due_p.add_argument("--framework", default="nvbitfi", help="nvbitfi | sassifi")
+    due_p.add_argument("--ecc", default="on", help="on | off")
+    due_p.add_argument("--seed", type=int, default=0)
+    due_p.add_argument("--injections", type=int, default=200)
+    due_p.add_argument("--beam-hours", type=float, default=72.0)
+    due_p.add_argument("--max-fault-evals", type=int, default=150)
+    due_p.add_argument("--workers", type=int, default=1)
+    due_p.add_argument("--store", default=None, help="durable store path (see campaign)")
+    due_p.add_argument(
+        "--on-crash",
+        choices=("due", "quarantine", "raise"),
+        default=None,
+        help="sandbox policy for unexpected crashes (docs/ROBUSTNESS.md)",
+    )
+    due_p.add_argument("--out", default=None, help="write the JSON report here")
 
     bench = sub.add_parser("bench", help="measure simulator throughput, write a JSON baseline")
     bench.add_argument("--out", default="BENCH_simulator.json", help="output path")
@@ -415,6 +534,9 @@ def main(argv: Optional[list] = None) -> int:
         if args.retries is not None and args.retries < 0:
             parser.error("--retries must be >= 0")
         return run_campaign_cmd(args)
+
+    if args.command == "due-report":
+        return run_due_report_cmd(args)
 
     if args.command == "bench":
         if args.check:

@@ -30,6 +30,37 @@ class InjectionError(ReproError):
     instruction class the workload never executes)."""
 
 
+class InjectionCrashError(InjectionError):
+    """An injected run crashed with an unexpected (non-device) exception and
+    the sandbox's ``on_crash="quarantine"`` policy is in force: the chunk is
+    handed straight to the store's quarantine instead of being classified as
+    a DUE or retried (retrying is pointless — the chunk is deterministic, so
+    the crash would simply repeat).  See docs/ROBUSTNESS.md.
+    """
+
+    #: the execution engine skips the retry budget for errors carrying this
+    non_retryable = True
+
+    def __init__(self, original: BaseException) -> None:
+        self.exc_type = type(original).__name__
+        super().__init__(
+            f"injected run crashed with {self.exc_type}: {original} "
+            f"(on_crash='quarantine')"
+        )
+
+    def __reduce__(self):
+        # the original exception is not kept; rebuild from the parts so the
+        # error survives the worker→parent process boundary intact
+        return (_rebuild_injection_crash, (self.exc_type, self.args[0]))
+
+
+def _rebuild_injection_crash(exc_type: str, message: str) -> "InjectionCrashError":
+    error = InjectionCrashError.__new__(InjectionCrashError)
+    Exception.__init__(error, message)
+    error.exc_type = exc_type
+    return error
+
+
 class StoreError(ReproError):
     """The durable campaign store could not be opened, written, or a run
     context cannot be fingerprinted durably (see docs/STORAGE.md)."""

@@ -157,7 +157,10 @@ def _evaluate_with_retry(
             results, snapshot = _unwrap(fn(context, chunk))
             return results, snapshot, attempt
         except Exception as exc:
-            if attempt >= max_attempts:
+            # deterministic failures (e.g. a sandboxed crash under
+            # on_crash="quarantine") mark themselves non-retryable: the
+            # chunk would fail identically every time, so skip the budget
+            if attempt >= max_attempts or getattr(exc, "non_retryable", False):
                 _quarantine(policy, fingerprint, kind, exc, attempt)
                 if policy is not None and policy.store is not None:
                     raise ChunkQuarantinedError(
@@ -318,7 +321,9 @@ class ProcessExecutor:
                     except Exception as exc:
                         attempts[index] += 1
                         pool_broken = pool_broken or isinstance(exc, BrokenProcessPool)
-                        if attempts[index] >= max_attempts:
+                        if attempts[index] >= max_attempts or getattr(
+                            exc, "non_retryable", False
+                        ):
                             fingerprint = (
                                 fingerprints[index] if fingerprints is not None else None
                             )

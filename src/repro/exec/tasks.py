@@ -74,6 +74,9 @@ class CampaignContext:
     ecc: str                       # EccMode.value
     root_seed: int
     workload: WorkloadHandle
+    #: sandbox crash policy; rides in the context (not RunPolicy) because
+    #: the policy object never travels to worker processes
+    on_crash: str = "due"
 
     def cache_key(self) -> tuple:
         return (
@@ -82,6 +85,7 @@ class CampaignContext:
             self.framework.name,
             self.ecc,
             self.workload.fingerprint,
+            self.on_crash,
         )
 
 
@@ -111,6 +115,7 @@ class BeamEvalContext:
     catalog: CrossSectionCatalog
     catalog_tag: str               # distinguishes non-default catalogs
     workload: WorkloadHandle
+    on_crash: str = "due"
 
     def cache_key(self) -> tuple:
         return (
@@ -120,6 +125,7 @@ class BeamEvalContext:
             self.backend,
             self.catalog_tag,
             self.workload.fingerprint,
+            self.on_crash,
         )
 
 
@@ -140,9 +146,16 @@ class MemoryAvfContext:
     device: DeviceSpec
     backend: str
     workload: WorkloadHandle
+    on_crash: str = "due"
 
     def cache_key(self) -> tuple:
-        return ("mem_avf", self.device.name, self.backend, self.workload.fingerprint)
+        return (
+            "mem_avf",
+            self.device.name,
+            self.backend,
+            self.workload.fingerprint,
+            self.on_crash,
+        )
 
 
 @dataclass(frozen=True)

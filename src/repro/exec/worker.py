@@ -76,7 +76,8 @@ def _campaign_state(ctx: CampaignContext):
 
     def build():
         runner = CampaignRunner(
-            ctx.device, ctx.framework, seed=ctx.root_seed, ecc=EccMode(ctx.ecc)
+            ctx.device, ctx.framework, seed=ctx.root_seed, ecc=EccMode(ctx.ecc),
+            on_crash=ctx.on_crash,
         )
         workload = ctx.workload.workload
         groups = {g.name: g for g in ctx.framework.site_groups(workload)}
@@ -120,6 +121,7 @@ def _beam_state(ctx: BeamEvalContext):
             ctx.catalog,
             EccMode(ctx.ecc),
             backend=ctx.backend,
+            on_crash=ctx.on_crash,
         )
         engine.golden  # materialize before any capture window
         return engine
@@ -128,16 +130,16 @@ def _beam_state(ctx: BeamEvalContext):
 
 
 def run_beam_chunk(ctx: BeamEvalContext, tasks: Sequence[BeamEvalTask]) -> ChunkResult:
-    """Evaluate a chunk of sampled beam strikes; returns Outcomes."""
+    """Evaluate a chunk of sampled beam strikes; returns StrikeEvals."""
     with capture():  # state rebuild must not pollute the shipped snapshot
         engine = _beam_state(ctx)
     factories = _rng_factories(tasks)
-    outcomes = []
+    evals = []
     with capture() as registry:
         for task in tasks:
             rng = factories[task.root_seed].stream(*task.rng_path)
-            outcomes.append(engine.evaluate(task.resource, rng))
-    return ChunkResult(outcomes, registry.snapshot())
+            evals.append(engine.evaluate_detailed(task.resource, rng))
+    return ChunkResult(evals, registry.snapshot())
 
 
 # -- memory-AVF storage strikes ----------------------------------------------------
@@ -165,6 +167,7 @@ def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> Chun
     """Evaluate a chunk of ECC-OFF storage strikes; returns Outcomes."""
     from repro.arch.ecc import EccMode
     from repro.faultsim.outcomes import Outcome
+    from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox
     from repro.sim.exceptions import GpuDeviceException
     from repro.sim.injection import StorageStrike
     from repro.sim.launch import run_kernel
@@ -173,6 +176,7 @@ def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> Chun
     with capture():  # state rebuild must not pollute the shipped snapshot
         workload, golden = _memory_avf_state(ctx)
     factories = _rng_factories(tasks)
+    sandbox = InjectionSandbox(ctx.on_crash)
     outcomes = []
     with capture() as registry:
         telemetry = get_telemetry()
@@ -180,14 +184,15 @@ def run_strike_chunk(ctx: MemoryAvfContext, tasks: Sequence[StrikeTask]) -> Chun
             rng = factories[task.root_seed].stream(*task.rng_path)
             strike = StorageStrike(tick=task.tick, space=task.space, rng=rng)
             try:
-                run = run_kernel(
+                run = sandbox.run(
+                    run_kernel,
                     ctx.device,
                     workload.kernel,
                     workload.sim_launch(),
                     ecc=EccMode.OFF,
                     backend=ctx.backend,
                     strikes=(strike,),
-                    watchdog_limit=8.0 * golden.ticks,
+                    watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
                 )
             except GpuDeviceException:
                 outcome = Outcome.DUE

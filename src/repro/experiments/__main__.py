@@ -154,6 +154,14 @@ def main(argv=None) -> int:
         help="per-chunk retries (with backoff) before a failing chunk is "
         "quarantined",
     )
+    parser.add_argument(
+        "--on-crash",
+        choices=("due", "quarantine", "raise"),
+        default=None,
+        help="injection-sandbox policy for unexpected crashes in injected "
+        "runs: classify as DUE (default), quarantine the chunk, or raise "
+        "(debugging) — see docs/ROBUSTNESS.md",
+    )
     args = parser.parse_args(argv)
 
     if args.log_level is not None:
@@ -180,6 +188,8 @@ def main(argv=None) -> int:
         )
     if args.retries is not None:
         config = replace(config, retries=args.retries)
+    if args.on_crash is not None:
+        config = replace(config, on_crash=args.on_crash)
 
     telemetrize = args.telemetry or args.trace_out is not None
     meter = ProgressMeter(label="fault evals", interval=2.0) if args.progress else None

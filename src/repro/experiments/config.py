@@ -42,6 +42,11 @@ class ExperimentConfig:
     refresh: bool = False
     #: per-chunk retries before quarantine; None = store default
     retries: Optional[int] = None
+    #: what the injection sandbox does with an unexpected crash in an
+    #: injected run: "due" (classify, the default), "quarantine" (hand the
+    #: chunk to the store's quarantine), "raise" (propagate — debugging).
+    #: None defers to the RunPolicy / built-in default — docs/ROBUSTNESS.md
+    on_crash: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.injections <= 0 or self.beam_fault_evals <= 0:
@@ -61,6 +66,11 @@ class ExperimentConfig:
             raise ConfigurationError("resume/refresh require a store path")
         if self.retries is not None and self.retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if self.on_crash is not None and self.on_crash not in ("due", "quarantine", "raise"):
+            raise ConfigurationError(
+                f"unknown on_crash policy {self.on_crash!r}; "
+                "choose from ('due', 'quarantine', 'raise')"
+            )
 
 
 PRESETS = {

@@ -109,6 +109,7 @@ class ExperimentSession:
                 seed=self.config.seed,
                 executor=self.executor,
                 policy=self.policy,
+                on_crash=self.config.on_crash,
             )
             self._campaigns[key] = runner.run(
                 self.workload(arch, code), self.config.injections, on_result=self.on_result
@@ -168,7 +169,7 @@ class ExperimentSession:
     def beam_experiment(self, arch: str) -> BeamExperiment:
         return BeamExperiment(
             self.device(arch), seed=self.config.seed, executor=self.executor,
-            policy=self.policy,
+            policy=self.policy, on_crash=self.config.on_crash,
         )
 
     def beam(self, arch: str, code: str, ecc: EccMode, microbench: bool = False) -> BeamResult:
@@ -201,6 +202,7 @@ class ExperimentSession:
                 executor=self.executor,
                 on_result=self.on_result,
                 policy=self.policy,
+                on_crash=self.config.on_crash,
             )
         return self._ubench_fits[arch]
 
@@ -218,6 +220,7 @@ class ExperimentSession:
                 executor=self.executor,
                 on_result=self.on_result,
                 policy=self.policy,
+                on_crash=self.config.on_crash,
             )
         return self._mem_avf[key]
 

@@ -19,7 +19,7 @@ proprietary libraries     never                      Volta only
 ========================  =========================  ==========================
 """
 
-from repro.faultsim.outcomes import Outcome, InjectionRecord, CampaignResult
+from repro.faultsim.outcomes import Outcome, InjectionRecord, CampaignResult, StrikeEval
 from repro.faultsim.frameworks import (
     InjectorFramework,
     Sassifi,
@@ -28,11 +28,18 @@ from repro.faultsim.frameworks import (
     FrameworkCapabilityError,
 )
 from repro.faultsim.campaign import CampaignRunner, run_campaign
+from repro.faultsim.sandbox import (
+    WATCHDOG_FACTOR,
+    InjectionSandbox,
+    SandboxLimits,
+)
+from repro.faultsim.uncore import UncoreInjector, UNCORE_EXCEPTIONS, uncore_due_cause
 
 __all__ = [
     "Outcome",
     "InjectionRecord",
     "CampaignResult",
+    "StrikeEval",
     "InjectorFramework",
     "Sassifi",
     "NvBitFi",
@@ -40,4 +47,10 @@ __all__ = [
     "FrameworkCapabilityError",
     "CampaignRunner",
     "run_campaign",
+    "WATCHDOG_FACTOR",
+    "InjectionSandbox",
+    "SandboxLimits",
+    "UncoreInjector",
+    "UNCORE_EXCEPTIONS",
+    "uncore_due_cause",
 ]

@@ -35,16 +35,14 @@ from repro.exec.tasks import CampaignContext, InjectionTask, WorkloadHandle
 from repro.exec.worker import _cached_state, run_injection_chunk
 from repro.faultsim.frameworks import InjectorFramework, SiteGroup
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
-from repro.sim.exceptions import GpuDeviceException
+from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox, SandboxLimits
+from repro.sim.exceptions import ContainedCrashError, GpuDeviceException
 from repro.sim.injection import InjectionMode, InjectionPlan, StorageStrike
 from repro.sim.launch import KernelRun, run_kernel
-from repro.store.policy import RunPolicy, resolve_policy
+from repro.store.policy import RunPolicy, resolve_on_crash, resolve_policy
 from repro.store.store import StoreLike
 from repro.telemetry import get_telemetry
 from repro.workloads.base import CompareResult, Workload
-
-#: kill runs that exceed this multiple of the golden dynamic instruction count
-WATCHDOG_FACTOR = 8.0
 
 #: telemetry keys precomputed outside the per-injection path; outcomes are a
 #: closed enum, group names are memoized on first sight
@@ -71,6 +69,8 @@ class CampaignRunner:
         retries: Optional[int] = None,
         backoff: Optional[float] = None,
         policy: Optional[RunPolicy] = None,
+        on_crash: Optional[str] = None,
+        sandbox_limits: Optional[SandboxLimits] = None,
     ) -> None:
         self.device = device
         self.framework = framework
@@ -81,6 +81,8 @@ class CampaignRunner:
             store=store, policy=policy, resume=resume, refresh=refresh,
             retries=retries, backoff=backoff,
         )
+        self.on_crash = resolve_on_crash(on_crash, self.policy)
+        self.sandbox = InjectionSandbox(self.on_crash, limits=sandbox_limits)
         self._golden: Dict[str, KernelRun] = {}
 
     # -- golden ---------------------------------------------------------------
@@ -136,7 +138,13 @@ class CampaignRunner:
                 rng=rng,
             )
         try:
-            run = run_kernel(
+            # the sandbox wraps ONLY the injected execution: a contained
+            # crash arrives here as a GpuDeviceException (on_crash="due"),
+            # propagates as InjectionCrashError (on_crash="quarantine"),
+            # or unchanged (on_crash="raise"); the plan-never-fired check
+            # below stays outside — it is a campaign setup bug, not a run
+            run = self.sandbox.run(
+                run_kernel,
                 self.device,
                 workload.kernel,
                 workload.sim_launch(),
@@ -153,6 +161,7 @@ class CampaignRunner:
                 op=plan.record.op if plan else None,
                 bit=plan.record.bit if plan else -1,
                 due_cause=exc.cause,
+                contained=isinstance(exc, ContainedCrashError),
             )
         if plan is not None and not plan.fired:
             raise InjectionError(
@@ -238,6 +247,7 @@ class CampaignRunner:
                 ecc=self.ecc.value,
                 root_seed=self.rngs.root_seed,
                 workload=WorkloadHandle.wrap(workload),
+                on_crash=self.on_crash,
             )
             # pre-seed the process-local worker cache with *this* runner so the
             # serial executor (and fork-spawned children) reuse the golden run
@@ -267,6 +277,8 @@ class CampaignRunner:
                 framework=self.framework.name,
                 injections=result.injections,
                 outcomes={o.value: result.count(o) for o in Outcome},
+                due_breakdown=result.due_breakdown(),
+                contained=result.contained_count(),
             )
         return result
 
@@ -288,11 +300,12 @@ def run_campaign(
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
     policy: Optional[RunPolicy] = None,
+    on_crash: Optional[str] = None,
 ) -> CampaignResult:
     """One-shot campaign convenience wrapper."""
     runner = CampaignRunner(
         device, framework, seed=seed, ecc=ecc, workers=workers, executor=executor,
         store=store, resume=resume, refresh=refresh, retries=retries,
-        backoff=backoff, policy=policy,
+        backoff=backoff, policy=policy, on_crash=on_crash,
     )
     return runner.run(workload, injections, on_result=on_result)

@@ -27,13 +27,11 @@ from repro.arch.ecc import EccMode
 from repro.common.errors import InjectionError
 from repro.common.rng import RngFactory, resolve_rngs
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
-from repro.sim.exceptions import GpuDeviceException
+from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox
+from repro.sim.exceptions import ContainedCrashError, GpuDeviceException
 from repro.sim.injection import StorageStrike
 from repro.sim.launch import KernelRun, run_kernel
 from repro.workloads.base import CompareResult, Workload
-
-#: watchdog budget, same policy as the SASS-level campaigns
-WATCHDOG_FACTOR = 8.0
 
 
 class CarolFi:
@@ -50,9 +48,11 @@ class CarolFi:
         rngs: Optional[RngFactory] = None,
         *,
         seed: Optional[int] = None,
+        on_crash: str = "due",
     ) -> None:
         self.device = device
         self.rngs = resolve_rngs(rngs, seed, "CarolFi")
+        self.sandbox = InjectionSandbox(on_crash)
         self._golden: Dict[str, KernelRun] = {}
 
     def golden(self, workload: Workload) -> KernelRun:
@@ -75,7 +75,8 @@ class CarolFi:
         tick = float(rng.integers(0, max(1, int(golden.ticks))))
         strike = StorageStrike(tick=tick, space="global", rng=rng)
         try:
-            run = run_kernel(
+            run = self.sandbox.run(
+                run_kernel,
                 self.device,
                 workload.kernel,
                 workload.sim_launch(),
@@ -85,7 +86,12 @@ class CarolFi:
                 watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
             )
         except GpuDeviceException as exc:
-            return InjectionRecord(group="variable", outcome=Outcome.DUE, due_cause=exc.cause)
+            return InjectionRecord(
+                group="variable",
+                outcome=Outcome.DUE,
+                due_cause=exc.cause,
+                contained=isinstance(exc, ContainedCrashError),
+            )
         compare = workload.compare(golden.outputs, run.outputs)
         outcome = Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
         return InjectionRecord(group="variable", outcome=outcome, detail="buffer_flip")

@@ -32,6 +32,26 @@ class InjectionRecord:
     bit: int = -1
     detail: str = ""
     due_cause: str = ""
+    #: True when the DUE is a sandbox-contained software crash rather than
+    #: a modeled device event (on_crash="due"); due_cause then carries
+    #: "contained:<ExcType>"
+    contained: bool = False
+
+
+@dataclass(frozen=True)
+class StrikeEval:
+    """One beam strike evaluation with DUE provenance.
+
+    The beam engine's detailed result: the outcome plus, for DUEs, the
+    machine-readable cause (``"watchdog"``, ``"ecc_dbe"``,
+    ``"scheduler_hang"``, ``"contained:<ExcType>"``, ...).  Kept separate
+    from :class:`InjectionRecord` because a beam eval has no site group or
+    instruction identity — just an outcome and its cause.
+    """
+
+    outcome: Outcome
+    due_cause: str = ""
+    contained: bool = False
 
 
 @dataclass
@@ -90,6 +110,24 @@ class CampaignResult:
             for op, outcomes in hits.items()
             if len(outcomes) >= min_samples
         }
+
+    def due_breakdown(self) -> Dict[str, int]:
+        """DUE provenance: cause → count over the campaign's DUE records.
+
+        Causes are the machine-readable ``GpuDeviceException.cause`` values
+        ("watchdog", "ecc_dbe", "scheduler_hang", "contained:<ExcType>"...);
+        records predating cause tracking land under ``"unknown"``.
+        """
+        table: Dict[str, int] = {}
+        for record in self.records:
+            if record.outcome is Outcome.DUE:
+                cause = record.due_cause or "unknown"
+                table[cause] = table.get(cause, 0) + 1
+        return table
+
+    def contained_count(self) -> int:
+        """How many records are sandbox-contained crashes (on_crash="due")."""
+        return sum(1 for r in self.records if r.contained)
 
     def summary(self) -> Dict[str, float]:
         return {

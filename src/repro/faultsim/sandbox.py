@@ -1,0 +1,203 @@
+"""Injection sandbox: every injected run executes inside a containment box.
+
+The paper's beam setup never dies with the device under test: a supervisor
+watches the DUT, power-cycles it on hangs, and logs the event as a DUE
+(§VII-B).  The :class:`InjectionSandbox` is that supervisor for simulated
+campaigns.  Three guards stack around each injected ``run_kernel`` call:
+
+1. **tick watchdog** — the deterministic classifier: the simulator itself
+   raises :class:`~repro.sim.exceptions.WatchdogTimeout` after
+   ``WATCHDOG_FACTOR ×`` the golden dynamic instruction count.  This is
+   the only guard whose firing is part of the reproducible record stream.
+2. **wall-clock deadline** — ``signal.setitimer`` (main thread only, and
+   only where available); a supervisor of last resort for hangs the tick
+   watchdog cannot see, e.g. a fault that wedges the interpreter without
+   emitting instructions.  Deliberately generous so it never fires on a
+   healthy deterministic run.
+3. **memory-growth guard** — the process high-water mark
+   (``resource.getrusage``) is sampled before and after the run; growth
+   past the limit is contained before the host OOMs.  Best-effort: being
+   a high-water mark, it only sees growth beyond the previous peak.
+
+Any *unexpected* exception — RecursionError, MemoryError, numpy FP faults,
+genuine simulator bugs — is contained and dispatched per the ``on_crash``
+policy (:data:`~repro.store.policy.ON_CRASH_POLICIES`):
+
+* ``"due"`` (default) — re-raise as
+  :class:`~repro.sim.exceptions.ContainedCrashError`, a
+  :class:`~repro.sim.exceptions.GpuDeviceException`, so the campaign's
+  existing DUE path classifies it with ``due_cause="contained:<Type>"``,
+* ``"quarantine"`` — raise
+  :class:`~repro.common.errors.InjectionCrashError` (``non_retryable``):
+  the engine sends the chunk straight to the store's quarantine,
+* ``"raise"`` — propagate unchanged (debugging).
+
+:class:`GpuDeviceException` always passes through untouched (it *is* the
+modeled outcome), as do ``BaseException``s that are not ``Exception``s
+(KeyboardInterrupt, SystemExit — the operator outranks the sandbox).
+Containment is never silent: every event increments the
+``sandbox.contained`` / ``sandbox.contained.<policy>`` /
+``sandbox.cause.<ExcType>`` counters and emits a ``sandbox.containment``
+point event.  See docs/ROBUSTNESS.md.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.errors import ConfigurationError, InjectionCrashError
+from repro.sim.exceptions import (
+    ContainedCrashError,
+    GpuDeviceException,
+    MemoryGuardError,
+    WallclockExceededError,
+)
+from repro.store.policy import ON_CRASH_POLICIES
+from repro.telemetry import get_telemetry
+
+#: kill runs that exceed this multiple of the golden dynamic instruction
+#: count — the single shared watchdog budget for every engine (SASS-level
+#: campaigns, CAROL-FI, the uncore injector, the beam's mechanistic
+#: re-executions)
+WATCHDOG_FACTOR = 8.0
+
+#: telemetry keys precomputed outside the per-injection path; exception
+#: type names are memoized on first sight
+_CONTAINED_KEY = "sandbox.contained"
+_POLICY_KEYS = {policy: f"sandbox.contained.{policy}" for policy in ON_CRASH_POLICIES}
+_CAUSE_KEYS: Dict[str, str] = {}
+
+
+def _rss_bytes() -> int:
+    """Process peak RSS in bytes (ru_maxrss is KiB on Linux, bytes on mac)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: no memory guard
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+@dataclass(frozen=True)
+class SandboxLimits:
+    """Best-effort supervisor limits (the tick watchdog is separate and
+    always in force).  Defaults are generous on purpose: they must never
+    fire on a healthy run, only on a genuinely wedged or leaking one."""
+
+    #: wall-clock deadline per injected run, seconds; 0 disables
+    wallclock_seconds: float = 60.0
+    #: allowed growth of the process peak RSS per injected run; 0 disables
+    memory_growth_bytes: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.wallclock_seconds < 0:
+            raise ConfigurationError("wallclock_seconds must be >= 0 (0 disables)")
+        if self.memory_growth_bytes < 0:
+            raise ConfigurationError("memory_growth_bytes must be >= 0 (0 disables)")
+
+
+DEFAULT_LIMITS = SandboxLimits()
+
+
+class InjectionSandbox:
+    """Containment box for one engine's injected runs.
+
+    Stateless between runs and cheap to construct; engines build one in
+    ``__init__`` and call :meth:`run` around every injected execution.
+    """
+
+    def __init__(self, on_crash: str = "due", limits: Optional[SandboxLimits] = None) -> None:
+        if on_crash not in ON_CRASH_POLICIES:
+            raise ConfigurationError(
+                f"on_crash must be one of {ON_CRASH_POLICIES}, got {on_crash!r}"
+            )
+        self.on_crash = on_crash
+        self.limits = limits if limits is not None else DEFAULT_LIMITS
+
+    # -- guards ---------------------------------------------------------------
+    def _arm_wallclock(self) -> Optional[tuple]:
+        """Install the deadline timer; returns restore state or None.
+
+        ``setitimer`` only works in the main thread of the process — which
+        is where both the serial executor and the process-pool workers run
+        chunk functions — and not at all on platforms without SIGALRM.
+        Anywhere else the deadline is silently skipped: it is a supervisor
+        of last resort, not part of the deterministic record stream.
+        """
+        seconds = self.limits.wallclock_seconds
+        if (
+            seconds <= 0
+            or not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            return None
+
+        def _deadline(signum, frame):
+            raise WallclockExceededError(seconds)
+
+        previous_handler = signal.signal(signal.SIGALRM, _deadline)
+        previous_timer = signal.setitimer(signal.ITIMER_REAL, seconds)
+        return (previous_handler, previous_timer)
+
+    @staticmethod
+    def _disarm_wallclock(state: Optional[tuple]) -> None:
+        if state is None:
+            return
+        previous_handler, previous_timer = state
+        signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+    def _check_memory(self, rss_before: int) -> None:
+        limit = self.limits.memory_growth_bytes
+        if limit <= 0 or rss_before <= 0:
+            return
+        grown = _rss_bytes() - rss_before
+        if grown > limit:
+            raise MemoryGuardError(int(grown), int(limit))
+
+    # -- containment ----------------------------------------------------------
+    def _contain(self, exc: Exception) -> "Exception":
+        """Record the containment event and build the policy's exception."""
+        exc_type = type(exc).__name__
+        telemetry = get_telemetry()
+        telemetry.count(_CONTAINED_KEY)
+        telemetry.count(_POLICY_KEYS[self.on_crash])
+        cause_key = _CAUSE_KEYS.get(exc_type)
+        if cause_key is None:
+            cause_key = _CAUSE_KEYS[exc_type] = f"sandbox.cause.{exc_type}"
+        telemetry.count(cause_key)
+        telemetry.point(
+            "sandbox.containment",
+            exc_type=exc_type,
+            policy=self.on_crash,
+            message=str(exc)[:200],
+        )
+        if self.on_crash == "quarantine":
+            return InjectionCrashError(exc)
+        return ContainedCrashError(exc)
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute ``fn(*args, **kwargs)`` under all three guards.
+
+        Raises :class:`GpuDeviceException` subclasses for every contained
+        or modeled failure (the caller's DUE path), or
+        :class:`InjectionCrashError` under ``on_crash="quarantine"``.
+        """
+        rss_before = _rss_bytes() if self.limits.memory_growth_bytes > 0 else 0
+        wallclock = self._arm_wallclock()
+        try:
+            result = fn(*args, **kwargs)
+        except GpuDeviceException:
+            raise  # the modeled outcome — not a crash
+        except Exception as exc:
+            if self.on_crash == "raise":
+                raise
+            raise self._contain(exc) from exc
+        finally:
+            self._disarm_wallclock(wallclock)
+        self._check_memory(rss_before)
+        return result

@@ -22,6 +22,7 @@ from repro.predict.model import (
     MicrobenchFits,
     PredictionModel,
     measure_microbench_fits,
+    uncore_due_fits,
 )
 from repro.predict.compare import (
     ComparisonRow,
@@ -35,6 +36,7 @@ __all__ = [
     "MicrobenchFits",
     "PredictionModel",
     "measure_microbench_fits",
+    "uncore_due_fits",
     "ComparisonRow",
     "compare_code",
     "due_underestimation",

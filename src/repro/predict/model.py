@@ -45,7 +45,7 @@ from repro.faultsim.outcomes import CampaignResult, Outcome
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
 from repro.sim.launch import run_kernel
-from repro.store.policy import RunPolicy, resolve_policy
+from repro.store.policy import RunPolicy, resolve_on_crash, resolve_policy
 from repro.store.store import StoreLike
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
@@ -104,17 +104,32 @@ def ubench_key(op: OpClass) -> Optional[str]:
 
 @dataclass
 class FitPrediction:
-    """Predicted FIT rates plus the per-term breakdown."""
+    """Predicted FIT rates plus the per-term breakdown.
+
+    ``fit_due`` is the paper's Eq. 2 term alone — injectable instruction
+    sites plus, with ECC off, the memory term — and *stays* the
+    under-prediction §VII-B measures.  ``fit_due_uncore`` is the second
+    term of the two-term model: the uncore fault domains (scheduler,
+    instruction pipeline, memory controller, host interface) no injector
+    can reach, priced from :func:`repro.arch.uncore.uncore_table`.
+    """
 
     workload: str
     device: str
     ecc: EccMode
     fit_sdc: float = 0.0
     fit_due: float = 0.0
+    fit_due_uncore: float = 0.0
     terms_sdc: Dict[str, float] = field(default_factory=dict)
     terms_due: Dict[str, float] = field(default_factory=dict)
+    terms_due_uncore: Dict[str, float] = field(default_factory=dict)
     #: dynamic-instruction fraction the model could cover (paper: >70%)
     covered_fraction: float = 0.0
+
+    @property
+    def fit_due_total(self) -> float:
+        """The two-term DUE prediction: Eq. 2 plus the uncore FIT term."""
+        return self.fit_due + self.fit_due_uncore
 
 
 def avf_by_category(
@@ -148,6 +163,7 @@ def measure_memory_avf(
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
     policy: Optional[RunPolicy] = None,
+    on_crash: Optional[str] = None,
 ) -> Tuple[float, float]:
     """AVF of a memory bit for Eq. 3: fraction of ECC-OFF storage strikes
     that corrupt the output (SDC) or crash the code (DUE).
@@ -181,7 +197,8 @@ def measure_memory_avf(
             for i in range(strikes)
         ]
         context = MemoryAvfContext(
-            device=device, backend=backend, workload=WorkloadHandle.wrap(workload)
+            device=device, backend=backend, workload=WorkloadHandle.wrap(workload),
+            on_crash=resolve_on_crash(on_crash, run_policy),
         )
         _cached_state(context.cache_key(), lambda: (workload, golden))
         pool = get_executor(workers, executor)
@@ -215,6 +232,7 @@ def measure_microbench_fits(
     retries: Optional[int] = None,
     backoff: Optional[float] = None,
     policy: Optional[RunPolicy] = None,
+    on_crash: Optional[str] = None,
 ) -> MicrobenchFits:
     """Run the full micro-benchmark suite under the beam and build the
     per-unit FIT table the prediction consumes."""
@@ -224,7 +242,7 @@ def measure_microbench_fits(
     exp = BeamExperiment(
         device, seed=seed, workers=workers, executor=executor,
         store=store, resume=resume, refresh=refresh, retries=retries,
-        backoff=backoff, policy=policy,
+        backoff=backoff, policy=policy, on_crash=on_crash,
     )
     prof = Profiler(device)
     units: Dict[str, UnitFit] = {}
@@ -354,7 +372,14 @@ class PredictionModel:
 
         pred.fit_sdc = sum(pred.terms_sdc.values())
         pred.fit_due = sum(pred.terms_due.values())
+        pred.terms_due_uncore = self.uncore_due_terms(workload)
+        pred.fit_due_uncore = sum(pred.terms_due_uncore.values())
         return pred
+
+    def uncore_due_terms(self, workload: Workload) -> Dict[str, float]:
+        """The second term of the two-term DUE model — see
+        :func:`uncore_due_fits`."""
+        return uncore_due_fits(self.device, workload)
 
     def memory_footprint_bits(self, workload: Workload) -> Dict[str, float]:
         """Eq. 3's f(MEM): bits instantiated at reference scale.
@@ -386,3 +411,53 @@ class PredictionModel:
                 global_bits * scale, float(self.device.storage_bits(UnitKind.DEVICE_MEMORY))
             )
         return bits
+
+
+def uncore_due_fits(device: DeviceSpec, workload: Workload) -> Dict[str, float]:
+    """Per-unit uncore DUE FITs: the second term of the two-term DUE model.
+
+    Eq. 2 sums only injectable instruction sites, so every DUE born in
+    the scheduler, the instruction pipeline, the memory controller or
+    the host interface is structurally absent from ``fit_due`` — the
+    paper's §VII-B gap.  This term prices those domains from the
+    architecture-level uncore table (:func:`repro.arch.uncore.uncore_table`),
+    driving each unit's FIT-per-instance with the same activity model the
+    beam exposure uses (:func:`repro.beam.exposure.compute_exposure`), so
+    closing the gap is a statement about the *fault model*, not about
+    mismatched activity accounting.
+    """
+    from repro.arch.uncore import uncore_table
+    from repro.sim.timing import TimingModel
+
+    table = uncore_table(device.architecture)
+    occ_inputs = workload.reference_occupancy_inputs(device)
+    golden = run_kernel(device, workload.kernel, workload.sim_launch(), ecc=EccMode.ON)
+    trace = golden.trace
+    occ = occupancy_fn(device, activity_factor=trace.activity_factor, **occ_inputs)
+    timing = TimingModel(device).estimate(
+        trace,
+        grid_blocks=occ_inputs["grid_blocks"],
+        active_warps_per_sm=max(1.0, occ.achieved * device.max_warps_per_sm),
+        ilp=workload.spec.ilp,
+    )
+    sms_busy = max(1.0, min(float(device.sm_count), float(occ_inputs["grid_blocks"])))
+    resident = occ.achieved * device.max_warps_per_sm * device.warp_size * sms_busy
+    scale = max(1.0, resident / workload.sim_launch().total_threads)
+    warp_activity = max(0.05, occ.achieved)
+    issue_activity = max(0.05, min(1.0, timing.ipc / device.issue_width_per_sm))
+    mem_intensity = max(
+        0.05, min(1.0, trace.global_bytes * scale / max(1.0, timing.cycles) / 512.0)
+    )
+    per_unit = {
+        UnitKind.SCHEDULER: table.fit_due(UnitKind.SCHEDULER, sms_busy, warp_activity),
+        UnitKind.INSTRUCTION_PIPELINE: table.fit_due(
+            UnitKind.INSTRUCTION_PIPELINE, sms_busy, issue_activity
+        ),
+        UnitKind.MEMORY_CONTROLLER: table.fit_due(
+            UnitKind.MEMORY_CONTROLLER, device.sm_count / 10.0, mem_intensity
+        ),
+        UnitKind.HOST_INTERFACE: table.fit_due(
+            UnitKind.HOST_INTERFACE, 1.0, 1.0 + trace.host_syncs / 4.0
+        ),
+    }
+    return {f"uncore:{unit.value}": fit for unit, fit in per_unit.items()}

@@ -66,3 +66,105 @@ class DeviceHangError(GpuDeviceException):
     def __init__(self, resource: str) -> None:
         super().__init__(f"device hang attributed to fault in {resource}")
         self.resource = resource
+
+
+# -- uncore fault domain (repro.faultsim.uncore) ------------------------------
+#
+# The paper attributes the bulk of beam-measured DUEs to faults in hardware
+# SASSIFI/NVBitFI cannot reach (§VII-B); each uncore unit gets its own
+# exception with a machine-readable cause so DUE provenance survives into
+# CampaignResult.due_breakdown() and the beam per-cause cross-sections.
+
+
+class SchedulerHangError(GpuDeviceException):
+    """A particle corrupted warp-scheduler state (ready queues, scoreboard);
+    the SM stops issuing and the watchdog reaps the kernel."""
+
+    cause = "scheduler_hang"
+
+    def __init__(self, sm: int = 0) -> None:
+        super().__init__(f"warp scheduler wedged on SM {sm}")
+        self.sm = sm
+
+
+class InstructionDecodeError(GpuDeviceException):
+    """A fault in fetch/decode (icache tag, dispatch queue) produced an
+    undecodable instruction — the driver kills the context."""
+
+    cause = "ipipe_decode"
+
+    def __init__(self, detail: str = "undecodable instruction") -> None:
+        super().__init__(f"instruction pipeline fault: {detail}")
+        self.detail = detail
+
+
+class MemoryControllerError(GpuDeviceException):
+    """A memory-controller / interconnect transaction was corrupted beyond
+    what ECC covers (command/address path, not data bits)."""
+
+    cause = "memctl_fault"
+
+    def __init__(self, transaction: str = "read") -> None:
+        super().__init__(f"memory controller fault on a {transaction} transaction")
+        self.transaction = transaction
+
+
+class HostInterfaceError(GpuDeviceException):
+    """The host interface (PCIe link, copy engine, sync logic) dropped a
+    transaction; the CUDA API call times out — a whole-device DUE."""
+
+    cause = "host_if_timeout"
+
+    def __init__(self, channel: str = "sync") -> None:
+        super().__init__(f"host interface timeout on the {channel} channel")
+        self.channel = channel
+
+
+# -- injection sandbox containment (repro.faultsim.sandbox) -------------------
+
+
+class ContainedCrashError(GpuDeviceException):
+    """An unexpected software failure inside an injected run, contained by
+    the :class:`~repro.faultsim.sandbox.InjectionSandbox` under the
+    ``on_crash="due"`` policy and mapped onto the modeled DUE taxonomy —
+    the simulated analogue of the paper's supervisor observing the DUT
+    crash and rebooting it (§VII-B).
+
+    ``cause`` is per-instance: ``"contained:<OriginalExceptionType>"``.
+    """
+
+    cause = "contained"
+
+    def __init__(self, original: BaseException) -> None:
+        exc_type = type(original).__name__
+        super().__init__(f"injected run crashed with {exc_type}: {original}")
+        self.exc_type = exc_type
+        self.cause = f"contained:{exc_type}"
+
+
+class MemoryGuardError(GpuDeviceException):
+    """The injected run grew the process footprint past the sandbox's
+    memory-growth limit — contained as a DUE before it can OOM the host."""
+
+    cause = "memory_guard"
+
+    def __init__(self, grown_bytes: int, limit_bytes: int) -> None:
+        super().__init__(
+            f"injected run grew memory by {grown_bytes} bytes "
+            f"(sandbox limit {limit_bytes})"
+        )
+        self.grown_bytes = grown_bytes
+        self.limit_bytes = limit_bytes
+
+
+class WallclockExceededError(GpuDeviceException):
+    """The injected run exceeded the sandbox's wall-clock deadline.  Unlike
+    the deterministic tick watchdog this is a machine-speed-dependent
+    supervisor of last resort; the generous default only fires on runs the
+    tick watchdog cannot see (hangs that stop emitting instructions)."""
+
+    cause = "wallclock"
+
+    def __init__(self, limit_seconds: float) -> None:
+        super().__init__(f"injected run exceeded the {limit_seconds:g}s sandbox deadline")
+        self.limit_seconds = limit_seconds

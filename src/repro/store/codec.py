@@ -21,7 +21,7 @@ from typing import Any, List, Sequence
 
 
 def encode_value(value: Any) -> dict:
-    from repro.faultsim.outcomes import InjectionRecord, Outcome
+    from repro.faultsim.outcomes import InjectionRecord, Outcome, StrikeEval
 
     if isinstance(value, Outcome):
         return {"t": "outcome", "v": value.value}
@@ -34,6 +34,14 @@ def encode_value(value: Any) -> dict:
             "bit": value.bit,
             "detail": value.detail,
             "due_cause": value.due_cause,
+            "contained": value.contained,
+        }
+    if isinstance(value, StrikeEval):
+        return {
+            "t": "strike_eval",
+            "outcome": value.outcome.value,
+            "due_cause": value.due_cause,
+            "contained": value.contained,
         }
     if value is None or isinstance(value, (bool, int, float, str)):
         return {"t": "json", "v": value}
@@ -45,7 +53,7 @@ def encode_value(value: Any) -> dict:
 
 def decode_value(data: dict) -> Any:
     from repro.arch.isa import OpClass
-    from repro.faultsim.outcomes import InjectionRecord, Outcome
+    from repro.faultsim.outcomes import InjectionRecord, Outcome, StrikeEval
 
     tag = data["t"]
     if tag == "outcome":
@@ -58,6 +66,13 @@ def decode_value(data: dict) -> Any:
             bit=data["bit"],
             detail=data["detail"],
             due_cause=data["due_cause"],
+            contained=data.get("contained", False),
+        )
+    if tag == "strike_eval":
+        return StrikeEval(
+            outcome=Outcome(data["outcome"]),
+            due_cause=data["due_cause"],
+            contained=data.get("contained", False),
         )
     if tag == "json":
         return data["v"]

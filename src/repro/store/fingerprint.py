@@ -41,7 +41,9 @@ from repro.exec.tasks import BeamEvalContext, CampaignContext, MemoryAvfContext
 
 #: bump when a change to the simulator / evaluators makes previously
 #: stored chunk results stale (they will simply miss and recompute)
-STORE_SALT = "repro-store/1"
+#: — /2: InjectionRecord gained `contained`, contexts gained `on_crash`,
+#:   and the sandbox changed how crashing runs classify (PR 5)
+STORE_SALT = "repro-store/2"
 
 
 def canonical(value: Any) -> Any:
@@ -103,6 +105,7 @@ def context_payload(context: Any) -> dict:
             "ecc": context.ecc,
             "root_seed": context.root_seed,
             "workload": list(context.workload.fingerprint),
+            "on_crash": context.on_crash,
         }
     if isinstance(context, BeamEvalContext):
         return {
@@ -113,6 +116,7 @@ def context_payload(context: Any) -> dict:
             "backend": context.backend,
             "catalog": canonical(context.catalog),
             "workload": list(context.workload.fingerprint),
+            "on_crash": context.on_crash,
         }
     if isinstance(context, MemoryAvfContext):
         return {
@@ -121,6 +125,7 @@ def context_payload(context: Any) -> dict:
             "arch": context.device.architecture,
             "backend": context.backend,
             "workload": list(context.workload.fingerprint),
+            "on_crash": context.on_crash,
         }
     if hasattr(context, "store_payload"):
         payload = dict(context.store_payload())
@@ -139,10 +144,14 @@ def context_kind(context: Any) -> str:
     return str(context_payload(context).get("kind", type(context).__name__))
 
 
-def chunk_fingerprint(context: Any, tasks: Sequence[Any]) -> str:
-    """SHA-256 fingerprint of one (context, task chunk) evaluation."""
+def chunk_fingerprint(context: Any, tasks: Sequence[Any], salt: str = STORE_SALT) -> str:
+    """SHA-256 fingerprint of one (context, task chunk) evaluation.
+
+    ``salt`` defaults to the current code-version salt; passing an older
+    value reproduces that version's keys (used by tests to prove stale
+    chunks can never replay)."""
     document = {
-        "salt": STORE_SALT,
+        "salt": salt,
         "context": context_payload(context),
         "tasks": [canonical(task) for task in tasks],
     }

@@ -28,6 +28,19 @@ DEFAULT_RETRIES = 2
 #: default base backoff (seconds); attempt ``k`` sleeps ``backoff * 2**(k-1)``
 DEFAULT_BACKOFF = 0.05
 
+#: what the injection sandbox does with an unexpected (non-device) exception
+#: inside an injected run — see docs/ROBUSTNESS.md:
+#:
+#: * ``"due"``        — contain and classify the run as a DUE with
+#:   ``due_cause="contained:<ExcType>"`` (the default: campaigns are
+#:   crash-proof, like the paper's beam supervisor),
+#: * ``"quarantine"`` — contain but treat the chunk as poisoned: it goes
+#:   straight to the store's quarantine without burning retries,
+#: * ``"raise"``      — let the exception propagate (debugging).
+ON_CRASH_POLICIES = ("due", "quarantine", "raise")
+#: policy in force when nothing was requested anywhere
+DEFAULT_ON_CRASH = "due"
+
 
 @dataclass(frozen=True)
 class RunPolicy:
@@ -38,12 +51,19 @@ class RunPolicy:
     refresh: bool = False
     retries: int = DEFAULT_RETRIES
     backoff: float = DEFAULT_BACKOFF
+    #: sandbox crash policy; None means "nothing requested here" so an
+    #: explicit ``on_crash=`` kwarg (or the default) can take over
+    on_crash: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ConfigurationError("retries must be >= 0")
         if self.backoff < 0:
             raise ConfigurationError("backoff must be >= 0")
+        if self.on_crash is not None and self.on_crash not in ON_CRASH_POLICIES:
+            raise ConfigurationError(
+                f"on_crash must be one of {ON_CRASH_POLICIES}, got {self.on_crash!r}"
+            )
 
     @property
     def read_allowed(self) -> bool:
@@ -99,3 +119,21 @@ def resolve_policy(
         retries=retries if retries is not None else DEFAULT_RETRIES,
         backoff=backoff if backoff is not None else DEFAULT_BACKOFF,
     )
+
+
+def resolve_on_crash(on_crash: Optional[str], policy: Optional[RunPolicy]) -> str:
+    """Resolve the sandbox crash policy for one runner.
+
+    Precedence: explicit ``on_crash=`` kwarg, then ``policy.on_crash``,
+    then :data:`DEFAULT_ON_CRASH` ("due" — campaigns are crash-proof unless
+    someone asks otherwise).
+    """
+    if on_crash is not None:
+        if on_crash not in ON_CRASH_POLICIES:
+            raise ConfigurationError(
+                f"on_crash must be one of {ON_CRASH_POLICIES}, got {on_crash!r}"
+            )
+        return on_crash
+    if policy is not None and policy.on_crash is not None:
+        return policy.on_crash
+    return DEFAULT_ON_CRASH

@@ -1,0 +1,209 @@
+"""The uncore fault domain: arch-layer FIT tables and the UncoreInjector.
+
+Two contracts live here:
+
+1. **Numeric sync with the beam catalog.**  ``repro.arch.uncore`` cannot
+   import the beam layer (the arch layer sits below it), so the promise
+   that its per-instance FITs equal ``σ_hidden × Φ × 10⁹`` for the *same*
+   sensitivities the simulated beam exposes — and that its outcome splits
+   equal the catalog's :class:`HiddenOutcomeModel` mixtures — is enforced
+   by this test instead of by an import.
+2. **Injector semantics.**  :class:`UncoreInjector` campaigns are
+   deterministic per seed, label records with ``uncore:<unit>`` groups and
+   machine-readable ``due_cause`` values, and report through the standard
+   :class:`CampaignResult` so ``due_breakdown()`` works unchanged.
+"""
+
+import pytest
+
+from repro.arch.devices import KEPLER_K40C, VOLTA_V100
+from repro.arch.uncore import (
+    KEPLER_UNCORE,
+    VOLTA_UNCORE,
+    UncoreFitTable,
+    UncoreUnitRates,
+    uncore_table,
+)
+from repro.arch.units import UnitKind
+from repro.beam.cross_sections import KEPLER_CATALOG, VOLTA_CATALOG
+from repro.common.errors import ConfigurationError, InjectionError
+from repro.common.units import FIT_SCALE_HOURS, TERRESTRIAL_FLUX_N_CM2_H
+from repro.faultsim.outcomes import Outcome
+from repro.faultsim.uncore import UNCORE_EXCEPTIONS, UncoreInjector, uncore_due_cause
+from repro.sim.exceptions import GpuDeviceException
+from repro.telemetry import telemetry_session
+from repro.workloads.registry import get_workload
+
+HIDDEN_UNITS = (
+    UnitKind.SCHEDULER,
+    UnitKind.INSTRUCTION_PIPELINE,
+    UnitKind.MEMORY_CONTROLLER,
+    UnitKind.HOST_INTERFACE,
+)
+
+DUE_CAUSES = {
+    "scheduler_hang",
+    "ipipe_decode",
+    "memctl_fault",
+    "host_if_timeout",
+}
+
+
+class TestCatalogSync:
+    """repro.arch.uncore ↔ repro.beam.cross_sections, kept in sync here."""
+
+    @pytest.mark.parametrize("unit", HIDDEN_UNITS)
+    def test_kepler_fit_matches_beam_sigma(self, unit):
+        expected = (
+            KEPLER_CATALOG.hidden_sigma[unit]
+            * TERRESTRIAL_FLUX_N_CM2_H
+            * FIT_SCALE_HOURS
+        )
+        assert KEPLER_UNCORE.rates_for(unit).fit_per_instance == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("unit", HIDDEN_UNITS)
+    def test_volta_fit_matches_beam_sigma(self, unit):
+        expected = (
+            VOLTA_CATALOG.hidden_sigma[unit]
+            * TERRESTRIAL_FLUX_N_CM2_H
+            * FIT_SCALE_HOURS
+        )
+        assert VOLTA_UNCORE.rates_for(unit).fit_per_instance == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("unit", HIDDEN_UNITS)
+    @pytest.mark.parametrize(
+        "table, catalog",
+        [(KEPLER_UNCORE, KEPLER_CATALOG), (VOLTA_UNCORE, VOLTA_CATALOG)],
+        ids=["kepler", "volta"],
+    )
+    def test_outcome_splits_match_catalog(self, table, catalog, unit):
+        rates = table.rates_for(unit)
+        model = catalog.hidden_outcomes[unit]
+        assert rates.p_due == pytest.approx(model.p_due)
+        assert rates.p_sdc == pytest.approx(model.p_sdc)
+
+    def test_tables_cover_exactly_the_hidden_units(self):
+        for table in (KEPLER_UNCORE, VOLTA_UNCORE):
+            assert set(table.units) == set(HIDDEN_UNITS)
+
+
+class TestTable:
+    def test_uncore_table_lookup(self):
+        assert uncore_table("kepler") is KEPLER_UNCORE
+        assert uncore_table("volta") is VOLTA_UNCORE
+        with pytest.raises(ConfigurationError):
+            uncore_table("pascal")
+
+    def test_rates_for_missing_unit(self):
+        partial = UncoreFitTable(
+            architecture="test",
+            units={UnitKind.SCHEDULER: UncoreUnitRates(1.0, 0.5, 0.1)},
+        )
+        with pytest.raises(ConfigurationError):
+            partial.rates_for(UnitKind.HOST_INTERFACE)
+
+    def test_visible_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UncoreFitTable(
+                architecture="test",
+                units={UnitKind.FP32: UncoreUnitRates(1.0, 0.5, 0.1)},
+            )
+
+    def test_rates_validation(self):
+        with pytest.raises(ConfigurationError):
+            UncoreUnitRates(fit_per_instance=-1.0, p_due=0.5, p_sdc=0.1)
+        with pytest.raises(ConfigurationError):
+            UncoreUnitRates(fit_per_instance=1.0, p_due=0.7, p_sdc=0.4)
+
+    def test_fit_due_scales_with_instances_and_activity(self):
+        rates = KEPLER_UNCORE.rates_for(UnitKind.SCHEDULER)
+        base = rates.fit_due_per_instance
+        assert base == pytest.approx(rates.fit_per_instance * rates.p_due)
+        assert KEPLER_UNCORE.fit_due(UnitKind.SCHEDULER) == pytest.approx(base)
+        assert KEPLER_UNCORE.fit_due(
+            UnitKind.SCHEDULER, instances=13.0, activity=0.5
+        ) == pytest.approx(base * 13.0 * 0.5)
+        # clamped, never negative
+        assert KEPLER_UNCORE.fit_due(UnitKind.SCHEDULER, instances=-3.0) == 0.0
+
+    def test_p_masked_completes_the_distribution(self):
+        for unit in HIDDEN_UNITS:
+            rates = KEPLER_UNCORE.rates_for(unit)
+            assert rates.p_masked == pytest.approx(1.0 - rates.p_due - rates.p_sdc)
+
+
+class TestInjector:
+    N = 40
+
+    def test_campaign_is_deterministic_per_seed(self):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        first = UncoreInjector(KEPLER_K40C, seed=7).run(workload, self.N)
+        second = UncoreInjector(KEPLER_K40C, seed=7).run(workload, self.N)
+        assert first.records == second.records
+
+    def test_different_seeds_differ(self):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        first = UncoreInjector(KEPLER_K40C, seed=7).run(workload, self.N)
+        other = UncoreInjector(KEPLER_K40C, seed=8).run(workload, self.N)
+        assert first.records != other.records
+
+    def test_records_carry_uncore_provenance(self):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        result = UncoreInjector(KEPLER_K40C, seed=3).run(workload, self.N)
+        assert result.framework == "UNCORE"
+        assert result.injections == self.N
+        groups = {record.group for record in result.records}
+        assert groups <= {f"uncore:{unit.value}" for unit in HIDDEN_UNITS}
+        for record in result.records:
+            if record.outcome is Outcome.DUE and not record.contained:
+                assert record.due_cause in DUE_CAUSES
+
+    def test_due_breakdown_uses_machine_readable_causes(self):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        result = UncoreInjector(KEPLER_K40C, seed=3).run(workload, self.N)
+        breakdown = result.due_breakdown()
+        assert sum(breakdown.values()) == result.count(Outcome.DUE)
+        assert set(breakdown) <= DUE_CAUSES | {"watchdog"}
+
+    def test_unit_weights_positive_for_all_units(self):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        weights = UncoreInjector(KEPLER_K40C, seed=0).unit_weights(workload)
+        assert set(weights) == set(HIDDEN_UNITS)
+        assert all(weight > 0 for weight in weights.values())
+
+    def test_volta_supported(self):
+        workload = get_workload("volta", "FMXM", seed=0)
+        result = UncoreInjector(VOLTA_V100, seed=5).run(workload, 10)
+        assert result.injections == 10
+
+    def test_zero_injections_rejected(self):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        with pytest.raises(InjectionError):
+            UncoreInjector(KEPLER_K40C, seed=0).run(workload, 0)
+
+    def test_telemetry_counts_injections(self):
+        workload = get_workload("kepler", "FMXM", seed=11)
+        with telemetry_session() as telemetry:
+            result = UncoreInjector(KEPLER_K40C, seed=11).run(workload, 12)
+            counters = telemetry.registry.counters
+        assert counters["uncore.injections"] == 12
+        outcome_total = sum(
+            counters.get(f"uncore.outcome.{outcome.value}", 0) for outcome in Outcome
+        )
+        assert outcome_total == 12
+        unit_total = sum(
+            counters.get(f"uncore.unit.{unit.value}", 0) for unit in HIDDEN_UNITS
+        )
+        assert unit_total == 12
+        assert result.injections == 12
+
+    def test_due_causes_come_from_exception_classes(self):
+        for unit in HIDDEN_UNITS:
+            exc_class = UNCORE_EXCEPTIONS[unit]
+            assert issubclass(exc_class, GpuDeviceException)
+            assert uncore_due_cause(unit) == exc_class.cause
+            assert exc_class.cause in DUE_CAUSES

@@ -54,6 +54,26 @@ class TestCompareCode:
         row = compare_code(_beam_result(), _prediction(), "NVBITFI", metric="due")
         assert row.ratio == pytest.approx(200.0)
 
+    def test_due_total_metric_narrows_the_ratio(self):
+        """Adding the uncore FIT term can only grow the predicted DUE, so
+        the two-term ratio is strictly below the core-only §VII-B one."""
+        pred = _prediction()
+        pred.fit_due_uncore = 0.99
+        core = compare_code(_beam_result(), pred, "NVBITFI", metric="due")
+        total = compare_code(_beam_result(), pred, "NVBITFI", metric="due_total")
+        assert total.predicted_fit == pytest.approx(1.0)
+        assert total.ratio == pytest.approx(2.0)
+        assert total.ratio < core.ratio
+
+    def test_due_total_bounds_a_zero_core_prediction(self):
+        """A code whose injectable-site DUE prediction is exactly zero is
+        unbounded under metric="due" but finite under the two-term model."""
+        pred = _prediction(due=0.0)
+        pred.fit_due_uncore = 0.5
+        total = compare_code(_beam_result(), pred, "NVBITFI", metric="due_total")
+        assert total.predicted_fit == pytest.approx(0.5)
+        assert math.isfinite(total.ratio)
+
     def test_unknown_metric(self):
         with pytest.raises(ConfigurationError):
             compare_code(_beam_result(), _prediction(), "F", metric="avf")

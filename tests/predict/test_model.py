@@ -7,12 +7,14 @@ from repro.arch.ecc import EccMode
 from repro.arch.isa import OpCategory, OpClass
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.predict.model import (
+    FitPrediction,
     PredictionModel,
     UnitFit,
     avf_by_category,
     measure_memory_avf,
     measure_microbench_fits,
     ubench_key,
+    uncore_due_fits,
 )
 from repro.profiling.profiler import profile_workload
 from repro.workloads.registry import get_workload
@@ -127,6 +129,39 @@ class TestPrediction:
         bits = model.memory_footprint_bits(get_workload("kepler", "FMXM", seed=1))
         assert bits["register_file"] > 0
         assert bits["register_file"] <= KEPLER_K40C.register_file_bytes * 8
+
+
+class TestUncoreDueTerm:
+    """The second term of the two-term DUE model (uncore FIT)."""
+
+    def test_fit_due_total_is_the_two_term_sum(self):
+        pred = FitPrediction(workload="W", device="D", ecc=EccMode.ON)
+        pred.fit_due = 0.25
+        pred.fit_due_uncore = 0.5
+        assert pred.fit_due_total == pytest.approx(0.75)
+
+    def test_uncore_due_fits_cover_all_hidden_units(self):
+        terms = uncore_due_fits(KEPLER_K40C, get_workload("kepler", "FMXM", seed=1))
+        assert set(terms) == {
+            "uncore:scheduler",
+            "uncore:ipipe",
+            "uncore:memctl",
+            "uncore:host_if",
+        }
+        # every uncore unit is live on a real workload, so the term is
+        # strictly positive — the core-only prediction can never be the
+        # §VII-B zero/underestimate once it is added
+        assert all(value > 0 for value in terms.values())
+
+    def test_predict_populates_the_uncore_term(self, kepler_fits):
+        w = get_workload("kepler", "FMXM", seed=1)
+        metrics = profile_workload(KEPLER_K40C, w)
+        cats = {c: 0.5 for c in OpCategory}
+        model = PredictionModel(KEPLER_K40C, kepler_fits)
+        pred = model.predict(w, metrics, cats, {c: 0.1 for c in OpCategory}, ecc=EccMode.ON)
+        assert pred.terms_due_uncore == uncore_due_fits(KEPLER_K40C, w)
+        assert pred.fit_due_uncore == pytest.approx(sum(pred.terms_due_uncore.values()))
+        assert pred.fit_due_total > pred.fit_due
 
 
 class TestMemoryAvf:
