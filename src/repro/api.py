@@ -9,7 +9,12 @@ is reachable from here with consistent, keyword-only parameters:
 * ``ecc=`` — :class:`~repro.arch.ecc.EccMode`, ``"on"``/``"off"``, or bool,
 * ``workers=`` — parallel fan-out degree (1 = in-process serial,
   0 = one per CPU), optionally with ``executor=`` to share one pool,
-* ``injections=`` — campaign size.
+* ``injections=`` — campaign size,
+* ``policy=`` — one :class:`~repro.store.policy.ExecutionPolicy` carrying
+  every run-shaping knob: durability (``store``/``resume``/``refresh``),
+  failure handling (``retries``/``backoff``/``on_crash``) and execution
+  strategy (``replay``/``snapshots_per_run``); the former per-knob kwargs
+  still work through a one-shot deprecation shim (``docs/API.md``).
 
 Devices and workloads accept either library objects or names:
 ``device="kepler"`` / ``"volta"`` pick the paper's Tesla K40c / V100, and a
@@ -65,7 +70,7 @@ from repro.profiling.profiler import Profiler
 from repro.sass.assembler import assemble
 from repro.sass.interpreter import SassKernel
 from repro.sim.launch import LaunchConfig, run_kernel
-from repro.store import CampaignStore, RunPolicy, open_store
+from repro.store import CampaignStore, ExecutionPolicy, RunPolicy, open_store
 from repro.store.store import StoreLike
 from repro.telemetry import (
     FileSink,
@@ -164,16 +169,22 @@ def run_campaign(
     groups and each is evaluated by re-executing the workload; records come
     back in sampling order, bit-identical for any ``workers=``.
 
-    ``store=`` (a path or :class:`CampaignStore`) makes the campaign
-    durable: completed task chunks are checkpointed and an interrupted
-    campaign resumes where it left off, bit-identical to an uninterrupted
-    run.  ``refresh=True`` recomputes everything (overwriting cached
-    chunks); ``retries=`` bounds per-chunk retry before quarantine.  See
-    ``docs/STORAGE.md``.
+    ``policy=`` (an :class:`ExecutionPolicy`) carries every run-shaping
+    knob in one object: durability (``store``/``resume``/``refresh``),
+    failure handling (``retries``/``backoff``/``on_crash``) and execution
+    strategy (``replay``/``snapshots_per_run``).  Checkpoint/replay is on
+    by default — injections fork from the nearest golden snapshot and
+    execute only the post-fault suffix, bit-identical to a full
+    re-execution (``docs/PERFORMANCE.md``); ``ExecutionPolicy(replay=False)``
+    forces the vanilla path.  With a store, completed task chunks are
+    checkpointed and an interrupted campaign resumes where it left off
+    (``docs/STORAGE.md``); ``on_crash`` is the sandbox containment policy
+    for unexpected crashes (``docs/ROBUSTNESS.md``).
 
-    ``on_crash=`` picks the injection sandbox's containment policy for
-    unexpected crashes in injected runs — ``"due"`` (classify, the
-    default), ``"quarantine"`` or ``"raise"``.  See ``docs/ROBUSTNESS.md``.
+    The individual ``store=``/``resume=``/``refresh=``/``retries=``/
+    ``backoff=``/``on_crash=`` kwargs are a deprecated spelling of the same
+    policy fields: they still work but warn once — see the migration table
+    in ``docs/API.md``.
     """
     dev = as_device(device)
     runner = CampaignRunner(
@@ -219,10 +230,13 @@ def run_beam(
     """Expose one code to the simulated accelerated neutron beam and
     measure its SDC/DUE FIT rates (§III-C protocol).
 
-    ``store=``/``resume``/``refresh``/``retries`` work as in
-    :func:`run_campaign` — the mechanistic fault evaluations (the wall-clock
-    bulk of a beam run) are checkpointed and replayed.  ``on_crash=`` is the
-    sandbox containment policy (``docs/ROBUSTNESS.md``)."""
+    ``policy=`` works as in :func:`run_campaign` — one
+    :class:`ExecutionPolicy` for durability, failure handling and
+    checkpoint/replay; the mechanistic fault evaluations (the wall-clock
+    bulk of a beam run) replay from golden snapshots and, with a store,
+    checkpoint chunk by chunk.  The legacy ``store=``/``resume=``/
+    ``refresh=``/``retries=``/``backoff=``/``on_crash=`` kwargs still work
+    through a one-shot deprecation shim (``docs/API.md``)."""
     dev = as_device(device)
     experiment = BeamExperiment(
         dev, facility=facility, catalog=catalog, seed=seed, workers=workers,
@@ -245,7 +259,11 @@ def profile(
     device: DeviceLike = "kepler",
     seed: int = 0,
 ) -> KernelMetrics:
-    """NVPROF-style metrics (Table I / Figure 1) for one code."""
+    """NVPROF-style metrics (Table I / Figure 1) for one code.
+
+    Profiling is deterministic and single-process: it is one analytical
+    pass over the golden trace, so it takes no ``workers=`` and no
+    ``policy=`` — there is nothing to checkpoint, retry or replay."""
     dev = as_device(device)
     return Profiler(dev).metrics(as_workload(workload, dev, seed))
 
@@ -260,6 +278,7 @@ def predict(
     injections: int = 200,
     workers: int = 1,
     session: Optional[ExperimentSession] = None,
+    policy: Optional[RunPolicy] = None,
     store: Optional[str] = None,
     resume: Optional[bool] = None,
     refresh: bool = False,
@@ -272,6 +291,12 @@ def predict(
     :class:`Session` holding the campaign, profile, memory-AVF and
     micro-benchmark FIT inputs.  Returns ``(prediction, note)`` where the
     note records any of the paper's AVF substitution fallbacks.
+
+    ``policy=`` (an :class:`ExecutionPolicy`) shapes every campaign, beam
+    run and strike sweep the prediction computes, exactly as in
+    :func:`run_campaign`; the legacy ``store=``/``resume=``/``refresh=``/
+    ``retries=``/``on_crash=`` kwargs survive through the deprecation shim
+    (``docs/API.md``).
     """
     if isinstance(workload, Workload):
         raise ConfigurationError(
@@ -285,17 +310,18 @@ def predict(
         session = ExperimentSession(
             ExperimentConfig(
                 seed=seed, injections=injections, workers=workers,
+                policy=policy,
                 store=store, resume=resume, refresh=refresh, retries=retries,
                 on_crash=on_crash,
             )
         )
     elif (
-        store is not None or resume is not None or refresh
-        or retries is not None or on_crash is not None
+        policy is not None or store is not None or resume is not None
+        or refresh or retries is not None or on_crash is not None
     ):
         raise ConfigurationError(
-            "store=/resume=/refresh=/retries=/on_crash= configure a new "
-            "session; with session= they belong in that session's "
+            "policy=/store=/resume=/refresh=/retries=/on_crash= configure a "
+            "new session; with session= they belong in that session's "
             "ExperimentConfig"
         )
     return session.predict(dev.architecture, fw.name.lower(), workload, as_ecc(ecc))
@@ -362,9 +388,10 @@ __all__ = [
     "ProcessExecutor",
     "get_executor",
     "ProgressMeter",
-    # durable store (see docs/STORAGE.md)
+    # durable store + run shaping (see docs/STORAGE.md, docs/API.md)
     "CampaignStore",
     "open_store",
+    "ExecutionPolicy",
     "RunPolicy",
     "StoreError",
     "ChunkQuarantinedError",

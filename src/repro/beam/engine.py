@@ -32,6 +32,7 @@ from repro.sim.injection import (
     opclass_stream,
 )
 from repro.sim.launch import KernelRun, run_kernel
+from repro.sim.replay import ReplaySession
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import CompareResult, Workload
 
@@ -62,6 +63,8 @@ class BeamEngine:
         ecc: EccMode,
         backend: str = "cuda10",
         on_crash: str = "due",
+        replay: Optional[bool] = None,
+        snapshots_per_run: int = 16,
     ) -> None:
         self.device = device
         self.workload = workload
@@ -70,7 +73,10 @@ class BeamEngine:
         self.backend = backend
         self.secded = SecdedModel(mode=ecc)
         self.sandbox = InjectionSandbox(on_crash)
+        self.replay_enabled = True if replay is None else bool(replay)
+        self.snapshots_per_run = snapshots_per_run
         self._golden: Optional[KernelRun] = None
+        self._session: Optional[ReplaySession] = None
 
     @property
     def golden(self) -> KernelRun:
@@ -89,6 +95,20 @@ class BeamEngine:
         return self._golden
 
     # -- shared plumbing ----------------------------------------------------------
+    def _replay_session(self) -> ReplaySession:
+        if self._session is None:
+            golden = self.golden
+            self._session = ReplaySession(
+                self.device,
+                self.workload.kernel,
+                self.workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.backend,
+                snapshots_per_run=self.snapshots_per_run,
+                expected_ticks=golden.ticks,
+            )
+        return self._session
+
     def _run_with(self, plan=None, strikes=()) -> StrikeEval:
         golden = self.golden
         try:
@@ -96,17 +116,28 @@ class BeamEngine:
             # a mechanistic re-execution is contained per on_crash instead
             # of killing the worker (the beam supervisor never dies with
             # the DUT)
-            run = self.sandbox.run(
-                run_kernel,
-                self.device,
-                self.workload.kernel,
-                self.workload.sim_launch(),
-                ecc=self.ecc,
-                backend=self.backend,
-                plan=plan,
-                strikes=strikes,
-                watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
-            )
+            if self.replay_enabled:
+                # fork from the nearest snapshot below the fault site and
+                # run only the suffix (bit-identical; vanilla fallback is
+                # the session's own responsibility)
+                run = self.sandbox.run(
+                    self._replay_session().run,
+                    plan=plan,
+                    strikes=strikes,
+                    watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
+                )
+            else:
+                run = self.sandbox.run(
+                    run_kernel,
+                    self.device,
+                    self.workload.kernel,
+                    self.workload.sim_launch(),
+                    ecc=self.ecc,
+                    backend=self.backend,
+                    plan=plan,
+                    strikes=strikes,
+                    watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
+                )
         except GpuDeviceException as exc:
             return StrikeEval(
                 outcome=Outcome.DUE,

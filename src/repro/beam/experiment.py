@@ -45,7 +45,14 @@ from repro.exec.worker import _cached_state, run_beam_chunk
 from repro.faultsim.outcomes import Outcome, StrikeEval
 from repro.faultsim.uncore import UNCORE_EXCEPTIONS
 from repro.sim.exceptions import EccDoubleBitError
-from repro.store.policy import RunPolicy, resolve_on_crash, resolve_policy
+from repro.store.policy import (
+    RunPolicy,
+    replay_setting,
+    resolve_on_crash,
+    resolve_policy,
+    snapshots_setting,
+    warn_legacy_kwargs,
+)
 from repro.store.store import StoreLike
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
@@ -155,6 +162,11 @@ class BeamExperiment:
         policy: Optional[RunPolicy] = None,
         on_crash: Optional[str] = None,
     ) -> None:
+        warn_legacy_kwargs(
+            "BeamExperiment",
+            store=store, resume=resume, refresh=refresh,
+            retries=retries, backoff=backoff, on_crash=on_crash,
+        )
         self.device = device
         self.facility = facility
         self.catalog = catalog if catalog is not None else catalog_for(device)
@@ -165,9 +177,14 @@ class BeamExperiment:
             retries=retries, backoff=backoff,
         )
         self.on_crash = resolve_on_crash(on_crash, self.policy)
+        self.replay_enabled = replay_setting(self.policy)
+        self.snapshots_per_run = snapshots_setting(self.policy)
 
     def exposure(self, workload: Workload, ecc: EccMode) -> Tuple[BeamEngine, ExposureProfile]:
-        engine = BeamEngine(self.device, workload, self.catalog, ecc, on_crash=self.on_crash)
+        engine = BeamEngine(
+            self.device, workload, self.catalog, ecc, on_crash=self.on_crash,
+            replay=self.replay_enabled, snapshots_per_run=self.snapshots_per_run,
+        )
         profile = compute_exposure(self.device, workload, engine.golden, self.catalog)
         return engine, profile
 
@@ -234,6 +251,8 @@ class BeamExperiment:
             catalog_tag=catalog_tag(self.catalog, self.device),
             workload=WorkloadHandle.wrap(workload),
             on_crash=self.on_crash,
+            replay=self.replay_enabled,
+            snapshots_per_run=self.snapshots_per_run,
         )
         # reuse this experiment's engine (golden already computed for the
         # exposure profile) in the serial path and fork-spawned children

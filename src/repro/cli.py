@@ -35,16 +35,19 @@
     single-threaded and compute-bound), which is insensitive to other
     tenants on a shared machine.
 
-    Three layers are timed, each with the fast path on ("fast") and off
-    ("reference", the always-available slow path the equivalence suite
-    pins the fast path against):
+    Four layers are timed.  The first three pit the fast path ("fast")
+    against the always-available slow path ("reference", what the
+    equivalence suite pins the fast path against); the fourth pits
+    checkpoint/replay on against off, fast path enabled in both:
 
     * ``sim``      — golden DSL kernel executions (runs/sec and simulated
       instructions issued per second),
     * ``sass``     — SASS-program executions through the interpreter
       (compiled dispatch vs. tree-walk),
     * ``campaign`` — end-to-end fault-injection campaign throughput
-      (injections/sec), the number the paper-scale experiments multiply.
+      (injections/sec), the number the paper-scale experiments multiply,
+    * ``replay``   — the same campaign with snapshot replay on ("fast")
+      vs vanilla full re-execution ("reference") — docs/PERFORMANCE.md.
 
     With ``--baseline-ref`` the same campaign measurement is repeated
     against a pristine checkout of that git ref (via a temporary
@@ -179,6 +182,39 @@ def _bench_campaign(injections: int, warmup: int, seed: int) -> Dict[str, object
     return out
 
 
+def _bench_replay(injections: int, warmup: int, seed: int) -> Dict[str, object]:
+    """Campaign throughput with checkpoint/replay on ("fast") vs off
+    ("reference"), fast path enabled in both — isolates the replay win the
+    equivalence suite pins to bit-identical records."""
+    from repro.api import ExecutionPolicy, get_workload, run_campaign
+
+    out: Dict[str, Dict[str, float]] = {"injections_per_sec": {}}
+    for label, enabled in (("fast", True), ("reference", False)):
+        workload = get_workload("kepler", "FMXM", seed=3)
+        policy = ExecutionPolicy(replay=enabled)
+        run_campaign(
+            workload, device="k40c", framework="nvbitfi", injections=warmup,
+            seed=seed, policy=policy,
+        )
+        elapsed = float("inf")
+        for _ in range(_REPEATS):
+            t0 = time.process_time()
+            run_campaign(
+                workload,
+                device="k40c",
+                framework="nvbitfi",
+                injections=injections,
+                seed=seed + 1,
+                policy=policy,
+            )
+            elapsed = min(elapsed, time.process_time() - t0)
+        out["injections_per_sec"][label] = round(injections / elapsed, 1)
+    out["speedup"] = round(
+        out["injections_per_sec"]["fast"] / out["injections_per_sec"]["reference"], 3
+    )
+    return out
+
+
 _BASELINE_SCRIPT = """
 import time
 from repro.api import get_workload, run_campaign
@@ -272,6 +308,28 @@ def check_regression(
     return regressions
 
 
+def _cli_policy(args: argparse.Namespace):
+    """Fold the command-line durability/execution flags into one
+    ExecutionPolicy (None when nothing run-shaping was requested), so the
+    CLI drives the facade the policy-first way."""
+    from repro.store.policy import as_execution_policy, resolve_policy
+
+    run_policy = resolve_policy(
+        store=args.store,
+        resume=True if getattr(args, "resume", False) else None,
+        refresh=getattr(args, "no_cache", False),
+        retries=getattr(args, "retries", None),
+    )
+    on_crash = getattr(args, "on_crash", None)
+    replay = False if getattr(args, "no_replay", False) else None
+    snapshots = getattr(args, "snapshots_per_run", None)
+    if run_policy is None and on_crash is None and replay is None and snapshots is None:
+        return None
+    return as_execution_policy(
+        run_policy, on_crash=on_crash, replay=replay, snapshots_per_run=snapshots
+    )
+
+
 def run_campaign_cmd(args: argparse.Namespace) -> int:
     from repro.api import as_device, as_ecc, as_framework, run_campaign
     from repro.common.errors import ChunkQuarantinedError, ReproError
@@ -288,11 +346,7 @@ def run_campaign_cmd(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 ecc=as_ecc(args.ecc),
                 workers=args.workers,
-                store=args.store,
-                resume=True if args.resume else None,
-                refresh=args.no_cache,
-                retries=args.retries,
-                on_crash=args.on_crash,
+                policy=_cli_policy(args),
             )
             counters = telemetry.registry.counters
     except ChunkQuarantinedError as exc:
@@ -340,6 +394,7 @@ def run_due_report_cmd(args: argparse.Namespace) -> int:
     try:
         device = as_device(args.device)
         ecc = as_ecc(args.ecc)
+        policy = _cli_policy(args)
         beam = run_beam(
             args.workload,
             device=device,
@@ -349,7 +404,7 @@ def run_due_report_cmd(args: argparse.Namespace) -> int:
             max_fault_evals=args.max_fault_evals,
             seed=args.seed,
             workers=args.workers,
-            store=args.store,
+            policy=policy,
         )
         campaign = run_campaign(
             args.workload,
@@ -359,8 +414,7 @@ def run_due_report_cmd(args: argparse.Namespace) -> int:
             seed=args.seed,
             ecc=ecc,
             workers=args.workers,
-            store=args.store,
-            on_crash=args.on_crash,
+            policy=policy,
         )
         from repro.workloads.registry import get_workload
 
@@ -420,6 +474,7 @@ def run_bench(args: argparse.Namespace) -> Dict[str, object]:
             "sim": _bench_sim(args.sim_runs, args.warmup, args.seed),
             "sass": _bench_sass(args.sass_runs, args.warmup),
             "campaign": _bench_campaign(args.injections, args.warmup, args.seed),
+            "replay": _bench_replay(args.injections, args.warmup, args.seed),
         },
     }
     if args.baseline_ref:
@@ -474,6 +529,19 @@ def main(argv: Optional[list] = None) -> int:
         help="sandbox policy for unexpected crashes in injected runs: "
         "classify as DUE (default), quarantine the chunk, or raise "
         "(debugging) — see docs/ROBUSTNESS.md",
+    )
+    campaign_p.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="disable checkpoint/replay and re-execute every injection from "
+        "tick 0 (bit-identical, just slower — docs/PERFORMANCE.md)",
+    )
+    campaign_p.add_argument(
+        "--snapshots-per-run",
+        type=int,
+        default=None,
+        metavar="K",
+        help="evenly-spaced snapshots per golden capture (default 16)",
     )
     campaign_p.add_argument("--out", default=None, help="write the JSON summary here")
 
@@ -559,12 +627,20 @@ def main(argv: Optional[list] = None) -> int:
         out = pathlib.Path(args.out)
         atomic_write_text(out, json.dumps(report, indent=2, sort_keys=False) + "\n")
         campaign = report["layers"]["campaign"]
+        replay = report["layers"]["replay"]
         print(f"wrote {out}")
         print(
             "campaign: fast {fast} inj/s vs reference {ref} inj/s (x{speedup})".format(
                 fast=campaign["injections_per_sec"]["fast"],
                 ref=campaign["injections_per_sec"]["reference"],
                 speedup=campaign["speedup"],
+            )
+        )
+        print(
+            "replay:   on {fast} inj/s vs off {ref} inj/s (x{speedup})".format(
+                fast=replay["injections_per_sec"]["fast"],
+                ref=replay["injections_per_sec"]["reference"],
+                speedup=replay["speedup"],
             )
         )
         if "baseline" in report:

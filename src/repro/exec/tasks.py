@@ -77,6 +77,13 @@ class CampaignContext:
     #: sandbox crash policy; rides in the context (not RunPolicy) because
     #: the policy object never travels to worker processes
     on_crash: str = "due"
+    #: checkpoint/replay knobs (see repro.sim.replay).  Part of the cache
+    #: key — a cached runner built replay-off must not serve a replay-on
+    #: chunk — but deliberately NOT part of the store fingerprint: replay
+    #: on/off produces bit-identical records, so cached chunks stay valid
+    #: across the setting.
+    replay: bool = True
+    snapshots_per_run: int = 16
 
     def cache_key(self) -> tuple:
         return (
@@ -86,6 +93,8 @@ class CampaignContext:
             self.ecc,
             self.workload.fingerprint,
             self.on_crash,
+            self.replay,
+            self.snapshots_per_run,
         )
 
 
@@ -116,6 +125,9 @@ class BeamEvalContext:
     catalog_tag: str               # distinguishes non-default catalogs
     workload: WorkloadHandle
     on_crash: str = "due"
+    #: checkpoint/replay knobs (cache key only; see CampaignContext)
+    replay: bool = True
+    snapshots_per_run: int = 16
 
     def cache_key(self) -> tuple:
         return (
@@ -126,6 +138,8 @@ class BeamEvalContext:
             self.catalog_tag,
             self.workload.fingerprint,
             self.on_crash,
+            self.replay,
+            self.snapshots_per_run,
         )
 
 

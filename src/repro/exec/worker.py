@@ -73,11 +73,16 @@ def _rng_factories(tasks: Sequence[Any]) -> Dict[int, RngFactory]:
 def _campaign_state(ctx: CampaignContext):
     from repro.arch.ecc import EccMode
     from repro.faultsim.campaign import CampaignRunner
+    from repro.store.policy import ExecutionPolicy
 
     def build():
         runner = CampaignRunner(
             ctx.device, ctx.framework, seed=ctx.root_seed, ecc=EccMode(ctx.ecc),
-            on_crash=ctx.on_crash,
+            policy=ExecutionPolicy(
+                on_crash=ctx.on_crash,
+                replay=ctx.replay,
+                snapshots_per_run=ctx.snapshots_per_run,
+            ),
         )
         workload = ctx.workload.workload
         groups = {g.name: g for g in ctx.framework.site_groups(workload)}
@@ -92,18 +97,24 @@ def run_injection_chunk(ctx: CampaignContext, tasks: Sequence[InjectionTask]) ->
     with capture():  # state rebuild must not pollute the shipped snapshot
         runner, workload, groups = _campaign_state(ctx)
     factories = _rng_factories(tasks)
-    # Evaluate grouped by injection site group (better locality: the same
-    # site machinery stays hot), but ship records in submission order so the
-    # chunk result is position-identical to the naive loop.
-    order = sorted(range(len(tasks)), key=lambda j: (tasks[j].group, j))
-    records: List[Any] = [None] * len(tasks)
     with capture() as registry:
-        for j in order:
-            task = tasks[j]
-            rng = factories[task.root_seed].stream(*task.rng_path)
-            records[j] = runner.inject_once(
-                workload, groups[task.group], task.target_index, rng
-            )
+        if getattr(runner, "replay_enabled", False):
+            # batched path: same group-sorted evaluation order inside, plus
+            # chunk-level snapshot mining and one vectorized output compare
+            rngs = [factories[t.root_seed].stream(*t.rng_path) for t in tasks]
+            records: List[Any] = runner.inject_batch(workload, groups, list(tasks), rngs)
+        else:
+            # Evaluate grouped by injection site group (better locality: the
+            # same site machinery stays hot), but ship records in submission
+            # order so the chunk result is position-identical to the naive loop.
+            order = sorted(range(len(tasks)), key=lambda j: (tasks[j].group, j))
+            records = [None] * len(tasks)
+            for j in order:
+                task = tasks[j]
+                rng = factories[task.root_seed].stream(*task.rng_path)
+                records[j] = runner.inject_once(
+                    workload, groups[task.group], task.target_index, rng
+                )
     return ChunkResult(records, registry.snapshot())
 
 
@@ -122,6 +133,8 @@ def _beam_state(ctx: BeamEvalContext):
             EccMode(ctx.ecc),
             backend=ctx.backend,
             on_crash=ctx.on_crash,
+            replay=ctx.replay,
+            snapshots_per_run=ctx.snapshots_per_run,
         )
         engine.golden  # materialize before any capture window
         return engine

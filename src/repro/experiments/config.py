@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import ConfigurationError
+from repro.store.policy import RunPolicy, warn_legacy_kwargs
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,13 @@ class ExperimentConfig:
     #: parallel fault-evaluation workers (1 = in-process serial, 0 = one per
     #: CPU); results are bit-identical for any setting (repro.exec)
     workers: int = 1
-    #: durable campaign store path (``--store``); None disables checkpointing.
+    #: one :class:`~repro.store.policy.ExecutionPolicy` shaping every
+    #: campaign, beam run and strike sweep the session computes —
+    #: durability, failure handling and checkpoint/replay.  Mutually
+    #: exclusive with the legacy per-knob fields below.
+    policy: Optional[RunPolicy] = None
+    #: deprecated — use ``policy=ExecutionPolicy(store=open_store(path))``.
+    #: Durable campaign store path (``--store``); None disables checkpointing.
     #: Suffix picks the backend (.jsonl → JSONL, else SQLite) — docs/STORAGE.md
     store: Optional[str] = None
     #: replay completed chunks from the store (default when a store is set)
@@ -49,6 +56,19 @@ class ExperimentConfig:
     on_crash: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.policy is not None and (
+            self.store is not None or self.resume is not None or self.refresh
+            or self.retries is not None or self.on_crash is not None
+        ):
+            raise ConfigurationError(
+                "pass either policy= or the store=/resume=/refresh=/retries=/"
+                "on_crash= fields, not both"
+            )
+        warn_legacy_kwargs(
+            "ExperimentConfig",
+            store=self.store, resume=self.resume, refresh=self.refresh,
+            retries=self.retries, on_crash=self.on_crash,
+        )
         if self.injections <= 0 or self.beam_fault_evals <= 0:
             raise ConfigurationError("campaign sizes must be positive")
         if self.beam_hours <= 0:

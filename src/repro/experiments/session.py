@@ -27,7 +27,7 @@ from repro.predict.model import (
 )
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
-from repro.store.policy import RunPolicy, resolve_policy
+from repro.store.policy import RunPolicy, as_execution_policy, resolve_policy
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
 
@@ -53,14 +53,21 @@ class ExperimentSession:
         self.config = config if config is not None else ExperimentConfig()
         self.executor = get_executor(self.config.workers, executor)
         self.on_result = on_result
-        #: one shared RunPolicy (and so one store connection) for every
-        #: campaign, beam run and strike sweep the session computes
-        self.policy: Optional[RunPolicy] = resolve_policy(
-            store=self.config.store,
-            resume=self.config.resume,
-            refresh=self.config.refresh,
-            retries=self.config.retries,
-        )
+        #: one shared ExecutionPolicy (and so one store connection) for
+        #: every campaign, beam run and strike sweep the session computes;
+        #: config.policy wins, the legacy per-knob fields resolve into it
+        self.policy: Optional[RunPolicy] = self.config.policy
+        if self.policy is None:
+            self.policy = resolve_policy(
+                store=self.config.store,
+                resume=self.config.resume,
+                refresh=self.config.refresh,
+                retries=self.config.retries,
+            )
+        if self.config.on_crash is not None:
+            # fold the crash policy in, so every engine below is driven by
+            # policy= alone (no legacy kwargs, no deprecation warnings)
+            self.policy = as_execution_policy(self.policy, on_crash=self.config.on_crash)
         self.devices: Dict[str, DeviceSpec] = {"kepler": KEPLER_K40C, "volta": VOLTA_V100}
         self._workloads: Dict[Tuple[str, str], Workload] = {}
         self._profilers: Dict[str, Profiler] = {}
@@ -109,7 +116,6 @@ class ExperimentSession:
                 seed=self.config.seed,
                 executor=self.executor,
                 policy=self.policy,
-                on_crash=self.config.on_crash,
             )
             self._campaigns[key] = runner.run(
                 self.workload(arch, code), self.config.injections, on_result=self.on_result
@@ -169,7 +175,7 @@ class ExperimentSession:
     def beam_experiment(self, arch: str) -> BeamExperiment:
         return BeamExperiment(
             self.device(arch), seed=self.config.seed, executor=self.executor,
-            policy=self.policy, on_crash=self.config.on_crash,
+            policy=self.policy,
         )
 
     def beam(self, arch: str, code: str, ecc: EccMode, microbench: bool = False) -> BeamResult:
@@ -202,7 +208,6 @@ class ExperimentSession:
                 executor=self.executor,
                 on_result=self.on_result,
                 policy=self.policy,
-                on_crash=self.config.on_crash,
             )
         return self._ubench_fits[arch]
 
@@ -220,7 +225,6 @@ class ExperimentSession:
                 executor=self.executor,
                 on_result=self.on_result,
                 policy=self.policy,
-                on_crash=self.config.on_crash,
             )
         return self._mem_avf[key]
 

@@ -22,12 +22,13 @@ and the injection ordinal, so results are bit-identical for any
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.arch.devices import DeviceSpec
-from repro.arch.ecc import EccMode
+from repro.arch.ecc import EccMode, EccOutcome, SecdedModel
 from repro.common.errors import InjectionError
 from repro.common.rng import RngFactory, resolve_rngs
 from repro.exec.engine import Executor, get_executor
@@ -37,9 +38,21 @@ from repro.faultsim.frameworks import InjectorFramework, SiteGroup
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox, SandboxLimits
 from repro.sim.exceptions import ContainedCrashError, GpuDeviceException
+from repro.sim.fastpath import fast_path_enabled
 from repro.sim.injection import InjectionMode, InjectionPlan, StorageStrike
-from repro.sim.launch import KernelRun, run_kernel
-from repro.store.policy import RunPolicy, resolve_on_crash, resolve_policy
+from repro.sim.launch import KernelRun, count_run_telemetry, run_kernel
+from repro.sim.replay import ReplaySession
+from repro.store.backends import DONE, ChunkRecord
+from repro.store.codec import decode_results, encode_results
+from repro.store.fingerprint import chunk_fingerprint
+from repro.store.policy import (
+    RunPolicy,
+    replay_setting,
+    resolve_on_crash,
+    resolve_policy,
+    snapshots_setting,
+    warn_legacy_kwargs,
+)
 from repro.store.store import StoreLike
 from repro.telemetry import get_telemetry
 from repro.workloads.base import CompareResult, Workload
@@ -48,6 +61,45 @@ from repro.workloads.base import CompareResult, Workload
 #: closed enum, group names are memoized on first sight
 _OUTCOME_KEYS = {outcome: f"campaign.outcome.{outcome.value}" for outcome in Outcome}
 _GROUP_KEYS: Dict[str, str] = {}
+
+
+def _batched_compare(
+    golden_outputs: Dict[str, np.ndarray],
+    faulty_outputs: Sequence[Dict[str, np.ndarray]],
+) -> List[CompareResult]:
+    """One vectorized pass of the default output comparison over N runs.
+
+    Exactly replicates :meth:`Workload.compare`'s default — key-set, shape
+    and dtype checks, then bitwise equality (uint8 views are NaN-safe for
+    floats and value-exact for ints) — so it is only used when the workload
+    has not overridden ``compare``.
+    """
+    names = sorted(golden_outputs)
+    verdicts = [CompareResult.MATCH] * len(faulty_outputs)
+    comparable: List[int] = []
+    for i, outputs in enumerate(faulty_outputs):
+        if sorted(outputs) != names or any(
+            outputs[n].shape != golden_outputs[n].shape
+            or outputs[n].dtype != golden_outputs[n].dtype
+            for n in names
+        ):
+            verdicts[i] = CompareResult.SDC
+        else:
+            comparable.append(i)
+    if not comparable:
+        return verdicts
+    mismatch = np.zeros(len(comparable), dtype=bool)
+    for name in names:
+        golden = np.ascontiguousarray(golden_outputs[name])
+        stacked = np.stack(
+            [np.ascontiguousarray(faulty_outputs[i][name]) for i in comparable]
+        )
+        rows = stacked.view(np.uint8).reshape(len(comparable), -1)
+        mismatch |= (rows != golden.view(np.uint8).reshape(1, -1)).any(axis=1)
+    for row, i in enumerate(comparable):
+        if mismatch[row]:
+            verdicts[i] = CompareResult.SDC
+    return verdicts
 
 
 class CampaignRunner:
@@ -72,6 +124,11 @@ class CampaignRunner:
         on_crash: Optional[str] = None,
         sandbox_limits: Optional[SandboxLimits] = None,
     ) -> None:
+        warn_legacy_kwargs(
+            "CampaignRunner",
+            store=store, resume=resume, refresh=refresh,
+            retries=retries, backoff=backoff, on_crash=on_crash,
+        )
         self.device = device
         self.framework = framework
         self.rngs = resolve_rngs(rngs, seed, "CampaignRunner")
@@ -83,7 +140,11 @@ class CampaignRunner:
         )
         self.on_crash = resolve_on_crash(on_crash, self.policy)
         self.sandbox = InjectionSandbox(self.on_crash, limits=sandbox_limits)
+        self.replay_enabled = replay_setting(self.policy)
+        self.snapshots_per_run = snapshots_setting(self.policy)
         self._golden: Dict[str, KernelRun] = {}
+        self._sessions: Dict[Tuple[str, bool], ReplaySession] = {}
+        self._secded = SecdedModel(mode=ecc)
 
     # -- golden ---------------------------------------------------------------
     def golden(self, workload: Workload) -> KernelRun:
@@ -96,6 +157,26 @@ class CampaignRunner:
                 backend=self.framework.backend,
             )
         return self._golden[workload.name]
+
+    # -- checkpoint/replay ------------------------------------------------------
+    def _session(self, workload: Workload) -> ReplaySession:
+        """The workload's replay session, keyed by the fast-path mode (the
+        recorded tape encodes which trace-accounting path it took)."""
+        key = (workload.name, fast_path_enabled())
+        session = self._sessions.get(key)
+        if session is None:
+            golden = self.golden(workload)
+            session = ReplaySession(
+                self.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.framework.backend,
+                snapshots_per_run=self.snapshots_per_run,
+                expected_ticks=golden.ticks,
+            )
+            self._sessions[key] = session
+        return session
 
     # -- one injection -----------------------------------------------------------
     def inject_once(
@@ -122,12 +203,38 @@ class CampaignRunner:
         target_index: int,
         rng: np.random.Generator,
     ) -> InjectionRecord:
+        record, outputs, plan = self._attempt(workload, group, target_index, rng)
+        if record is not None:
+            return record
+        golden = self.golden(workload)
+        compare = workload.compare(golden.outputs, outputs)
+        return self._classify(group, plan, compare)
+
+    def _attempt(
+        self,
+        workload: Workload,
+        group: SiteGroup,
+        target_index: int,
+        rng: np.random.Generator,
+    ) -> Tuple[Optional[InjectionRecord], Optional[Dict[str, np.ndarray]], Optional[InjectionPlan]]:
+        """Run one injection up to (but excluding) the output comparison.
+
+        Returns ``(record, outputs, plan)``: a complete record when the run
+        ends without outputs to compare (DUE, or the analytic ECC-ON RF
+        shortcut), else ``None`` plus the surviving run's outputs.
+        """
         golden = self.golden(workload)
         watchdog = WATCHDOG_FACTOR * golden.ticks
 
         plan = None
         strikes: Sequence[StorageStrike] = ()
         if group.mode is InjectionMode.REGISTER_FILE:
+            if self.replay_enabled and self.ecc is EccMode.ON:
+                # Analytic shortcut: an ECC-ON RF strike never needs a
+                # re-execution.  SECDED either corrects the flip (the run is
+                # then the golden run, bit for bit) or detects a double-bit
+                # upset and kills the context before any output exists.
+                return self._analytic_rf_strike(golden, group, target_index, rng), None, None
             strikes = (StorageStrike(tick=float(target_index), space="rf", rng=rng),)
         else:
             plan = InjectionPlan(
@@ -143,17 +250,28 @@ class CampaignRunner:
             # propagates as InjectionCrashError (on_crash="quarantine"),
             # or unchanged (on_crash="raise"); the plan-never-fired check
             # below stays outside — it is a campaign setup bug, not a run
-            run = self.sandbox.run(
-                run_kernel,
-                self.device,
-                workload.kernel,
-                workload.sim_launch(),
-                ecc=self.ecc,
-                backend=self.framework.backend,
-                plan=plan,
-                strikes=strikes,
-                watchdog_limit=watchdog,
-            )
+            if self.replay_enabled:
+                # fork from the nearest snapshot below the fault site and
+                # execute only the post-fault suffix (bit-identical to the
+                # full run; ReplaySession falls back to vanilla on its own)
+                run = self.sandbox.run(
+                    self._session(workload).run,
+                    plan=plan,
+                    strikes=strikes,
+                    watchdog_limit=watchdog,
+                )
+            else:
+                run = self.sandbox.run(
+                    run_kernel,
+                    self.device,
+                    workload.kernel,
+                    workload.sim_launch(),
+                    ecc=self.ecc,
+                    backend=self.framework.backend,
+                    plan=plan,
+                    strikes=strikes,
+                    watchdog_limit=watchdog,
+                )
         except GpuDeviceException as exc:
             return InjectionRecord(
                 group=group.name,
@@ -162,13 +280,20 @@ class CampaignRunner:
                 bit=plan.record.bit if plan else -1,
                 due_cause=exc.cause,
                 contained=isinstance(exc, ContainedCrashError),
-            )
+            ), None, None
         if plan is not None and not plan.fired:
             raise InjectionError(
                 f"{workload.name}: plan targeting index {target_index} in group "
                 f"{group.name!r} never fired — target beyond the stream?"
             )
-        compare = workload.compare(golden.outputs, run.outputs)
+        return None, run.outputs, plan
+
+    def _classify(
+        self,
+        group: SiteGroup,
+        plan: Optional[InjectionPlan],
+        compare: CompareResult,
+    ) -> InjectionRecord:
         outcome = Outcome.SDC if compare is CompareResult.SDC else Outcome.MASKED
         return InjectionRecord(
             group=group.name,
@@ -176,6 +301,184 @@ class CampaignRunner:
             op=plan.record.op if plan else None,
             bit=plan.record.bit if plan else -1,
             detail=plan.record.detail if plan else "rf_strike",
+        )
+
+    def _analytic_rf_strike(
+        self,
+        golden: KernelRun,
+        group: SiteGroup,
+        target_index: int,
+        rng: np.random.Generator,
+    ) -> InjectionRecord:
+        """Classify an ECC-ON RF strike without re-executing the kernel.
+
+        Draw-for-draw identical to the mechanistic path: a strike past the
+        last emission never lands (no draw); otherwise SECDED samples the
+        bit multiplicity with exactly one ``rng.random()`` call and either
+        corrects (→ golden run) or raises the double-bit DUE.
+        """
+        if float(target_index) >= golden.ticks:
+            # lands after the final tick: the strike never applies and the
+            # run completes as the golden run
+            count_run_telemetry(golden.trace)
+            return InjectionRecord(
+                group=group.name, outcome=Outcome.MASKED, op=None, bit=-1,
+                detail="rf_strike",
+            )
+        if self._secded.strike(rng) is EccOutcome.DETECTED_DUE:
+            # context killed mid-run: no outputs, no post-run telemetry
+            # (matches the EccDoubleBitError path through run_kernel)
+            return InjectionRecord(
+                group=group.name, outcome=Outcome.DUE, op=None, bit=-1,
+                due_cause="ecc_dbe", contained=False,
+            )
+        # corrected: the rest of the run is bit-for-bit the golden run
+        count_run_telemetry(golden.trace)
+        return InjectionRecord(
+            group=group.name, outcome=Outcome.MASKED, op=None, bit=-1,
+            detail="rf_strike",
+        )
+
+    # -- one chunk ---------------------------------------------------------------
+    def inject_batch(
+        self,
+        workload: Workload,
+        groups: Dict[str, SiteGroup],
+        tasks: Sequence[InjectionTask],
+        rngs: Sequence[np.random.Generator],
+    ) -> List[InjectionRecord]:
+        """Evaluate one chunk of injections against shared replay state.
+
+        Bit-identical to calling :meth:`inject_once` per task: evaluation
+        happens in the same group-sorted order, records come back in
+        submission order, and each record counts the same telemetry trio.
+        Batching buys two things — the chunk's fault-site ticks are mined
+        into the replay session once (snapshots land just below the hot
+        ticks), and output comparison for surviving runs is one vectorized
+        numpy pass instead of N scalar ones.
+        """
+        golden = self.golden(workload)
+        order = sorted(range(len(tasks)), key=lambda j: (tasks[j].group, j))
+        if self.replay_enabled:
+            self._mine_fault_ticks(workload, groups, tasks, golden)
+        records: List[Optional[InjectionRecord]] = [None] * len(tasks)
+        pending: List[tuple] = []
+        batched_compare = type(workload).compare is Workload.compare
+        for j in order:
+            task = tasks[j]
+            group = groups[task.group]
+            record, outputs, plan = self._attempt(
+                workload, group, task.target_index, rngs[j]
+            )
+            if record is not None:
+                records[j] = record
+            elif batched_compare:
+                pending.append((j, group, plan, outputs))
+            else:
+                compare = workload.compare(golden.outputs, outputs)
+                records[j] = self._classify(group, plan, compare)
+        if pending:
+            verdicts = _batched_compare(golden.outputs, [p[3] for p in pending])
+            for (j, group, plan, _), compare in zip(pending, verdicts):
+                records[j] = self._classify(group, plan, compare)
+        telemetry = get_telemetry()
+        for j in order:
+            record = records[j]
+            telemetry.count("campaign.injections")
+            telemetry.count(_OUTCOME_KEYS[record.outcome])
+            group_key = _GROUP_KEYS.get(record.group)
+            if group_key is None:
+                group_key = _GROUP_KEYS[record.group] = f"campaign.group.{record.group}"
+            telemetry.count(group_key)
+        return records
+
+    def _mine_fault_ticks(
+        self,
+        workload: Workload,
+        groups: Dict[str, SiteGroup],
+        tasks: Sequence[InjectionTask],
+        golden: KernelRun,
+    ) -> None:
+        """Tell the replay session where this chunk's faults land so extra
+        snapshots sit just below the hot ticks.  Purely a perf hint: replay
+        is bit-identical from any valid boundary, so approximate (or even
+        wrong) ticks cost time, never correctness."""
+        ticks: List[float] = []
+        sizes: Dict[str, float] = {}
+        for task in tasks:
+            group = groups[task.group]
+            if group.mode is InjectionMode.REGISTER_FILE:
+                if self.ecc is EccMode.ON:
+                    continue  # classified analytically, never re-executed
+                ticks.append(float(task.target_index))
+            else:
+                size = sizes.get(group.name)
+                if size is None:
+                    size = sizes[group.name] = float(group.size(golden.trace))
+                if size > 0:
+                    # emission ordinal → approximate tick via the golden
+                    # run's mean stream density
+                    ticks.append(golden.ticks * float(task.target_index) / size)
+        if len(ticks) >= 4:  # a recapture costs a full golden re-execution
+            try:
+                self._session(workload).ensure_ticks(ticks)
+            except Exception:
+                pass  # advisory only; capture trouble surfaces (and falls
+                # back to vanilla) on the replay path itself
+
+    # -- durable replay-session state ----------------------------------------------
+    #
+    # The recorded tape + snapshots are themselves content-addressed: keyed
+    # by the campaign context (device, framework, ECC, workload, seed salt)
+    # plus the fast-path mode and snapshot density, under STORE_SALT.  They
+    # ride in the same store as chunk results but talk to the backend
+    # directly — session records are bookkeeping, not campaign results, so
+    # they must not perturb the store.hits / store.tasks_replayed /
+    # store.commits accounting the resume contract pins down.
+    def _session_fingerprint(self, context: CampaignContext, workload: Workload) -> str:
+        descriptor = {
+            "replay_session": workload.name,
+            "fast_path": fast_path_enabled(),
+            "snapshots_per_run": self.snapshots_per_run,
+        }
+        return chunk_fingerprint(context, [descriptor])
+
+    def _load_session_state(self, context: CampaignContext, workload: Workload) -> None:
+        policy = self.policy
+        if policy is None or not policy.read_allowed:
+            return
+        record = policy.store.backend.get(self._session_fingerprint(context, workload))
+        if record is None or record.status != DONE or not record.payload:
+            return
+        try:
+            payload = decode_results(record.payload)[0]
+        except Exception:
+            return  # unreadable session state: recapture from scratch
+        self._session(workload).import_state(payload)
+
+    def _save_session_state(self, context: CampaignContext, workload: Workload) -> None:
+        policy = self.policy
+        if policy is None or not policy.write_allowed:
+            return
+        session = self._sessions.get((workload.name, fast_path_enabled()))
+        if session is None:
+            return  # every evaluation ran in spawned workers or vanilla
+        payload = session.export_state()
+        if payload is None:
+            return
+        fingerprint = self._session_fingerprint(context, workload)
+        if not policy.refresh and policy.store.backend.get(fingerprint) is not None:
+            return
+        policy.store.backend.put(
+            ChunkRecord(
+                fingerprint=fingerprint,
+                kind="replay_session",
+                status=DONE,
+                payload=encode_results([payload]),
+                telemetry=None,
+                meta={"workload": workload.name},
+                created=time.time(),
+            )
         )
 
     # -- campaign -------------------------------------------------------------------
@@ -248,12 +551,16 @@ class CampaignRunner:
                 root_seed=self.rngs.root_seed,
                 workload=WorkloadHandle.wrap(workload),
                 on_crash=self.on_crash,
+                replay=self.replay_enabled,
+                snapshots_per_run=self.snapshots_per_run,
             )
             # pre-seed the process-local worker cache with *this* runner so the
             # serial executor (and fork-spawned children) reuse the golden run
             # already computed for site sizing
             groups = {g.name: g for g in self.framework.site_groups(workload)}
             _cached_state(context.cache_key(), lambda: (self, workload, groups))
+            if self.replay_enabled:
+                self._load_session_state(context, workload)
             # policy= only when set: custom Executor implementations without
             # the kwarg keep working when no durability was requested
             if self.policy is not None:
@@ -265,6 +572,8 @@ class CampaignRunner:
                 records = self.executor.run_chunks(
                     run_injection_chunk, context, tasks, on_result=on_result
                 )
+            if self.replay_enabled:
+                self._save_session_state(context, workload)
             result = CampaignResult(
                 workload=workload.name, framework=self.framework.name, device=self.device.name
             )

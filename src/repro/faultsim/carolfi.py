@@ -18,7 +18,7 @@ AVFs drift from the SASS-level ones on the same codes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,8 +29,10 @@ from repro.common.rng import RngFactory, resolve_rngs
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox
 from repro.sim.exceptions import ContainedCrashError, GpuDeviceException
+from repro.sim.fastpath import fast_path_enabled
 from repro.sim.injection import StorageStrike
 from repro.sim.launch import KernelRun, run_kernel
+from repro.sim.replay import ReplaySession
 from repro.workloads.base import CompareResult, Workload
 
 
@@ -49,11 +51,36 @@ class CarolFi:
         *,
         seed: Optional[int] = None,
         on_crash: str = "due",
+        replay: Optional[bool] = None,
+        snapshots_per_run: int = 16,
     ) -> None:
         self.device = device
         self.rngs = resolve_rngs(rngs, seed, "CarolFi")
         self.sandbox = InjectionSandbox(on_crash)
+        self.replay_enabled = True if replay is None else bool(replay)
+        self.snapshots_per_run = snapshots_per_run
         self._golden: Dict[str, KernelRun] = {}
+        self._sessions: Dict[Tuple[str, bool], ReplaySession] = {}
+
+    def _session(self, workload: Workload) -> ReplaySession:
+        # the injected runs execute ECC OFF (the debugger writes around
+        # ECC), so the session captures ECC OFF too; without a strike the
+        # executed stream — and therefore golden.ticks — is ECC-invariant
+        key = (workload.name, fast_path_enabled())
+        session = self._sessions.get(key)
+        if session is None:
+            golden = self.golden(workload)
+            session = ReplaySession(
+                self.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=EccMode.OFF,
+                backend=self.backend,
+                snapshots_per_run=self.snapshots_per_run,
+                expected_ticks=golden.ticks,
+            )
+            self._sessions[key] = session
+        return session
 
     def golden(self, workload: Workload) -> KernelRun:
         if workload.name not in self._golden:
@@ -75,16 +102,23 @@ class CarolFi:
         tick = float(rng.integers(0, max(1, int(golden.ticks))))
         strike = StorageStrike(tick=tick, space="global", rng=rng)
         try:
-            run = self.sandbox.run(
-                run_kernel,
-                self.device,
-                workload.kernel,
-                workload.sim_launch(),
-                ecc=EccMode.OFF,  # the debugger writes around ECC
-                backend=self.backend,
-                strikes=(strike,),
-                watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
-            )
+            if self.replay_enabled:
+                run = self.sandbox.run(
+                    self._session(workload).run,
+                    strikes=(strike,),
+                    watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
+                )
+            else:
+                run = self.sandbox.run(
+                    run_kernel,
+                    self.device,
+                    workload.kernel,
+                    workload.sim_launch(),
+                    ecc=EccMode.OFF,  # the debugger writes around ECC
+                    backend=self.backend,
+                    strikes=(strike,),
+                    watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
+                )
         except GpuDeviceException as exc:
             return InjectionRecord(
                 group="variable",

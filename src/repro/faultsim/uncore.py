@@ -58,7 +58,9 @@ from repro.sim.injection import (
     StorageStrike,
     gpr_write_stream,
 )
+from repro.sim.fastpath import fast_path_enabled
 from repro.sim.launch import KernelRun, run_kernel
+from repro.sim.replay import ReplaySession
 from repro.telemetry import get_telemetry
 from repro.workloads.base import CompareResult, Workload
 
@@ -105,13 +107,18 @@ class UncoreInjector:
         ecc: EccMode = EccMode.ON,
         on_crash: str = "due",
         table: Optional[UncoreFitTable] = None,
+        replay: Optional[bool] = None,
+        snapshots_per_run: int = 16,
     ) -> None:
         self.device = device
         self.rngs = resolve_rngs(rngs, seed, "UncoreInjector")
         self.ecc = ecc
         self.table = table if table is not None else uncore_table(device.architecture)
         self.sandbox = InjectionSandbox(on_crash)
+        self.replay_enabled = True if replay is None else bool(replay)
+        self.snapshots_per_run = snapshots_per_run
         self._golden: Dict[str, KernelRun] = {}
+        self._sessions: Dict[Tuple[str, bool], ReplaySession] = {}
 
     # -- golden ---------------------------------------------------------------
     def golden(self, workload: Workload) -> KernelRun:
@@ -124,6 +131,23 @@ class UncoreInjector:
                 backend=self.backend,
             )
         return self._golden[workload.name]
+
+    def _session(self, workload: Workload) -> ReplaySession:
+        key = (workload.name, fast_path_enabled())
+        session = self._sessions.get(key)
+        if session is None:
+            golden = self.golden(workload)
+            session = ReplaySession(
+                self.device,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=self.ecc,
+                backend=self.backend,
+                snapshots_per_run=self.snapshots_per_run,
+                expected_ticks=golden.ticks,
+            )
+            self._sessions[key] = session
+        return session
 
     # -- site weighting -------------------------------------------------------
     def unit_weights(self, workload: Workload) -> Dict[UnitKind, float]:
@@ -203,6 +227,13 @@ class UncoreInjector:
         if plan is None:
             tick = float(rng.integers(0, max(1, int(golden.ticks))))
             strikes = (StorageStrike(tick=tick, space=_SDC_SPACE.get(unit, "global"), rng=rng),)
+        if self.replay_enabled:
+            # bit-identical suffix re-execution from the nearest snapshot
+            return self._session(workload).run(
+                plan=plan,
+                strikes=strikes,
+                watchdog_limit=WATCHDOG_FACTOR * golden.ticks,
+            )
         return run_kernel(
             self.device,
             workload.kernel,

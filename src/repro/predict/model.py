@@ -45,7 +45,13 @@ from repro.faultsim.outcomes import CampaignResult, Outcome
 from repro.profiling.metrics import KernelMetrics
 from repro.profiling.profiler import Profiler
 from repro.sim.launch import run_kernel
-from repro.store.policy import RunPolicy, resolve_on_crash, resolve_policy
+from repro.store.policy import (
+    RunPolicy,
+    as_execution_policy,
+    resolve_on_crash,
+    resolve_policy,
+    warn_legacy_kwargs,
+)
 from repro.store.store import StoreLike
 from repro.telemetry import get_logger, get_telemetry
 from repro.workloads.base import Workload
@@ -174,6 +180,11 @@ def measure_memory_avf(
     """
     if strikes <= 0:
         raise ConfigurationError("need at least one strike")
+    warn_legacy_kwargs(
+        "measure_memory_avf",
+        store=store, resume=resume, refresh=refresh, retries=retries,
+        backoff=backoff, on_crash=on_crash,
+    )
     run_policy = resolve_policy(
         store=store, policy=policy, resume=resume, refresh=refresh,
         retries=retries, backoff=backoff,
@@ -239,10 +250,21 @@ def measure_microbench_fits(
     from repro.microbench.registry import MICROBENCH_BUILDERS, get_microbench
 
     arch = device.architecture
-    exp = BeamExperiment(
-        device, seed=seed, workers=workers, executor=executor,
+    warn_legacy_kwargs(
+        "measure_microbench_fits",
         store=store, resume=resume, refresh=refresh, retries=retries,
-        backoff=backoff, policy=policy, on_crash=on_crash,
+        backoff=backoff, on_crash=on_crash,
+    )
+    # pre-resolve the legacy kwargs into one policy, so BeamExperiment is
+    # driven by policy= alone (its own shim would mis-attribute the warning)
+    run_policy = resolve_policy(
+        store=store, policy=policy, resume=resume, refresh=refresh,
+        retries=retries, backoff=backoff,
+    )
+    if on_crash is not None or run_policy is not None:
+        run_policy = as_execution_policy(run_policy, on_crash=on_crash)
+    exp = BeamExperiment(
+        device, seed=seed, workers=workers, executor=executor, policy=run_policy,
     )
     prof = Profiler(device)
     units: Dict[str, UnitFit] = {}

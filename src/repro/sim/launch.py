@@ -96,14 +96,23 @@ def run_kernel(
         outputs = kernel(ctx)
     if not isinstance(outputs, dict):
         raise ConfigurationError("kernels must return a dict of named outputs")
-    # Retired-instruction telemetry: one registry update per *run*, not per
-    # instruction, so instrumentation cost is invisible next to simulation.
-    # The per-opcode-class counters double as a cross-check of the Figure 1
-    # instruction-mix profiler (see repro.telemetry.report).
+    trace = ctx.trace  # flushes the fast path's batched accounting
+    count_run_telemetry(trace)
+    return KernelRun(outputs=outputs, trace=trace, context=ctx)
+
+
+def count_run_telemetry(trace: ExecutionTrace) -> None:
+    """Retired-instruction telemetry for one completed kernel execution.
+
+    One registry update per *run*, not per instruction, so instrumentation
+    cost is invisible next to simulation.  The per-opcode-class counters
+    double as a cross-check of the Figure 1 instruction-mix profiler (see
+    repro.telemetry.report).  Shared by :func:`run_kernel` and the
+    checkpoint/replay engine (:mod:`repro.sim.replay`), which must emit the
+    exact same counters for a replayed execution.
+    """
     telemetry = get_telemetry()
     telemetry.count("sim.kernel_runs")
-    trace = ctx.trace  # flushes the fast path's batched accounting
     for op, instances in trace.instances.items():
         telemetry.count(_SIM_INSTR_KEYS[op], instances)
     telemetry.count("sim.instructions_total", trace.total_instances)
-    return KernelRun(outputs=outputs, trace=trace, context=ctx)

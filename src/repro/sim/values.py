@@ -46,9 +46,17 @@ class Val:
     def copy_data(self) -> np.ndarray:
         return self.data.copy()
 
+    def _ensure_writable(self) -> None:
+        """Copy-on-write: registers restored from a replay tape share the
+        tape's frozen arrays; the first mutation rebinds this Val (and only
+        this Val) to a private writable copy, leaving the tape intact."""
+        if not self.data.flags.writeable:
+            self.data = self.data.copy()
+
     def flip_bit(self, lane: int, bit: int, element: int = 0) -> None:
         """Flip one bit of one lane's value (element indexes into the tile
         for warp-wide values; 0 for ordinary scalars)."""
+        self._ensure_writable()
         if self.is_predicate:
             flat = self.data.reshape(self.lanes, -1)
             flat[lane, element] = ~flat[lane, element]
@@ -62,6 +70,7 @@ class Val:
 
     def set_value(self, lane: int, value, element: int = 0) -> None:
         """Overwrite one lane's element (random-value / zero fault models)."""
+        self._ensure_writable()
         flat = self.data.reshape(self.lanes, -1)
         flat[lane, element] = value
 

@@ -34,13 +34,30 @@ from repro.store.fingerprint import (
     context_kind,
     context_payload,
 )
-from repro.store.policy import DEFAULT_BACKOFF, DEFAULT_RETRIES, RunPolicy, resolve_policy
+from repro.store.policy import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    ExecutionPolicy,
+    RunPolicy,
+    as_execution_policy,
+    replay_setting,
+    resolve_policy,
+    snapshots_setting,
+    warn_deprecated_kwarg,
+    warn_legacy_kwargs,
+)
 from repro.store.store import CampaignStore, open_store
 
 __all__ = [
     "CampaignStore",
     "open_store",
+    "ExecutionPolicy",
     "RunPolicy",
+    "as_execution_policy",
+    "replay_setting",
+    "snapshots_setting",
+    "warn_deprecated_kwarg",
+    "warn_legacy_kwargs",
     "resolve_policy",
     "DEFAULT_RETRIES",
     "DEFAULT_BACKOFF",

@@ -43,7 +43,10 @@ from repro.exec.tasks import BeamEvalContext, CampaignContext, MemoryAvfContext
 #: stored chunk results stale (they will simply miss and recompute)
 #: — /2: InjectionRecord gained `contained`, contexts gained `on_crash`,
 #:   and the sandbox changed how crashing runs classify (PR 5)
-STORE_SALT = "repro-store/2"
+#: — /3: checkpoint/replay engine landed; replay-session state joins the
+#:   store ("replay_session" records) and must not mix with older caches
+#:   (PR 6)
+STORE_SALT = "repro-store/3"
 
 
 def canonical(value: Any) -> Any:

@@ -17,8 +17,9 @@ tasks' named RNG substreams, so a retry evaluates exactly the same work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Set, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.store.store import CampaignStore, StoreLike, open_store
@@ -73,6 +74,110 @@ class RunPolicy:
     @property
     def write_allowed(self) -> bool:
         return self.store is not None
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy(RunPolicy):
+    """Every run-shaping knob of the facade in one object.
+
+    Extends :class:`RunPolicy` (durability + failure handling) with the
+    execution-strategy knobs: checkpoint/replay and snapshot density.  The
+    facade entry points (``run_campaign``/``run_beam``/``predict``) and the
+    engines (``CampaignRunner``/``BeamExperiment``) accept exactly one
+    ``policy=ExecutionPolicy(...)`` in place of the former
+    ``store=/resume=/refresh=/retries=/backoff=/on_crash=`` kwarg sprawl
+    (which still works through a one-shot deprecation shim).
+
+    ``replay=None`` means *auto*: replay on, with transparent per-run
+    fallback to the vanilla path whenever no usable snapshot precedes a
+    fault site.  ``replay=False`` forces the vanilla path everywhere.
+    """
+
+    #: checkpoint/replay: None = auto (on with vanilla fallback), False = off
+    replay: Optional[bool] = None
+    #: evenly-spaced snapshots recorded per golden capture (≥ 1)
+    snapshots_per_run: int = 16
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.snapshots_per_run < 1:
+            raise ConfigurationError("snapshots_per_run must be >= 1")
+
+
+def replay_setting(policy: Optional[RunPolicy]) -> bool:
+    """Whether replay is enabled under ``policy`` (tolerates plain
+    :class:`RunPolicy` instances and None — both mean the auto default)."""
+    setting = getattr(policy, "replay", None)
+    return True if setting is None else bool(setting)
+
+
+def snapshots_setting(policy: Optional[RunPolicy]) -> int:
+    """Snapshot density under ``policy`` (default 16)."""
+    return int(getattr(policy, "snapshots_per_run", 16) or 16)
+
+
+def as_execution_policy(
+    policy: Optional[RunPolicy],
+    on_crash: Optional[str] = None,
+    replay: Optional[bool] = None,
+    snapshots_per_run: Optional[int] = None,
+) -> ExecutionPolicy:
+    """Fold a (possibly plain, possibly absent) policy plus overrides into
+    one :class:`ExecutionPolicy`.  Explicit overrides win; fields the base
+    policy already carries are preserved."""
+    if policy is None:
+        base = ExecutionPolicy()
+    elif isinstance(policy, ExecutionPolicy):
+        base = policy
+    else:
+        base = ExecutionPolicy(
+            store=policy.store,
+            resume=policy.resume,
+            refresh=policy.refresh,
+            retries=policy.retries,
+            backoff=policy.backoff,
+            on_crash=policy.on_crash,
+        )
+    updates = {}
+    if on_crash is not None:
+        updates["on_crash"] = on_crash
+    if replay is not None:
+        updates["replay"] = replay
+    if snapshots_per_run is not None:
+        updates["snapshots_per_run"] = snapshots_per_run
+    return replace(base, **updates) if updates else base
+
+
+#: (owner, kwarg) pairs that have already warned this process — the shim
+#: warns once per call site category, not once per run
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def warn_legacy_kwargs(owner: str, **kwargs: object) -> None:
+    """Deprecation shim for the pre-ExecutionPolicy kwarg sprawl: warn once
+    per (owner, kwarg) for any value that differs from the old default."""
+    for name, value in kwargs.items():
+        if value not in (None, False):
+            warn_deprecated_kwarg(owner, name, stacklevel=5)
+
+
+def warn_deprecated_kwarg(owner: str, kwarg: str, stacklevel: int = 4) -> None:
+    """One-shot DeprecationWarning for a legacy run-option kwarg.
+
+    ``owner`` names the API surface ("CampaignRunner", "BeamExperiment",
+    "ExperimentConfig", "predict") so each surface warns independently.
+    See docs/API.md for the kwarg → ExecutionPolicy migration table.
+    """
+    key = (owner, kwarg)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"{owner}({kwarg}=...) is deprecated; pass "
+        f"policy=ExecutionPolicy({kwarg}=...) instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 def resolve_policy(

@@ -1,0 +1,209 @@
+"""Checkpoint/replay ≡ vanilla-execution equivalence suite.
+
+Replay forks every injected run from the nearest golden snapshot and
+executes only the post-fault suffix; the contract (like the fast path's)
+is that nothing observable changes.  These tests pin it end to end:
+campaign records, DUE breakdowns, beam tallies/FITs, uncore records and
+captured telemetry are bit-identical with replay on or off, fast path on
+or off, serial or parallel, ECC on or off, on more than one workload.
+
+The same ``span.*`` histogram exemption as the fast-path suite applies —
+they record wall-clock seconds, the one thing replay is supposed to
+change.  ``store.*`` / ``exec.*`` bookkeeping is absent here because no
+test in this module uses a store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionPolicy, get_workload, run_beam, run_campaign
+from repro.arch.devices import KEPLER_K40C
+from repro.arch.ecc import EccMode
+from repro.faultsim.uncore import UncoreInjector
+from repro.sim.fastpath import fast_path
+from repro.sim.injection import StorageStrike
+from repro.sim.launch import run_kernel
+from repro.sim.replay import ReplaySession
+from repro.store.codec import decode_results, encode_results
+from repro.telemetry import capture
+
+#: (replay, fast path, workers) grid; the first entry — vanilla execution,
+#: reference path, serial — is the baseline every other mode must equal
+MODES = [
+    (False, False, 1),
+    (True, False, 1),
+    (False, True, 1),
+    (True, True, 1),
+    (True, False, 2),
+    (True, True, 2),
+    (False, True, 2),
+]
+
+
+def _observable(snapshot):
+    """Counters plus non-span histograms (span.* observes wall-clock)."""
+    histograms = {
+        name: data
+        for name, data in snapshot["histograms"].items()
+        if not name.startswith("span.")
+    }
+    return snapshot["counters"], histograms
+
+
+def _policy(replay):
+    return ExecutionPolicy(replay=replay)
+
+
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize("code", ["FMXM", "FGAUSSIAN"])
+    @pytest.mark.parametrize("ecc", [EccMode.ON, EccMode.OFF])
+    def test_records_due_breakdown_and_telemetry_identical(self, code, ecc):
+        def observe(replay, enabled, workers):
+            workload = get_workload("kepler", code, seed=5)
+            with fast_path(enabled), capture() as registry:
+                result = run_campaign(
+                    workload,
+                    device="k40c",
+                    framework="nvbitfi",
+                    injections=12,
+                    seed=5,
+                    ecc=ecc,
+                    workers=workers,
+                    policy=_policy(replay),
+                )
+            records = [
+                (r.outcome, r.group, r.op, r.bit, r.detail, r.due_cause, r.contained)
+                for r in result.records
+            ]
+            return records, result.due_breakdown(), _observable(registry.snapshot())
+
+        reference = observe(*MODES[0])
+        for mode in MODES[1:]:
+            observed = observe(*mode)
+            assert observed[0] == reference[0], mode
+            assert observed[1] == reference[1], mode
+            assert observed[2] == reference[2], mode
+
+    def test_sassifi_backend_identical(self):
+        """The cuda7 model replays bit-identically too (SASSIFI driver)."""
+
+        def observe(replay):
+            workload = get_workload("kepler", "FMXM", seed=9)
+            with capture() as registry:
+                result = run_campaign(
+                    workload,
+                    device="k40c",
+                    framework="sassifi",
+                    injections=12,
+                    seed=9,
+                    policy=_policy(replay),
+                )
+            records = [
+                (r.outcome, r.group, r.op, r.bit, r.detail, r.due_cause)
+                for r in result.records
+            ]
+            return records, _observable(registry.snapshot())
+
+        assert observe(True) == observe(False)
+
+
+class TestBeamEquivalence:
+    @pytest.mark.parametrize("ecc", [EccMode.ON, EccMode.OFF])
+    def test_tallies_fits_and_telemetry_identical(self, ecc):
+        def observe(replay, enabled, workers):
+            workload = get_workload("kepler", "FMXM", seed=7)
+            with fast_path(enabled), capture() as registry:
+                result = run_beam(
+                    workload,
+                    device="k40c",
+                    ecc=ecc,
+                    max_fault_evals=18,
+                    seed=7,
+                    workers=workers,
+                    policy=_policy(replay),
+                )
+            tallies = {
+                name: (t.faults, t.sdc, t.due) for name, t in result.tallies.items()
+            }
+            estimates = (result.fit_sdc, result.fit_due, result.fluence_n_cm2)
+            return tallies, estimates, _observable(registry.snapshot())
+
+        reference = observe(*MODES[0])
+        for mode in MODES[1:]:
+            observed = observe(*mode)
+            assert observed[0] == reference[0], mode
+            assert observed[1] == reference[1], mode
+            assert observed[2] == reference[2], mode
+
+
+class TestUncoreEquivalence:
+    @pytest.mark.parametrize("code", ["FMXM", "FGAUSSIAN"])
+    def test_records_identical(self, code):
+        def observe(replay, enabled):
+            workload = get_workload("kepler", code, seed=3)
+            with fast_path(enabled), capture() as registry:
+                injector = UncoreInjector(KEPLER_K40C, seed=3, replay=replay)
+                result = injector.run(workload, 12)
+            records = [
+                (r.outcome, r.group, r.detail, r.due_cause) for r in result.records
+            ]
+            return records, _observable(registry.snapshot())
+
+        reference = observe(False, False)
+        for replay in (False, True):
+            for enabled in (False, True):
+                assert observe(replay, enabled) == reference, (replay, enabled)
+
+
+class TestSessionCodecRoundTrip:
+    def test_export_import_state_preserves_replay(self):
+        """A session's tape + snapshots survive the store codec: a fresh
+        session importing the encoded state replays the same strike
+        bit-identically without re-capturing the golden run."""
+        workload = get_workload("kepler", "FMXM", seed=13)
+        golden = run_kernel(KEPLER_K40C, workload.kernel, workload.sim_launch())
+
+        def build():
+            return ReplaySession(
+                KEPLER_K40C,
+                workload.kernel,
+                workload.sim_launch(),
+                ecc=EccMode.ON,
+                backend="cuda10",
+                snapshots_per_run=8,
+                expected_ticks=golden.ticks,
+            )
+
+        def strike():
+            rng = np.random.default_rng(42)
+            return StorageStrike(
+                tick=float(int(golden.ticks) // 2), space="global", rng=rng
+            )
+
+        first = build()
+        run_a = first.run(strikes=(strike(),), watchdog_limit=10 * golden.ticks)
+        payload = first.export_state()
+        assert payload is not None
+
+        decoded = decode_results(encode_results([payload]))[0]
+        second = build()
+        assert second.import_state(decoded)
+        run_b = second.run(strikes=(strike(),), watchdog_limit=10 * golden.ticks)
+
+        assert second.stats["captures"] == 0  # golden came from the import
+        assert sorted(run_a.outputs) == sorted(run_b.outputs)
+        for name in run_a.outputs:
+            np.testing.assert_array_equal(run_a.outputs[name], run_b.outputs[name])
+
+    def test_import_rejects_garbage(self):
+        workload = get_workload("kepler", "FMXM", seed=13)
+        session = ReplaySession(
+            KEPLER_K40C,
+            workload.kernel,
+            workload.sim_launch(),
+            ecc=EccMode.ON,
+            backend="cuda10",
+            snapshots_per_run=8,
+        )
+        assert not session.import_state({"bogus": True})
+        assert session.export_state() is None  # nothing captured yet

@@ -98,15 +98,16 @@ class TestRoundTrips:
 
 
 class TestSaltBump:
-    def test_salt_is_v2(self):
-        """The salt moved with the schema: InjectionRecord gained
-        ``contained``, contexts gained ``on_crash``, and the sandbox changed
-        how crashing runs classify — PR-4 chunks must never replay."""
-        assert STORE_SALT == "repro-store/2"
+    def test_salt_is_v3(self):
+        """The salt moved with the schema: the store now also holds
+        ``replay_session`` records (checkpoint/replay snapshots keyed by
+        workload + fast-path mode), so pre-replay chunks must never mix
+        with the new namespace."""
+        assert STORE_SALT == "repro-store/3"
 
-    def test_v1_fingerprints_never_match(self):
-        """Exactly the same chunk fingerprinted under the previous salt
-        yields a different key, so a v1 store reads as all-misses."""
+    def test_old_fingerprints_never_match(self):
+        """Exactly the same chunk fingerprinted under a previous salt
+        yields a different key, so an old store reads as all-misses."""
         context = CampaignContext(
             device=KEPLER_K40C,
             framework=NvBitFi(),

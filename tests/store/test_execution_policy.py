@@ -1,0 +1,163 @@
+"""ExecutionPolicy: the one run-shaping object, plus the kwarg shim.
+
+The former ``store=/resume=/refresh=/retries=/backoff=/on_crash=`` kwarg
+sprawl on ``run_campaign``/``run_beam``/``CampaignRunner``/
+``BeamExperiment``/``ExperimentConfig`` collapsed into one
+``policy=ExecutionPolicy(...)``.  These tests pin the migration contract:
+
+* old kwargs keep working — a one-shot ``DeprecationWarning`` per
+  (surface, kwarg), never an error, results unchanged;
+* ``policy=`` and the old kwargs together are a configuration error;
+* the new execution-strategy fields validate (``snapshots_per_run >= 1``)
+  and round-trip through :func:`as_execution_policy`;
+* replay sessions persist into the content-addressed store and are
+  imported (not re-captured) by a later run against the same store.
+"""
+
+import warnings
+
+import pytest
+
+import repro.store.policy as policy_mod
+from repro.api import ExecutionPolicy, get_workload, predict, run_campaign
+from repro.arch.devices import KEPLER_K40C
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.session import ExperimentSession
+from repro.faultsim.campaign import CampaignRunner
+from repro.faultsim.frameworks import NvBitFi
+from repro.store import RunPolicy, open_store
+from repro.store.policy import as_execution_policy, replay_setting, snapshots_setting
+
+
+@pytest.fixture(autouse=True)
+def _reset_warned():
+    """Make the one-shot warning observable in every test of this module."""
+    saved = set(policy_mod._WARNED)
+    policy_mod._WARNED.clear()
+    yield
+    policy_mod._WARNED.clear()
+    policy_mod._WARNED.update(saved)
+
+
+class TestExecutionPolicy:
+    def test_extends_run_policy(self):
+        policy = ExecutionPolicy(retries=1, replay=False, snapshots_per_run=4)
+        assert isinstance(policy, RunPolicy)
+        assert policy.retries == 1
+        assert not replay_setting(policy)
+        assert snapshots_setting(policy) == 4
+
+    def test_replay_defaults_to_auto(self):
+        assert ExecutionPolicy().replay is None
+        assert replay_setting(ExecutionPolicy())
+        assert replay_setting(None)  # no policy at all: replay is still on
+        assert replay_setting(RunPolicy())  # plain RunPolicy: auto too
+        assert snapshots_setting(None) == 16
+
+    def test_snapshots_per_run_validates(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(snapshots_per_run=0)
+
+    def test_as_execution_policy_preserves_and_overrides(self):
+        base = RunPolicy(retries=7, on_crash="raise")
+        folded = as_execution_policy(base, replay=False, snapshots_per_run=3)
+        assert folded.retries == 7
+        assert folded.on_crash == "raise"
+        assert folded.replay is False
+        assert folded.snapshots_per_run == 3
+        override = as_execution_policy(folded, on_crash="due")
+        assert override.on_crash == "due"
+        assert override.replay is False
+
+
+class TestKwargShim:
+    def test_legacy_kwarg_warns_once_and_still_works(self, tmp_path):
+        workload = get_workload("kepler", "FMXM", seed=0)
+        store_path = str(tmp_path / "shim.sqlite")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = run_campaign(
+                workload, device="k40c", injections=6, seed=0, store=store_path
+            )
+            second = run_campaign(
+                workload, device="k40c", injections=6, seed=0, store=store_path
+            )
+        shim = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(shim) == 1  # once per (surface, kwarg), not per call
+        assert "policy=ExecutionPolicy(store=...)" in str(shim[0].message)
+        assert [r.outcome for r in first.records] == [r.outcome for r in second.records]
+
+    def test_each_surface_warns_independently(self, tmp_path):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            CampaignRunner(
+                KEPLER_K40C, NvBitFi(), retries=1
+            )
+            ExperimentConfig(retries=1)
+        owners = sorted(
+            str(w.message).split("(")[0]
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        )
+        assert owners == ["CampaignRunner", "ExperimentConfig"]
+
+    def test_policy_plus_legacy_kwargs_raise(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(
+                KEPLER_K40C,
+                NvBitFi(),
+                policy=ExecutionPolicy(),
+                store=str(tmp_path / "x.sqlite"),
+            )
+
+    def test_experiment_config_policy_is_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(policy=ExecutionPolicy(), retries=2)
+
+    def test_experiment_config_accepts_policy(self):
+        config = ExperimentConfig(policy=ExecutionPolicy(on_crash="quarantine"))
+        session = ExperimentSession(config)
+        assert session.policy.on_crash == "quarantine"
+
+    def test_session_folds_on_crash_into_policy(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = ExperimentSession(ExperimentConfig(on_crash="raise"))
+        assert session.policy.on_crash == "raise"
+        # the fold happens before any engine is built: only the config's own
+        # shim warning fired, no engine-level ones
+        owners = {
+            str(w.message).split("(")[0]
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        }
+        assert owners == {"ExperimentConfig"}
+
+    def test_predict_rejects_policy_with_session(self):
+        with pytest.raises(ConfigurationError):
+            predict("FMXM", session=ExperimentSession(), policy=ExecutionPolicy())
+
+
+class TestReplaySessionPersistence:
+    def test_session_snapshot_round_trips_through_store(self, tmp_path):
+        workload = get_workload("kepler", "FMXM", seed=4)
+        store_path = str(tmp_path / "replay.sqlite")
+
+        cold_policy = ExecutionPolicy(store=open_store(store_path))
+        runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=4, policy=cold_policy)
+        cold = runner.run(workload, 10)
+
+        backend = cold_policy.store.backend
+        kinds = [backend.get(fp).kind for fp in backend.fingerprints()]
+        assert kinds.count("replay_session") == 1
+
+        warm_policy = ExecutionPolicy(store=open_store(store_path))
+        warm_runner = CampaignRunner(KEPLER_K40C, NvBitFi(), seed=4, policy=warm_policy)
+        warm = warm_runner.run(workload, 10)
+
+        assert [r.outcome for r in warm.records] == [r.outcome for r in cold.records]
+        # the warm runner imported the session instead of re-capturing it
+        imported = list(warm_runner._sessions.values())
+        assert imported and all(s.stats["captures"] == 0 for s in imported)
+        assert all(s.export_state() is not None for s in imported)
