@@ -26,6 +26,22 @@
     term of the two-term DUE prediction — the quantity that closes the
     paper's §VII-B beam-vs-injector DUE gap.
 
+``report``
+    Render a deterministic static-HTML dashboard from one or more durable
+    campaign stores — no re-execution, no JavaScript, byte-identical
+    output for identical store content regardless of backend or the
+    worker count that produced it ::
+
+        python -m repro.cli report --store results/campaigns.sqlite --out report.html
+        python -m repro.cli report --diff run_a.sqlite jsonl:run_b.jsonl --tolerance 0.05
+
+    The dashboard shows per-run AVF/outcome tables, DUE provenance by
+    cause and fault domain, fault-site and instruction-class breakdowns,
+    sandbox activity, paper reference values, and (with ``--bench`` /
+    ``BENCH_history.jsonl``) the perf baseline and its trajectory.
+    ``--diff`` aligns two stores by durable run identity and exits 1 when
+    any metric delta exceeds ``--tolerance`` — see docs/REPORTING.md.
+
 ``bench``
     Measure simulator throughput layer by layer and write a
     machine-readable perf baseline (``BENCH_simulator.json``).  All
@@ -385,12 +401,129 @@ def run_campaign_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _checked_extract(spec: str, role: str = "store") -> "object":
+    """Open and extract a store for read-side commands, or fail loudly.
+
+    Returns a StoreExtract, or ``None`` after printing the reason (missing
+    file, unreadable backend, or a store with no campaign content) —
+    callers translate ``None`` into exit status 2.  The existence check
+    happens *before* open_store because the SQLite backend would silently
+    create an empty database at a mistyped path.
+    """
+    from repro.common.errors import StoreError
+    from repro.report import extract_store
+
+    path = spec
+    for prefix in ("sqlite:", "jsonl:"):
+        if path.startswith(prefix):
+            path = path[len(prefix):]
+            break
+    if not pathlib.Path(path).exists():
+        print(f"report: no {role} at {path}", file=sys.stderr)
+        return None
+    try:
+        extract = extract_store(spec)
+    except StoreError as exc:
+        print(f"report: cannot read {role} {spec}: {exc}", file=sys.stderr)
+        return None
+    if extract.chunks == 0:
+        print(f"report: {role} {spec} is empty (no chunk records)", file=sys.stderr)
+        return None
+    return extract
+
+
+def run_report_cmd(args: argparse.Namespace) -> int:
+    from repro.common.atomicio import atomic_write_text, read_jsonl
+    from repro.report import (
+        diff_stores,
+        render_diff_html,
+        render_diff_text,
+        render_report,
+    )
+
+    if args.diff:
+        extract_a = _checked_extract(args.diff[0], "store A")
+        extract_b = _checked_extract(args.diff[1], "store B")
+        if extract_a is None or extract_b is None:
+            return 2
+        diff = diff_stores(extract_a, extract_b)
+        print(render_diff_text(diff, args.tolerance), end="")
+        if args.out is not None:
+            atomic_write_text(args.out, render_diff_html(diff, args.tolerance))
+            print(f"wrote {args.out}")
+        return 1 if diff.violations(args.tolerance) else 0
+
+    extracts = []
+    for spec in args.store:
+        extract = _checked_extract(spec)
+        if extract is None:
+            return 2
+        extracts.append(extract)
+
+    bench = None
+    if args.bench is not None:
+        bench_path = pathlib.Path(args.bench)
+        if not bench_path.exists():
+            print(f"report: no bench baseline at {bench_path}", file=sys.stderr)
+            return 2
+        bench = json.loads(bench_path.read_text())
+    history_path = pathlib.Path(
+        args.history if args.history is not None else "BENCH_history.jsonl"
+    )
+    history = read_jsonl(history_path) if history_path.exists() else None
+    if args.history is not None and not history_path.exists():
+        print(f"report: no bench history at {history_path}", file=sys.stderr)
+        return 2
+
+    html = render_report(extracts, bench=bench, history=history, title=args.title)
+    out = pathlib.Path(args.out if args.out is not None else "report.html")
+    atomic_write_text(out, html)
+    runs = sum(len(e.slices) for e in extracts)
+    tasks = sum(e.tasks for e in extracts)
+    print(f"wrote {out} ({runs} run(s), {tasks} task(s), {len(extracts)} store(s))")
+    return 0
+
+
+def run_due_report_store(args: argparse.Namespace) -> int:
+    from repro.common.atomicio import atomic_write_text
+    from repro.report import extract_due_report, format_due_rows
+
+    extract = _checked_extract(args.from_store)
+    if extract is None:
+        return 2
+    rows = extract_due_report(extract)
+    if args.workload is not None:
+        rows = [row for row in rows if row["workload"] == args.workload]
+    if not rows:
+        scope = f" for workload {args.workload}" if args.workload else ""
+        print(
+            f"due-report: store {args.from_store} holds no campaign records{scope}",
+            file=sys.stderr,
+        )
+        return 2
+    text = format_due_rows(rows, args.format)
+    if args.out is not None:
+        atomic_write_text(args.out, text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def run_due_report_cmd(args: argparse.Namespace) -> int:
     from repro.api import as_device, as_ecc, run_beam, run_campaign
     from repro.common.errors import ReproError
     from repro.faultsim.outcomes import Outcome
     from repro.predict.model import uncore_due_fits
 
+    if args.from_store is not None:
+        return run_due_report_store(args)
+    if args.workload is None:
+        print(
+            "due-report: a workload is required unless --from-store is given",
+            file=sys.stderr,
+        )
+        return 2
     try:
         device = as_device(args.device)
         ecc = as_ecc(args.ecc)
@@ -446,7 +579,34 @@ def run_due_report_cmd(args: argparse.Namespace) -> int:
             "fit_due_uncore": sum(uncore_terms.values()),
         },
     }
-    text = json.dumps(report, indent=2) + "\n"
+    if args.format == "json":
+        text = json.dumps(report, indent=2) + "\n"
+    else:
+        # same row model the store-driven path uses (repro.report.format)
+        from repro.report import format_due_rows
+
+        beam_breakdown = beam.due_breakdown()
+        rows = [
+            {
+                "kind": "beam",
+                "workload": beam.workload,
+                "label": f"{beam.workload} · {beam.device} · ecc={beam.ecc.value}",
+                "due": sum(beam_breakdown.values()),
+                "due_breakdown": beam_breakdown,
+            },
+            {
+                "kind": "campaign",
+                "workload": campaign.workload,
+                "label": f"{campaign.workload} · {campaign.device} · "
+                         f"{campaign.framework} · ecc={beam.ecc.value}",
+                "evaluations": campaign.injections,
+                "due": campaign.count(Outcome.DUE),
+                "avf_due": round(campaign.avf(Outcome.DUE), 4),
+                "due_breakdown": campaign.due_breakdown(),
+                "contained": campaign.contained_count(),
+            },
+        ]
+        text = format_due_rows(rows, args.format)
     if args.out is not None:
         from repro.common.atomicio import atomic_write_text
 
@@ -549,7 +709,26 @@ def main(argv: Optional[list] = None) -> int:
         "due-report",
         help="DUE provenance report: beam, campaign and uncore-term breakdowns by cause",
     )
-    due_p.add_argument("workload", help="registry code name, e.g. FMXM")
+    due_p.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="registry code name, e.g. FMXM (optional with --from-store: "
+        "acts as a filter)",
+    )
+    due_p.add_argument(
+        "--from-store",
+        default=None,
+        metavar="STORE",
+        help="read DUE provenance out of a durable campaign store instead of "
+        "re-running anything (exits 2 if the store is missing or empty)",
+    )
+    due_p.add_argument(
+        "--format",
+        choices=("text", "json", "md"),
+        default="json",
+        help="output format (default json; text/md use the shared row model)",
+    )
     due_p.add_argument("--device", default="kepler", help="kepler | volta | catalog key")
     due_p.add_argument("--framework", default="nvbitfi", help="nvbitfi | sassifi")
     due_p.add_argument("--ecc", default="on", help="on | off")
@@ -565,7 +744,59 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="sandbox policy for unexpected crashes (docs/ROBUSTNESS.md)",
     )
-    due_p.add_argument("--out", default=None, help="write the JSON report here")
+    due_p.add_argument("--out", default=None, help="write the report here")
+
+    report_p = sub.add_parser(
+        "report",
+        help="render a static HTML dashboard (or a diff) from durable stores",
+        description="Render deterministic dashboards and cross-campaign diffs "
+        "from campaign stores alone — no re-execution (docs/REPORTING.md).",
+    )
+    report_p.add_argument(
+        "--store",
+        action="append",
+        default=[],
+        metavar="STORE",
+        help="campaign store to report on (repeatable; sqlite:/jsonl: prefixes "
+        "as in campaign --store)",
+    )
+    report_p.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("STORE_A", "STORE_B"),
+        help="compare two stores instead of rendering a dashboard: prints the "
+        "delta report, exits 1 if any metric delta exceeds --tolerance",
+    )
+    report_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="allowed relative metric drift under --diff (fraction, default 0: "
+        "exact match required)",
+    )
+    report_p.add_argument(
+        "--bench",
+        default=None,
+        metavar="JSON",
+        help="BENCH_*.json baseline to include in the dashboard",
+    )
+    report_p.add_argument(
+        "--history",
+        default=None,
+        metavar="JSONL",
+        help="bench history log for the trajectory sparkline "
+        "(default: BENCH_history.jsonl when present)",
+    )
+    report_p.add_argument(
+        "--title", default="Campaign store report", help="dashboard title"
+    )
+    report_p.add_argument(
+        "--out",
+        default=None,
+        help="output HTML path (default report.html; with --diff, also write "
+        "the HTML diff here)",
+    )
 
     bench = sub.add_parser("bench", help="measure simulator throughput, write a JSON baseline")
     bench.add_argument("--out", default="BENCH_simulator.json", help="output path")
@@ -592,6 +823,12 @@ def main(argv: Optional[list] = None) -> int:
         default=0.25,
         help="allowed fractional throughput drop under --check (default 0.25)",
     )
+    bench.add_argument(
+        "--append-history",
+        action="store_true",
+        help="also append this measurement to BENCH_history.jsonl (next to "
+        "--out) — the trajectory `report` renders as a sparkline",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "campaign":
@@ -605,6 +842,15 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.command == "due-report":
         return run_due_report_cmd(args)
+
+    if args.command == "report":
+        if not args.diff and not args.store:
+            parser.error("report needs --store (repeatable) or --diff A B")
+        if args.diff and args.store:
+            parser.error("--diff and --store conflict: pick one mode")
+        if args.tolerance < 0:
+            parser.error("--tolerance must be >= 0")
+        return run_report_cmd(args)
 
     if args.command == "bench":
         if args.check:
@@ -626,6 +872,12 @@ def main(argv: Optional[list] = None) -> int:
         report = run_bench(args)
         out = pathlib.Path(args.out)
         atomic_write_text(out, json.dumps(report, indent=2, sort_keys=False) + "\n")
+        if args.append_history:
+            from repro.common.atomicio import append_jsonl
+
+            history_path = out.parent / "BENCH_history.jsonl"
+            append_jsonl(history_path, report)
+            print(f"appended to {history_path}")
         campaign = report["layers"]["campaign"]
         replay = report["layers"]["replay"]
         print(f"wrote {out}")

@@ -43,3 +43,41 @@ def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> Non
 def atomic_write_json(path: PathLike, payload: Any, indent: int = 2) -> None:
     """Serialize ``payload`` and write it atomically with a trailing newline."""
     atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+def append_jsonl(path: PathLike, payload: Any) -> None:
+    """Append one JSON record to a history log, fsync'd before returning.
+
+    Append-only durability follows the store's JSONL convention: a crash
+    mid-append can only tear the final line, which readers
+    (:func:`read_jsonl`) detect and skip — every fully-written record
+    survives.  Used for ``BENCH_history.jsonl``-style trajectories where
+    each run adds a point and nothing is ever rewritten.
+    """
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_jsonl(path: PathLike) -> list:
+    """Read every intact record of an append-only JSONL log, in order.
+
+    A torn tail line (the only corruption an append-only writer can
+    produce) is skipped silently; a missing file reads as empty.
+    """
+    target = pathlib.Path(path)
+    if not target.exists():
+        return []
+    records = []
+    with open(target, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+    return records

@@ -40,7 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tupl
 
 from repro.common.errors import ChunkQuarantinedError, ConfigurationError
 from repro.exec.tasks import ChunkResult
-from repro.store.fingerprint import chunk_fingerprint, context_kind
+from repro.store.fingerprint import chunk_fingerprint, context_kind, context_payload
 from repro.store.policy import RunPolicy
 from repro.telemetry import get_telemetry
 from repro.telemetry.metrics import Snapshot
@@ -99,11 +99,46 @@ def _load_cached(
     return policy.store.load_chunk(record)
 
 
+def chunk_meta(context: Any, chunk: Sequence[Any], sequence: int) -> dict:
+    """Durable, report-facing description of one committed chunk.
+
+    Besides the task count, the meta records the chunk's *context payload*
+    (the same durable description the fingerprint hashes — workload,
+    device, ECC, framework, seed) and its ``sequence`` position in the
+    chunk partition, so the read side (:mod:`repro.report`) can group a
+    store's chunks back into campaigns and restore record order without
+    re-deriving anything from live objects.  Beam chunks additionally
+    record a run-length encoding of their tasks' resources: results pair
+    1:1 with tasks in chunk order, so per-resource tallies stay
+    reconstructible post hoc.  None of this enters the fingerprint — old
+    stores (without the extra keys) stay valid and merely report less.
+    """
+    meta: dict = {"tasks": len(chunk), "sequence": sequence}
+    try:
+        meta["context"] = context_payload(context)
+    except Exception:  # fingerprinting already succeeded; stay defensive
+        pass
+    indices = [task.index for task in chunk if hasattr(task, "index")]
+    if indices:
+        meta["task_range"] = [min(indices), max(indices)]
+    if chunk and hasattr(chunk[0], "resource"):
+        runs: List[list] = []
+        for task in chunk:
+            if runs and runs[-1][0] == task.resource:
+                runs[-1][1] += 1
+            else:
+                runs.append([task.resource, 1])
+        meta["resources"] = runs
+    return meta
+
+
 def _commit(
     policy: Optional[RunPolicy],
     fingerprint: Optional[str],
     kind: str,
+    context: Any,
     chunk: Sequence[Any],
+    chunk_index: int,
     results: List[Any],
     snapshot: Optional[Snapshot],
     attempts: int,
@@ -115,7 +150,7 @@ def _commit(
         kind,
         results,
         snapshot,
-        meta={"tasks": len(chunk)},
+        meta=chunk_meta(context, chunk, chunk_index),
         attempts=attempts,
     )
 
@@ -219,7 +254,10 @@ class SerialExecutor:
                 chunk_results, snapshot, attempts = _evaluate_with_retry(
                     fn, context, chunk, policy, fingerprint, kind, index
                 )
-                _commit(policy, fingerprint, kind, chunk, chunk_results, snapshot, attempts)
+                _commit(
+                    policy, fingerprint, kind, context, chunk, index,
+                    chunk_results, snapshot, attempts,
+                )
             telemetry.registry.merge(snapshot)
             for result in chunk_results:
                 results.append(result)
@@ -346,7 +384,9 @@ class ProcessExecutor:
                             policy,
                             fingerprints[index] if fingerprints is not None else None,
                             kind,
+                            context,
                             chunks[index],
+                            index,
                             chunk_results,
                             snapshots[index],
                             attempts.get(index, 0) + 1,

@@ -1,0 +1,50 @@
+"""Fleet-scale report layer: dashboards and diffs from durable stores.
+
+Three layers over a campaign store (docs/REPORTING.md):
+
+* :mod:`repro.report.extract` — reassemble logical runs from chunk
+  records (:func:`extract_store`, :class:`RunSlice`);
+* :mod:`repro.report.render` — deterministic static-HTML dashboards
+  (:func:`render_report`);
+* :mod:`repro.report.diff` — cross-store comparison with tolerance
+  gating (:func:`diff_stores`, :class:`StoreDiff`).
+
+Exposed on the command line as ``python -m repro.cli report``.
+"""
+
+from repro.report.diff import (
+    RunDelta,
+    StoreDiff,
+    diff_stores,
+    render_diff_html,
+    render_diff_text,
+)
+from repro.report.extract import (
+    INTERNAL_KINDS,
+    RunSlice,
+    StoreExtract,
+    extract_due_report,
+    extract_store,
+)
+from repro.report.format import DUE_FORMATS, format_due_rows
+from repro.report.paper import PAPER_DUE, PAPER_FIG6_AVERAGES, PAPER_TABLE1
+from repro.report.render import render_report
+
+__all__ = [
+    "DUE_FORMATS",
+    "INTERNAL_KINDS",
+    "PAPER_DUE",
+    "PAPER_FIG6_AVERAGES",
+    "PAPER_TABLE1",
+    "RunDelta",
+    "RunSlice",
+    "StoreDiff",
+    "StoreExtract",
+    "diff_stores",
+    "extract_due_report",
+    "extract_store",
+    "format_due_rows",
+    "render_diff_html",
+    "render_diff_text",
+    "render_report",
+]

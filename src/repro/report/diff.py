@@ -1,0 +1,242 @@
+"""Cross-campaign diffing: align two store extractions, report deltas.
+
+Runs are aligned by their durable identity — the canonical JSON of the
+context payload each chunk was fingerprinted under (the same lineage the
+execution engine uses for cache addressing), so "the FMXM ECC-ON campaign
+at seed 3" in store A pairs with the same logical run in store B no matter
+which backend, worker count, or chunk partition produced either side.
+
+Two levels of delta:
+
+* **record-level** — the reassembled, task-ordered result sequences are
+  compared element-wise in their codec encoding.  Any difference here
+  means the two stores disagree about what the run *computed* (a
+  determinism break, a code change, or a different seed).
+* **metric-level** — the flat :meth:`RunSlice.metrics` dicts are compared
+  under a relative tolerance; this is the CI gate (``report --diff A B
+  --tolerance 0.05``), tolerant of sampling noise between distinct runs
+  while pinning exact replays to zero drift.
+
+A self-diff is empty by construction; the determinism suite asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.report.extract import RunSlice, StoreExtract
+from repro.store.codec import encode_results
+
+#: how many changed-record indices a delta keeps for display
+_MAX_CHANGED_SHOWN = 10
+
+
+@dataclass
+class RunDelta:
+    """One aligned run pair (or an unpaired run) and everything that differs."""
+
+    kind: str
+    key: str
+    label: str
+    status: str                     # "match" | "changed" | "only_a" | "only_b"
+    evaluations: Tuple[int, int] = (0, 0)
+    #: records present on one side only (count), and changed positions
+    records_only_a: int = 0
+    records_only_b: int = 0
+    changed_records: List[int] = field(default_factory=list)
+    changed_record_count: int = 0
+    #: metric → (a, b, b - a); only metrics that differ are kept
+    metric_deltas: Dict[str, Tuple[float, float, float]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "match"
+
+
+@dataclass
+class StoreDiff:
+    """The full comparison of two extractions."""
+
+    runs: List[RunDelta]
+
+    @property
+    def is_empty(self) -> bool:
+        return all(run.clean for run in self.runs)
+
+    def violations(self, tolerance: float) -> List[str]:
+        """Gate-worthy deltas: unpaired runs always violate; metric deltas
+        violate when the relative difference exceeds ``tolerance``."""
+        out: List[str] = []
+        for run in self.runs:
+            if run.status == "only_a":
+                out.append(f"{run.label}: present only in store A")
+            elif run.status == "only_b":
+                out.append(f"{run.label}: present only in store B")
+                continue
+            for name, (a, b, delta) in sorted(run.metric_deltas.items()):
+                scale = max(abs(a), abs(b), 1.0)
+                if abs(delta) / scale > tolerance:
+                    out.append(
+                        f"{run.label}: {name} {a:g} → {b:g} "
+                        f"({100.0 * delta / scale:+.1f}% > ±{100.0 * tolerance:.1f}%)"
+                    )
+        return out
+
+
+def _diff_records(a: RunSlice, b: RunSlice) -> Tuple[int, int, List[int], int]:
+    """Element-wise comparison of the task-ordered record sequences, in
+    codec encoding (the canonical durable form)."""
+    enc_a = encode_results(a.records)
+    enc_b = encode_results(b.records)
+    changed = [
+        i for i, (ra, rb) in enumerate(zip(enc_a, enc_b)) if ra != rb
+    ]
+    only_a = max(0, len(enc_a) - len(enc_b))
+    only_b = max(0, len(enc_b) - len(enc_a))
+    return only_a, only_b, changed[:_MAX_CHANGED_SHOWN], len(changed)
+
+
+def _diff_metrics(
+    a: RunSlice, b: RunSlice
+) -> Dict[str, Tuple[float, float, float]]:
+    metrics_a, metrics_b = a.metrics(), b.metrics()
+    out: Dict[str, Tuple[float, float, float]] = {}
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        va = float(metrics_a.get(name, 0.0))
+        vb = float(metrics_b.get(name, 0.0))
+        if va != vb:
+            out[name] = (va, vb, vb - va)
+    return out
+
+
+def diff_stores(extract_a: StoreExtract, extract_b: StoreExtract) -> StoreDiff:
+    """Align the runs of two extractions by durable identity and diff them."""
+    index_a = {(s.kind, s.key): s for s in extract_a.slices}
+    index_b = {(s.kind, s.key): s for s in extract_b.slices}
+    runs: List[RunDelta] = []
+    for key in sorted(set(index_a) | set(index_b)):
+        a, b = index_a.get(key), index_b.get(key)
+        if a is None:
+            assert b is not None
+            runs.append(RunDelta(
+                kind=b.kind, key=b.key, label=b.label(), status="only_b",
+                evaluations=(0, b.evaluations()),
+            ))
+            continue
+        if b is None:
+            runs.append(RunDelta(
+                kind=a.kind, key=a.key, label=a.label(), status="only_a",
+                evaluations=(a.evaluations(), 0),
+            ))
+            continue
+        only_a, only_b, changed, changed_count = _diff_records(a, b)
+        metric_deltas = _diff_metrics(a, b)
+        identical = (
+            not changed_count and not only_a and not only_b
+            and not metric_deltas and a.model() == b.model()
+        )
+        runs.append(RunDelta(
+            kind=a.kind, key=a.key, label=a.label(),
+            status="match" if identical else "changed",
+            evaluations=(a.evaluations(), b.evaluations()),
+            records_only_a=only_a, records_only_b=only_b,
+            changed_records=changed, changed_record_count=changed_count,
+            metric_deltas=metric_deltas,
+        ))
+    return StoreDiff(runs=runs)
+
+
+# ---------------------------------------------------------------- rendering
+def render_diff_text(diff: StoreDiff, tolerance: Optional[float] = None) -> str:
+    """Console rendering: one line per run, deltas indented beneath."""
+    lines: List[str] = []
+    for run in diff.runs:
+        if run.status == "match":
+            lines.append(f"= {run.label} ({run.evaluations[0]} evaluations)")
+            continue
+        if run.status in ("only_a", "only_b"):
+            side = "A" if run.status == "only_a" else "B"
+            count = run.evaluations[0] or run.evaluations[1]
+            lines.append(f"! {run.label}: only in store {side} ({count} evaluations)")
+            continue
+        lines.append(f"~ {run.label}")
+        if run.changed_record_count:
+            shown = ", ".join(str(i) for i in run.changed_records)
+            more = run.changed_record_count - len(run.changed_records)
+            suffix = f" (+{more} more)" if more > 0 else ""
+            lines.append(f"    {run.changed_record_count} record(s) differ "
+                         f"at tasks {shown}{suffix}")
+        if run.records_only_a or run.records_only_b:
+            lines.append(
+                f"    record counts differ: A={run.evaluations[0]} B={run.evaluations[1]}"
+            )
+        for name, (a, b, delta) in sorted(run.metric_deltas.items()):
+            lines.append(f"    {name}: {a:g} → {b:g} ({delta:+g})")
+    if not diff.runs:
+        lines.append("no runs found in either store")
+    elif diff.is_empty:
+        lines.append("stores are identical at the record and metric level")
+    if tolerance is not None:
+        violations = diff.violations(tolerance)
+        if violations:
+            lines.append("")
+            lines.append(f"violations beyond ±{100.0 * tolerance:.1f}%:")
+            lines.extend(f"  {v}" for v in violations)
+        else:
+            lines.append(f"no deltas beyond ±{100.0 * tolerance:.1f}%")
+    return "\n".join(lines) + "\n"
+
+
+def render_diff_html(diff: StoreDiff, tolerance: Optional[float] = None) -> str:
+    """Dashboard-styled diff page (same determinism contract as reports)."""
+    import html as _html
+
+    def esc(v: Any) -> str:
+        return _html.escape(str(v), quote=True)
+
+    rows: List[str] = []
+    for run in diff.runs:
+        mark = {"match": "=", "changed": "~", "only_a": "A", "only_b": "B"}[run.status]
+        detail: List[str] = []
+        if run.changed_record_count:
+            detail.append(f"{run.changed_record_count} record(s) differ")
+        for name, (a, b, delta) in sorted(run.metric_deltas.items()):
+            detail.append(f"{name}: {a:g} → {b:g}")
+        rows.append(
+            f"<tr><td>{esc(mark)}</td><td>{esc(run.label)}</td>"
+            f"<td>{run.evaluations[0]}</td><td>{run.evaluations[1]}</td>"
+            f"<td>{esc('; '.join(detail) or '—')}</td></tr>"
+        )
+    verdict = (
+        "<p><strong>Stores are identical.</strong></p>"
+        if diff.is_empty
+        else "<p class='warn'><strong>Stores differ.</strong></p>"
+    )
+    gate = ""
+    if tolerance is not None:
+        violations = diff.violations(tolerance)
+        if violations:
+            items = "".join(f"<li>{esc(v)}</li>" for v in violations)
+            gate = (
+                f"<h2>Tolerance violations (±{100.0 * tolerance:.1f}%)</h2>"
+                f"<ul>{items}</ul>"
+            )
+        else:
+            gate = f"<p>No deltas beyond ±{100.0 * tolerance:.1f}%.</p>"
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>"
+        "<title>Campaign store diff</title><style>"
+        "body{font-family:Inter,system-ui,sans-serif;margin:2rem auto;max-width:72rem;}"
+        "table{border-collapse:collapse;font-size:.85rem;}"
+        "th,td{border:1px solid #d8dee4;padding:.3rem .6rem;}"
+        ".warn{color:#a33;}"
+        "</style></head><body><h1>Campaign store diff</h1>"
+        + verdict
+        + "<table><thead><tr><th></th><th>run</th><th>evals A</th>"
+          "<th>evals B</th><th>deltas</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+        + gate
+        + "</body></html>\n"
+    )

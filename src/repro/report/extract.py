@@ -1,0 +1,339 @@
+"""Extraction layer: rebuild campaign-level models from a durable store.
+
+A campaign store holds chunk records — codec-encoded task results plus the
+durable context payload each chunk was evaluated under (committed by
+:func:`repro.exec.engine.chunk_meta`).  This module walks those records and
+reassembles the *logical* runs: one :class:`RunSlice` per distinct
+(kind, context) pair, with the decoded records restored to task order, the
+per-chunk telemetry counters merged, and quarantine bookkeeping attached.
+
+Everything here is a pure function of store *content*:
+
+* chunks are read in fingerprint order and re-sorted by their committed
+  ``sequence`` position, so the reconstruction is identical for SQLite and
+  JSONL backends and for any ``workers=`` the producing run used
+  (different worker counts partition the same ordered task list into
+  different chunks; concatenating the chunks in sequence order recovers
+  the same record sequence);
+* only telemetry *counters* are extracted — histogram bucket contents
+  record wall-clock latencies and gauges are last-write-wins, neither of
+  which is a function of the store's logical content;
+* wall-clock fields (``created``) and retry counts (``attempts``) never
+  enter the model — two stores describing the same work extract equal.
+
+:func:`RunSlice.model` is the canonical comparable form the determinism
+suite asserts on and the diff layer aligns with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import StoreError
+from repro.faultsim.outcomes import Outcome
+from repro.store.backends import DONE, QUARANTINED
+from repro.store.codec import decode_results, encode_results
+from repro.store.fingerprint import canonical_json
+from repro.store.store import StoreLike, open_store
+
+#: store record kinds that are engine bookkeeping, not campaign results
+#: (replay-session tapes depend on which process evaluated what, so they
+#: are not part of a store's logical content)
+INTERNAL_KINDS = frozenset({"replay_session"})
+
+#: counter families whose values are event counts (deterministic); the
+#: extraction keeps every counter — this names the ones reports highlight
+SANDBOX_COUNTER_PREFIX = "sandbox."
+
+
+@dataclass
+class RunSlice:
+    """One logical run reassembled from a store: a campaign, a beam
+    exposure, or a memory-AVF sweep (``kind`` tells which)."""
+
+    kind: str
+    key: str                                  # canonical JSON of the context
+    context: Dict[str, Any]                   # durable context payload
+    records: List[Any] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: run-length (resource, count) pairs aligned with ``records`` (beam)
+    resources: List[Tuple[str, int]] = field(default_factory=list)
+    chunks: int = 0
+    quarantined: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    # -- identity ---------------------------------------------------------------
+    @property
+    def workload(self) -> str:
+        payload = self.context.get("workload")
+        if isinstance(payload, (list, tuple)) and len(payload) >= 2:
+            return str(payload[1])
+        return "unknown"
+
+    @property
+    def seed(self) -> Optional[int]:
+        payload = self.context.get("workload")
+        if isinstance(payload, (list, tuple)) and len(payload) >= 3:
+            return int(payload[2])
+        return None
+
+    def label(self) -> str:
+        """Stable human label: workload · device · the distinguishing knobs."""
+        parts = [self.workload, str(self.context.get("device", "unknown"))]
+        if "framework" in self.context:
+            parts.append(str(self.context["framework"]))
+        if "ecc" in self.context:
+            parts.append(f"ecc={self.context['ecc']}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return " · ".join(parts)
+
+    # -- aggregation ------------------------------------------------------------
+    def outcome_counts(self) -> Dict[str, int]:
+        counts = {o.value: 0 for o in Outcome}
+        for record in self.records:
+            outcome = getattr(record, "outcome", record)
+            if isinstance(outcome, Outcome):
+                counts[outcome.value] += 1
+        return counts
+
+    def evaluations(self) -> int:
+        return len(self.records)
+
+    def avf(self) -> Dict[str, float]:
+        """Outcome fractions (AVF per Mukherjee / paper §III-D)."""
+        n = self.evaluations()
+        if n == 0:
+            return {}
+        return {
+            name: count / n for name, count in sorted(self.outcome_counts().items())
+        }
+
+    def due_breakdown(self) -> Dict[str, int]:
+        """DUE provenance: machine-readable cause → count."""
+        table: Dict[str, int] = {}
+        for record in self.records:
+            if getattr(record, "outcome", None) is Outcome.DUE:
+                cause = getattr(record, "due_cause", "") or "unknown"
+                table[cause] = table.get(cause, 0) + 1
+        return dict(sorted(table.items()))
+
+    def due_domains(self) -> Dict[str, int]:
+        """Core vs uncore split of the DUE records (uncore injections carry
+        ``uncore:<unit>`` record groups; everything else is core)."""
+        domains = {"core": 0, "uncore": 0}
+        for record in self.records:
+            if getattr(record, "outcome", None) is not Outcome.DUE:
+                continue
+            group = getattr(record, "group", "") or ""
+            domains["uncore" if group.startswith("uncore:") else "core"] += 1
+        return domains
+
+    def contained_count(self) -> int:
+        return sum(1 for r in self.records if getattr(r, "contained", False))
+
+    def by_group(self) -> Dict[str, Dict[str, int]]:
+        """Site group → outcome counts (campaign records only)."""
+        table: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            group = getattr(record, "group", None)
+            if group is None:
+                continue
+            counts = table.setdefault(group, {o.value: 0 for o in Outcome})
+            counts[record.outcome.value] += 1
+        return dict(sorted(table.items()))
+
+    def by_op(self) -> Dict[str, Dict[str, int]]:
+        """Instruction class hit → outcome counts (campaign records)."""
+        table: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            op = getattr(record, "op", None)
+            if op is None:
+                continue
+            counts = table.setdefault(op.name, {o.value: 0 for o in Outcome})
+            counts[record.outcome.value] += 1
+        return dict(sorted(table.items()))
+
+    def by_resource(self) -> Dict[str, Dict[str, int]]:
+        """Beam resource → outcome counts, re-paired through the committed
+        run-length resource encoding (results map 1:1 to tasks in order)."""
+        table: Dict[str, Dict[str, int]] = {}
+        pos = 0
+        for resource, count in self.resources:
+            counts = table.setdefault(resource, {o.value: 0 for o in Outcome})
+            for record in self.records[pos : pos + count]:
+                outcome = getattr(record, "outcome", record)
+                if isinstance(outcome, Outcome):
+                    counts[outcome.value] += 1
+            pos += count
+        return dict(sorted(table.items()))
+
+    def instruction_mix(self) -> Dict[str, float]:
+        """Per-opcode-class dynamic instruction counts from the merged
+        telemetry counters (the store-side Figure 1 analogue)."""
+        prefix = "sim.instructions."
+        return {
+            name[len(prefix):]: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(prefix)
+        }
+
+    def sandbox_counters(self) -> Dict[str, float]:
+        return {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(SANDBOX_COUNTER_PREFIX)
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """The flat metric dict the diff layer compares under --tolerance."""
+        metrics: Dict[str, float] = {"evaluations": float(self.evaluations())}
+        for name, value in self.avf().items():
+            metrics[f"avf_{name}"] = value
+        for cause, count in self.due_breakdown().items():
+            metrics[f"due.{cause}"] = float(count)
+        metrics["contained"] = float(self.contained_count())
+        metrics["quarantined_chunks"] = float(self.quarantined)
+        return metrics
+
+    # -- canonical comparable form ----------------------------------------------
+    def model(self) -> Dict[str, Any]:
+        """Partition-invariant canonical form: equal for any backend and
+        any ``workers=`` that produced the same logical run."""
+        return {
+            "kind": self.kind,
+            "context": self.context,
+            "records": encode_results(self.records),
+            "resources": [list(run) for run in self.resources],
+            "counters": dict(sorted(self.counters.items())),
+            "quarantined": self.quarantined,
+            "errors": sorted(self.errors),
+        }
+
+
+@dataclass
+class StoreExtract:
+    """Everything a report needs from one store, in deterministic order."""
+
+    slices: List[RunSlice]
+    chunks: int = 0
+    done: int = 0
+    quarantined: int = 0
+    tasks: int = 0
+    internal: int = 0                          # bookkeeping records skipped
+    kinds: Dict[str, int] = field(default_factory=dict)
+
+    def get(self, kind: str, key: str) -> Optional[RunSlice]:
+        for item in self.slices:
+            if item.kind == kind and item.key == key:
+                return item
+        return None
+
+    def model(self) -> Dict[str, Any]:
+        return {
+            "slices": [s.model() for s in self.slices],
+            "quarantined": self.quarantined,
+        }
+
+
+def _merge_counters(into: Dict[str, float], snapshot: Optional[dict]) -> None:
+    if not snapshot:
+        return
+    for name, value in snapshot.get("counters", {}).items():
+        into[name] = into.get(name, 0.0) + value
+
+
+def extract_store(spec: StoreLike) -> StoreExtract:
+    """Open ``spec`` and reassemble its logical runs (see module doc).
+
+    Raises :class:`~repro.common.errors.StoreError` when the store cannot
+    be opened; an *empty* store extracts to an empty
+    :class:`StoreExtract` — callers decide whether that is an error
+    (the CLI exits non-zero; the library stays permissive).
+    """
+    store = open_store(spec)
+    grouped: Dict[Tuple[str, str], List] = {}
+    extract = StoreExtract(slices=[])
+    for record in store.iter_chunks():
+        extract.chunks += 1
+        extract.kinds[record.kind] = extract.kinds.get(record.kind, 0) + 1
+        if record.kind in INTERNAL_KINDS:
+            extract.internal += 1
+            continue
+        meta = record.meta or {}
+        context = meta.get("context")
+        key = canonical_json(context) if isinstance(context, dict) else f"legacy:{record.kind}"
+        grouped.setdefault((record.kind, key), []).append(record)
+        if record.status == DONE:
+            extract.done += 1
+            extract.tasks += int(meta.get("tasks", len(record.payload or [])))
+        elif record.status == QUARANTINED:
+            extract.quarantined += 1
+
+    for (kind, key) in sorted(grouped):
+        records = grouped[(kind, key)]
+        context = next(
+            (
+                r.meta["context"]
+                for r in records
+                if isinstance((r.meta or {}).get("context"), dict)
+            ),
+            {},
+        )
+        item = RunSlice(kind=kind, key=key, context=context)
+        # sequence order restores the producing run's task order; legacy
+        # chunks (no sequence) sort after, by fingerprint, which is still
+        # deterministic — just not guaranteed to be task order
+        done = sorted(
+            (r for r in records if r.status == DONE),
+            key=lambda r: (
+                0 if "sequence" in (r.meta or {}) else 1,
+                (r.meta or {}).get("sequence", 0),
+                r.fingerprint,
+            ),
+        )
+        for record in done:
+            try:
+                item.records.extend(decode_results(record.payload or []))
+            except (StoreError, ValueError, KeyError) as exc:
+                item.errors.append(f"undecodable chunk {record.fingerprint[:12]}: {exc}")
+                continue
+            item.chunks += 1
+            for resource, count in (record.meta or {}).get("resources", []):
+                if item.resources and item.resources[-1][0] == resource:
+                    item.resources[-1] = (resource, item.resources[-1][1] + count)
+                else:
+                    item.resources.append((str(resource), int(count)))
+            _merge_counters(item.counters, record.telemetry)
+        for record in records:
+            if record.status == QUARANTINED:
+                item.quarantined += 1
+                if record.error:
+                    item.errors.append(record.error)
+        extract.slices.append(item)
+    return extract
+
+
+def extract_due_report(extract: StoreExtract) -> List[Dict[str, Any]]:
+    """Per-run DUE provenance rows — the shared model behind the
+    ``due-report`` formatter and the dashboard's DUE section."""
+    rows: List[Dict[str, Any]] = []
+    for item in extract.slices:
+        counts = item.outcome_counts()
+        if not item.records:
+            continue
+        rows.append(
+            {
+                "kind": item.kind,
+                "workload": item.workload,
+                "label": item.label(),
+                "evaluations": item.evaluations(),
+                "due": counts[Outcome.DUE.value],
+                "avf_due": round(counts[Outcome.DUE.value] / item.evaluations(), 4),
+                "due_breakdown": item.due_breakdown(),
+                "due_domains": item.due_domains(),
+                "contained": item.contained_count(),
+            }
+        )
+    return rows

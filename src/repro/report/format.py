@@ -1,0 +1,46 @@
+"""Shared row formatters for the DUE provenance report.
+
+One row model — the dicts produced by
+:func:`repro.report.extract.extract_due_report` (and by the live
+``due-report`` path, which builds the same shape from fresh runs) — and
+three renderings of it: machine-readable JSON, aligned console text, and
+GitHub-flavored markdown.  Keeping the formatter here means the CLI and
+the dashboard never disagree about what a DUE row contains.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.common.tables import render_table, rows_to_markdown
+
+DUE_FORMATS = ("text", "json", "md")
+
+
+def _flatten(row: Dict[str, Any]) -> Dict[str, Any]:
+    breakdown = row.get("due_breakdown") or {}
+    domains = row.get("due_domains") or {}
+    return {
+        "kind": row.get("kind", ""),
+        "run": row.get("label", row.get("workload", "")),
+        "evals": row.get("evaluations", "-"),
+        "DUE": row.get("due", 0),
+        "AVF DUE": row.get("avf_due", "-"),
+        "core": domains.get("core", "-"),
+        "uncore": domains.get("uncore", "-"),
+        "contained": row.get("contained", 0),
+        "causes": ", ".join(f"{c}={n}" for c, n in sorted(breakdown.items())) or "-",
+    }
+
+
+def format_due_rows(rows: Sequence[Dict[str, Any]], fmt: str = "text") -> str:
+    """Render DUE provenance rows as ``text`` | ``json`` | ``md``."""
+    if fmt not in DUE_FORMATS:
+        raise ValueError(f"unknown due-report format {fmt!r}; choose from {DUE_FORMATS}")
+    if fmt == "json":
+        return json.dumps(list(rows), indent=2) + "\n"
+    flat: List[Dict[str, Any]] = [_flatten(row) for row in rows]
+    if fmt == "md":
+        return rows_to_markdown(flat)
+    return render_table(flat, title="DUE provenance")

@@ -1,0 +1,227 @@
+"""Deterministic inline-SVG chart primitives for the report renderer.
+
+Dependency-free by design (ROADMAP: reports must render anywhere a store
+can be read, including CI artifact viewers) and *byte-deterministic*: all
+coordinates go through one fixed-precision formatter, element order is the
+input order, and nothing here reads clocks, RNGs or ids — the same data
+always renders the same bytes.  Charts are sized in absolute pixels with
+``viewBox`` scaling, so the surrounding HTML can lay them out responsively
+without touching the markup.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence, Tuple
+
+#: categorical palette (colorblind-safe ordering: blue, orange, teal, red,
+#: purple, olive) — outcome charts map masked/sdc/due to the first three
+PALETTE = ("#4878a8", "#e8872a", "#3fa07a", "#c44e52", "#8172b3", "#937860")
+
+#: outcome → color, fixed so every chart in a report agrees
+OUTCOME_COLORS = {"masked": "#b8c4d0", "sdc": "#e8872a", "due": "#c44e52"}
+
+FONT = "font-family='Inter,system-ui,sans-serif'"
+
+
+def _n(value: float) -> str:
+    """Fixed-precision coordinate formatting (the determinism choke point)."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def _esc(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _svg(width: float, height: float, body: List[str], role: str) -> str:
+    return (
+        f"<svg xmlns='http://www.w3.org/2000/svg' viewBox='0 0 {_n(width)} {_n(height)}' "
+        f"width='{_n(width)}' height='{_n(height)}' role='img' aria-label='{_esc(role)}'>"
+        + "".join(body)
+        + "</svg>"
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    title: str,
+    color: str = PALETTE[0],
+    width: float = 640.0,
+    bar_height: float = 16.0,
+    label_width: float = 180.0,
+) -> str:
+    """Horizontal bar chart: one (label, value) per row, value-annotated."""
+    if not rows:
+        return ""
+    gap = 6.0
+    top = 8.0
+    peak = max((abs(v) for _, v in rows), default=0.0)
+    plot_w = width - label_width - 64.0
+    height = top * 2 + len(rows) * (bar_height + gap)
+    body: List[str] = []
+    y = top
+    for label, value in rows:
+        w = plot_w * (abs(value) / peak) if peak > 0 else 0.0
+        ty = y + bar_height * 0.72
+        body.append(
+            f"<text x='{_n(label_width - 8)}' y='{_n(ty)}' text-anchor='end' "
+            f"font-size='11' {FONT} fill='#333'>{_esc(label)}</text>"
+        )
+        body.append(
+            f"<rect x='{_n(label_width)}' y='{_n(y)}' width='{_n(w)}' "
+            f"height='{_n(bar_height)}' fill='{color}' rx='2'/>"
+        )
+        body.append(
+            f"<text x='{_n(label_width + w + 6)}' y='{_n(ty)}' font-size='11' "
+            f"{FONT} fill='#555'>{_esc(_fmt_value(value))}</text>"
+        )
+        y += bar_height + gap
+    return _svg(width, height, body, title)
+
+
+def stacked_outcome_chart(
+    rows: Sequence[Tuple[str, Dict[str, int]]],
+    title: str,
+    width: float = 640.0,
+    bar_height: float = 18.0,
+    label_width: float = 200.0,
+) -> str:
+    """Per-row stacked outcome shares (masked / sdc / due), normalized to
+    100% — the Figure 4 analogue (AVF composition per campaign/resource)."""
+    if not rows:
+        return ""
+    gap = 7.0
+    top = 24.0
+    plot_w = width - label_width - 56.0
+    height = top + len(rows) * (bar_height + gap) + 8.0
+    body: List[str] = []
+    # legend
+    x = label_width
+    for name in ("masked", "sdc", "due"):
+        body.append(
+            f"<rect x='{_n(x)}' y='6' width='10' height='10' rx='2' "
+            f"fill='{OUTCOME_COLORS[name]}'/>"
+        )
+        body.append(
+            f"<text x='{_n(x + 14)}' y='15' font-size='11' {FONT} "
+            f"fill='#333'>{name}</text>"
+        )
+        x += 70.0
+    y = top
+    for label, counts in rows:
+        total = sum(counts.get(k, 0) for k in OUTCOME_COLORS) or 1
+        ty = y + bar_height * 0.7
+        body.append(
+            f"<text x='{_n(label_width - 8)}' y='{_n(ty)}' text-anchor='end' "
+            f"font-size='11' {FONT} fill='#333'>{_esc(label)}</text>"
+        )
+        x = label_width
+        for name in ("masked", "sdc", "due"):
+            share = counts.get(name, 0) / total
+            w = plot_w * share
+            if w > 0:
+                body.append(
+                    f"<rect x='{_n(x)}' y='{_n(y)}' width='{_n(w)}' "
+                    f"height='{_n(bar_height)}' fill='{OUTCOME_COLORS[name]}'/>"
+                )
+            x += w
+        due_share = counts.get("due", 0) / total
+        sdc_share = counts.get("sdc", 0) / total
+        body.append(
+            f"<text x='{_n(label_width + plot_w + 6)}' y='{_n(ty)}' font-size='10' "
+            f"{FONT} fill='#555'>{_esc(f'{100 * sdc_share:.1f}% / {100 * due_share:.1f}%')}</text>"
+        )
+        y += bar_height + gap
+    return _svg(width, height, body, title)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Sequence[float]]],
+    series_names: Sequence[str],
+    title: str,
+    width: float = 640.0,
+    height: float = 220.0,
+) -> str:
+    """Vertical grouped bars — the Figure 3/5/6 analogue shape (one cluster
+    per code/resource, one bar per series)."""
+    if not groups or not series_names:
+        return ""
+    left, bottom, top = 44.0, 42.0, 26.0
+    plot_w = width - left - 12.0
+    plot_h = height - top - bottom
+    peak = max(
+        (abs(v) for _, values in groups for v in values), default=0.0
+    ) or 1.0
+    cluster_w = plot_w / len(groups)
+    bar_w = max(2.0, (cluster_w * 0.72) / len(series_names))
+    body: List[str] = []
+    # legend
+    x = left
+    for i, name in enumerate(series_names):
+        color = PALETTE[i % len(PALETTE)]
+        body.append(f"<rect x='{_n(x)}' y='8' width='10' height='10' rx='2' fill='{color}'/>")
+        body.append(
+            f"<text x='{_n(x + 14)}' y='17' font-size='11' {FONT} fill='#333'>{_esc(name)}</text>"
+        )
+        x += 14.0 + 8.0 * max(4, len(str(name)))
+    # y axis: 0 and peak gridlines
+    for frac in (0.0, 0.5, 1.0):
+        gy = top + plot_h * (1.0 - frac)
+        body.append(
+            f"<line x1='{_n(left)}' y1='{_n(gy)}' x2='{_n(left + plot_w)}' y2='{_n(gy)}' "
+            f"stroke='#ddd' stroke-width='1'/>"
+        )
+        body.append(
+            f"<text x='{_n(left - 6)}' y='{_n(gy + 4)}' text-anchor='end' font-size='10' "
+            f"{FONT} fill='#777'>{_esc(_fmt_value(peak * frac))}</text>"
+        )
+    for g, (label, values) in enumerate(groups):
+        cx = left + cluster_w * g + cluster_w * 0.14
+        for i, value in enumerate(values):
+            h = plot_h * (abs(value) / peak)
+            color = PALETTE[i % len(PALETTE)]
+            body.append(
+                f"<rect x='{_n(cx + i * bar_w)}' y='{_n(top + plot_h - h)}' "
+                f"width='{_n(bar_w * 0.9)}' height='{_n(h)}' fill='{color}'/>"
+            )
+        body.append(
+            f"<text x='{_n(left + cluster_w * g + cluster_w / 2)}' "
+            f"y='{_n(top + plot_h + 14)}' text-anchor='middle' font-size='10' {FONT} "
+            f"fill='#333' transform='rotate(28 {_n(left + cluster_w * g + cluster_w / 2)} "
+            f"{_n(top + plot_h + 14)})'>{_esc(label)}</text>"
+        )
+    return _svg(width, height, body, title)
+
+
+def sparkline(
+    values: Sequence[float],
+    title: str,
+    width: float = 260.0,
+    height: float = 48.0,
+    color: str = PALETTE[0],
+) -> str:
+    """Tiny trend line with first/last markers — the bench trajectory."""
+    if not values:
+        return ""
+    pad = 6.0
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    points = []
+    for i, value in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / (n - 1) if n > 1 else 0.5)
+        y = pad + (height - 2 * pad) * (1.0 - (value - lo) / span)
+        points.append((x, y))
+    path = " ".join(f"{'M' if i == 0 else 'L'}{_n(x)},{_n(y)}" for i, (x, y) in enumerate(points))
+    body = [
+        f"<path d='{path}' fill='none' stroke='{color}' stroke-width='1.5'/>",
+        f"<circle cx='{_n(points[-1][0])}' cy='{_n(points[-1][1])}' r='2.5' fill='{color}'/>",
+    ]
+    return _svg(width, height, body, title)

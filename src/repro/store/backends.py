@@ -159,6 +159,25 @@ class SQLiteBackend:
         for (fp,) in self._conn.execute("SELECT fingerprint FROM chunks"):
             yield fp
 
+    def records(self) -> Iterator[ChunkRecord]:
+        """All records, ordered by fingerprint (deterministic across
+        backends — SQLite's natural row order is insertion-dependent)."""
+        for row in self._conn.execute(
+            "SELECT fingerprint, kind, status, attempts, error, payload, telemetry, "
+            "meta, created FROM chunks ORDER BY fingerprint"
+        ):
+            yield ChunkRecord(
+                fingerprint=row[0],
+                kind=row[1],
+                status=row[2],
+                attempts=row[3],
+                error=row[4],
+                payload=json.loads(row[5]) if row[5] is not None else None,
+                telemetry=json.loads(row[6]) if row[6] is not None else None,
+                meta=json.loads(row[7]),
+                created=row[8],
+            )
+
     def close(self) -> None:
         self._conn.close()
 
@@ -218,6 +237,12 @@ class JsonlBackend:
 
     def fingerprints(self) -> Iterator[str]:
         return iter(list(self._index))
+
+    def records(self) -> Iterator[ChunkRecord]:
+        """All records, ordered by fingerprint (matches SQLiteBackend, so
+        the two backends present identical read-side views of one run)."""
+        for fingerprint in sorted(self._index):
+            yield self._index[fingerprint]
 
     def close(self) -> None:
         if self._handle is not None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import pathlib
 import time
-from typing import Optional, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.common.errors import StoreError
 from repro.store.backends import (
@@ -114,6 +114,44 @@ class CampaignStore:
     # -- introspection ----------------------------------------------------------
     def count(self, status: Optional[str] = None) -> int:
         return self.backend.count(status)
+
+    def iter_chunks(
+        self, kind: Optional[str] = None, status: Optional[str] = None
+    ) -> Iterator[ChunkRecord]:
+        """Iterate stored chunk records, ordered by fingerprint.
+
+        The read side of the store: report and diff tooling walk every
+        durable chunk without touching the execution engine.  Both backends
+        yield the same sequence for the same logical content, so anything
+        derived from this iterator is backend-invariant.
+        """
+        for record in self.backend.records():
+            if kind is not None and record.kind != kind:
+                continue
+            if status is not None and record.status != status:
+                continue
+            yield record
+
+    def summary(self) -> dict:
+        """Chunk census: totals plus per-kind and per-status counts.
+
+        Deterministic (sorted keys, no timestamps) — safe to embed in
+        byte-stable reports.
+        """
+        kinds: dict = {}
+        statuses: dict = {}
+        tasks = 0
+        for record in self.backend.records():
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+            statuses[record.status] = statuses.get(record.status, 0) + 1
+            tasks += int(record.meta.get("tasks", len(record.payload or [])))
+        return {
+            "chunks": sum(statuses.values()),
+            "done": statuses.get(DONE, 0),
+            "quarantined": statuses.get(QUARANTINED, 0),
+            "tasks": tasks,
+            "kinds": dict(sorted(kinds.items())),
+        }
 
     def close(self) -> None:
         self.backend.close()

@@ -8,11 +8,20 @@ read side of ``--trace-out``.  The summary renders:
 * histogram digests (count / mean / p95 per metric),
 * a span roll-up (calls and total seconds per span name, from the
   ``span_end`` events).
+
+The argument may also be a durable *campaign store* (``sqlite:`` /
+``jsonl:`` prefix, an SQLite file, or a JSONL file of chunk records):
+then the summary is built from the per-chunk telemetry snapshots the
+execution engine committed alongside each chunk, one section per
+reassembled run — no trace file needed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
+import sys
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.tables import render_table
@@ -104,13 +113,95 @@ def render_report(events: List[Event], top: int = 40) -> str:
     return "\n\n".join(chunks)
 
 
+def is_store_path(spec: str) -> bool:
+    """Heuristically decide whether ``spec`` names a campaign store
+    rather than a telemetry trace.
+
+    Explicit ``sqlite:`` / ``jsonl:`` prefixes always mean a store; an
+    SQLite file is recognized by its magic header; a JSONL file is a
+    store when its first intact line is a chunk record (has a
+    ``fingerprint`` key — trace events never do).
+    """
+    if spec.startswith(("sqlite:", "jsonl:")):
+        return True
+    path = pathlib.Path(spec)
+    if not path.is_file():
+        return False
+    with open(path, "rb") as handle:
+        head = handle.read(16)
+    if head.startswith(b"SQLite format 3"):
+        return True
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                return isinstance(record, dict) and "fingerprint" in record
+    except (ValueError, UnicodeDecodeError):
+        return False
+    return False
+
+
+def render_store_report(spec: str, top: int = 40) -> str:
+    """Summarize the merged per-chunk telemetry snapshots of a store,
+    one section per reassembled run (docs/REPORTING.md)."""
+    # imported lazily: repro.report pulls in the store stack, which this
+    # module must not require for plain trace summaries
+    from repro.report.extract import extract_store
+
+    extract = extract_store(spec)
+    chunks: List[str] = [
+        f"store: {len(extract.slices)} run(s), {extract.tasks} task(s), "
+        f"{extract.quarantined} quarantined chunk(s)"
+    ]
+    for item in extract.slices:
+        counters = item.counters
+        header = f"run: {item.label()} ({item.evaluations()} evaluations)"
+        section = [header]
+        mix = instruction_mix_rows(counters)
+        if mix:
+            section.append(
+                render_table(mix, title="Instructions retired per opcode class")
+            )
+        plain = [
+            {"counter": name, "value": value}
+            for name, value in sorted(counters.items(), key=lambda kv: -kv[1])
+            if not name.startswith(INSTRUCTIONS_PREFIX)
+        ]
+        if plain:
+            if len(plain) > top:
+                section.append(f"(showing top {top} of {len(plain)} counters)")
+                plain = plain[:top]
+            section.append(render_table(plain, title="Counters"))
+        if not mix and not plain:
+            section.append("(no telemetry snapshots recorded for this run)")
+        chunks.append("\n\n".join(section))
+    return "\n\n".join(chunks)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments telemetry-report",
-        description="Summarize a JSONL telemetry trace written with --trace-out.",
+        description="Summarize a JSONL telemetry trace written with "
+        "--trace-out, or the telemetry snapshots inside a campaign store.",
     )
-    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument("trace", help="path to a JSONL trace file or a campaign store")
     parser.add_argument("--top", type=int, default=40, help="max counters to list")
     args = parser.parse_args(argv)
+    if is_store_path(args.trace):
+        from repro.common.errors import StoreError
+
+        try:
+            report = render_store_report(args.trace, top=args.top)
+        except StoreError as exc:
+            print(f"telemetry-report: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+        return 0
+    if not pathlib.Path(args.trace).is_file():
+        print(f"telemetry-report: no trace or store at {args.trace}", file=sys.stderr)
+        return 2
     print(render_report(read_trace(args.trace), top=args.top))
     return 0

@@ -1,0 +1,44 @@
+"""Atomic write and append-only history helpers."""
+
+import json
+
+from repro.common.atomicio import (
+    append_jsonl,
+    atomic_write_json,
+    atomic_write_text,
+    read_jsonl,
+)
+
+
+def test_atomic_write_text_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(target, "hello\n")
+    assert target.read_text() == "hello\n"
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_atomic_write_json_round_trips(tmp_path):
+    target = tmp_path / "out.json"
+    atomic_write_json(target, {"a": 1})
+    assert json.loads(target.read_text()) == {"a": 1}
+    assert target.read_text().endswith("\n")
+
+
+def test_append_jsonl_accumulates_in_order(tmp_path):
+    log = tmp_path / "history.jsonl"
+    append_jsonl(log, {"n": 1})
+    append_jsonl(log, {"n": 2})
+    assert read_jsonl(log) == [{"n": 1}, {"n": 2}]
+
+
+def test_read_jsonl_skips_torn_tail_and_blank_lines(tmp_path):
+    log = tmp_path / "history.jsonl"
+    append_jsonl(log, {"n": 1})
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write("\n")
+        handle.write('{"n": 2, "torn...')  # crash mid-append
+    assert read_jsonl(log) == [{"n": 1}]
+
+
+def test_read_jsonl_missing_file_reads_empty(tmp_path):
+    assert read_jsonl(tmp_path / "absent.jsonl") == []

@@ -1,0 +1,43 @@
+"""Shared fixtures: one tiny seeded campaign+beam run persisted into three
+equivalent stores (SQLite/JSONL backends, workers 1/2).  Session-scoped —
+the runs are deterministic, so every test reads the same durable content."""
+
+import pathlib
+
+import pytest
+
+import repro.api as api
+from repro.store.store import open_store
+
+INJECTIONS = 10
+FAULT_EVALS = 12
+SEED = 3
+
+
+def populate(store: str, workers: int = 1) -> None:
+    """One campaign + one beam exposure, checkpointed into ``store``."""
+    with open_store(store) as handle:
+        policy = api.ExecutionPolicy(store=handle)
+        api.run_campaign(
+            "FMXM", device="kepler", injections=INJECTIONS, seed=SEED,
+            ecc="on", workers=workers, policy=policy,
+        )
+        api.run_beam(
+            "FMXM", device="kepler", ecc="off", beam_hours=12, mode="expected",
+            max_fault_evals=FAULT_EVALS, seed=SEED, workers=workers, policy=policy,
+        )
+
+
+@pytest.fixture(scope="session")
+def stores(tmp_path_factory) -> dict:
+    """Three stores holding the same logical content: ``sqlite_w1``,
+    ``jsonl_w1`` (backend varies), ``sqlite_w2`` (partitioning varies)."""
+    root: pathlib.Path = tmp_path_factory.mktemp("report-stores")
+    specs = {
+        "sqlite_w1": (str(root / "w1.sqlite"), 1),
+        "jsonl_w1": ("jsonl:" + str(root / "w1.jsonl"), 1),
+        "sqlite_w2": (str(root / "w2.sqlite"), 2),
+    }
+    for spec, workers in specs.values():
+        populate(spec, workers=workers)
+    return {name: spec for name, (spec, _) in specs.items()}

@@ -1,0 +1,212 @@
+"""CLI surface of the report layer: exit codes, byte-stable artifacts,
+due-report formats, bench history, and the store-reading telemetry-report."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+# -- report: dashboards --------------------------------------------------------------
+
+
+def test_report_renders_byte_identical_html(stores, tmp_path, capsys):
+    out_a = tmp_path / "a.html"
+    out_b = tmp_path / "b.html"
+    assert cli_main(["report", "--store", stores["sqlite_w1"], "--out", str(out_a)]) == 0
+    assert cli_main(["report", "--store", stores["sqlite_w2"], "--out", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    assert "wrote" in capsys.readouterr().out
+    assert not list(tmp_path.glob("*.tmp"))  # atomic write
+
+
+def test_report_multiple_stores(stores, tmp_path):
+    out = tmp_path / "multi.html"
+    code = cli_main([
+        "report", "--store", stores["sqlite_w1"], "--store", stores["jsonl_w1"],
+        "--out", str(out),
+    ])
+    assert code == 0
+    assert "FMXM" in out.read_text()
+
+
+def test_report_missing_store_exits_2(tmp_path, capsys):
+    code = cli_main(["report", "--store", str(tmp_path / "nope.sqlite")])
+    assert code == 2
+    assert "no store" in capsys.readouterr().err
+
+
+def test_report_empty_store_exits_2(tmp_path, capsys):
+    from repro.store.store import open_store
+
+    spec = str(tmp_path / "empty.sqlite")
+    open_store(spec).close()
+    assert cli_main(["report", "--store", spec, "--out", str(tmp_path / "r.html")]) == 2
+    assert "empty" in capsys.readouterr().err
+
+
+def test_report_requires_a_mode():
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main(["report"])
+    assert excinfo.value.code == 2
+
+
+def test_report_rejects_mixed_modes(stores):
+    with pytest.raises(SystemExit) as excinfo:
+        cli_main([
+            "report", "--store", stores["sqlite_w1"],
+            "--diff", stores["sqlite_w1"], stores["jsonl_w1"],
+        ])
+    assert excinfo.value.code == 2
+
+
+# -- report: diff mode ---------------------------------------------------------------
+
+
+def test_self_diff_exits_0(stores, capsys):
+    code = cli_main(["report", "--diff", stores["sqlite_w1"], stores["jsonl_w1"]])
+    assert code == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_diff_beyond_tolerance_exits_1(stores, tmp_path, capsys):
+    import repro.api as api
+    from repro.store.store import open_store
+
+    grown = str(tmp_path / "grown.sqlite")
+    api.run_campaign(
+        "FMXM", device="kepler", injections=14, seed=3, ecc="on", policy=api.ExecutionPolicy(store=open_store(grown))
+    )
+    code = cli_main([
+        "report", "--diff", stores["sqlite_w1"], grown, "--tolerance", "0.05",
+    ])
+    assert code == 1
+    assert "violations" in capsys.readouterr().out
+
+
+def test_diff_writes_html_artifact(stores, tmp_path, capsys):
+    out = tmp_path / "diff.html"
+    code = cli_main([
+        "report", "--diff", stores["sqlite_w1"], stores["sqlite_w2"],
+        "--out", str(out),
+    ])
+    assert code == 0
+    assert "identical" in out.read_text()
+    capsys.readouterr()
+
+
+def test_diff_missing_store_exits_2(stores, tmp_path, capsys):
+    code = cli_main([
+        "report", "--diff", stores["sqlite_w1"], str(tmp_path / "nope.sqlite"),
+    ])
+    assert code == 2
+    assert "store B" in capsys.readouterr().err
+
+
+# -- due-report --from-store ---------------------------------------------------------
+
+
+def test_due_report_from_store_text(stores, capsys):
+    code = cli_main(["due-report", "--from-store", stores["sqlite_w1"], "--format", "text"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DUE provenance" in out and "FMXM" in out
+
+
+def test_due_report_from_store_json_and_md(stores, capsys):
+    assert cli_main(["due-report", "--from-store", stores["sqlite_w1"]]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and all(r["workload"] == "FMXM" for r in rows)
+    assert cli_main([
+        "due-report", "--from-store", stores["jsonl_w1"], "--format", "md",
+    ]) == 0
+    assert capsys.readouterr().out.startswith("| kind |")
+
+
+def test_due_report_from_missing_store_exits_2(tmp_path, capsys):
+    code = cli_main(["due-report", "--from-store", str(tmp_path / "gone.sqlite")])
+    assert code == 2
+    assert "no store" in capsys.readouterr().err
+
+
+def test_due_report_workload_filter_miss_exits_2(stores, capsys):
+    code = cli_main(["due-report", "NOPE", "--from-store", stores["sqlite_w1"]])
+    assert code == 2
+    assert "no campaign records" in capsys.readouterr().err
+
+
+def test_due_report_live_requires_workload(capsys):
+    assert cli_main(["due-report"]) == 2
+    assert "workload is required" in capsys.readouterr().err
+
+
+# -- bench history -------------------------------------------------------------------
+
+
+def test_bench_append_history_and_report_sparkline(stores, tmp_path, capsys):
+    out = tmp_path / "BENCH.json"
+    code = cli_main([
+        "bench", "--out", str(out), "--warmup", "1", "--sim-runs", "2",
+        "--sass-runs", "2", "--injections", "5", "--append-history",
+    ])
+    assert code == 0
+    history = tmp_path / "BENCH_history.jsonl"
+    assert history.exists()
+    # a second point, fabricated so the test doesn't pay for another bench
+    from repro.common.atomicio import append_jsonl, read_jsonl
+
+    entry = json.loads(out.read_text())
+    entry["layers"]["campaign"]["injections_per_sec"]["fast"] *= 1.5
+    append_jsonl(history, entry)
+    assert len(read_jsonl(history)) == 2
+
+    html_out = tmp_path / "report.html"
+    code = cli_main([
+        "report", "--store", stores["sqlite_w1"], "--bench", str(out),
+        "--history", str(history), "--out", str(html_out),
+    ])
+    assert code == 0
+    html = html_out.read_text()
+    assert "Bench baseline" in html and "trajectory" in html
+    capsys.readouterr()
+
+
+def test_report_with_missing_bench_or_history_exits_2(stores, tmp_path, capsys):
+    assert cli_main([
+        "report", "--store", stores["sqlite_w1"],
+        "--bench", str(tmp_path / "no.json"), "--out", str(tmp_path / "r.html"),
+    ]) == 2
+    assert cli_main([
+        "report", "--store", stores["sqlite_w1"],
+        "--history", str(tmp_path / "no.jsonl"), "--out", str(tmp_path / "r.html"),
+    ]) == 2
+    capsys.readouterr()
+
+
+# -- telemetry-report on a store -----------------------------------------------------
+
+
+def test_telemetry_report_reads_stores(stores, capsys):
+    for name in ("sqlite_w1", "jsonl_w1"):
+        assert experiments_main(["telemetry-report", stores[name]]) == 0
+        out = capsys.readouterr().out
+        assert "Instructions retired per opcode class" in out
+        assert "run: FMXM" in out
+
+
+def test_telemetry_report_still_reads_traces(tmp_path, capsys):
+    import repro.api as api
+    from repro.telemetry import telemetry_session
+
+    trace = tmp_path / "trace.jsonl"
+    with telemetry_session(trace_path=str(trace)):
+        api.run_campaign("FMXM", device="kepler", injections=5, seed=0)
+    assert experiments_main(["telemetry-report", str(trace)]) == 0
+    assert "trace:" in capsys.readouterr().out
+
+
+def test_telemetry_report_missing_path_exits_2(tmp_path, capsys):
+    assert experiments_main(["telemetry-report", str(tmp_path / "none.jsonl")]) == 2
+    assert "no trace or store" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Cross-store diffing: self-diffs are empty (including across backends
+and worker counts), real drift is caught, and the tolerance gate fires on
+relative metric deltas."""
+
+import repro.api as api
+from repro.store.store import open_store
+from repro.report import diff_stores, extract_store, render_diff_html, render_diff_text
+
+
+def test_self_diff_is_empty(stores):
+    diff = diff_stores(
+        extract_store(stores["sqlite_w1"]), extract_store(stores["sqlite_w1"])
+    )
+    assert diff.is_empty
+    assert diff.violations(0.0) == []
+    assert all(run.status == "match" for run in diff.runs)
+
+
+def test_cross_backend_and_cross_worker_diffs_are_empty(stores):
+    base = extract_store(stores["sqlite_w1"])
+    for other in ("jsonl_w1", "sqlite_w2"):
+        diff = diff_stores(base, extract_store(stores[other]))
+        assert diff.is_empty, other
+        assert diff.violations(0.0) == [], other
+
+
+def test_same_identity_different_sampling_yields_metric_deltas(stores, tmp_path):
+    # same context (workload/seed/device/ecc) but more injections: aligns
+    # as ONE run with record and metric deltas, not as two runs
+    grown = str(tmp_path / "grown.sqlite")
+    api.run_campaign(
+        "FMXM", device="kepler", injections=14, seed=3, ecc="on", policy=api.ExecutionPolicy(store=open_store(grown))
+    )
+    base = extract_store(stores["sqlite_w1"])
+    campaign_a = next(s for s in base.slices if s.kind == "campaign")
+    other = extract_store(grown)
+    diff = diff_stores(
+        type(base)(slices=[campaign_a]), other
+    )
+    assert not diff.is_empty
+    (run,) = diff.runs
+    assert run.status == "changed"
+    assert run.evaluations == (10, 14)
+    assert "evaluations" in run.metric_deltas
+    # evaluations drift 10 → 14 is ~28.6% relative: gated at 5%, not 50%
+    assert any("evaluations" in v for v in diff.violations(0.05))
+    assert all("evaluations" not in v for v in diff.violations(0.5))
+
+
+def test_disjoint_runs_always_violate(stores, tmp_path):
+    other_seed = str(tmp_path / "seed9.sqlite")
+    api.run_campaign(
+        "FMXM", device="kepler", injections=10, seed=9, ecc="on", policy=api.ExecutionPolicy(store=open_store(other_seed))
+    )
+    base = extract_store(stores["sqlite_w1"])
+    diff = diff_stores(base, extract_store(other_seed))
+    statuses = {run.status for run in diff.runs}
+    assert "only_a" in statuses and "only_b" in statuses
+    # unpaired runs violate at ANY tolerance
+    assert diff.violations(1e9)
+
+
+def test_diff_renderings_are_deterministic(stores):
+    diff = diff_stores(
+        extract_store(stores["sqlite_w1"]), extract_store(stores["jsonl_w1"])
+    )
+    text = render_diff_text(diff, 0.0)
+    assert "identical" in text
+    assert text == render_diff_text(diff, 0.0)
+    html = render_diff_html(diff, 0.0)
+    assert "<!DOCTYPE html>" in html and "identical" in html
+    assert html == render_diff_html(diff, 0.0)

@@ -1,0 +1,119 @@
+"""The extraction contract: logical runs reassembled from a store are a
+pure function of store content — identical across backends and across the
+worker count that produced the chunks."""
+
+from repro.faultsim.outcomes import Outcome
+from repro.report import extract_due_report, extract_store
+from repro.store.store import open_store
+
+
+# -- store read-side API -------------------------------------------------------------
+
+
+def test_iter_chunks_and_summary(stores):
+    with open_store(stores["sqlite_w1"]) as store:
+        records = list(store.iter_chunks())
+        summary = store.summary()
+    assert summary["chunks"] == len(records)
+    assert summary["quarantined"] == 0
+    assert {"campaign", "beam"} <= set(summary["kinds"])
+    # filters narrow, never invent
+    with open_store(stores["sqlite_w1"]) as store:
+        beam_only = list(store.iter_chunks(kind="beam"))
+    assert beam_only and all(r.kind == "beam" for r in beam_only)
+
+
+def test_both_backends_iterate_identically(stores):
+    def census(spec):
+        with open_store(spec) as store:
+            return [
+                (r.fingerprint, r.kind, r.status, r.payload)
+                for r in store.iter_chunks()
+                if r.kind != "replay_session"
+            ]
+
+    assert census(stores["sqlite_w1"]) == census(stores["jsonl_w1"])
+
+
+# -- extraction invariance -----------------------------------------------------------
+
+
+def test_extraction_model_invariant_across_backends_and_workers(stores):
+    models = {name: extract_store(spec).model() for name, spec in stores.items()}
+    assert models["sqlite_w1"] == models["jsonl_w1"]
+    assert models["sqlite_w1"] == models["sqlite_w2"]
+
+
+def test_extracted_runs_have_expected_shape(stores):
+    extract = extract_store(stores["sqlite_w1"])
+    by_kind = {item.kind: item for item in extract.slices}
+    assert set(by_kind) == {"campaign", "beam"}
+
+    campaign = by_kind["campaign"]
+    assert campaign.workload == "FMXM"
+    assert campaign.seed == 3
+    assert campaign.evaluations() == 10
+    assert sum(campaign.outcome_counts().values()) == 10
+    assert abs(sum(campaign.avf().values()) - 1.0) < 1e-9
+    assert campaign.by_group()  # injection records carry site groups
+    assert campaign.instruction_mix()  # merged telemetry counters
+    assert "FMXM" in campaign.label() and "seed=3" in campaign.label()
+
+    beam = by_kind["beam"]
+    assert beam.evaluations() > 0
+    per_resource = beam.by_resource()
+    assert per_resource  # run-length resource meta survives the round-trip
+    # every record is re-paired with exactly one resource
+    assert sum(sum(c.values()) for c in per_resource.values()) == beam.evaluations()
+    assert sum(count for _, count in beam.resources) == beam.evaluations()
+
+
+def test_due_provenance_consistency(stores):
+    extract = extract_store(stores["sqlite_w1"])
+    for item in extract.slices:
+        due = item.outcome_counts()[Outcome.DUE.value]
+        assert sum(item.due_breakdown().values()) == due
+        assert sum(item.due_domains().values()) == due
+
+    rows = extract_due_report(extract)
+    assert len(rows) == len(extract.slices)
+    for row in rows:
+        assert row["workload"] == "FMXM"
+        assert row["due"] == sum(row["due_breakdown"].values())
+
+
+def test_metrics_are_flat_floats(stores):
+    extract = extract_store(stores["sqlite_w1"])
+    for item in extract.slices:
+        metrics = item.metrics()
+        assert metrics["evaluations"] == float(item.evaluations())
+        assert all(isinstance(v, float) for v in metrics.values())
+
+
+# -- degraded stores -----------------------------------------------------------------
+
+
+def test_legacy_chunks_without_context_meta_extract_under_legacy_key(tmp_path):
+    spec = str(tmp_path / "legacy.sqlite")
+    with open_store(spec) as store:
+        store.put_chunk("f" * 16, "campaign", [Outcome.MASKED, Outcome.SDC], None, meta={})
+    extract = extract_store(spec)
+    assert len(extract.slices) == 1
+    item = extract.slices[0]
+    assert item.key == "legacy:campaign"
+    assert item.evaluations() == 2
+    assert item.workload == "unknown"
+
+
+def test_replay_session_chunks_are_skipped(stores):
+    extract = extract_store(stores["sqlite_w1"])
+    assert all(item.kind != "replay_session" for item in extract.slices)
+    if "replay_session" in extract.kinds:
+        assert extract.internal > 0
+
+
+def test_empty_store_extracts_empty(tmp_path):
+    spec = str(tmp_path / "empty.sqlite")
+    open_store(spec).close()
+    extract = extract_store(spec)
+    assert extract.chunks == 0 and extract.slices == []

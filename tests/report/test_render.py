@@ -1,0 +1,80 @@
+"""Golden-snapshot determinism: the dashboard is byte-identical for the
+same logical store content — across repeated renders, storage backends,
+and the worker count of the producing run — and embeds no environment."""
+
+from repro.report import extract_store, render_report
+
+
+def test_render_is_byte_identical_across_backends_and_workers(stores):
+    pages = {
+        name: render_report([extract_store(spec)])
+        for name, spec in stores.items()
+    }
+    assert pages["sqlite_w1"] == pages["jsonl_w1"]
+    assert pages["sqlite_w1"] == pages["sqlite_w2"]
+    # and rendering is idempotent
+    assert pages["sqlite_w1"] == render_report([extract_store(stores["sqlite_w1"])])
+
+
+def test_render_contains_all_sections(stores):
+    html = render_report([extract_store(stores["sqlite_w1"])])
+    for marker in (
+        "<!DOCTYPE html>",
+        "AVF / outcome rates",
+        "DUE provenance",
+        "Fault-site breakdowns",
+        "Instruction mix",
+        "Paper reference values",
+        "<svg",
+        "FMXM",
+    ):
+        assert marker in html, marker
+
+
+def test_render_embeds_no_environment(stores):
+    html = render_report([extract_store(stores["sqlite_w1"])])
+    # no store paths, no backend names, no chunk partition artifacts
+    raw = stores["sqlite_w1"]
+    assert raw not in html
+    for leak in ("sqlite", "jsonl", "/tmp/", "pytest"):
+        assert leak not in html.lower(), leak
+
+
+def test_render_is_self_contained(stores):
+    html = render_report([extract_store(stores["sqlite_w1"])])
+    assert "<script" not in html
+    assert "http://" not in html.replace("http://www.w3.org", "")
+    assert "https://" not in html
+
+
+def test_bench_and_history_sections(stores):
+    bench = {
+        "layers": {
+            "campaign": {
+                "injections_per_sec": {"fast": 120.0, "reference": 60.0},
+                "speedup": 2.0,
+            }
+        }
+    }
+    history = [
+        {"layers": {"campaign": {"injections_per_sec": {"fast": v}}}}
+        for v in (80.0, 100.0, 120.0)
+    ]
+    html = render_report(
+        [extract_store(stores["sqlite_w1"])], bench=bench, history=history
+    )
+    assert "Bench baseline" in html
+    assert "trajectory" in html
+    assert "80 → 120 inj/s" in html
+    # deterministic too
+    assert html == render_report(
+        [extract_store(stores["jsonl_w1"])], bench=bench, history=history
+    )
+
+
+def test_multi_store_report(stores):
+    html = render_report(
+        [extract_store(stores["sqlite_w1"]), extract_store(stores["sqlite_w2"])]
+    )
+    assert html.count("AVF / outcome rates") == 1
+    assert "<h1>" in html
