@@ -51,19 +51,23 @@
     single-threaded and compute-bound), which is insensitive to other
     tenants on a shared machine.
 
-    Four layers are timed.  The first three pit the fast path ("fast")
+    Five layers are timed.  The first three pit the fast path ("fast")
     against the always-available slow path ("reference", what the
-    equivalence suite pins the fast path against); the fourth pits
-    checkpoint/replay on against off, fast path enabled in both:
+    equivalence suite pins the fast path against); the last two toggle
+    one execution knob each, fast path enabled in both arms:
 
     * ``sim``      — golden DSL kernel executions (runs/sec and simulated
       instructions issued per second),
     * ``sass``     — SASS-program executions through the interpreter
       (compiled dispatch vs. tree-walk),
     * ``campaign`` — end-to-end fault-injection campaign throughput
-      (injections/sec), the number the paper-scale experiments multiply,
+      (injections/sec, replay off in both arms), the number the
+      paper-scale experiments multiply,
     * ``replay``   — the same campaign with snapshot replay on ("fast")
-      vs vanilla full re-execution ("reference") — docs/PERFORMANCE.md.
+      vs vanilla full re-execution ("reference") — docs/PERFORMANCE.md,
+    * ``batch``    — replay-enabled campaign with batched tape evaluation
+      on vs off; the fast arm is additionally held to an absolute floor
+      (``target_injections_per_sec``) under ``--check``.
 
     With ``--baseline-ref`` the same campaign measurement is repeated
     against a pristine checkout of that git ref (via a temporary
@@ -80,13 +84,15 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import os
 import pathlib
 import subprocess
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 _SASS_TEXT = """
 .kernel bench_chain
@@ -107,16 +113,32 @@ STG.F32    [c + r0], r2
 _REPEATS = 3
 
 
+@contextlib.contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Collect once, then keep the cyclic collector off for the timed
+    region — its pauses burn CPU time inside the measurement and are the
+    dominant run-to-run noise at campaign scale."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def _time_runs(fn: Callable[[], object], runs: int, warmup: int) -> float:
     """Best per-iteration CPU time of ``fn``, warmup iterations discarded."""
     for _ in range(warmup):
         fn()
     best = float("inf")
     for _ in range(_REPEATS):
-        t0 = time.process_time()
-        for _ in range(runs):
-            fn()
-        best = min(best, (time.process_time() - t0) / runs)
+        with _gc_paused():
+            t0 = time.process_time()
+            for _ in range(runs):
+                fn()
+            best = min(best, (time.process_time() - t0) / runs)
     return best
 
 
@@ -169,28 +191,48 @@ def _bench_sass(runs: int, warmup: int) -> Dict[str, object]:
     return out
 
 
+def _clear_worker_state() -> None:
+    """Drop the process-local campaign state cache between bench arms.
+
+    The cache is keyed by campaign context, which does not (and must not —
+    records are mode-independent) include the fast-path mode, so without a
+    flush the second arm of an A/B measurement reuses sessions the first
+    arm built and the timing no longer isolates the toggled knob."""
+    from repro.exec.worker import _STATE_CACHE
+
+    _STATE_CACHE.clear()
+
+
 def _bench_campaign(injections: int, warmup: int, seed: int) -> Dict[str, object]:
-    from repro.api import get_workload, run_campaign
+    from repro.api import ExecutionPolicy, get_workload, run_campaign
     from repro.sim.fastpath import fast_path
 
+    # replay off in BOTH arms: this layer isolates the fast-path win on
+    # end-to-end campaign work (replay's own win is the `replay` layer,
+    # batched evaluation's the `batch` layer)
+    policy = ExecutionPolicy(replay=False)
     out: Dict[str, Dict[str, float]] = {"injections_per_sec": {}}
     for label, enabled in (("fast", True), ("reference", False)):
         workload = get_workload("kepler", "FMXM", seed=3)
+        _clear_worker_state()
         with fast_path(enabled):
             run_campaign(
-                workload, device="k40c", framework="nvbitfi", injections=warmup, seed=seed
+                workload, device="k40c", framework="nvbitfi", injections=warmup,
+                seed=seed, policy=policy,
             )
             elapsed = float("inf")
             for _ in range(_REPEATS):
-                t0 = time.process_time()
-                run_campaign(
-                    workload,
-                    device="k40c",
-                    framework="nvbitfi",
-                    injections=injections,
-                    seed=seed + 1,
-                )
-                elapsed = min(elapsed, time.process_time() - t0)
+                with _gc_paused():
+                    t0 = time.process_time()
+                    run_campaign(
+                        workload,
+                        device="k40c",
+                        framework="nvbitfi",
+                        injections=injections,
+                        seed=seed + 1,
+                        policy=policy,
+                    )
+                    elapsed = min(elapsed, time.process_time() - t0)
         out["injections_per_sec"][label] = round(injections / elapsed, 1)
     out["speedup"] = round(
         out["injections_per_sec"]["fast"] / out["injections_per_sec"]["reference"], 3
@@ -214,20 +256,62 @@ def _bench_replay(injections: int, warmup: int, seed: int) -> Dict[str, object]:
         )
         elapsed = float("inf")
         for _ in range(_REPEATS):
-            t0 = time.process_time()
-            run_campaign(
-                workload,
-                device="k40c",
-                framework="nvbitfi",
-                injections=injections,
-                seed=seed + 1,
-                policy=policy,
-            )
-            elapsed = min(elapsed, time.process_time() - t0)
+            with _gc_paused():
+                t0 = time.process_time()
+                run_campaign(
+                    workload,
+                    device="k40c",
+                    framework="nvbitfi",
+                    injections=injections,
+                    seed=seed + 1,
+                    policy=policy,
+                )
+                elapsed = min(elapsed, time.process_time() - t0)
         out["injections_per_sec"][label] = round(injections / elapsed, 1)
     out["speedup"] = round(
         out["injections_per_sec"]["fast"] / out["injections_per_sec"]["reference"], 3
     )
+    return out
+
+
+#: absolute floor for the batch layer's fast arm: 10x the 1391 inj/s the
+#: pre-replay reference measurement recorded (docs/PERFORMANCE.md)
+_BATCH_TARGET_INJ_PER_SEC = 13910.0
+
+
+def _bench_batch(injections: int, warmup: int, seed: int) -> Dict[str, object]:
+    """Campaign throughput with batched tape evaluation on ("fast") vs off
+    ("reference"), checkpoint/replay enabled in both — isolates the win of
+    classifying injections on the golden tape without executing them."""
+    from repro.api import ExecutionPolicy, get_workload, run_campaign
+
+    out: Dict[str, Dict[str, float]] = {"injections_per_sec": {}}
+    for label, enabled in (("fast", True), ("reference", False)):
+        workload = get_workload("kepler", "FMXM", seed=3)
+        policy = ExecutionPolicy(batch_eval=enabled)
+        _clear_worker_state()
+        run_campaign(
+            workload, device="k40c", framework="nvbitfi", injections=warmup,
+            seed=seed, policy=policy,
+        )
+        elapsed = float("inf")
+        for _ in range(_REPEATS):
+            with _gc_paused():
+                t0 = time.process_time()
+                run_campaign(
+                    workload,
+                    device="k40c",
+                    framework="nvbitfi",
+                    injections=injections,
+                    seed=seed + 1,
+                    policy=policy,
+                )
+                elapsed = min(elapsed, time.process_time() - t0)
+        out["injections_per_sec"][label] = round(injections / elapsed, 1)
+    out["speedup"] = round(
+        out["injections_per_sec"]["fast"] / out["injections_per_sec"]["reference"], 3
+    )
+    out["target_injections_per_sec"] = _BATCH_TARGET_INJ_PER_SEC
     return out
 
 
@@ -299,6 +383,14 @@ def check_regression(
     (a fraction, e.g. 0.25) below the baseline.  Layers or metrics absent
     from either report are skipped — a new layer can't fail the gate
     before its baseline is committed.
+
+    Two absolute gates ride along, *declared by the baseline* (so a
+    downsized smoke bench against a synthetic baseline doesn't trip them):
+    when the baseline's ``campaign`` layer records a ``speedup``, the fresh
+    fast/reference speedup must stay >= 1.0 (the fast path must never be a
+    pessimization), and when a baseline layer records
+    ``target_injections_per_sec`` (the ``batch`` layer in the committed
+    baseline), the fresh fast arm must stay at or above that floor.
     """
     regressions = []
     base_layers = baseline.get("layers", {})
@@ -306,6 +398,21 @@ def check_regression(
         base_metrics = base_layers.get(layer)
         if not isinstance(base_metrics, dict):
             continue
+        if layer == "campaign" and "speedup" in base_metrics:
+            speedup = metrics.get("speedup")
+            if speedup is not None and float(speedup) < 1.0:
+                regressions.append(
+                    f"campaign.speedup: {float(speedup):.3f} < 1.0 — the fast "
+                    "path is slower than the reference path"
+                )
+        target = base_metrics.get("target_injections_per_sec")
+        if target is not None:
+            fast = metrics.get("injections_per_sec", {}).get("fast")
+            if fast is not None and float(fast) < float(target):
+                regressions.append(
+                    f"{layer}.injections_per_sec: {float(fast):.1f}/s is below "
+                    f"the absolute target {float(target):.1f}/s"
+                )
         for metric, values in metrics.items():
             if not isinstance(values, dict) or "fast" not in values:
                 continue
@@ -338,11 +445,16 @@ def _cli_policy(args: argparse.Namespace):
     )
     on_crash = getattr(args, "on_crash", None)
     replay = False if getattr(args, "no_replay", False) else None
+    batch_eval = False if getattr(args, "no_batch_eval", False) else None
     snapshots = getattr(args, "snapshots_per_run", None)
-    if run_policy is None and on_crash is None and replay is None and snapshots is None:
+    if (
+        run_policy is None and on_crash is None and replay is None
+        and batch_eval is None and snapshots is None
+    ):
         return None
     return as_execution_policy(
-        run_policy, on_crash=on_crash, replay=replay, snapshots_per_run=snapshots
+        run_policy, on_crash=on_crash, replay=replay,
+        snapshots_per_run=snapshots, batch_eval=batch_eval,
     )
 
 
@@ -629,12 +741,14 @@ def run_bench(args: argparse.Namespace) -> Dict[str, object]:
             "sim_runs": args.sim_runs,
             "sass_runs": args.sass_runs,
             "injections": args.injections,
+            "batch_injections": args.batch_injections,
         },
         "layers": {
             "sim": _bench_sim(args.sim_runs, args.warmup, args.seed),
             "sass": _bench_sass(args.sass_runs, args.warmup),
             "campaign": _bench_campaign(args.injections, args.warmup, args.seed),
             "replay": _bench_replay(args.injections, args.warmup, args.seed),
+            "batch": _bench_batch(args.batch_injections, args.warmup, args.seed),
         },
     }
     if args.baseline_ref:
@@ -695,6 +809,12 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="disable checkpoint/replay and re-execute every injection from "
         "tick 0 (bit-identical, just slower — docs/PERFORMANCE.md)",
+    )
+    campaign_p.add_argument(
+        "--no-batch-eval",
+        action="store_true",
+        help="disable batched tape evaluation and execute every injection "
+        "individually (bit-identical, just slower — docs/PERFORMANCE.md)",
     )
     campaign_p.add_argument(
         "--snapshots-per-run",
@@ -806,6 +926,14 @@ def main(argv: Optional[list] = None) -> int:
     bench.add_argument("--sass-runs", type=int, default=80, help="timed SASS kernel runs")
     bench.add_argument("--injections", type=int, default=200, help="timed campaign injections")
     bench.add_argument(
+        "--batch-injections",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="timed injections for the batch layer (larger: batched "
+        "evaluation amortizes per-chunk overhead across the chunk)",
+    )
+    bench.add_argument(
         "--baseline-ref",
         default=None,
         metavar="REF",
@@ -860,6 +988,14 @@ def main(argv: Optional[list] = None) -> int:
                 return 2
             baseline = json.loads(baseline_path.read_text())
             report = run_bench(args)
+            if args.append_history:
+                # the measurement happened either way: record it (a dip
+                # shows up in the trajectory sparkline next to the gate)
+                from repro.common.atomicio import append_jsonl
+
+                history_path = baseline_path.parent / "BENCH_history.jsonl"
+                append_jsonl(history_path, report)
+                print(f"appended to {history_path}")
             regressions = check_regression(report, baseline, args.tolerance)
             if regressions:
                 for line in regressions:
@@ -880,6 +1016,7 @@ def main(argv: Optional[list] = None) -> int:
             print(f"appended to {history_path}")
         campaign = report["layers"]["campaign"]
         replay = report["layers"]["replay"]
+        batch = report["layers"]["batch"]
         print(f"wrote {out}")
         print(
             "campaign: fast {fast} inj/s vs reference {ref} inj/s (x{speedup})".format(
@@ -893,6 +1030,15 @@ def main(argv: Optional[list] = None) -> int:
                 fast=replay["injections_per_sec"]["fast"],
                 ref=replay["injections_per_sec"]["reference"],
                 speedup=replay["speedup"],
+            )
+        )
+        print(
+            "batch:    on {fast} inj/s vs off {ref} inj/s (x{speedup}, "
+            "target {target})".format(
+                fast=batch["injections_per_sec"]["fast"],
+                ref=batch["injections_per_sec"]["reference"],
+                speedup=batch["speedup"],
+                target=batch["target_injections_per_sec"],
             )
         )
         if "baseline" in report:

@@ -81,9 +81,10 @@ class CampaignContext:
     #: key — a cached runner built replay-off must not serve a replay-on
     #: chunk — but deliberately NOT part of the store fingerprint: replay
     #: on/off produces bit-identical records, so cached chunks stay valid
-    #: across the setting.
+    #: across the setting.  batch_eval follows the same contract.
     replay: bool = True
     snapshots_per_run: int = 16
+    batch_eval: bool = True
 
     def cache_key(self) -> tuple:
         return (
@@ -95,6 +96,7 @@ class CampaignContext:
             self.on_crash,
             self.replay,
             self.snapshots_per_run,
+            self.batch_eval,
         )
 
 
@@ -125,9 +127,10 @@ class BeamEvalContext:
     catalog_tag: str               # distinguishes non-default catalogs
     workload: WorkloadHandle
     on_crash: str = "due"
-    #: checkpoint/replay knobs (cache key only; see CampaignContext)
+    #: checkpoint/replay + batching knobs (cache key only; see CampaignContext)
     replay: bool = True
     snapshots_per_run: int = 16
+    batch_eval: bool = True
 
     def cache_key(self) -> tuple:
         return (
@@ -140,6 +143,7 @@ class BeamEvalContext:
             self.on_crash,
             self.replay,
             self.snapshots_per_run,
+            self.batch_eval,
         )
 
 

@@ -82,6 +82,7 @@ def _campaign_state(ctx: CampaignContext):
                 on_crash=ctx.on_crash,
                 replay=ctx.replay,
                 snapshots_per_run=ctx.snapshots_per_run,
+                batch_eval=ctx.batch_eval,
             ),
         )
         workload = ctx.workload.workload
@@ -135,6 +136,7 @@ def _beam_state(ctx: BeamEvalContext):
             on_crash=ctx.on_crash,
             replay=ctx.replay,
             snapshots_per_run=ctx.snapshots_per_run,
+            batch_eval=ctx.batch_eval,
         )
         engine.golden  # materialize before any capture window
         return engine

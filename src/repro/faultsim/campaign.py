@@ -38,6 +38,7 @@ from repro.faultsim.frameworks import InjectorFramework, SiteGroup
 from repro.faultsim.outcomes import CampaignResult, InjectionRecord, Outcome
 from repro.faultsim.sandbox import WATCHDOG_FACTOR, InjectionSandbox, SandboxLimits
 from repro.sim.exceptions import ContainedCrashError, GpuDeviceException
+from repro.faultsim.batch import BatchEvaluator
 from repro.sim.fastpath import fast_path_enabled
 from repro.sim.injection import InjectionMode, InjectionPlan, StorageStrike
 from repro.sim.launch import KernelRun, count_run_telemetry, run_kernel
@@ -47,6 +48,7 @@ from repro.store.codec import decode_results, encode_results
 from repro.store.fingerprint import chunk_fingerprint
 from repro.store.policy import (
     RunPolicy,
+    batch_eval_setting,
     replay_setting,
     resolve_on_crash,
     resolve_policy,
@@ -142,8 +144,10 @@ class CampaignRunner:
         self.sandbox = InjectionSandbox(self.on_crash, limits=sandbox_limits)
         self.replay_enabled = replay_setting(self.policy)
         self.snapshots_per_run = snapshots_setting(self.policy)
+        self.batch_eval = batch_eval_setting(self.policy)
         self._golden: Dict[str, KernelRun] = {}
         self._sessions: Dict[Tuple[str, bool], ReplaySession] = {}
+        self._batch_evaluators: Dict[Tuple[str, bool], BatchEvaluator] = {}
         self._secded = SecdedModel(mode=ecc)
 
     # -- golden ---------------------------------------------------------------
@@ -177,6 +181,16 @@ class CampaignRunner:
             )
             self._sessions[key] = session
         return session
+
+    def _batch_evaluator(self, workload: Workload) -> BatchEvaluator:
+        """The workload's batched evaluator, keyed like the session (the
+        evaluator indexes the session's tape, which is fast-path-shaped)."""
+        key = (workload.name, fast_path_enabled())
+        evaluator = self._batch_evaluators.get(key)
+        if evaluator is None:
+            evaluator = BatchEvaluator(self.golden(workload), self._session(workload))
+            self._batch_evaluators[key] = evaluator
+        return evaluator
 
     # -- one injection -----------------------------------------------------------
     def inject_once(
@@ -352,19 +366,45 @@ class CampaignRunner:
         Bit-identical to calling :meth:`inject_once` per task: evaluation
         happens in the same group-sorted order, records come back in
         submission order, and each record counts the same telemetry trio.
-        Batching buys two things — the chunk's fault-site ticks are mined
-        into the replay session once (snapshots land just below the hot
-        ticks), and output comparison for surviving runs is one vectorized
-        numpy pass instead of N scalar ones.
+        Batching buys three things — most injections resolve on the golden
+        tape without executing anything (:class:`BatchEvaluator`; every
+        task has a private RNG substream, so classification order cannot
+        perturb the draws), the *residual* tasks' fault-site ticks are
+        mined into the replay session once (snapshots land just below the
+        hot ticks), and output comparison for surviving runs is one
+        vectorized numpy pass instead of N scalar ones.
         """
         golden = self.golden(workload)
         order = sorted(range(len(tasks)), key=lambda j: (tasks[j].group, j))
-        if self.replay_enabled:
-            self._mine_fault_ticks(workload, groups, tasks, golden)
         records: List[Optional[InjectionRecord]] = [None] * len(tasks)
         pending: List[tuple] = []
         batched_compare = type(workload).compare is Workload.compare
+        if self.replay_enabled and self.batch_eval and batched_compare:
+            validation = self._batch_evaluator(workload).classify(
+                groups, tasks, rngs, records
+            )
+            if validation is not None:
+                # first chunk against this tape: run the canary injection
+                # vanilla and let the evaluator confirm (or retract) the
+                # chunk's tape verdicts against the actual record
+                j = validation.canary
+                task = tasks[j]
+                group = groups[task.group]
+                record, outputs, plan = self._attempt(
+                    workload, group, task.target_index, rngs[j]
+                )
+                if record is None:
+                    compare = workload.compare(golden.outputs, outputs)
+                    record = self._classify(group, plan, compare)
+                records[j] = record
+                validation.resolve(record, records)
+        if self.replay_enabled:
+            residual = [tasks[j] for j in range(len(tasks)) if records[j] is None]
+            if residual:
+                self._mine_fault_ticks(workload, groups, residual, golden)
         for j in order:
+            if records[j] is not None:
+                continue
             task = tasks[j]
             group = groups[task.group]
             record, outputs, plan = self._attempt(
@@ -553,6 +593,7 @@ class CampaignRunner:
                 on_crash=self.on_crash,
                 replay=self.replay_enabled,
                 snapshots_per_run=self.snapshots_per_run,
+                batch_eval=self.batch_eval,
             )
             # pre-seed the process-local worker cache with *this* runner so the
             # serial executor (and fork-spawned children) reuse the golden run

@@ -8,7 +8,7 @@ instruction class hit — the per-class AVFs feed the Eq. 2 prediction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.isa import OpClass
@@ -54,17 +54,62 @@ class StrikeEval:
     contained: bool = False
 
 
-@dataclass
 class CampaignResult:
-    """Aggregated results of one (workload, framework, device) campaign."""
+    """Aggregated results of one (workload, framework, device) campaign.
 
-    workload: str
-    framework: str
-    device: str
-    records: List[InjectionRecord] = field(default_factory=list)
+    :meth:`count`, :meth:`avf` and :meth:`contained_count` are O(1): an
+    outcome-count table rides along with the record list, maintained
+    incrementally by :meth:`add` and rebuilt whenever ``records`` is
+    reassigned (``result.records = [...]``).  Appending to the list
+    behind the property's back would silently skip the table — always go
+    through :meth:`add`.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        framework: str,
+        device: str,
+        records: Optional[List[InjectionRecord]] = None,
+    ) -> None:
+        self.workload = workload
+        self.framework = framework
+        self.device = device
+        self.records = records if records is not None else []
+
+    @property
+    def records(self) -> List[InjectionRecord]:
+        return self._records
+
+    @records.setter
+    def records(self, value: List[InjectionRecord]) -> None:
+        self._records = list(value)
+        self._outcome_counts: Dict[Outcome, int] = {o: 0 for o in Outcome}
+        self._contained = 0
+        for record in self._records:
+            self._outcome_counts[record.outcome] += 1
+            if record.contained:
+                self._contained += 1
 
     def add(self, record: InjectionRecord) -> None:
-        self.records.append(record)
+        self._records.append(record)
+        self._outcome_counts[record.outcome] += 1
+        if record.contained:
+            self._contained += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult(workload={self.workload!r}, "
+            f"framework={self.framework!r}, device={self.device!r}, "
+            f"records=<{len(self._records)} records>)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CampaignResult):
+            return NotImplemented
+        return (self.workload, self.framework, self.device, self.records) == (
+            other.workload, other.framework, other.device, other.records,
+        )
 
     # -- totals ------------------------------------------------------------------
     @property
@@ -72,7 +117,7 @@ class CampaignResult:
         return len(self.records)
 
     def count(self, outcome: Outcome) -> int:
-        return sum(1 for r in self.records if r.outcome is outcome)
+        return self._outcome_counts[outcome]
 
     def avf(self, outcome: Outcome) -> float:
         """Fraction of injections with the given outcome."""
@@ -127,7 +172,7 @@ class CampaignResult:
 
     def contained_count(self) -> int:
         """How many records are sandbox-contained crashes (on_crash="due")."""
-        return sum(1 for r in self.records if r.contained)
+        return self._contained
 
     def summary(self) -> Dict[str, float]:
         return {

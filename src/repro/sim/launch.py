@@ -101,7 +101,7 @@ def run_kernel(
     return KernelRun(outputs=outputs, trace=trace, context=ctx)
 
 
-def count_run_telemetry(trace: ExecutionTrace) -> None:
+def count_run_telemetry(trace: ExecutionTrace, runs: int = 1) -> None:
     """Retired-instruction telemetry for one completed kernel execution.
 
     One registry update per *run*, not per instruction, so instrumentation
@@ -110,9 +110,13 @@ def count_run_telemetry(trace: ExecutionTrace) -> None:
     repro.telemetry.report).  Shared by :func:`run_kernel` and the
     checkpoint/replay engine (:mod:`repro.sim.replay`), which must emit the
     exact same counters for a replayed execution.
+
+    ``runs`` batches N identical executions of the same trace into one
+    registry update (instance counts are integers, so ``runs * instances``
+    is exact in the float counters — identical to N separate calls).
     """
     telemetry = get_telemetry()
-    telemetry.count("sim.kernel_runs")
+    telemetry.count("sim.kernel_runs", runs)
     for op, instances in trace.instances.items():
-        telemetry.count(_SIM_INSTR_KEYS[op], instances)
-    telemetry.count("sim.instructions_total", trace.total_instances)
+        telemetry.count(_SIM_INSTR_KEYS[op], runs * instances)
+    telemetry.count("sim.instructions_total", runs * trace.total_instances)

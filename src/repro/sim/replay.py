@@ -190,12 +190,15 @@ class ReplayTape:
     """One golden execution, recorded for replay."""
 
     #: one entry per depth-0 DSL call:
-    #: ``(name, return spec, emission log, post-call counter state)`` where
-    #: the emission log is ``((op, lane_instances, issue_slots), ...)`` for
-    #: every emission the call performed (nested and dead-code ones
-    #: included) and the counter state is the 9-tuple built by
-    #: :meth:`RecordingContext._rc_state` — everything golden forwarding
-    #: needs to replicate the call's trace side effects without running it
+    #: ``(name, return spec, emission log, post-call counter state, arg
+    #: spec)`` where the emission log is ``((op, lane_instances,
+    #: issue_slots, result_ordinal, weight), ...)`` for every emission the
+    #: call performed (nested and dead-code ones included), the counter
+    #: state is the 9-tuple built by :meth:`RecordingContext._rc_state` —
+    #: everything golden forwarding needs to replicate the call's trace
+    #: side effects without running it — and the arg spec is the encoded
+    #: argument list (:meth:`RecordingContext._rc_encode_args`) the batched
+    #: evaluator uses for dirtiness propagation
     calls: List[tuple]
     #: every Val the run created, in creation order (ordinal = index)
     newvals: List[Val]
@@ -250,12 +253,20 @@ class RecordingContext(KernelContext):
         The log is what lets golden forwarding replicate a served call's
         per-class trace accounting without executing it; zero-active
         emissions are no-ops in the base implementation and are not logged.
+        Since payload v3 each entry also carries the emitted value's tape
+        ordinal (-1 when the emission has no register result, e.g. stores
+        and branches) and the emission weight — the site schedule the
+        batched evaluator (:mod:`repro.faultsim.batch`) indexes to map a
+        plan's target instance back to a value without executing anything.
         """
         log = self._rc_log
         if log is not None:
             n = self._active_count * weight
             if n > 0:
-                log.append((op, n, n if self.warp_lanes else n / self._warp_size))
+                ordinal = -1 if result is None else self._rc_ordinals.get(id(result), -1)
+                log.append(
+                    (op, n, n if self.warp_lanes else n / self._warp_size, ordinal, weight)
+                )
         return KernelContext._emit(self, op, result, weight)
 
     def _rc_state(self) -> tuple:
@@ -387,6 +398,37 @@ class RecordingContext(KernelContext):
             return ("s", ret)
         raise CaptureError(f"cannot record return of type {type(ret).__name__}")
 
+    def _rc_encode_args(self, args: tuple, kwargs: dict) -> Optional[tuple]:
+        """Encode a call's arguments as a tape spec (payload v3).
+
+        The batched evaluator walks these specs to propagate fault dirtiness
+        through the golden call stream without executing it.  Encoding is
+        best-effort: anything it cannot name precisely becomes an opaque
+        ``("x",)`` entry, and kwargs collapse the whole spec to None — the
+        evaluator treats either as "cannot analyze" and falls back to real
+        execution for affected injections, never to a wrong answer.
+        """
+        if kwargs:
+            return None
+        spec = []
+        for a in args:
+            cls = type(a)
+            if cls is Val:
+                ordinal = self._rc_ordinals.get(id(a))
+                if ordinal is not None:
+                    spec.append(("v", ordinal))
+                else:
+                    index = len(self._rc_consts)
+                    self._rc_consts.append(a)
+                    spec.append(("c", index))
+            elif cls is DeviceBuffer or cls is SharedBuffer:
+                spec.append(("b", a.name))
+            elif isinstance(a, (bool, int, float, str)):
+                spec.append(("s", a))
+            else:
+                spec.append(("x",))
+        return tuple(spec)
+
     def range(self, count: int, unroll: int = 1):
         """Recording version of :meth:`KernelContext.range`.
 
@@ -417,7 +459,7 @@ class RecordingContext(KernelContext):
                 self._emit(OpClass.IADD, counter)
                 self._emit(OpClass.BRA, None)
                 self._rc_log = None
-                self._rc_calls.append((_STEP, _RET_NONE, tuple(log), self._rc_state()))
+                self._rc_calls.append((_STEP, _RET_NONE, tuple(log), self._rc_state(), ()))
             yield i
 
     def finish(self) -> ReplayTape:
@@ -460,7 +502,10 @@ def _make_recording_method(name: str, base_fn, is_ldst: bool):
         finally:
             self._rc_depth = 0
             self._rc_log = None
-        self._rc_calls.append((name, self._rc_encode(ret), tuple(log), self._rc_state()))
+        self._rc_calls.append(
+            (name, self._rc_encode(ret), tuple(log), self._rc_state(),
+             self._rc_encode_args(args, kwargs))
+        )
         return ret
 
     method.__name__ = name
@@ -759,7 +804,7 @@ class ReplayContext(KernelContext):
                 inst = self._inst_acc
                 issue_acc = self._issue_acc
                 flags = self._touched_flags
-                for op, n, issue in emits:
+                for op, n, issue, _ordinal, _weight in emits:
                     index = op.op_index
                     if not flags[index]:
                         flags[index] = 1
@@ -767,7 +812,7 @@ class ReplayContext(KernelContext):
                     inst[index] += n
                     issue_acc[index] += issue
             else:
-                for op, n, issue in emits:
+                for op, n, issue, _ordinal, _weight in emits:
                     trace.record(op, n, issue)
         state = entry[3]
         self.tick = state[0]
@@ -1151,9 +1196,10 @@ class ReplaySession:
             return None
         tape = self._tape
         return {
-            # version 2: tape calls carry emission logs + counter states
-            # (golden forwarding); version-1 payloads are re-captured
-            "version": 2,
+            # version 3: emission-log entries carry result ordinals and
+            # weights, and call entries carry argument specs (the batched
+            # evaluator's site schedule); older payloads are re-captured
+            "version": 3,
             "fast": tape.fast,
             "final_tick": tape.final_tick,
             "expected_ticks": self._expected_ticks,
@@ -1170,7 +1216,7 @@ class ReplaySession:
         mismatch — unpickled arrays come back writable, so everything the
         tape shares with replays is re-frozen here."""
         try:
-            if not isinstance(payload, dict) or payload.get("version") != 2:
+            if not isinstance(payload, dict) or payload.get("version") != 3:
                 return False
             if bool(payload["fast"]) != fast_path_enabled():
                 return False

@@ -46,7 +46,10 @@ from repro.exec.tasks import BeamEvalContext, CampaignContext, MemoryAvfContext
 #: — /3: checkpoint/replay engine landed; replay-session state joins the
 #:   store ("replay_session" records) and must not mix with older caches
 #:   (PR 6)
-STORE_SALT = "repro-store/3"
+#: — /4: replay tape payload v3 (emission ordinals/weights + call arg
+#:   specs for the batched evaluator); exported sessions must not mix
+#:   with v2 caches (PR 8)
+STORE_SALT = "repro-store/4"
 
 
 def canonical(value: Any) -> Any:

@@ -91,12 +91,19 @@ class ExecutionPolicy(RunPolicy):
     ``replay=None`` means *auto*: replay on, with transparent per-run
     fallback to the vanilla path whenever no usable snapshot precedes a
     fault site.  ``replay=False`` forces the vanilla path everywhere.
+
+    ``batch_eval`` follows the same convention for the vectorized batched
+    fault evaluator (:mod:`repro.faultsim.batch`): None = auto (on, with
+    transparent per-injection fallback whenever an injection is outside
+    the analyzable population), False = force per-injection evaluation.
     """
 
     #: checkpoint/replay: None = auto (on with vanilla fallback), False = off
     replay: Optional[bool] = None
     #: evenly-spaced snapshots recorded per golden capture (≥ 1)
     snapshots_per_run: int = 16
+    #: batched vectorized fault evaluation: None = auto, False = off
+    batch_eval: Optional[bool] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -116,11 +123,20 @@ def snapshots_setting(policy: Optional[RunPolicy]) -> int:
     return int(getattr(policy, "snapshots_per_run", 16) or 16)
 
 
+def batch_eval_setting(policy: Optional[RunPolicy]) -> bool:
+    """Whether batched fault evaluation is enabled under ``policy``
+    (tolerates plain :class:`RunPolicy` instances and None — both mean the
+    auto default)."""
+    setting = getattr(policy, "batch_eval", None)
+    return True if setting is None else bool(setting)
+
+
 def as_execution_policy(
     policy: Optional[RunPolicy],
     on_crash: Optional[str] = None,
     replay: Optional[bool] = None,
     snapshots_per_run: Optional[int] = None,
+    batch_eval: Optional[bool] = None,
 ) -> ExecutionPolicy:
     """Fold a (possibly plain, possibly absent) policy plus overrides into
     one :class:`ExecutionPolicy`.  Explicit overrides win; fields the base
@@ -145,6 +161,8 @@ def as_execution_policy(
         updates["replay"] = replay
     if snapshots_per_run is not None:
         updates["snapshots_per_run"] = snapshots_per_run
+    if batch_eval is not None:
+        updates["batch_eval"] = batch_eval
     return replace(base, **updates) if updates else base
 
 

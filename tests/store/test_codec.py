@@ -98,12 +98,13 @@ class TestRoundTrips:
 
 
 class TestSaltBump:
-    def test_salt_is_v3(self):
-        """The salt moved with the schema: the store now also holds
-        ``replay_session`` records (checkpoint/replay snapshots keyed by
-        workload + fast-path mode), so pre-replay chunks must never mix
-        with the new namespace."""
-        assert STORE_SALT == "repro-store/3"
+    def test_salt_is_v4(self):
+        """The salt moved with the schema: ``ExecutionPolicy`` grew the
+        ``batch_eval`` knob (chunk evaluation strategy now feeds the chunk
+        fingerprint), so chunks produced before batched evaluation must
+        never be resumed into campaigns that can batch — the records are
+        bit-identical, but provenance is not."""
+        assert STORE_SALT == "repro-store/4"
 
     def test_old_fingerprints_never_match(self):
         """Exactly the same chunk fingerprinted under a previous salt

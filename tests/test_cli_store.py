@@ -2,6 +2,7 @@
 pinned resolve_rngs deprecation contract."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -140,6 +141,58 @@ def test_bench_check_against_synthetic_baselines(tmp_path, capsys):
     }))
     assert cli_main(bench_args + ["--check", "--out", str(high)]) == 1
     assert "bench regression" in capsys.readouterr().err
+
+
+def test_check_regression_enforces_baseline_declared_absolute_gates():
+    """The committed baseline declares two absolute gates: campaign
+    speedup >= 1.0 (when its campaign layer records one) and the batch
+    layer's target_injections_per_sec floor."""
+    base = {
+        "layers": {
+            "campaign": {"injections_per_sec": {"fast": 50.0}, "speedup": 1.3},
+            "batch": {"injections_per_sec": {"fast": 15000.0},
+                      "target_injections_per_sec": 13910.0},
+        }
+    }
+    good = {
+        "layers": {
+            "campaign": {"injections_per_sec": {"fast": 50.0}, "speedup": 1.2},
+            "batch": {"injections_per_sec": {"fast": 14000.0}},
+        }
+    }
+    assert check_regression(good, base, 0.25) == []
+
+    slow_campaign = json.loads(json.dumps(good))
+    slow_campaign["layers"]["campaign"]["speedup"] = 0.97
+    regressions = check_regression(slow_campaign, base, 0.25)
+    assert any("campaign.speedup" in r for r in regressions)
+
+    slow_batch = json.loads(json.dumps(good))
+    slow_batch["layers"]["batch"]["injections_per_sec"]["fast"] = 9000.0
+    regressions = check_regression(slow_batch, base, 0.25)
+    assert any("absolute target" in r for r in regressions)
+
+    # a baseline NOT declaring the gates (synthetic/smoke) never trips them
+    bare = {"layers": {"campaign": {"injections_per_sec": {"fast": 0.001}}}}
+    assert check_regression(slow_campaign, bare, 0.25) == []
+
+
+def test_committed_bench_baseline_has_all_layers_and_gates():
+    """Smoke over the committed BENCH_simulator.json: every layer records
+    a speedup, the batch layer is present with its absolute floor met,
+    and the campaign fast path is not a pessimization."""
+    baseline_path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_simulator.json"
+    baseline = json.loads(baseline_path.read_text())
+    layers = baseline["layers"]
+    assert set(layers) >= {"sim", "sass", "campaign", "replay", "batch"}
+    for name, metrics in layers.items():
+        assert "speedup" in metrics, f"bench layer {name!r} records no speedup"
+        assert float(metrics["speedup"]) > 0.0
+    assert float(layers["campaign"]["speedup"]) >= 1.0
+    batch = layers["batch"]
+    assert float(batch["injections_per_sec"]["fast"]) >= float(
+        batch["target_injections_per_sec"]
+    )
 
 
 @pytest.mark.bench
