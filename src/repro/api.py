@@ -29,6 +29,15 @@ string workload is resolved through the registry for that device.
 :class:`Session` (the memoizing :class:`~repro.experiments.session.ExperimentSession`)
 is the facade for multi-artifact studies that reuse campaigns and beams.
 
+The fault-tolerant campaign service rides the same surface:
+:func:`~repro.service.coordinator.submit_campaign` /
+:func:`~repro.service.coordinator.serve_campaigns` /
+:func:`~repro.service.coordinator.campaign_status` /
+:func:`~repro.service.coordinator.cancel_campaign` manage named campaigns
+over a shared durable store, and ``ExecutionPolicy.service`` (a
+:class:`~repro.store.policy.ServicePolicy`) carries the lease/heartbeat
+knobs — see ``docs/SERVICE.md``.
+
 Observability rides along: wrap any of the above in
 :func:`~repro.telemetry.telemetry_session` to collect metrics, spans and a
 JSONL event trace (``docs/OBSERVABILITY.md`` documents the schema), and
@@ -52,9 +61,20 @@ from repro.arch.ecc import EccMode
 from repro.beam.cross_sections import CrossSectionCatalog
 from repro.beam.experiment import BeamExperiment, BeamResult
 from repro.beam.facility import CHIPIR, Facility
-from repro.common.errors import ChunkQuarantinedError, ConfigurationError, StoreError
+from repro.common.errors import (
+    CampaignCancelledError,
+    ChunkQuarantinedError,
+    ConfigurationError,
+    StoreError,
+)
 from repro.common.rng import RngFactory
-from repro.exec.engine import Executor, ProcessExecutor, SerialExecutor, get_executor
+from repro.exec.engine import (
+    Executor,
+    LeaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+)
 from repro.exec.progress import ProgressMeter
 from repro.experiments.config import ExperimentConfig, get_preset
 from repro.experiments.session import ExperimentSession
@@ -70,7 +90,19 @@ from repro.profiling.profiler import Profiler
 from repro.sass.assembler import assemble
 from repro.sass.interpreter import SassKernel
 from repro.sim.launch import LaunchConfig, run_kernel
-from repro.store import CampaignStore, ExecutionPolicy, RunPolicy, open_store
+from repro.service import (
+    campaign_status,
+    cancel_campaign,
+    serve_campaigns,
+    submit_campaign,
+)
+from repro.store import (
+    CampaignStore,
+    ExecutionPolicy,
+    RunPolicy,
+    ServicePolicy,
+    open_store,
+)
 from repro.store.store import StoreLike
 from repro.telemetry import (
     FileSink,
@@ -386,6 +418,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "LeaseExecutor",
     "get_executor",
     "ProgressMeter",
     # durable store + run shaping (see docs/STORAGE.md, docs/API.md)
@@ -395,6 +428,13 @@ __all__ = [
     "RunPolicy",
     "StoreError",
     "ChunkQuarantinedError",
+    # fault-tolerant campaign service (see docs/SERVICE.md)
+    "ServicePolicy",
+    "CampaignCancelledError",
+    "submit_campaign",
+    "serve_campaigns",
+    "campaign_status",
+    "cancel_campaign",
     # observability (see docs/OBSERVABILITY.md)
     "telemetry_session",
     "get_telemetry",

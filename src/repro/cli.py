@@ -14,6 +14,27 @@
     Configuration errors (bad workload, conflicting flags, missing store
     directory) exit with status 2; a quarantined chunk exits 3.
 
+``submit`` / ``serve`` / ``status`` / ``cancel``
+    The fault-tolerant campaign service (docs/SERVICE.md): named
+    campaigns registered in a shared durable store, drained by any number
+    of lease-coordinated worker processes on any number of hosts ::
+
+        python -m repro.cli submit nightly FMXM --store results/fleet.sqlite \\
+            --injections 500 --priority 10 --mode continue
+        python -m repro.cli serve  --store results/fleet.sqlite --workers 4
+        python -m repro.cli status --store results/fleet.sqlite nightly
+        python -m repro.cli cancel nightly --store results/fleet.sqlite --reason "wrong seed"
+
+    ``serve`` claims pending campaigns in priority order and runs each
+    through the lease executor: workers heartbeat, dead workers' chunk
+    leases expire and are reclaimed by survivors, and the final records
+    are bit-identical to a serial run.  ``cancel`` writes a cooperative
+    tombstone that workers observe between chunks; resubmitting the name
+    revives it.  ``--mode clean`` recomputes everything (DAVOS ``clean``),
+    ``--mode continue`` (default) resumes from committed chunks.
+    Exit codes follow ``campaign``: configuration problems (unknown name,
+    missing store) exit 2; a served campaign that failed exits 3.
+
 ``due-report``
     DUE provenance for one code: which fault domain each detected/
     unrecoverable error came from, on every leg of the methodology ::
@@ -51,10 +72,11 @@
     single-threaded and compute-bound), which is insensitive to other
     tenants on a shared machine.
 
-    Five layers are timed.  The first three pit the fast path ("fast")
+    Six layers are timed.  The first three pit the fast path ("fast")
     against the always-available slow path ("reference", what the
-    equivalence suite pins the fast path against); the last two toggle
-    one execution knob each, fast path enabled in both arms:
+    equivalence suite pins the fast path against); the next two toggle
+    one execution knob each, fast path enabled in both arms; the last
+    swaps the executor itself:
 
     * ``sim``      — golden DSL kernel executions (runs/sec and simulated
       instructions issued per second),
@@ -67,7 +89,11 @@
       vs vanilla full re-execution ("reference") — docs/PERFORMANCE.md,
     * ``batch``    — replay-enabled campaign with batched tape evaluation
       on vs off; the fast arm is additionally held to an absolute floor
-      (``target_injections_per_sec``) under ``--check``.
+      (``target_injections_per_sec``) under ``--check``,
+    * ``service``  — the same campaign through the campaign service
+      (lease executor, one in-process worker, durable store) vs the plain
+      serial executor over an identical store — pure coordination
+      overhead, held to ``max_overhead`` (10%) under ``--check``.
 
     With ``--baseline-ref`` the same campaign measurement is repeated
     against a pristine checkout of that git ref (via a temporary
@@ -315,6 +341,67 @@ def _bench_batch(injections: int, warmup: int, seed: int) -> Dict[str, object]:
     return out
 
 
+#: ceiling on service-mode coordination overhead: the lease-executor arm
+#: must stay within this fraction of the plain serial-executor arm
+_SERVICE_MAX_OVERHEAD = 0.10
+
+
+def _bench_service(injections: int, warmup: int, seed: int) -> Dict[str, object]:
+    """Campaign throughput through the campaign service ("fast": a
+    LeaseExecutor with one in-process worker over a durable store) vs the
+    plain serial executor over an identical store ("reference") — isolates
+    pure coordination cost: lease claims, heartbeats, cancellation checks
+    and idempotent-commit verification.  Every timed run gets a *fresh*
+    store, so no arm ever serves cached chunks."""
+    import shutil
+    import tempfile
+
+    from repro.api import ExecutionPolicy, as_device, as_framework, get_workload, open_store
+    from repro.exec.engine import LeaseExecutor
+    from repro.faultsim.campaign import CampaignRunner
+
+    out: Dict[str, Dict[str, float]] = {"injections_per_sec": {}}
+    tmp = tempfile.mkdtemp(prefix="repro-bench-service-")
+    sequence = [0]
+
+    def one_run(workload, use_service: bool, run_injections: int, run_seed: int) -> None:
+        sequence[0] += 1
+        store = open_store(os.path.join(tmp, f"bench-{sequence[0]}.sqlite"))
+        try:
+            runner = CampaignRunner(
+                as_device("k40c"),
+                as_framework("nvbitfi"),
+                seed=run_seed,
+                executor=LeaseExecutor(workers=1) if use_service else None,
+                policy=ExecutionPolicy(store=store),
+            )
+            runner.run(workload, run_injections)
+        finally:
+            store.close()
+
+    try:
+        for label, enabled in (("fast", True), ("reference", False)):
+            workload = get_workload("kepler", "FMXM", seed=3)
+            _clear_worker_state()
+            one_run(workload, enabled, warmup, seed)
+            elapsed = float("inf")
+            for _ in range(_REPEATS):
+                with _gc_paused():
+                    t0 = time.process_time()
+                    one_run(workload, enabled, injections, seed + 1)
+                    elapsed = min(elapsed, time.process_time() - t0)
+            out["injections_per_sec"][label] = round(injections / elapsed, 1)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    out["overhead"] = round(
+        1.0
+        - out["injections_per_sec"]["fast"] / out["injections_per_sec"]["reference"],
+        3,
+    )
+    out["max_overhead"] = _SERVICE_MAX_OVERHEAD
+    return out
+
+
 _BASELINE_SCRIPT = """
 import time
 from repro.api import get_workload, run_campaign
@@ -384,13 +471,16 @@ def check_regression(
     from either report are skipped — a new layer can't fail the gate
     before its baseline is committed.
 
-    Two absolute gates ride along, *declared by the baseline* (so a
+    Three absolute gates ride along, *declared by the baseline* (so a
     downsized smoke bench against a synthetic baseline doesn't trip them):
     when the baseline's ``campaign`` layer records a ``speedup``, the fresh
     fast/reference speedup must stay >= 1.0 (the fast path must never be a
-    pessimization), and when a baseline layer records
+    pessimization); when a baseline layer records
     ``target_injections_per_sec`` (the ``batch`` layer in the committed
-    baseline), the fresh fast arm must stay at or above that floor.
+    baseline), the fresh fast arm must stay at or above that floor; and
+    when a baseline layer records ``max_overhead`` (the ``service`` layer),
+    the fresh fast arm must stay within that fraction of its *own*
+    reference arm — the service's coordination overhead ceiling.
     """
     regressions = []
     base_layers = baseline.get("layers", {})
@@ -412,6 +502,23 @@ def check_regression(
                 regressions.append(
                     f"{layer}.injections_per_sec: {float(fast):.1f}/s is below "
                     f"the absolute target {float(target):.1f}/s"
+                )
+        max_overhead = base_metrics.get("max_overhead")
+        if max_overhead is not None:
+            values = metrics.get("injections_per_sec", {})
+            fast, reference = values.get("fast"), values.get("reference")
+            if (
+                fast is not None
+                and reference is not None
+                and float(reference) > 0
+                and float(fast) < float(reference) * (1.0 - float(max_overhead))
+            ):
+                overhead = (1.0 - float(fast) / float(reference)) * 100.0
+                regressions.append(
+                    f"{layer}.injections_per_sec: the service arm "
+                    f"{float(fast):.1f}/s runs {overhead:.0f}% behind its own "
+                    f"reference arm {float(reference):.1f}/s (ceiling "
+                    f"{float(max_overhead) * 100.0:.0f}%)"
                 )
         for metric, values in metrics.items():
             if not isinstance(values, dict) or "fast" not in values:
@@ -729,6 +836,141 @@ def run_due_report_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_store_path(spec: str, command: str) -> Optional[pathlib.Path]:
+    """The filesystem path behind a store spec, or ``None`` (reason on
+    stderr) when nothing exists there — the same typo guard
+    ``_checked_extract`` applies, because open_store would silently create
+    an empty store at a mistyped path."""
+    path = spec
+    for prefix in ("sqlite:", "jsonl:"):
+        if path.startswith(prefix):
+            path = path[len(prefix):]
+            break
+    resolved = pathlib.Path(path)
+    if not resolved.exists():
+        print(f"{command}: no store at {resolved}", file=sys.stderr)
+        return None
+    return resolved
+
+
+def _cli_service_policy(args: argparse.Namespace):
+    """Fold the serve knob flags into a ServicePolicy (None = defaults)."""
+    from repro.store.policy import ServicePolicy
+
+    overrides = {}
+    for field in ("lease_ttl", "heartbeat_interval", "max_lease_epochs"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    return ServicePolicy(**overrides) if overrides else None
+
+
+def run_submit_cmd(args: argparse.Namespace) -> int:
+    from repro.api import submit_campaign
+    from repro.common.errors import ReproError
+
+    try:
+        entry = submit_campaign(
+            args.store,
+            args.name,
+            args.workload,
+            device=args.device,
+            framework=args.framework,
+            injections=args.injections,
+            seed=args.seed,
+            ecc=args.ecc,
+            priority=args.priority,
+            mode=args.mode,
+            retries=args.retries,
+            backoff=args.backoff,
+            on_crash=args.on_crash,
+        )
+    except ReproError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(
+        {
+            "name": entry.name,
+            "state": entry.state,
+            "mode": entry.mode,
+            "priority": entry.priority,
+            "spec": entry.spec,
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def run_serve_cmd(args: argparse.Namespace) -> int:
+    from repro.api import serve_campaigns
+    from repro.common.errors import ReproError
+    from repro.service.records import FAILED
+    from repro.telemetry import telemetry_session
+
+    if _service_store_path(args.store, "serve") is None:
+        return 2
+    try:
+        with telemetry_session():
+            rows = serve_campaigns(
+                args.store,
+                workers=args.workers,
+                service=_cli_service_policy(args),
+                max_campaigns=args.max_campaigns,
+                chaos_kill_after=args.chaos_kill_after,
+                chaos_worker=args.chaos_worker,
+            )
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(rows, indent=2))
+    return 3 if any(row.get("state") == FAILED for row in rows) else 0
+
+
+def run_status_cmd(args: argparse.Namespace) -> int:
+    from repro.api import campaign_status
+    from repro.common.errors import ReproError
+
+    if _service_store_path(args.store, "status") is None:
+        return 2
+    try:
+        rows = campaign_status(args.store, args.name)
+    except ReproError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 2
+    if args.name is not None and rows and rows[0].get("state") == "unknown":
+        print(f"status: campaign {args.name!r} was never submitted", file=sys.stderr)
+        return 2
+    print(json.dumps(rows, indent=2))
+    return 0
+
+
+def run_cancel_cmd(args: argparse.Namespace) -> int:
+    from repro.api import campaign_status, cancel_campaign
+    from repro.common.errors import ReproError
+
+    if _service_store_path(args.store, "cancel") is None:
+        return 2
+    try:
+        rows = campaign_status(args.store, args.name)
+        if rows and rows[0].get("state") == "unknown":
+            # a tombstone for a never-submitted name would be a silent no-op
+            # forever — far more likely a typo than an intent
+            print(
+                f"cancel: campaign {args.name!r} was never submitted",
+                file=sys.stderr,
+            )
+            return 2
+        stone = cancel_campaign(args.store, args.name, reason=args.reason)
+    except ReproError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(
+        {"name": stone.campaign, "state": "cancelled", "reason": stone.reason},
+        indent=2,
+    ))
+    return 0
+
+
 def run_bench(args: argparse.Namespace) -> Dict[str, object]:
     report: Dict[str, object] = {
         "schema": "repro-bench-simulator/1",
@@ -749,6 +991,7 @@ def run_bench(args: argparse.Namespace) -> Dict[str, object]:
             "campaign": _bench_campaign(args.injections, args.warmup, args.seed),
             "replay": _bench_replay(args.injections, args.warmup, args.seed),
             "batch": _bench_batch(args.batch_injections, args.warmup, args.seed),
+            "service": _bench_service(args.injections, args.warmup, args.seed),
         },
     }
     if args.baseline_ref:
@@ -824,6 +1067,94 @@ def main(argv: Optional[list] = None) -> int:
         help="evenly-spaced snapshots per golden capture (default 16)",
     )
     campaign_p.add_argument("--out", default=None, help="write the JSON summary here")
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="register a named campaign in a shared store for `serve` to run",
+    )
+    submit_p.add_argument("name", help="campaign name (no ':' or '/')")
+    submit_p.add_argument("workload", help="registry code name, e.g. FMXM")
+    submit_p.add_argument(
+        "--store", required=True,
+        help="shared durable store (created on first submit; .jsonl → JSONL)",
+    )
+    submit_p.add_argument("--device", default="kepler", help="kepler | volta | catalog key")
+    submit_p.add_argument("--framework", default="nvbitfi", help="nvbitfi | sassifi")
+    submit_p.add_argument("--injections", type=int, default=200)
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--ecc", default="on", help="on | off")
+    submit_p.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first; ties break by submission time (default 0)",
+    )
+    submit_p.add_argument(
+        "--mode", choices=("continue", "clean"), default="continue",
+        help="continue: resume from committed chunks (default); "
+        "clean: recompute everything (DAVOS clean semantics)",
+    )
+    submit_p.add_argument(
+        "--retries", type=int, default=None,
+        help="per-chunk retries before quarantine (default: policy default)",
+    )
+    submit_p.add_argument(
+        "--backoff", type=float, default=None,
+        help="base retry backoff in seconds (default: policy default)",
+    )
+    submit_p.add_argument(
+        "--on-crash", choices=("due", "quarantine", "raise"), default=None,
+        help="sandbox policy for unexpected crashes (docs/ROBUSTNESS.md)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="drain pending campaigns from a shared store with lease-coordinated workers",
+    )
+    serve_p.add_argument("--store", required=True, help="shared durable store")
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per campaign (1 = in-process; N>1 forks N "
+        "lease-coordinated workers)",
+    )
+    serve_p.add_argument(
+        "--max-campaigns", type=int, default=None, metavar="N",
+        help="stop after running N campaigns (default: drain the registry)",
+    )
+    serve_p.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="chunk lease time-to-live (default 30)",
+    )
+    serve_p.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="worker heartbeat cadence; a worker missing 3 beats is dead "
+        "(default 5)",
+    )
+    serve_p.add_argument(
+        "--max-lease-epochs", type=int, default=None, metavar="N",
+        help="quarantine a chunk whose lease epoch exceeds N (default 5)",
+    )
+    # fault-injection hooks for the chaos suite and the CI forced-death
+    # scenario: worker --chaos-worker SIGKILLs itself mid-lease after
+    # claiming --chaos-kill-after chunks
+    serve_p.add_argument("--chaos-kill-after", type=int, default=None, help=argparse.SUPPRESS)
+    serve_p.add_argument("--chaos-worker", type=int, default=0, help=argparse.SUPPRESS)
+
+    status_p = sub.add_parser(
+        "status", help="report campaign states and chunk progress from a shared store"
+    )
+    status_p.add_argument(
+        "name", nargs="?", default=None,
+        help="campaign name (default: every registered campaign)",
+    )
+    status_p.add_argument("--store", required=True, help="shared durable store")
+
+    cancel_p = sub.add_parser(
+        "cancel",
+        help="cooperatively cancel a campaign: workers finish in-flight "
+        "chunks, claim nothing new",
+    )
+    cancel_p.add_argument("name", help="campaign name")
+    cancel_p.add_argument("--store", required=True, help="shared durable store")
+    cancel_p.add_argument("--reason", default="", help="recorded on the tombstone")
 
     due_p = sub.add_parser(
         "due-report",
@@ -968,6 +1299,26 @@ def main(argv: Optional[list] = None) -> int:
             parser.error("--retries must be >= 0")
         return run_campaign_cmd(args)
 
+    if args.command == "submit":
+        if args.injections <= 0:
+            parser.error("--injections must be > 0")
+        if args.retries is not None and args.retries < 0:
+            parser.error("--retries must be >= 0")
+        return run_submit_cmd(args)
+
+    if args.command == "serve":
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        if args.chaos_kill_after is not None and args.workers < 2:
+            parser.error("--chaos-kill-after needs --workers >= 2")
+        return run_serve_cmd(args)
+
+    if args.command == "status":
+        return run_status_cmd(args)
+
+    if args.command == "cancel":
+        return run_cancel_cmd(args)
+
     if args.command == "due-report":
         return run_due_report_cmd(args)
 
@@ -1017,6 +1368,7 @@ def main(argv: Optional[list] = None) -> int:
         campaign = report["layers"]["campaign"]
         replay = report["layers"]["replay"]
         batch = report["layers"]["batch"]
+        service = report["layers"]["service"]
         print(f"wrote {out}")
         print(
             "campaign: fast {fast} inj/s vs reference {ref} inj/s (x{speedup})".format(
@@ -1039,6 +1391,15 @@ def main(argv: Optional[list] = None) -> int:
                 ref=batch["injections_per_sec"]["reference"],
                 speedup=batch["speedup"],
                 target=batch["target_injections_per_sec"],
+            )
+        )
+        print(
+            "service:  lease {fast} inj/s vs serial {ref} inj/s "
+            "(overhead {ovh:.1f}%, ceiling {cap:.0f}%)".format(
+                fast=service["injections_per_sec"]["fast"],
+                ref=service["injections_per_sec"]["reference"],
+                ovh=service["overhead"] * 100.0,
+                cap=service["max_overhead"] * 100.0,
             )
         )
         if "baseline" in report:

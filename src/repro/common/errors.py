@@ -66,6 +66,27 @@ class StoreError(ReproError):
     context cannot be fingerprinted durably (see docs/STORAGE.md)."""
 
 
+class CampaignCancelledError(ReproError):
+    """A service-mode campaign was cancelled cooperatively: a tombstone
+    record appeared in the store and the workers stopped claiming chunks.
+
+    In-flight chunks drain and commit before workers stop, so everything
+    reported ``committed`` is durable — resubmitting the campaign in
+    ``continue`` mode replays those chunks and finishes only the rest.
+    """
+
+    def __init__(self, campaign: str, committed: int, total: int, reason: str = ""):
+        self.campaign = campaign
+        self.committed = committed
+        self.total = total
+        self.reason = reason
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"campaign {campaign!r} cancelled{detail}: "
+            f"{committed}/{total} chunks committed before the tombstone was observed"
+        )
+
+
 class ChunkQuarantinedError(ReproError):
     """One or more task chunks kept failing after every retry and were
     quarantined (recorded in the store with ``status="quarantined"``).

@@ -38,7 +38,11 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
-from repro.common.errors import ChunkQuarantinedError, ConfigurationError
+from repro.common.errors import (
+    CampaignCancelledError,
+    ChunkQuarantinedError,
+    ConfigurationError,
+)
 from repro.exec.tasks import ChunkResult
 from repro.store.fingerprint import chunk_fingerprint, context_kind, context_payload
 from repro.store.policy import RunPolicy
@@ -208,6 +212,22 @@ def _evaluate_with_retry(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def _worker_telemetry_reset() -> None:
+    """Pool-worker initializer: install a fresh sinkless telemetry context.
+
+    Fork-started pool workers inherit the parent's active context — under a
+    ``telemetry_session`` that includes the parent's *live trace-file sink*,
+    so anything a worker emitted outside a ``capture()`` scope would
+    interleave into the parent's trace (and double once more via the
+    shipped chunk snapshots).  A fresh sinkless context keeps worker-side
+    telemetry exactly where the aggregation story expects it: in captured
+    snapshots, merged by the parent in chunk order.
+    """
+    from repro.telemetry.core import Telemetry, set_telemetry
+
+    set_telemetry(Telemetry())
+
+
 class Executor(Protocol):
     """Minimal executor interface the reliability engines program against."""
 
@@ -299,7 +319,12 @@ class ProcessExecutor:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            # the initializer rides through _rebuild_pool too: a pool
+            # rebuilt after a worker crash re-registers the same worker
+            # telemetry isolation as the original
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_telemetry_reset
+            )
         return self._pool
 
     def _rebuild_pool(self) -> ProcessPoolExecutor:
@@ -427,6 +452,331 @@ class ProcessExecutor:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessExecutor(workers={self.workers})"
+
+
+class LeaseExecutor:
+    """Crash-tolerant executor: N workers coordinate through the store.
+
+    Where :class:`ProcessExecutor` pushes chunks to a pool over pipes,
+    ``LeaseExecutor`` publishes nothing — workers *pull*: each claims
+    chunks from the shared store via the lease table
+    (:mod:`repro.service.lease`), evaluates them with the normal
+    retry/quarantine machinery, and commits idempotently.  Any worker —
+    including one started tomorrow on another host pointing at the same
+    store — can finish a campaign another worker died in the middle of,
+    which is the property the direct executors cannot offer.
+
+    * ``workers=1`` drains in the calling process (no fork; the bench's
+      measure of pure lease overhead).
+    * ``workers>1`` forks that many child processes, each draining with
+      its own store handle, while the parent supervises: it delivers
+      results in sequence order as chunks become terminal, counts worker
+      deaths (``service.workers.died``), and — if every child dies with
+      work remaining — drains the remainder itself, so a campaign always
+      completes as long as *some* process survives.
+
+    The chunk partition is always the **serial** partition
+    (:func:`default_chunksize` with ``workers=1``) regardless of the
+    worker count: fingerprints, committed chunks, and the extracted
+    report are then bit-identical to a ``SerialExecutor`` run — the
+    service's headline invariant — and any worker fleet resumes any
+    other fleet's store.
+
+    ``policy.refresh=True`` (the registry's ``clean`` mode) is honoured
+    with a *staleness watermark*: records committed before the run
+    started are treated as absent (everything re-executes), while commits
+    landing during the run still coordinate normally.
+
+    Requires a policy with a store — the store *is* the coordination
+    medium.  Cooperative cancellation (``campaign=`` + a tombstone in the
+    store) raises :class:`~repro.common.errors.CampaignCancelledError`
+    after in-flight chunks drain.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        service: Optional["ServicePolicy"] = None,
+        campaign: Optional[str] = None,
+        chaos_kill_after: Optional[int] = None,
+        chaos_worker: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if chaos_kill_after is not None and workers < 2:
+            raise ConfigurationError(
+                "chaos_kill_after SIGKILLs a worker process; it needs "
+                "workers >= 2 so the kill hits a child, not the caller"
+            )
+        self.workers = workers
+        self.service = service
+        self.campaign = campaign
+        self.chaos_kill_after = chaos_kill_after
+        self.chaos_worker = chaos_worker
+
+    def run_chunks(
+        self,
+        fn: ChunkFn,
+        context: Any,
+        tasks: Sequence[Any],
+        on_result: ResultHook = None,
+        policy: Optional[RunPolicy] = None,
+    ) -> List[Any]:
+        from repro.service.registry import CampaignRegistry
+        from repro.service.worker import ServiceWorker
+        from repro.store.backends import DONE, QUARANTINED
+        from repro.store.policy import service_setting
+
+        if not tasks:
+            return []
+        if policy is None or policy.store is None:
+            raise ConfigurationError(
+                "LeaseExecutor requires a policy with a store: the store is "
+                "the coordination medium workers claim chunks through"
+            )
+        telemetry = get_telemetry()
+        store = policy.store
+        service = self.service if self.service is not None else service_setting(policy)
+        # always the serial partition — see class docstring
+        chunks = _chunked(tasks, default_chunksize(len(tasks), 1))
+        fingerprints = _fingerprints(policy, context, chunks)
+        assert fingerprints is not None
+        stale_before = time.time() if policy.refresh else None
+
+        by_chunk: List[Optional[List[Any]]] = [None] * len(chunks)
+        snapshots: List[Optional[Snapshot]] = [None] * len(chunks)
+        #: chunks an *in-process* worker evaluated this run: results handed
+        #: over directly, sparing deliver_ready a store read-back + decode
+        #: (and matching SerialExecutor, which also delivers from memory)
+        evaluated: Dict[int, Tuple[List[Any], Optional[Snapshot]]] = {}
+        #: terminal status per chunk as observed during delivery — saves
+        #: the epilogue a full record read per settled chunk
+        statuses: List[Optional[str]] = [None] * len(chunks)
+        delivered = 0
+
+        def fresh(fingerprint: str):
+            """The chunk's terminal record, ignoring stale (clean-mode) ones."""
+            record = store.backend.get(fingerprint)
+            if record is None:
+                return None
+            if stale_before is not None and record.created < stale_before:
+                return None
+            return record
+
+        def deliver_ready() -> None:
+            """Advance the sequence pointer over terminal chunks, merging
+            snapshots and delivering results in chunk order (the same
+            order a serial run produces them in)."""
+            nonlocal delivered
+            while delivered < len(chunks):
+                cached = evaluated.pop(delivered, None)
+                if cached is not None:
+                    chunk_results, snapshot = cached
+                else:
+                    record = fresh(fingerprints[delivered])
+                    if record is None:
+                        return
+                    if record.status == QUARANTINED:
+                        statuses[delivered] = QUARANTINED
+                        delivered += 1
+                        continue
+                    loaded = store.get(fingerprints[delivered])
+                    if loaded is None:
+                        return
+                    chunk_results, snapshot = store.load_chunk(loaded)
+                statuses[delivered] = DONE
+                by_chunk[delivered] = chunk_results
+                snapshots[delivered] = snapshot
+                telemetry.registry.merge(snapshot)
+                for result in chunk_results:
+                    telemetry.task_done()
+                    if on_result is not None:
+                        on_result(result)
+                delivered += 1
+
+        def on_worker_chunk(
+            index: int,
+            chunk_results: List[Any],
+            snapshot: Optional[Snapshot],
+        ) -> None:
+            evaluated[index] = (chunk_results, snapshot)
+            deliver_ready()
+
+        cancelled = False
+        if self.workers == 1:
+            worker = ServiceWorker(
+                store,
+                policy,
+                service,
+                campaign=self.campaign,
+                stale_before=stale_before,
+                on_chunk=on_worker_chunk,
+            )
+            cancelled = worker.drain(fn, context, chunks, fingerprints).cancelled
+        else:
+            cancelled = self._supervise(
+                fn, context, chunks, fingerprints, policy, service,
+                stale_before, deliver_ready, on_worker_chunk,
+            )
+
+        store.refresh()
+        deliver_ready()
+        registry = CampaignRegistry(store)
+        quarantined: List[Tuple[int, Optional[str], str]] = []
+        committed = 0
+        for index, fingerprint in enumerate(fingerprints):
+            status = statuses[index]
+            if status is None:
+                record = fresh(fingerprint)
+                if record is None:
+                    continue
+                status = record.status
+            if status == QUARANTINED:
+                record = fresh(fingerprint)  # only for the error message
+                quarantined.append(
+                    (index, fingerprint,
+                     (record.error if record is not None else None) or "quarantined")
+                )
+            else:
+                committed += 1
+        if cancelled:
+            stone = registry.tombstone(self.campaign) if self.campaign else None
+            raise CampaignCancelledError(
+                self.campaign or "<anonymous>",
+                committed=committed,
+                total=len(chunks),
+                reason=stone.reason if stone is not None else "",
+            )
+        if quarantined:
+            raise ChunkQuarantinedError(quarantined)
+        results: List[Any] = []
+        for chunk_results in by_chunk:
+            results.extend(chunk_results or ())
+        return results
+
+    def _supervise(
+        self,
+        fn: ChunkFn,
+        context: Any,
+        chunks: Sequence[Sequence[Any]],
+        fingerprints: Sequence[str],
+        policy: RunPolicy,
+        service: "ServicePolicy",
+        stale_before: Optional[float],
+        deliver_ready,
+        on_worker_chunk,
+    ) -> bool:
+        """Fork N drain children and watch them; returns the cancelled flag.
+
+        The parent is the supervisor: it reaps dead children (a non-zero /
+        signalled exit counts ``service.workers.died``), and if the whole
+        fleet dies with chunks outstanding it becomes the worker of last
+        resort and drains the remainder in-process.
+        """
+        import multiprocessing
+
+        from repro.service.liveness import default_worker_id
+        from repro.service.registry import CampaignRegistry
+        from repro.service.worker import ServiceWorker, service_child_main
+        from repro.store.backends import DONE, JsonlBackend, QUARANTINED
+
+        telemetry = get_telemetry()
+        store = policy.store
+        backend_name = "jsonl" if isinstance(store.backend, JsonlBackend) else "sqlite"
+        policy_spec = {
+            "retries": policy.retries,
+            "backoff": policy.backoff,
+            "on_crash": policy.on_crash,
+        }
+        base_id = default_worker_id()
+        procs = []
+        for index in range(self.workers):
+            chaos = (
+                self.chaos_kill_after if index == self.chaos_worker else None
+            )
+            procs.append(
+                multiprocessing.Process(
+                    target=service_child_main,
+                    args=(
+                        str(store.path),
+                        backend_name,
+                        policy_spec,
+                        service,
+                        fn,
+                        context,
+                        list(chunks),
+                        list(fingerprints),
+                        f"{base_id}.w{index}",
+                        self.campaign,
+                        chaos,
+                        stale_before,
+                    ),
+                    daemon=True,
+                )
+            )
+        for proc in procs:
+            proc.start()
+        registry = CampaignRegistry(store)
+        reaped = set()
+        cancelled = False
+
+        def fresh_terminal(fingerprint: str) -> bool:
+            record = store.backend.get(fingerprint)
+            if record is None:
+                return False
+            if stale_before is not None and record.created < stale_before:
+                return False
+            return record.status in (DONE, QUARANTINED)
+
+        try:
+            while True:
+                store.refresh()
+                deliver_ready()
+                if all(fresh_terminal(fp) for fp in fingerprints):
+                    break
+                if self.campaign and registry.cancelled(self.campaign):
+                    cancelled = True
+                for index, proc in enumerate(procs):
+                    if index in reaped or proc.is_alive():
+                        continue
+                    proc.join()
+                    reaped.add(index)
+                    if proc.exitcode != 0:
+                        telemetry.count("service.workers.died")
+                if len(reaped) == len(procs):
+                    if cancelled:
+                        break
+                    # the whole fleet is gone with work remaining: the
+                    # supervisor drains the rest itself — crash recovery's
+                    # last line
+                    telemetry.count("service.supervisor.takeovers")
+                    worker = ServiceWorker(
+                        store,
+                        policy,
+                        service,
+                        worker_id=f"{base_id}.supervisor",
+                        campaign=self.campaign,
+                        stale_before=stale_before,
+                        on_chunk=on_worker_chunk,
+                    )
+                    cancelled = worker.drain(
+                        fn, context, chunks, fingerprints
+                    ).cancelled
+                    continue
+                time.sleep(service.poll_interval)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.join()
+        return cancelled
+
+    def close(self) -> None:  # workers are per-run, nothing persists
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LeaseExecutor(workers={self.workers}, campaign={self.campaign!r})"
+        )
 
 
 def get_executor(

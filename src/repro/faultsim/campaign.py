@@ -561,6 +561,24 @@ class CampaignRunner:
             for i in range(injections)
         ]
 
+    def campaign_context(self, workload: Workload) -> CampaignContext:
+        """The durable chunk context a campaign over ``workload`` runs under.
+
+        Exposed so out-of-band planners (the campaign service coordinator)
+        can fingerprint a campaign's chunks — identically to the run
+        itself — before dispatching it."""
+        return CampaignContext(
+            device=self.device,
+            framework=self.framework,
+            ecc=self.ecc.value,
+            root_seed=self.rngs.root_seed,
+            workload=WorkloadHandle.wrap(workload),
+            on_crash=self.on_crash,
+            replay=self.replay_enabled,
+            snapshots_per_run=self.snapshots_per_run,
+            batch_eval=self.batch_eval,
+        )
+
     def run(
         self,
         workload: Workload,
@@ -584,17 +602,7 @@ class CampaignRunner:
             workers=self.executor.workers,
         ):
             tasks = self.plan_tasks(workload, injections)
-            context = CampaignContext(
-                device=self.device,
-                framework=self.framework,
-                ecc=self.ecc.value,
-                root_seed=self.rngs.root_seed,
-                workload=WorkloadHandle.wrap(workload),
-                on_crash=self.on_crash,
-                replay=self.replay_enabled,
-                snapshots_per_run=self.snapshots_per_run,
-                batch_eval=self.batch_eval,
-            )
+            context = self.campaign_context(workload)
             # pre-seed the process-local worker cache with *this* runner so the
             # serial executor (and fork-spawned children) reuse the golden run
             # already computed for site sizing

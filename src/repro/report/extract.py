@@ -38,9 +38,13 @@ from repro.store.fingerprint import canonical_json
 from repro.store.store import StoreLike, open_store
 
 #: store record kinds that are engine bookkeeping, not campaign results
-#: (replay-session tapes depend on which process evaluated what, so they
-#: are not part of a store's logical content)
-INTERNAL_KINDS = frozenset({"replay_session"})
+#: (replay-session tapes depend on which process evaluated what, and the
+#: campaign service's coordination records — leases, heartbeats,
+#: tombstones, the campaign registry — describe *who* executed a chunk,
+#: never what it computed; none are part of a store's logical content)
+INTERNAL_KINDS = frozenset(
+    {"replay_session", "lease", "heartbeat", "tombstone", "campaign_entry"}
+)
 
 #: counter families whose values are event counts (deterministic); the
 #: extraction keeps every counter — this names the ones reports highlight

@@ -1,0 +1,62 @@
+"""repro.service — the fault-tolerant campaign service (docs/SERVICE.md).
+
+A crash-safe, multi-worker campaign coordinator built entirely on the
+durable :class:`~repro.store.store.CampaignStore`: the store is the only
+shared medium, so any process that can open it — on this host or another
+— can submit campaigns, claim chunks, observe liveness, or cancel work.
+
+Layers, bottom up:
+
+* :mod:`repro.service.records` — the durable coordination record kinds
+  (lease / heartbeat / tombstone / campaign registry rows);
+* :mod:`repro.service.lease` — TTL-based chunk claims with monotonic
+  epochs, dead-owner reclamation, and poison-chunk escalation;
+* :mod:`repro.service.liveness` — heartbeats and the dead/alive protocol;
+* :mod:`repro.service.registry` — named campaigns, priorities,
+  clean/continue submission modes, cancellation tombstones;
+* :mod:`repro.service.worker` — the claim→evaluate→commit→release drain
+  loop every worker process runs;
+* :mod:`repro.service.coordinator` — the serve loop, plus the
+  submit/serve/status/cancel helpers the CLI and ``repro.api`` re-export.
+
+The executor face of all this is
+:class:`~repro.exec.engine.LeaseExecutor`.  Headline invariant: an
+N-worker service campaign with arbitrary injected worker deaths produces
+records and domain telemetry bit-identical to a serial run.
+"""
+
+from repro.service.coordinator import (
+    CampaignCoordinator,
+    campaign_status,
+    cancel_campaign,
+    serve_campaigns,
+    submit_campaign,
+)
+from repro.service.lease import LeaseTable
+from repro.service.liveness import WorkerRegistry, default_worker_id
+from repro.service.records import (
+    CampaignEntry,
+    HeartbeatRecord,
+    LeaseRecord,
+    TombstoneRecord,
+)
+from repro.service.registry import CampaignRegistry
+from repro.service.worker import DrainStats, ServiceWorker
+
+__all__ = [
+    "CampaignCoordinator",
+    "CampaignEntry",
+    "CampaignRegistry",
+    "DrainStats",
+    "HeartbeatRecord",
+    "LeaseRecord",
+    "LeaseTable",
+    "ServiceWorker",
+    "TombstoneRecord",
+    "WorkerRegistry",
+    "campaign_status",
+    "cancel_campaign",
+    "default_worker_id",
+    "serve_campaigns",
+    "submit_campaign",
+]

@@ -1,0 +1,195 @@
+"""The lease table: TTL-based chunk claims over the shared store.
+
+The claim protocol is deliberately *not* a mutex.  Both backends give us
+atomic single-record writes but no compare-and-swap, so ``acquire`` does a
+read → check → write → read-back-verify dance: refresh the view, claim
+only chunks whose lease is absent/released/expired, write a new lease at
+``epoch + 1``, then re-read to see whether our write is the one that
+stuck.  Two workers racing the same chunk can, rarely, both believe they
+won for one round-trip — which is exactly why the execution side is
+built to tolerate it: chunk evaluation is deterministic and commits are
+content-addressed and idempotent (first commit wins, a duplicate is a
+byte-verified no-op), so double execution costs wall-clock, never
+correctness.  The service guarantees *at-least-once* execution with
+*exactly-once* durable results.
+
+The table is also where chunk failure history accumulates:
+
+* an **expired** lease whose owner's heartbeat went stale means the owner
+  died mid-chunk — the chunk returns to the pool with its retry budget
+  intact, and the dead owner joins the lease's ``victims`` list;
+* an expired lease whose owner is still heartbeating is merely *slow* —
+  the chunk is stolen (counted, not escalated);
+* a chunk whose distinct-victim count reaches
+  :attr:`~repro.store.policy.ServicePolicy.victim_threshold`, or whose
+  epoch would exceed
+  :attr:`~repro.store.policy.ServicePolicy.max_lease_epochs`, is treated
+  as poison: it killed several healthy workers (or starved every claim),
+  so it escalates to the store's quarantine path (PR 5) instead of being
+  handed to yet another worker.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.service.liveness import WorkerRegistry
+from repro.service.records import LeaseRecord, lease_key
+from repro.store.policy import ServicePolicy
+from repro.store.store import CampaignStore
+from repro.telemetry import get_telemetry
+
+
+class LeaseTable:
+    """One worker's view of the chunk claims in a shared store."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        service: ServicePolicy,
+        owner: str,
+        liveness: Optional[WorkerRegistry] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.store = store
+        self.service = service
+        self.owner = owner
+        self.liveness = liveness
+        self.clock = clock
+
+    # -- reads ------------------------------------------------------------------
+    def load(self, chunk_fingerprint: str) -> Optional[LeaseRecord]:
+        """The current lease on a chunk, or None if never claimed."""
+        record = self.store.backend.get(lease_key(chunk_fingerprint))
+        if record is None:
+            return None
+        try:
+            return LeaseRecord.from_chunk(record)
+        except (KeyError, TypeError, ValueError):
+            return None  # torn/foreign row: treat as unclaimed
+
+    # -- the claim protocol -----------------------------------------------------
+    def acquire(self, chunk_fingerprint: str, kind: str) -> Optional[LeaseRecord]:
+        """Try to claim a chunk; returns the granted lease or None.
+
+        None means the chunk is legitimately unavailable: actively leased
+        by a live peer, just lost to a racing claim, or escalated to
+        quarantine as poison.  Callers skip it and rescan later.
+        """
+        telemetry = get_telemetry()
+        now = self.clock()
+        existing = self.load(chunk_fingerprint)
+        epoch = 1
+        victims: list = []
+        if existing is not None:
+            if existing.active(now) and existing.owner != self.owner:
+                return None
+            epoch = existing.epoch + 1
+            victims = list(existing.victims)
+            if existing.expired(now):
+                telemetry.count("service.leases.expired")
+                if self._owner_dead(existing.owner, now):
+                    # the previous holder died mid-chunk: a crash victim
+                    if existing.owner not in victims:
+                        victims.append(existing.owner)
+                    telemetry.count("service.leases.reclaimed")
+                else:
+                    # holder is alive but blew the TTL: steal, don't blame
+                    telemetry.count("service.leases.stolen")
+                # escalation is judged only on the *troubled* path (an
+                # expired claim): a cleanly released lease re-claimed later
+                # — e.g. a clean-mode resubmission — proved the chunk is
+                # executable, whatever its epoch count says
+                if len(victims) >= self.service.victim_threshold:
+                    self._escalate(
+                        chunk_fingerprint,
+                        kind,
+                        epoch,
+                        f"poison chunk: killed {len(victims)} distinct workers "
+                        f"({', '.join(victims)})",
+                    )
+                    return None
+                if epoch > self.service.max_lease_epochs:
+                    self._escalate(
+                        chunk_fingerprint,
+                        kind,
+                        epoch,
+                        f"lease epoch budget exhausted "
+                        f"({epoch} > {self.service.max_lease_epochs})",
+                    )
+                    return None
+        lease = LeaseRecord(
+            chunk=chunk_fingerprint,
+            owner=self.owner,
+            epoch=epoch,
+            granted=now,
+            deadline=now + self.service.lease_ttl,
+            victims=victims,
+        )
+        self.store.backend.put(lease.to_chunk())
+        # read-back verify: under a write race, last-write-wins decides;
+        # whoever reads back someone else's (owner, epoch) lost the claim
+        self.store.refresh()
+        witnessed = self.load(chunk_fingerprint)
+        if (
+            witnessed is None
+            or witnessed.owner != self.owner
+            or witnessed.epoch != epoch
+        ):
+            telemetry.count("service.leases.lost_race")
+            return None
+        telemetry.count("service.leases.granted")
+        return lease
+
+    def renew(self, lease: LeaseRecord) -> LeaseRecord:
+        """Extend a held lease's deadline by one TTL (same epoch)."""
+        now = self.clock()
+        renewed = LeaseRecord(
+            chunk=lease.chunk,
+            owner=lease.owner,
+            epoch=lease.epoch,
+            granted=lease.granted,
+            deadline=now + self.service.lease_ttl,
+            victims=list(lease.victims),
+        )
+        self.store.backend.put(renewed.to_chunk())
+        get_telemetry().count("service.leases.renewed")
+        return renewed
+
+    def release(self, lease: LeaseRecord) -> None:
+        """Mark a held lease released (the chunk reached a terminal state)."""
+        done = LeaseRecord(
+            chunk=lease.chunk,
+            owner=lease.owner,
+            epoch=lease.epoch,
+            granted=lease.granted,
+            deadline=lease.deadline,
+            released=True,
+            victims=list(lease.victims),
+        )
+        self.store.backend.put(done.to_chunk())
+        get_telemetry().count("service.leases.released")
+
+    # -- internals --------------------------------------------------------------
+    def _owner_dead(self, owner: str, now: float) -> bool:
+        """Dead workers are those whose heartbeat went stale; a worker we
+        have never heard of is *presumed* dead (it may have crashed before
+        its first beat landed)."""
+        if self.liveness is None:
+            return True
+        return not self.liveness.alive(owner, now)
+
+    def _escalate(
+        self, chunk_fingerprint: str, kind: str, epoch: int, reason: str
+    ) -> None:
+        """Hand a poison chunk to the PR 5 quarantine path.
+
+        Idempotent: the first escalating worker writes the quarantine
+        record; peers observing the same history re-derive the same
+        decision and overwrite it with identical content.
+        """
+        self.store.quarantine(
+            chunk_fingerprint, kind, f"ServiceEscalation: {reason}", attempts=epoch - 1
+        )
+        get_telemetry().count("service.chunks.escalated")

@@ -1,0 +1,165 @@
+"""Worker liveness: heartbeat records and the dead/alive judgement.
+
+Each worker owns exactly one ``worker:<id>`` heartbeat record and rewrites
+it (last-write-wins) at most every
+:attr:`~repro.store.policy.ServicePolicy.heartbeat_interval` seconds.
+Everyone else reads those records to classify peers:
+
+* **alive** — last beat within ``dead_after`` (``miss_factor`` missed
+  heartbeats); its leases are inviolable until they expire;
+* **dead** — beat older than ``dead_after`` (or never seen): its expired
+  leases are reclaimed by any live worker, and it is recorded as a victim
+  on the chunks it died holding.
+
+A *stalled* worker — alive but paused long enough to miss its own cadence
+(long GC, a chunk far over budget, a laptop lid) — re-registers with
+exponential backoff when it wakes up, rather than assuming its old
+identity is still trusted.  Registration itself also retries with the
+same backoff, since the very first write can race a backend that another
+worker is mid-compaction on (SQLite ``busy``).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import StoreError
+from repro.service.records import (
+    HeartbeatRecord,
+    KIND_HEARTBEAT,
+    WORKER_PREFIX,
+    worker_key,
+)
+from repro.store.policy import ServicePolicy
+from repro.store.store import CampaignStore
+from repro.telemetry import get_telemetry
+
+#: registration write attempts before giving up (backoff doubles each time)
+REGISTER_ATTEMPTS = 5
+
+
+def default_worker_id(suffix: str = "") -> str:
+    """``host:pid[.suffix]`` — unique per process, readable in the store."""
+    base = f"{socket.gethostname()}:{os.getpid()}"
+    return f"{base}.{suffix}" if suffix else base
+
+
+class WorkerRegistry:
+    """One worker's heartbeat writer + everyone's liveness reader."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        service: ServicePolicy,
+        worker_id: str,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+        register_backoff: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.service = service
+        self.worker_id = worker_id
+        self.clock = clock
+        self.sleep = sleep
+        self.register_backoff = register_backoff
+        self._started: Optional[float] = None
+        self._last_beat = 0.0
+
+    # -- my own heartbeat -------------------------------------------------------
+    def register(self) -> HeartbeatRecord:
+        """Write the initial heartbeat, retrying with exponential backoff."""
+        now = self.clock()
+        self._started = now
+        record = self._heartbeat(now)
+        last_error: Optional[BaseException] = None
+        for attempt in range(REGISTER_ATTEMPTS):
+            try:
+                self.store.backend.put(record.to_chunk())
+                self._last_beat = now
+                get_telemetry().count("service.workers.registered")
+                return record
+            except Exception as exc:  # backend contention (sqlite busy, ...)
+                last_error = exc
+                get_telemetry().count("service.workers.register_retries")
+                self.sleep(self.register_backoff * (2 ** attempt))
+        raise StoreError(
+            f"worker {self.worker_id!r} could not register after "
+            f"{REGISTER_ATTEMPTS} attempts: {last_error}"
+        )
+
+    def beat(self, force: bool = False) -> bool:
+        """Renew my heartbeat if the interval has elapsed; returns whether a
+        record was written.  A worker that discovers it overslept its own
+        death deadline re-registers (with backoff) instead of quietly
+        resuming — peers may already have reclaimed its leases."""
+        now = self.clock()
+        if self._started is None:
+            self.register()
+            return True
+        if now - self._last_beat > self.service.dead_after:
+            get_telemetry().count("service.workers.reregistered")
+            self.register()
+            return True
+        if not force and now - self._last_beat < self.service.heartbeat_interval:
+            return False
+        self.store.backend.put(self._heartbeat(now).to_chunk())
+        self._last_beat = now
+        get_telemetry().count("service.heartbeats")
+        return True
+
+    def _heartbeat(self, now: float) -> HeartbeatRecord:
+        return HeartbeatRecord(
+            worker=self.worker_id,
+            pid=os.getpid(),
+            host=socket.gethostname(),
+            started=self._started if self._started is not None else now,
+            beat=now,
+            interval=self.service.heartbeat_interval,
+        )
+
+    # -- everyone else's --------------------------------------------------------
+    def peer(self, worker_id: str) -> Optional[HeartbeatRecord]:
+        record = self.store.backend.get(worker_key(worker_id))
+        if record is None or record.kind != KIND_HEARTBEAT:
+            return None
+        try:
+            return HeartbeatRecord.from_chunk(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def alive(self, worker_id: str, now: Optional[float] = None) -> bool:
+        """Liveness judgement: beat within ``dead_after``.  Unknown workers
+        are dead (they crashed before their first beat, or their record is
+        in a torn tail we cannot read — either way their leases are not
+        worth honouring past expiry)."""
+        beat = self.peer(worker_id)
+        if beat is None:
+            return False
+        return not beat.stale(now if now is not None else self.clock(),
+                              self.service.dead_after)
+
+    def workers(self) -> Dict[str, HeartbeatRecord]:
+        """All heartbeat records in the store, by worker id."""
+        table: Dict[str, HeartbeatRecord] = {}
+        for record in self.store.iter_chunks(kind=KIND_HEARTBEAT):
+            if not record.fingerprint.startswith(WORKER_PREFIX):
+                continue
+            try:
+                beat = HeartbeatRecord.from_chunk(record)
+            except (KeyError, TypeError, ValueError):
+                continue
+            table[beat.worker] = beat
+        return table
+
+    def census(self, now: Optional[float] = None) -> Dict[str, str]:
+        """Worker id → "alive" | "dead" snapshot (status reporting)."""
+        moment = now if now is not None else self.clock()
+        return {
+            worker_id: (
+                "alive" if not beat.stale(moment, self.service.dead_after) else "dead"
+            )
+            for worker_id, beat in sorted(self.workers().items())
+        }

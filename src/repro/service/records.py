@@ -1,0 +1,279 @@
+"""Durable coordination records of the campaign service.
+
+Everything the service knows — who holds which chunk, which workers are
+alive, which campaigns exist and whether they were cancelled — lives in
+the same durable store as the campaign results themselves, as four new
+record kinds riding the existing :class:`~repro.store.backends.ChunkRecord`
+row shape:
+
+* ``kind="lease"`` — one row per claimed chunk (:class:`LeaseRecord`),
+  keyed ``lease:<chunk fingerprint>``.  Carries a monotonic *epoch* (how
+  many times the chunk has ever been claimed), the owning worker, a
+  wall-clock deadline, and the list of distinct workers that died while
+  holding it (the poison-escalation evidence).
+* ``kind="heartbeat"`` — one row per worker (:class:`HeartbeatRecord`),
+  keyed ``worker:<worker id>``, last-write-wins.  A worker that stops
+  renewing it is presumed dead and its chunks go back to the pool.
+* ``kind="tombstone"`` — the cooperative cancellation marker
+  (:class:`TombstoneRecord`), keyed ``tombstone:<campaign>``.  Workers
+  observe it between chunks, drain in-flight work, and stop claiming.
+* ``kind="campaign_entry"`` — the campaign registry row
+  (:class:`CampaignEntry`), keyed ``campaign:<name>``: the durable spec,
+  priority, DAVOS-style clean/continue mode, and lifecycle state.
+
+All four serialize into the record's ``meta`` dict (plain JSON in both
+backends, so a service store stays greppable), never into ``payload`` —
+the codec-encoded payload channel is reserved for campaign results.  None
+of them are part of a store's *logical* content: report extraction skips
+them (:data:`repro.report.extract.INTERNAL_KINDS`), which is what keeps a
+service-mode store ``report --diff``-identical to a serial run's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.store.backends import ChunkRecord, DONE
+
+#: store record kinds owned by the service
+KIND_LEASE = "lease"
+KIND_HEARTBEAT = "heartbeat"
+KIND_TOMBSTONE = "tombstone"
+KIND_CAMPAIGN = "campaign_entry"
+
+SERVICE_KINDS = (KIND_LEASE, KIND_HEARTBEAT, KIND_TOMBSTONE, KIND_CAMPAIGN)
+
+#: key prefixes; chunk fingerprints are bare hex so the colon-prefixed
+#: service keys can never collide with them
+LEASE_PREFIX = "lease:"
+WORKER_PREFIX = "worker:"
+CAMPAIGN_PREFIX = "campaign:"
+TOMBSTONE_PREFIX = "tombstone:"
+
+#: campaign lifecycle states
+PENDING = "pending"
+RUNNING = "running"
+COMPLETE = "complete"
+CANCELLED = "cancelled"
+FAILED = "failed"
+CAMPAIGN_STATES = (PENDING, RUNNING, COMPLETE, CANCELLED, FAILED)
+
+#: submit modes, mirroring DAVOS: ``clean`` recomputes everything (maps to
+#: the store's refresh semantics), ``continue`` resumes from committed
+#: chunks (the resume machinery's default)
+MODE_CLEAN = "clean"
+MODE_CONTINUE = "continue"
+CAMPAIGN_MODES = (MODE_CLEAN, MODE_CONTINUE)
+
+
+def lease_key(chunk_fingerprint: str) -> str:
+    return LEASE_PREFIX + chunk_fingerprint
+
+
+def worker_key(worker_id: str) -> str:
+    return WORKER_PREFIX + worker_id
+
+
+def campaign_key(name: str) -> str:
+    return CAMPAIGN_PREFIX + name
+
+
+def tombstone_key(name: str) -> str:
+    return TOMBSTONE_PREFIX + name
+
+
+def _chunk(key: str, kind: str, meta: Dict[str, object], created: float) -> ChunkRecord:
+    return ChunkRecord(
+        fingerprint=key,
+        kind=kind,
+        status=DONE,
+        payload=None,
+        telemetry=None,
+        meta=meta,
+        created=created or time.time(),
+    )
+
+
+@dataclass
+class LeaseRecord:
+    """One chunk's claim: who holds it, until when, and its history."""
+
+    chunk: str                     # the chunk fingerprint the lease covers
+    owner: str                     # worker id currently (or last) holding it
+    epoch: int                     # monotonic claim count, never reused
+    granted: float                 # wall-clock grant time
+    deadline: float                # wall-clock expiry (granted + lease_ttl)
+    released: bool = False         # owner finished with the chunk
+    victims: List[str] = field(default_factory=list)  # distinct dead ex-owners
+
+    def key(self) -> str:
+        return lease_key(self.chunk)
+
+    def active(self, now: float) -> bool:
+        """Held and unexpired — nobody else may claim the chunk."""
+        return not self.released and now <= self.deadline
+
+    def expired(self, now: float) -> bool:
+        """Held past the deadline — reclaimable by any live worker."""
+        return not self.released and now > self.deadline
+
+    def to_chunk(self) -> ChunkRecord:
+        return _chunk(
+            self.key(),
+            KIND_LEASE,
+            {
+                "chunk": self.chunk,
+                "owner": self.owner,
+                "epoch": int(self.epoch),
+                "granted": float(self.granted),
+                "deadline": float(self.deadline),
+                "released": bool(self.released),
+                "victims": list(self.victims),
+            },
+            self.granted,
+        )
+
+    @staticmethod
+    def from_chunk(record: ChunkRecord) -> "LeaseRecord":
+        meta = record.meta
+        return LeaseRecord(
+            chunk=str(meta["chunk"]),
+            owner=str(meta["owner"]),
+            epoch=int(meta["epoch"]),
+            granted=float(meta["granted"]),
+            deadline=float(meta["deadline"]),
+            released=bool(meta.get("released", False)),
+            victims=[str(v) for v in meta.get("victims", [])],
+        )
+
+
+@dataclass
+class HeartbeatRecord:
+    """One worker's liveness beacon, last-write-wins per worker id."""
+
+    worker: str
+    pid: int
+    host: str
+    started: float                 # wall-clock registration time
+    beat: float                    # wall-clock time of the last heartbeat
+    interval: float                # the cadence the worker promised
+
+    def key(self) -> str:
+        return worker_key(self.worker)
+
+    def stale(self, now: float, dead_after: float) -> bool:
+        """Has the worker missed enough heartbeats to be presumed dead?"""
+        return now - self.beat > dead_after
+
+    def to_chunk(self) -> ChunkRecord:
+        return _chunk(
+            self.key(),
+            KIND_HEARTBEAT,
+            {
+                "worker": self.worker,
+                "pid": int(self.pid),
+                "host": self.host,
+                "started": float(self.started),
+                "beat": float(self.beat),
+                "interval": float(self.interval),
+            },
+            self.beat,
+        )
+
+    @staticmethod
+    def from_chunk(record: ChunkRecord) -> "HeartbeatRecord":
+        meta = record.meta
+        return HeartbeatRecord(
+            worker=str(meta["worker"]),
+            pid=int(meta["pid"]),
+            host=str(meta.get("host", "")),
+            started=float(meta.get("started", 0.0)),
+            beat=float(meta["beat"]),
+            interval=float(meta.get("interval", 0.0)),
+        )
+
+
+@dataclass
+class TombstoneRecord:
+    """Cooperative cancellation marker for one named campaign."""
+
+    campaign: str
+    reason: str = ""
+    requested: float = 0.0         # wall-clock cancellation time
+
+    def key(self) -> str:
+        return tombstone_key(self.campaign)
+
+    def to_chunk(self) -> ChunkRecord:
+        return _chunk(
+            self.key(),
+            KIND_TOMBSTONE,
+            {
+                "campaign": self.campaign,
+                "reason": self.reason,
+                "requested": float(self.requested),
+            },
+            self.requested,
+        )
+
+    @staticmethod
+    def from_chunk(record: ChunkRecord) -> "TombstoneRecord":
+        meta = record.meta
+        return TombstoneRecord(
+            campaign=str(meta["campaign"]),
+            reason=str(meta.get("reason", "")),
+            requested=float(meta.get("requested", 0.0)),
+        )
+
+
+@dataclass
+class CampaignEntry:
+    """One registered campaign: durable spec + lifecycle state."""
+
+    name: str
+    spec: Dict[str, object]        # workload/device/framework/injections/...
+    priority: int = 0              # higher runs first
+    mode: str = MODE_CONTINUE      # "clean" | "continue"
+    state: str = PENDING
+    submitted: float = 0.0
+    updated: float = 0.0
+    error: str = ""
+    #: the campaign's chunk fingerprints, recorded when the first worker
+    #: plans it — lets ``status`` report progress without re-planning
+    chunks: Optional[List[str]] = None
+
+    def key(self) -> str:
+        return campaign_key(self.name)
+
+    def to_chunk(self) -> ChunkRecord:
+        meta: Dict[str, object] = {
+            "name": self.name,
+            "spec": dict(self.spec),
+            "priority": int(self.priority),
+            "mode": self.mode,
+            "state": self.state,
+            "submitted": float(self.submitted),
+            "updated": float(self.updated),
+            "error": self.error,
+        }
+        if self.chunks is not None:
+            meta["chunks"] = list(self.chunks)
+        return _chunk(self.key(), KIND_CAMPAIGN, meta, self.updated or self.submitted)
+
+    @staticmethod
+    def from_chunk(record: ChunkRecord) -> "CampaignEntry":
+        meta = record.meta
+        chunks = meta.get("chunks")
+        return CampaignEntry(
+            name=str(meta["name"]),
+            spec=dict(meta.get("spec") or {}),
+            priority=int(meta.get("priority", 0)),
+            mode=str(meta.get("mode", MODE_CONTINUE)),
+            state=str(meta.get("state", PENDING)),
+            submitted=float(meta.get("submitted", 0.0)),
+            updated=float(meta.get("updated", 0.0)),
+            error=str(meta.get("error", "")),
+            chunks=[str(c) for c in chunks] if chunks is not None else None,
+        )

@@ -1,0 +1,203 @@
+"""The campaign registry: named campaigns, priorities, cancellation.
+
+``submit`` writes a durable :class:`~repro.service.records.CampaignEntry`
+describing *what* to run (a plain-data spec the CLI and API share), *how*
+(DAVOS-style ``clean`` recomputes everything, ``continue`` resumes from
+committed chunks) and how urgently (higher ``priority`` first; ties break
+by submission time, then name).  ``serve``-side code claims pending
+entries and walks them through ``pending → running → complete / failed``;
+``cancel`` writes a tombstone that every worker checks between chunks.
+
+State transitions are last-write-wins like everything else in the store;
+the only irreversible mark is the tombstone, which wins over any state a
+racing worker writes afterwards (workers re-check it before and during a
+run, and ``status`` reports a tombstoned campaign as cancelled regardless
+of the entry's own state).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.service.records import (
+    CAMPAIGN_MODES,
+    CAMPAIGN_PREFIX,
+    CAMPAIGN_STATES,
+    CANCELLED,
+    CampaignEntry,
+    KIND_CAMPAIGN,
+    PENDING,
+    TombstoneRecord,
+    campaign_key,
+    tombstone_key,
+)
+from repro.store.backends import DONE, QUARANTINED
+from repro.store.store import CampaignStore
+from repro.telemetry import get_telemetry
+
+
+class CampaignRegistry:
+    """Durable table of named campaigns in one shared store."""
+
+    def __init__(
+        self, store: CampaignStore, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.store = store
+        self.clock = clock
+
+    # -- writes -----------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        spec: Dict[str, object],
+        priority: int = 0,
+        mode: str = "continue",
+    ) -> CampaignEntry:
+        """Register a campaign; resubmitting a finished/cancelled name
+        requeues it (the tombstone, if any, is superseded)."""
+        if not name or "/" in name or ":" in name:
+            raise ConfigurationError(
+                f"campaign name {name!r} must be non-empty and contain no ':' or '/'"
+            )
+        if mode not in CAMPAIGN_MODES:
+            raise ConfigurationError(
+                f"unknown campaign mode {mode!r}; choose from {list(CAMPAIGN_MODES)}"
+            )
+        now = self.clock()
+        entry = CampaignEntry(
+            name=name,
+            spec=dict(spec),
+            priority=int(priority),
+            mode=mode,
+            state=PENDING,
+            submitted=now,
+            updated=now,
+        )
+        self.store.backend.put(entry.to_chunk())
+        # resubmission revokes a previous cancellation: retract the tombstone
+        # by aging it out (a tombstone older than the entry's submission no
+        # longer applies — see cancelled())
+        get_telemetry().count("service.campaigns.submitted")
+        return entry
+
+    def transition(
+        self,
+        name: str,
+        state: str,
+        error: str = "",
+        chunks: Optional[List[str]] = None,
+    ) -> CampaignEntry:
+        """Move a campaign to ``state`` (and optionally record its plan)."""
+        if state not in CAMPAIGN_STATES:
+            raise ConfigurationError(f"unknown campaign state {state!r}")
+        entry = self.get(name)
+        if entry is None:
+            raise ConfigurationError(f"campaign {name!r} was never submitted")
+        entry.state = state
+        entry.updated = self.clock()
+        if error:
+            entry.error = error
+        if chunks is not None:
+            entry.chunks = list(chunks)
+        self.store.backend.put(entry.to_chunk())
+        return entry
+
+    def cancel(self, name: str, reason: str = "") -> TombstoneRecord:
+        """Request cooperative cancellation: write the tombstone.
+
+        Workers observe it between chunks — in-flight work drains and
+        commits; nothing new is claimed.  Idempotent.
+        """
+        stone = TombstoneRecord(campaign=name, reason=reason, requested=self.clock())
+        self.store.backend.put(stone.to_chunk())
+        get_telemetry().count("service.campaigns.cancelled")
+        return stone
+
+    # -- reads ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[CampaignEntry]:
+        record = self.store.backend.get(campaign_key(name))
+        if record is None or record.kind != KIND_CAMPAIGN:
+            return None
+        try:
+            return CampaignEntry.from_chunk(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def tombstone(self, name: str) -> Optional[TombstoneRecord]:
+        record = self.store.backend.get(tombstone_key(name))
+        if record is None:
+            return None
+        try:
+            return TombstoneRecord.from_chunk(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def cancelled(self, name: str) -> bool:
+        """Does a tombstone currently apply to this campaign?
+
+        A tombstone older than the entry's latest submission is spent —
+        resubmitting a cancelled campaign revives it without needing a
+        tombstone-deletion primitive (the store is append-biased).
+        """
+        stone = self.tombstone(name)
+        if stone is None:
+            return False
+        entry = self.get(name)
+        if entry is not None and entry.submitted > stone.requested:
+            return False
+        return True
+
+    def entries(self) -> List[CampaignEntry]:
+        """All registered campaigns, schedule-ordered: higher priority
+        first, then older submission, then name."""
+        table: List[CampaignEntry] = []
+        for record in self.store.iter_chunks(kind=KIND_CAMPAIGN):
+            if not record.fingerprint.startswith(CAMPAIGN_PREFIX):
+                continue
+            try:
+                table.append(CampaignEntry.from_chunk(record))
+            except (KeyError, TypeError, ValueError):
+                continue
+        table.sort(key=lambda e: (-e.priority, e.submitted, e.name))
+        return table
+
+    def claimable(self) -> List[CampaignEntry]:
+        """Pending, un-tombstoned campaigns in schedule order."""
+        return [
+            entry
+            for entry in self.entries()
+            if entry.state == PENDING and not self.cancelled(entry.name)
+        ]
+
+    def status(self, name: str) -> Dict[str, object]:
+        """One campaign's user-facing status row (CLI ``status``)."""
+        entry = self.get(name)
+        if entry is None:
+            return {"name": name, "state": "unknown"}
+        state = CANCELLED if self.cancelled(name) else entry.state
+        row: Dict[str, object] = {
+            "name": entry.name,
+            "state": state,
+            "priority": entry.priority,
+            "mode": entry.mode,
+            "error": entry.error,
+        }
+        if entry.chunks:
+            done = quarantined = 0
+            self.store.refresh()
+            for fingerprint in entry.chunks:
+                record = self.store.backend.get(fingerprint)
+                if record is None:
+                    continue
+                if record.status == DONE:
+                    done += 1
+                elif record.status == QUARANTINED:
+                    quarantined += 1
+            row["chunks"] = {
+                "total": len(entry.chunks),
+                "done": done,
+                "quarantined": quarantined,
+            }
+        return row

@@ -39,9 +39,11 @@ from repro.store.policy import (
     DEFAULT_RETRIES,
     ExecutionPolicy,
     RunPolicy,
+    ServicePolicy,
     as_execution_policy,
     replay_setting,
     resolve_policy,
+    service_setting,
     snapshots_setting,
     warn_deprecated_kwarg,
     warn_legacy_kwargs,
@@ -53,8 +55,10 @@ __all__ = [
     "open_store",
     "ExecutionPolicy",
     "RunPolicy",
+    "ServicePolicy",
     "as_execution_policy",
     "replay_setting",
+    "service_setting",
     "snapshots_setting",
     "warn_deprecated_kwarg",
     "warn_legacy_kwargs",

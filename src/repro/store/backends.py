@@ -13,6 +13,15 @@ fingerprint, last write wins:
   produce) is detected and skipped on load.  Greppable, diffable, and
   trivially mergeable across machines with ``cat``.
 
+Both backends additionally expose :meth:`refresh`, the primitive the
+campaign service's coordination records (leases, heartbeats, tombstones —
+see :mod:`repro.service`) are built on: it makes records committed by
+*other* processes since the last read visible.  SQLite reads are live
+(WAL readers always see committed transactions), so its refresh is a
+no-op; the JSONL backend tails the log from its last consumed offset,
+applying only complete lines — a torn tail (a peer caught mid-append) is
+left unconsumed and retried on the next refresh.
+
 Records never store live objects — payloads are the codec's JSON
 encodings — so either backend can be read by a process that has not
 imported the simulation stack.
@@ -101,11 +110,17 @@ class SQLiteBackend:
         self.path = pathlib.Path(path)
         _require_parent(self.path)
         try:
-            self._conn = sqlite3.connect(str(self.path))
+            # check_same_thread=False: the service's in-process worker loop
+            # may drain from a helper thread; access is sequential per handle
+            self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
         except sqlite3.Error as exc:  # pragma: no cover - OS-dependent
             raise StoreError(f"cannot open sqlite store at {self.path}: {exc}") from exc
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        # multi-worker campaigns (repro.service) have several processes
+        # committing to one store; WAL serializes the writers, and the busy
+        # timeout makes a briefly-locked commit wait instead of raising
+        self._conn.execute("PRAGMA busy_timeout=10000")
         with self._conn:
             self._conn.execute(self._SCHEMA)
 
@@ -178,6 +193,12 @@ class SQLiteBackend:
                 created=row[8],
             )
 
+    def refresh(self) -> int:
+        """Make peer commits visible.  WAL readers already see every
+        committed transaction, so this is a no-op; returns 0 for symmetry
+        with :meth:`JsonlBackend.refresh`."""
+        return 0
+
     def close(self) -> None:
         self._conn.close()
 
@@ -186,7 +207,15 @@ class SQLiteBackend:
 
 
 class JsonlBackend:
-    """Append-only JSONL log; last record per fingerprint wins on load."""
+    """Append-only JSONL log; last record per fingerprint wins on load.
+
+    Appends go through one ``os.write`` of the whole encoded line against
+    an ``O_APPEND`` descriptor, so concurrent writers (the service's
+    multi-worker campaigns) interleave at record granularity, never inside
+    a record.  :meth:`refresh` tails the log from the last consumed byte
+    offset, applying only complete lines — the read-side half of the
+    multi-process coordination contract.
+    """
 
     name = "jsonl"
 
@@ -194,29 +223,58 @@ class JsonlBackend:
         self.path = pathlib.Path(path)
         _require_parent(self.path)
         self._index: Dict[str, ChunkRecord] = {}
-        self._load()
-        self._handle = None
+        self._offset = 0
+        self._fd: Optional[int] = None
+        self.refresh()
 
-    def _load(self) -> None:
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+            # heal a torn tail before the first append: a crashed writer
+            # (SIGKILLed worker, power loss) can leave a half line, and
+            # appending straight after it would merge our record into the
+            # garbage — terminating the tear instead turns it into one
+            # complete unparseable line refresh() already knows to skip.
+            # Live peers never tear (appends are single O_APPEND writes),
+            # so a non-newline tail always means a dead writer.
+            size = os.fstat(self._fd).st_size
+            if size:
+                with open(self.path, "rb") as fh:
+                    fh.seek(size - 1)
+                    if fh.read(1) != b"\n":
+                        os.write(self._fd, b"\n")
+        return self._fd
+
+    def refresh(self) -> int:
+        """Consume records appended (by this or any other process) since
+        the last read; returns how many were applied.  Only complete lines
+        are consumed: a torn tail — a peer caught mid-append, or the stub
+        left by a crash — stays unconsumed and is retried next time."""
         if not self.path.exists():
-            return
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = ChunkRecord.from_json(json.loads(line))
-                except (ValueError, KeyError):
-                    # a torn tail line from a crash mid-append: skip it —
-                    # the chunk it described was never durably committed
-                    continue
-                self._index[record.fingerprint] = record
-
-    def _ensure_handle(self):
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        return self._handle
+            return 0
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            data = fh.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return 0
+        applied = 0
+        for raw in data[: end + 1].splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = ChunkRecord.from_json(json.loads(line.decode("utf-8")))
+            except (ValueError, KeyError, UnicodeDecodeError):
+                # a torn line from a crashed writer, buried by later healthy
+                # appends: skip it — the record it described never committed
+                continue
+            self._index[record.fingerprint] = record
+            applied += 1
+        self._offset += end + 1
+        return applied
 
     def get(self, fingerprint: str) -> Optional[ChunkRecord]:
         return self._index.get(fingerprint)
@@ -224,10 +282,10 @@ class JsonlBackend:
     def put(self, record: ChunkRecord) -> None:
         if not record.created:
             record.created = time.time()
-        handle = self._ensure_handle()
-        handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+        encoded = (json.dumps(record.to_json(), sort_keys=True) + "\n").encode("utf-8")
+        fd = self._ensure_fd()
+        os.write(fd, encoded)
+        os.fsync(fd)
         self._index[record.fingerprint] = record
 
     def count(self, status: Optional[str] = None) -> int:
@@ -245,9 +303,9 @@ class JsonlBackend:
             yield self._index[fingerprint]
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"JsonlBackend({str(self.path)!r})"

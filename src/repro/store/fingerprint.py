@@ -49,7 +49,11 @@ from repro.exec.tasks import BeamEvalContext, CampaignContext, MemoryAvfContext
 #: — /4: replay tape payload v3 (emission ordinals/weights + call arg
 #:   specs for the batched evaluator); exported sessions must not mix
 #:   with v2 caches (PR 8)
-STORE_SALT = "repro-store/4"
+#: — /5: the campaign service landed; coordination records (lease /
+#:   heartbeat / tombstone / campaign registry kinds) join the store and
+#:   chunk meta gains lease provenance — stores from older code must not
+#:   serve service-mode runs (PR 9)
+STORE_SALT = "repro-store/5"
 
 
 def canonical(value: Any) -> Any:

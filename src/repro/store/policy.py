@@ -44,6 +44,59 @@ DEFAULT_ON_CRASH = "due"
 
 
 @dataclass(frozen=True)
+class ServicePolicy:
+    """Coordination knobs for lease-based multi-worker campaigns.
+
+    Carried as :attr:`ExecutionPolicy.service` and consumed by
+    :mod:`repro.service` / :class:`~repro.exec.engine.LeaseExecutor`:
+
+    * ``lease_ttl`` — seconds a claimed chunk's lease stays valid without
+      being committed or renewed; an expired lease is reclaimable by any
+      live worker (at-least-once execution — duplicate commits are
+      byte-verified no-ops, see docs/SERVICE.md),
+    * ``heartbeat_interval`` — seconds between a worker's liveness
+      heartbeats; a worker that misses ``miss_factor`` intervals is
+      presumed dead/stalled and its chunks go back to the pool,
+    * ``max_lease_epochs`` — hard cap on how many times one chunk may be
+      claimed before it is quarantined as poison,
+    * ``victim_threshold`` — a chunk whose lease expired under this many
+      *distinct dead* workers escalates straight to quarantine (it is
+      killing workers, not merely unlucky),
+    * ``poll_interval`` — how long an idle worker sleeps between scans for
+      reclaimable work.
+    """
+
+    lease_ttl: float = 30.0
+    heartbeat_interval: float = 5.0
+    max_lease_epochs: int = 5
+    victim_threshold: int = 2
+    poll_interval: float = 0.05
+    #: heartbeat staleness multiplier: a worker is presumed dead after
+    #: ``miss_factor * heartbeat_interval`` seconds of silence
+    miss_factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0:
+            raise ConfigurationError("lease_ttl must be > 0")
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be > 0")
+        if self.max_lease_epochs < 1:
+            raise ConfigurationError("max_lease_epochs must be >= 1")
+        if self.victim_threshold < 1:
+            raise ConfigurationError("victim_threshold must be >= 1")
+        if self.poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be > 0")
+        if self.miss_factor < 1:
+            raise ConfigurationError("miss_factor must be >= 1")
+
+    @property
+    def dead_after(self) -> float:
+        """Seconds of heartbeat silence after which a worker is presumed
+        dead (and its expired leases count it as a chunk victim)."""
+        return self.miss_factor * self.heartbeat_interval
+
+
+@dataclass(frozen=True)
 class RunPolicy:
     """Durability + failure-handling knobs for one engine run."""
 
@@ -96,6 +149,11 @@ class ExecutionPolicy(RunPolicy):
     fault evaluator (:mod:`repro.faultsim.batch`): None = auto (on, with
     transparent per-injection fallback whenever an injection is outside
     the analyzable population), False = force per-injection evaluation.
+
+    ``service`` carries the lease/heartbeat/cancellation knobs of the
+    fault-tolerant campaign service (:mod:`repro.service`,
+    docs/SERVICE.md); None uses the :class:`ServicePolicy` defaults when a
+    service-mode executor is in force and is inert otherwise.
     """
 
     #: checkpoint/replay: None = auto (on with vanilla fallback), False = off
@@ -104,6 +162,8 @@ class ExecutionPolicy(RunPolicy):
     snapshots_per_run: int = 16
     #: batched vectorized fault evaluation: None = auto, False = off
     batch_eval: Optional[bool] = None
+    #: lease/heartbeat knobs for service-mode execution (None = defaults)
+    service: Optional[ServicePolicy] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -131,12 +191,20 @@ def batch_eval_setting(policy: Optional[RunPolicy]) -> bool:
     return True if setting is None else bool(setting)
 
 
+def service_setting(policy: Optional[RunPolicy]) -> "ServicePolicy":
+    """The service knobs under ``policy`` (defaults when absent; tolerates
+    plain :class:`RunPolicy` instances and None)."""
+    setting = getattr(policy, "service", None)
+    return setting if setting is not None else ServicePolicy()
+
+
 def as_execution_policy(
     policy: Optional[RunPolicy],
     on_crash: Optional[str] = None,
     replay: Optional[bool] = None,
     snapshots_per_run: Optional[int] = None,
     batch_eval: Optional[bool] = None,
+    service: Optional[ServicePolicy] = None,
 ) -> ExecutionPolicy:
     """Fold a (possibly plain, possibly absent) policy plus overrides into
     one :class:`ExecutionPolicy`.  Explicit overrides win; fields the base
@@ -163,6 +231,8 @@ def as_execution_policy(
         updates["snapshots_per_run"] = snapshots_per_run
     if batch_eval is not None:
         updates["batch_eval"] = batch_eval
+    if service is not None:
+        updates["service"] = service
     return replace(base, **updates) if updates else base
 
 

@@ -115,6 +115,12 @@ class CampaignStore:
     def count(self, status: Optional[str] = None) -> int:
         return self.backend.count(status)
 
+    def refresh(self) -> int:
+        """Make records committed by other processes visible (the service's
+        coordination primitive); returns how many new records were applied
+        (always 0 on SQLite, whose reads are live)."""
+        return self.backend.refresh()
+
     def iter_chunks(
         self, kind: Optional[str] = None, status: Optional[str] = None
     ) -> Iterator[ChunkRecord]:

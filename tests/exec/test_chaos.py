@@ -34,7 +34,7 @@ from repro.workloads.base import Workload, WorkloadSpec
 INJECTIONS = 8
 
 #: engine/store bookkeeping; everything else must match across runs
-_BOOKKEEPING = ("store.", "exec.chunk_retries", "span.checkpoint.")
+_BOOKKEEPING = ("store.", "exec.chunk_retries", "span.checkpoint.", "service.")
 
 
 def _domain(counters):

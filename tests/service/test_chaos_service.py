@@ -1,0 +1,92 @@
+"""Chaos: SIGKILL a service worker while it *holds* a lease.
+
+The most adversarial death point the protocol covers — an unexpired claim
+on an unevaluated chunk, no release, no goodbye heartbeat.  The surviving
+worker must wait out the TTL, judge the owner dead, reclaim the chunk
+with the victim on record, and finish the campaign — leaving a store
+bit-identical to an undisturbed serial run, on both backends, with every
+committed chunk's retry budget untouched."""
+
+import pytest
+
+from repro.api import as_device, as_framework
+from repro.exec.engine import LeaseExecutor
+from repro.faultsim.campaign import CampaignRunner
+from repro.report import extract_store
+from repro.service.records import KIND_LEASE, LeaseRecord
+from repro.store import DONE, ExecutionPolicy, ServicePolicy, open_store
+from repro.telemetry import telemetry_session
+from repro.workloads.registry import get_workload
+
+INJECTIONS = 8  # serial partition: 4 chunks of 2
+
+#: short TTL/heartbeat so death detection takes ~1s, not the prod 30s
+CHAOS = ServicePolicy(lease_ttl=1.0, heartbeat_interval=0.2, poll_interval=0.02)
+
+
+def _signature(result):
+    return [
+        (r.group, r.outcome, r.op, r.bit, r.detail, r.due_cause, r.contained)
+        for r in result.records
+    ]
+
+
+def _run(path, backend, executor=None):
+    store = open_store(path, backend=backend)
+    try:
+        runner = CampaignRunner(
+            as_device("kepler"),
+            as_framework("nvbitfi"),
+            seed=1,
+            executor=executor,
+            policy=ExecutionPolicy(store=store, service=CHAOS),
+        )
+        return runner.run(get_workload("kepler", "FMXM", seed=1), INJECTIONS)
+    finally:
+        store.close()
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "jsonl"])
+def test_sigkilled_worker_mid_lease_recovers_bit_identical(tmp_path, backend):
+    serial_path = tmp_path / f"serial.{backend}"
+    serial = _run(serial_path, backend)
+
+    chaos_path = tmp_path / f"chaos.{backend}"
+    with telemetry_session() as telemetry:
+        chaos = _run(
+            chaos_path,
+            backend,
+            # worker 0 SIGKILLs itself while holding its first lease
+            executor=LeaseExecutor(
+                workers=2, service=CHAOS, chaos_kill_after=0, chaos_worker=0
+            ),
+        )
+        counters = dict(telemetry.registry.counters)
+
+    # the kill fired and the supervisor saw the death
+    assert counters.get("service.workers.died", 0) >= 1
+    # ...and the campaign still finished, bit-identical to serial
+    assert _signature(chaos) == _signature(serial)
+    assert extract_store(chaos_path).model() == extract_store(serial_path).model()
+
+    store = open_store(chaos_path, backend=backend)
+    try:
+        store.refresh()
+        leases = [
+            LeaseRecord.from_chunk(record)
+            for record in store.iter_chunks(kind=KIND_LEASE)
+        ]
+        victims = sorted({v for lease in leases for v in lease.victims})
+        # dead worker vs poison chunk: the death is evidence on the lease,
+        # not a strike against the chunk's retry budget — every committed
+        # chunk records a single evaluation attempt
+        attempts = [
+            record.attempts
+            for record in store.iter_chunks(status=DONE)
+            if record.kind not in ("lease", "heartbeat", "tombstone", "campaign_entry")
+        ]
+    finally:
+        store.close()
+    assert victims, "the dead worker never made it onto a lease's victim list"
+    assert all(victim.endswith(".w0") for victim in victims)
+    assert attempts and set(attempts) == {1}

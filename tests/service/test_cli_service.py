@@ -1,0 +1,124 @@
+"""The service CLI verbs, in process: submit → status → serve → status →
+cancel → status → resubmit, plus the typo-guard exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+INJECTIONS = "6"
+
+
+def _out(capsys):
+    return json.loads(capsys.readouterr().out)
+
+
+def test_submit_serve_status_cancel_round_trip(tmp_path, capsys):
+    store = str(tmp_path / "svc.sqlite")
+
+    assert cli_main([
+        "submit", "night", "FMXM", "--store", store,
+        "--injections", INJECTIONS, "--seed", "2", "--priority", "3",
+    ]) == 0
+    entry = _out(capsys)
+    assert entry["name"] == "night" and entry["state"] == "pending"
+    assert entry["priority"] == 3
+    assert entry["spec"]["injections"] == int(INJECTIONS)
+
+    assert cli_main(["status", "night", "--store", store]) == 0
+    assert _out(capsys)[0]["state"] == "pending"
+
+    assert cli_main([
+        "serve", "--store", store, "--workers", "1",
+        "--heartbeat-interval", "0.2",
+    ]) == 0
+    rows = _out(capsys)
+    assert len(rows) == 1
+    row = rows[0]
+    assert (row["name"], row["state"]) == ("night", "complete")
+    assert row["injections"] == int(INJECTIONS)
+    assert sum(row["outcomes"].values()) == int(INJECTIONS)
+
+    assert cli_main(["status", "night", "--store", store]) == 0
+    done = _out(capsys)[0]
+    assert done["state"] == "complete"
+    assert done["chunks"]["done"] == done["chunks"]["total"] > 0
+    assert done["chunks"]["quarantined"] == 0
+
+    assert cli_main([
+        "cancel", "night", "--store", store, "--reason", "beam time over",
+    ]) == 0
+    stone = _out(capsys)
+    assert (stone["name"], stone["state"]) == ("night", "cancelled")
+    assert stone["reason"] == "beam time over"
+    assert cli_main(["status", "night", "--store", store]) == 0
+    assert _out(capsys)[0]["state"] == "cancelled"
+
+    # resubmission revives the name; serve drains it again (continue mode:
+    # every chunk replays from the store, so this is quick)
+    assert cli_main([
+        "submit", "night", "FMXM", "--store", store,
+        "--injections", INJECTIONS, "--seed", "2",
+    ]) == 0
+    assert _out(capsys)["state"] == "pending"
+    assert cli_main(["serve", "--store", store]) == 0
+    assert _out(capsys)[0]["state"] == "complete"
+
+
+def test_serve_with_no_pending_campaigns_is_a_quiet_no_op(tmp_path, capsys):
+    store = str(tmp_path / "svc.sqlite")
+    assert cli_main(["submit", "night", "FMXM", "--store", store]) == 0
+    assert cli_main(["cancel", "night", "--store", store]) == 0
+    capsys.readouterr()
+    assert cli_main(["serve", "--store", store]) == 0
+    assert _out(capsys) == []
+
+
+class TestExitCodes:
+    def test_status_on_missing_store_exits_2(self, tmp_path, capsys):
+        code = cli_main(["status", "--store", str(tmp_path / "nope.sqlite")])
+        assert code == 2
+        assert "no store at" in capsys.readouterr().err
+
+    def test_cancel_on_missing_store_exits_2(self, tmp_path, capsys):
+        code = cli_main(["cancel", "x", "--store", str(tmp_path / "nope.sqlite")])
+        assert code == 2
+        assert "no store at" in capsys.readouterr().err
+
+    def test_serve_on_missing_store_exits_2(self, tmp_path, capsys):
+        code = cli_main(["serve", "--store", str(tmp_path / "nope.sqlite")])
+        assert code == 2
+        assert "no store at" in capsys.readouterr().err
+
+    def test_cancel_of_never_submitted_name_exits_2(self, tmp_path, capsys):
+        store = str(tmp_path / "svc.sqlite")
+        assert cli_main(["submit", "night", "FMXM", "--store", store]) == 0
+        capsys.readouterr()
+        assert cli_main(["cancel", "nihgt", "--store", store]) == 2
+        assert "never submitted" in capsys.readouterr().err
+
+    def test_status_of_unknown_name_exits_2(self, tmp_path, capsys):
+        store = str(tmp_path / "svc.sqlite")
+        assert cli_main(["submit", "night", "FMXM", "--store", store]) == 0
+        capsys.readouterr()
+        assert cli_main(["status", "ghost", "--store", store]) == 2
+        assert "never submitted" in capsys.readouterr().err
+
+    def test_submit_with_reserved_name_exits_2(self, tmp_path, capsys):
+        store = str(tmp_path / "svc.sqlite")
+        assert cli_main(["submit", "a:b", "FMXM", "--store", store]) == 2
+        assert "campaign name" in capsys.readouterr().err
+
+    def test_submit_rejects_nonpositive_injections(self, tmp_path):
+        store = str(tmp_path / "svc.sqlite")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["submit", "night", "FMXM", "--store", store,
+                      "--injections", "0"])
+        assert excinfo.value.code == 2
+
+    def test_serve_chaos_flag_requires_two_workers(self, tmp_path):
+        store = str(tmp_path / "svc.sqlite")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--store", store, "--chaos-kill-after", "1"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,194 @@
+"""The lease table under a fake clock: claims, renewal, expiry, victim
+tracking, and the two poison-chunk escalation paths.
+
+Time never passes for real in this file — every table and registry runs
+on one shared :class:`FakeClock`, so TTL expiry, heartbeat staleness and
+the dead/alive judgement are all exact."""
+
+import pytest
+
+from repro.service.lease import LeaseTable
+from repro.service.liveness import WorkerRegistry
+from repro.service.records import LeaseRecord, lease_key
+from repro.store import QUARANTINED, ServicePolicy, open_store
+from repro.telemetry import telemetry_session
+
+FP = "f" * 64
+KIND = "campaign"
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(params=["sqlite", "jsonl"])
+def store(request, tmp_path):
+    handle = open_store(tmp_path / f"leases.{request.param}", backend=request.param)
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_table(store, owner, clock, liveness=True, **overrides):
+    service = ServicePolicy(**overrides) if overrides else ServicePolicy()
+    registry = (
+        WorkerRegistry(store, service, owner, clock=clock) if liveness else None
+    )
+    return LeaseTable(store, service, owner, liveness=registry, clock=clock)
+
+
+class TestClaims:
+    def test_fresh_claim_and_round_trip(self, store, clock):
+        table = make_table(store, "alice", clock)
+        lease = table.acquire(FP, KIND)
+        assert lease is not None
+        assert (lease.owner, lease.epoch, lease.victims) == ("alice", 1, [])
+        assert lease.deadline == clock.now + table.service.lease_ttl
+        assert table.load(FP) == lease
+
+    def test_active_lease_blocks_other_owners(self, store, clock):
+        alice = make_table(store, "alice", clock)
+        bob = make_table(store, "bob", clock)
+        assert alice.acquire(FP, KIND) is not None
+        clock.advance(1.0)  # well inside the TTL
+        assert bob.acquire(FP, KIND) is None
+        assert alice.load(FP).owner == "alice"  # untouched
+
+    def test_renew_extends_deadline_same_epoch(self, store, clock):
+        table = make_table(store, "alice", clock)
+        lease = table.acquire(FP, KIND)
+        clock.advance(10.0)
+        renewed = table.renew(lease)
+        assert renewed.epoch == lease.epoch
+        assert renewed.deadline == clock.now + table.service.lease_ttl
+        assert table.load(FP) == renewed
+
+    def test_released_lease_is_immediately_reclaimable(self, store, clock):
+        alice = make_table(store, "alice", clock)
+        bob = make_table(store, "bob", clock)
+        alice.release(alice.acquire(FP, KIND))
+        # no clock advance: release, not expiry, freed the chunk
+        lease = bob.acquire(FP, KIND)
+        assert lease is not None
+        assert (lease.owner, lease.epoch) == ("bob", 2)
+        assert lease.victims == []  # a clean hand-off blames nobody
+
+    def test_lost_race_detected_by_read_back(self, store, clock, monkeypatch):
+        """If a rival's claim lands between our write and our read-back,
+        the verify step must tell us we lost — never both winning."""
+        table = make_table(store, "alice", clock)
+        rival = LeaseRecord(
+            chunk=FP, owner="rival", epoch=1,
+            granted=clock.now, deadline=clock.now + 30.0,
+        )
+        original_refresh = store.refresh
+
+        def refresh_with_rival_write():
+            applied = original_refresh()
+            store.backend.put(rival.to_chunk())  # last write wins
+            return applied
+
+        monkeypatch.setattr(store, "refresh", refresh_with_rival_write)
+        with telemetry_session() as telemetry:
+            assert table.acquire(FP, KIND) is None
+            assert telemetry.registry.counters["service.leases.lost_race"] == 1
+        monkeypatch.undo()
+        assert table.load(FP).owner == "rival"
+
+
+class TestExpiryAndVictims:
+    def test_dead_owner_becomes_victim_on_reclaim(self, store, clock):
+        alice = make_table(store, "alice", clock)
+        bob = make_table(store, "bob", clock)
+        alice.liveness.register()
+        assert alice.acquire(FP, KIND) is not None
+        # alice dies: no more beats; lease TTL (30s) and heartbeat
+        # dead_after (15s) both elapse
+        clock.advance(31.0)
+        with telemetry_session() as telemetry:
+            lease = bob.acquire(FP, KIND)
+            counters = dict(telemetry.registry.counters)
+        assert lease is not None
+        assert (lease.owner, lease.epoch, lease.victims) == ("bob", 2, ["alice"])
+        assert counters["service.leases.expired"] == 1
+        assert counters["service.leases.reclaimed"] == 1
+        assert "service.leases.stolen" not in counters
+
+    def test_live_but_slow_owner_is_stolen_from_not_blamed(self, store, clock):
+        alice = make_table(store, "alice", clock)
+        bob = make_table(store, "bob", clock)
+        alice.liveness.register()
+        assert alice.acquire(FP, KIND) is not None
+        clock.advance(31.0)
+        alice.liveness.beat()  # alive, merely over the lease TTL
+        with telemetry_session() as telemetry:
+            lease = bob.acquire(FP, KIND)
+            counters = dict(telemetry.registry.counters)
+        assert lease is not None
+        assert lease.victims == []  # stolen, nobody died
+        assert counters["service.leases.stolen"] == 1
+        assert "service.leases.reclaimed" not in counters
+
+    def test_chunk_killing_two_workers_escalates_to_quarantine(self, store, clock):
+        """Two distinct dead owners is the victim threshold: the chunk is
+        poison (it kills workers), so the third claimant refuses it and
+        hands it to the store's quarantine instead."""
+        alice = make_table(store, "alice", clock)
+        bob = make_table(store, "bob", clock)
+        carol = make_table(store, "carol", clock)
+        alice.liveness.register()
+        assert alice.acquire(FP, KIND) is not None
+        clock.advance(31.0)  # alice dead, lease expired
+        bob.liveness.register()
+        assert bob.acquire(FP, KIND).victims == ["alice"]
+        clock.advance(31.0)  # bob dead too
+        with telemetry_session() as telemetry:
+            assert carol.acquire(FP, KIND) is None
+            assert telemetry.registry.counters["service.chunks.escalated"] == 1
+        record = store.backend.get(FP)
+        assert record is not None and record.status == QUARANTINED
+        assert record.error.startswith("ServiceEscalation: poison chunk")
+        assert "alice" in record.error and "bob" in record.error
+
+    def test_same_victim_counted_once_until_epoch_budget(self, store, clock):
+        """One worker dying repeatedly on a chunk dedups to a single
+        victim, so the epoch budget — not the victim threshold — is what
+        finally quarantines it."""
+        table = make_table(
+            store, "alice", clock, liveness=False, max_lease_epochs=3
+        )  # liveness=None: every expired owner is presumed dead
+        for expected_epoch in (1, 2, 3):
+            lease = table.acquire(FP, KIND)
+            assert lease is not None and lease.epoch == expected_epoch
+            assert lease.victims == ([] if expected_epoch == 1 else ["alice"])
+            clock.advance(31.0)
+        with telemetry_session() as telemetry:
+            assert table.acquire(FP, KIND) is None  # epoch 4 > budget of 3
+            assert telemetry.registry.counters["service.chunks.escalated"] == 1
+        record = store.backend.get(FP)
+        assert record.status == QUARANTINED
+        assert "epoch budget exhausted" in record.error
+
+    def test_clean_releases_never_escalate(self, store, clock):
+        """Epoch count alone is not guilt: a chunk whose every lease was
+        cleanly released keeps being claimable far past the epoch budget
+        (this is what lets clean-mode resubmissions re-run a store)."""
+        table = make_table(store, "alice", clock, max_lease_epochs=3)
+        for expected_epoch in range(1, 10):
+            lease = table.acquire(FP, KIND)
+            assert lease is not None and lease.epoch == expected_epoch
+            assert lease.victims == []
+            table.release(lease)
+            clock.advance(100.0)  # long past both TTL and dead_after
+        assert store.backend.get(FP) is None  # never quarantined

@@ -1,0 +1,122 @@
+"""Worker liveness: registration backoff, heartbeat cadence, oversleep
+re-registration, and the dead/alive judgement peers base reclaims on."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.service.liveness import REGISTER_ATTEMPTS, WorkerRegistry, default_worker_id
+from repro.store import ServicePolicy, open_store
+from repro.telemetry import telemetry_session
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(params=["sqlite", "jsonl"])
+def store(request, tmp_path):
+    handle = open_store(tmp_path / f"liveness.{request.param}", backend=request.param)
+    yield handle
+    handle.close()
+
+
+def make_registry(store, worker_id, clock, sleep=None, backoff=0.01):
+    return WorkerRegistry(
+        store,
+        ServicePolicy(),
+        worker_id,
+        clock=clock,
+        sleep=sleep if sleep is not None else (lambda s: None),
+        register_backoff=backoff,
+    )
+
+
+def test_default_worker_id_shape():
+    import os
+    import socket
+
+    base = default_worker_id()
+    assert base == f"{socket.gethostname()}:{os.getpid()}"
+    assert default_worker_id("w3") == f"{base}.w3"
+
+
+def test_register_writes_a_readable_heartbeat(store):
+    clock = FakeClock()
+    registry = make_registry(store, "host:1", clock)
+    record = registry.register()
+    assert record.worker == "host:1"
+    seen = registry.peer("host:1")
+    assert seen is not None
+    assert (seen.worker, seen.started, seen.beat) == ("host:1", clock.now, clock.now)
+
+
+def test_register_retries_with_exponential_backoff_then_raises(store, monkeypatch):
+    clock = FakeClock()
+    sleeps = []
+    registry = make_registry(store, "host:1", clock, sleep=sleeps.append, backoff=0.01)
+    monkeypatch.setattr(
+        store.backend, "put", lambda chunk: (_ for _ in ()).throw(OSError("busy"))
+    )
+    with telemetry_session() as telemetry:
+        with pytest.raises(StoreError, match="could not register after"):
+            registry.register()
+        retries = telemetry.registry.counters["service.workers.register_retries"]
+    assert retries == REGISTER_ATTEMPTS
+    assert sleeps == [0.01 * 2**attempt for attempt in range(REGISTER_ATTEMPTS)]
+
+
+def test_beat_respects_the_cadence(store):
+    clock = FakeClock()
+    registry = make_registry(store, "host:1", clock)
+    registry.register()
+    clock.advance(1.0)  # under heartbeat_interval (5s): no write
+    assert registry.beat() is False
+    assert registry.peer("host:1").beat == clock.now - 1.0
+    clock.advance(4.5)  # now past the interval
+    assert registry.beat() is True
+    assert registry.peer("host:1").beat == clock.now
+    assert registry.beat(force=True) is True  # force always writes
+
+
+def test_overslept_worker_reregisters(store):
+    """A worker that wakes after its own death deadline must assume peers
+    reclaimed its leases: it re-registers rather than quietly beating."""
+    clock = FakeClock()
+    registry = make_registry(store, "host:1", clock)
+    registry.register()
+    clock.advance(ServicePolicy().dead_after + 1.0)
+    with telemetry_session() as telemetry:
+        assert registry.beat() is True
+        assert telemetry.registry.counters["service.workers.reregistered"] == 1
+        assert telemetry.registry.counters["service.workers.registered"] == 1
+    assert registry.peer("host:1").beat == clock.now
+
+
+def test_alive_judgement_and_unknown_workers(store):
+    clock = FakeClock()
+    registry = make_registry(store, "host:1", clock)
+    registry.register()
+    assert registry.alive("host:1", clock.now)
+    # a worker nobody ever heard of is presumed dead — it may have crashed
+    # before its first beat landed
+    assert not registry.alive("ghost:99", clock.now)
+    clock.advance(ServicePolicy().dead_after + 0.1)
+    assert not registry.alive("host:1", clock.now)
+
+
+def test_census_classifies_the_whole_fleet(store):
+    clock = FakeClock()
+    early = make_registry(store, "host:1", clock)
+    early.register()
+    clock.advance(ServicePolicy().dead_after + 1.0)  # host:1 goes stale
+    late = make_registry(store, "host:2", clock)
+    late.register()
+    assert late.census(clock.now) == {"host:1": "dead", "host:2": "alive"}
+    assert set(late.workers()) == {"host:1", "host:2"}

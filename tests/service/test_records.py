@@ -1,0 +1,136 @@
+"""Service record codecs: every coordination record round-trips through
+``to_chunk``/``from_chunk`` and through both durable backends, its keys
+can never collide with chunk fingerprints, and none of it leaks into a
+store's logical (report-visible) content."""
+
+import pytest
+
+from repro.report.extract import INTERNAL_KINDS
+from repro.service.records import (
+    CAMPAIGN_PREFIX,
+    CampaignEntry,
+    HeartbeatRecord,
+    KIND_CAMPAIGN,
+    KIND_HEARTBEAT,
+    KIND_LEASE,
+    KIND_TOMBSTONE,
+    LEASE_PREFIX,
+    LeaseRecord,
+    SERVICE_KINDS,
+    TOMBSTONE_PREFIX,
+    TombstoneRecord,
+    WORKER_PREFIX,
+    campaign_key,
+    lease_key,
+    tombstone_key,
+    worker_key,
+)
+from repro.store import DONE, JsonlBackend, SQLiteBackend
+
+BACKENDS = {"sqlite": SQLiteBackend, "jsonl": JsonlBackend}
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path):
+    suffix = ".jsonl" if request.param == "jsonl" else ".sqlite"
+    b = BACKENDS[request.param](tmp_path / f"store{suffix}")
+    yield b
+    b.close()
+
+
+LEASE = LeaseRecord(
+    chunk="a" * 64,
+    owner="host:123.w0",
+    epoch=3,
+    granted=100.0,
+    deadline=130.0,
+    released=False,
+    victims=["host:99.w1", "host:98.w0"],
+)
+HEARTBEAT = HeartbeatRecord(
+    worker="host:123.w0", pid=123, host="host", started=90.0, beat=110.0, interval=5.0
+)
+TOMBSTONE = TombstoneRecord(campaign="nightly", reason="wrong seed", requested=120.0)
+ENTRY = CampaignEntry(
+    name="nightly",
+    spec={"workload": "FMXM", "injections": 40, "seed": 7},
+    priority=2,
+    mode="clean",
+    state="running",
+    submitted=80.0,
+    updated=115.0,
+    error="",
+    chunks=["a" * 64, "b" * 64],
+)
+
+RECORDS = [
+    ("lease", LEASE, LeaseRecord, KIND_LEASE),
+    ("heartbeat", HEARTBEAT, HeartbeatRecord, KIND_HEARTBEAT),
+    ("tombstone", TOMBSTONE, TombstoneRecord, KIND_TOMBSTONE),
+    ("campaign", ENTRY, CampaignEntry, KIND_CAMPAIGN),
+]
+
+
+@pytest.mark.parametrize("label,original,cls,kind", RECORDS, ids=[r[0] for r in RECORDS])
+def test_chunk_codec_round_trip(label, original, cls, kind):
+    chunk = original.to_chunk()
+    assert chunk.kind == kind
+    assert chunk.status == DONE
+    assert chunk.payload is None  # payload channel reserved for results
+    assert cls.from_chunk(chunk) == original
+
+
+@pytest.mark.parametrize("label,original,cls,kind", RECORDS, ids=[r[0] for r in RECORDS])
+def test_backend_round_trip(backend, label, original, cls, kind):
+    backend.put(original.to_chunk())
+    stored = backend.get(original.key())
+    assert stored is not None and stored.kind == kind
+    assert cls.from_chunk(stored) == original
+
+
+def test_backend_round_trip_survives_restart(tmp_path):
+    for name, backend_cls in BACKENDS.items():
+        path = tmp_path / f"svc-{name}"
+        first = backend_cls(path)
+        for _, original, _, _ in RECORDS:
+            first.put(original.to_chunk())
+        first.close()
+        second = backend_cls(path)
+        for _, original, cls, _ in RECORDS:
+            assert cls.from_chunk(second.get(original.key())) == original
+        second.close()
+
+
+def test_keys_cannot_collide_with_fingerprints():
+    # chunk fingerprints are bare hex; every service key carries a colon
+    for prefix in (LEASE_PREFIX, WORKER_PREFIX, CAMPAIGN_PREFIX, TOMBSTONE_PREFIX):
+        assert ":" in prefix
+    assert lease_key("a" * 64) == "lease:" + "a" * 64
+    assert worker_key("h:1.w0") == "worker:h:1.w0"
+    assert campaign_key("nightly") == "campaign:nightly"
+    assert tombstone_key("nightly") == "tombstone:nightly"
+
+
+def test_service_kinds_are_report_internal():
+    """Coordination rows are bookkeeping, not logical store content: the
+    report extractor must skip all of them, or a service-mode store would
+    never ``report --diff`` clean against a serial run's."""
+    for kind in SERVICE_KINDS:
+        assert kind in INTERNAL_KINDS
+
+
+def test_lease_active_and_expired_windows():
+    lease = LeaseRecord(chunk="c" * 64, owner="w", epoch=1, granted=0.0, deadline=30.0)
+    assert lease.active(now=29.9) and not lease.expired(29.9)
+    assert lease.active(now=30.0)  # inclusive deadline
+    assert lease.expired(now=30.1) and not lease.active(30.1)
+    released = LeaseRecord(
+        chunk="c" * 64, owner="w", epoch=1, granted=0.0, deadline=30.0, released=True
+    )
+    assert not released.active(10.0) and not released.expired(100.0)
+
+
+def test_heartbeat_staleness():
+    beat = HeartbeatRecord(worker="w", pid=1, host="h", started=0.0, beat=50.0, interval=5.0)
+    assert not beat.stale(now=64.9, dead_after=15.0)
+    assert beat.stale(now=65.1, dead_after=15.0)

@@ -1,0 +1,170 @@
+"""The campaign registry: submit validation, schedule ordering, state
+transitions, tombstone cancellation, and resubmission revival."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.service.records import (
+    CANCELLED,
+    COMPLETE,
+    PENDING,
+    RUNNING,
+)
+from repro.service.registry import CampaignRegistry
+from repro.store import ServicePolicy, open_store  # noqa: F401  (parity import)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(params=["sqlite", "jsonl"])
+def store(request, tmp_path):
+    handle = open_store(tmp_path / f"registry.{request.param}", backend=request.param)
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(store, clock):
+    return CampaignRegistry(store, clock=clock)
+
+
+SPEC = {"workload": "FMXM", "injections": 8, "seed": 1}
+
+
+class TestSubmit:
+    def test_submit_round_trips(self, registry, clock):
+        entry = registry.submit("nightly", SPEC, priority=3, mode="clean")
+        assert (entry.state, entry.priority, entry.mode) == (PENDING, 3, "clean")
+        assert entry.submitted == clock.now
+        assert registry.get("nightly") == entry
+
+    @pytest.mark.parametrize("name", ["", "a:b", "a/b", "sqlite:x"])
+    def test_reserved_characters_rejected(self, registry, name):
+        # ':' and '/' would collide with the store's key prefixes and
+        # path-like CLI arguments
+        with pytest.raises(ConfigurationError, match="campaign name"):
+            registry.submit(name, SPEC)
+
+    def test_unknown_mode_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="campaign mode"):
+            registry.submit("nightly", SPEC, mode="forever")
+
+    def test_spec_is_copied_not_aliased(self, registry):
+        spec = dict(SPEC)
+        entry = registry.submit("nightly", spec)
+        spec["injections"] = 10_000
+        assert entry.spec["injections"] == 8
+
+
+class TestScheduling:
+    def test_entries_order_priority_then_age_then_name(self, registry, clock):
+        registry.submit("beta", SPEC, priority=0)
+        clock.advance(1.0)
+        registry.submit("alpha", SPEC, priority=0)  # younger, same priority
+        clock.advance(1.0)
+        registry.submit("urgent", SPEC, priority=5)  # youngest but urgent
+        registry.submit("urgent2", SPEC, priority=5)  # same instant: name breaks tie
+        names = [entry.name for entry in registry.entries()]
+        assert names == ["urgent", "urgent2", "beta", "alpha"]
+
+    def test_claimable_excludes_running_and_cancelled(self, registry, clock):
+        registry.submit("a", SPEC)
+        clock.advance(1.0)
+        registry.submit("b", SPEC)
+        clock.advance(1.0)
+        registry.submit("c", SPEC)
+        registry.transition("a", RUNNING)
+        clock.advance(1.0)
+        registry.cancel("b", reason="obsolete")
+        assert [entry.name for entry in registry.claimable()] == ["c"]
+
+
+class TestTransitions:
+    def test_transition_updates_state_error_and_plan(self, registry, clock):
+        registry.submit("nightly", SPEC)
+        clock.advance(5.0)
+        entry = registry.transition("nightly", RUNNING, chunks=["a" * 64, "b" * 64])
+        assert entry.state == RUNNING
+        assert entry.updated == clock.now
+        assert entry.chunks == ["a" * 64, "b" * 64]
+        failed = registry.transition("nightly", "failed", error="boom")
+        assert (failed.state, failed.error) == ("failed", "boom")
+
+    def test_transition_of_unknown_campaign_raises(self, registry):
+        with pytest.raises(ConfigurationError, match="never submitted"):
+            registry.transition("ghost", RUNNING)
+
+    def test_transition_to_unknown_state_raises(self, registry):
+        registry.submit("nightly", SPEC)
+        with pytest.raises(ConfigurationError, match="unknown campaign state"):
+            registry.transition("nightly", "paused")
+
+
+class TestCancellation:
+    def test_cancel_is_a_tombstone_workers_observe(self, registry, clock):
+        registry.submit("nightly", SPEC)
+        assert not registry.cancelled("nightly")
+        clock.advance(1.0)
+        stone = registry.cancel("nightly", reason="wrong seed")
+        assert stone.reason == "wrong seed"
+        assert registry.cancelled("nightly")
+        # idempotent: a second tombstone changes nothing observable
+        registry.cancel("nightly")
+        assert registry.cancelled("nightly")
+
+    def test_resubmission_revives_a_cancelled_campaign(self, registry, clock):
+        """The store is append-biased — no tombstone deletion.  A tombstone
+        older than the entry's latest submission is simply spent."""
+        registry.submit("nightly", SPEC)
+        clock.advance(1.0)
+        registry.cancel("nightly")
+        assert registry.cancelled("nightly")
+        clock.advance(1.0)
+        revived = registry.submit("nightly", SPEC)
+        assert revived.state == PENDING
+        assert not registry.cancelled("nightly")
+        assert [entry.name for entry in registry.claimable()] == ["nightly"]
+
+    def test_tombstone_on_never_submitted_name_still_reads_cancelled(self, registry):
+        # the registry-level primitive is unguarded; the CLI layer is what
+        # refuses typo'd names (see tests/service/test_cli_service.py)
+        registry.cancel("ghost")
+        assert registry.cancelled("ghost")
+
+
+class TestStatus:
+    def test_unknown_campaign_status(self, registry):
+        assert registry.status("ghost") == {"name": "ghost", "state": "unknown"}
+
+    def test_status_counts_chunk_progress(self, registry, store, clock):
+        registry.submit("nightly", SPEC, priority=1)
+        done, bad, missing = "a" * 64, "b" * 64, "c" * 64
+        registry.transition("nightly", RUNNING, chunks=[done, bad, missing])
+        store.put_chunk(done, "campaign", [1, 2], None)
+        store.quarantine(bad, "campaign", "poison", attempts=2)
+        row = registry.status("nightly")
+        assert row["state"] == RUNNING
+        assert row["chunks"] == {"total": 3, "done": 1, "quarantined": 1}
+
+    def test_tombstone_wins_over_entry_state(self, registry, clock):
+        """A racing worker may write COMPLETE after the cancel landed; the
+        tombstone is the irreversible mark, so status reports cancelled."""
+        registry.submit("nightly", SPEC)
+        registry.transition("nightly", COMPLETE)
+        clock.advance(1.0)
+        registry.cancel("nightly")
+        assert registry.status("nightly")["state"] == CANCELLED

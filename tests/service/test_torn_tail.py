@@ -1,0 +1,125 @@
+"""JSONL torn-tail tolerance for the service's coordination records.
+
+The chunk-record versions of these guarantees live in
+``tests/store/test_backends.py``; the service adds new record kinds
+(lease / heartbeat / tombstone) that are written far more often — every
+claim, beat and cancel — so a worker killed mid-``write(2)`` leaving a
+half line is the *expected* steady-state hazard, not a corner case:
+
+* a torn trailing line is ignored on reload and the file stays appendable;
+* the offset-tracked ``refresh()`` leaves a torn tail unconsumed and picks
+  the record up on a later refresh once the line completes;
+* an unparseable *buried* line (torn, then written over by a peer whose
+  append interleaved) is skipped without losing the records around it.
+"""
+
+import pytest
+
+from repro.service.records import (
+    HeartbeatRecord,
+    LeaseRecord,
+    TombstoneRecord,
+)
+from repro.store import JsonlBackend
+
+RECORDS = {
+    "lease": LeaseRecord(
+        chunk="a" * 64, owner="host:1.w0", epoch=2, granted=10.0, deadline=40.0,
+        victims=["host:9.w1"],
+    ),
+    "heartbeat": HeartbeatRecord(
+        worker="host:1.w0", pid=1, host="host", started=5.0, beat=35.0, interval=5.0
+    ),
+    "tombstone": TombstoneRecord(campaign="nightly", reason="beam time over", requested=50.0),
+}
+SPARES = {
+    "lease": LeaseRecord(
+        chunk="b" * 64, owner="host:2.w0", epoch=1, granted=11.0, deadline=41.0
+    ),
+    "heartbeat": HeartbeatRecord(
+        worker="host:2.w0", pid=2, host="host", started=6.0, beat=36.0, interval=5.0
+    ),
+    "tombstone": TombstoneRecord(campaign="weekly", reason="", requested=51.0),
+}
+
+
+def encoded_line(tmp_path, record, tag):
+    """The exact bytes one ``put`` of this record appends (incl. newline)."""
+    path = tmp_path / f"scratch-{tag}.jsonl"
+    scratch = JsonlBackend(path)
+    scratch.put(record.to_chunk())
+    scratch.close()
+    lines = path.read_bytes().splitlines(keepends=True)
+    assert len(lines) == 1 and lines[0].endswith(b"\n")
+    return lines[0]
+
+
+@pytest.mark.parametrize("label", sorted(RECORDS))
+def test_torn_tail_ignored_on_reload_and_file_stays_appendable(tmp_path, label):
+    record, spare = RECORDS[label], SPARES[label]
+    path = tmp_path / "coord.jsonl"
+    backend = JsonlBackend(path)
+    backend.put(record.to_chunk())
+    backend.close()
+    # a worker SIGKILLed mid-write leaves a half line with no newline
+    torn = encoded_line(tmp_path, spare, label)[:17]
+    with open(path, "ab") as f:
+        f.write(torn)
+
+    reopened = JsonlBackend(path)
+    assert type(record).from_chunk(reopened.get(record.key())) == record
+    assert reopened.get(spare.key()) is None  # the torn row does not exist
+    reopened.put(spare.to_chunk())  # still appendable past the tear
+    reopened.close()
+
+    final = JsonlBackend(path)
+    assert type(record).from_chunk(final.get(record.key())) == record
+    assert type(spare).from_chunk(final.get(spare.key())) == spare
+    final.close()
+
+
+@pytest.mark.parametrize("label", sorted(RECORDS))
+def test_refresh_leaves_torn_tail_pending_until_complete(tmp_path, label):
+    """The coordination loop's view: a reader's ``refresh`` must neither
+    consume nor trip over a peer's half-written line, and must surface the
+    record once the rest of the line lands."""
+    record, spare = RECORDS[label], SPARES[label]
+    path = tmp_path / "coord.jsonl"
+    reader = JsonlBackend(path)
+    writer = JsonlBackend(path)
+
+    writer.put(record.to_chunk())
+    reader.refresh()
+    assert type(record).from_chunk(reader.get(record.key())) == record
+
+    line = encoded_line(tmp_path, spare, label)
+    head, tail = line[:23], line[23:]
+    with open(path, "ab") as f:
+        f.write(head)
+    reader.refresh()
+    assert reader.get(spare.key()) is None  # incomplete: retried later
+    with open(path, "ab") as f:
+        f.write(tail)
+    reader.refresh()
+    assert type(spare).from_chunk(reader.get(spare.key())) == spare
+    reader.close()
+    writer.close()
+
+
+def test_buried_garbage_line_is_skipped(tmp_path):
+    """A complete-but-unparseable line between two good records loses only
+    itself: the records around it still load."""
+    first, second = RECORDS["lease"], SPARES["lease"]
+    path = tmp_path / "coord.jsonl"
+    backend = JsonlBackend(path)
+    backend.put(first.to_chunk())
+    backend.close()
+    with open(path, "ab") as f:
+        f.write(b'{"fingerprint": "lease:trunc\n')  # torn, then newline landed
+    with open(path, "ab") as f:
+        f.write(encoded_line(tmp_path, second, "buried"))
+
+    reopened = JsonlBackend(path)
+    assert LeaseRecord.from_chunk(reopened.get(first.key())) == first
+    assert LeaseRecord.from_chunk(reopened.get(second.key())) == second
+    reopened.close()

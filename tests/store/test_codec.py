@@ -98,13 +98,14 @@ class TestRoundTrips:
 
 
 class TestSaltBump:
-    def test_salt_is_v4(self):
-        """The salt moved with the schema: ``ExecutionPolicy`` grew the
-        ``batch_eval`` knob (chunk evaluation strategy now feeds the chunk
-        fingerprint), so chunks produced before batched evaluation must
-        never be resumed into campaigns that can batch — the records are
-        bit-identical, but provenance is not."""
-        assert STORE_SALT == "repro-store/4"
+    def test_salt_is_v5(self):
+        """The salt moved with the schema: the store grew the campaign
+        service's coordination record kinds (lease / heartbeat / tombstone
+        / campaign registry rows) and chunk records gained lease
+        provenance in their meta, so service-era stores must never be
+        silently resumed by pre-service code that would misread (or
+        clobber) the coordination rows."""
+        assert STORE_SALT == "repro-store/5"
 
     def test_old_fingerprints_never_match(self):
         """Exactly the same chunk fingerprinted under a previous salt
